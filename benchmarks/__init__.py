@@ -1,0 +1,9 @@
+"""Benchmark harness package (pytest-benchmark).
+
+One benchmark per table/figure of the paper plus ablations and kernel
+micro-benchmarks.  Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Formatted tables are written to ``benchmarks/results/``.
+"""

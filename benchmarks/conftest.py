@@ -1,0 +1,43 @@
+"""Shared benchmark fixtures.
+
+The accuracy sweeps (Tables IV/V, Figure 4) are trained once per
+pytest session and shared across benchmarks; hardware-only experiments
+are cheap and run inside their own benchmark loops.
+
+Set ``REPRO_FULL=1`` to run the paper's exact architectures at full
+training budgets instead of the quick proxy configuration.
+"""
+
+import os
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import SweepRunner
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+@pytest.fixture(scope="session")
+def experiment_config() -> ExperimentConfig:
+    return ExperimentConfig.from_environment()
+
+
+@pytest.fixture(scope="session")
+def runner(experiment_config) -> SweepRunner:
+    return SweepRunner(experiment_config)
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> str:
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    return RESULTS_DIR
+
+
+def save_result(results_dir: str, name: str, text: str) -> None:
+    """Persist a formatted table under benchmarks/results/ and echo it."""
+    path = os.path.join(results_dir, name)
+    with open(path, "w") as handle:
+        handle.write(text + "\n")
+    print()
+    print(text)

@@ -1,0 +1,200 @@
+"""Benchmarks for the extension studies (the paper's future work).
+
+1. Mixed per-layer precision: greedy bit allocation on the digits task
+   (Section VI: "architectures which support multiple radix point
+   locations between layers").
+2. Accelerator design-space exploration: geometry x precision sweep
+   (declared out of scope by the paper; provided here as an extension).
+3. Stochastic rounding (Gupta et al.) vs round-to-nearest at 8 bits.
+"""
+
+import numpy as np
+
+from repro import core, hw, nn
+from repro.core.fixed_point import FixedPointQuantizer
+from repro.core.mixed_precision import (
+    assignment_weight_kb,
+    greedy_bit_allocation,
+)
+from repro.data import load_dataset
+from repro.zoo import build_network, network_info
+from benchmarks.conftest import save_result
+
+
+def _train(split, name="lenet_small", epochs=6):
+    net = build_network(name, seed=0)
+    trainer = nn.Trainer(
+        net, nn.SGD(net.parameters(), lr=0.02, momentum=0.9),
+        batch_size=32, rng=np.random.default_rng(0),
+    )
+    trainer.fit(split.train.images, split.train.labels, epochs=epochs)
+    return net
+
+
+def test_bench_mixed_precision(benchmark, results_dir):
+    split = load_dataset("digits", n_train=800, n_test=300, seed=0)
+    net = _train(split)
+    baseline = nn.accuracy(net.predict(split.test.images), split.test.labels)
+
+    def run_allocation():
+        return greedy_bit_allocation(
+            net,
+            split.test.images[:150],
+            split.test.labels[:150],
+            candidates=[
+                core.get_precision("fixed16"),
+                core.get_precision("fixed8"),
+                core.get_precision("fixed4"),
+            ],
+            max_accuracy_drop=0.02,
+            calibration_images=split.train.images[:128],
+        )
+
+    assignment, trace = benchmark.pedantic(run_allocation, rounds=1, iterations=1)
+    uniform16_kb = assignment_weight_kb(
+        net, {p.name: core.get_precision("fixed16") for p in net.weight_parameters()}
+    )
+    mixed_kb = assignment_weight_kb(net, assignment)
+    lines = [
+        f"Mixed-precision greedy allocation (digits, float acc {100*baseline:.2f}%):",
+        f"  uniform fixed16 weights: {uniform16_kb:.1f} KB",
+        f"  mixed assignment:        {mixed_kb:.1f} KB "
+        f"({uniform16_kb / mixed_kb:.2f}x smaller)",
+        "  final assignment:",
+    ]
+    lines += [f"    {name}: {spec.label}" for name, spec in sorted(assignment.items())]
+    lines.append(f"  allocation steps: {len(trace) - 1}, "
+                 f"final accuracy {100 * trace[-1]['accuracy']:.2f}%")
+    save_result(results_dir, "extension_mixed_precision.txt", "\n".join(lines))
+
+    assert mixed_kb < uniform16_kb          # some layer was narrowed
+    assert trace[-1]["accuracy"] >= baseline - 0.02 - 1e-9
+
+
+def test_bench_design_space(benchmark, results_dir):
+    info = network_info("lenet")
+    net = build_network("lenet")
+
+    def run_sweep():
+        candidates = hw.explore_design_space(net, info.input_shape)
+        return candidates, hw.throughput_pareto(candidates)
+
+    candidates, frontier = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    lines = [
+        f"Design-space sweep on LeNet: {len(candidates)} candidates, "
+        f"{len(frontier)} on the frontier:",
+    ]
+    lines += [
+        f"  {c.label:28s} area {c.area_mm2:6.2f} mm2  "
+        f"{c.images_per_second:9.0f} img/s  {c.energy_uj_per_image:7.2f} uJ"
+        for c in frontier
+    ]
+    save_result(results_dir, "extension_design_space.txt", "\n".join(lines))
+
+    assert len(candidates) == 35  # 7 precisions x 5 geometries
+    assert frontier[0].precision.key == "binary"
+    assert max(c.images_per_second for c in frontier) == max(
+        c.images_per_second for c in candidates
+    )
+
+
+def test_bench_per_channel_quantization(benchmark, results_dir):
+    """Per-channel vs per-tensor weight radix at 4 bits (post-training).
+
+    Modern practice vs the paper's per-tensor scheme; per-channel must
+    be at least as accurate because it never shares a radix between
+    channels of different magnitude.
+    """
+    from repro.core.per_channel import PerChannelFixedPointQuantizer
+
+    split = load_dataset("digits", n_train=800, n_test=300, seed=0)
+    net = _train(split)
+
+    def evaluate(per_channel: bool) -> float:
+        if per_channel:
+            quantizer = PerChannelFixedPointQuantizer(4)
+        else:
+            quantizer = None  # spec default: per-tensor
+        qnet = core.QuantizedNetwork(
+            net, core.get_precision("fixed4"), weight_quantizer=quantizer
+        )
+        qnet.calibrate(split.train.images[:128])
+        return qnet.evaluate(split.test.images, split.test.labels)
+
+    def run_ablation():
+        return evaluate(False), evaluate(True)
+
+    per_tensor, per_channel = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
+    save_result(
+        results_dir, "extension_per_channel.txt",
+        f"Fixed-point (4,4) weight radix granularity (digits, no fine-tune):\n"
+        f"  per-tensor radix (paper):  {100 * per_tensor:.2f}%\n"
+        f"  per-channel radix:         {100 * per_channel:.2f}%",
+    )
+    assert per_channel >= per_tensor - 0.02
+
+
+def test_bench_range_disparity(benchmark, results_dir):
+    """Reproduce the paper's ALEX++ (8,8) observation: 'there is a
+    significant difference in the range of parameter and feature map
+    values and as a result, 8 bits fails to capture the necessary
+    range.'  We measure the feature-map range disparity on the
+    CIFAR-role ++ proxy and show per-layer radix placement absorbs it.
+    """
+    from repro.core.analysis import activation_range_report
+
+    split = load_dataset("cifar", n_train=800, n_test=300, seed=0)
+    net = _train(split, name="alex_small++", epochs=5)
+
+    def run_analysis():
+        qnet = core.QuantizedNetwork(net, core.get_precision("fixed8"))
+        report = activation_range_report(qnet, split.train.images[:128])
+        accuracy = qnet.evaluate(split.test.images, split.test.labels)
+        return report, accuracy
+
+    report, accuracy = benchmark.pedantic(run_analysis, rounds=1, iterations=1)
+    ranges = {k: v for k, v in report.items() if v > 0}
+    disparity = max(ranges.values()) / min(ranges.values())
+    lines = [
+        "Feature-map range disparity on the CIFAR-role ++ network:",
+        *(f"  {name:<22} max|x| = {value:8.3f}" for name, value in ranges.items()),
+        f"  disparity (max/min): {disparity:.1f}x",
+        f"  fixed-point (8,8) accuracy with per-layer radix: {100 * accuracy:.2f}%",
+    ]
+    save_result(results_dir, "extension_range_disparity.txt", "\n".join(lines))
+
+    # ranges differ across layers by a large factor — one global radix
+    # could not represent them all at 8 bits (the paper's observation)
+    assert disparity > 4.0
+    # ...but per-layer radix placement (our default, and the paper's
+    # proposed fix) keeps the network functional
+    assert accuracy > 0.3
+
+
+def test_bench_stochastic_rounding(benchmark, results_dir):
+    """Gupta et al. stochastic rounding vs round-to-nearest at 4 bits,
+    as a post-training comparison on the trained weights."""
+    split = load_dataset("digits", n_train=800, n_test=300, seed=0)
+    net = _train(split)
+
+    def evaluate(stochastic: bool) -> float:
+        quantizer = FixedPointQuantizer(
+            4, stochastic_rounding=stochastic, rng=np.random.default_rng(7)
+        )
+        qnet = core.QuantizedNetwork(
+            net, core.get_precision("fixed4"), weight_quantizer=quantizer
+        )
+        qnet.calibrate(split.train.images[:128])
+        return qnet.evaluate(split.test.images, split.test.labels)
+
+    def run_ablation():
+        return evaluate(False), evaluate(True)
+
+    nearest, stochastic = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
+    save_result(
+        results_dir, "extension_stochastic_rounding.txt",
+        f"Fixed-point (4,4) post-training rounding comparison (digits):\n"
+        f"  round-to-nearest:    {100 * nearest:.2f}%\n"
+        f"  stochastic rounding: {100 * stochastic:.2f}%",
+    )
+    assert nearest > 0.5 and stochastic > 0.5

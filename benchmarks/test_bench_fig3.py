@@ -1,0 +1,18 @@
+"""Benchmark: regenerate Figure 3 (area / power breakdown stacks)."""
+
+from repro.experiments import fig3
+from benchmarks.conftest import save_result
+
+
+def test_bench_fig3(benchmark, results_dir):
+    records = benchmark.pedantic(fig3.run, rounds=3, iterations=1)
+    text = fig3.format_results(records)
+    save_result(results_dir, "fig3.txt", text)
+
+    assert len(records) == 7
+    for record in records:
+        # Section V-B buffer-domination claim, the figure's headline
+        assert 0.75 <= record["memory_area_fraction"] <= 0.965
+        assert 0.74 <= record["memory_power_fraction"] <= 0.935
+        breakdown = record["breakdown"]
+        assert breakdown["memory"]["area_mm2"] > breakdown["combinational"]["area_mm2"]

@@ -1,0 +1,35 @@
+"""Benchmark: regenerate Figure 4 (Pareto frontier, accuracy vs energy)."""
+
+from repro.experiments import fig4
+from benchmarks.conftest import save_result
+
+
+def test_bench_fig4(benchmark, runner, results_dir):
+    result = benchmark.pedantic(
+        fig4.run, kwargs={"runner": runner}, rounds=1, iterations=1
+    )
+    text = fig4.format_results(result)
+    save_result(results_dir, "fig4.txt", text)
+
+    points = result["points"]
+    frontier = result["frontier"]
+    assert len(points) >= 8, "most Table V rows should converge"
+    assert frontier
+
+    # frontier is sorted by energy with non-decreasing accuracy
+    energies = [p.energy_uj for p in frontier]
+    accuracies = [p.accuracy for p in frontier]
+    assert energies == sorted(energies)
+    assert accuracies == sorted(accuracies)
+
+    # the float32 baseline never sits at the cheap end of the frontier
+    baseline = result["baseline"]
+    assert baseline is not None
+    cheapest = frontier[0]
+    assert cheapest.energy_uj < baseline.energy_uj
+
+    # the paper's argument: some enlarged low-precision design should
+    # dominate the full-precision baseline outright
+    assert result["dominates_baseline"], (
+        "expected at least one design dominating float32 ALEX"
+    )

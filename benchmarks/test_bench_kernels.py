@@ -1,0 +1,79 @@
+"""Micro-benchmarks of the computational kernels.
+
+These time the substrate itself (conv lowering, quantizer throughput,
+quantized inference overhead) so performance regressions in the
+framework are visible independently of the experiment harness.
+"""
+
+import numpy as np
+
+from repro import core, nn
+from repro.zoo import build_network
+
+
+def test_bench_conv_forward(benchmark):
+    rng = np.random.default_rng(0)
+    conv = nn.Conv2D(32, 32, kernel_size=5, padding=2, rng=rng)
+    conv.eval_mode()
+    x = rng.standard_normal((8, 32, 16, 16)).astype(np.float32)
+    out = benchmark(conv.forward, x)
+    assert out.shape == (8, 32, 16, 16)
+
+
+def test_bench_conv_backward(benchmark):
+    rng = np.random.default_rng(0)
+    conv = nn.Conv2D(16, 16, kernel_size=3, padding=1, rng=rng)
+    x = rng.standard_normal((8, 16, 16, 16)).astype(np.float32)
+    out = conv.forward(x)
+    grad = np.ones_like(out)
+
+    def backward():
+        conv.zero_grad()
+        return conv.backward(grad)
+
+    result = benchmark(backward)
+    assert result.shape == x.shape
+
+
+def test_bench_fixed_point_quantizer(benchmark):
+    rng = np.random.default_rng(0)
+    x = rng.standard_normal(1 << 18).astype(np.float32)
+    quantizer = core.FixedPointQuantizer(8)
+    out = benchmark(quantizer.quantize, x)
+    assert out.shape == x.shape
+
+
+def test_bench_pow2_quantizer(benchmark):
+    rng = np.random.default_rng(0)
+    x = rng.standard_normal(1 << 18).astype(np.float32)
+    quantizer = core.PowerOfTwoQuantizer(6)
+    out = benchmark(quantizer.quantize, x)
+    assert out.shape == x.shape
+
+
+def test_bench_binary_quantizer(benchmark):
+    rng = np.random.default_rng(0)
+    x = rng.standard_normal(1 << 18).astype(np.float32)
+    quantizer = core.BinaryQuantizer()
+    out = benchmark(quantizer.quantize, x)
+    assert out.shape == x.shape
+
+
+def test_bench_quantized_inference_overhead(benchmark):
+    """Quantized-forward emulation cost on the LeNet proxy."""
+    rng = np.random.default_rng(0)
+    net = build_network("lenet_small")
+    qnet = core.QuantizedNetwork(net, core.get_precision("fixed8"))
+    x = rng.standard_normal((16, 1, 28, 28)).astype(np.float32)
+    qnet.calibrate(x)
+    logits = benchmark(qnet.predict, x)
+    assert logits.shape == (16, 10)
+
+
+def test_bench_float_inference_baseline(benchmark):
+    rng = np.random.default_rng(0)
+    net = build_network("lenet_small")
+    net.eval_mode()
+    x = rng.standard_normal((16, 1, 28, 28)).astype(np.float32)
+    logits = benchmark(net.predict, x)
+    assert logits.shape == (16, 10)

@@ -1,0 +1,20 @@
+"""Benchmark: regenerate the Section V-B memory-footprint analysis."""
+
+from repro.experiments import memory
+from benchmarks.conftest import save_result
+
+
+def test_bench_memory(benchmark, results_dir):
+    records = benchmark.pedantic(memory.run, rounds=3, iterations=1)
+    text = memory.format_results(records)
+    save_result(results_dir, "memory.txt", text)
+
+    by_network = {r["network"]: r for r in records}
+    # paper's full-precision figures, within 5 %
+    for name, paper_kb in memory.PAPER_PARAMETER_KB.items():
+        model_kb = by_network[name]["footprints"]["float32"].parameter_kb
+        assert abs(model_kb - paper_kb) / paper_kb < 0.05, name
+    # "from 2x to 32x" reduction window
+    for record in records:
+        assert record["reductions"]["fixed16"] == 2.0
+        assert record["reductions"]["binary"] == 32.0

@@ -1,0 +1,25 @@
+"""Benchmark: regenerate Table III (accelerator design metrics).
+
+Runs the full hardware model over the paper's seven precision points
+and prints the model-vs-paper table.  Hardware-only — exact in every
+mode.
+"""
+
+from repro.experiments import table3
+from benchmarks.conftest import save_result
+
+
+def test_bench_table3(benchmark, results_dir):
+    rows = benchmark.pedantic(table3.run, rounds=3, iterations=1)
+    text = table3.format_results(rows)
+    save_result(results_dir, "table3.txt", text)
+
+    by_key = {row["key"]: row for row in rows}
+    # shape assertions: monotone savings down the fixed-point column,
+    # binary cheapest overall, all rows within the model's fidelity
+    assert by_key["binary"]["area_mm2"] == min(r["area_mm2"] for r in rows)
+    fixed = [by_key[k]["power_mw"] for k in ("fixed32", "fixed16", "fixed8", "fixed4")]
+    assert fixed == sorted(fixed, reverse=True)
+    for row in rows:
+        assert abs(row["area_error_pct"]) < 6.0
+        assert abs(row["power_error_pct"]) < 13.0

@@ -1,0 +1,47 @@
+"""Benchmark: regenerate Table IV (digits/svhn accuracy + energy).
+
+Quick mode trains the proxy networks on the synthetic tasks; the shape
+assertions encode the paper's findings:
+
+* the easy (MNIST-role) task loses essentially nothing down to 8 bits;
+* the harder (SVHN-role) task keeps accuracy at 16 bits but degrades or
+  fails at aggressive precisions;
+* the energy-savings column tracks Table III.
+"""
+
+from repro.experiments import table4
+from benchmarks.conftest import save_result
+
+
+def test_bench_table4(benchmark, runner, results_dir):
+    results = benchmark.pedantic(
+        table4.run, kwargs={"runner": runner}, rounds=1, iterations=1
+    )
+    text = table4.format_results(results)
+    save_result(results_dir, "table4.txt", text)
+
+    digits = {p.spec.key: p for p in results["digits"]}
+    svhn = {p.spec.key: p for p in results["svhn"]}
+
+    # --- digits (MNIST role): high accuracy, tiny quantization loss ----
+    assert digits["float32"].accuracy > 0.85
+    for key in ("fixed32", "fixed16", "fixed8"):
+        assert digits[key].accuracy > digits["float32"].accuracy - 0.05, key
+
+    # --- svhn (SVHN role): works at float, 16 bits close behind -------
+    assert svhn["float32"].accuracy > 0.45
+    assert svhn["fixed16"].converged
+    assert svhn["fixed16"].accuracy > svhn["float32"].accuracy - 0.15
+
+    # --- energy savings track Table III -------------------------------
+    for task in (digits, svhn):
+        assert task["fixed16"].energy_saving_pct > 50.0
+        assert task["fixed8"].energy_saving_pct > 75.0
+        assert task["binary"].energy_saving_pct > 90.0
+        savings = [task[k].energy_saving_pct
+                   for k in ("fixed32", "fixed16", "fixed8", "fixed4")]
+        assert savings == sorted(savings)
+
+    # --- per-image energies match the paper's column ------------------
+    assert abs(digits["float32"].energy_uj - 60.74) / 60.74 < 0.10
+    assert abs(svhn["float32"].energy_uj - 754.18) / 754.18 < 0.10

@@ -1,0 +1,65 @@
+"""Explore the accelerator design space: synthesis-style reports.
+
+Prints a Design-Compiler-style area/power report for each precision
+(Table III / Figure 3 data), then shows how the design scales with
+tile geometry and buffer sizing — the dimensions the paper holds
+constant ("changing the frequency or the accelerator parameters ...
+adds another dimension ... out of the scope of our work").
+
+Run:  python examples/accelerator_designer.py
+"""
+
+from repro import hw
+from repro.core.precision import PAPER_PRECISIONS
+from repro.experiments.formatting import format_table
+from repro.hw.accelerator import Accelerator, AcceleratorConfig
+
+
+def main() -> None:
+    # 1. Per-precision synthesis reports (Table III / Figure 3).
+    for spec in PAPER_PRECISIONS:
+        accelerator = Accelerator(spec)
+        print(hw.synthesis_report(accelerator))
+        print()
+
+    # 2. Tile-geometry scaling at fixed-point (16,16).
+    spec = next(s for s in PAPER_PRECISIONS if s.key == "fixed16")
+    rows = []
+    for neurons, synapses in [(8, 8), (16, 16), (32, 16), (32, 32)]:
+        config = AcceleratorConfig(neurons=neurons, synapses=synapses)
+        accelerator = Accelerator(spec, config=config)
+        rows.append([
+            f"{neurons}x{synapses}",
+            f"{neurons * synapses}",
+            f"{accelerator.area_mm2:.2f}",
+            f"{accelerator.power_mw:.1f}",
+        ])
+    print(format_table(
+        ["tile", "MACs/cycle", "area mm2", "power mW"],
+        rows,
+        title="Tile-geometry scaling at Fixed-Point (16,16)",
+    ))
+    print()
+
+    # 3. Buffer-capacity scaling: the memory subsystem dominates, so
+    #    halving SB capacity nearly halves the whole design.
+    rows = []
+    for sb_words in [16384, 32768, 65536, 131072]:
+        config = AcceleratorConfig(weight_buffer_words=sb_words)
+        accelerator = Accelerator(spec, config=config)
+        fractions = accelerator.memory_fraction()
+        rows.append([
+            f"{sb_words // 1024}K weights",
+            f"{accelerator.area_mm2:.2f}",
+            f"{accelerator.power_mw:.1f}",
+            f"{fractions['area']:.1%}",
+        ])
+    print(format_table(
+        ["SB capacity", "area mm2", "power mW", "buffer area share"],
+        rows,
+        title="Weight-buffer scaling at Fixed-Point (16,16)",
+    ))
+
+
+if __name__ == "__main__":
+    main()

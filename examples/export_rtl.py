@@ -1,0 +1,36 @@
+"""Export synthesizable Verilog for the NFU at each precision.
+
+Writes one ``.v`` file per non-float precision into ``rtl_out/`` —
+the weight-block variant of Figure 2 (a-c), the per-neuron adder tree,
+the ReLU stage and the registered top module — ready to drop into a
+synthesis flow to cross-check the analytical area model.
+
+Run:  python examples/export_rtl.py [output_dir]
+"""
+
+import os
+import sys
+
+from repro import hw
+from repro.core.precision import PAPER_PRECISIONS
+from repro.hw.nfu import NfuGeometry
+
+
+def main(output_dir: str = "rtl_out") -> None:
+    os.makedirs(output_dir, exist_ok=True)
+    geometry = NfuGeometry(neurons=16, synapses=16)
+    for spec in PAPER_PRECISIONS:
+        if spec.is_float:
+            continue  # FP32 uses vendor FPU IP, not generated RTL
+        source = hw.generate_nfu(spec, geometry)
+        path = os.path.join(output_dir, f"nfu_{spec.key}.v")
+        with open(path, "w") as handle:
+            handle.write(source)
+        modules = source.count("module ") - source.count("endmodule")
+        assert modules == 0
+        print(f"{path}: {len(source.splitlines())} lines, "
+              f"{source.count('u_wb_')} weight blocks")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "rtl_out")

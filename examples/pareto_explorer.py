@@ -1,0 +1,90 @@
+"""Figure 4 style exploration: grow the network to buy back accuracy.
+
+Trains the CIFAR-role proxy family (alex_small / + / ++) at several
+precisions, pairs each with the paper-architecture energy model, and
+prints the accuracy-vs-energy scatter with its Pareto frontier — the
+paper's Section IV-B argument in one script.
+
+Run:  python examples/pareto_explorer.py          (about 10-15 minutes)
+      python examples/pareto_explorer.py --fast   (fewer precisions)
+"""
+
+import sys
+
+from repro import core, hw
+from repro.core.pareto import DesignPoint, pareto_frontier
+from repro.core.sweep import PrecisionSweep, SweepConfig
+from repro.data import load_dataset
+from repro.experiments.formatting import format_scatter
+from repro.zoo import build_network, network_info
+
+FAMILY = [("alex", "alex_small"), ("alex+", "alex_small+"), ("alex++", "alex_small++")]
+
+
+def main(fast: bool = False) -> None:
+    precisions = ["float32", "pow2", "binary"] if fast else [
+        "float32", "fixed16", "fixed8", "pow2", "binary",
+    ]
+    split = load_dataset("cifar", n_train=1500, n_test=400, seed=0)
+    energy_model = hw.EnergyModel()
+    points = []
+
+    for paper_name, proxy_name in FAMILY:
+        print(f"sweeping {proxy_name} ({len(precisions)} precisions)...")
+        sweep = PrecisionSweep(
+            builder=lambda name=proxy_name: build_network(name, seed=0),
+            split=split,
+            config=SweepConfig(),
+        )
+        info = network_info(paper_name)
+        paper_net = build_network(paper_name)
+        for key in precisions:
+            spec = core.get_precision(key)
+            if paper_name != "alex" and spec.key in ("float32", "fixed32"):
+                continue  # the paper only enlarges low-precision nets
+            result = sweep.run_precision(spec)
+            if not result.converged:
+                print(f"  {spec.label} on {paper_name}: did not converge (NA)")
+                continue
+            energy = energy_model.evaluate(paper_net, info.input_shape, spec)
+            suffix = paper_name[len("alex"):]
+            points.append(DesignPoint(
+                label=f"{spec.label}{suffix}",
+                accuracy=result.accuracy_percent,
+                energy_uj=energy.energy_uj,
+                metadata={"network": paper_name, "precision": key},
+            ))
+
+    frontier = pareto_frontier(points)
+    frontier_labels = {p.label for p in frontier}
+    scatter = [
+        {
+            "label": p.label + (" *" if p.label in frontier_labels else ""),
+            "energy": p.energy_uj,
+            "accuracy": p.accuracy,
+            "marker": {"alex": "o", "alex+": "+", "alex++": "x"}[
+                p.metadata["network"]
+            ],
+        }
+        for p in points
+    ]
+    print()
+    print("accuracy (%) vs energy (uJ, log scale); * marks the Pareto frontier")
+    print(format_scatter(scatter, "energy", "accuracy", "label",
+                         marker_key="marker", log_x=True))
+
+    baseline = next(
+        (p for p in points if p.metadata == {"network": "alex",
+                                             "precision": "float32"}), None,
+    )
+    if baseline:
+        winners = [
+            p.label for p in points
+            if p.accuracy >= baseline.accuracy and p.energy_uj < baseline.energy_uj
+        ]
+        if winners:
+            print(f"\ndominating the float32 baseline: {', '.join(winners)}")
+
+
+if __name__ == "__main__":
+    main(fast="--fast" in sys.argv)

@@ -1,0 +1,66 @@
+"""Sweep every paper precision on one task and print a Table IV-style row set.
+
+Reproduces the Section V protocol end to end for a single network:
+train float32, then for each precision warm-start + QAT fine-tune +
+quantized evaluation, pairing each accuracy with the hardware model's
+per-image energy.
+
+Run:  python examples/precision_sweep.py [digits|svhn|cifar]
+"""
+
+import sys
+
+from repro import core, hw
+from repro.core.sweep import PrecisionSweep, SweepConfig
+from repro.data import load_dataset
+from repro.experiments.formatting import format_table
+from repro.zoo import build_network, network_info
+
+PROXIES = {"digits": "lenet_small", "svhn": "convnet_small", "cifar": "alex_small"}
+PAPER_NETWORKS = {"digits": "lenet", "svhn": "convnet", "cifar": "alex"}
+
+
+def main(task: str = "digits") -> None:
+    trained_name = PROXIES[task]
+    paper_name = PAPER_NETWORKS[task]
+    split = load_dataset(task, n_train=1500, n_test=400, seed=0)
+
+    print(f"task={task}: training {trained_name!r} at every precision "
+          f"(energy modelled on {paper_name!r})...")
+    sweep = PrecisionSweep(
+        builder=lambda: build_network(trained_name, seed=0),
+        split=split,
+        config=SweepConfig(),
+    )
+    results = sweep.run()
+
+    info = network_info(paper_name)
+    paper_net = build_network(paper_name)
+    energy_model = hw.EnergyModel()
+    baseline_energy = energy_model.evaluate(
+        paper_net, info.input_shape, core.PAPER_PRECISIONS[0]
+    )
+
+    rows = []
+    for result in results:
+        energy = energy_model.evaluate(paper_net, info.input_shape, result.spec)
+        if result.converged:
+            rows.append([
+                result.spec.label,
+                f"{result.accuracy_percent:.2f}",
+                f"{energy.energy_uj:.2f}",
+                f"{energy.savings_vs(baseline_energy):.2f}",
+            ])
+        else:
+            rows.append([result.spec.label, "NA", "NA", "NA"])
+
+    print()
+    print(format_table(
+        ["Precision (w,in)", "Acc %", "Energy uJ", "Energy Sav %"],
+        rows,
+        title=f"Precision sweep on the {task} task",
+    ))
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "digits")

@@ -1,0 +1,41 @@
+"""repro — reproduction of Hashemi et al., DATE 2017.
+
+*Understanding the Impact of Precision Quantization on the Accuracy and
+Energy of Neural Networks.*
+
+The package is organized as one subpackage per subsystem:
+
+``repro.nn``
+    From-scratch numpy neural-network framework (layers, backprop,
+    optimizers, training loop).  This is the substrate that replaces the
+    paper's Caffe/Ristretto stack.
+
+``repro.data``
+    Synthetic dataset substrate standing in for MNIST / SVHN / CIFAR-10
+    (no network access in this environment); same shapes and graded
+    difficulty.
+
+``repro.core``
+    The paper's primary contribution: the precision/quantization library
+    (fixed point, power-of-two, binary), range analysis, quantized
+    inference emulation, quantization-aware training with shadow weights,
+    precision sweeps, and Pareto-frontier analysis.
+
+``repro.zoo``
+    The benchmark network architectures of Tables I and II (LeNet,
+    SVHN ConvNet, ALEX, ALEX+, ALEX++).
+
+``repro.hw``
+    Analytical model of the DianNao-style tile accelerator the paper
+    synthesizes at 65 nm / 250 MHz: component library, SRAM buffers, NFU
+    pipeline variants per precision, cycle-level scheduler, energy model
+    and synthesis-style reports.
+
+``repro.experiments``
+    One driver per paper table/figure (Table III, IV, V, Figure 3, 4 and
+    the memory-footprint analysis in Section V-B).
+"""
+
+from repro.version import __version__
+
+__all__ = ["__version__"]

@@ -1,0 +1,206 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+``train``
+    Train a registered network on a synthetic task (optionally with
+    quantization-aware fine-tuning) and save the weights.
+``evaluate``
+    Load saved weights and report test accuracy at one or more
+    precisions.
+``hw-report``
+    Print the synthesis-style accelerator report for a precision.
+``energy``
+    Per-image energy of a registered network across all precisions.
+``export-rtl``
+    Write the generated NFU Verilog for a precision.
+
+Everything the CLI does is also available programmatically; the CLI
+exists so the common workflows are one command.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+from repro import core, hw, nn
+from repro.core.precision import PAPER_PRECISIONS
+from repro.data import load_dataset
+from repro.experiments.formatting import format_table
+from repro.hw.nfu import NfuGeometry
+from repro.zoo import NETWORK_BUILDERS, build_network, network_info
+
+
+def _add_common_training_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--network", default="lenet_small",
+                        choices=sorted(NETWORK_BUILDERS))
+    parser.add_argument("--n-train", type=int, default=1500)
+    parser.add_argument("--n-test", type=int, default=400)
+    parser.add_argument("--epochs", type=int, default=8)
+    parser.add_argument("--lr", type=float, default=0.02)
+    parser.add_argument("--batch-size", type=int, default=32)
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def cmd_train(args: argparse.Namespace) -> int:
+    info = network_info(args.network)
+    split = load_dataset(info.dataset, n_train=args.n_train,
+                         n_test=args.n_test, seed=args.seed)
+    network = build_network(args.network, seed=args.seed)
+    trainer = nn.Trainer(
+        network,
+        nn.SGD(network.parameters(), lr=args.lr, momentum=0.9, weight_decay=1e-4),
+        batch_size=args.batch_size,
+        rng=np.random.default_rng(args.seed),
+        restore_best=True,
+    )
+    trainer.fit(
+        split.train.images, split.train.labels,
+        split.val.images, split.val.labels,
+        epochs=args.epochs, verbose=True,
+    )
+    accuracy = trainer.evaluate(split.test.images, split.test.labels)["accuracy"]
+    print(f"float32 test accuracy: {100 * accuracy:.2f}%")
+
+    if args.precision != "float32":
+        spec = core.get_precision(args.precision)
+        qnet = core.QuantizedNetwork(network, spec)
+        qnet.calibrate(split.train.images[:256])
+        qat = core.QATTrainer(
+            qnet,
+            nn.SGD(network.parameters(), lr=args.lr / 4, momentum=0.9),
+            batch_size=args.batch_size,
+            rng=np.random.default_rng(args.seed + 1),
+            restore_best=True,
+        )
+        qat.fit(
+            split.train.images, split.train.labels,
+            split.val.images, split.val.labels,
+            epochs=max(args.epochs // 2, 1), verbose=True,
+        )
+        accuracy = qnet.evaluate(split.test.images, split.test.labels)
+        print(f"{spec.label} test accuracy: {100 * accuracy:.2f}%")
+
+    if args.output:
+        nn.save_network_weights(network, args.output)
+        print(f"weights saved to {args.output}")
+    return 0
+
+
+def cmd_evaluate(args: argparse.Namespace) -> int:
+    info = network_info(args.network)
+    split = load_dataset(info.dataset, n_train=args.n_train,
+                         n_test=args.n_test, seed=args.seed)
+    network = build_network(args.network, seed=args.seed)
+    nn.load_network_weights(network, args.weights)
+    rows = []
+    for key in args.precisions:
+        spec = core.get_precision(key)
+        if spec.is_float:
+            logits = network.predict(split.test.images)
+            accuracy = nn.accuracy(logits, split.test.labels)
+        else:
+            qnet = core.QuantizedNetwork(network, spec)
+            qnet.calibrate(split.train.images[:256])
+            accuracy = qnet.evaluate(split.test.images, split.test.labels)
+        rows.append([spec.label, f"{100 * accuracy:.2f}"])
+    print(format_table(["Precision (w,in)", "Acc %"], rows,
+                       title=f"{args.network} on {info.dataset}"))
+    return 0
+
+
+def cmd_hw_report(args: argparse.Namespace) -> int:
+    accelerator = hw.Accelerator.for_precision(args.precision)
+    print(hw.synthesis_report(accelerator))
+    return 0
+
+
+def cmd_energy(args: argparse.Namespace) -> int:
+    info = network_info(args.network)
+    network = build_network(args.network, seed=0)
+    model = hw.EnergyModel()
+    baseline = model.evaluate(network, info.input_shape, PAPER_PRECISIONS[0])
+    rows = []
+    for spec in PAPER_PRECISIONS:
+        report = model.evaluate(network, info.input_shape, spec)
+        rows.append([
+            spec.label,
+            f"{report.energy_uj:.2f}",
+            f"{report.savings_vs(baseline):.2f}",
+            f"{report.runtime_us:.1f}",
+        ])
+    print(format_table(
+        ["Precision (w,in)", "Energy uJ", "Saving %", "Runtime us"],
+        rows, title=f"Per-image inference energy: {args.network}",
+    ))
+    return 0
+
+
+def cmd_export_rtl(args: argparse.Namespace) -> int:
+    spec = core.get_precision(args.precision)
+    geometry = NfuGeometry(neurons=args.neurons, synapses=args.synapses)
+    source = hw.generate_nfu(spec, geometry)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(source)
+        print(f"wrote {args.output} ({len(source.splitlines())} lines)")
+    else:
+        print(source)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Precision-quantization study toolkit (Hashemi et al., DATE 2017)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    train = sub.add_parser("train", help="train a network, optionally QAT")
+    _add_common_training_args(train)
+    train.add_argument("--precision", default="float32",
+                       choices=[s.key for s in PAPER_PRECISIONS])
+    train.add_argument("--output", default="", help="save weights (.npz)")
+    train.set_defaults(func=cmd_train)
+
+    evaluate = sub.add_parser("evaluate", help="evaluate saved weights")
+    _add_common_training_args(evaluate)
+    evaluate.add_argument("--weights", required=True)
+    evaluate.add_argument(
+        "--precisions", nargs="+", default=["float32", "fixed8"],
+        choices=[s.key for s in PAPER_PRECISIONS],
+    )
+    evaluate.set_defaults(func=cmd_evaluate)
+
+    report = sub.add_parser("hw-report", help="accelerator synthesis report")
+    report.add_argument("--precision", default="fixed16",
+                        choices=[s.key for s in PAPER_PRECISIONS])
+    report.set_defaults(func=cmd_hw_report)
+
+    energy = sub.add_parser("energy", help="per-image energy per precision")
+    energy.add_argument("--network", default="lenet",
+                        choices=sorted(NETWORK_BUILDERS))
+    energy.set_defaults(func=cmd_energy)
+
+    rtl = sub.add_parser("export-rtl", help="generate NFU Verilog")
+    rtl.add_argument("--precision", default="fixed16",
+                     choices=[s.key for s in PAPER_PRECISIONS if not s.is_float])
+    rtl.add_argument("--neurons", type=int, default=16)
+    rtl.add_argument("--synapses", type=int, default=16)
+    rtl.add_argument("--output", default="")
+    rtl.set_defaults(func=cmd_export_rtl)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

@@ -1,0 +1,141 @@
+"""Quantization error analysis and per-layer sensitivity.
+
+The paper's future work proposes "analytically investigating the
+correlations between network and datasets and their behavior in lower
+precision thereby effectively predicting the lower precision accuracy".
+This module provides the two standard tools for that analysis:
+
+* :func:`quantization_report` — per-parameter quantization error and
+  signal-to-quantization-noise ratio (SQNR) for a precision spec, a
+  cheap static predictor of which tensors are at risk;
+* :func:`layerwise_sensitivity` — the empirical counterpart: quantize
+  one layer's weights at a time and measure the accuracy impact,
+  ranking layers by fragility (this directly surfaces the effect the
+  paper saw on ALEX++ (8,8), where one layer's wide value range broke
+  8-bit quantization).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from repro.core.precision import PrecisionSpec
+from repro.core.quantized import QuantizedNetwork, build_quantizers
+from repro.nn.metrics import accuracy
+from repro.nn.network import Sequential
+
+
+@dataclass(frozen=True)
+class TensorQuantizationStats:
+    """Quantization statistics for one parameter tensor."""
+
+    name: str
+    size: int
+    max_abs: float
+    rms_error: float
+    sqnr_db: float          # 10*log10(signal power / noise power)
+    zero_fraction: float    # values flushed to zero by quantization
+
+
+def quantization_report(
+    network: Sequential, spec: PrecisionSpec
+) -> List[TensorQuantizationStats]:
+    """Static per-tensor error analysis for a precision point."""
+    weight_quantizer, _ = build_quantizers(spec)
+    report: List[TensorQuantizationStats] = []
+    for param in network.weight_parameters():
+        data = param.data.astype(np.float64)
+        quantized = weight_quantizer.quantize(param.data).astype(np.float64)
+        noise = quantized - data
+        signal_power = float(np.mean(data**2))
+        noise_power = float(np.mean(noise**2))
+        if noise_power <= 0.0:
+            sqnr = math.inf
+        elif signal_power <= 0.0:
+            sqnr = -math.inf
+        else:
+            sqnr = 10.0 * math.log10(signal_power / noise_power)
+        report.append(
+            TensorQuantizationStats(
+                name=param.name,
+                size=param.size,
+                max_abs=float(np.max(np.abs(data), initial=0.0)),
+                rms_error=float(np.sqrt(noise_power)),
+                sqnr_db=sqnr,
+                zero_fraction=float(np.mean((quantized == 0) & (data != 0))),
+            )
+        )
+    return report
+
+
+def layerwise_sensitivity(
+    network: Sequential,
+    spec: PrecisionSpec,
+    images: np.ndarray,
+    labels: np.ndarray,
+) -> Dict[str, float]:
+    """Accuracy drop when quantizing each weight tensor in isolation.
+
+    Returns ``{parameter name: accuracy_drop}`` relative to the float
+    network on the given evaluation set.  Activations stay at full
+    precision so the measurement isolates weight quantization.
+    """
+    baseline = accuracy(network.predict(images), labels)
+    weight_quantizer, _ = build_quantizers(spec)
+    drops: Dict[str, float] = {}
+    for param in network.weight_parameters():
+        original = param.data.copy()
+        try:
+            param.data[...] = weight_quantizer.quantize(param.data)
+            quantized_accuracy = accuracy(network.predict(images), labels)
+        finally:
+            param.data[...] = original
+        drops[param.name] = baseline - quantized_accuracy
+    return drops
+
+
+def most_sensitive_layer(
+    network: Sequential,
+    spec: PrecisionSpec,
+    images: np.ndarray,
+    labels: np.ndarray,
+) -> str:
+    """Name of the weight tensor whose quantization hurts accuracy most."""
+    drops = layerwise_sensitivity(network, spec, images, labels)
+    return max(drops, key=drops.get)
+
+
+def activation_range_report(quantized_network, images: np.ndarray) -> Dict[str, float]:
+    """Calibrated activation ranges per fake-quant insertion point.
+
+    Runs calibration batches through a :class:`~repro.core.quantized.
+    QuantizedNetwork` and returns ``{insertion point name: max_abs}`` —
+    the ranges that determine each feature map's radix point.  Large
+    disparities across layers are the signature of the range problem
+    the paper observed on ALEX++ (8,8).
+    """
+    from repro.core.fake_quant import FakeQuantLayer
+
+    quantized_network.calibrate(images)
+    report: Dict[str, float] = {}
+    for layer in quantized_network.pipeline.layers:
+        if isinstance(layer, FakeQuantLayer):
+            report[layer.name] = layer.tracker.max_abs
+    return report
+
+
+def predicted_risk_ranking(
+    network: Sequential, spec: PrecisionSpec
+) -> List[str]:
+    """Rank weight tensors by static risk (ascending SQNR).
+
+    A cheap, inference-free approximation of
+    :func:`layerwise_sensitivity`: tensors with the lowest
+    signal-to-quantization-noise ratio are predicted to hurt most.
+    """
+    report = quantization_report(network, spec)
+    return [stats.name for stats in sorted(report, key=lambda s: s.sqnr_db)]

@@ -1,0 +1,54 @@
+"""Fake-quantization layer for activations.
+
+Inserted between network layers by :class:`repro.core.quantized.
+QuantizedNetwork`, it quantizes feature maps on the forward pass and
+passes gradients through unchanged on the backward pass — the
+straight-through estimator that makes quantized training possible
+(Section IV-A, "Training Time Techniques").
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.quantizers import Quantizer
+from repro.core.range_tracker import RangeTracker
+from repro.nn.module import Module
+
+
+class FakeQuantLayer(Module):
+    """Quantize activations in the forward pass; STE in the backward.
+
+    In training mode the layer also folds each batch into its
+    :class:`RangeTracker`, so the radix point follows the feature-map
+    distribution as training progresses.  In eval mode the frozen range
+    is used (calibration behaviour).
+    """
+
+    def __init__(
+        self,
+        quantizer: Quantizer,
+        tracker: Optional[RangeTracker] = None,
+        name: str = "",
+    ):
+        super().__init__(name=name or "fake_quant")
+        self.quantizer = quantizer
+        self.tracker = tracker or RangeTracker()
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if self.training:
+            self.tracker.observe(x)
+        hint = self.tracker.max_abs if self.tracker.initialized else None
+        return self.quantizer.quantize(x, range_hint=hint)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        # Straight-through estimator: d(quantize)/dx ~= 1.
+        return grad_out
+
+    def output_shape(self, input_shape: tuple) -> tuple:
+        return input_shape
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"FakeQuantLayer({self.quantizer!r})"

@@ -1,0 +1,104 @@
+"""Fixed-point (dynamic fixed point) quantization.
+
+Implements the paper's fixed-point arithmetic family (Section IV-A.2)
+with Ristretto-style *dynamic* fixed point: the total bit width is
+fixed, but the radix point is placed per tensor group so that the
+largest observed magnitude is representable ("we allow a different
+radix point location between data and parameters").
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from repro.core.quantizers import Quantizer
+from repro.errors import QuantizationError
+
+
+def integer_bits_for_range(max_abs: float) -> int:
+    """Integer bits (excluding sign) needed to represent ``max_abs``.
+
+    Values in (0.5, 1] need 0 integer bits in a signed Qm.f format
+    (max representable magnitude just below 2^m); sub-0.5 ranges yield
+    negative integer-bit counts, which shift the radix point right and
+    add fractional resolution — exactly Ristretto's behaviour.
+    """
+    if max_abs <= 0.0:
+        return 0
+    return int(math.ceil(math.log2(max_abs + 1e-12)))
+
+
+class FixedPointQuantizer(Quantizer):
+    """Signed two's-complement fixed point with saturation.
+
+    Args:
+        total_bits: word length including the sign bit.
+        frac_bits: radix position; ``None`` (default) derives it per
+            call from the array's max magnitude (dynamic fixed point).
+        stochastic_rounding / rng: round-to-nearest by default; Gupta et
+            al. stochastic rounding is available for training studies.
+
+    The representable grid is ``{-2^(b-1), ..., 2^(b-1)-1} / 2^f``;
+    out-of-range values saturate rather than wrap, matching the
+    accelerator's saturating arithmetic.
+    """
+
+    def __init__(
+        self,
+        total_bits: int,
+        frac_bits: Optional[int] = None,
+        stochastic_rounding: bool = False,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        if total_bits < 2:
+            raise QuantizationError("fixed point needs >= 2 bits (sign + magnitude)")
+        self.bits = total_bits
+        self.frac_bits = frac_bits
+        self.stochastic_rounding = stochastic_rounding
+        self._rng = rng or np.random.default_rng(0)
+
+    # ------------------------------------------------------------------
+    def frac_bits_for(self, max_abs: float) -> int:
+        """Radix placement: spend what the integer part doesn't need."""
+        return self.bits - 1 - integer_bits_for_range(max_abs)
+
+    def resolve_frac_bits(self, x: np.ndarray, range_hint: Optional[float]) -> int:
+        if self.frac_bits is not None:
+            return self.frac_bits
+        max_abs = range_hint if range_hint is not None else float(np.max(np.abs(x), initial=0.0))
+        return self.frac_bits_for(max_abs)
+
+    def quantize(self, x: np.ndarray, range_hint: Optional[float] = None) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float32)
+        frac = self.resolve_frac_bits(x, range_hint)
+        scale = float(2.0**frac)
+        q_min = -(2 ** (self.bits - 1))
+        q_max = 2 ** (self.bits - 1) - 1
+        scaled = x.astype(np.float64) * scale
+        if self.stochastic_rounding:
+            floor = np.floor(scaled)
+            prob_up = scaled - floor
+            rounded = floor + (self._rng.random(scaled.shape) < prob_up)
+        else:
+            rounded = np.rint(scaled)
+        clipped = np.clip(rounded, q_min, q_max)
+        return (clipped / scale).astype(np.float32)
+
+    def integer_repr(self, x: np.ndarray, range_hint: Optional[float] = None) -> np.ndarray:
+        """The stored integer codes (for memory/hardware-level tests)."""
+        frac = self.resolve_frac_bits(np.asarray(x), range_hint)
+        scale = float(2.0**frac)
+        q_min = -(2 ** (self.bits - 1))
+        q_max = 2 ** (self.bits - 1) - 1
+        return np.clip(np.rint(np.asarray(x, dtype=np.float64) * scale), q_min, q_max).astype(np.int64)
+
+    def step_size(self, range_hint: float) -> float:
+        """Quantization step for a given dynamic range."""
+        return float(2.0 ** -self.frac_bits_for(range_hint))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        radix = "dynamic" if self.frac_bits is None else f"f={self.frac_bits}"
+        return f"FixedPointQuantizer(bits={self.bits}, {radix})"

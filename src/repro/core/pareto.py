@@ -1,0 +1,55 @@
+"""Accuracy/energy design points and Pareto-frontier analysis (Fig. 4).
+
+The paper plots every (network, precision) configuration on an
+accuracy-vs-energy plane and argues that enlarged low-precision
+networks dominate the full-precision baseline.  ``pareto_frontier``
+extracts the non-dominated set used for that argument.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """One evaluated configuration.
+
+    Attributes:
+        label: display name, e.g. ``"Powers of Two++ (6,16)"``.
+        accuracy: classification accuracy in percent.
+        energy_uj: per-image inference energy in microjoules.
+        metadata: free-form extras (network name, precision key, ...).
+    """
+
+    label: str
+    accuracy: float
+    energy_uj: float
+    metadata: Dict[str, str] = field(default_factory=dict, compare=False, hash=False)
+
+
+def dominates(a: DesignPoint, b: DesignPoint) -> bool:
+    """True when ``a`` is at least as good as ``b`` on both axes and
+    strictly better on at least one (higher accuracy, lower energy)."""
+    no_worse = a.accuracy >= b.accuracy and a.energy_uj <= b.energy_uj
+    strictly_better = a.accuracy > b.accuracy or a.energy_uj < b.energy_uj
+    return no_worse and strictly_better
+
+
+def pareto_frontier(points: Sequence[DesignPoint]) -> List[DesignPoint]:
+    """Non-dominated subset, sorted by increasing energy.
+
+    Duplicate-coordinate points are all kept (none dominates the other).
+    """
+    frontier = [
+        p for p in points
+        if not any(dominates(q, p) for q in points)
+    ]
+    return sorted(frontier, key=lambda p: (p.energy_uj, -p.accuracy))
+
+
+def dominated_by_frontier(points: Sequence[DesignPoint]) -> List[DesignPoint]:
+    """The complement of :func:`pareto_frontier` (diagnostics/plots)."""
+    frontier = set(id(p) for p in pareto_frontier(points))
+    return [p for p in points if id(p) not in frontier]

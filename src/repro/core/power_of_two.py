@@ -1,0 +1,78 @@
+"""Power-of-two weight quantization.
+
+Section IV-A.3 of the paper, following Lin et al.: weights are limited
+to ``±2^e`` so the accelerator replaces multipliers with barrel
+shifters.  The paper's configuration stores weights in 6 bits: one sign
+bit and a 5-bit exponent field, one code of which is reserved for an
+exact zero.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from repro.core.quantizers import Quantizer
+from repro.errors import QuantizationError
+
+
+class PowerOfTwoQuantizer(Quantizer):
+    """Round each value to the nearest signed power of two.
+
+    Args:
+        bits: total storage bits; 1 sign bit + (bits-1) exponent bits.
+            The exponent window tracks the tensor's max magnitude, so
+            small-magnitude weight tensors keep resolution.
+
+    With ``bits=6`` there are 31 usable exponents below the maximum;
+    magnitudes below ``2^(e_min-1)`` flush to the reserved zero code.
+    """
+
+    def __init__(self, bits: int = 6):
+        if bits < 2:
+            raise QuantizationError("power-of-two needs >= 2 bits (sign + exponent)")
+        self.bits = bits
+        self.exponent_levels = 2 ** (bits - 1) - 1  # one code reserved for zero
+
+    # ------------------------------------------------------------------
+    def exponent_window(self, max_abs: float) -> tuple:
+        """(e_min, e_max) representable exponents for this dynamic range."""
+        if max_abs <= 0.0:
+            return (0, 0)
+        e_max = int(math.floor(math.log2(max_abs + 1e-30) + 0.5))
+        e_min = e_max - (self.exponent_levels - 1)
+        return (e_min, e_max)
+
+    def quantize(self, x: np.ndarray, range_hint: Optional[float] = None) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float32)
+        max_abs = range_hint if range_hint is not None else float(np.max(np.abs(x), initial=0.0))
+        if max_abs <= 0.0:
+            return np.zeros_like(x)
+        e_min, e_max = self.exponent_window(max_abs)
+        magnitude = np.abs(x).astype(np.float64)
+        with np.errstate(divide="ignore"):
+            exponents = np.where(magnitude > 0, np.rint(np.log2(magnitude + 1e-45)), e_min - 10)
+        exponents = np.clip(exponents, e_min - 10, e_max)
+        # Anything more than one binade below e_min flushes to zero.
+        zero_mask = exponents < e_min
+        values = np.sign(x) * np.exp2(np.clip(exponents, e_min, e_max))
+        values[zero_mask] = 0.0
+        return values.astype(np.float32)
+
+    def exponent_repr(self, x: np.ndarray, range_hint: Optional[float] = None) -> np.ndarray:
+        """Signed exponent codes (sign, exponent) for hardware-level tests.
+
+        Returns an integer array where 0 encodes zero and nonzero entries
+        are ``sign * (exponent - e_min + 1)``.
+        """
+        x = np.asarray(x, dtype=np.float32)
+        max_abs = range_hint if range_hint is not None else float(np.max(np.abs(x), initial=0.0))
+        quantized = self.quantize(x, range_hint=max_abs)
+        e_min, _ = self.exponent_window(max_abs)
+        codes = np.zeros(x.shape, dtype=np.int64)
+        nonzero = quantized != 0
+        exps = np.log2(np.abs(quantized[nonzero])).astype(np.int64)
+        codes[nonzero] = np.sign(quantized[nonzero]).astype(np.int64) * (exps - e_min + 1)
+        return codes

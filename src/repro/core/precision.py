@@ -1,0 +1,96 @@
+"""Precision specifications and the paper's named precision registry.
+
+A :class:`PrecisionSpec` captures one row of the paper's tables: the
+representation kind, the weight bit-width ``w`` and the input/feature-
+map bit-width ``in`` — written ``(w, in)`` throughout the paper.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.errors import ConfigurationError
+
+
+class PrecisionKind(enum.Enum):
+    """The four representation families of Section IV-A."""
+
+    FLOAT = "float"
+    FIXED = "fixed"
+    POW2 = "pow2"
+    BINARY = "binary"
+
+
+@dataclass(frozen=True)
+class PrecisionSpec:
+    """One (w, in) precision point.
+
+    Attributes:
+        kind: representation family.
+        weight_bits: bits per weight (``w``).
+        input_bits: bits per input / feature-map value (``in``).
+        key: short registry key, e.g. ``"fixed8"``.
+    """
+
+    kind: PrecisionKind
+    weight_bits: int
+    input_bits: int
+    key: str
+
+    def __post_init__(self) -> None:
+        if self.weight_bits < 1 or self.input_bits < 1:
+            raise ConfigurationError("bit widths must be >= 1")
+        if self.kind is PrecisionKind.BINARY and self.weight_bits != 1:
+            raise ConfigurationError("binary precision requires weight_bits == 1")
+
+    @property
+    def label(self) -> str:
+        """Row label in the paper's table style, e.g. ``Fixed-Point (8,8)``."""
+        names = {
+            PrecisionKind.FLOAT: "Floating-Point",
+            PrecisionKind.FIXED: "Fixed-Point",
+            PrecisionKind.POW2: "Powers of Two",
+            PrecisionKind.BINARY: "Binary Net",
+        }
+        return f"{names[self.kind]} ({self.weight_bits},{self.input_bits})"
+
+    @property
+    def is_float(self) -> bool:
+        return self.kind is PrecisionKind.FLOAT
+
+    def __str__(self) -> str:
+        return self.label
+
+
+def _registry() -> Dict[str, PrecisionSpec]:
+    specs = [
+        PrecisionSpec(PrecisionKind.FLOAT, 32, 32, "float32"),
+        PrecisionSpec(PrecisionKind.FIXED, 32, 32, "fixed32"),
+        PrecisionSpec(PrecisionKind.FIXED, 16, 16, "fixed16"),
+        PrecisionSpec(PrecisionKind.FIXED, 8, 8, "fixed8"),
+        PrecisionSpec(PrecisionKind.FIXED, 4, 4, "fixed4"),
+        PrecisionSpec(PrecisionKind.POW2, 6, 16, "pow2"),
+        PrecisionSpec(PrecisionKind.BINARY, 1, 16, "binary"),
+    ]
+    return {spec.key: spec for spec in specs}
+
+
+_REGISTRY = _registry()
+
+#: The seven precision points of Tables III-V, in table order.
+PAPER_PRECISIONS: List[PrecisionSpec] = list(_REGISTRY.values())
+
+#: Expanded-network suffixes of Table II (ALEX, ALEX+, ALEX++).
+EXPANDED_VARIANTS = ["", "+", "++"]
+
+
+def get_precision(key: str) -> PrecisionSpec:
+    """Look up a named precision (``float32``, ``fixed16``, ``pow2``...)."""
+    try:
+        return _REGISTRY[key]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown precision {key!r}; choose from {sorted(_REGISTRY)}"
+        ) from None

@@ -1,0 +1,83 @@
+"""Quantization-aware training (the paper's training-time techniques).
+
+The paper combines two ideas (Section IV-A):
+
+1. *Warm start* — initialize low-precision training from independently
+   trained full-precision weights (Tann et al.), then fine-tune.
+2. *Dual weight sets* — keep full-precision shadow weights for the
+   backward pass and parameter updates while the forward pass sees
+   quantized values (Courbariaux et al.); small gradient updates
+   accumulate in the shadow copy until they flip a quantized value.
+
+:class:`QATTrainer` implements both on top of the generic
+:class:`repro.nn.trainer.Trainer` via its ``before_step``/``after_step``
+hooks: quantized values are swapped into the shared parameters before
+forward/backward, and the full-precision shadows are restored before
+the optimizer applies the update.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.quantized import QuantizedNetwork
+from repro.nn.losses import Loss
+from repro.nn.optim import SGD
+from repro.nn.trainer import Trainer
+
+
+class QATTrainer(Trainer):
+    """Trainer that fine-tunes a :class:`QuantizedNetwork`.
+
+    The optimizer must be constructed over the underlying float
+    network's parameters (the shadow set).  Typical use::
+
+        qnet = QuantizedNetwork(net, spec)
+        qnet.calibrate(train_images[:256])
+        optimizer = SGD(net.parameters(), lr=0.01, momentum=0.9)
+        QATTrainer(qnet, optimizer).fit(...)
+    """
+
+    def __init__(
+        self,
+        quantized_network: QuantizedNetwork,
+        optimizer: SGD,
+        loss: Optional[Loss] = None,
+        batch_size: int = 32,
+        rng: Optional[np.random.Generator] = None,
+        restore_best: bool = False,
+    ):
+        self.qnet = quantized_network
+        super().__init__(
+            network=quantized_network.pipeline,
+            optimizer=optimizer,
+            loss=loss,
+            batch_size=batch_size,
+            rng=rng,
+            before_step=quantized_network.swap_in_quantized,
+            after_step=quantized_network.restore_shadow,
+            restore_best=restore_best,
+        )
+
+    def evaluate(self, x: np.ndarray, y: np.ndarray):
+        """Evaluate with quantized weights (unlike the base trainer)."""
+        with self.qnet.quantized_weights():
+            return super().evaluate(x, y)
+
+
+def post_training_quantize(
+    network,
+    spec,
+    calibration_images: np.ndarray,
+    batch_size: int = 64,
+) -> QuantizedNetwork:
+    """Quantize a trained float network without fine-tuning.
+
+    This is the naive baseline the paper's training-time techniques
+    improve on; the QAT-vs-PTQ ablation benchmark quantifies the gap.
+    """
+    qnet = QuantizedNetwork(network, spec)
+    qnet.calibrate(calibration_images, batch_size=batch_size)
+    return qnet

@@ -1,0 +1,195 @@
+"""Quantized-inference emulation: wrap a float network in a precision spec.
+
+The wrapper reproduces Ristretto's emulation strategy: values are
+quantized onto the target format's representable grid but computation
+runs in float32, which is exact because every representable fixed-point
+/ power-of-two / binary value (and every product/sum the accelerator's
+datapath produces at these widths) is itself a float32-representable
+number.
+
+Weight quantization is applied by temporarily swapping quantized values
+into the shared :class:`~repro.nn.tensor.Parameter` objects; feature
+maps are quantized by :class:`~repro.core.fake_quant.FakeQuantLayer`
+modules interleaved into the pipeline, mirroring the accelerator's
+buffer writes (NFU results are stored to the 16-/8-/4-bit output buffer
+before feeding the next layer).
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.binary import BinaryQuantizer
+from repro.core.fake_quant import FakeQuantLayer
+from repro.core.fixed_point import FixedPointQuantizer
+from repro.core.power_of_two import PowerOfTwoQuantizer
+from repro.core.precision import PrecisionKind, PrecisionSpec
+from repro.core.quantizers import IdentityQuantizer, Quantizer
+from repro.errors import ConfigurationError
+from repro.nn.dense import Flatten
+from repro.nn.metrics import accuracy
+from repro.nn.module import Module
+from repro.nn.network import Sequential
+from repro.nn.pooling import MaxPool2D
+from repro.nn.tensor import Parameter
+
+
+def build_quantizers(spec: PrecisionSpec) -> Tuple[Quantizer, Callable[[], Quantizer]]:
+    """(weight quantizer, activation-quantizer factory) for a spec.
+
+    The activation side is a factory because every insertion point needs
+    its own quantizer/tracker pair (independent radix point per feature
+    map, as the paper's future-work section motivates).
+    """
+    if spec.kind is PrecisionKind.FLOAT:
+        return IdentityQuantizer(32), lambda: IdentityQuantizer(32)
+    if spec.kind is PrecisionKind.FIXED:
+        return (
+            FixedPointQuantizer(spec.weight_bits),
+            lambda: FixedPointQuantizer(spec.input_bits),
+        )
+    if spec.kind is PrecisionKind.POW2:
+        return (
+            PowerOfTwoQuantizer(spec.weight_bits),
+            lambda: FixedPointQuantizer(spec.input_bits),
+        )
+    if spec.kind is PrecisionKind.BINARY:
+        return BinaryQuantizer(), lambda: FixedPointQuantizer(spec.input_bits)
+    raise ConfigurationError(f"unhandled precision kind {spec.kind}")
+
+
+def _needs_activation_quant(layer: Module) -> bool:
+    """Layers whose outputs are new values that the hardware would store
+    at limited precision.  MaxPool and Flatten only move existing
+    (already-quantized) values, so re-quantizing them is a no-op."""
+    return not isinstance(layer, (MaxPool2D, Flatten, FakeQuantLayer))
+
+
+class QuantizedNetwork:
+    """A float network executed under a precision specification.
+
+    Args:
+        network: the underlying :class:`Sequential`; its parameters are
+            shared (the wrapper never copies weights — the shadow
+            full-precision values live in the network itself).
+        spec: the precision point to emulate.
+        quantize_bias: quantize bias vectors at the *input* precision
+            (the accumulator width); the paper keeps biases at the wider
+            input precision rather than the weight precision.
+        weight_quantizer / activation_factory: override the quantizers
+            the spec would select (used by the radix-placement ablation
+            benchmarks); ``None`` uses :func:`build_quantizers`.
+    """
+
+    def __init__(
+        self,
+        network: Sequential,
+        spec: PrecisionSpec,
+        quantize_bias: bool = True,
+        weight_quantizer: Optional[Quantizer] = None,
+        activation_factory: Optional[Callable[[], Quantizer]] = None,
+    ):
+        self.network = network
+        self.spec = spec
+        default_weight, default_factory = build_quantizers(spec)
+        self.weight_quantizer = weight_quantizer or default_weight
+        activation_factory = activation_factory or default_factory
+        self.bias_quantizer: Quantizer = (
+            IdentityQuantizer(32)
+            if spec.is_float or not quantize_bias
+            else FixedPointQuantizer(spec.input_bits)
+        )
+
+        layers: List[Module] = [FakeQuantLayer(activation_factory(), name="quant_in")]
+        for layer in network.layers:
+            layers.append(layer)
+            if _needs_activation_quant(layer):
+                layers.append(
+                    FakeQuantLayer(activation_factory(), name=f"quant_{layer.name}")
+                )
+        self.pipeline = Sequential(layers, name=f"{network.name}[{spec.key}]")
+
+        self._weight_params: List[Parameter] = network.weight_parameters()
+        weight_ids = {id(p) for p in self._weight_params}
+        self._bias_params: List[Parameter] = [
+            p for p in network.parameters() if id(p) not in weight_ids
+        ]
+        self._shadow: Optional[Dict[int, np.ndarray]] = None
+
+    # ------------------------------------------------------------------
+    # Weight swapping
+    # ------------------------------------------------------------------
+    def weight_quantizer_for(self, param: Parameter) -> Quantizer:
+        """Quantizer applied to one weight tensor.
+
+        The base class applies the spec's quantizer uniformly;
+        :class:`~repro.core.mixed_precision.MixedPrecisionNetwork`
+        overrides this with a per-layer assignment.
+        """
+        return self.weight_quantizer
+
+    def swap_in_quantized(self) -> None:
+        """Replace parameter data with quantized values (shadow saved)."""
+        if self._shadow is not None:
+            raise ConfigurationError("quantized weights already swapped in")
+        self._shadow = {}
+        for param in self._weight_params:
+            self._shadow[id(param)] = param.data.copy()
+            param.data[...] = self.weight_quantizer_for(param).quantize(param.data)
+        for param in self._bias_params:
+            self._shadow[id(param)] = param.data.copy()
+            param.data[...] = self.bias_quantizer.quantize(param.data)
+
+    def restore_shadow(self) -> None:
+        """Restore the full-precision shadow values saved by swap-in."""
+        if self._shadow is None:
+            raise ConfigurationError("no shadow weights to restore")
+        for param in self._weight_params + self._bias_params:
+            param.data[...] = self._shadow[id(param)]
+        self._shadow = None
+
+    @contextlib.contextmanager
+    def quantized_weights(self):
+        """Context manager: quantized values in, shadow restored on exit."""
+        self.swap_in_quantized()
+        try:
+            yield self
+        finally:
+            self.restore_shadow()
+
+    # ------------------------------------------------------------------
+    # Inference
+    # ------------------------------------------------------------------
+    def calibrate(self, images: np.ndarray, batch_size: int = 64) -> None:
+        """Run calibration batches so activation trackers learn ranges."""
+        self.pipeline.train_mode()
+        try:
+            with self.quantized_weights():
+                for start in range(0, images.shape[0], batch_size):
+                    self.pipeline.forward(images[start : start + batch_size])
+        finally:
+            self.pipeline.eval_mode()
+
+    def predict(self, images: np.ndarray, batch_size: int = 128) -> np.ndarray:
+        """Quantized inference logits."""
+        with self.quantized_weights():
+            return self.pipeline.predict(images, batch_size=batch_size)
+
+    def evaluate(self, images: np.ndarray, labels: np.ndarray) -> float:
+        """Quantized test accuracy in [0, 1]."""
+        return accuracy(self.predict(images), labels)
+
+    # ------------------------------------------------------------------
+    def quantized_state(self) -> Dict[str, np.ndarray]:
+        """Name -> quantized weight arrays (for inspection/memory tests)."""
+        state = {}
+        with self.quantized_weights():
+            for param in self.network.parameters():
+                state[param.name] = param.data.copy()
+        return state
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"QuantizedNetwork({self.network.name!r}, {self.spec.label})"

@@ -1,0 +1,50 @@
+"""Quantizer base class.
+
+A quantizer maps float arrays onto the representable grid of some
+hardware number format and returns the *dequantized* float values —
+the same emulation strategy Ristretto uses, so the float pipeline can
+execute quantized inference exactly.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+
+class Quantizer:
+    """Maps arrays onto a finite representable-value grid.
+
+    Subclasses implement :meth:`quantize`; ``range_hint`` lets a caller
+    (e.g. a :class:`~repro.core.fake_quant.FakeQuantLayer` tracking
+    activation ranges online) pin the dynamic range instead of deriving
+    it from the array itself.
+    """
+
+    #: bits needed to store one value in this format
+    bits: int = 32
+
+    def quantize(self, x: np.ndarray, range_hint: Optional[float] = None) -> np.ndarray:
+        raise NotImplementedError
+
+    def __call__(self, x: np.ndarray, range_hint: Optional[float] = None) -> np.ndarray:
+        return self.quantize(x, range_hint=range_hint)
+
+    def quantization_error(self, x: np.ndarray) -> float:
+        """RMS error introduced by quantizing ``x`` (diagnostic)."""
+        diff = self.quantize(x) - x
+        return float(np.sqrt(np.mean(diff.astype(np.float64) ** 2)))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"{type(self).__name__}(bits={self.bits})"
+
+
+class IdentityQuantizer(Quantizer):
+    """Float32 pass-through — the paper's full-precision baseline."""
+
+    def __init__(self, bits: int = 32):
+        self.bits = bits
+
+    def quantize(self, x: np.ndarray, range_hint: Optional[float] = None) -> np.ndarray:
+        return np.asarray(x, dtype=np.float32)

@@ -1,0 +1,66 @@
+"""Online dynamic-range tracking for radix-point placement.
+
+Ristretto places each tensor group's radix point from the ranges
+observed on calibration data.  :class:`RangeTracker` implements this
+with an exponential moving average so quantization-aware training can
+follow feature-map ranges as they drift over epochs.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+class RangeTracker:
+    """EMA of the maximum absolute value seen.
+
+    Args:
+        momentum: EMA coefficient in [0, 1); 0 keeps only the latest
+            batch, values near 1 average over many batches.
+        percentile: when set (e.g. 99.9), track that percentile of |x|
+            instead of the hard maximum — more robust to outliers, at
+            the cost of saturating a small tail.
+    """
+
+    def __init__(self, momentum: float = 0.9, percentile: Optional[float] = None):
+        if not 0.0 <= momentum < 1.0:
+            raise ConfigurationError("momentum must be in [0, 1)")
+        if percentile is not None and not 0.0 < percentile <= 100.0:
+            raise ConfigurationError("percentile must be in (0, 100]")
+        self.momentum = momentum
+        self.percentile = percentile
+        self._value: Optional[float] = None
+
+    @property
+    def initialized(self) -> bool:
+        return self._value is not None
+
+    @property
+    def max_abs(self) -> float:
+        """Current range estimate (0.0 before any observation)."""
+        return self._value if self._value is not None else 0.0
+
+    def observe(self, x: np.ndarray) -> float:
+        """Fold one batch into the estimate; returns the updated range."""
+        if x.size == 0:
+            return self.max_abs
+        magnitude = np.abs(x)
+        if self.percentile is None:
+            batch_max = float(magnitude.max())
+        else:
+            batch_max = float(np.percentile(magnitude, self.percentile))
+        if self._value is None:
+            self._value = batch_max
+        else:
+            self._value = self.momentum * self._value + (1.0 - self.momentum) * batch_max
+        return self._value
+
+    def reset(self) -> None:
+        self._value = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"RangeTracker(max_abs={self.max_abs:.4g})"

@@ -1,0 +1,185 @@
+"""Precision sweep orchestration.
+
+A sweep reproduces the experimental protocol of Section V: train a
+full-precision network, then for every precision point warm-start from
+the float weights, fine-tune quantization-aware, and record the test
+accuracy.  Non-convergent configurations (the paper's "NA" rows —
+fixed-point (4,4) on SVHN/CIFAR, binary on SVHN) are detected by
+comparing the final accuracy against chance level.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.precision import PAPER_PRECISIONS, PrecisionSpec
+from repro.core.qat import QATTrainer
+from repro.core.quantized import QuantizedNetwork
+from repro.data.dataset import DataSplit
+from repro.errors import ConfigurationError, TrainingError
+from repro.nn.network import Sequential
+from repro.nn.optim import SGD, StepDecay
+from repro.nn.serialization import transfer_weights
+from repro.nn.trainer import Trainer
+
+
+@dataclass
+class SweepConfig:
+    """Training budget for one sweep.
+
+    The defaults are the quick budgets used by the benchmark harness;
+    ``paper()`` returns longer ones for higher-fidelity runs.
+    """
+
+    float_epochs: int = 10
+    qat_epochs: int = 4
+    float_lr: float = 0.02
+    qat_lr: float = 0.005
+    momentum: float = 0.9
+    weight_decay: float = 1e-4
+    batch_size: int = 32
+    lr_step: int = 6
+    calibration_samples: int = 256
+    convergence_factor: float = 1.8
+    seed: int = 0
+
+    @classmethod
+    def paper(cls) -> "SweepConfig":
+        """Longer schedule for closer-to-paper fidelity runs."""
+        return cls(float_epochs=30, qat_epochs=10, lr_step=12)
+
+    def __post_init__(self) -> None:
+        if self.float_epochs < 1 or self.qat_epochs < 0:
+            raise ConfigurationError("epoch counts must be positive")
+        if self.convergence_factor < 1.0:
+            raise ConfigurationError("convergence_factor must be >= 1")
+
+
+@dataclass
+class PrecisionResult:
+    """Outcome of one (network, precision) training run."""
+
+    spec: PrecisionSpec
+    accuracy: float          # test accuracy in [0, 1]
+    converged: bool          # False reproduces the paper's "NA" rows
+    history: Dict[str, List[float]] = field(default_factory=dict)
+
+    @property
+    def accuracy_percent(self) -> float:
+        return 100.0 * self.accuracy
+
+
+class PrecisionSweep:
+    """Run the paper's protocol over a list of precision points.
+
+    Args:
+        builder: zero-argument callable returning a fresh, identically
+            structured :class:`Sequential` (same layer/parameter names).
+        split: train/val/test data.
+        config: training budgets.
+    """
+
+    def __init__(
+        self,
+        builder: Callable[[], Sequential],
+        split: DataSplit,
+        config: Optional[SweepConfig] = None,
+    ):
+        self.builder = builder
+        self.split = split
+        self.config = config or SweepConfig()
+        self._float_network: Optional[Sequential] = None
+        self._float_result: Optional[PrecisionResult] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def chance_accuracy(self) -> float:
+        return 1.0 / self.split.num_classes
+
+    def _make_optimizer(self, network: Sequential, lr: float) -> SGD:
+        cfg = self.config
+        return SGD(
+            network.parameters(),
+            lr=StepDecay(lr, step=cfg.lr_step),
+            momentum=cfg.momentum,
+            weight_decay=cfg.weight_decay,
+        )
+
+    def train_float_baseline(self) -> PrecisionResult:
+        """Train the full-precision reference network (cached)."""
+        if self._float_result is not None:
+            return self._float_result
+        cfg = self.config
+        network = self.builder()
+        rng = np.random.default_rng(cfg.seed)
+        trainer = Trainer(
+            network,
+            self._make_optimizer(network, cfg.float_lr),
+            batch_size=cfg.batch_size,
+            rng=rng,
+            restore_best=True,
+        )
+        trainer.fit(
+            self.split.train.images, self.split.train.labels,
+            self.split.val.images, self.split.val.labels,
+            epochs=cfg.float_epochs,
+        )
+        metrics = trainer.evaluate(self.split.test.images, self.split.test.labels)
+        self._float_network = network
+        self._float_result = PrecisionResult(
+            spec=PAPER_PRECISIONS[0],
+            accuracy=metrics["accuracy"],
+            converged=True,
+            history={"val_accuracy": trainer.history.val_accuracy},
+        )
+        return self._float_result
+
+    def run_precision(self, spec: PrecisionSpec) -> PrecisionResult:
+        """Warm-start + QAT fine-tune + quantized evaluation for ``spec``."""
+        baseline = self.train_float_baseline()
+        if spec.is_float:
+            return baseline
+
+        cfg = self.config
+        network = self.builder()
+        transfer_weights(self._float_network, network)
+        qnet = QuantizedNetwork(network, spec)
+        qnet.calibrate(self.split.train.images[: cfg.calibration_samples])
+
+        history: Dict[str, List[float]] = {}
+        if cfg.qat_epochs > 0:
+            rng = np.random.default_rng(cfg.seed + 1)
+            trainer = QATTrainer(
+                qnet,
+                self._make_optimizer(network, cfg.qat_lr),
+                batch_size=cfg.batch_size,
+                rng=rng,
+                restore_best=True,
+            )
+            try:
+                trainer.fit(
+                    self.split.train.images, self.split.train.labels,
+                    self.split.val.images, self.split.val.labels,
+                    epochs=cfg.qat_epochs,
+                )
+                history["val_accuracy"] = trainer.history.val_accuracy
+            except TrainingError:
+                # Diverged outright (e.g. 4-bit on a hard task): report
+                # as non-convergent, like the paper's NA entries.
+                return PrecisionResult(spec=spec, accuracy=0.0, converged=False)
+
+        accuracy = qnet.evaluate(self.split.test.images, self.split.test.labels)
+        converged = accuracy >= cfg.convergence_factor * self.chance_accuracy
+        return PrecisionResult(
+            spec=spec, accuracy=accuracy, converged=converged, history=history
+        )
+
+    def run(
+        self, precisions: Optional[Sequence[PrecisionSpec]] = None
+    ) -> List[PrecisionResult]:
+        """Sweep all (default: the paper's seven) precision points."""
+        specs = list(precisions) if precisions is not None else list(PAPER_PRECISIONS)
+        return [self.run_precision(spec) for spec in specs]

@@ -1,0 +1,48 @@
+"""Synthetic dataset substrate.
+
+The paper evaluates on MNIST, SVHN and CIFAR-10.  This environment has
+no network access, so those datasets cannot be downloaded; this package
+provides procedurally generated stand-ins with the same tensor shapes
+and ten classes each, and with deliberately graded difficulty:
+
+``synthetic_digits``  (28x28x1)
+    Clean, centred digit glyphs — easy, like MNIST.
+``synthetic_svhn``    (32x32x3)
+    Coloured digits on textured backgrounds with edge distractors —
+    medium, like SVHN.
+``synthetic_cifar``   (32x32x3)
+    Textured object silhouettes with heavy appearance variation —
+    hard, like CIFAR-10.
+
+The paper's conclusions concern *relative* accuracy across precisions
+and the difficulty ordering of the three tasks; both are preserved (see
+DESIGN.md, substitution table).
+"""
+
+from repro.data.dataset import Dataset, DataSplit, batches, stratified_split
+from repro.data.synth_digits import synthetic_digits
+from repro.data.synth_svhn import synthetic_svhn
+from repro.data.synth_cifar import synthetic_cifar, CIFAR_CLASS_NAMES
+from repro.data.augment import gaussian_noise, random_crop, random_flip
+from repro.data.registry import DATASET_BUILDERS, load_dataset
+from repro.data.real import load_cifar10, load_mnist, load_mnist_idx, read_idx
+
+__all__ = [
+    "Dataset",
+    "DataSplit",
+    "batches",
+    "stratified_split",
+    "synthetic_digits",
+    "synthetic_svhn",
+    "synthetic_cifar",
+    "CIFAR_CLASS_NAMES",
+    "gaussian_noise",
+    "random_crop",
+    "random_flip",
+    "DATASET_BUILDERS",
+    "load_dataset",
+    "load_mnist",
+    "load_mnist_idx",
+    "load_cifar10",
+    "read_idx",
+]

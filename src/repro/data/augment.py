@@ -1,0 +1,53 @@
+"""Training-time augmentation utilities.
+
+Pure functions over NCHW batches; the experiment drivers apply them
+when building the enlarged-network training sets (ALEX+/ALEX++ have
+enough capacity to overfit the small synthetic tasks without them).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+def random_flip(images: np.ndarray, rng: np.random.Generator,
+                probability: float = 0.5) -> np.ndarray:
+    """Horizontally flip each image with the given probability."""
+    if not 0.0 <= probability <= 1.0:
+        raise ConfigurationError("probability must be in [0, 1]")
+    out = images.copy()
+    flip = rng.random(images.shape[0]) < probability
+    out[flip] = out[flip, :, :, ::-1]
+    return out
+
+
+def random_crop(images: np.ndarray, rng: np.random.Generator,
+                padding: int = 2) -> np.ndarray:
+    """Pad by ``padding`` then crop back at a random offset per image."""
+    if padding < 0:
+        raise ConfigurationError("padding must be >= 0")
+    if padding == 0:
+        return images.copy()
+    n, c, h, w = images.shape
+    padded = np.pad(
+        images, ((0, 0), (0, 0), (padding, padding), (padding, padding)),
+        mode="constant",
+    )
+    out = np.empty_like(images)
+    offsets_y = rng.integers(0, 2 * padding + 1, size=n)
+    offsets_x = rng.integers(0, 2 * padding + 1, size=n)
+    for i in range(n):
+        oy, ox = offsets_y[i], offsets_x[i]
+        out[i] = padded[i, :, oy : oy + h, ox : ox + w]
+    return out
+
+
+def gaussian_noise(images: np.ndarray, rng: np.random.Generator,
+                   sigma: float = 0.02) -> np.ndarray:
+    """Add clipped Gaussian pixel noise."""
+    if sigma < 0:
+        raise ConfigurationError("sigma must be >= 0")
+    noisy = images + rng.normal(0.0, sigma, images.shape).astype(images.dtype)
+    return np.clip(noisy, 0.0, 1.0)

@@ -1,0 +1,80 @@
+"""Digit glyph skeletons shared by the digits and svhn generators.
+
+Each digit 0-9 is a list of strokes; a stroke is either a polyline of
+unit-square points or an ellipse spec.  The generators jitter these
+skeletons (rotation, scale, translation, thickness) so every rendered
+sample is unique while classes stay visually distinct.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.data import shapes
+
+# A stroke is ("line", [(x, y), ...]) or ("ellipse", (cx, cy, rx, ry)).
+Stroke = Tuple[str, object]
+
+DIGIT_STROKES: Dict[int, List[Stroke]] = {
+    0: [("ellipse", (0.5, 0.5, 0.32, 0.45))],
+    1: [("line", [(0.35, 0.25), (0.55, 0.08), (0.55, 0.92)]),
+        ("line", [(0.35, 0.92), (0.75, 0.92)])],
+    2: [("line", [(0.25, 0.25), (0.35, 0.10), (0.65, 0.10), (0.75, 0.28),
+                  (0.70, 0.48), (0.25, 0.90), (0.78, 0.90)])],
+    3: [("line", [(0.25, 0.12), (0.70, 0.12), (0.48, 0.45), (0.72, 0.60),
+                  (0.70, 0.82), (0.50, 0.92), (0.25, 0.85)])],
+    4: [("line", [(0.62, 0.92), (0.62, 0.08), (0.22, 0.62), (0.80, 0.62)])],
+    5: [("line", [(0.72, 0.10), (0.28, 0.10), (0.26, 0.48), (0.60, 0.45),
+                  (0.74, 0.62), (0.70, 0.85), (0.45, 0.93), (0.24, 0.85)])],
+    6: [("line", [(0.68, 0.10), (0.40, 0.30), (0.28, 0.60)]),
+        ("ellipse", (0.48, 0.70, 0.22, 0.23))],
+    7: [("line", [(0.22, 0.10), (0.78, 0.10), (0.45, 0.92)])],
+    8: [("ellipse", (0.5, 0.30, 0.22, 0.21)),
+        ("ellipse", (0.5, 0.71, 0.26, 0.23))],
+    9: [("ellipse", (0.52, 0.32, 0.22, 0.23)),
+        ("line", [(0.72, 0.40), (0.62, 0.70), (0.38, 0.92)])],
+}
+
+DIGIT_CLASS_NAMES = [str(d) for d in range(10)]
+
+
+def render_digit(
+    digit: int,
+    size: int,
+    rng: np.random.Generator,
+    rotation_range: float = 0.20,
+    scale_range: Tuple[float, float] = (0.85, 1.1),
+    shift_pixels: float = 1.5,
+    thickness_range: Tuple[float, float] = (1.0, 1.8),
+) -> np.ndarray:
+    """Render one jittered digit glyph onto a ``size x size`` canvas.
+
+    Returns a single-channel float canvas in [0, 1].  The jitter ranges
+    control task difficulty; the digits dataset uses gentle defaults,
+    the svhn generator passes wider ones.
+    """
+    canvas = shapes.blank_canvas(size)
+    rotation = rng.uniform(-rotation_range, rotation_range)
+    scale = rng.uniform(*scale_range)
+    shift = (
+        rng.uniform(-shift_pixels, shift_pixels),
+        rng.uniform(-shift_pixels, shift_pixels),
+    )
+    thickness = rng.uniform(*thickness_range) * size / 28.0
+    for kind, spec in DIGIT_STROKES[digit]:
+        if kind == "line":
+            pts = shapes.affine_points(spec, size, rotation, scale, shift)
+            shapes.draw_polyline(canvas, pts, thickness=thickness)
+        else:
+            cx, cy, rx, ry = spec
+            center_pts = shapes.affine_points([(cx, cy)], size, rotation, scale, shift)
+            span = size - 2 * (0.15 * size)
+            shapes.draw_ellipse(
+                canvas,
+                center_pts[0],
+                (rx * span * scale, ry * span * scale),
+                thickness=thickness,
+            )
+    return canvas

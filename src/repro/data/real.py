@@ -1,0 +1,154 @@
+"""Loaders for the real MNIST / CIFAR-10 datasets (offline files).
+
+The execution environment used to develop this reproduction has no
+network access, so the experiments default to the synthetic stand-ins
+(see DESIGN.md).  When the real dataset files are available on disk,
+these loaders produce :class:`~repro.data.dataset.Dataset` objects in
+exactly the same format, so every experiment can be re-run on the real
+data by passing the loaded splits to :class:`~repro.core.sweep.
+PrecisionSweep` directly.
+
+Supported formats:
+
+* **MNIST** — the original IDX files (``train-images-idx3-ubyte`` etc.),
+  optionally gzip-compressed.
+* **CIFAR-10** — the python pickle batches (``data_batch_1`` ...
+  ``test_batch``) from the official tarball.
+
+Both are parsed from first principles (no third-party readers).
+"""
+
+from __future__ import annotations
+
+import gzip
+import os
+import pickle
+import struct
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+from repro.errors import ConfigurationError
+
+MNIST_CLASS_NAMES = [str(d) for d in range(10)]
+CIFAR10_CLASS_NAMES = [
+    "airplane", "automobile", "bird", "cat", "deer",
+    "dog", "frog", "horse", "ship", "truck",
+]
+
+_IDX_DTYPES = {
+    0x08: np.uint8,
+    0x09: np.int8,
+    0x0B: ">i2",
+    0x0C: ">i4",
+    0x0D: ">f4",
+    0x0E: ">f8",
+}
+
+
+def _open_maybe_gzip(path: str):
+    if path.endswith(".gz"):
+        return gzip.open(path, "rb")
+    return open(path, "rb")
+
+
+def read_idx(path: str) -> np.ndarray:
+    """Parse one IDX-format array (the MNIST container format)."""
+    with _open_maybe_gzip(path) as handle:
+        magic = handle.read(4)
+        if len(magic) != 4 or magic[0] != 0 or magic[1] != 0:
+            raise ConfigurationError(f"{path}: not an IDX file (bad magic)")
+        dtype_code, ndim = magic[2], magic[3]
+        if dtype_code not in _IDX_DTYPES:
+            raise ConfigurationError(f"{path}: unknown IDX dtype 0x{dtype_code:02x}")
+        shape = struct.unpack(f">{ndim}I", handle.read(4 * ndim))
+        data = np.frombuffer(handle.read(), dtype=_IDX_DTYPES[dtype_code])
+    expected = int(np.prod(shape))
+    if data.size != expected:
+        raise ConfigurationError(
+            f"{path}: payload has {data.size} values, header promises {expected}"
+        )
+    return data.reshape(shape)
+
+
+def load_mnist_idx(images_path: str, labels_path: str, name: str = "mnist") -> Dataset:
+    """Load one MNIST split from its IDX image/label file pair.
+
+    Images are returned as (N, 1, 28, 28) float32 in [0, 1].
+    """
+    images = read_idx(images_path)
+    labels = read_idx(labels_path)
+    if images.ndim != 3:
+        raise ConfigurationError(f"{images_path}: expected 3-D image tensor")
+    if labels.ndim != 1 or labels.shape[0] != images.shape[0]:
+        raise ConfigurationError("image/label counts differ")
+    nchw = images[:, None, :, :].astype(np.float32) / 255.0
+    return Dataset(nchw, labels.astype(np.int64), MNIST_CLASS_NAMES, name=name)
+
+
+def load_mnist(directory: str) -> Tuple[Dataset, Dataset]:
+    """Load (train, test) from a directory of the four standard files.
+
+    Accepts both ``.gz`` and uncompressed files and both the hyphen and
+    dot spellings of the official names.
+    """
+    def find(*candidates: str) -> str:
+        for candidate in candidates:
+            for suffix in ("", ".gz"):
+                path = os.path.join(directory, candidate + suffix)
+                if os.path.exists(path):
+                    return path
+        raise ConfigurationError(
+            f"none of {candidates} found under {directory!r}"
+        )
+
+    train = load_mnist_idx(
+        find("train-images-idx3-ubyte", "train-images.idx3-ubyte"),
+        find("train-labels-idx1-ubyte", "train-labels.idx1-ubyte"),
+        name="mnist",
+    )
+    test = load_mnist_idx(
+        find("t10k-images-idx3-ubyte", "t10k-images.idx3-ubyte"),
+        find("t10k-labels-idx1-ubyte", "t10k-labels.idx1-ubyte"),
+        name="mnist",
+    )
+    return train, test
+
+
+def _load_cifar_batch(path: str) -> Tuple[np.ndarray, List[int]]:
+    with open(path, "rb") as handle:
+        batch = pickle.load(handle, encoding="bytes")
+    data = batch.get(b"data", batch.get("data"))
+    labels = batch.get(b"labels", batch.get("labels"))
+    if data is None or labels is None:
+        raise ConfigurationError(f"{path}: not a CIFAR-10 python batch")
+    return np.asarray(data), list(labels)
+
+
+def load_cifar10(directory: str) -> Tuple[Dataset, Dataset]:
+    """Load (train, test) from the CIFAR-10 python batch directory.
+
+    Images are returned as (N, 3, 32, 32) float32 in [0, 1].
+    """
+    train_images: List[np.ndarray] = []
+    train_labels: List[int] = []
+    for index in range(1, 6):
+        path = os.path.join(directory, f"data_batch_{index}")
+        if not os.path.exists(path):
+            raise ConfigurationError(f"missing CIFAR-10 batch {path!r}")
+        data, labels = _load_cifar_batch(path)
+        train_images.append(data)
+        train_labels.extend(labels)
+    test_data, test_labels = _load_cifar_batch(os.path.join(directory, "test_batch"))
+
+    def to_dataset(raw: np.ndarray, labels: List[int]) -> Dataset:
+        images = raw.reshape(-1, 3, 32, 32).astype(np.float32) / 255.0
+        return Dataset(
+            images, np.asarray(labels, dtype=np.int64),
+            CIFAR10_CLASS_NAMES, name="cifar10",
+        )
+
+    return to_dataset(np.concatenate(train_images), train_labels), to_dataset(
+        test_data, test_labels
+    )

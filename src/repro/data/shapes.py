@@ -1,0 +1,154 @@
+"""Rasterization primitives for the synthetic datasets.
+
+All drawing functions operate on a single-channel float canvas in
+[0, 1] and are vectorized over the pixel grid, so generating a few
+thousand small images is fast enough for tests and benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+Point = Tuple[float, float]
+
+
+def blank_canvas(size: int) -> np.ndarray:
+    """A ``size x size`` black canvas."""
+    return np.zeros((size, size), dtype=np.float32)
+
+
+def _pixel_grid(size: int) -> Tuple[np.ndarray, np.ndarray]:
+    ys, xs = np.mgrid[0:size, 0:size]
+    return xs.astype(np.float32), ys.astype(np.float32)
+
+
+def draw_segment(
+    canvas: np.ndarray,
+    start: Point,
+    end: Point,
+    thickness: float = 1.2,
+    intensity: float = 1.0,
+) -> None:
+    """Draw a soft-edged line segment (coords in pixels, in place).
+
+    Intensity falls off linearly over one pixel beyond ``thickness`` so
+    glyph edges are slightly anti-aliased, like scanned handwriting.
+    """
+    size = canvas.shape[0]
+    xs, ys = _pixel_grid(size)
+    ax, ay = start
+    bx, by = end
+    dx, dy = bx - ax, by - ay
+    length_sq = dx * dx + dy * dy
+    if length_sq < 1e-12:
+        dist = np.hypot(xs - ax, ys - ay)
+    else:
+        t = ((xs - ax) * dx + (ys - ay) * dy) / length_sq
+        t = np.clip(t, 0.0, 1.0)
+        dist = np.hypot(xs - (ax + t * dx), ys - (ay + t * dy))
+    mask = np.clip(thickness + 1.0 - dist, 0.0, 1.0)
+    np.maximum(canvas, intensity * mask, out=canvas)
+
+
+def draw_polyline(
+    canvas: np.ndarray,
+    points: Sequence[Point],
+    thickness: float = 1.2,
+    intensity: float = 1.0,
+) -> None:
+    """Draw consecutive segments through ``points`` (pixel coords)."""
+    for a, b in zip(points[:-1], points[1:]):
+        draw_segment(canvas, a, b, thickness=thickness, intensity=intensity)
+
+
+def draw_ellipse(
+    canvas: np.ndarray,
+    center: Point,
+    radii: Point,
+    thickness: float = 1.2,
+    intensity: float = 1.0,
+    filled: bool = False,
+) -> None:
+    """Draw an ellipse outline (or filled disc) in place."""
+    size = canvas.shape[0]
+    xs, ys = _pixel_grid(size)
+    cx, cy = center
+    rx, ry = max(radii[0], 1e-3), max(radii[1], 1e-3)
+    # Normalized radial coordinate: 1.0 on the ellipse boundary.
+    rho = np.sqrt(((xs - cx) / rx) ** 2 + ((ys - cy) / ry) ** 2)
+    if filled:
+        mask = np.clip((1.0 - rho) * min(rx, ry) + 1.0, 0.0, 1.0)
+    else:
+        boundary_dist = np.abs(rho - 1.0) * min(rx, ry)
+        mask = np.clip(thickness + 1.0 - boundary_dist, 0.0, 1.0)
+    np.maximum(canvas, intensity * mask, out=canvas)
+
+
+def draw_polygon(
+    canvas: np.ndarray,
+    vertices: Sequence[Point],
+    intensity: float = 1.0,
+) -> None:
+    """Fill a convex or star-convex polygon using the even-odd rule."""
+    size = canvas.shape[0]
+    xs, ys = _pixel_grid(size)
+    inside = np.zeros((size, size), dtype=bool)
+    n = len(vertices)
+    for i in range(n):
+        x1, y1 = vertices[i]
+        x2, y2 = vertices[(i + 1) % n]
+        if y1 == y2:
+            continue
+        crosses = ((ys >= min(y1, y2)) & (ys < max(y1, y2)))
+        x_at_y = x1 + (ys - y1) * (x2 - x1) / (y2 - y1)
+        inside ^= crosses & (xs < x_at_y)
+    np.maximum(canvas, intensity * inside.astype(np.float32), out=canvas)
+
+
+def checkerboard(size: int, cell: int, phase: int = 0) -> np.ndarray:
+    """A ``size x size`` checkerboard pattern with ``cell``-pixel squares."""
+    ys, xs = np.mgrid[0:size, 0:size]
+    board = (((xs // cell) + (ys // cell) + phase) % 2).astype(np.float32)
+    return board
+
+
+def stripes(size: int, period: int, horizontal: bool = True) -> np.ndarray:
+    """Alternating stripes with the given pixel period."""
+    ys, xs = np.mgrid[0:size, 0:size]
+    axis = ys if horizontal else xs
+    return ((axis // max(period, 1)) % 2).astype(np.float32)
+
+
+def radial_gradient(size: int, center: Point, radius: float) -> np.ndarray:
+    """Bright centre fading to black at ``radius``."""
+    xs, ys = _pixel_grid(size)
+    dist = np.hypot(xs - center[0], ys - center[1])
+    return np.clip(1.0 - dist / max(radius, 1e-3), 0.0, 1.0)
+
+
+def affine_points(
+    points: Sequence[Point],
+    size: int,
+    rotation: float = 0.0,
+    scale: float = 1.0,
+    shift: Point = (0.0, 0.0),
+) -> list:
+    """Map unit-square points to pixel coords with jitter.
+
+    ``points`` live in [0, 1]^2; they are scaled about the glyph centre,
+    rotated by ``rotation`` radians, mapped to the canvas with a margin,
+    and translated by ``shift`` pixels.
+    """
+    cos_r, sin_r = np.cos(rotation), np.sin(rotation)
+    margin = 0.15 * size
+    span = size - 2 * margin
+    out = []
+    for x, y in points:
+        # Center, scale, rotate in unit space.
+        ux, uy = (x - 0.5) * scale, (y - 0.5) * scale
+        rx = ux * cos_r - uy * sin_r + 0.5
+        ry = ux * sin_r + uy * cos_r + 0.5
+        out.append((margin + rx * span + shift[0], margin + ry * span + shift[1]))
+    return out

@@ -1,0 +1,48 @@
+"""MNIST-like synthetic dataset: grayscale 28x28 digit glyphs.
+
+Easy task: centred glyphs, mild jitter, light noise.  A small CNN
+reaches high accuracy within a few epochs, matching MNIST's role in the
+paper (Table IV shows essentially no accuracy loss down to 8 bits).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+from repro.data.glyphs import DIGIT_CLASS_NAMES, render_digit
+from repro.errors import ConfigurationError
+
+
+def synthetic_digits(
+    n_train: int = 2000,
+    n_test: int = 500,
+    size: int = 28,
+    noise: float = 0.05,
+    seed: int = 0,
+) -> tuple:
+    """Generate (train, test) :class:`Dataset` pairs.
+
+    Args:
+        n_train / n_test: sample counts (balanced over the 10 classes).
+        size: image side in pixels (28 matches LeNet's input).
+        noise: additive Gaussian noise sigma.
+        seed: RNG seed; the same seed always yields the same data.
+    """
+    if n_train < 10 or n_test < 10:
+        raise ConfigurationError("need at least one sample per class")
+    rng = np.random.default_rng(seed)
+
+    def generate(count: int, name: str) -> Dataset:
+        images = np.zeros((count, 1, size, size), dtype=np.float32)
+        labels = np.zeros(count, dtype=np.int64)
+        for i in range(count):
+            digit = i % 10
+            canvas = render_digit(digit, size, rng)
+            canvas = canvas + rng.normal(0.0, noise, canvas.shape)
+            images[i, 0] = np.clip(canvas, 0.0, 1.0)
+            labels[i] = digit
+        order = rng.permutation(count)
+        return Dataset(images[order], labels[order], DIGIT_CLASS_NAMES, name=name)
+
+    return generate(n_train, "digits"), generate(n_test, "digits")

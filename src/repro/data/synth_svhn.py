@@ -1,0 +1,92 @@
+"""SVHN-like synthetic dataset: coloured 32x32 digits in the wild.
+
+Medium difficulty: digits are rendered with random foreground colour on
+a textured, coloured background, with partial distractor digits at the
+edges, wider geometric jitter, and contrast variation.  This reproduces
+SVHN's role in the paper: quantization starts to cost accuracy at 8
+bits and binary weights fail outright (Table IV).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data import shapes
+from repro.data.dataset import Dataset
+from repro.data.glyphs import DIGIT_CLASS_NAMES, render_digit
+from repro.errors import ConfigurationError
+
+
+def _textured_background(size: int, rng: np.random.Generator) -> np.ndarray:
+    """Low-frequency colour texture, CHW in [0, 1]."""
+    base = rng.uniform(0.1, 0.7, size=3)
+    coarse = rng.normal(0.0, 0.18, size=(3, size // 4 + 1, size // 4 + 1))
+    texture = np.repeat(np.repeat(coarse, 4, axis=1), 4, axis=2)[:, :size, :size]
+    return np.clip(base[:, None, None] + texture, 0.0, 1.0).astype(np.float32)
+
+
+def _render_svhn_sample(
+    digit: int, size: int, rng: np.random.Generator, distractors: bool
+) -> np.ndarray:
+    background = _textured_background(size, rng)
+    glyph = render_digit(
+        digit,
+        size,
+        rng,
+        rotation_range=0.30,
+        scale_range=(0.7, 1.15),
+        shift_pixels=3.0,
+        thickness_range=(1.2, 2.4),
+    )
+    if distractors:
+        # Partial neighbouring digits peeking in from the sides, as in
+        # real SVHN crops.
+        for side in (-1, 1):
+            if rng.random() < 0.6:
+                other = int(rng.integers(0, 10))
+                neighbor = render_digit(other, size, rng, shift_pixels=0.0)
+                shift = int(side * rng.integers(size * 2 // 3, size - 2))
+                rolled = np.roll(neighbor, shift, axis=1)
+                if side < 0:
+                    rolled[:, shift:] = 0.0
+                else:
+                    rolled[:, :shift] = 0.0
+                glyph = np.maximum(glyph, 0.8 * rolled)
+
+    fg_color = rng.uniform(0.2, 1.0, size=3)
+    # Ensure the digit contrasts with the background mean.
+    bg_mean = background.mean(axis=(1, 2))
+    fg_color = np.where(np.abs(fg_color - bg_mean) < 0.25, 1.0 - bg_mean, fg_color)
+    image = background * (1.0 - glyph[None]) + fg_color[:, None, None] * glyph[None]
+    contrast = rng.uniform(0.75, 1.2)
+    brightness = rng.uniform(-0.08, 0.08)
+    image = np.clip((image - 0.5) * contrast + 0.5 + brightness, 0.0, 1.0)
+    return image.astype(np.float32)
+
+
+def synthetic_svhn(
+    n_train: int = 2000,
+    n_test: int = 500,
+    size: int = 32,
+    noise: float = 0.04,
+    distractors: bool = True,
+    seed: int = 1,
+) -> tuple:
+    """Generate (train, test) :class:`Dataset` pairs of SVHN-like crops."""
+    if n_train < 10 or n_test < 10:
+        raise ConfigurationError("need at least one sample per class")
+    rng = np.random.default_rng(seed)
+
+    def generate(count: int, name: str) -> Dataset:
+        images = np.zeros((count, 3, size, size), dtype=np.float32)
+        labels = np.zeros(count, dtype=np.int64)
+        for i in range(count):
+            digit = i % 10
+            image = _render_svhn_sample(digit, size, rng, distractors)
+            image = image + rng.normal(0.0, noise, image.shape)
+            images[i] = np.clip(image, 0.0, 1.0)
+            labels[i] = digit
+        order = rng.permutation(count)
+        return Dataset(images[order], labels[order], DIGIT_CLASS_NAMES, name=name)
+
+    return generate(n_train, "svhn"), generate(n_test, "svhn")

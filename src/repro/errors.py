@@ -1,0 +1,30 @@
+"""Exception hierarchy shared across the package.
+
+Keeping a small, explicit hierarchy lets callers distinguish user errors
+(bad configuration) from internal invariant violations without matching
+on message strings.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ConfigurationError(ReproError):
+    """A user-supplied configuration value is invalid or inconsistent."""
+
+
+class ShapeError(ReproError):
+    """Tensor shapes are incompatible with the requested operation."""
+
+
+class QuantizationError(ReproError):
+    """A quantizer was asked to do something outside its domain."""
+
+
+class HardwareModelError(ReproError):
+    """The hardware model was configured or queried inconsistently."""
+
+
+class TrainingError(ReproError):
+    """Training failed in a way that is not a normal non-convergence."""

@@ -1,0 +1,36 @@
+"""Experiment drivers: one module per table / figure of the paper.
+
+===============  =====================================================
+module           reproduces
+===============  =====================================================
+``table3``       Table III — accelerator design metrics per precision
+``fig3``         Figure 3 — area & power breakdown stacks
+``table4``       Table IV — MNIST/SVHN accuracy + energy per precision
+``table5``       Table V — CIFAR-10 ALEX / ALEX+ / ALEX++ sweep
+``fig4``         Figure 4 — accuracy-vs-energy Pareto frontier
+``memory``       Section V-B parameter-memory analysis
+===============  =====================================================
+
+Each driver exposes ``run(config) -> result`` returning structured
+rows plus a ``format_*`` helper producing the paper-style ASCII table.
+The shared :class:`~repro.experiments.config.ExperimentConfig` selects
+quick (proxy networks, small synthetic datasets — minutes) or full
+(paper architectures — hours) budgets; the hardware-only experiments
+(table3 / fig3 / memory) are exact in both modes.
+"""
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import SweepRunner, TASK_NETWORKS
+from repro.experiments import fig3, fig4, memory, table3, table4, table5
+
+__all__ = [
+    "ExperimentConfig",
+    "SweepRunner",
+    "TASK_NETWORKS",
+    "table3",
+    "table4",
+    "table5",
+    "fig3",
+    "fig4",
+    "memory",
+]

@@ -1,0 +1,63 @@
+"""Command-line experiment runner.
+
+Usage::
+
+    python -m repro.experiments table3
+    python -m repro.experiments fig3
+    python -m repro.experiments memory
+    python -m repro.experiments table4          # trains (minutes)
+    python -m repro.experiments table5 --full   # paper budgets (hours)
+    python -m repro.experiments fig4
+    python -m repro.experiments all
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments import fig3, fig4, memory, table3, table4, table5
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import SweepRunner
+
+HARDWARE_ONLY = {
+    "table3": lambda runner: table3.format_results(table3.run()),
+    "fig3": lambda runner: fig3.format_results(fig3.run()),
+    "memory": lambda runner: memory.format_results(memory.run()),
+}
+TRAINED = {
+    "table4": lambda runner: table4.format_results(table4.run(runner=runner)),
+    "table5": lambda runner: table5.format_results(table5.run(runner=runner)),
+    "fig4": lambda runner: fig4.format_results(fig4.run(runner=runner)),
+}
+ALL = {**HARDWARE_ONLY, **TRAINED}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument("experiment", choices=sorted(ALL) + ["all"])
+    parser.add_argument(
+        "--full",
+        action="store_true",
+        help="use the paper's exact architectures and long training budgets",
+    )
+    args = parser.parse_args(argv)
+
+    config = ExperimentConfig.full() if args.full else ExperimentConfig.from_environment()
+    runner = SweepRunner(config)
+
+    names = sorted(ALL) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        if name in TRAINED:
+            print(f"[{name}] training sweeps ({config.mode} mode)...",
+                  file=sys.stderr)
+        print(ALL[name](runner))
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

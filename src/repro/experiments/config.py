@@ -1,0 +1,63 @@
+"""Shared experiment configuration.
+
+``ExperimentConfig.quick()`` (the default, and what the benchmark
+harness uses) trains the reduced proxy networks on small synthetic
+datasets — the full study completes in minutes.  ``full()`` uses the
+paper's exact architectures and larger datasets; set ``REPRO_FULL=1``
+in the environment to make the benchmarks pick it up.
+
+Hardware metrics (Table III, Figure 3, memory, and all energy columns)
+always use the paper's exact architectures and the calibrated 65 nm
+model; quick mode only reduces the *training* cost of the accuracy
+columns.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+from repro.core.sweep import SweepConfig
+
+
+@dataclass
+class ExperimentConfig:
+    """Budgets and dataset sizes for the accuracy experiments."""
+
+    mode: str = "quick"                     # "quick" | "full"
+    n_train: int = 1500
+    n_test: int = 400
+    dataset_seed: int = 0
+    sweep: SweepConfig = field(default_factory=SweepConfig)
+
+    @classmethod
+    def quick(cls) -> "ExperimentConfig":
+        return cls()
+
+    @classmethod
+    def full(cls) -> "ExperimentConfig":
+        return cls(
+            mode="full",
+            n_train=6000,
+            n_test=1500,
+            sweep=SweepConfig.paper(),
+        )
+
+    @classmethod
+    def from_environment(cls) -> "ExperimentConfig":
+        """``full()`` when REPRO_FULL=1 is set, else ``quick()``."""
+        if os.environ.get("REPRO_FULL", "") == "1":
+            return cls.full()
+        return cls.quick()
+
+    def accuracy_network(self, paper_name: str) -> str:
+        """Network actually trained for accuracy columns in this mode."""
+        if self.mode == "full":
+            return paper_name
+        return {
+            "lenet": "lenet_small",
+            "convnet": "convnet_small",
+            "alex": "alex_small",
+            "alex+": "alex_small+",
+            "alex++": "alex_small++",
+        }.get(paper_name, paper_name)

@@ -1,0 +1,70 @@
+"""Figure 3 — breakdown of design area and power per precision.
+
+The paper's stacked bars split each design into Memory, Registers,
+Combinational and Buf/Inv, and the surrounding text asserts that
+buffers consume 75-93 % of total power and 76-96 % of total area.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.core.precision import PAPER_PRECISIONS
+from repro.experiments.formatting import format_bar_chart
+from repro.hw.accelerator import Accelerator, AcceleratorConfig
+from repro.hw.report import BREAKDOWN_CATEGORIES, area_power_breakdown
+
+#: The paper's claimed buffer-share windows (power, area), Section V-B.
+PAPER_POWER_WINDOW = (0.75, 0.93)
+PAPER_AREA_WINDOW = (0.76, 0.96)
+
+
+def run(config: AcceleratorConfig = AcceleratorConfig()) -> List[Dict[str, object]]:
+    """One record per precision with the four-category breakdown."""
+    records: List[Dict[str, object]] = []
+    for spec in PAPER_PRECISIONS:
+        accelerator = Accelerator(spec, config=config)
+        breakdown = area_power_breakdown(accelerator)
+        fractions = accelerator.memory_fraction()
+        records.append(
+            {
+                "precision": spec.label,
+                "key": spec.key,
+                "breakdown": breakdown,
+                "memory_area_fraction": fractions["area"],
+                "memory_power_fraction": fractions["power"],
+            }
+        )
+    return records
+
+
+def format_results(records: List[Dict[str, object]]) -> str:
+    """Two stacked-bar charts (area, power) like the paper's Figure 3."""
+    area_series = {
+        str(rec["precision"]): {
+            category: rec["breakdown"][category]["area_mm2"]
+            for category in BREAKDOWN_CATEGORIES
+        }
+        for rec in records
+    }
+    power_series = {
+        str(rec["precision"]): {
+            category: rec["breakdown"][category]["power_mw"]
+            for category in BREAKDOWN_CATEGORIES
+        }
+        for rec in records
+    }
+    fraction_lines = [
+        f"  {rec['precision']}: buffers = {rec['memory_area_fraction']:.1%} of area, "
+        f"{rec['memory_power_fraction']:.1%} of power"
+        for rec in records
+    ]
+    return "\n\n".join(
+        [
+            "Figure 3: breakdown of design area and power per precision",
+            format_bar_chart(area_series, "Design Area (mm^2)"),
+            format_bar_chart(power_series, "Power Consumption (mW)"),
+            "Buffer share (paper: 76-96% of area, 75-93% of power):",
+            "\n".join(fraction_lines),
+        ]
+    )

@@ -1,0 +1,97 @@
+"""Figure 4 — Pareto frontier of the CIFAR-role design points.
+
+Plots every Table V configuration on the accuracy-vs-energy plane
+(log-scale energy) and extracts the Pareto frontier.  The paper's
+argument: enlarged low-precision networks (e.g. Powers of Two++) can
+dominate the full-precision baseline on *both* axes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.core.pareto import DesignPoint, pareto_frontier
+from repro.experiments import table5
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.formatting import format_scatter
+from repro.experiments.runner import EvaluatedPoint, SweepRunner
+
+
+def design_points(points: List[EvaluatedPoint]) -> List[DesignPoint]:
+    """Convert converged Table V rows into Pareto design points."""
+    return [
+        DesignPoint(
+            label=table5.variant_label(p.spec.label, p.network),
+            accuracy=p.accuracy_percent,
+            energy_uj=p.energy_uj,
+            metadata={"network": p.network, "precision": p.spec.key},
+        )
+        for p in points
+        if p.converged
+    ]
+
+
+def run(
+    config: Optional[ExperimentConfig] = None,
+    runner: Optional[SweepRunner] = None,
+) -> Dict[str, object]:
+    """Returns ``{"points": [...], "frontier": [...], "dominates_baseline": [...]}``."""
+    evaluated = table5.run(config=config, runner=runner)
+    points = design_points(evaluated)
+    frontier = pareto_frontier(points)
+    baseline = next(
+        (p for p in points if p.metadata["precision"] == "float32"
+         and p.metadata["network"] == "alex"),
+        None,
+    )
+    dominating = []
+    if baseline is not None:
+        dominating = [
+            p for p in points
+            if p.accuracy >= baseline.accuracy and p.energy_uj < baseline.energy_uj
+        ]
+    return {
+        "points": points,
+        "frontier": frontier,
+        "baseline": baseline,
+        "dominates_baseline": dominating,
+    }
+
+
+def format_results(result: Dict[str, object]) -> str:
+    points: List[DesignPoint] = result["points"]  # type: ignore[assignment]
+    frontier: List[DesignPoint] = result["frontier"]  # type: ignore[assignment]
+    frontier_labels = {p.label for p in frontier}
+    scatter_points = []
+    for point in points:
+        if point.metadata["precision"] == "float32":
+            marker = "B"       # baseline, black in the paper
+        elif point.metadata["network"] == "alex":
+            marker = "o"       # small network, blue in the paper
+        else:
+            marker = "+" if point.metadata["network"] == "alex+" else "x"
+        scatter_points.append(
+            {
+                "label": point.label + (" [frontier]" if point.label in frontier_labels else ""),
+                "energy": point.energy_uj,
+                "accuracy": point.accuracy,
+                "marker": marker,
+            }
+        )
+    chart = format_scatter(
+        scatter_points, x_key="energy", y_key="accuracy",
+        label_key="label", marker_key="marker", log_x=True,
+    )
+    dominating: List[DesignPoint] = result["dominates_baseline"]  # type: ignore[assignment]
+    lines = [
+        "Figure 4: accuracy vs energy (log-x), cifar-role design points",
+        chart,
+        "",
+        "Pareto frontier: " + ", ".join(p.label for p in frontier),
+    ]
+    if dominating:
+        lines.append(
+            "Points dominating the float32 ALEX baseline: "
+            + ", ".join(p.label for p in dominating)
+        )
+    return "\n".join(lines)

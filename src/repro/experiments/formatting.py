@@ -1,0 +1,95 @@
+"""ASCII table / chart rendering for experiment output."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Render rows as a fixed-width ASCII table."""
+    columns = [[str(h)] + [str(row[i]) for row in rows] for i, h in enumerate(headers)]
+    widths = [max(len(cell) for cell in col) for col in columns]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    separator = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(separator)
+    for row in rows:
+        lines.append(
+            " | ".join(str(cell).ljust(w) for cell, w in zip(row, widths))
+        )
+    return "\n".join(lines)
+
+
+def format_bar_chart(
+    series: Dict[str, Dict[str, float]],
+    value_label: str,
+    width: int = 40,
+) -> str:
+    """Stacked horizontal bars: ``{bar_label: {segment: value}}``.
+
+    Each bar shows its total and the per-segment values, scaled so the
+    largest total spans ``width`` characters.
+    """
+    glyphs = "#=+."
+    totals = {label: sum(parts.values()) for label, parts in series.items()}
+    peak = max(totals.values()) if totals else 1.0
+    label_width = max(len(label) for label in series) if series else 0
+    lines = [f"{value_label} (largest = {peak:.2f})"]
+    for label, parts in series.items():
+        bar = ""
+        for i, (segment, value) in enumerate(parts.items()):
+            chars = int(round(width * value / peak)) if peak else 0
+            bar += glyphs[i % len(glyphs)] * chars
+        lines.append(f"{label.ljust(label_width)} |{bar} {totals[label]:.2f}")
+    if series:
+        first = next(iter(series.values()))
+        legend = "  ".join(
+            f"{glyphs[i % len(glyphs)]}={segment}" for i, segment in enumerate(first)
+        )
+        lines.append(f"legend: {legend}")
+    return "\n".join(lines)
+
+
+def format_scatter(
+    points: Sequence[Dict[str, object]],
+    x_key: str,
+    y_key: str,
+    label_key: str,
+    marker_key: str = "",
+    width: int = 72,
+    height: int = 20,
+    log_x: bool = True,
+) -> str:
+    """Render labelled points on a character grid (Figure 4 style)."""
+    import math
+
+    if not points:
+        return "(no points)"
+    xs = [float(p[x_key]) for p in points]
+    ys = [float(p[y_key]) for p in points]
+    if log_x:
+        xs = [math.log10(max(x, 1e-12)) for x in xs]
+    x_min, x_max = min(xs), max(xs)
+    y_min, y_max = min(ys), max(ys)
+    x_span = (x_max - x_min) or 1.0
+    y_span = (y_max - y_min) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    legend = []
+    for index, point in enumerate(points):
+        col = int((xs[index] - x_min) / x_span * (width - 1))
+        row = int((y_max - ys[index]) / y_span * (height - 1))
+        marker = str(point.get(marker_key, "*"))[:1] if marker_key else "*"
+        grid[row][col] = marker
+        legend.append(f"  {marker} {point[label_key]}: "
+                      f"({float(point[x_key]):.1f}, {float(point[y_key]):.2f})")
+    axis = "log10(x)" if log_x else "x"
+    lines = [f"y: {y_min:.1f}..{y_max:.1f}   {axis}: {x_min:.2f}..{x_max:.2f}"]
+    lines.extend("".join(row) for row in grid)
+    lines.extend(legend)
+    return "\n".join(lines)

@@ -1,0 +1,77 @@
+"""Section V-B memory analysis — parameter footprint per precision.
+
+The paper: "network parameters require approximately 1650KB, and
+2150KB, and 350KB of memory for LeNet, CONVnet, and ALEX" (and 1250KB
+/ 9400KB for ALEX+ / ALEX++), with "the memory footprint of each
+network reduc[ing] from 2x to 32x for different bit precisions".
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.core.precision import PAPER_PRECISIONS
+from repro.experiments.formatting import format_table
+from repro.hw.memory_footprint import network_memory_footprint
+from repro.zoo.registry import build_network, network_info
+
+#: Paper parameter-memory figures at full precision (KB).
+PAPER_PARAMETER_KB = {
+    "lenet": 1650.0,
+    "convnet": 2150.0,
+    "alex": 350.0,
+    "alex+": 1250.0,
+    "alex++": 9400.0,
+}
+
+NETWORKS = ["lenet", "convnet", "alex", "alex+", "alex++"]
+
+
+def run() -> List[Dict[str, object]]:
+    """One record per network with per-precision parameter memory."""
+    records: List[Dict[str, object]] = []
+    for name in NETWORKS:
+        info = network_info(name)
+        network = build_network(name)
+        footprints = {
+            spec.key: network_memory_footprint(network, info.input_shape, spec)
+            for spec in PAPER_PRECISIONS
+        }
+        baseline = footprints["float32"]
+        records.append(
+            {
+                "network": name,
+                "parameter_count": baseline.parameter_count,
+                "paper_kb": PAPER_PARAMETER_KB[name],
+                "footprints": footprints,
+                "reductions": {
+                    key: fp.reduction_vs(baseline) for key, fp in footprints.items()
+                },
+            }
+        )
+    return records
+
+
+def format_results(records: List[Dict[str, object]]) -> str:
+    headers = ["network", "params", "float32 KB", "paper KB"] + [
+        spec.key for spec in PAPER_PRECISIONS if not spec.is_float
+    ]
+    rows = []
+    for record in records:
+        footprints = record["footprints"]
+        row = [
+            record["network"],
+            str(record["parameter_count"]),
+            f"{footprints['float32'].parameter_kb:.0f}",
+            f"{record['paper_kb']:.0f}",
+        ]
+        for spec in PAPER_PRECISIONS:
+            if spec.is_float:
+                continue
+            row.append(f"{footprints[spec.key].parameter_kb:.0f} KB "
+                       f"({record['reductions'][spec.key]:.0f}x)")
+        rows.append(row)
+    return format_table(
+        headers, rows,
+        title="Section V-B: parameter memory per precision (KB, reduction vs float32)",
+    )

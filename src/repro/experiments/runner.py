@@ -1,0 +1,137 @@
+"""Shared sweep execution with in-process caching.
+
+Table IV, Table V and Figure 4 all need (network, precision) accuracy
+sweeps plus hardware energy numbers; :class:`SweepRunner` trains each
+sweep once per process and serves every driver from the cache.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.precision import PAPER_PRECISIONS, PrecisionSpec
+from repro.core.sweep import PrecisionResult, PrecisionSweep
+from repro.data.registry import load_dataset
+from repro.experiments.config import ExperimentConfig
+from repro.hw.energy import EnergyModel, EnergyReport
+from repro.zoo.registry import build_network, network_info
+
+#: paper dataset -> paper network name(s)
+TASK_NETWORKS = {
+    "digits": ["lenet"],
+    "svhn": ["convnet"],
+    "cifar": ["alex", "alex+", "alex++"],
+}
+
+
+@dataclass
+class EvaluatedPoint:
+    """Accuracy + hardware energy for one (network, precision) pair."""
+
+    network: str            # paper architecture name
+    trained_network: str    # network actually trained (proxy in quick mode)
+    spec: PrecisionSpec
+    accuracy: float         # test accuracy in [0, 1]
+    converged: bool
+    energy_uj: float        # per-image energy on the paper architecture
+    energy_saving_pct: float  # vs. the float32 baseline network
+
+    @property
+    def accuracy_percent(self) -> float:
+        return 100.0 * self.accuracy
+
+
+class SweepRunner:
+    """Caches datasets, trained sweeps and energy reports per process."""
+
+    def __init__(self, config: Optional[ExperimentConfig] = None):
+        self.config = config or ExperimentConfig.from_environment()
+        self.energy_model = EnergyModel()
+        self._splits: Dict[str, object] = {}
+        self._sweeps: Dict[str, PrecisionSweep] = {}
+        self._results: Dict[tuple, PrecisionResult] = {}
+        self._energy: Dict[tuple, EnergyReport] = {}
+
+    # ------------------------------------------------------------------
+    def split_for(self, dataset: str):
+        if dataset not in self._splits:
+            self._splits[dataset] = load_dataset(
+                dataset,
+                n_train=self.config.n_train,
+                n_test=self.config.n_test,
+                seed=self.config.dataset_seed,
+            )
+        return self._splits[dataset]
+
+    def _sweep_for(self, trained_name: str, dataset: str) -> PrecisionSweep:
+        if trained_name not in self._sweeps:
+            self._sweeps[trained_name] = PrecisionSweep(
+                builder=lambda name=trained_name: build_network(
+                    name, seed=self.config.sweep.seed
+                ),
+                split=self.split_for(dataset),
+                config=self.config.sweep,
+            )
+        return self._sweeps[trained_name]
+
+    def accuracy_result(
+        self, paper_network: str, spec: PrecisionSpec
+    ) -> PrecisionResult:
+        """Trained accuracy for one point (cached)."""
+        trained = self.config.accuracy_network(paper_network)
+        key = (trained, spec.key)
+        if key not in self._results:
+            dataset = network_info(paper_network).dataset
+            sweep = self._sweep_for(trained, dataset)
+            self._results[key] = sweep.run_precision(spec)
+        return self._results[key]
+
+    def energy_report(self, paper_network: str, spec: PrecisionSpec) -> EnergyReport:
+        """Per-image energy of the *paper* architecture (cached)."""
+        key = (paper_network, spec.key)
+        if key not in self._energy:
+            info = network_info(paper_network)
+            network = build_network(paper_network)
+            self._energy[key] = self.energy_model.evaluate(
+                network, info.input_shape, spec
+            )
+        return self._energy[key]
+
+    # ------------------------------------------------------------------
+    def evaluate_point(
+        self,
+        paper_network: str,
+        spec: PrecisionSpec,
+        energy_baseline_network: Optional[str] = None,
+    ) -> EvaluatedPoint:
+        """Combine accuracy and energy for one design point.
+
+        ``energy_baseline_network`` names the float32 reference for the
+        savings column; Table V references everything to plain ALEX.
+        """
+        result = self.accuracy_result(paper_network, spec)
+        energy = self.energy_report(paper_network, spec)
+        baseline_name = energy_baseline_network or paper_network
+        baseline = self.energy_report(baseline_name, PAPER_PRECISIONS[0])
+        return EvaluatedPoint(
+            network=paper_network,
+            trained_network=self.config.accuracy_network(paper_network),
+            spec=spec,
+            accuracy=result.accuracy,
+            converged=result.converged,
+            energy_uj=energy.energy_uj,
+            energy_saving_pct=energy.savings_vs(baseline),
+        )
+
+    def evaluate_network(
+        self,
+        paper_network: str,
+        precisions: Optional[Sequence[PrecisionSpec]] = None,
+        energy_baseline_network: Optional[str] = None,
+    ) -> List[EvaluatedPoint]:
+        specs = list(precisions) if precisions is not None else list(PAPER_PRECISIONS)
+        return [
+            self.evaluate_point(paper_network, spec, energy_baseline_network)
+            for spec in specs
+        ]

@@ -1,0 +1,126 @@
+"""Table V — CIFAR-role performance for ALEX, ALEX+ and ALEX++.
+
+The paper's headline result: a portion of the energy saved by low
+precision can be spent on a larger network, recovering (or exceeding)
+full-precision accuracy while still saving energy.  Energy savings are
+all referenced to the plain-ALEX float32 implementation; rows that use
+*more* energy than that baseline are printed as "Nx More", as in the
+paper.
+
+Paper values (accuracy %, energy uJ, saving % vs ALEX float32):
+
+    Floating-Point (32,32)    81.22   335.68    0
+    Fixed-Point (32,32)       79.71   293.90   12.45
+    Fixed-Point (16,16)       79.77   136.61   59.30
+    Fixed-Point+ (16,16)      81.86   491.32   1.5x More
+    Fixed-Point++ (16,16)     82.26   628.17   1.9x More
+    Fixed-Point (8,8)         77.99    49.22   85.34
+    Fixed-Point+ (8,8)        78.71   177.02   47.27
+    Fixed-Point++ (8,8)       75.03   226.32   32.59
+    Powers of Two (6,16)      77.03    46.77   86.07
+    Powers of Two+ (6,16)     77.34   168.21   49.89
+    Powers of Two++ (6,16)    81.26   215.05   35.93
+    Binary Net (1,16)         74.84    19.79   94.10
+    Binary Net+ (1,16)        77.91    71.18   78.80
+    Binary Net++ (1,16)       80.52    91.00   72.89
+
+(Fixed-point (4,4) failed to converge on all three networks and
+fixed-point (32,32) is only reported for plain ALEX, as in the paper.)
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.precision import get_precision
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.formatting import format_table
+from repro.experiments.runner import EvaluatedPoint, SweepRunner
+
+#: (precision key, network) rows in the paper's Table V order.
+TABLE5_ROWS = [
+    ("float32", "alex"),
+    ("fixed32", "alex"),
+    ("fixed16", "alex"),
+    ("fixed16", "alex+"),
+    ("fixed16", "alex++"),
+    ("fixed8", "alex"),
+    ("fixed8", "alex+"),
+    ("fixed8", "alex++"),
+    ("pow2", "alex"),
+    ("pow2", "alex+"),
+    ("pow2", "alex++"),
+    ("binary", "alex"),
+    ("binary", "alex+"),
+    ("binary", "alex++"),
+]
+
+#: Paper Table V accuracies, for EXPERIMENTS.md comparisons.
+PAPER_TABLE5_ACCURACY = {
+    ("float32", "alex"): 81.22,
+    ("fixed32", "alex"): 79.71,
+    ("fixed16", "alex"): 79.77,
+    ("fixed16", "alex+"): 81.86,
+    ("fixed16", "alex++"): 82.26,
+    ("fixed8", "alex"): 77.99,
+    ("fixed8", "alex+"): 78.71,
+    ("fixed8", "alex++"): 75.03,
+    ("pow2", "alex"): 77.03,
+    ("pow2", "alex+"): 77.34,
+    ("pow2", "alex++"): 81.26,
+    ("binary", "alex"): 74.84,
+    ("binary", "alex+"): 77.91,
+    ("binary", "alex++"): 80.52,
+}
+
+
+def variant_label(spec_label: str, network: str) -> str:
+    """Paper row label: the +/++ suffix goes on the precision name."""
+    suffix = network[len("alex"):]
+    name, _, bits = spec_label.partition(" ")
+    if " " in spec_label:
+        head, bits = spec_label.rsplit(" ", 1)
+        return f"{head}{suffix} {bits}"
+    return f"{spec_label}{suffix}"
+
+
+def run(
+    config: Optional[ExperimentConfig] = None,
+    runner: Optional[SweepRunner] = None,
+) -> List[EvaluatedPoint]:
+    """Evaluate every Table V row (energy referenced to ALEX float32)."""
+    runner = runner or SweepRunner(config)
+    return [
+        runner.evaluate_point(network, get_precision(key),
+                              energy_baseline_network="alex")
+        for key, network in TABLE5_ROWS
+    ]
+
+
+def format_results(points: List[EvaluatedPoint]) -> str:
+    rows = []
+    for point in points:
+        label = variant_label(point.spec.label, point.network)
+        if not point.converged:
+            rows.append([label, "NA", "NA", "NA"])
+            continue
+        if point.energy_saving_pct < 0:
+            saving = f"{1.0 - point.energy_saving_pct / 100.0:.1f}x More"
+        else:
+            saving = f"{point.energy_saving_pct:.2f}"
+        rows.append(
+            [
+                label,
+                f"{point.accuracy_percent:.2f}",
+                f"{point.energy_uj:.2f}",
+                saving,
+            ]
+        )
+    return format_table(
+        ["Precision (w,in)", "Acc %", "Energy uJ", "Energy Sav %"],
+        rows,
+        title=(
+            "Table V: cifar-role performance for ALEX / ALEX+ / ALEX++ "
+            "(energy savings vs ALEX float32)"
+        ),
+    )

@@ -1,0 +1,101 @@
+"""Analytical model of the paper's DianNao-style tile accelerator.
+
+The paper synthesizes a 16-neuron x 16-synapse accelerator (Figure 2)
+with Synopsys Design Compiler on a 65 nm library at 250 MHz and reports
+area, power and per-image energy for each precision (Tables III-V,
+Figure 3).  This package reproduces that flow analytically:
+
+``tech``
+    The 65 nm component library: per-bit SRAM area, logic power
+    density, array-multiplier / FP-unit / adder / shifter area
+    coefficients.  Constants are calibrated against Table III (see the
+    module docstring for the calibration protocol and residuals).
+``sram``
+    Buffer subsystem model (Bin / Bout / SB of Figure 2).
+``components`` / ``nfu``
+    The three-stage neural functional unit with the per-precision
+    weight-block variants of Figure 2(a-c): multipliers for
+    fixed/float, barrel shifters for powers of two, sign-negation for
+    binary — plus the merged two-stage pipeline for binary nets.
+``accelerator``
+    Assembles buffers + NFU + control into a synthesizable-design
+    model reporting totals and the Figure 3 breakdown.
+``scheduler`` / ``energy``
+    Maps a :class:`repro.nn.Sequential` onto the tile, counts cycles,
+    and produces per-image energy (the Table IV/V energy columns).
+``memory_footprint``
+    Parameter / feature-map storage accounting (Section V-B).
+"""
+
+from repro.hw.tech import TECH_65NM, TechnologyLibrary
+from repro.hw.sram import SramBuffer
+from repro.hw.components import (
+    AdderTree,
+    AreaPower,
+    BinaryWeightBlock,
+    FixedPointWeightBlock,
+    FloatingPointWeightBlock,
+    NonlinearityUnit,
+    PipelineRegisters,
+    Pow2WeightBlock,
+    make_weight_block,
+)
+from repro.hw.nfu import NeuralFunctionalUnit
+from repro.hw.accelerator import Accelerator, AcceleratorConfig
+from repro.hw.scheduler import LayerWork, Schedule, TileScheduler
+from repro.hw.energy import EnergyModel, EnergyReport, LayerEnergy
+from repro.hw.bandwidth import LayerTraffic, TrafficReport, traffic_report
+from repro.hw.design_space import (
+    DesignCandidate,
+    evaluate_design,
+    explore_design_space,
+    throughput_pareto,
+)
+from repro.hw.memory_footprint import MemoryFootprint, network_memory_footprint
+from repro.hw.report import area_power_breakdown, design_metrics_table, synthesis_report
+from repro.hw.verilog import (
+    generate_adder_tree,
+    generate_nfu,
+    generate_relu,
+    generate_weight_block,
+)
+
+__all__ = [
+    "TechnologyLibrary",
+    "TECH_65NM",
+    "SramBuffer",
+    "AreaPower",
+    "FixedPointWeightBlock",
+    "FloatingPointWeightBlock",
+    "Pow2WeightBlock",
+    "BinaryWeightBlock",
+    "make_weight_block",
+    "AdderTree",
+    "NonlinearityUnit",
+    "PipelineRegisters",
+    "NeuralFunctionalUnit",
+    "Accelerator",
+    "AcceleratorConfig",
+    "TileScheduler",
+    "LayerWork",
+    "Schedule",
+    "EnergyModel",
+    "EnergyReport",
+    "LayerEnergy",
+    "LayerTraffic",
+    "TrafficReport",
+    "traffic_report",
+    "DesignCandidate",
+    "evaluate_design",
+    "explore_design_space",
+    "throughput_pareto",
+    "MemoryFootprint",
+    "network_memory_footprint",
+    "area_power_breakdown",
+    "design_metrics_table",
+    "synthesis_report",
+    "generate_weight_block",
+    "generate_adder_tree",
+    "generate_relu",
+    "generate_nfu",
+]

@@ -1,0 +1,160 @@
+"""Tile accelerator assembly (Figure 2 of the paper).
+
+Combines the three SRAM buffer subsystems (Bin, Bout, SB), the
+three-stage NFU and control/buffer-tree overhead into one design whose
+area, power and Figure-3 breakdown can be queried per precision.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.core.precision import PrecisionSpec, get_precision
+from repro.errors import HardwareModelError
+from repro.hw.components import AreaPower
+from repro.hw.nfu import NeuralFunctionalUnit, NfuGeometry
+from repro.hw.sram import SramBuffer
+from repro.hw.tech import TECH_65NM, TechnologyLibrary
+
+
+@dataclass(frozen=True)
+class AcceleratorConfig:
+    """Microarchitecture parameters (defaults reproduce the paper).
+
+    Buffer capacities are in *words* (values); word width then scales
+    with the precision under evaluation, which is exactly how the paper
+    resizes the design ("the size of all buffers and the control logic
+    are modified according to the precision").
+    """
+
+    neurons: int = 16
+    synapses: int = 16
+    input_buffer_words: int = 4096
+    output_buffer_words: int = 4096
+    weight_buffer_words: int = 65536
+    #: fraction of peak throughput sustained on real layers (dataflow
+    #: stalls, edge tiles); calibrated against the paper's per-image
+    #: energies for LeNet / ConvNet / ALEX at full precision.
+    dataflow_efficiency: float = 0.81
+    #: fixed per-layer startup (buffer priming + pipeline fill), cycles
+    layer_startup_cycles: int = 64
+
+    def __post_init__(self) -> None:
+        if min(self.neurons, self.synapses) < 1:
+            raise HardwareModelError("invalid tile geometry")
+        if min(self.input_buffer_words, self.output_buffer_words,
+               self.weight_buffer_words) < 1:
+            raise HardwareModelError("buffer capacities must be positive")
+        if not 0.0 < self.dataflow_efficiency <= 1.0:
+            raise HardwareModelError("dataflow_efficiency must be in (0, 1]")
+        if self.layer_startup_cycles < 0:
+            raise HardwareModelError("layer_startup_cycles must be >= 0")
+
+
+class Accelerator:
+    """One synthesized design point: a tile at a given precision."""
+
+    def __init__(
+        self,
+        spec: PrecisionSpec,
+        config: AcceleratorConfig = AcceleratorConfig(),
+        tech: TechnologyLibrary = TECH_65NM,
+    ):
+        self.spec = spec
+        self.config = config
+        self.tech = tech
+        geometry = NfuGeometry(neurons=config.neurons, synapses=config.synapses)
+        self.nfu = NeuralFunctionalUnit(spec, geometry=geometry, tech=tech)
+
+        self.input_buffer = SramBuffer(
+            name="Bin",
+            words=config.input_buffer_words,
+            bits_per_word=spec.input_bits,
+            bits_per_cycle=config.synapses * spec.input_bits,
+        )
+        self.output_buffer = SramBuffer(
+            name="Bout",
+            words=config.output_buffer_words,
+            bits_per_word=spec.input_bits,
+            bits_per_cycle=config.neurons * spec.input_bits,
+        )
+        self.weight_buffer = SramBuffer(
+            name="SB",
+            words=config.weight_buffer_words,
+            bits_per_word=spec.weight_bits,
+            bits_per_cycle=geometry.macs_per_cycle * spec.weight_bits,
+        )
+        self.buffers = [self.input_buffer, self.output_buffer, self.weight_buffer]
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def for_precision(cls, key: str, **kwargs) -> "Accelerator":
+        """Convenience constructor from a precision key (``"fixed8"``...)."""
+        return cls(get_precision(key), **kwargs)
+
+    @property
+    def macs_per_cycle(self) -> int:
+        return self.config.neurons * self.config.synapses
+
+    # ------------------------------------------------------------------
+    # Cost roll-ups
+    # ------------------------------------------------------------------
+    def memory_cost(self) -> AreaPower:
+        return AreaPower(
+            sum(b.area_mm2(self.tech) for b in self.buffers),
+            sum(b.power_mw(self.tech) for b in self.buffers),
+        )
+
+    def control_cost(self) -> AreaPower:
+        area = self.tech.control_area
+        return AreaPower(area, self.tech.logic_power(area))
+
+    def combinational_cost(self) -> AreaPower:
+        return self.nfu.combinational_cost() + self.control_cost()
+
+    def register_cost(self) -> AreaPower:
+        return self.nfu.register_cost()
+
+    def bufinv_cost(self) -> AreaPower:
+        """Clock-tree / buffer-inverter network, a share of the logic."""
+        logic = self.combinational_cost() + self.register_cost()
+        area = self.tech.bufinv_fraction * logic.area_mm2
+        return AreaPower(area, self.tech.logic_power(area))
+
+    def total_cost(self) -> AreaPower:
+        return (
+            self.memory_cost()
+            + self.combinational_cost()
+            + self.register_cost()
+            + self.bufinv_cost()
+        )
+
+    @property
+    def area_mm2(self) -> float:
+        return self.total_cost().area_mm2
+
+    @property
+    def power_mw(self) -> float:
+        return self.total_cost().power_mw
+
+    def breakdown(self) -> Dict[str, AreaPower]:
+        """The four Figure-3 categories."""
+        return {
+            "memory": self.memory_cost(),
+            "registers": self.register_cost(),
+            "combinational": self.combinational_cost(),
+            "buf_inv": self.bufinv_cost(),
+        }
+
+    def memory_fraction(self) -> Dict[str, float]:
+        """Buffer share of total area and power (Section V-B claim)."""
+        total = self.total_cost()
+        memory = self.memory_cost()
+        return {
+            "area": memory.area_mm2 / total.area_mm2,
+            "power": memory.power_mw / total.power_mw,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Accelerator({self.spec.label}, {self.area_mm2:.2f} mm^2)"

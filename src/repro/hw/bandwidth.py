@@ -1,0 +1,103 @@
+"""Off-chip traffic and bandwidth analysis.
+
+The paper's introduction motivates precision scaling with the cost of
+"memory accesses and data transfer overheads"; its accelerator hides
+transfer latency behind double-buffered DMA but the *volume* of traffic
+still scales with precision.  This module quantifies that: per-image
+DRAM traffic (weights + input + output feature maps) and the sustained
+bandwidth the DMA engines need for the buffers to stay ahead of the
+NFU, per precision.
+
+Weight traffic counts each parameter once per image when a layer's
+weights exceed the weight-buffer capacity (they must be re-streamed)
+and amortizes resident weights across a configurable batch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.core.precision import PrecisionSpec
+from repro.errors import HardwareModelError
+from repro.hw.accelerator import Accelerator
+from repro.hw.scheduler import Schedule, TileScheduler
+from repro.nn.network import Sequential
+
+
+@dataclass(frozen=True)
+class LayerTraffic:
+    """Per-image DRAM traffic of one compute layer, in bits."""
+
+    name: str
+    weight_bits: int
+    input_bits: int
+    output_bits: int
+    resident: bool  # weights fit in the SB and amortize across a batch
+
+    @property
+    def total_bits(self) -> int:
+        return self.weight_bits + self.input_bits + self.output_bits
+
+
+@dataclass(frozen=True)
+class TrafficReport:
+    """Whole-network traffic and bandwidth summary."""
+
+    network_name: str
+    precision_label: str
+    layers: Tuple[LayerTraffic, ...]
+    total_bits_per_image: int
+    bytes_per_image: float
+    required_bandwidth_gbps: float  # to sustain the scheduled frame rate
+
+    def reduction_vs(self, baseline: "TrafficReport") -> float:
+        return baseline.bytes_per_image / self.bytes_per_image
+
+
+def traffic_report(
+    network: Sequential,
+    input_shape: tuple,
+    accelerator: Accelerator,
+    batch_size: int = 1,
+) -> TrafficReport:
+    """Per-image DRAM traffic for a network on one accelerator design.
+
+    Args:
+        network / input_shape: the workload.
+        accelerator: design point (defines precision and SB capacity).
+        batch_size: images sharing one weight-resident pass; weights of
+            layers that fit in the SB are counted once per batch.
+    """
+    if batch_size < 1:
+        raise HardwareModelError("batch_size must be >= 1")
+    spec: PrecisionSpec = accelerator.spec
+    schedule: Schedule = TileScheduler(accelerator).schedule(network, input_shape)
+    sb_capacity_values = accelerator.weight_buffer.words
+
+    layers: List[LayerTraffic] = []
+    for work in schedule.layers:
+        resident = work.weights <= sb_capacity_values
+        weight_traffic = work.weights * spec.weight_bits
+        if resident:
+            weight_traffic = -(-weight_traffic // batch_size)  # ceil-div
+        layers.append(
+            LayerTraffic(
+                name=work.name,
+                weight_bits=int(weight_traffic),
+                input_bits=work.input_values * spec.input_bits,
+                output_bits=work.output_values * spec.input_bits,
+                resident=resident,
+            )
+        )
+    total_bits = sum(layer.total_bits for layer in layers)
+    runtime_s = schedule.runtime_s(accelerator.tech.clock_hz)
+    bandwidth_gbps = total_bits / runtime_s / 1e9
+    return TrafficReport(
+        network_name=network.name,
+        precision_label=spec.label,
+        layers=tuple(layers),
+        total_bits_per_image=total_bits,
+        bytes_per_image=total_bits / 8.0,
+        required_bandwidth_gbps=bandwidth_gbps,
+    )

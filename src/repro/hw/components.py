@@ -1,0 +1,189 @@
+"""Datapath component models for the NFU.
+
+Each component reports its combinational area; power is derived from
+area by the technology's logic power density.  The weight-block (WB)
+variants mirror Figure 2(a-c) of the paper: multiplier blocks for
+float/fixed point, barrel shifters for powers of two, and a
+sign-negation block for binary weights.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.precision import PrecisionKind, PrecisionSpec
+from repro.errors import HardwareModelError
+from repro.hw.tech import TechnologyLibrary
+
+
+@dataclass(frozen=True)
+class AreaPower:
+    """Area (mm^2) / power (mW) pair, addable across components."""
+
+    area_mm2: float
+    power_mw: float
+
+    def __add__(self, other: "AreaPower") -> "AreaPower":
+        return AreaPower(self.area_mm2 + other.area_mm2, self.power_mw + other.power_mw)
+
+    def scaled(self, factor: float) -> "AreaPower":
+        return AreaPower(self.area_mm2 * factor, self.power_mw * factor)
+
+
+def _logic(tech: TechnologyLibrary, area: float) -> AreaPower:
+    return AreaPower(area, tech.logic_power(area))
+
+
+# ----------------------------------------------------------------------
+# Weight blocks (NFU stage 1), Figure 2 (a)-(c)
+# ----------------------------------------------------------------------
+class WeightBlock:
+    """One per-synapse stage-1 unit; the accelerator instantiates
+    ``neurons x synapses`` of these."""
+
+    #: accumulator width the downstream adder tree must carry
+    accumulator_bits: int = 32
+
+    def __init__(self, weight_bits: int, input_bits: int):
+        if weight_bits < 1 or input_bits < 1:
+            raise HardwareModelError("bit widths must be >= 1")
+        self.weight_bits = weight_bits
+        self.input_bits = input_bits
+
+    def unit_cost(self, tech: TechnologyLibrary) -> AreaPower:
+        raise NotImplementedError
+
+
+class FixedPointWeightBlock(WeightBlock):
+    """Array multiplier, area ~ w x i (Figure 2 (a), fixed point)."""
+
+    def __init__(self, weight_bits: int, input_bits: int):
+        super().__init__(weight_bits, input_bits)
+        # full product + headroom for the 16-input accumulation tree
+        self.accumulator_bits = weight_bits + input_bits + 8
+
+    def unit_cost(self, tech: TechnologyLibrary) -> AreaPower:
+        area = tech.mult_area_per_bit2 * self.weight_bits * self.input_bits
+        return _logic(tech, area)
+
+
+class FloatingPointWeightBlock(WeightBlock):
+    """IEEE-754 single-precision multiplier (Figure 2 (a), float).
+
+    Modelled as a 24x24 mantissa array multiplier plus the exponent /
+    normalization / rounding overhead of a full FP32 unit.
+    """
+
+    MANTISSA_BITS = 24
+
+    def __init__(self, weight_bits: int = 32, input_bits: int = 32):
+        super().__init__(weight_bits, input_bits)
+        self.accumulator_bits = 32
+
+    def unit_cost(self, tech: TechnologyLibrary) -> AreaPower:
+        area = (
+            tech.mult_area_per_bit2 * self.MANTISSA_BITS * self.MANTISSA_BITS
+            + tech.fp_mult_extra_area
+        )
+        return _logic(tech, area)
+
+
+class Pow2WeightBlock(WeightBlock):
+    """Barrel shifter + conditional negate (Figure 2 (b)).
+
+    A ``w``-bit power-of-two weight encodes sign + (w-1) exponent bits,
+    so the shifter needs ``w - 1`` mux stages over the input word.
+    """
+
+    def __init__(self, weight_bits: int, input_bits: int):
+        super().__init__(weight_bits, input_bits)
+        self.accumulator_bits = input_bits + 16
+
+    def unit_cost(self, tech: TechnologyLibrary) -> AreaPower:
+        stages = max(self.weight_bits - 1, 1)
+        area = tech.shifter_area_per_bit_stage * self.input_bits * stages
+        return _logic(tech, area)
+
+
+class BinaryWeightBlock(WeightBlock):
+    """Conditional two's-complement negate (Figure 2 (c)).
+
+    The weight bit selects ``+in`` or ``-in``; no multiplier at all.
+    """
+
+    def __init__(self, weight_bits: int = 1, input_bits: int = 16):
+        super().__init__(weight_bits, input_bits)
+        self.accumulator_bits = input_bits + 8
+
+    def unit_cost(self, tech: TechnologyLibrary) -> AreaPower:
+        area = tech.negate_area_per_bit * self.input_bits
+        return _logic(tech, area)
+
+
+def make_weight_block(spec: PrecisionSpec) -> WeightBlock:
+    """WB variant for a precision spec (Figure 2 dispatch)."""
+    if spec.kind is PrecisionKind.FLOAT:
+        return FloatingPointWeightBlock(spec.weight_bits, spec.input_bits)
+    if spec.kind is PrecisionKind.FIXED:
+        return FixedPointWeightBlock(spec.weight_bits, spec.input_bits)
+    if spec.kind is PrecisionKind.POW2:
+        return Pow2WeightBlock(spec.weight_bits, spec.input_bits)
+    if spec.kind is PrecisionKind.BINARY:
+        return BinaryWeightBlock(spec.weight_bits, spec.input_bits)
+    raise HardwareModelError(f"no weight block for kind {spec.kind}")
+
+
+# ----------------------------------------------------------------------
+# NFU stage 2: adder tree
+# ----------------------------------------------------------------------
+class AdderTree:
+    """Reduction tree summing ``fan_in`` stage-1 outputs per neuron."""
+
+    def __init__(self, fan_in: int, operand_bits: int, floating_point: bool = False):
+        if fan_in < 2:
+            raise HardwareModelError("adder tree needs fan_in >= 2")
+        self.fan_in = fan_in
+        self.operand_bits = operand_bits
+        self.floating_point = floating_point
+
+    @property
+    def adder_count(self) -> int:
+        """A fan_in-to-1 reduction takes fan_in - 1 two-input adders."""
+        return self.fan_in - 1
+
+    def cost(self, tech: TechnologyLibrary) -> AreaPower:
+        per_adder = tech.adder_area_per_bit * self.operand_bits
+        if self.floating_point:
+            per_adder += tech.fp_add_extra_area
+        return _logic(tech, per_adder * self.adder_count)
+
+
+# ----------------------------------------------------------------------
+# NFU stage 3: nonlinearity
+# ----------------------------------------------------------------------
+class NonlinearityUnit:
+    """Piecewise-linear activation unit, one per neuron."""
+
+    def __init__(self, operand_bits: int):
+        if operand_bits < 1:
+            raise HardwareModelError("operand_bits must be >= 1")
+        self.operand_bits = operand_bits
+
+    def cost(self, tech: TechnologyLibrary) -> AreaPower:
+        # comparable to one adder of the accumulator width
+        return _logic(tech, tech.adder_area_per_bit * self.operand_bits)
+
+
+# ----------------------------------------------------------------------
+# Sequential elements
+# ----------------------------------------------------------------------
+class PipelineRegisters:
+    """All pipeline/staging flip-flops in the NFU datapath."""
+
+    def __init__(self, total_bits: int):
+        if total_bits < 0:
+            raise HardwareModelError("total_bits must be >= 0")
+        self.total_bits = total_bits
+
+    def cost(self, tech: TechnologyLibrary) -> AreaPower:
+        return _logic(tech, tech.register_area_per_bit * self.total_bits)

@@ -1,0 +1,134 @@
+"""Accelerator design-space exploration.
+
+The paper fixes the microarchitecture (16x16 tile, 250 MHz) and sweeps
+only precision, explicitly declaring geometry/frequency exploration
+out of scope.  This module provides that exploration as an extension:
+sweep tile geometry x precision (optionally x clock), evaluate each
+candidate on a workload, and extract the area/throughput/energy
+Pareto set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.precision import PAPER_PRECISIONS, PrecisionSpec
+from repro.errors import ConfigurationError
+from repro.hw.accelerator import Accelerator, AcceleratorConfig
+from repro.hw.scheduler import TileScheduler
+from repro.hw.tech import TECH_65NM, TechnologyLibrary
+from repro.nn.network import Sequential
+
+#: geometries swept by default: (neurons, synapses)
+DEFAULT_GEOMETRIES: Tuple[Tuple[int, int], ...] = (
+    (8, 8), (16, 8), (16, 16), (32, 16), (32, 32),
+)
+
+
+@dataclass(frozen=True)
+class DesignCandidate:
+    """One evaluated accelerator design point on a fixed workload."""
+
+    precision: PrecisionSpec
+    neurons: int
+    synapses: int
+    clock_mhz: float
+    area_mm2: float
+    power_mw: float
+    cycles_per_image: int
+    images_per_second: float
+    energy_uj_per_image: float
+
+    @property
+    def label(self) -> str:
+        return (
+            f"{self.precision.key} {self.neurons}x{self.synapses} "
+            f"@{self.clock_mhz:.0f}MHz"
+        )
+
+    @property
+    def images_per_second_per_watt(self) -> float:
+        return self.images_per_second / (self.power_mw * 1e-3)
+
+
+def evaluate_design(
+    network: Sequential,
+    input_shape: tuple,
+    spec: PrecisionSpec,
+    neurons: int,
+    synapses: int,
+    tech: TechnologyLibrary = TECH_65NM,
+    base_config: Optional[AcceleratorConfig] = None,
+) -> DesignCandidate:
+    """Evaluate one (precision, geometry) candidate on a network."""
+    base = base_config or AcceleratorConfig()
+    config = AcceleratorConfig(
+        neurons=neurons,
+        synapses=synapses,
+        input_buffer_words=base.input_buffer_words,
+        output_buffer_words=base.output_buffer_words,
+        weight_buffer_words=base.weight_buffer_words,
+        dataflow_efficiency=base.dataflow_efficiency,
+        layer_startup_cycles=base.layer_startup_cycles,
+    )
+    accelerator = Accelerator(spec, config=config, tech=tech)
+    schedule = TileScheduler(accelerator).schedule(network, input_shape)
+    runtime_s = schedule.runtime_s(tech.clock_hz)
+    return DesignCandidate(
+        precision=spec,
+        neurons=neurons,
+        synapses=synapses,
+        clock_mhz=tech.clock_hz / 1e6,
+        area_mm2=accelerator.area_mm2,
+        power_mw=accelerator.power_mw,
+        cycles_per_image=schedule.total_cycles,
+        images_per_second=1.0 / runtime_s,
+        energy_uj_per_image=runtime_s * accelerator.power_mw * 1e-3 * 1e6,
+    )
+
+
+def explore_design_space(
+    network: Sequential,
+    input_shape: tuple,
+    precisions: Optional[Sequence[PrecisionSpec]] = None,
+    geometries: Sequence[Tuple[int, int]] = DEFAULT_GEOMETRIES,
+    clocks_mhz: Sequence[float] = (250.0,),
+    tech: TechnologyLibrary = TECH_65NM,
+) -> List[DesignCandidate]:
+    """Full sweep over precision x geometry x clock."""
+    if not geometries:
+        raise ConfigurationError("need at least one geometry")
+    specs = list(precisions) if precisions is not None else list(PAPER_PRECISIONS)
+    candidates: List[DesignCandidate] = []
+    for clock in clocks_mhz:
+        scaled = tech if clock == tech.clock_hz / 1e6 else tech.with_clock(clock * 1e6)
+        for spec in specs:
+            for neurons, synapses in geometries:
+                candidates.append(
+                    evaluate_design(
+                        network, input_shape, spec, neurons, synapses, tech=scaled
+                    )
+                )
+    return candidates
+
+
+def throughput_pareto(candidates: Sequence[DesignCandidate]) -> List[DesignCandidate]:
+    """Non-dominated set maximizing throughput, minimizing area & energy."""
+    def dominated(a: DesignCandidate, b: DesignCandidate) -> bool:
+        no_worse = (
+            b.images_per_second >= a.images_per_second
+            and b.area_mm2 <= a.area_mm2
+            and b.energy_uj_per_image <= a.energy_uj_per_image
+        )
+        strictly = (
+            b.images_per_second > a.images_per_second
+            or b.area_mm2 < a.area_mm2
+            or b.energy_uj_per_image < a.energy_uj_per_image
+        )
+        return no_worse and strictly
+
+    frontier = [
+        c for c in candidates if not any(dominated(c, other) for other in candidates)
+    ]
+    return sorted(frontier, key=lambda c: c.area_mm2)

@@ -1,0 +1,94 @@
+"""Per-image inference energy (the Table IV / Table V energy columns).
+
+Energy = accelerator power x scheduled runtime.  Main-memory (DRAM)
+energy is excluded, matching the paper ("these graphs do not reflect
+the power consumption of the main memory").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.core.precision import PrecisionSpec
+from repro.hw.accelerator import Accelerator, AcceleratorConfig
+from repro.hw.scheduler import Schedule, TileScheduler
+from repro.hw.tech import TECH_65NM, TechnologyLibrary
+from repro.nn.network import Sequential
+
+
+@dataclass(frozen=True)
+class LayerEnergy:
+    """Energy attribution for one layer."""
+
+    name: str
+    cycles: int
+    energy_uj: float
+
+
+@dataclass(frozen=True)
+class EnergyReport:
+    """Per-image energy for one (network, precision) pair."""
+
+    network_name: str
+    precision_label: str
+    total_cycles: int
+    runtime_us: float
+    power_mw: float
+    energy_uj: float
+    layers: Tuple[LayerEnergy, ...]
+
+    def savings_vs(self, baseline: "EnergyReport") -> float:
+        """Energy saving in percent relative to ``baseline``."""
+        return 100.0 * (1.0 - self.energy_uj / baseline.energy_uj)
+
+
+class EnergyModel:
+    """Evaluates networks on accelerator design points."""
+
+    def __init__(
+        self,
+        config: AcceleratorConfig = AcceleratorConfig(),
+        tech: TechnologyLibrary = TECH_65NM,
+    ):
+        self.config = config
+        self.tech = tech
+        self._accelerators: Dict[str, Accelerator] = {}
+
+    def accelerator_for(self, spec: PrecisionSpec) -> Accelerator:
+        """Cached accelerator instance per precision."""
+        if spec.key not in self._accelerators:
+            self._accelerators[spec.key] = Accelerator(
+                spec, config=self.config, tech=self.tech
+            )
+        return self._accelerators[spec.key]
+
+    def evaluate(
+        self,
+        network: Sequential,
+        input_shape: tuple,
+        spec: PrecisionSpec,
+    ) -> EnergyReport:
+        """Schedule ``network`` at ``spec`` and integrate energy."""
+        accelerator = self.accelerator_for(spec)
+        schedule: Schedule = TileScheduler(accelerator).schedule(network, input_shape)
+        power_w = accelerator.power_mw * 1e-3
+        period = self.tech.clock_period_s
+        layers = tuple(
+            LayerEnergy(
+                name=layer.name,
+                cycles=layer.cycles,
+                energy_uj=layer.cycles * period * power_w * 1e6,
+            )
+            for layer in schedule.layers
+        )
+        runtime_s = schedule.runtime_s(self.tech.clock_hz)
+        return EnergyReport(
+            network_name=network.name,
+            precision_label=spec.label,
+            total_cycles=schedule.total_cycles,
+            runtime_us=runtime_s * 1e6,
+            power_mw=accelerator.power_mw,
+            energy_uj=runtime_s * power_w * 1e6,
+            layers=layers,
+        )

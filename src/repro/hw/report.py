@@ -1,0 +1,103 @@
+"""Synthesis-style reporting: Table III rows and the Figure 3 breakdown."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.core.precision import PAPER_PRECISIONS, PrecisionSpec
+from repro.hw.accelerator import Accelerator, AcceleratorConfig
+from repro.hw.tech import TECH_65NM, TechnologyLibrary
+
+#: display order of the Figure 3 stack categories
+BREAKDOWN_CATEGORIES = ["memory", "registers", "combinational", "buf_inv"]
+
+
+def area_power_breakdown(
+    accelerator: Accelerator,
+) -> Dict[str, Dict[str, float]]:
+    """Figure 3 data for one design: category -> {area_mm2, power_mw}."""
+    return {
+        category: {"area_mm2": cost.area_mm2, "power_mw": cost.power_mw}
+        for category, cost in accelerator.breakdown().items()
+    }
+
+
+def design_metrics_table(
+    precisions: Sequence[PrecisionSpec] = tuple(PAPER_PRECISIONS),
+    config: AcceleratorConfig = AcceleratorConfig(),
+    tech: TechnologyLibrary = TECH_65NM,
+) -> List[Dict[str, float]]:
+    """Table III rows: area, power and savings vs. the float baseline.
+
+    Returns one dict per precision with keys ``precision``,
+    ``area_mm2``, ``power_mw``, ``area_saving_pct``, ``power_saving_pct``.
+    """
+    baseline = Accelerator(precisions[0], config=config, tech=tech)
+    base_area = baseline.area_mm2
+    base_power = baseline.power_mw
+    rows: List[Dict[str, float]] = []
+    for spec in precisions:
+        accelerator = Accelerator(spec, config=config, tech=tech)
+        rows.append(
+            {
+                "precision": spec.label,
+                "key": spec.key,
+                "area_mm2": accelerator.area_mm2,
+                "power_mw": accelerator.power_mw,
+                "area_saving_pct": 100.0 * (1.0 - accelerator.area_mm2 / base_area),
+                "power_saving_pct": 100.0 * (1.0 - accelerator.power_mw / base_power),
+            }
+        )
+    return rows
+
+
+def schedule_report(schedule, clock_hz: float = 250e6) -> str:
+    """Per-layer utilization table for one scheduled network.
+
+    Shows where the tile's MAC throughput goes — the conv layers run
+    near the calibrated dataflow efficiency, while small inner-product
+    layers are startup-dominated.
+    """
+    lines = [
+        f"Schedule: {schedule.network_name} "
+        f"({schedule.total_cycles} cycles, "
+        f"{schedule.runtime_s(clock_hz) * 1e6:.1f} us @ {clock_hz / 1e6:.0f} MHz)",
+        f"{'layer':<10}{'kind':<7}{'MACs':>12}{'cycles':>10}{'MACs/cycle':>12}",
+        "-" * 51,
+    ]
+    for layer in schedule.layers:
+        lines.append(
+            f"{layer.name:<10}{layer.kind:<7}{layer.macs:>12}"
+            f"{layer.cycles:>10}{layer.utilization:>12.1f}"
+        )
+    lines.append("-" * 51)
+    lines.append(
+        f"{'total':<17}{schedule.total_macs:>12}{schedule.total_cycles:>10}"
+        f"{schedule.total_macs / schedule.total_cycles:>12.1f}"
+    )
+    return "\n".join(lines)
+
+
+def synthesis_report(accelerator: Accelerator) -> str:
+    """Human-readable report mimicking a DC area/power summary."""
+    lines = [
+        f"Design: tile accelerator, {accelerator.spec.label}",
+        f"Library: {accelerator.tech.name} @ {accelerator.tech.clock_hz / 1e6:.0f} MHz",
+        "",
+        f"{'component':<18}{'area (mm^2)':>14}{'power (mW)':>14}",
+        "-" * 46,
+    ]
+    for category in BREAKDOWN_CATEGORIES:
+        cost = accelerator.breakdown()[category]
+        lines.append(f"{category:<18}{cost.area_mm2:>14.3f}{cost.power_mw:>14.2f}")
+    total = accelerator.total_cost()
+    lines.append("-" * 46)
+    lines.append(f"{'total':<18}{total.area_mm2:>14.3f}{total.power_mw:>14.2f}")
+    fractions = accelerator.memory_fraction()
+    lines.append("")
+    lines.append(
+        f"buffers: {fractions['area']:.1%} of area, {fractions['power']:.1%} of power"
+    )
+    for buffer in accelerator.buffers:
+        lines.append(f"  {buffer}")
+    return "\n".join(lines)

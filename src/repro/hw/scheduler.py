@@ -1,0 +1,121 @@
+"""Layer-to-tile scheduling and cycle counting.
+
+The scheduler maps each compute layer (convolution / inner product) of
+a :class:`repro.nn.Sequential` onto the tile and counts execution
+cycles.  Following the paper's accelerator description, buffer DMA is
+assumed to overlap computation completely ("ensuring that the data is
+loaded into the buffers and made available to the NFU at the
+appropriate clock cycle without additional latency"), so a layer's
+cycle count is its MAC count over the tile's MAC throughput, scaled by
+the calibrated dataflow efficiency, plus a fixed per-layer startup.
+
+Pooling and activation run in NFU stage 3 / the pooling path and
+overlap the MAC stream; they contribute no extra cycles.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.errors import HardwareModelError
+from repro.hw.accelerator import Accelerator
+from repro.nn.network import Sequential
+
+
+@dataclass(frozen=True)
+class LayerWork:
+    """Workload of one compute layer for a single input image."""
+
+    name: str
+    kind: str               # "conv" or "dense"
+    macs: int               # multiply-accumulates per image
+    weights: int            # parameter count (incl. bias)
+    input_values: int       # feature-map values read
+    output_values: int      # feature-map values produced
+    cycles: int             # scheduled execution cycles
+
+    @property
+    def utilization(self) -> float:
+        """Achieved fraction of peak MACs (diagnostic)."""
+        return self.macs / max(self.cycles, 1)
+
+
+@dataclass(frozen=True)
+class Schedule:
+    """Full-network schedule for one image."""
+
+    network_name: str
+    layers: Tuple[LayerWork, ...]
+
+    @property
+    def total_cycles(self) -> int:
+        return sum(layer.cycles for layer in self.layers)
+
+    @property
+    def total_macs(self) -> int:
+        return sum(layer.macs for layer in self.layers)
+
+    def runtime_s(self, clock_hz: float) -> float:
+        return self.total_cycles / clock_hz
+
+
+class TileScheduler:
+    """Maps networks onto an :class:`Accelerator` instance."""
+
+    def __init__(self, accelerator: Accelerator):
+        self.accelerator = accelerator
+
+    def _cycles_for(self, macs: int) -> int:
+        config = self.accelerator.config
+        ideal = macs / self.accelerator.macs_per_cycle
+        # Binary merges NFU stages 1-2, shaving pipeline fill; the
+        # effect on throughput is in the startup term, not here.
+        return int(math.ceil(ideal / config.dataflow_efficiency))
+
+    def _startup_cycles(self) -> int:
+        config = self.accelerator.config
+        depth = self.accelerator.nfu.pipeline_depth
+        return config.layer_startup_cycles + depth
+
+    def schedule(self, network: Sequential, input_shape: tuple) -> Schedule:
+        """Schedule every compute layer of ``network`` on the tile.
+
+        Args:
+            network: the model to map.
+            input_shape: (C, H, W) of one input image.
+        """
+        layers: List[LayerWork] = []
+        shape = input_shape
+        for layer in network.layers:
+            out_shape = layer.output_shape(shape)
+            if hasattr(layer, "macs"):
+                macs = layer.macs(shape)
+                if macs <= 0:
+                    raise HardwareModelError(
+                        f"layer {layer.name} reports non-positive MACs"
+                    )
+                kind = "conv" if len(out_shape) == 3 else "dense"
+                layers.append(
+                    LayerWork(
+                        name=layer.name,
+                        kind=kind,
+                        macs=macs,
+                        weights=layer.parameter_count(),
+                        input_values=int(_prod(shape)),
+                        output_values=int(_prod(out_shape)),
+                        cycles=self._cycles_for(macs) + self._startup_cycles(),
+                    )
+                )
+            shape = out_shape
+        if not layers:
+            raise HardwareModelError("network has no compute layers to schedule")
+        return Schedule(network_name=network.name, layers=tuple(layers))
+
+
+def _prod(shape: tuple) -> int:
+    out = 1
+    for dim in shape:
+        out *= int(dim)
+    return out

@@ -1,0 +1,60 @@
+"""SRAM buffer subsystem model (Bin, Bout, SB of Figure 2).
+
+Each buffer subsystem in the paper "comprises an SRAM buffer array, a
+DMA, and control logic" that hides transfer latency from the NFU.  The
+model captures the dominant cost — the SRAM array — with area linear
+in capacity and power split into leakage plus an access term that
+scales with streaming bandwidth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import HardwareModelError
+from repro.hw.tech import TechnologyLibrary
+
+
+@dataclass(frozen=True)
+class SramBuffer:
+    """One buffer subsystem.
+
+    Attributes:
+        name: e.g. ``"Bin"``.
+        words: storage entries.
+        bits_per_word: word width — this is what precision scaling
+            changes (weight bits for SB, input bits for Bin/Bout).
+        bits_per_cycle: streaming bandwidth the NFU demands at full
+            utilization (e.g. 256 weights/cycle for SB).
+    """
+
+    name: str
+    words: int
+    bits_per_word: int
+    bits_per_cycle: int
+
+    def __post_init__(self) -> None:
+        if self.words < 1 or self.bits_per_word < 1:
+            raise HardwareModelError(f"buffer {self.name}: invalid geometry")
+        if self.bits_per_cycle < 0:
+            raise HardwareModelError(f"buffer {self.name}: invalid bandwidth")
+
+    @property
+    def total_bits(self) -> int:
+        return self.words * self.bits_per_word
+
+    @property
+    def kilobytes(self) -> float:
+        return self.total_bits / 8192.0
+
+    def area_mm2(self, tech: TechnologyLibrary) -> float:
+        return tech.sram_area(self.total_bits)
+
+    def power_mw(self, tech: TechnologyLibrary) -> float:
+        return tech.sram_power(self.total_bits, self.bits_per_cycle)
+
+    def __str__(self) -> str:
+        return (
+            f"{self.name}: {self.words} x {self.bits_per_word}b "
+            f"({self.kilobytes:.1f} KB)"
+        )

@@ -1,0 +1,76 @@
+"""From-scratch numpy neural-network framework.
+
+This subpackage replaces the paper's Caffe/Ristretto training stack.  It
+implements exactly what the study needs — convolutional, pooling and
+fully connected layers with backpropagation, SGD training, and model
+serialization — in plain numpy, with an explicit layer-object API:
+
+>>> from repro import nn
+>>> net = nn.Sequential([
+...     nn.Conv2D(1, 8, kernel_size=3, padding=1),
+...     nn.ReLU(),
+...     nn.MaxPool2D(2),
+...     nn.Flatten(),
+...     nn.Dense(8 * 14 * 14, 10),
+... ], name="tiny")
+
+All image tensors are NCHW ``float32`` numpy arrays.
+"""
+
+from repro.nn.tensor import Parameter
+from repro.nn.module import Module
+from repro.nn.conv import Conv2D
+from repro.nn.pooling import AvgPool2D, MaxPool2D
+from repro.nn.dense import Dense, Flatten
+from repro.nn.activations import LeakyReLU, ReLU, Sigmoid, Tanh
+from repro.nn.losses import Loss, MeanSquaredError, SoftmaxCrossEntropy, softmax
+from repro.nn.batchnorm import BatchNorm
+from repro.nn.dropout import Dropout
+from repro.nn.network import Sequential
+from repro.nn.optim import SGD, ConstantSchedule, ExponentialDecay, LRSchedule, StepDecay
+from repro.nn.adam import Adam
+from repro.nn.trainer import EarlyStopping, Trainer, TrainingHistory
+from repro.nn.metrics import accuracy, confusion_matrix, top_k_accuracy
+from repro.nn.serialization import (
+    load_network_weights,
+    save_network_weights,
+    transfer_weights,
+)
+from repro.nn.gradcheck import check_gradients
+
+__all__ = [
+    "Parameter",
+    "Module",
+    "Conv2D",
+    "MaxPool2D",
+    "AvgPool2D",
+    "Dense",
+    "Flatten",
+    "ReLU",
+    "LeakyReLU",
+    "Sigmoid",
+    "Tanh",
+    "Loss",
+    "SoftmaxCrossEntropy",
+    "MeanSquaredError",
+    "softmax",
+    "Sequential",
+    "BatchNorm",
+    "Dropout",
+    "SGD",
+    "Adam",
+    "LRSchedule",
+    "ConstantSchedule",
+    "StepDecay",
+    "ExponentialDecay",
+    "Trainer",
+    "TrainingHistory",
+    "EarlyStopping",
+    "accuracy",
+    "top_k_accuracy",
+    "confusion_matrix",
+    "save_network_weights",
+    "load_network_weights",
+    "transfer_weights",
+    "check_gradients",
+]

@@ -1,0 +1,109 @@
+"""Elementwise nonlinearities.
+
+These correspond to the third NFU pipeline stage of the accelerator
+(Section IV-A of the paper); in hardware they are LUT/piecewise units,
+here they are exact elementwise functions.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError, ShapeError
+from repro.nn.module import Module
+from repro.nn.tensor import DTYPE
+
+
+class ReLU(Module):
+    """Rectified linear unit, max(0, x)."""
+
+    def __init__(self, name: str = ""):
+        super().__init__(name=name or "relu")
+        self._mask: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        mask = x > 0
+        if self.training:
+            self._mask = mask
+        return np.where(mask, x, 0).astype(DTYPE, copy=False)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            raise ShapeError(f"{self.name}: backward called before forward")
+        return (grad_out * self._mask).astype(DTYPE, copy=False)
+
+    def output_shape(self, input_shape: tuple) -> tuple:
+        return input_shape
+
+
+class LeakyReLU(Module):
+    """Leaky ReLU with configurable negative slope."""
+
+    def __init__(self, negative_slope: float = 0.01, name: str = ""):
+        super().__init__(name=name or "leaky_relu")
+        if negative_slope < 0:
+            raise ConfigurationError("negative_slope must be >= 0")
+        self.negative_slope = negative_slope
+        self._mask: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        mask = x > 0
+        if self.training:
+            self._mask = mask
+        return np.where(mask, x, self.negative_slope * x).astype(DTYPE, copy=False)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            raise ShapeError(f"{self.name}: backward called before forward")
+        scale = np.where(self._mask, 1.0, self.negative_slope)
+        return (grad_out * scale).astype(DTYPE, copy=False)
+
+    def output_shape(self, input_shape: tuple) -> tuple:
+        return input_shape
+
+
+class Sigmoid(Module):
+    """Logistic sigmoid, 1 / (1 + exp(-x))."""
+
+    def __init__(self, name: str = ""):
+        super().__init__(name=name or "sigmoid")
+        self._out: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        out = 1.0 / (1.0 + np.exp(-np.clip(x, -60.0, 60.0)))
+        out = out.astype(DTYPE, copy=False)
+        if self.training:
+            self._out = out
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._out is None:
+            raise ShapeError(f"{self.name}: backward called before forward")
+        return (grad_out * self._out * (1.0 - self._out)).astype(DTYPE, copy=False)
+
+    def output_shape(self, input_shape: tuple) -> tuple:
+        return input_shape
+
+
+class Tanh(Module):
+    """Hyperbolic tangent."""
+
+    def __init__(self, name: str = ""):
+        super().__init__(name=name or "tanh")
+        self._out: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        out = np.tanh(x).astype(DTYPE, copy=False)
+        if self.training:
+            self._out = out
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._out is None:
+            raise ShapeError(f"{self.name}: backward called before forward")
+        return (grad_out * (1.0 - self._out**2)).astype(DTYPE, copy=False)
+
+    def output_shape(self, input_shape: tuple) -> tuple:
+        return input_shape

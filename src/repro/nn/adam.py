@@ -1,0 +1,91 @@
+"""Adam optimizer.
+
+The paper trains with plain SGD (the Caffe recipes); Adam is provided
+for the extension studies, where binary-weight training benefits from
+per-parameter step sizes (as in the BinaryNet reference code).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.nn.optim import ConstantSchedule, LRSchedule
+from repro.nn.tensor import Parameter
+
+
+class Adam:
+    """Adam (Kingma & Ba) with optional decoupled weight decay.
+
+    Args:
+        parameters: parameters to update.
+        lr: learning rate or :class:`LRSchedule`.
+        beta1 / beta2: first/second moment decay rates.
+        epsilon: denominator floor.
+        weight_decay: decoupled (AdamW-style) decay coefficient.
+    """
+
+    def __init__(
+        self,
+        parameters: Iterable[Parameter],
+        lr=1e-3,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        epsilon: float = 1e-8,
+        weight_decay: float = 0.0,
+    ):
+        self.parameters: List[Parameter] = list(parameters)
+        if not self.parameters:
+            raise ConfigurationError("optimizer needs at least one parameter")
+        self.schedule = lr if isinstance(lr, LRSchedule) else ConstantSchedule(float(lr))
+        if not 0.0 <= beta1 < 1.0 or not 0.0 <= beta2 < 1.0:
+            raise ConfigurationError("betas must be in [0, 1)")
+        if epsilon <= 0 or weight_decay < 0:
+            raise ConfigurationError("invalid epsilon or weight_decay")
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.epsilon = epsilon
+        self.weight_decay = weight_decay
+        self.epoch = 0
+        self._step_count = 0
+        self._m: Dict[int, np.ndarray] = {
+            id(p): np.zeros_like(p.data) for p in self.parameters
+        }
+        self._v: Dict[int, np.ndarray] = {
+            id(p): np.zeros_like(p.data) for p in self.parameters
+        }
+
+    @property
+    def current_lr(self) -> float:
+        return self.schedule.rate(self.epoch)
+
+    def set_epoch(self, epoch: int) -> None:
+        self.epoch = epoch
+
+    def step(self) -> None:
+        """Apply one Adam update from the accumulated gradients."""
+        self._step_count += 1
+        lr = self.current_lr
+        bias1 = 1.0 - self.beta1**self._step_count
+        bias2 = 1.0 - self.beta2**self._step_count
+        for param in self.parameters:
+            if not param.trainable:
+                continue
+            m = self._m[id(param)]
+            v = self._v[id(param)]
+            m *= self.beta1
+            m += (1.0 - self.beta1) * param.grad
+            v *= self.beta2
+            v += (1.0 - self.beta2) * param.grad**2
+            m_hat = m / bias1
+            v_hat = v / bias2
+            update = lr * m_hat / (np.sqrt(v_hat) + self.epsilon)
+            if self.weight_decay > 0.0:
+                update += lr * self.weight_decay * param.data
+            param.data -= update
+
+    def zero_grad(self) -> None:
+        for param in self.parameters:
+            param.zero_grad()

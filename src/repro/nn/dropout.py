@@ -1,0 +1,54 @@
+"""Inverted dropout regularization."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError, ShapeError
+from repro.nn.module import Module
+from repro.nn.tensor import DTYPE
+
+
+class Dropout(Module):
+    """Inverted dropout: active in training, identity in eval.
+
+    Each activation is zeroed with probability ``rate`` and survivors
+    are scaled by ``1 / (1 - rate)`` so eval needs no rescaling.
+    """
+
+    def __init__(
+        self,
+        rate: float = 0.5,
+        rng: Optional[np.random.Generator] = None,
+        name: str = "",
+    ):
+        super().__init__(name=name or "dropout")
+        if not 0.0 <= rate < 1.0:
+            raise ConfigurationError("dropout rate must be in [0, 1)")
+        self.rate = rate
+        self.rng = rng or np.random.default_rng(0)
+        self._mask: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if not self.training or self.rate == 0.0:
+            self._mask = None
+            return x
+        keep = 1.0 - self.rate
+        mask = (self.rng.random(x.shape) < keep).astype(DTYPE) / keep
+        self._mask = mask
+        return (x * mask).astype(DTYPE, copy=False)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if not self.training or self.rate == 0.0:
+            return grad_out
+        if self._mask is None:
+            raise ShapeError(f"{self.name}: backward called before forward")
+        return (grad_out * self._mask).astype(DTYPE, copy=False)
+
+    def output_shape(self, input_shape: tuple) -> tuple:
+        return input_shape
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Dropout(rate={self.rate})"

@@ -1,0 +1,68 @@
+"""Numerical gradient checking.
+
+Central-difference verification of analytic gradients, used by the test
+suite to validate every layer's ``backward`` implementation.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+import numpy as np
+
+from repro.nn.losses import Loss
+from repro.nn.network import Sequential
+
+
+def numerical_gradient(
+    f: Callable[[], float], array: np.ndarray, epsilon: float = 1e-3
+) -> np.ndarray:
+    """Central-difference gradient of scalar ``f()`` w.r.t. ``array`` in place."""
+    grad = np.zeros_like(array, dtype=np.float64)
+    flat = array.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + epsilon
+        f_plus = f()
+        flat[i] = original - epsilon
+        f_minus = f()
+        flat[i] = original
+        grad_flat[i] = (f_plus - f_minus) / (2.0 * epsilon)
+    return grad
+
+
+def check_gradients(
+    network: Sequential,
+    loss: Loss,
+    x: np.ndarray,
+    y: np.ndarray,
+    tolerance: float = 2e-2,
+) -> Dict[str, float]:
+    """Compare analytic and numerical gradients for every parameter.
+
+    Returns the relative error per parameter name; raises ``AssertionError``
+    when any exceeds ``tolerance``.  Use small float32-friendly inputs.
+    """
+    network.train_mode()
+    network.zero_grad()
+    logits = network.forward(x)
+    _, grad = loss.compute(logits, y)
+    network.backward(grad)
+    analytic = {p.name: p.grad.copy() for p in network.parameters()}
+
+    def scalar_loss() -> float:
+        value, _ = loss.compute(network.forward(x), y)
+        return value
+
+    errors: Dict[str, float] = {}
+    for param in network.parameters():
+        numeric = numerical_gradient(scalar_loss, param.data)
+        a = analytic[param.name].astype(np.float64)
+        denom = max(np.linalg.norm(a) + np.linalg.norm(numeric), 1e-8)
+        rel_error = float(np.linalg.norm(a - numeric) / denom)
+        errors[param.name] = rel_error
+        assert rel_error < tolerance, (
+            f"gradient check failed for {param.name}: rel error {rel_error:.3e}"
+        )
+    return errors

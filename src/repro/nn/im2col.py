@@ -1,0 +1,91 @@
+"""im2col / col2im lowering for convolution and pooling.
+
+Convolution is implemented as a matrix multiply over patch columns, the
+same lowering Caffe uses.  The implementation is vectorized with
+``as_strided``-free fancy indexing (safe, no aliasing surprises).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import ShapeError
+
+
+def conv_output_size(size: int, kernel: int, stride: int, padding: int, ceil_mode: bool = False) -> int:
+    """Spatial output size of a conv/pool window sweep.
+
+    ``ceil_mode=True`` matches Caffe pooling semantics (partial windows
+    at the right/bottom edge produce an extra output); convolution uses
+    floor mode.
+    """
+    span = size + 2 * padding - kernel
+    if span < 0:
+        raise ShapeError(
+            f"kernel {kernel} larger than padded input {size + 2 * padding}"
+        )
+    if ceil_mode:
+        out = -(-span // stride) + 1
+        # Caffe clips windows that start entirely in the padding.
+        if (out - 1) * stride >= size + padding:
+            out -= 1
+        return out
+    return span // stride + 1
+
+
+def _im2col_indices(
+    channels: int, height: int, width: int, kernel: int, stride: int, padding: int,
+    out_h: int, out_w: int,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Index arrays mapping padded-image pixels to column entries."""
+    i0 = np.repeat(np.arange(kernel), kernel)
+    i0 = np.tile(i0, channels)
+    i1 = stride * np.repeat(np.arange(out_h), out_w)
+    j0 = np.tile(np.arange(kernel), kernel * channels)
+    j1 = stride * np.tile(np.arange(out_w), out_h)
+    i = i0.reshape(-1, 1) + i1.reshape(1, -1)
+    j = j0.reshape(-1, 1) + j1.reshape(1, -1)
+    k = np.repeat(np.arange(channels), kernel * kernel).reshape(-1, 1)
+    return k, i, j
+
+
+def im2col(
+    x: np.ndarray, kernel: int, stride: int, padding: int,
+) -> np.ndarray:
+    """Lower NCHW batch ``x`` into columns.
+
+    Returns an array of shape ``(C*K*K, N*out_h*out_w)`` whose columns
+    are the flattened receptive fields in row-major output order.
+    """
+    n, c, h, w = x.shape
+    out_h = conv_output_size(h, kernel, stride, padding)
+    out_w = conv_output_size(w, kernel, stride, padding)
+    x_pad = np.pad(
+        x, ((0, 0), (0, 0), (padding, padding), (padding, padding)), mode="constant"
+    )
+    k, i, j = _im2col_indices(c, h, w, kernel, stride, padding, out_h, out_w)
+    cols = x_pad[:, k, i, j]  # (N, C*K*K, out_h*out_w)
+    return cols.transpose(1, 2, 0).reshape(c * kernel * kernel, -1)
+
+
+def col2im(
+    cols: np.ndarray, x_shape: Tuple[int, int, int, int], kernel: int, stride: int, padding: int,
+) -> np.ndarray:
+    """Inverse of :func:`im2col`: scatter-add columns back to NCHW.
+
+    Overlapping receptive fields accumulate, which is exactly the
+    gradient of the im2col gather.
+    """
+    n, c, h, w = x_shape
+    out_h = conv_output_size(h, kernel, stride, padding)
+    out_w = conv_output_size(w, kernel, stride, padding)
+    h_pad, w_pad = h + 2 * padding, w + 2 * padding
+    x_pad = np.zeros((n, c, h_pad, w_pad), dtype=cols.dtype)
+    k, i, j = _im2col_indices(c, h, w, kernel, stride, padding, out_h, out_w)
+    cols_reshaped = cols.reshape(c * kernel * kernel, out_h * out_w, n).transpose(2, 0, 1)
+    np.add.at(x_pad, (slice(None), k, i, j), cols_reshaped)
+    if padding == 0:
+        return x_pad
+    return x_pad[:, :, padding:-padding, padding:-padding]

@@ -1,0 +1,56 @@
+"""Weight initialization schemes.
+
+All initializers take an explicit ``numpy.random.Generator`` so that
+every experiment in the study is reproducible bit-for-bit from a seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.nn.tensor import DTYPE
+
+
+def _fans(shape: tuple) -> tuple:
+    """(fan_in, fan_out) for dense ``(in, out)`` or conv ``(out_c, in_c, k, k)``."""
+    if len(shape) == 2:
+        return shape[0], shape[1]
+    if len(shape) == 4:
+        receptive = shape[2] * shape[3]
+        return shape[1] * receptive, shape[0] * receptive
+    raise ConfigurationError(f"cannot infer fans for shape {shape}")
+
+
+def glorot_uniform(shape: tuple, rng: np.random.Generator) -> np.ndarray:
+    """Glorot/Xavier uniform: U(-a, a) with a = sqrt(6 / (fan_in + fan_out))."""
+    fan_in, fan_out = _fans(shape)
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=shape).astype(DTYPE)
+
+
+def he_normal(shape: tuple, rng: np.random.Generator) -> np.ndarray:
+    """He/Kaiming normal: N(0, sqrt(2 / fan_in)); suited to ReLU networks."""
+    fan_in, _ = _fans(shape)
+    std = np.sqrt(2.0 / fan_in)
+    return (rng.standard_normal(shape) * std).astype(DTYPE)
+
+
+def zeros(shape: tuple) -> np.ndarray:
+    return np.zeros(shape, dtype=DTYPE)
+
+
+INITIALIZERS = {
+    "glorot": glorot_uniform,
+    "he": he_normal,
+}
+
+
+def get_initializer(name: str):
+    """Look up an initializer by name (``"glorot"`` or ``"he"``)."""
+    try:
+        return INITIALIZERS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown initializer {name!r}; choose from {sorted(INITIALIZERS)}"
+        ) from None

@@ -1,0 +1,81 @@
+"""Loss functions.
+
+Losses are separate from layers: they take logits (or predictions) plus
+integer labels and return ``(loss_value, gradient_wrt_input)``.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.nn.tensor import DTYPE
+
+
+def softmax(logits: np.ndarray) -> np.ndarray:
+    """Numerically stable row-wise softmax over (N, classes) logits."""
+    shifted = logits - logits.max(axis=1, keepdims=True)
+    exp = np.exp(shifted)
+    return (exp / exp.sum(axis=1, keepdims=True)).astype(DTYPE, copy=False)
+
+
+class Loss:
+    """Base class: ``compute`` returns (scalar loss, grad w.r.t. prediction)."""
+
+    def compute(self, prediction: np.ndarray, target: np.ndarray) -> Tuple[float, np.ndarray]:
+        raise NotImplementedError
+
+    def __call__(self, prediction: np.ndarray, target: np.ndarray) -> Tuple[float, np.ndarray]:
+        return self.compute(prediction, target)
+
+
+class SoftmaxCrossEntropy(Loss):
+    """Softmax + cross-entropy over integer class labels.
+
+    Combining the two yields the well-conditioned gradient
+    ``softmax(logits) - onehot(labels)``.
+    """
+
+    def __init__(self, label_smoothing: float = 0.0):
+        if not 0.0 <= label_smoothing < 1.0:
+            raise ShapeError("label_smoothing must be in [0, 1)")
+        self.label_smoothing = label_smoothing
+
+    def compute(self, logits: np.ndarray, labels: np.ndarray) -> Tuple[float, np.ndarray]:
+        if logits.ndim != 2:
+            raise ShapeError(f"expected (N, classes) logits, got {logits.shape}")
+        labels = np.asarray(labels)
+        if labels.shape != (logits.shape[0],):
+            raise ShapeError(
+                f"labels shape {labels.shape} does not match batch {logits.shape[0]}"
+            )
+        n, num_classes = logits.shape
+        probs = softmax(logits)
+        target = np.zeros_like(probs)
+        target[np.arange(n), labels] = 1.0
+        if self.label_smoothing > 0.0:
+            target = (
+                target * (1.0 - self.label_smoothing)
+                + self.label_smoothing / num_classes
+            )
+        eps = np.finfo(DTYPE).tiny
+        loss = float(-(target * np.log(probs + eps)).sum() / n)
+        grad = ((probs - target) / n).astype(DTYPE, copy=False)
+        return loss, grad
+
+
+class MeanSquaredError(Loss):
+    """Mean squared error against dense targets of the same shape."""
+
+    def compute(self, prediction: np.ndarray, target: np.ndarray) -> Tuple[float, np.ndarray]:
+        target = np.asarray(target, dtype=DTYPE)
+        if target.shape != prediction.shape:
+            raise ShapeError(
+                f"target shape {target.shape} != prediction shape {prediction.shape}"
+            )
+        diff = prediction - target
+        loss = float(np.mean(diff**2))
+        grad = (2.0 * diff / diff.size).astype(DTYPE, copy=False)
+        return loss, grad

@@ -1,0 +1,136 @@
+"""Stochastic gradient descent and learning-rate schedules.
+
+The paper trains with standard SGD ("network parameters are then updated
+using stochastic gradient descent"); momentum and weight decay follow
+the Caffe solver defaults used by the benchmark networks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.nn.tensor import Parameter
+
+
+class LRSchedule:
+    """Maps an epoch index to a learning rate."""
+
+    def rate(self, epoch: int) -> float:
+        raise NotImplementedError
+
+    def __call__(self, epoch: int) -> float:
+        return self.rate(epoch)
+
+
+class ConstantSchedule(LRSchedule):
+    def __init__(self, lr: float):
+        if lr <= 0:
+            raise ConfigurationError("learning rate must be positive")
+        self.lr = lr
+
+    def rate(self, epoch: int) -> float:
+        return self.lr
+
+
+class StepDecay(LRSchedule):
+    """Multiply the rate by ``gamma`` every ``step`` epochs (Caffe 'step')."""
+
+    def __init__(self, lr: float, step: int, gamma: float = 0.1):
+        if lr <= 0 or step <= 0 or not 0 < gamma <= 1:
+            raise ConfigurationError("invalid StepDecay parameters")
+        self.lr = lr
+        self.step = step
+        self.gamma = gamma
+
+    def rate(self, epoch: int) -> float:
+        return self.lr * self.gamma ** (epoch // self.step)
+
+
+class ExponentialDecay(LRSchedule):
+    """lr * gamma**epoch."""
+
+    def __init__(self, lr: float, gamma: float = 0.95):
+        if lr <= 0 or not 0 < gamma <= 1:
+            raise ConfigurationError("invalid ExponentialDecay parameters")
+        self.lr = lr
+        self.gamma = gamma
+
+    def rate(self, epoch: int) -> float:
+        return self.lr * self.gamma**epoch
+
+
+class SGD:
+    """SGD with momentum, weight decay, and optional gradient clipping.
+
+    Updates follow the Caffe/heavy-ball convention::
+
+        v <- momentum * v - lr * (grad + weight_decay * w)
+        w <- w + v
+
+    Args:
+        parameters: the parameters to update (usually ``net.parameters()``).
+        lr: base learning rate, or an :class:`LRSchedule`.
+        momentum: heavy-ball coefficient in [0, 1).
+        weight_decay: L2 penalty coefficient.
+        grad_clip: when set, clip each gradient to this max L2 norm.
+    """
+
+    def __init__(
+        self,
+        parameters: Iterable[Parameter],
+        lr=0.01,
+        momentum: float = 0.9,
+        weight_decay: float = 0.0,
+        grad_clip: float = 0.0,
+    ):
+        self.parameters: List[Parameter] = list(parameters)
+        if not self.parameters:
+            raise ConfigurationError("optimizer needs at least one parameter")
+        if isinstance(lr, LRSchedule):
+            self.schedule = lr
+        else:
+            self.schedule = ConstantSchedule(float(lr))
+        if not 0.0 <= momentum < 1.0:
+            raise ConfigurationError("momentum must be in [0, 1)")
+        if weight_decay < 0 or grad_clip < 0:
+            raise ConfigurationError("weight_decay and grad_clip must be >= 0")
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self.grad_clip = grad_clip
+        self.epoch = 0
+        self._velocity: Dict[int, np.ndarray] = {
+            id(p): np.zeros_like(p.data) for p in self.parameters
+        }
+
+    @property
+    def current_lr(self) -> float:
+        return self.schedule.rate(self.epoch)
+
+    def set_epoch(self, epoch: int) -> None:
+        """Advance the schedule; called once per epoch by the trainer."""
+        self.epoch = epoch
+
+    def step(self) -> None:
+        """Apply one update from the currently accumulated gradients."""
+        lr = self.current_lr
+        for param in self.parameters:
+            if not param.trainable:
+                continue
+            grad = param.grad
+            if self.grad_clip > 0.0:
+                norm = float(np.linalg.norm(grad))
+                if norm > self.grad_clip:
+                    grad = grad * (self.grad_clip / norm)
+            if self.weight_decay > 0.0:
+                grad = grad + self.weight_decay * param.data
+            velocity = self._velocity[id(param)]
+            velocity *= self.momentum
+            velocity -= lr * grad
+            param.data += velocity
+
+    def zero_grad(self) -> None:
+        for param in self.parameters:
+            param.zero_grad()

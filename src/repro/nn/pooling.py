@@ -1,0 +1,151 @@
+"""Max and average pooling layers.
+
+Pooling uses *ceil mode* by default, matching Caffe: a partial window at
+the right/bottom edge produces an extra output.  This is required to
+reproduce the paper's network shapes (e.g. ALEX pools 3x3/stride-2 over
+a 32x32 map and yields 16x16, not 15x15).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError, ShapeError
+from repro.nn.im2col import conv_output_size
+from repro.nn.module import Module
+from repro.nn.tensor import DTYPE
+
+
+class _Pool2D(Module):
+    """Common machinery for max/avg pooling."""
+
+    def __init__(
+        self,
+        kernel_size: int,
+        stride: Optional[int] = None,
+        padding: int = 0,
+        ceil_mode: bool = True,
+        name: str = "",
+    ):
+        super().__init__(name=name or "pool")
+        if kernel_size < 1:
+            raise ConfigurationError("kernel_size must be positive")
+        self.kernel_size = kernel_size
+        self.stride = stride if stride is not None else kernel_size
+        if self.stride < 1:
+            raise ConfigurationError("stride must be positive")
+        self.padding = padding
+        self.ceil_mode = ceil_mode
+        self._cache: Optional[dict] = None
+
+    # ------------------------------------------------------------------
+    def _out_hw(self, h: int, w: int) -> tuple:
+        out_h = conv_output_size(h, self.kernel_size, self.stride, self.padding, self.ceil_mode)
+        out_w = conv_output_size(w, self.kernel_size, self.stride, self.padding, self.ceil_mode)
+        return out_h, out_w
+
+    def _padded(self, x: np.ndarray, fill: float) -> np.ndarray:
+        """Pad so every (possibly partial) window is fully materialized."""
+        n, c, h, w = x.shape
+        out_h, out_w = self._out_hw(h, w)
+        need_h = (out_h - 1) * self.stride + self.kernel_size
+        need_w = (out_w - 1) * self.stride + self.kernel_size
+        pad_h = (self.padding, max(0, need_h - h - self.padding))
+        pad_w = (self.padding, max(0, need_w - w - self.padding))
+        return np.pad(
+            x, ((0, 0), (0, 0), pad_h, pad_w), mode="constant", constant_values=fill
+        )
+
+    def _windows(self, x_pad: np.ndarray, out_h: int, out_w: int) -> np.ndarray:
+        """Stack the k*k shifted views: shape (k*k, N, C, out_h, out_w)."""
+        k, s = self.kernel_size, self.stride
+        views = [
+            x_pad[:, :, ki : ki + s * out_h : s, kj : kj + s * out_w : s]
+            for ki in range(k)
+            for kj in range(k)
+        ]
+        return np.stack(views, axis=0)
+
+    def output_shape(self, input_shape: tuple) -> tuple:
+        c, h, w = input_shape
+        out_h, out_w = self._out_hw(h, w)
+        return (c, out_h, out_w)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"{type(self).__name__}(k={self.kernel_size}, s={self.stride})"
+
+
+class MaxPool2D(_Pool2D):
+    """Max pooling; backward routes gradient to the argmax pixel."""
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if x.ndim != 4:
+            raise ShapeError(f"{self.name}: expected NCHW input, got {x.shape}")
+        out_h, out_w = self._out_hw(x.shape[2], x.shape[3])
+        x_pad = self._padded(x, fill=-np.inf)
+        windows = self._windows(x_pad, out_h, out_w)
+        argmax = windows.argmax(axis=0)
+        out = np.take_along_axis(windows, argmax[None], axis=0)[0]
+        if self.training:
+            self._cache = {
+                "argmax": argmax,
+                "x_shape": x.shape,
+                "pad_shape": x_pad.shape,
+            }
+        return out.astype(DTYPE, copy=False)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise ShapeError(f"{self.name}: backward called before forward")
+        argmax = self._cache["argmax"]
+        n, c, h, w = self._cache["x_shape"]
+        grad_pad = np.zeros(self._cache["pad_shape"], dtype=DTYPE)
+        out_h, out_w = grad_out.shape[2], grad_out.shape[3]
+        k = self.kernel_size
+        ki = argmax // k
+        kj = argmax % k
+        oh = np.arange(out_h)[None, None, :, None]
+        ow = np.arange(out_w)[None, None, None, :]
+        rows = oh * self.stride + ki
+        cols = ow * self.stride + kj
+        nn_idx = np.arange(n)[:, None, None, None]
+        cc_idx = np.arange(c)[None, :, None, None]
+        np.add.at(grad_pad, (nn_idx, cc_idx, rows, cols), grad_out)
+        p = self.padding
+        return grad_pad[:, :, p : p + h, p : p + w]
+
+
+class AvgPool2D(_Pool2D):
+    """Average pooling.
+
+    Divides by the full window size including padded/out-of-range pixels
+    (Caffe ``AVE`` semantics), so the operation is linear and backward is
+    a uniform scatter.
+    """
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if x.ndim != 4:
+            raise ShapeError(f"{self.name}: expected NCHW input, got {x.shape}")
+        out_h, out_w = self._out_hw(x.shape[2], x.shape[3])
+        x_pad = self._padded(x, fill=0.0)
+        windows = self._windows(x_pad, out_h, out_w)
+        out = windows.mean(axis=0)
+        if self.training:
+            self._cache = {"x_shape": x.shape, "pad_shape": x_pad.shape}
+        return out.astype(DTYPE, copy=False)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise ShapeError(f"{self.name}: backward called before forward")
+        n, c, h, w = self._cache["x_shape"]
+        grad_pad = np.zeros(self._cache["pad_shape"], dtype=DTYPE)
+        k, s = self.kernel_size, self.stride
+        out_h, out_w = grad_out.shape[2], grad_out.shape[3]
+        share = grad_out / (k * k)
+        for ki in range(k):
+            for kj in range(k):
+                grad_pad[:, :, ki : ki + s * out_h : s, kj : kj + s * out_w : s] += share
+        p = self.padding
+        return grad_pad[:, :, p : p + h, p : p + w]

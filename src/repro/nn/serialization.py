@@ -1,0 +1,58 @@
+"""Saving and loading network weights as ``.npz`` archives."""
+
+from __future__ import annotations
+
+import os
+from typing import Dict
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.nn.network import Sequential
+
+
+def network_state(network: Sequential) -> Dict[str, np.ndarray]:
+    """Name -> array snapshot of every parameter."""
+    state: Dict[str, np.ndarray] = {}
+    for param in network.parameters():
+        if param.name in state:
+            raise ShapeError(f"duplicate parameter name {param.name!r}")
+        state[param.name] = param.data.copy()
+    return state
+
+
+def save_network_weights(network: Sequential, path: str) -> None:
+    """Write all parameters to a compressed ``.npz`` file."""
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    np.savez_compressed(path, **network_state(network))
+
+
+def transfer_weights(source: Sequential, target: Sequential) -> None:
+    """Copy parameters between two identically built networks.
+
+    Used to warm-start quantization-aware training from a trained
+    full-precision network (the paper initializes "the parameters for
+    lower precision training from the floating point counterpart").
+    """
+    state = network_state(source)
+    for param in target.parameters():
+        if param.name not in state:
+            raise ShapeError(f"source network missing parameter {param.name!r}")
+        param.set_data(state[param.name])
+
+
+def load_network_weights(network: Sequential, path: str) -> None:
+    """Load parameters saved by :func:`save_network_weights`.
+
+    The network architecture must match: every parameter name must be
+    present with the right shape, and no extras may remain.
+    """
+    with np.load(path) as archive:
+        stored = {key: archive[key] for key in archive.files}
+    for param in network.parameters():
+        if param.name not in stored:
+            raise ShapeError(f"archive missing parameter {param.name!r}")
+        param.set_data(stored.pop(param.name))
+    if stored:
+        raise ShapeError(f"archive has unmatched parameters: {sorted(stored)}")

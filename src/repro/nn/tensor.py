@@ -1,0 +1,72 @@
+"""Trainable parameter container.
+
+The framework keeps the autograd surface deliberately small: layers
+compute their own gradients in ``backward`` and deposit them into
+:class:`Parameter` objects, which the optimizer then consumes.  This is
+the same contract Caffe uses (blobs with ``data`` and ``diff``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError
+
+DTYPE = np.float32
+
+
+class Parameter:
+    """A named, trainable array with an accumulated gradient.
+
+    Attributes:
+        data: the current parameter values (``float32``).
+        grad: gradient of the loss w.r.t. ``data``; accumulated by layer
+            ``backward`` calls and cleared by :meth:`zero_grad`.
+        name: dotted, human-readable identifier (e.g. ``"conv1.weight"``).
+        trainable: when ``False`` the optimizer skips this parameter.
+    """
+
+    def __init__(self, data: np.ndarray, name: str = "param", trainable: bool = True):
+        self.data = np.asarray(data, dtype=DTYPE)
+        self.grad = np.zeros_like(self.data)
+        self.name = name
+        self.trainable = trainable
+
+    @property
+    def shape(self) -> tuple:
+        return self.data.shape
+
+    @property
+    def size(self) -> int:
+        return int(self.data.size)
+
+    def zero_grad(self) -> None:
+        """Reset the accumulated gradient to zero."""
+        self.grad[...] = 0.0
+
+    def accumulate_grad(self, grad: np.ndarray) -> None:
+        """Add ``grad`` into the stored gradient (shape-checked)."""
+        if grad.shape != self.data.shape:
+            raise ShapeError(
+                f"gradient shape {grad.shape} does not match parameter "
+                f"{self.name!r} shape {self.data.shape}"
+            )
+        self.grad += grad.astype(DTYPE, copy=False)
+
+    def copy_data(self) -> np.ndarray:
+        """Return a defensive copy of the parameter values."""
+        return self.data.copy()
+
+    def set_data(self, values: np.ndarray) -> None:
+        """Replace parameter values in place (shape-checked)."""
+        values = np.asarray(values, dtype=DTYPE)
+        if values.shape != self.data.shape:
+            raise ShapeError(
+                f"cannot assign values of shape {values.shape} to parameter "
+                f"{self.name!r} of shape {self.data.shape}"
+            )
+        self.data[...] = values
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        flag = "" if self.trainable else ", frozen"
+        return f"Parameter({self.name!r}, shape={self.data.shape}{flag})"

@@ -1,0 +1,46 @@
+"""Benchmark network architectures from Tables I and II of the paper.
+
+===========  ==========  =========================================
+network      dataset     description
+===========  ==========  =========================================
+``lenet``    digits      LeNet (Table I, MNIST column)
+``convnet``  svhn        ConvNet (Table I, SVHN column)
+``alex``     cifar       ALEX (Table I, CIFAR-10 column)
+``alex+``    cifar       ALEX+ — channels doubled (Table II)
+``alex++``   cifar       ALEX++ — VGG-style doubling (Table II)
+===========  ==========  =========================================
+
+``*_small`` variants are reduced proxies for fast tests/benchmarks;
+they keep the same topology pattern at a fraction of the channels.
+"""
+
+from repro.zoo.lenet import build_lenet, build_lenet_small
+from repro.zoo.convnet_svhn import build_convnet, build_convnet_small
+from repro.zoo.alex import build_alex, build_alex_plus, build_alex_plus_plus, build_alex_small
+from repro.zoo.alex_small_variants import (
+    build_alex_small_plus,
+    build_alex_small_plus_plus,
+)
+from repro.zoo.registry import (
+    NETWORK_BUILDERS,
+    NetworkInfo,
+    build_network,
+    network_info,
+)
+
+__all__ = [
+    "build_lenet",
+    "build_lenet_small",
+    "build_convnet",
+    "build_convnet_small",
+    "build_alex",
+    "build_alex_plus",
+    "build_alex_plus_plus",
+    "build_alex_small",
+    "build_alex_small_plus",
+    "build_alex_small_plus_plus",
+    "NETWORK_BUILDERS",
+    "NetworkInfo",
+    "build_network",
+    "network_info",
+]

@@ -1,0 +1,109 @@
+"""ALEX, ALEX+ and ALEX++ for CIFAR-10 (Tables I and II).
+
+ALEX (Krizhevsky's cifar10_quick-style network, Table I):
+
+    32x32x3 -> conv 5x5x32 -> maxpool 3x3/2 -> conv 5x5x32 -> avgpool 3x3/2
+            -> conv 5x5x64 -> avgpool 3x3/2 -> innerproduct 10
+
+ALEX+ (Table II): every convolutional channel count doubled.
+ALEX++ (Table II): VGG-style — 3x3 kernels, channels double whenever
+the feature map halves, with a 512-wide inner product head.
+
+Full-precision parameter memory: ~350 KB (ALEX), ~1300 KB (ALEX+),
+~9662 KB (ALEX++), matching the paper's ~350 / ~1250 / ~9400 KB.
+
+Pooling uses Caffe ceil-mode semantics, which is required for these
+shapes to line up (32 -> 16 -> 8 -> 4 through three 3x3/2 pools).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import nn
+
+
+def build_alex(seed: int = 0) -> nn.Sequential:
+    """The paper's ALEX baseline for 3x32x32 inputs, 10 classes."""
+    rng = np.random.default_rng(seed)
+    return nn.Sequential(
+        [
+            nn.Conv2D(3, 32, kernel_size=5, padding=2, name="conv1", rng=rng),
+            nn.ReLU(name="relu1"),
+            nn.MaxPool2D(3, stride=2, name="pool1"),
+            nn.Conv2D(32, 32, kernel_size=5, padding=2, name="conv2", rng=rng),
+            nn.ReLU(name="relu2"),
+            nn.AvgPool2D(3, stride=2, name="pool2"),
+            nn.Conv2D(32, 64, kernel_size=5, padding=2, name="conv3", rng=rng),
+            nn.ReLU(name="relu3"),
+            nn.AvgPool2D(3, stride=2, name="pool3"),
+            nn.Flatten(name="flatten"),
+            nn.Dense(4 * 4 * 64, 10, name="ip1", rng=rng),
+        ],
+        name="alex",
+    )
+
+
+def build_alex_plus(seed: int = 0) -> nn.Sequential:
+    """ALEX+ — the number of channels in each conv layer is doubled."""
+    rng = np.random.default_rng(seed)
+    return nn.Sequential(
+        [
+            nn.Conv2D(3, 64, kernel_size=5, padding=2, name="conv1", rng=rng),
+            nn.ReLU(name="relu1"),
+            nn.MaxPool2D(3, stride=2, name="pool1"),
+            nn.Conv2D(64, 64, kernel_size=5, padding=2, name="conv2", rng=rng),
+            nn.ReLU(name="relu2"),
+            nn.AvgPool2D(3, stride=2, name="pool2"),
+            nn.Conv2D(64, 128, kernel_size=5, padding=2, name="conv3", rng=rng),
+            nn.ReLU(name="relu3"),
+            nn.AvgPool2D(3, stride=2, name="pool3"),
+            nn.Flatten(name="flatten"),
+            nn.Dense(4 * 4 * 128, 10, name="ip1", rng=rng),
+        ],
+        name="alex+",
+    )
+
+
+def build_alex_plus_plus(seed: int = 0) -> nn.Sequential:
+    """ALEX++ — channels double when the feature size halves (VGG rule)."""
+    rng = np.random.default_rng(seed)
+    return nn.Sequential(
+        [
+            nn.Conv2D(3, 64, kernel_size=3, padding=1, name="conv1", rng=rng),
+            nn.ReLU(name="relu1"),
+            nn.MaxPool2D(2, name="pool1"),
+            nn.Conv2D(64, 128, kernel_size=3, padding=1, name="conv2", rng=rng),
+            nn.ReLU(name="relu2"),
+            nn.MaxPool2D(2, name="pool2"),
+            nn.Conv2D(128, 256, kernel_size=3, padding=1, name="conv3", rng=rng),
+            nn.ReLU(name="relu3"),
+            nn.MaxPool2D(2, name="pool3"),
+            nn.Flatten(name="flatten"),
+            nn.Dense(4 * 4 * 256, 512, name="ip1", rng=rng),
+            nn.ReLU(name="relu4"),
+            nn.Dense(512, 10, name="ip2", rng=rng),
+        ],
+        name="alex++",
+    )
+
+
+def build_alex_small(seed: int = 0) -> nn.Sequential:
+    """Reduced ALEX proxy for fast tests and quick benchmark runs."""
+    rng = np.random.default_rng(seed)
+    return nn.Sequential(
+        [
+            nn.Conv2D(3, 8, kernel_size=5, padding=2, name="conv1", rng=rng),
+            nn.ReLU(name="relu1"),
+            nn.MaxPool2D(3, stride=2, name="pool1"),
+            nn.Conv2D(8, 8, kernel_size=5, padding=2, name="conv2", rng=rng),
+            nn.ReLU(name="relu2"),
+            nn.AvgPool2D(3, stride=2, name="pool2"),
+            nn.Conv2D(8, 16, kernel_size=5, padding=2, name="conv3", rng=rng),
+            nn.ReLU(name="relu3"),
+            nn.AvgPool2D(3, stride=2, name="pool3"),
+            nn.Flatten(name="flatten"),
+            nn.Dense(4 * 4 * 16, 10, name="ip1", rng=rng),
+        ],
+        name="alex_small",
+    )

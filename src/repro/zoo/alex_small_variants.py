@@ -1,0 +1,58 @@
+"""Reduced ALEX+ / ALEX++ proxies for quick benchmark runs.
+
+They preserve the paper's scaling relationships (ALEX+ doubles every
+conv channel count; ALEX++ applies the VGG doubling rule with a wide
+inner-product head) at a fraction of the compute, so the Table V /
+Figure 4 *shape* — larger low-precision nets recovering accuracy — can
+be demonstrated in minutes on a laptop.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import nn
+
+
+def build_alex_small_plus(seed: int = 0) -> nn.Sequential:
+    """ALEX+ proxy: the small-ALEX channel counts doubled."""
+    rng = np.random.default_rng(seed)
+    return nn.Sequential(
+        [
+            nn.Conv2D(3, 16, kernel_size=5, padding=2, name="conv1", rng=rng),
+            nn.ReLU(name="relu1"),
+            nn.MaxPool2D(3, stride=2, name="pool1"),
+            nn.Conv2D(16, 16, kernel_size=5, padding=2, name="conv2", rng=rng),
+            nn.ReLU(name="relu2"),
+            nn.AvgPool2D(3, stride=2, name="pool2"),
+            nn.Conv2D(16, 32, kernel_size=5, padding=2, name="conv3", rng=rng),
+            nn.ReLU(name="relu3"),
+            nn.AvgPool2D(3, stride=2, name="pool3"),
+            nn.Flatten(name="flatten"),
+            nn.Dense(4 * 4 * 32, 10, name="ip1", rng=rng),
+        ],
+        name="alex_small+",
+    )
+
+
+def build_alex_small_plus_plus(seed: int = 0) -> nn.Sequential:
+    """ALEX++ proxy: 3x3 kernels, VGG doubling, small dense head."""
+    rng = np.random.default_rng(seed)
+    return nn.Sequential(
+        [
+            nn.Conv2D(3, 16, kernel_size=3, padding=1, name="conv1", rng=rng),
+            nn.ReLU(name="relu1"),
+            nn.MaxPool2D(2, name="pool1"),
+            nn.Conv2D(16, 32, kernel_size=3, padding=1, name="conv2", rng=rng),
+            nn.ReLU(name="relu2"),
+            nn.MaxPool2D(2, name="pool2"),
+            nn.Conv2D(32, 64, kernel_size=3, padding=1, name="conv3", rng=rng),
+            nn.ReLU(name="relu3"),
+            nn.MaxPool2D(2, name="pool3"),
+            nn.Flatten(name="flatten"),
+            nn.Dense(4 * 4 * 64, 128, name="ip1", rng=rng),
+            nn.ReLU(name="relu4"),
+            nn.Dense(128, 10, name="ip2", rng=rng),
+        ],
+        name="alex_small++",
+    )

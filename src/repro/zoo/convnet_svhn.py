@@ -1,0 +1,54 @@
+"""ConvNet for SVHN (Table I, SVHN column; Sermanet et al. style).
+
+    32x32x3 -> conv 5x5x16 -> maxpool 2x2 -> conv 7x7x512 -> maxpool 2x2
+            -> innerproduct 20 -> innerproduct 10
+
+Full-precision parameter memory is ~2247 KB, matching the ~2150 KB the
+paper reports for CONVnet in Section V-B.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import nn
+
+
+def build_convnet(seed: int = 0) -> nn.Sequential:
+    """The paper's SVHN ConvNet for 3x32x32 inputs, 10 classes."""
+    rng = np.random.default_rng(seed)
+    return nn.Sequential(
+        [
+            nn.Conv2D(3, 16, kernel_size=5, name="conv1", rng=rng),
+            nn.ReLU(name="relu1"),
+            nn.MaxPool2D(2, name="pool1"),
+            nn.Conv2D(16, 512, kernel_size=7, name="conv2", rng=rng),
+            nn.ReLU(name="relu2"),
+            nn.MaxPool2D(2, name="pool2"),
+            nn.Flatten(name="flatten"),
+            nn.Dense(4 * 4 * 512, 20, name="ip1", rng=rng),
+            nn.ReLU(name="relu3"),
+            nn.Dense(20, 10, name="ip2", rng=rng),
+        ],
+        name="convnet",
+    )
+
+
+def build_convnet_small(seed: int = 0) -> nn.Sequential:
+    """Reduced ConvNet proxy (same topology, far fewer channels)."""
+    rng = np.random.default_rng(seed)
+    return nn.Sequential(
+        [
+            nn.Conv2D(3, 8, kernel_size=5, name="conv1", rng=rng),
+            nn.ReLU(name="relu1"),
+            nn.MaxPool2D(2, name="pool1"),
+            nn.Conv2D(8, 32, kernel_size=7, name="conv2", rng=rng),
+            nn.ReLU(name="relu2"),
+            nn.MaxPool2D(2, name="pool2"),
+            nn.Flatten(name="flatten"),
+            nn.Dense(4 * 4 * 32, 20, name="ip1", rng=rng),
+            nn.ReLU(name="relu3"),
+            nn.Dense(20, 10, name="ip2", rng=rng),
+        ],
+        name="convnet_small",
+    )

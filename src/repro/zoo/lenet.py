@@ -1,0 +1,55 @@
+"""LeNet (Table I, MNIST column).
+
+    28x28x1 -> conv 5x5x20 -> maxpool 2x2 -> conv 5x5x50 -> maxpool 2x2
+            -> innerproduct 500 -> innerproduct 10
+
+Full-precision parameter memory is ~1683 KB, matching the ~1650 KB the
+paper reports for LeNet in Section V-B.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import nn
+
+
+def build_lenet(seed: int = 0) -> nn.Sequential:
+    """The paper's LeNet for 1x28x28 inputs, 10 classes."""
+    rng = np.random.default_rng(seed)
+    return nn.Sequential(
+        [
+            nn.Conv2D(1, 20, kernel_size=5, name="conv1", rng=rng),
+            nn.ReLU(name="relu1"),
+            nn.MaxPool2D(2, name="pool1"),
+            nn.Conv2D(20, 50, kernel_size=5, name="conv2", rng=rng),
+            nn.ReLU(name="relu2"),
+            nn.MaxPool2D(2, name="pool2"),
+            nn.Flatten(name="flatten"),
+            nn.Dense(4 * 4 * 50, 500, name="ip1", rng=rng),
+            nn.ReLU(name="relu3"),
+            nn.Dense(500, 10, name="ip2", rng=rng),
+        ],
+        name="lenet",
+    )
+
+
+def build_lenet_small(seed: int = 0) -> nn.Sequential:
+    """Reduced LeNet proxy (same topology, ~10x fewer channels) for
+    fast tests and quick benchmark runs."""
+    rng = np.random.default_rng(seed)
+    return nn.Sequential(
+        [
+            nn.Conv2D(1, 6, kernel_size=5, name="conv1", rng=rng),
+            nn.ReLU(name="relu1"),
+            nn.MaxPool2D(2, name="pool1"),
+            nn.Conv2D(6, 12, kernel_size=5, name="conv2", rng=rng),
+            nn.ReLU(name="relu2"),
+            nn.MaxPool2D(2, name="pool2"),
+            nn.Flatten(name="flatten"),
+            nn.Dense(4 * 4 * 12, 64, name="ip1", rng=rng),
+            nn.ReLU(name="relu3"),
+            nn.Dense(64, 10, name="ip2", rng=rng),
+        ],
+        name="lenet_small",
+    )

@@ -1,0 +1,68 @@
+"""Network registry: name -> builder, input shape, paired dataset."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Tuple
+
+from repro.errors import ConfigurationError
+from repro.nn.network import Sequential
+from repro.zoo.alex import (
+    build_alex,
+    build_alex_plus,
+    build_alex_plus_plus,
+    build_alex_small,
+)
+from repro.zoo.alex_small_variants import (
+    build_alex_small_plus,
+    build_alex_small_plus_plus,
+)
+from repro.zoo.convnet_svhn import build_convnet, build_convnet_small
+from repro.zoo.lenet import build_lenet, build_lenet_small
+
+
+@dataclass(frozen=True)
+class NetworkInfo:
+    """Registry record for one architecture."""
+
+    name: str
+    builder: Callable[[int], Sequential]
+    input_shape: Tuple[int, int, int]
+    dataset: str
+    table: str  # which paper table defines it
+
+
+NETWORK_BUILDERS: Dict[str, NetworkInfo] = {
+    info.name: info
+    for info in [
+        NetworkInfo("lenet", build_lenet, (1, 28, 28), "digits", "Table I"),
+        NetworkInfo("lenet_small", build_lenet_small, (1, 28, 28), "digits", "proxy"),
+        NetworkInfo("convnet", build_convnet, (3, 32, 32), "svhn", "Table I"),
+        NetworkInfo("convnet_small", build_convnet_small, (3, 32, 32), "svhn", "proxy"),
+        NetworkInfo("alex", build_alex, (3, 32, 32), "cifar", "Table I"),
+        NetworkInfo("alex_small", build_alex_small, (3, 32, 32), "cifar", "proxy"),
+        NetworkInfo("alex+", build_alex_plus, (3, 32, 32), "cifar", "Table II"),
+        NetworkInfo("alex++", build_alex_plus_plus, (3, 32, 32), "cifar", "Table II"),
+        NetworkInfo(
+            "alex_small+", build_alex_small_plus, (3, 32, 32), "cifar", "proxy"
+        ),
+        NetworkInfo(
+            "alex_small++", build_alex_small_plus_plus, (3, 32, 32), "cifar", "proxy"
+        ),
+    ]
+}
+
+
+def network_info(name: str) -> NetworkInfo:
+    """Look up a registered architecture."""
+    try:
+        return NETWORK_BUILDERS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown network {name!r}; choose from {sorted(NETWORK_BUILDERS)}"
+        ) from None
+
+
+def build_network(name: str, seed: int = 0) -> Sequential:
+    """Instantiate a registered architecture with a deterministic seed."""
+    return network_info(name).builder(seed)

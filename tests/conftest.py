@@ -1,0 +1,55 @@
+"""Shared fixtures: tiny datasets and networks for fast tests."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.data import load_dataset
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+@pytest.fixture(scope="session")
+def tiny_digits():
+    """Small digits split reused across the session (read-only)."""
+    return load_dataset("digits", n_train=200, n_test=100, seed=0)
+
+
+def make_tiny_cnn(seed: int = 0) -> nn.Sequential:
+    """A minimal conv net for 1x28x28 inputs, 10 classes."""
+    gen = np.random.default_rng(seed)
+    return nn.Sequential(
+        [
+            nn.Conv2D(1, 4, kernel_size=5, name="conv1", rng=gen),
+            nn.ReLU(name="relu1"),
+            nn.MaxPool2D(2, name="pool1"),
+            nn.Conv2D(4, 8, kernel_size=5, name="conv2", rng=gen),
+            nn.ReLU(name="relu2"),
+            nn.MaxPool2D(2, name="pool2"),
+            nn.Flatten(name="flatten"),
+            nn.Dense(8 * 4 * 4, 10, name="ip1", rng=gen),
+        ],
+        name="tiny_cnn",
+    )
+
+
+@pytest.fixture
+def tiny_cnn():
+    return make_tiny_cnn()
+
+
+def make_micro_net(seed: int = 0) -> nn.Sequential:
+    """Very small net for gradient checks (few parameters)."""
+    gen = np.random.default_rng(seed)
+    return nn.Sequential(
+        [
+            nn.Conv2D(1, 2, kernel_size=3, name="conv", rng=gen),
+            nn.ReLU(name="relu"),
+            nn.Flatten(name="flatten"),
+            nn.Dense(2 * 4 * 4, 3, name="fc", rng=gen),
+        ],
+        name="micro",
+    )

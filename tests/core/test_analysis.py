@@ -1,0 +1,92 @@
+"""Quantization analysis tests."""
+
+import numpy as np
+import pytest
+
+from repro import core, nn
+from tests.conftest import make_tiny_cnn
+
+
+@pytest.fixture(scope="module")
+def trained(tiny_digits_module):
+    split, net = tiny_digits_module
+    return split, net
+
+
+@pytest.fixture(scope="module")
+def tiny_digits_module():
+    from repro.data import load_dataset
+
+    split = load_dataset("digits", n_train=300, n_test=120, seed=0)
+    net = make_tiny_cnn(seed=1)
+    trainer = nn.Trainer(
+        net, nn.SGD(net.parameters(), lr=0.02, momentum=0.9),
+        batch_size=32, rng=np.random.default_rng(0),
+    )
+    trainer.fit(split.train.images, split.train.labels, epochs=3)
+    return split, net
+
+
+def test_quantization_report_covers_all_weights(trained):
+    _, net = trained
+    report = core.quantization_report(net, core.get_precision("fixed8"))
+    assert [s.name for s in report] == [p.name for p in net.weight_parameters()]
+    for stats in report:
+        assert stats.rms_error >= 0
+        assert 0.0 <= stats.zero_fraction <= 1.0
+        assert stats.max_abs > 0
+
+
+def test_sqnr_improves_with_bits(trained):
+    _, net = trained
+    sqnr4 = core.quantization_report(net, core.get_precision("fixed4"))
+    sqnr16 = core.quantization_report(net, core.get_precision("fixed16"))
+    for low, high in zip(sqnr4, sqnr16):
+        assert high.sqnr_db > low.sqnr_db
+
+
+def test_float_report_is_lossless(trained):
+    _, net = trained
+    for stats in core.quantization_report(net, core.get_precision("float32")):
+        assert stats.rms_error == 0.0
+        assert stats.sqnr_db == float("inf")
+
+
+def test_layerwise_sensitivity_keys_and_restoration(trained):
+    split, net = trained
+    before = [p.data.copy() for p in net.parameters()]
+    drops = core.layerwise_sensitivity(
+        net, core.get_precision("binary"),
+        split.test.images[:80], split.test.labels[:80],
+    )
+    assert set(drops) == {p.name for p in net.weight_parameters()}
+    # weights must be restored exactly after the probe
+    for param, original in zip(net.parameters(), before):
+        assert np.array_equal(param.data, original)
+
+
+def test_sensitivity_near_zero_at_high_precision(trained):
+    split, net = trained
+    drops = core.layerwise_sensitivity(
+        net, core.get_precision("fixed16"),
+        split.test.images[:80], split.test.labels[:80],
+    )
+    assert all(abs(drop) < 0.05 for drop in drops.values())
+
+
+def test_most_sensitive_layer_returns_weight_name(trained):
+    split, net = trained
+    name = core.most_sensitive_layer(
+        net, core.get_precision("binary"),
+        split.test.images[:80], split.test.labels[:80],
+    )
+    assert name in {p.name for p in net.weight_parameters()}
+
+
+def test_predicted_risk_ranking_orders_by_sqnr(trained):
+    _, net = trained
+    ranking = core.predicted_risk_ranking(net, core.get_precision("fixed4"))
+    report = {s.name: s.sqnr_db for s in
+              core.quantization_report(net, core.get_precision("fixed4"))}
+    sqnrs = [report[name] for name in ranking]
+    assert sqnrs == sorted(sqnrs)

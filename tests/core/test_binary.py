@@ -1,0 +1,73 @@
+"""Binary quantizer tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core.binary import BinaryQuantizer
+from repro.errors import QuantizationError
+
+
+def test_unit_mode_gives_plus_minus_one():
+    q = BinaryQuantizer(scale="unit")
+    x = np.array([0.3, -2.0, 0.0], dtype=np.float32)
+    out = q.quantize(x)
+    assert np.array_equal(out, [1.0, -1.0, 1.0])
+
+
+def test_mean_mode_scale():
+    q = BinaryQuantizer(scale="mean")
+    x = np.array([1.0, -3.0], dtype=np.float32)
+    out = q.quantize(x)
+    assert np.allclose(np.abs(out), 2.0)  # mean(|x|) = 2
+    assert np.array_equal(np.sign(out), [1.0, -1.0])
+
+
+def test_two_distinct_values_only():
+    q = BinaryQuantizer()
+    rng = np.random.default_rng(0)
+    out = q.quantize(rng.standard_normal(500).astype(np.float32))
+    assert len(np.unique(out)) <= 2
+
+
+def test_zero_maps_to_positive():
+    out = BinaryQuantizer(scale="unit").quantize(np.zeros(3, dtype=np.float32))
+    assert np.all(out == 1.0)
+
+
+def test_all_zero_array_scale_fallback():
+    q = BinaryQuantizer(scale="mean")
+    out = q.quantize(np.zeros(4, dtype=np.float32))
+    assert np.all(np.abs(out) == 1.0)  # scale falls back to 1
+
+
+def test_bit_repr():
+    q = BinaryQuantizer()
+    bits = q.bit_repr(np.array([0.5, -0.5, 0.0], dtype=np.float32))
+    assert bits.dtype == np.uint8
+    assert np.array_equal(bits, [1, 0, 1])
+
+
+def test_invalid_scale_mode():
+    with pytest.raises(QuantizationError):
+        BinaryQuantizer(scale="l2")
+
+
+def test_bits_is_one():
+    assert BinaryQuantizer().bits == 1
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    x=hnp.arrays(np.float32, (12,), elements=st.floats(-10, 10, width=32)),
+)
+def test_binary_properties(x):
+    q = BinaryQuantizer()
+    out = q.quantize(x)
+    # idempotence up to scale re-derivation: |out| constant
+    assert len(np.unique(np.abs(out))) == 1
+    # signs follow inputs (zeros go positive)
+    expected_signs = np.where(x >= 0, 1.0, -1.0)
+    assert np.array_equal(np.sign(out), expected_signs)

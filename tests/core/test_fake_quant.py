@@ -1,0 +1,54 @@
+"""FakeQuantLayer (straight-through estimator) tests."""
+
+import numpy as np
+
+from repro.core.fake_quant import FakeQuantLayer
+from repro.core.fixed_point import FixedPointQuantizer
+from repro.core.quantizers import IdentityQuantizer
+
+
+def test_forward_quantizes():
+    layer = FakeQuantLayer(FixedPointQuantizer(4))
+    x = np.linspace(-1, 1, 17).astype(np.float32)  # off-grid values
+    out = layer.forward(x)
+    assert not np.allclose(out, x)          # 4 bits is lossy
+    assert len(np.unique(out)) <= 16
+
+
+def test_backward_is_identity():
+    layer = FakeQuantLayer(FixedPointQuantizer(4))
+    layer.forward(np.ones(4, dtype=np.float32))
+    grad = np.array([1.0, -2.0, 3.0, 0.5], dtype=np.float32)
+    assert np.array_equal(layer.backward(grad), grad)
+
+
+def test_tracker_updates_only_in_training():
+    layer = FakeQuantLayer(FixedPointQuantizer(8))
+    layer.train_mode()
+    layer.forward(np.array([2.0], dtype=np.float32))
+    trained_range = layer.tracker.max_abs
+    assert trained_range == 2.0
+    layer.eval_mode()
+    layer.forward(np.array([100.0], dtype=np.float32))
+    assert layer.tracker.max_abs == trained_range
+
+
+def test_eval_uses_frozen_range():
+    layer = FakeQuantLayer(FixedPointQuantizer(8))
+    layer.train_mode()
+    layer.forward(np.array([1.0], dtype=np.float32))
+    layer.eval_mode()
+    # values beyond the calibrated range must saturate
+    out = layer.forward(np.array([100.0], dtype=np.float32))
+    assert out[0] < 2.0
+
+
+def test_identity_quantizer_passthrough():
+    layer = FakeQuantLayer(IdentityQuantizer())
+    x = np.array([0.123456], dtype=np.float32)
+    assert np.array_equal(layer.forward(x), x)
+
+
+def test_output_shape_passthrough():
+    layer = FakeQuantLayer(IdentityQuantizer())
+    assert layer.output_shape((3, 8, 8)) == (3, 8, 8)

@@ -1,0 +1,136 @@
+"""Fixed-point quantizer tests, including hypothesis properties."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core.fixed_point import FixedPointQuantizer, integer_bits_for_range
+from repro.errors import QuantizationError
+
+
+def test_integer_bits_for_range():
+    assert integer_bits_for_range(0.0) == 0
+    assert integer_bits_for_range(0.9) == 0
+    assert integer_bits_for_range(1.5) == 1
+    assert integer_bits_for_range(3.9) == 2
+    assert integer_bits_for_range(0.20) == -2  # sub-unit ranges gain resolution
+
+
+def test_static_radix_grid():
+    q = FixedPointQuantizer(4, frac_bits=1)  # values k/2, k in [-8, 7]
+    x = np.array([0.24, 0.26, -5.0, 3.6], dtype=np.float32)
+    out = q.quantize(x)
+    assert np.allclose(out, [0.0, 0.5, -4.0, 3.5])
+
+
+def test_saturation_not_wraparound():
+    q = FixedPointQuantizer(8, frac_bits=0)
+    out = q.quantize(np.array([1000.0, -1000.0], dtype=np.float32))
+    assert out[0] == 127.0
+    assert out[1] == -128.0
+
+
+def test_dynamic_radix_follows_data():
+    q = FixedPointQuantizer(8)
+    small = q.quantize(np.array([0.1, -0.05], dtype=np.float32))
+    assert np.allclose(small, [0.1, -0.05], atol=1e-3)  # fine resolution
+    large = q.quantize(np.array([100.0, -50.0], dtype=np.float32))
+    assert np.allclose(large, [100.0, -50.0], atol=1.0)
+
+
+def test_range_hint_overrides_data_range():
+    q = FixedPointQuantizer(8)
+    x = np.array([0.1], dtype=np.float32)
+    fine = q.quantize(x)
+    coarse = q.quantize(x, range_hint=100.0)
+    assert abs(fine[0] - 0.1) < abs(coarse[0] - 0.1) + 1e-9
+    assert q.resolve_frac_bits(x, 100.0) < q.resolve_frac_bits(x, None)
+
+
+def test_quantization_error_decreases_with_bits():
+    rng = np.random.default_rng(0)
+    x = rng.standard_normal(1000).astype(np.float32)
+    errors = [FixedPointQuantizer(b).quantization_error(x) for b in (4, 8, 16)]
+    assert errors[0] > errors[1] > errors[2]
+
+
+def test_sixteen_bits_near_lossless_on_unit_data():
+    rng = np.random.default_rng(1)
+    x = rng.uniform(-1, 1, 500).astype(np.float32)
+    assert FixedPointQuantizer(16).quantization_error(x) < 1e-4
+
+
+def test_integer_repr_round_trip():
+    q = FixedPointQuantizer(8, frac_bits=4)
+    x = np.array([0.5, -1.25, 3.0], dtype=np.float32)
+    codes = q.integer_repr(x)
+    assert codes.dtype == np.int64
+    assert np.allclose(codes / 16.0, q.quantize(x))
+
+
+def test_integer_repr_within_word_range():
+    q = FixedPointQuantizer(8, frac_bits=0)
+    codes = q.integer_repr(np.array([500.0, -500.0], dtype=np.float32))
+    assert codes.max() <= 127 and codes.min() >= -128
+
+
+def test_stochastic_rounding_unbiased():
+    q = FixedPointQuantizer(
+        8, frac_bits=0, stochastic_rounding=True, rng=np.random.default_rng(0)
+    )
+    x = np.full(20000, 0.3, dtype=np.float32)
+    out = q.quantize(x)
+    assert set(np.unique(out)) <= {0.0, 1.0}
+    assert abs(out.mean() - 0.3) < 0.02
+
+
+def test_minimum_bits_enforced():
+    with pytest.raises(QuantizationError):
+        FixedPointQuantizer(1)
+
+
+def test_step_size():
+    q = FixedPointQuantizer(8)
+    assert q.step_size(0.9) == pytest.approx(2.0 ** -(7))
+    assert q.step_size(100.0) > q.step_size(1.0)
+
+
+def test_zero_array():
+    q = FixedPointQuantizer(8)
+    out = q.quantize(np.zeros(5, dtype=np.float32))
+    assert np.all(out == 0.0)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    bits=st.integers(2, 16),
+    x=hnp.arrays(np.float32, (20,), elements=st.floats(-100, 100, width=32)),
+)
+def test_quantize_properties(bits, x):
+    q = FixedPointQuantizer(bits)
+    out = q.quantize(x)
+    # idempotence: quantizing a quantized array changes nothing
+    assert np.allclose(q.quantize(out), out, atol=1e-7)
+    # output bounded by the representable range around the data; the
+    # two's-complement grid extends one extra step on the negative side
+    max_abs = float(np.max(np.abs(x), initial=0.0))
+    if max_abs > 0:
+        step = q.step_size(max_abs)
+        assert np.all(np.abs(out) <= max_abs + step + 1e-6)
+        # round-to-nearest error is step/2 except at the saturated
+        # positive extreme, where it can approach one full step
+        assert np.max(np.abs(out - x)) <= step + 1e-6
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    x=hnp.arrays(np.float32, (16,), elements=st.floats(-8, 8, width=32)),
+)
+def test_monotonicity(x):
+    """Quantization preserves (non-strict) ordering."""
+    q = FixedPointQuantizer(6)
+    order = np.argsort(x)
+    out = q.quantize(x)
+    assert np.all(np.diff(out[order]) >= -1e-7)

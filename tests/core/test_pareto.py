@@ -1,0 +1,94 @@
+"""Pareto frontier tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.pareto import DesignPoint, dominated_by_frontier, dominates, pareto_frontier
+
+
+def point(label, acc, energy):
+    return DesignPoint(label=label, accuracy=acc, energy_uj=energy)
+
+
+def test_dominates_basic():
+    a = point("a", 90.0, 10.0)
+    b = point("b", 80.0, 20.0)
+    assert dominates(a, b)
+    assert not dominates(b, a)
+
+
+def test_equal_points_do_not_dominate():
+    a = point("a", 90.0, 10.0)
+    b = point("b", 90.0, 10.0)
+    assert not dominates(a, b)
+    assert not dominates(b, a)
+
+
+def test_tradeoff_points_incomparable():
+    cheap = point("cheap", 70.0, 5.0)
+    accurate = point("accurate", 95.0, 100.0)
+    assert not dominates(cheap, accurate)
+    assert not dominates(accurate, cheap)
+
+
+def test_frontier_extraction():
+    points = [
+        point("baseline", 81.0, 335.0),
+        point("fixed16", 80.0, 136.0),
+        point("binary", 75.0, 20.0),
+        point("dominated", 74.0, 300.0),
+        point("winner", 81.5, 215.0),
+    ]
+    frontier = pareto_frontier(points)
+    labels = [p.label for p in frontier]
+    assert "dominated" not in labels
+    assert "baseline" not in labels  # dominated by winner
+    assert labels == ["binary", "fixed16", "winner"]  # sorted by energy
+
+
+def test_frontier_sorted_by_energy():
+    points = [point(str(i), 70 + i, 100 - 10 * i) for i in range(5)]
+    frontier = pareto_frontier(points)
+    energies = [p.energy_uj for p in frontier]
+    assert energies == sorted(energies)
+
+
+def test_dominated_complement():
+    points = [point("a", 90, 10), point("b", 80, 20)]
+    assert [p.label for p in dominated_by_frontier(points)] == ["b"]
+
+
+def test_empty_frontier():
+    assert pareto_frontier([]) == []
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    coords=st.lists(
+        st.tuples(st.floats(0, 100), st.floats(1, 1000)),
+        min_size=1, max_size=12,
+    )
+)
+def test_frontier_properties(coords):
+    points = [point(f"p{i}", acc, energy) for i, (acc, energy) in enumerate(coords)]
+    frontier = pareto_frontier(points)
+    # 1. non-empty whenever input is non-empty
+    assert frontier
+    # 2. no frontier point dominates another frontier point
+    for a in frontier:
+        for b in frontier:
+            if a is not b:
+                assert not dominates(a, b)
+    # 3. every non-frontier point is dominated by some frontier point
+    frontier_ids = {id(p) for p in frontier}
+    for p in points:
+        if id(p) not in frontier_ids:
+            assert any(dominates(f, p) for f in frontier)
+    # 4. the max-accuracy point is always on the frontier
+    best = max(points, key=lambda p: (p.accuracy, -p.energy_uj))
+    assert any(
+        f.accuracy >= best.accuracy and f.energy_uj <= best.energy_uj
+        for f in frontier
+    )

@@ -1,0 +1,101 @@
+"""Per-channel and unsigned quantizer tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.fixed_point import FixedPointQuantizer
+from repro.core.per_channel import (
+    PerChannelFixedPointQuantizer,
+    UnsignedFixedPointQuantizer,
+)
+from repro.errors import QuantizationError
+
+
+def test_per_channel_beats_per_tensor_on_disparate_channels():
+    """Channels with very different magnitudes: one shared radix wastes
+    resolution on the small channel; per-channel does not."""
+    rng = np.random.default_rng(0)
+    big = rng.uniform(-8.0, 8.0, size=(1, 4, 3, 3))
+    small = rng.uniform(-0.05, 0.05, size=(1, 4, 3, 3))
+    weights = np.concatenate([big, small], axis=0).astype(np.float32)
+
+    per_tensor = FixedPointQuantizer(6)
+    per_channel = PerChannelFixedPointQuantizer(6)
+    err_tensor = per_tensor.quantization_error(weights)
+    err_channel = per_channel.quantization_error(weights)
+    assert err_channel < err_tensor
+    # the small channel must survive per-channel quantization
+    q = per_channel.quantize(weights)
+    assert np.any(q[1] != 0.0)
+
+
+def test_per_channel_matches_per_tensor_on_uniform_channels():
+    rng = np.random.default_rng(1)
+    weights = rng.standard_normal((3, 2, 3, 3)).astype(np.float32)
+    # force identical per-channel ranges
+    weights[0] = weights[1] = weights[2]
+    per_tensor = FixedPointQuantizer(8)
+    per_channel = PerChannelFixedPointQuantizer(8)
+    assert np.allclose(per_channel.quantize(weights), per_tensor.quantize(weights))
+
+
+def test_per_channel_dense_axis():
+    rng = np.random.default_rng(2)
+    weights = rng.standard_normal((6, 4)).astype(np.float32)
+    weights[:, 0] *= 100.0
+    quantizer = PerChannelFixedPointQuantizer(6, channel_axis=1)
+    fracs = quantizer.frac_bits_per_channel(weights)
+    assert fracs.shape == (4,)
+    assert fracs[0] < fracs[1]  # the big column gets fewer frac bits
+
+
+def test_per_channel_1d_falls_back_to_scalar():
+    quantizer = PerChannelFixedPointQuantizer(8)
+    x = np.array([0.5, -0.25], dtype=np.float32)
+    assert np.allclose(quantizer.quantize(x), FixedPointQuantizer(8).quantize(x))
+
+
+def test_per_channel_validation():
+    with pytest.raises(QuantizationError):
+        PerChannelFixedPointQuantizer(1)
+
+
+def test_unsigned_rejects_negatives():
+    with pytest.raises(QuantizationError):
+        UnsignedFixedPointQuantizer(8).quantize(np.array([-0.1], dtype=np.float32))
+
+
+def test_unsigned_doubles_resolution_vs_signed():
+    rng = np.random.default_rng(3)
+    x = rng.uniform(0.0, 1.0, 1000).astype(np.float32)
+    signed_err = FixedPointQuantizer(8).quantization_error(x)
+    unsigned_err = UnsignedFixedPointQuantizer(8).quantization_error(x)
+    assert unsigned_err < signed_err
+    assert unsigned_err == pytest.approx(signed_err / 2, rel=0.2)
+
+
+def test_unsigned_range_hint():
+    q = UnsignedFixedPointQuantizer(8)
+    x = np.array([0.5], dtype=np.float32)
+    fine = q.quantize(x)
+    coarse = q.quantize(x, range_hint=100.0)
+    assert abs(fine[0] - 0.5) <= abs(coarse[0] - 0.5)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    bits=st.integers(2, 12),
+    scale=st.floats(0.01, 100.0),
+)
+def test_unsigned_properties(bits, scale):
+    rng = np.random.default_rng(0)
+    x = (rng.uniform(0, 1, 50) * scale).astype(np.float32)
+    q = UnsignedFixedPointQuantizer(bits)
+    out = q.quantize(x)
+    assert np.all(out >= 0)
+    assert np.allclose(q.quantize(out), out, atol=1e-7)  # idempotent
+    max_value = float(x.max())
+    step = 2.0 ** -q.frac_bits_for(max_value)
+    assert np.max(np.abs(out - x)) <= step + 1e-6

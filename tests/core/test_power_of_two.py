@@ -1,0 +1,99 @@
+"""Power-of-two quantizer tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core.power_of_two import PowerOfTwoQuantizer
+from repro.errors import QuantizationError
+
+
+def is_power_of_two(value: float) -> bool:
+    if value == 0:
+        return True
+    mantissa, _ = np.frexp(abs(value))
+    return mantissa == 0.5
+
+
+def test_values_are_signed_powers_of_two():
+    q = PowerOfTwoQuantizer(6)
+    rng = np.random.default_rng(0)
+    x = rng.standard_normal(200).astype(np.float32)
+    out = q.quantize(x)
+    assert all(is_power_of_two(float(v)) for v in out)
+
+
+def test_signs_preserved():
+    q = PowerOfTwoQuantizer(6)
+    x = np.array([0.3, -0.3, 1.7, -1.7], dtype=np.float32)
+    out = q.quantize(x)
+    assert np.all(np.sign(out) == np.sign(x))
+
+
+def test_exact_powers_unchanged():
+    q = PowerOfTwoQuantizer(6)
+    x = np.array([1.0, 0.5, -0.25, 2.0], dtype=np.float32)
+    assert np.allclose(q.quantize(x), x)
+
+
+def test_rounds_to_nearest_exponent():
+    q = PowerOfTwoQuantizer(6)
+    # 0.7 -> exponent log2(0.7) = -0.51 -> rounds to -1 -> 0.5
+    out = q.quantize(np.array([0.7], dtype=np.float32), range_hint=1.0)
+    assert out[0] == pytest.approx(0.5)
+    # 0.8 -> log2 = -0.32 -> rounds to 0 -> 1.0
+    out = q.quantize(np.array([0.8], dtype=np.float32), range_hint=1.0)
+    assert out[0] == pytest.approx(1.0)
+
+
+def test_tiny_values_flush_to_zero():
+    q = PowerOfTwoQuantizer(4)  # only 7 exponent levels
+    x = np.array([1.0, 1e-6], dtype=np.float32)
+    out = q.quantize(x)
+    assert out[0] == 1.0
+    assert out[1] == 0.0
+
+
+def test_six_bits_keeps_wide_exponent_window():
+    q = PowerOfTwoQuantizer(6)
+    e_min, e_max = q.exponent_window(1.0)
+    assert e_max == 0
+    assert e_max - e_min == 30  # 31 levels
+
+
+def test_zero_input_all_zero():
+    q = PowerOfTwoQuantizer(6)
+    assert np.all(q.quantize(np.zeros(4, dtype=np.float32)) == 0.0)
+
+
+def test_exponent_repr_codes():
+    q = PowerOfTwoQuantizer(6)
+    x = np.array([1.0, -1.0, 0.0, 0.5], dtype=np.float32)
+    codes = q.exponent_repr(x, range_hint=1.0)
+    assert codes[2] == 0                     # zero code
+    assert codes[0] == -codes[1]             # sign symmetry
+    assert abs(codes[0]) <= 2 ** 5 - 1       # fits in 5 exponent bits
+
+
+def test_minimum_bits_enforced():
+    with pytest.raises(QuantizationError):
+        PowerOfTwoQuantizer(1)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    x=hnp.arrays(np.float32, (24,), elements=st.floats(-64, 64, width=32)),
+)
+def test_pow2_properties(x):
+    q = PowerOfTwoQuantizer(6)
+    out = q.quantize(x)
+    # idempotent
+    assert np.allclose(q.quantize(out), out)
+    # relative error of nonzero outputs bounded by sqrt(2) rounding
+    nonzero = out != 0
+    if np.any(nonzero):
+        ratio = np.abs(out[nonzero] / x[nonzero])
+        assert np.all(ratio <= np.sqrt(2) + 1e-4)
+        assert np.all(ratio >= 1 / np.sqrt(2) - 1e-4)

@@ -1,0 +1,49 @@
+"""Precision registry tests."""
+
+import pytest
+
+from repro import core
+from repro.core.precision import PAPER_PRECISIONS, PrecisionKind, PrecisionSpec
+from repro.errors import ConfigurationError
+
+
+def test_registry_has_papers_seven_points():
+    assert len(PAPER_PRECISIONS) == 7
+    keys = [spec.key for spec in PAPER_PRECISIONS]
+    assert keys == [
+        "float32", "fixed32", "fixed16", "fixed8", "fixed4", "pow2", "binary",
+    ]
+
+
+def test_labels_match_paper_style():
+    assert core.get_precision("float32").label == "Floating-Point (32,32)"
+    assert core.get_precision("fixed8").label == "Fixed-Point (8,8)"
+    assert core.get_precision("pow2").label == "Powers of Two (6,16)"
+    assert core.get_precision("binary").label == "Binary Net (1,16)"
+
+
+def test_bit_widths():
+    spec = core.get_precision("pow2")
+    assert spec.weight_bits == 6
+    assert spec.input_bits == 16
+    assert not spec.is_float
+    assert core.get_precision("float32").is_float
+
+
+def test_unknown_precision_raises():
+    with pytest.raises(ConfigurationError):
+        core.get_precision("fixed12")
+
+
+def test_invalid_spec_rejected():
+    with pytest.raises(ConfigurationError):
+        PrecisionSpec(PrecisionKind.FIXED, 0, 8, "bad")
+    with pytest.raises(ConfigurationError):
+        PrecisionSpec(PrecisionKind.BINARY, 2, 16, "bad")
+
+
+def test_specs_are_hashable_and_frozen():
+    spec = core.get_precision("fixed16")
+    assert spec in {spec}
+    with pytest.raises(Exception):
+        spec.weight_bits = 8  # type: ignore[misc]

@@ -1,0 +1,103 @@
+"""Quantization-aware training tests."""
+
+import numpy as np
+import pytest
+
+from repro import core, nn
+from tests.conftest import make_tiny_cnn
+
+
+def small_problem(tiny_digits, n=120):
+    return (
+        tiny_digits.train.images[:n],
+        tiny_digits.train.labels[:n],
+        tiny_digits.test.images[:60],
+        tiny_digits.test.labels[:60],
+    )
+
+
+def trained_float_net(tiny_digits, epochs=4):
+    net = make_tiny_cnn(seed=1)
+    x, y, _, _ = small_problem(tiny_digits)
+    trainer = nn.Trainer(
+        net, nn.SGD(net.parameters(), lr=0.02), batch_size=16,
+        rng=np.random.default_rng(0),
+    )
+    trainer.fit(x, y, epochs=epochs)
+    return net
+
+
+def test_qat_trainer_runs_and_learns(tiny_digits):
+    net = trained_float_net(tiny_digits)
+    x, y, tx, ty = small_problem(tiny_digits)
+    qnet = core.QuantizedNetwork(net, core.get_precision("fixed4"))
+    qnet.calibrate(x[:64])
+    before = qnet.evaluate(tx, ty)
+    trainer = core.QATTrainer(
+        qnet, nn.SGD(net.parameters(), lr=0.01), batch_size=16,
+        rng=np.random.default_rng(1),
+    )
+    trainer.fit(x, y, epochs=3)
+    after = qnet.evaluate(tx, ty)
+    assert after >= before - 0.05  # QAT must not destroy the network
+    assert after > 0.5             # and the 4-bit net must actually work
+
+
+def test_shadow_weights_full_precision_after_training(tiny_digits):
+    net = trained_float_net(tiny_digits, epochs=1)
+    x, y, _, _ = small_problem(tiny_digits, n=40)
+    qnet = core.QuantizedNetwork(net, core.get_precision("binary"))
+    qnet.calibrate(x[:32])
+    trainer = core.QATTrainer(
+        qnet, nn.SGD(net.parameters(), lr=0.01), batch_size=20,
+        rng=np.random.default_rng(0),
+    )
+    trainer.fit(x, y, epochs=1)
+    # shadow weights must NOT be binary after training
+    weights = net.layers[0].weight.data
+    assert len(np.unique(np.abs(weights))) > 2
+
+
+def test_qat_evaluate_uses_quantized_weights(tiny_digits):
+    net = trained_float_net(tiny_digits, epochs=1)
+    x, y, tx, ty = small_problem(tiny_digits, n=40)
+    qnet = core.QuantizedNetwork(net, core.get_precision("fixed4"))
+    qnet.calibrate(x[:32])
+    trainer = core.QATTrainer(
+        qnet, nn.SGD(net.parameters(), lr=0.001), batch_size=20,
+    )
+    metrics = trainer.evaluate(tx, ty)
+    assert metrics["accuracy"] == pytest.approx(qnet.evaluate(tx, ty), abs=1e-6)
+
+
+def test_qat_beats_ptq_at_low_bits(tiny_digits):
+    """The paper's training-time technique must beat naive post-training
+    quantization at aggressive precision (here: binary weights)."""
+    net = trained_float_net(tiny_digits)
+    x, y, tx, ty = small_problem(tiny_digits)
+    spec = core.get_precision("binary")
+
+    ptq = core.post_training_quantize(net, spec, x[:64])
+    ptq_accuracy = ptq.evaluate(tx, ty)
+
+    qnet = core.QuantizedNetwork(net, spec)
+    qnet.calibrate(x[:64])
+    trainer = core.QATTrainer(
+        qnet, nn.SGD(net.parameters(), lr=0.02), batch_size=16,
+        rng=np.random.default_rng(2),
+    )
+    trainer.fit(x, y, epochs=4)
+    qat_accuracy = qnet.evaluate(tx, ty)
+    assert qat_accuracy >= ptq_accuracy
+
+
+def test_post_training_quantize_calibrates(tiny_digits):
+    net = trained_float_net(tiny_digits, epochs=1)
+    qnet = core.post_training_quantize(
+        net, core.get_precision("fixed8"), tiny_digits.train.images[:32]
+    )
+    fq_layers = [
+        layer for layer in qnet.pipeline.layers
+        if type(layer).__name__ == "FakeQuantLayer"
+    ]
+    assert all(layer.tracker.initialized for layer in fq_layers)

@@ -1,0 +1,43 @@
+"""Quantizer base class and IdentityQuantizer tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.quantizers import IdentityQuantizer, Quantizer
+
+
+def test_identity_passthrough_and_dtype():
+    q = IdentityQuantizer()
+    x = np.array([1.234567, -9.87], dtype=np.float64)
+    out = q.quantize(x)
+    assert out.dtype == np.float32
+    assert np.allclose(out, x, atol=1e-6)
+
+
+def test_identity_bits_configurable():
+    assert IdentityQuantizer().bits == 32
+    assert IdentityQuantizer(bits=64).bits == 64
+
+
+def test_call_alias():
+    q = IdentityQuantizer()
+    x = np.ones(3, dtype=np.float32)
+    assert np.array_equal(q(x), q.quantize(x))
+
+
+def test_quantization_error_zero_for_identity():
+    q = IdentityQuantizer()
+    x = np.random.default_rng(0).standard_normal(100).astype(np.float32)
+    assert q.quantization_error(x) == 0.0
+
+
+def test_base_class_is_abstract():
+    with pytest.raises(NotImplementedError):
+        Quantizer().quantize(np.zeros(1))
+
+
+def test_quantization_error_positive_for_lossy():
+    from repro.core.fixed_point import FixedPointQuantizer
+
+    x = np.random.default_rng(1).standard_normal(100).astype(np.float32)
+    assert FixedPointQuantizer(4).quantization_error(x) > 0.0

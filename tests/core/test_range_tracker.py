@@ -1,0 +1,66 @@
+"""RangeTracker tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.range_tracker import RangeTracker
+from repro.errors import ConfigurationError
+
+
+def test_starts_uninitialized():
+    tracker = RangeTracker()
+    assert not tracker.initialized
+    assert tracker.max_abs == 0.0
+
+
+def test_first_observation_sets_value():
+    tracker = RangeTracker(momentum=0.9)
+    tracker.observe(np.array([1.0, -3.0]))
+    assert tracker.initialized
+    assert tracker.max_abs == 3.0
+
+
+def test_ema_update():
+    tracker = RangeTracker(momentum=0.5)
+    tracker.observe(np.array([4.0]))
+    tracker.observe(np.array([2.0]))
+    assert tracker.max_abs == pytest.approx(0.5 * 4.0 + 0.5 * 2.0)
+
+
+def test_zero_momentum_tracks_latest():
+    tracker = RangeTracker(momentum=0.0)
+    tracker.observe(np.array([10.0]))
+    tracker.observe(np.array([1.0]))
+    assert tracker.max_abs == 1.0
+
+
+def test_percentile_mode_ignores_outliers():
+    rng = np.random.default_rng(0)
+    data = rng.uniform(0, 1, 10000)
+    data[0] = 1000.0
+    hard = RangeTracker(momentum=0.0)
+    hard.observe(data)
+    soft = RangeTracker(momentum=0.0, percentile=99.0)
+    soft.observe(data)
+    assert hard.max_abs == 1000.0
+    assert soft.max_abs < 2.0
+
+
+def test_empty_observation_is_noop():
+    tracker = RangeTracker()
+    tracker.observe(np.array([]))
+    assert not tracker.initialized
+
+
+def test_reset():
+    tracker = RangeTracker()
+    tracker.observe(np.array([5.0]))
+    tracker.reset()
+    assert not tracker.initialized
+
+
+def test_validation():
+    with pytest.raises(ConfigurationError):
+        RangeTracker(momentum=1.0)
+    with pytest.raises(ConfigurationError):
+        RangeTracker(percentile=0.0)

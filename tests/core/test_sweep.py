@@ -1,0 +1,74 @@
+"""Precision sweep orchestration tests (tiny budgets)."""
+
+import numpy as np
+import pytest
+
+from repro import core
+from repro.core.sweep import PrecisionSweep, SweepConfig
+from repro.data import load_dataset
+from repro.errors import ConfigurationError
+from tests.conftest import make_tiny_cnn
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    split = load_dataset("digits", n_train=200, n_test=100, seed=0)
+    config = SweepConfig(float_epochs=4, qat_epochs=1, float_lr=0.02, qat_lr=0.005)
+    return PrecisionSweep(lambda: make_tiny_cnn(seed=5), split, config)
+
+
+def test_float_baseline_trains_and_caches(sweep):
+    first = sweep.train_float_baseline()
+    second = sweep.train_float_baseline()
+    assert first is second
+    assert first.converged
+    assert first.accuracy > 0.5
+
+
+def test_float_precision_returns_baseline(sweep):
+    result = sweep.run_precision(core.get_precision("float32"))
+    assert result is sweep.train_float_baseline()
+
+
+def test_low_precision_result(sweep):
+    result = sweep.run_precision(core.get_precision("fixed8"))
+    assert result.spec.key == "fixed8"
+    assert 0.0 <= result.accuracy <= 1.0
+    assert result.converged
+    assert result.accuracy_percent == pytest.approx(100 * result.accuracy)
+
+
+def test_full_sweep_covers_all_precisions(sweep):
+    results = sweep.run(
+        [core.get_precision(k) for k in ("float32", "fixed16", "binary")]
+    )
+    assert [r.spec.key for r in results] == ["float32", "fixed16", "binary"]
+
+
+def test_chance_accuracy(sweep):
+    assert sweep.chance_accuracy == pytest.approx(0.1)
+
+
+def test_convergence_detection():
+    """A sweep with zero QAT epochs on an untrained-ish baseline should
+    flag near-chance results as non-convergent (the paper's NA rows)."""
+    split = load_dataset("digits", n_train=100, n_test=100, seed=1)
+    config = SweepConfig(
+        float_epochs=1, qat_epochs=0, float_lr=1e-9, convergence_factor=1.8
+    )
+    sweep = PrecisionSweep(lambda: make_tiny_cnn(seed=6), split, config)
+    result = sweep.run_precision(core.get_precision("binary"))
+    assert not result.converged
+
+
+def test_sweep_config_validation():
+    with pytest.raises(ConfigurationError):
+        SweepConfig(float_epochs=0)
+    with pytest.raises(ConfigurationError):
+        SweepConfig(convergence_factor=0.5)
+
+
+def test_paper_config_is_larger():
+    quick, paper = SweepConfig(), SweepConfig.paper()
+    assert paper.float_epochs > quick.float_epochs
+    assert paper.qat_epochs > quick.qat_epochs

@@ -1,0 +1,79 @@
+"""Augmentation utility tests."""
+
+import numpy as np
+import pytest
+
+from repro.data import gaussian_noise, random_crop, random_flip
+from repro.errors import ConfigurationError
+
+
+def images(n=6):
+    rng = np.random.default_rng(0)
+    return rng.random((n, 3, 8, 8)).astype(np.float32)
+
+
+def test_flip_probability_one_mirrors_all():
+    x = images()
+    flipped = random_flip(x, np.random.default_rng(1), probability=1.0)
+    assert np.array_equal(flipped, x[:, :, :, ::-1])
+
+
+def test_flip_probability_zero_is_identity():
+    x = images()
+    same = random_flip(x, np.random.default_rng(1), probability=0.0)
+    assert np.array_equal(same, x)
+
+
+def test_flip_does_not_mutate_input():
+    x = images()
+    original = x.copy()
+    random_flip(x, np.random.default_rng(2), probability=1.0)
+    assert np.array_equal(x, original)
+
+
+def test_flip_invalid_probability():
+    with pytest.raises(ConfigurationError):
+        random_flip(images(), np.random.default_rng(0), probability=1.5)
+
+
+def test_crop_preserves_shape():
+    x = images()
+    cropped = random_crop(x, np.random.default_rng(0), padding=2)
+    assert cropped.shape == x.shape
+
+
+def test_crop_zero_padding_identity():
+    x = images()
+    assert np.array_equal(random_crop(x, np.random.default_rng(0), padding=0), x)
+
+
+def test_crop_content_is_shifted_window():
+    """Every cropped image must be a translate of the original (with
+    zeros entering at the border)."""
+    x = np.ones((1, 1, 4, 4), dtype=np.float32)
+    out = random_crop(x, np.random.default_rng(3), padding=2)
+    # values are only 0 or 1, and some of the original ink remains
+    assert set(np.unique(out)) <= {0.0, 1.0}
+    assert out.sum() > 0
+
+
+def test_crop_invalid_padding():
+    with pytest.raises(ConfigurationError):
+        random_crop(images(), np.random.default_rng(0), padding=-1)
+
+
+def test_noise_stays_in_unit_range():
+    x = images()
+    noisy = gaussian_noise(x, np.random.default_rng(0), sigma=0.5)
+    assert noisy.min() >= 0.0 and noisy.max() <= 1.0
+    assert not np.array_equal(noisy, x)
+
+
+def test_noise_zero_sigma_identity():
+    x = images()
+    assert np.allclose(gaussian_noise(x, np.random.default_rng(0), sigma=0.0), x)
+
+
+def test_noise_invalid_sigma():
+    with pytest.raises(ConfigurationError):
+        gaussian_noise(images(), np.random.default_rng(0), sigma=-0.1)

@@ -1,0 +1,82 @@
+"""Dataset container, split and batching tests."""
+
+import numpy as np
+import pytest
+
+from repro.data import Dataset, batches, stratified_split
+from repro.errors import ConfigurationError, ShapeError
+
+
+def make_dataset(n=30, classes=3):
+    rng = np.random.default_rng(0)
+    return Dataset(
+        images=rng.random((n, 1, 4, 4)).astype(np.float32),
+        labels=np.arange(n) % classes,
+        class_names=[f"c{i}" for i in range(classes)],
+        name="test",
+    )
+
+
+def test_dataset_basic_properties():
+    ds = make_dataset()
+    assert len(ds) == 30
+    assert ds.num_classes == 3
+    assert ds.image_shape == (1, 4, 4)
+    assert np.array_equal(ds.class_counts(), [10, 10, 10])
+
+
+def test_dataset_validation():
+    with pytest.raises(ShapeError):
+        Dataset(np.zeros((2, 4, 4)), np.zeros(2), ["a"])     # not NCHW
+    with pytest.raises(ShapeError):
+        Dataset(np.zeros((2, 1, 4, 4)), np.zeros(3), ["a"])  # label count
+    with pytest.raises(ShapeError):
+        Dataset(np.zeros((2, 1, 4, 4)), np.array([0, 5]), ["a"])  # label range
+
+
+def test_subset_preserves_metadata():
+    ds = make_dataset()
+    sub = ds.subset(np.array([0, 1, 2]))
+    assert len(sub) == 3
+    assert sub.class_names == ds.class_names
+
+
+def test_stratified_split_balanced():
+    ds = make_dataset(n=100, classes=4)
+    rng = np.random.default_rng(1)
+    kept, held = stratified_split(ds, 0.2, rng)
+    assert len(held) == 20
+    assert len(kept) == 80
+    assert np.array_equal(held.class_counts(), [5, 5, 5, 5])
+    # no overlap and full coverage
+    assert len(kept) + len(held) == len(ds)
+
+
+def test_stratified_split_validation():
+    ds = make_dataset()
+    with pytest.raises(ConfigurationError):
+        stratified_split(ds, 0.0, np.random.default_rng(0))
+    with pytest.raises(ConfigurationError):
+        stratified_split(ds, 1.0, np.random.default_rng(0))
+
+
+def test_batches_cover_dataset():
+    ds = make_dataset(n=25)
+    seen = 0
+    for images, labels in batches(ds, batch_size=8):
+        assert images.shape[0] == labels.shape[0]
+        seen += images.shape[0]
+    assert seen == 25
+
+
+def test_batches_shuffled_with_rng():
+    ds = make_dataset(n=20)
+    first = np.concatenate([y for _, y in batches(ds, 5, np.random.default_rng(0))])
+    plain = np.concatenate([y for _, y in batches(ds, 5)])
+    assert not np.array_equal(first, plain)
+    assert sorted(first.tolist()) == sorted(plain.tolist())
+
+
+def test_batches_invalid_size():
+    with pytest.raises(ConfigurationError):
+        list(batches(make_dataset(), 0))

@@ -1,0 +1,88 @@
+"""Deeper glyph / svhn / cifar rendering tests."""
+
+import numpy as np
+import pytest
+
+from repro.data.glyphs import render_digit
+from repro.data.synth_cifar import _DRAWERS, _render_cifar_sample
+from repro.data.synth_svhn import _render_svhn_sample, _textured_background
+
+
+def test_render_digit_jitter_varies_samples():
+    rng = np.random.default_rng(0)
+    a = render_digit(3, 28, rng)
+    b = render_digit(3, 28, rng)
+    assert not np.array_equal(a, b)
+
+
+def test_render_digit_stays_on_canvas():
+    """With default jitter the glyph must not clip off the canvas
+    entirely: the border rows should carry far less ink than the
+    middle."""
+    rng = np.random.default_rng(1)
+    for digit in range(10):
+        canvas = render_digit(digit, 28, rng)
+        border = canvas[0].sum() + canvas[-1].sum()
+        middle = canvas[10:18].sum()
+        assert middle > border, f"digit {digit} rendered mostly off-canvas"
+
+
+def test_render_digit_scales_with_size():
+    rng = np.random.default_rng(2)
+    small = render_digit(0, 16, rng)
+    large = render_digit(0, 64, rng)
+    assert small.shape == (16, 16)
+    assert large.shape == (64, 64)
+    assert large.sum() > small.sum()
+
+
+def test_svhn_background_textured():
+    rng = np.random.default_rng(0)
+    background = _textured_background(32, rng)
+    assert background.shape == (3, 32, 32)
+    assert background.std() > 0.01, "background should not be flat"
+    assert 0.0 <= background.min() and background.max() <= 1.0
+
+
+def test_svhn_sample_in_range_and_colored():
+    rng = np.random.default_rng(1)
+    image = _render_svhn_sample(5, 32, rng, distractors=True)
+    assert image.shape == (3, 32, 32)
+    assert 0.0 <= image.min() and image.max() <= 1.0
+    # channels should differ (colour, not grayscale)
+    assert not np.allclose(image[0], image[1], atol=1e-3)
+
+
+def test_svhn_distractors_add_ink():
+    rng_a = np.random.default_rng(7)
+    rng_b = np.random.default_rng(7)
+    with_d = _render_svhn_sample(1, 32, rng_a, distractors=True)
+    without = _render_svhn_sample(1, 32, rng_b, distractors=False)
+    assert with_d.shape == without.shape
+
+
+@pytest.mark.parametrize("cls", sorted(_DRAWERS))
+def test_cifar_drawers_produce_ink(cls):
+    rng = np.random.default_rng(cls)
+    image = _render_cifar_sample(cls, 32, rng)
+    assert image.shape == (3, 32, 32)
+    assert 0.0 <= image.min() and image.max() <= 1.0
+    assert image.std() > 0.02
+
+
+def test_cifar_classes_structurally_distinct():
+    """Means over many samples of different classes must differ in the
+    luminance channel (structure defines the class)."""
+    rng = np.random.default_rng(3)
+    means = []
+    for cls in range(10):
+        stack = np.stack([
+            _render_cifar_sample(cls, 32, rng).mean(axis=0) for _ in range(6)
+        ])
+        means.append(stack.mean(axis=0))
+    distinct_pairs = 0
+    for i in range(10):
+        for j in range(i + 1, 10):
+            if np.abs(means[i] - means[j]).mean() > 0.01:
+                distinct_pairs += 1
+    assert distinct_pairs >= 40  # out of 45 pairs

@@ -1,0 +1,176 @@
+"""Real-dataset loader tests against synthesized fixture files.
+
+We generate byte-exact IDX and CIFAR-pickle files, then check the
+loaders round-trip them — so the loaders are fully tested without the
+actual datasets (unavailable offline).
+"""
+
+import gzip
+import os
+import pickle
+import struct
+
+import numpy as np
+import pytest
+
+from repro.data.real import (
+    CIFAR10_CLASS_NAMES,
+    load_cifar10,
+    load_mnist,
+    load_mnist_idx,
+    read_idx,
+)
+from repro.errors import ConfigurationError
+
+
+def write_idx_images(path, images: np.ndarray, compress=False):
+    n, h, w = images.shape
+    payload = struct.pack(">4B", 0, 0, 0x08, 3)
+    payload += struct.pack(">3I", n, h, w)
+    payload += images.astype(np.uint8).tobytes()
+    opener = gzip.open if compress else open
+    with opener(path, "wb") as handle:
+        handle.write(payload)
+
+
+def write_idx_labels(path, labels: np.ndarray, compress=False):
+    payload = struct.pack(">4B", 0, 0, 0x08, 1)
+    payload += struct.pack(">I", labels.size)
+    payload += labels.astype(np.uint8).tobytes()
+    opener = gzip.open if compress else open
+    with opener(path, "wb") as handle:
+        handle.write(payload)
+
+
+@pytest.fixture
+def mnist_dir(tmp_path):
+    rng = np.random.default_rng(0)
+    directory = str(tmp_path)
+    train_images = rng.integers(0, 256, size=(20, 28, 28), dtype=np.uint8)
+    train_labels = rng.integers(0, 10, size=20, dtype=np.uint8)
+    test_images = rng.integers(0, 256, size=(10, 28, 28), dtype=np.uint8)
+    test_labels = rng.integers(0, 10, size=10, dtype=np.uint8)
+    write_idx_images(os.path.join(directory, "train-images-idx3-ubyte"), train_images)
+    write_idx_labels(os.path.join(directory, "train-labels-idx1-ubyte"), train_labels)
+    # test split gzip-compressed, to exercise both paths
+    write_idx_images(
+        os.path.join(directory, "t10k-images-idx3-ubyte.gz"), test_images, compress=True
+    )
+    write_idx_labels(
+        os.path.join(directory, "t10k-labels-idx1-ubyte.gz"), test_labels, compress=True
+    )
+    return directory, train_images, train_labels
+
+
+def test_read_idx_roundtrip(tmp_path):
+    rng = np.random.default_rng(1)
+    images = rng.integers(0, 256, size=(5, 4, 4), dtype=np.uint8)
+    path = str(tmp_path / "x.idx")
+    write_idx_images(path, images)
+    assert np.array_equal(read_idx(path), images)
+
+
+def test_read_idx_gzip(tmp_path):
+    rng = np.random.default_rng(2)
+    labels = rng.integers(0, 10, size=7, dtype=np.uint8)
+    path = str(tmp_path / "y.idx.gz")
+    write_idx_labels(path, labels, compress=True)
+    assert np.array_equal(read_idx(path), labels)
+
+
+def test_read_idx_bad_magic(tmp_path):
+    path = str(tmp_path / "bad.idx")
+    with open(path, "wb") as handle:
+        handle.write(b"\x01\x02\x03\x04more")
+    with pytest.raises(ConfigurationError):
+        read_idx(path)
+
+
+def test_read_idx_truncated_payload(tmp_path):
+    path = str(tmp_path / "short.idx")
+    with open(path, "wb") as handle:
+        handle.write(struct.pack(">4B", 0, 0, 0x08, 1))
+        handle.write(struct.pack(">I", 100))
+        handle.write(b"\x00" * 10)  # promises 100, delivers 10
+    with pytest.raises(ConfigurationError):
+        read_idx(path)
+
+
+def test_load_mnist_idx_scaling(mnist_dir):
+    directory, train_images, train_labels = mnist_dir
+    ds = load_mnist_idx(
+        os.path.join(directory, "train-images-idx3-ubyte"),
+        os.path.join(directory, "train-labels-idx1-ubyte"),
+    )
+    assert ds.images.shape == (20, 1, 28, 28)
+    assert ds.images.max() <= 1.0 and ds.images.min() >= 0.0
+    assert np.array_equal(ds.labels, train_labels)
+    # exact pixel scaling
+    assert np.allclose(ds.images[0, 0], train_images[0] / 255.0)
+
+
+def test_load_mnist_directory(mnist_dir):
+    directory, _, _ = mnist_dir
+    train, test = load_mnist(directory)
+    assert len(train) == 20
+    assert len(test) == 10
+    assert train.class_names == [str(d) for d in range(10)]
+
+
+def test_load_mnist_missing_file(tmp_path):
+    with pytest.raises(ConfigurationError):
+        load_mnist(str(tmp_path))
+
+
+def test_load_mnist_count_mismatch(tmp_path):
+    rng = np.random.default_rng(3)
+    images_path = str(tmp_path / "imgs.idx")
+    labels_path = str(tmp_path / "lbls.idx")
+    write_idx_images(images_path, rng.integers(0, 255, (4, 28, 28), dtype=np.uint8))
+    write_idx_labels(labels_path, rng.integers(0, 10, 5, dtype=np.uint8))
+    with pytest.raises(ConfigurationError):
+        load_mnist_idx(images_path, labels_path)
+
+
+@pytest.fixture
+def cifar_dir(tmp_path):
+    rng = np.random.default_rng(4)
+    directory = str(tmp_path)
+    for index in range(1, 6):
+        batch = {
+            b"data": rng.integers(0, 256, size=(8, 3072), dtype=np.uint8),
+            b"labels": rng.integers(0, 10, size=8).tolist(),
+        }
+        with open(os.path.join(directory, f"data_batch_{index}"), "wb") as handle:
+            pickle.dump(batch, handle)
+    test_batch = {
+        b"data": rng.integers(0, 256, size=(6, 3072), dtype=np.uint8),
+        b"labels": rng.integers(0, 10, size=6).tolist(),
+    }
+    with open(os.path.join(directory, "test_batch"), "wb") as handle:
+        pickle.dump(test_batch, handle)
+    return directory
+
+
+def test_load_cifar10(cifar_dir):
+    train, test = load_cifar10(cifar_dir)
+    assert train.images.shape == (40, 3, 32, 32)
+    assert test.images.shape == (6, 3, 32, 32)
+    assert train.class_names == CIFAR10_CLASS_NAMES
+    assert train.images.max() <= 1.0
+
+
+def test_load_cifar10_missing_batch(tmp_path):
+    with pytest.raises(ConfigurationError):
+        load_cifar10(str(tmp_path))
+
+
+def test_load_cifar10_bad_pickle(tmp_path):
+    directory = str(tmp_path)
+    for index in range(1, 6):
+        with open(os.path.join(directory, f"data_batch_{index}"), "wb") as handle:
+            pickle.dump({b"wrong": 1}, handle)
+    with open(os.path.join(directory, "test_batch"), "wb") as handle:
+        pickle.dump({b"wrong": 1}, handle)
+    with pytest.raises(ConfigurationError):
+        load_cifar10(directory)

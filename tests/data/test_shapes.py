@@ -1,0 +1,107 @@
+"""Drawing primitive tests."""
+
+import numpy as np
+import pytest
+
+from repro.data import shapes
+
+
+def test_blank_canvas():
+    canvas = shapes.blank_canvas(8)
+    assert canvas.shape == (8, 8)
+    assert canvas.dtype == np.float32
+    assert np.all(canvas == 0.0)
+
+
+def test_draw_segment_marks_endpoints():
+    canvas = shapes.blank_canvas(16)
+    shapes.draw_segment(canvas, (2, 2), (13, 13), thickness=1.0)
+    assert canvas[2, 2] > 0.5
+    assert canvas[13, 13] > 0.5
+    assert canvas[8, 8] > 0.5      # midpoint on the diagonal
+    assert canvas[2, 13] == 0.0    # far corner untouched
+
+
+def test_draw_segment_values_bounded():
+    canvas = shapes.blank_canvas(12)
+    shapes.draw_segment(canvas, (0, 0), (11, 11), thickness=3.0)
+    assert canvas.max() <= 1.0
+    assert canvas.min() >= 0.0
+
+
+def test_degenerate_segment_draws_a_dot():
+    canvas = shapes.blank_canvas(10)
+    shapes.draw_segment(canvas, (5, 5), (5, 5), thickness=1.0)
+    assert canvas[5, 5] > 0.5
+    assert canvas[0, 0] == 0.0
+
+
+def test_draw_polyline_connects_points():
+    canvas = shapes.blank_canvas(16)
+    shapes.draw_polyline(canvas, [(2, 2), (13, 2), (13, 13)])
+    assert canvas[2, 7] > 0.5   # row y=2 horizontal stroke (y first index)
+    assert canvas[7, 13] > 0.5  # column x=13 vertical stroke
+
+
+def test_draw_ellipse_outline_hollow():
+    canvas = shapes.blank_canvas(32)
+    shapes.draw_ellipse(canvas, (16, 16), (10, 10), thickness=1.0)
+    assert canvas[16, 26] > 0.5   # on the boundary
+    assert canvas[16, 16] == 0.0  # centre empty
+
+
+def test_draw_ellipse_filled():
+    canvas = shapes.blank_canvas(32)
+    shapes.draw_ellipse(canvas, (16, 16), (10, 10), filled=True)
+    assert canvas[16, 16] > 0.9
+    assert canvas[1, 1] == 0.0
+
+
+def test_draw_polygon_fills_square():
+    canvas = shapes.blank_canvas(16)
+    shapes.draw_polygon(canvas, [(4, 4), (12, 4), (12, 12), (4, 12)])
+    assert canvas[8, 8] == 1.0
+    assert canvas[2, 2] == 0.0
+    filled = float(canvas.sum())
+    assert 40 <= filled <= 80   # ~8x8 square
+
+
+def test_checkerboard_alternates():
+    board = shapes.checkerboard(8, cell=2)
+    assert board[0, 0] != board[0, 2]
+    assert board[0, 0] == board[2, 2]
+    assert set(np.unique(board)) <= {0.0, 1.0}
+
+
+def test_stripes_period():
+    img = shapes.stripes(8, period=2, horizontal=True)
+    assert np.all(img[0] == img[1])
+    assert np.all(img[0] != img[2])
+
+
+def test_radial_gradient_decreases_from_center():
+    grad = shapes.radial_gradient(16, (8, 8), radius=8)
+    assert grad[8, 8] == 1.0
+    assert grad[8, 12] < grad[8, 10]
+    assert grad[0, 0] == 0.0
+
+
+def test_affine_points_identity_centered():
+    pts = shapes.affine_points([(0.5, 0.5)], size=28)
+    assert pts[0] == pytest.approx((14.0, 14.0))
+
+
+def test_affine_points_shift():
+    base = shapes.affine_points([(0.5, 0.5)], size=28)[0]
+    shifted = shapes.affine_points([(0.5, 0.5)], size=28, shift=(3.0, -2.0))[0]
+    assert shifted[0] == pytest.approx(base[0] + 3.0)
+    assert shifted[1] == pytest.approx(base[1] - 2.0)
+
+
+def test_affine_points_rotation_preserves_center_distance():
+    pts = [(0.5, 0.1)]
+    a = shapes.affine_points(pts, 28, rotation=0.0)[0]
+    b = shapes.affine_points(pts, 28, rotation=1.0)[0]
+    center = shapes.affine_points([(0.5, 0.5)], 28)[0]
+    dist = lambda p: np.hypot(p[0] - center[0], p[1] - center[1])
+    assert dist(a) == pytest.approx(dist(b), rel=1e-6)

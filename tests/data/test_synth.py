@@ -1,0 +1,106 @@
+"""Synthetic dataset generator tests."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    load_dataset,
+    synthetic_cifar,
+    synthetic_digits,
+    synthetic_svhn,
+)
+from repro.data.glyphs import DIGIT_STROKES, render_digit
+from repro.errors import ConfigurationError
+
+
+def test_digits_shapes_and_range():
+    train, test = synthetic_digits(n_train=50, n_test=20, seed=0)
+    assert train.images.shape == (50, 1, 28, 28)
+    assert test.images.shape == (20, 1, 28, 28)
+    assert train.images.min() >= 0.0 and train.images.max() <= 1.0
+    assert train.num_classes == 10
+
+
+def test_svhn_shapes():
+    train, test = synthetic_svhn(n_train=30, n_test=20, seed=0)
+    assert train.images.shape == (30, 3, 32, 32)
+    assert train.images.min() >= 0.0 and train.images.max() <= 1.0
+
+
+def test_cifar_shapes():
+    train, test = synthetic_cifar(n_train=30, n_test=20, seed=0)
+    assert train.images.shape == (30, 3, 32, 32)
+    assert len(train.class_names) == 10
+
+
+@pytest.mark.parametrize("builder", [synthetic_digits, synthetic_svhn, synthetic_cifar])
+def test_generators_deterministic(builder):
+    a_train, _ = builder(n_train=20, n_test=10, seed=5)
+    b_train, _ = builder(n_train=20, n_test=10, seed=5)
+    assert np.array_equal(a_train.images, b_train.images)
+    assert np.array_equal(a_train.labels, b_train.labels)
+
+
+@pytest.mark.parametrize("builder", [synthetic_digits, synthetic_svhn, synthetic_cifar])
+def test_generators_seed_sensitive(builder):
+    a_train, _ = builder(n_train=20, n_test=10, seed=1)
+    b_train, _ = builder(n_train=20, n_test=10, seed=2)
+    assert not np.array_equal(a_train.images, b_train.images)
+
+
+def test_class_balance():
+    train, _ = synthetic_digits(n_train=100, n_test=10, seed=0)
+    assert np.array_equal(train.class_counts(), [10] * 10)
+
+
+def test_minimum_sample_count_enforced():
+    with pytest.raises(ConfigurationError):
+        synthetic_digits(n_train=5, n_test=20)
+
+
+def test_every_digit_has_strokes():
+    assert sorted(DIGIT_STROKES) == list(range(10))
+    for strokes in DIGIT_STROKES.values():
+        assert strokes, "every digit needs at least one stroke"
+
+
+def test_render_digit_produces_ink():
+    rng = np.random.default_rng(0)
+    for digit in range(10):
+        canvas = render_digit(digit, 28, rng)
+        assert canvas.sum() > 10.0, f"digit {digit} rendered empty"
+        assert canvas.max() <= 1.0
+
+
+def test_digit_classes_are_distinct():
+    """Average images of different digits must differ substantially."""
+    rng = np.random.default_rng(0)
+    means = []
+    for digit in range(10):
+        stack = np.stack([render_digit(digit, 28, rng) for _ in range(8)])
+        means.append(stack.mean(axis=0))
+    for i in range(10):
+        for j in range(i + 1, 10):
+            diff = float(np.abs(means[i] - means[j]).mean())
+            assert diff > 0.02, f"digits {i} and {j} look identical"
+
+
+def test_load_dataset_split_protocol():
+    split = load_dataset("digits", n_train=100, n_test=100, seed=0)
+    # paper: 10% of each test class becomes validation
+    assert len(split.val) == 10
+    assert len(split.test) == 90
+    assert np.array_equal(split.val.class_counts(), [1] * 10)
+
+
+def test_load_dataset_normalization():
+    split = load_dataset("digits", n_train=50, n_test=20, seed=0)
+    assert split.train.images.min() >= -1.0
+    assert split.train.images.min() < 0.0  # actually centred
+    raw = load_dataset("digits", n_train=50, n_test=20, seed=0, normalize=False)
+    assert raw.train.images.min() >= 0.0
+
+
+def test_load_dataset_unknown_name():
+    with pytest.raises(ConfigurationError):
+        load_dataset("imagenet")

@@ -1,0 +1,43 @@
+"""Unit tests for fig4 helpers (no training)."""
+
+from repro.core.precision import get_precision
+from repro.experiments import fig4
+from repro.experiments.runner import TASK_NETWORKS, EvaluatedPoint
+from repro.zoo import NETWORK_BUILDERS, network_info
+
+
+def make_point(network, key, accuracy, energy, converged=True):
+    return EvaluatedPoint(
+        network=network,
+        trained_network=network,
+        spec=get_precision(key),
+        accuracy=accuracy,
+        converged=converged,
+        energy_uj=energy,
+        energy_saving_pct=0.0,
+    )
+
+
+def test_design_points_skip_non_converged():
+    points = fig4.design_points([
+        make_point("alex", "fixed16", 0.8, 100.0),
+        make_point("alex", "fixed4", 0.0, 50.0, converged=False),
+    ])
+    assert len(points) == 1
+    assert points[0].metadata["precision"] == "fixed16"
+
+
+def test_design_points_labels_carry_variant_suffix():
+    points = fig4.design_points([
+        make_point("alex++", "pow2", 0.8, 200.0),
+    ])
+    assert points[0].label == "Powers of Two++ (6,16)"
+    assert points[0].accuracy == 80.0
+
+
+def test_task_networks_consistent_with_zoo():
+    for dataset, networks in TASK_NETWORKS.items():
+        for name in networks:
+            info = network_info(name)
+            assert info.dataset == dataset
+            assert name in NETWORK_BUILDERS

@@ -1,0 +1,61 @@
+"""ASCII formatting helper tests."""
+
+from repro.experiments.formatting import format_bar_chart, format_scatter, format_table
+
+
+def test_format_table_alignment():
+    text = format_table(
+        ["name", "value"],
+        [["a", 1], ["longer", 22]],
+        title="T",
+    )
+    lines = text.splitlines()
+    assert lines[0] == "T"
+    assert "name" in lines[1] and "value" in lines[1]
+    # all data rows have equal width
+    assert len(lines[3]) == len(lines[4])
+
+
+def test_format_table_empty_rows():
+    text = format_table(["a"], [])
+    assert "a" in text
+
+
+def test_bar_chart_totals_and_legend():
+    series = {
+        "float": {"memory": 12.0, "logic": 4.0},
+        "binary": {"memory": 1.0, "logic": 0.2},
+    }
+    text = format_bar_chart(series, "Area")
+    assert "16.00" in text
+    assert "1.20" in text
+    assert "legend" in text
+    assert "#=memory" in text
+
+
+def test_bar_chart_bar_lengths_proportional():
+    series = {"big": {"x": 100.0}, "small": {"x": 10.0}}
+    lines = format_bar_chart(series, "v", width=40).splitlines()
+    big_bar = lines[1].count("#")
+    small_bar = lines[2].count("#")
+    assert big_bar == 40
+    assert small_bar == 4
+
+
+def test_scatter_contains_markers_and_labels():
+    points = [
+        {"label": "a", "x": 10.0, "y": 80.0, "m": "o"},
+        {"label": "b", "x": 100.0, "y": 90.0, "m": "x"},
+    ]
+    text = format_scatter(points, "x", "y", "label", marker_key="m")
+    assert "o" in text and "x" in text
+    assert "a" in text and "b" in text
+
+
+def test_scatter_empty():
+    assert format_scatter([], "x", "y", "label") == "(no points)"
+
+
+def test_scatter_single_point_no_crash():
+    text = format_scatter([{"label": "solo", "x": 5.0, "y": 1.0}], "x", "y", "label")
+    assert "solo" in text

@@ -1,0 +1,37 @@
+"""Section V-B memory experiment driver tests."""
+
+import pytest
+
+from repro.experiments import memory
+
+
+@pytest.fixture(scope="module")
+def records():
+    return memory.run()
+
+
+def test_covers_all_five_networks(records):
+    assert [r["network"] for r in records] == [
+        "lenet", "convnet", "alex", "alex+", "alex++",
+    ]
+
+
+def test_float32_matches_paper_within_5pct(records):
+    for record in records:
+        model_kb = record["footprints"]["float32"].parameter_kb
+        assert model_kb == pytest.approx(record["paper_kb"], rel=0.05), (
+            record["network"]
+        )
+
+
+def test_reduction_range(records):
+    for record in records:
+        reductions = record["reductions"]
+        assert reductions["fixed16"] == pytest.approx(2.0)
+        assert reductions["binary"] == pytest.approx(32.0)
+
+
+def test_formatting(records):
+    text = memory.format_results(records)
+    assert "lenet" in text and "alex++" in text
+    assert "32x" in text

@@ -1,0 +1,69 @@
+"""Consistency checks on the embedded paper reference values.
+
+The experiment modules carry the paper's published numbers for
+side-by-side reporting; these tests pin them against transcription
+errors (checked once against the paper text).
+"""
+
+import pytest
+
+from repro.core.precision import PAPER_PRECISIONS
+from repro.experiments import memory, table3, table4, table5
+
+
+def test_table3_reference_complete():
+    assert set(table3.PAPER_TABLE3) == {s.key for s in PAPER_PRECISIONS}
+    # spot values from the paper
+    assert table3.PAPER_TABLE3["float32"] == (16.74, 1379.60)
+    assert table3.PAPER_TABLE3["binary"] == (1.21, 95.36)
+
+
+def test_table3_reference_monotone():
+    fixed = [table3.PAPER_TABLE3[k] for k in ("fixed32", "fixed16", "fixed8", "fixed4")]
+    areas = [a for a, _ in fixed]
+    powers = [p for _, p in fixed]
+    assert areas == sorted(areas, reverse=True)
+    assert powers == sorted(powers, reverse=True)
+
+
+def test_table4_reference_values():
+    assert set(table4.PAPER_TABLE4) == {"digits", "svhn"}
+    digits = table4.PAPER_TABLE4["digits"]
+    assert set(digits) == {s.key for s in PAPER_PRECISIONS}
+    assert digits["float32"] == 99.20
+    svhn = table4.PAPER_TABLE4["svhn"]
+    assert svhn["fixed4"] is None        # the paper's NA row
+    assert svhn["binary"] == 19.57       # the catastrophic binary failure
+
+
+def test_table5_reference_values():
+    assert len(table5.PAPER_TABLE5_ACCURACY) == 14
+    assert table5.PAPER_TABLE5_ACCURACY[("float32", "alex")] == 81.22
+    assert table5.PAPER_TABLE5_ACCURACY[("pow2", "alex++")] == 81.26
+    # the paper's headline: pow2++ matches the float baseline
+    baseline = table5.PAPER_TABLE5_ACCURACY[("float32", "alex")]
+    assert table5.PAPER_TABLE5_ACCURACY[("pow2", "alex++")] >= baseline - 0.1
+
+
+def test_table5_rows_match_reference_keys():
+    assert set(table5.TABLE5_ROWS) == set(table5.PAPER_TABLE5_ACCURACY)
+
+
+def test_table5_enlargement_improves_accuracy_in_paper():
+    """The trend the reproduction must mirror exists in the paper data."""
+    for key in ("fixed16", "pow2", "binary"):
+        base = table5.PAPER_TABLE5_ACCURACY[(key, "alex")]
+        plus_plus = table5.PAPER_TABLE5_ACCURACY[(key, "alex++")]
+        assert plus_plus > base
+
+
+def test_memory_reference_values():
+    assert memory.PAPER_PARAMETER_KB == {
+        "lenet": 1650.0,
+        "convnet": 2150.0,
+        "alex": 350.0,
+        "alex+": 1250.0,
+        "alex++": 9400.0,
+    }
+    assert memory.NETWORKS == sorted(memory.PAPER_PARAMETER_KB,
+                                     key=memory.NETWORKS.index)

@@ -1,0 +1,56 @@
+"""Table III and Figure 3 driver tests (hardware-only, exact)."""
+
+from repro.experiments import fig3, table3
+
+
+def test_table3_rows_complete():
+    rows = table3.run()
+    assert len(rows) == 7
+    for row in rows:
+        assert {"precision", "area_mm2", "power_mw", "paper_area_mm2",
+                "paper_power_mw", "area_error_pct", "power_error_pct"} <= set(row)
+
+
+def test_table3_errors_within_model_fidelity():
+    for row in table3.run():
+        assert abs(row["area_error_pct"]) < 6.0, row["precision"]
+        assert abs(row["power_error_pct"]) < 13.0, row["precision"]
+
+
+def test_table3_savings_shape():
+    rows = {row["key"]: row for row in table3.run()}
+    assert rows["float32"]["area_saving_pct"] == 0.0
+    assert rows["binary"]["area_saving_pct"] > 90.0
+    assert rows["fixed16"]["power_saving_pct"] > 55.0
+    assert rows["pow2"]["power_saving_pct"] > rows["fixed16"]["power_saving_pct"]
+
+
+def test_table3_formatting():
+    text = table3.format_results(table3.run())
+    assert "Table III" in text
+    assert "Binary Net (1,16)" in text
+    assert "paper" in text
+
+
+def test_fig3_breakdown_records():
+    records = fig3.run()
+    assert len(records) == 7
+    for record in records:
+        assert set(record["breakdown"]) == {
+            "memory", "registers", "combinational", "buf_inv",
+        }
+
+
+def test_fig3_buffer_windows():
+    """Section V-B: buffers are 76-96 % of area, 75-93 % of power."""
+    for record in fig3.run():
+        assert 0.75 <= record["memory_area_fraction"] <= 0.965, record["key"]
+        assert 0.74 <= record["memory_power_fraction"] <= 0.935, record["key"]
+
+
+def test_fig3_formatting():
+    text = fig3.format_results(fig3.run())
+    assert "Figure 3" in text
+    assert "Design Area" in text
+    assert "Power Consumption" in text
+    assert "legend" in text

@@ -1,0 +1,135 @@
+"""Table IV / Table V / Figure 4 driver tests with tiny budgets.
+
+These verify the drivers' plumbing and output format; the benchmark
+harness runs the same drivers at realistic budgets where the paper's
+accuracy shape emerges.
+"""
+
+import pytest
+
+from repro import core
+from repro.core.sweep import SweepConfig
+from repro.experiments import fig4, table4, table5
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import SweepRunner
+
+
+@pytest.fixture(scope="module")
+def runner():
+    config = ExperimentConfig(
+        n_train=250,
+        n_test=120,
+        sweep=SweepConfig(float_epochs=3, qat_epochs=0, float_lr=0.02),
+    )
+    return SweepRunner(config)
+
+
+@pytest.fixture(scope="module")
+def table4_results(runner):
+    return table4.run(runner=runner)
+
+
+@pytest.fixture(scope="module")
+def table5_results(runner):
+    return table5.run(runner=runner)
+
+
+def test_table4_covers_both_tasks(table4_results):
+    assert set(table4_results) == {"digits", "svhn"}
+    for points in table4_results.values():
+        assert [p.spec.key for p in points] == [
+            "float32", "fixed32", "fixed16", "fixed8", "fixed4", "pow2", "binary",
+        ]
+
+
+def test_table4_energy_matches_paper_scale(table4_results):
+    digits = {p.spec.key: p for p in table4_results["digits"]}
+    assert digits["float32"].energy_uj == pytest.approx(60.74, rel=0.10)
+    svhn = {p.spec.key: p for p in table4_results["svhn"]}
+    assert svhn["float32"].energy_uj == pytest.approx(754.18, rel=0.10)
+
+
+def test_table4_savings_track_table3(table4_results):
+    digits = {p.spec.key: p for p in table4_results["digits"]}
+    assert digits["binary"].energy_saving_pct > 90.0
+    assert digits["fixed16"].energy_saving_pct == pytest.approx(59.5, abs=5.0)
+
+
+def test_table4_formatting(table4_results):
+    text = table4.format_results(table4_results)
+    assert "Table IV" in text
+    assert "digits Acc%" in text and "svhn Sav%" in text
+
+
+def test_table5_rows_in_paper_order(table5_results):
+    labels = [(p.spec.key, p.network) for p in table5_results]
+    assert labels == table5.TABLE5_ROWS
+
+
+def test_table5_energy_savings_reference_alex(table5_results):
+    by_row = {(p.spec.key, p.network): p for p in table5_results}
+    assert by_row[("float32", "alex")].energy_saving_pct == pytest.approx(0.0)
+    # enlarged fixed16 networks use MORE energy than the baseline
+    assert by_row[("fixed16", "alex+")].energy_saving_pct < 0
+    assert by_row[("fixed16", "alex++")].energy_saving_pct < 0
+    # low-precision enlarged networks still save energy
+    assert by_row[("pow2", "alex++")].energy_saving_pct > 0
+    assert by_row[("binary", "alex++")].energy_saving_pct > 0
+
+
+def test_table5_formatting(table5_results):
+    text = table5.format_results(table5_results)
+    assert "Table V" in text
+    # every row appears either with numbers or as NA
+    assert text.count("\n") >= len(table5_results)
+
+
+def test_table5_formatting_x_more_rows():
+    """Negative savings render as the paper's 'Nx More' style."""
+    from repro.core.precision import get_precision
+    from repro.experiments.runner import EvaluatedPoint
+
+    points = [
+        EvaluatedPoint(
+            network="alex+", trained_network="alex+",
+            spec=get_precision("fixed16"),
+            accuracy=0.8, converged=True,
+            energy_uj=450.0, energy_saving_pct=-40.0,
+        ),
+        EvaluatedPoint(
+            network="alex", trained_network="alex",
+            spec=get_precision("fixed4"),
+            accuracy=0.0, converged=False,
+            energy_uj=0.0, energy_saving_pct=0.0,
+        ),
+    ]
+    text = table5.format_results(points)
+    assert "1.4x More" in text
+    assert "NA" in text
+
+
+def test_variant_label():
+    assert table5.variant_label("Fixed-Point (8,8)", "alex+") == "Fixed-Point+ (8,8)"
+    assert (
+        table5.variant_label("Powers of Two (6,16)", "alex++")
+        == "Powers of Two++ (6,16)"
+    )
+    assert table5.variant_label("Binary Net (1,16)", "alex") == "Binary Net (1,16)"
+
+
+def test_fig4_points_and_frontier(runner, table5_results):
+    result = fig4.run(runner=runner)
+    assert result["points"], "need at least some converged points"
+    frontier = result["frontier"]
+    assert frontier
+    energies = [p.energy_uj for p in frontier]
+    assert energies == sorted(energies)
+    # frontier accuracy is non-decreasing along increasing energy
+    accuracies = [p.accuracy for p in frontier]
+    assert accuracies == sorted(accuracies)
+
+
+def test_fig4_formatting(runner):
+    text = fig4.format_results(fig4.run(runner=runner))
+    assert "Figure 4" in text
+    assert "Pareto frontier:" in text

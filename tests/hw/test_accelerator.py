@@ -1,0 +1,75 @@
+"""Accelerator assembly tests."""
+
+import pytest
+
+from repro import core
+from repro.core.precision import PAPER_PRECISIONS
+from repro.errors import HardwareModelError
+from repro.hw.accelerator import Accelerator, AcceleratorConfig
+
+
+def test_for_precision_convenience():
+    acc = Accelerator.for_precision("fixed8")
+    assert acc.spec.key == "fixed8"
+
+
+def test_buffer_geometry_follows_precision():
+    acc = Accelerator.for_precision("pow2")
+    assert acc.weight_buffer.bits_per_word == 6     # weight bits
+    assert acc.input_buffer.bits_per_word == 16     # input bits
+    assert acc.output_buffer.bits_per_word == 16
+
+
+def test_breakdown_sums_to_total():
+    acc = Accelerator.for_precision("fixed16")
+    parts = acc.breakdown()
+    assert sum(p.area_mm2 for p in parts.values()) == pytest.approx(acc.area_mm2)
+    assert sum(p.power_mw for p in parts.values()) == pytest.approx(acc.power_mw)
+
+
+def test_area_monotone_over_fixed_point_widths():
+    areas = [Accelerator.for_precision(k).area_mm2
+             for k in ("fixed32", "fixed16", "fixed8", "fixed4")]
+    assert all(a > b for a, b in zip(areas, areas[1:]))
+    powers = [Accelerator.for_precision(k).power_mw
+              for k in ("fixed32", "fixed16", "fixed8", "fixed4")]
+    assert all(a > b for a, b in zip(powers, powers[1:]))
+
+
+def test_float_most_expensive_binary_cheapest():
+    all_costs = {k.key: Accelerator(k) for k in PAPER_PRECISIONS}
+    float_area = all_costs["float32"].area_mm2
+    binary_area = all_costs["binary"].area_mm2
+    assert all(float_area >= acc.area_mm2 for acc in all_costs.values())
+    assert all(binary_area <= acc.area_mm2 for acc in all_costs.values())
+
+
+def test_memory_fraction_in_papers_window():
+    """Section V-B: buffers are 76-96 % of area and 75-93 % of power."""
+    for spec in PAPER_PRECISIONS:
+        fractions = Accelerator(spec).memory_fraction()
+        assert 0.74 <= fractions["area"] <= 0.97, spec.key
+        assert 0.70 <= fractions["power"] <= 0.95, spec.key
+
+
+def test_macs_per_cycle():
+    assert Accelerator.for_precision("fixed16").macs_per_cycle == 256
+
+
+def test_custom_config_buffer_scaling():
+    small = Accelerator.for_precision(
+        "fixed16", config=AcceleratorConfig(weight_buffer_words=1024)
+    )
+    default = Accelerator.for_precision("fixed16")
+    assert small.area_mm2 < default.area_mm2
+
+
+def test_invalid_config():
+    with pytest.raises(HardwareModelError):
+        AcceleratorConfig(neurons=0)
+    with pytest.raises(HardwareModelError):
+        AcceleratorConfig(dataflow_efficiency=0.0)
+    with pytest.raises(HardwareModelError):
+        AcceleratorConfig(layer_startup_cycles=-1)
+    with pytest.raises(HardwareModelError):
+        AcceleratorConfig(weight_buffer_words=0)

@@ -1,0 +1,54 @@
+"""Clock-frequency scaling tests (design-space extension)."""
+
+import pytest
+
+from repro import core, hw
+from repro.errors import HardwareModelError
+from repro.hw.accelerator import Accelerator
+from repro.hw.tech import TECH_65NM
+from repro.zoo import build_network, network_info
+
+
+def test_with_clock_scales_dynamic_terms():
+    fast = TECH_65NM.with_clock(500e6)
+    assert fast.clock_hz == 500e6
+    assert fast.logic_power_per_mm2 == pytest.approx(
+        2 * TECH_65NM.logic_power_per_mm2
+    )
+    assert fast.sram_access_coeff == pytest.approx(2 * TECH_65NM.sram_access_coeff)
+    # static terms unchanged
+    assert fast.sram_leakage_per_mm2 == TECH_65NM.sram_leakage_per_mm2
+    assert fast.sram_area_per_bit == TECH_65NM.sram_area_per_bit
+
+
+def test_with_clock_identity():
+    same = TECH_65NM.with_clock(TECH_65NM.clock_hz)
+    assert same.logic_power_per_mm2 == pytest.approx(TECH_65NM.logic_power_per_mm2)
+
+
+def test_with_clock_invalid():
+    with pytest.raises(HardwareModelError):
+        TECH_65NM.with_clock(0.0)
+
+
+def test_area_independent_of_clock():
+    spec = core.get_precision("fixed16")
+    base = Accelerator(spec)
+    fast = Accelerator(spec, tech=TECH_65NM.with_clock(500e6))
+    assert fast.area_mm2 == pytest.approx(base.area_mm2)
+    assert fast.power_mw > base.power_mw
+
+
+def test_energy_tradeoff_with_clock():
+    """Halving the clock doubles runtime; dynamic energy is constant
+    while leakage energy doubles, so total energy rises slightly and
+    runtime doubles exactly."""
+    spec = core.get_precision("fixed16")
+    info = network_info("lenet")
+    net = build_network("lenet")
+    base = hw.EnergyModel().evaluate(net, info.input_shape, spec)
+    slow_model = hw.EnergyModel(tech=TECH_65NM.with_clock(125e6))
+    slow = slow_model.evaluate(net, info.input_shape, spec)
+    assert slow.runtime_us == pytest.approx(2 * base.runtime_us)
+    assert slow.energy_uj > base.energy_uj
+    assert slow.energy_uj < 2 * base.energy_uj

@@ -1,0 +1,93 @@
+"""Datapath component model tests."""
+
+import pytest
+
+from repro import core
+from repro.errors import HardwareModelError
+from repro.hw.components import (
+    AdderTree,
+    AreaPower,
+    BinaryWeightBlock,
+    FixedPointWeightBlock,
+    FloatingPointWeightBlock,
+    NonlinearityUnit,
+    PipelineRegisters,
+    Pow2WeightBlock,
+    make_weight_block,
+)
+from repro.hw.tech import TECH_65NM
+
+
+def test_area_power_addition_and_scaling():
+    a = AreaPower(1.0, 10.0)
+    b = AreaPower(2.0, 20.0)
+    total = a + b
+    assert total.area_mm2 == 3.0 and total.power_mw == 30.0
+    assert a.scaled(4).area_mm2 == 4.0
+
+
+def test_weight_block_dispatch():
+    assert isinstance(
+        make_weight_block(core.get_precision("float32")), FloatingPointWeightBlock
+    )
+    assert isinstance(
+        make_weight_block(core.get_precision("fixed8")), FixedPointWeightBlock
+    )
+    assert isinstance(make_weight_block(core.get_precision("pow2")), Pow2WeightBlock)
+    assert isinstance(
+        make_weight_block(core.get_precision("binary")), BinaryWeightBlock
+    )
+
+
+def test_stage1_cost_ordering_matches_paper_figure2():
+    """Multiplier > shifter > negate, and float costs the most."""
+    fixed16 = FixedPointWeightBlock(16, 16).unit_cost(TECH_65NM)
+    pow2 = Pow2WeightBlock(6, 16).unit_cost(TECH_65NM)
+    binary = BinaryWeightBlock(1, 16).unit_cost(TECH_65NM)
+    fp = FloatingPointWeightBlock().unit_cost(TECH_65NM)
+    assert fp.area_mm2 > fixed16.area_mm2 > pow2.area_mm2 > binary.area_mm2
+    assert fp.power_mw > fixed16.power_mw > pow2.power_mw > binary.power_mw
+
+
+def test_fixed_multiplier_area_quadratic_in_bits():
+    small = FixedPointWeightBlock(8, 8).unit_cost(TECH_65NM).area_mm2
+    large = FixedPointWeightBlock(16, 16).unit_cost(TECH_65NM).area_mm2
+    assert large == pytest.approx(4 * small)
+
+
+def test_accumulator_bits_per_kind():
+    assert FixedPointWeightBlock(8, 8).accumulator_bits == 24
+    assert FloatingPointWeightBlock().accumulator_bits == 32
+    assert Pow2WeightBlock(6, 16).accumulator_bits == 32
+    assert BinaryWeightBlock(1, 16).accumulator_bits == 24
+
+
+def test_adder_tree_count():
+    tree = AdderTree(fan_in=16, operand_bits=32)
+    assert tree.adder_count == 15
+
+
+def test_adder_tree_fp_overhead():
+    plain = AdderTree(16, 32).cost(TECH_65NM).area_mm2
+    fp = AdderTree(16, 32, floating_point=True).cost(TECH_65NM).area_mm2
+    assert fp > plain
+
+
+def test_adder_tree_validation():
+    with pytest.raises(HardwareModelError):
+        AdderTree(fan_in=1, operand_bits=16)
+
+
+def test_nonlinearity_and_registers_positive():
+    assert NonlinearityUnit(24).cost(TECH_65NM).area_mm2 > 0
+    assert PipelineRegisters(1000).cost(TECH_65NM).area_mm2 > 0
+    assert PipelineRegisters(0).cost(TECH_65NM).area_mm2 == 0
+
+
+def test_invalid_bit_widths():
+    with pytest.raises(HardwareModelError):
+        FixedPointWeightBlock(0, 8)
+    with pytest.raises(HardwareModelError):
+        NonlinearityUnit(0)
+    with pytest.raises(HardwareModelError):
+        PipelineRegisters(-1)

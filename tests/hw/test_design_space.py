@@ -1,0 +1,107 @@
+"""Design-space exploration tests."""
+
+import pytest
+
+from repro import core, hw
+from repro.errors import ConfigurationError
+from repro.hw.design_space import (
+    evaluate_design,
+    explore_design_space,
+    throughput_pareto,
+)
+from repro.zoo import build_network, network_info
+
+
+@pytest.fixture(scope="module")
+def lenet():
+    info = network_info("lenet")
+    return build_network("lenet"), info.input_shape
+
+
+def test_evaluate_design_basic(lenet):
+    net, shape = lenet
+    candidate = evaluate_design(net, shape, core.get_precision("fixed16"), 16, 16)
+    assert candidate.area_mm2 > 0
+    assert candidate.images_per_second > 0
+    assert candidate.label == "fixed16 16x16 @250MHz"
+    assert candidate.images_per_second_per_watt > 0
+
+
+def test_bigger_tile_is_faster_and_larger(lenet):
+    net, shape = lenet
+    spec = core.get_precision("fixed16")
+    small = evaluate_design(net, shape, spec, 8, 8)
+    big = evaluate_design(net, shape, spec, 32, 32)
+    assert big.images_per_second > small.images_per_second
+    assert big.area_mm2 > small.area_mm2
+    assert big.cycles_per_image < small.cycles_per_image
+
+
+def test_explore_covers_grid(lenet):
+    net, shape = lenet
+    candidates = explore_design_space(
+        net, shape,
+        precisions=[core.get_precision("fixed8"), core.get_precision("binary")],
+        geometries=[(8, 8), (16, 16)],
+    )
+    assert len(candidates) == 4
+    labels = {c.label for c in candidates}
+    assert "binary 16x16 @250MHz" in labels
+
+
+def test_explore_with_clock_sweep(lenet):
+    net, shape = lenet
+    candidates = explore_design_space(
+        net, shape,
+        precisions=[core.get_precision("fixed8")],
+        geometries=[(16, 16)],
+        clocks_mhz=(125.0, 250.0),
+    )
+    slow, fast = sorted(candidates, key=lambda c: c.clock_mhz)
+    assert fast.images_per_second == pytest.approx(2 * slow.images_per_second)
+    assert fast.power_mw > slow.power_mw
+    assert fast.area_mm2 == pytest.approx(slow.area_mm2)
+
+
+def test_empty_geometry_rejected(lenet):
+    net, shape = lenet
+    with pytest.raises(ConfigurationError):
+        explore_design_space(net, shape, geometries=[])
+
+
+def test_pareto_properties(lenet):
+    net, shape = lenet
+    candidates = explore_design_space(
+        net, shape,
+        precisions=[core.get_precision(k) for k in ("fixed16", "fixed8", "binary")],
+    )
+    frontier = throughput_pareto(candidates)
+    assert frontier
+    assert len(frontier) <= len(candidates)
+    # no frontier member dominates another
+    for a in frontier:
+        for b in frontier:
+            if a is not b:
+                dominates = (
+                    b.images_per_second >= a.images_per_second
+                    and b.area_mm2 <= a.area_mm2
+                    and b.energy_uj_per_image <= a.energy_uj_per_image
+                    and (
+                        b.images_per_second > a.images_per_second
+                        or b.area_mm2 < a.area_mm2
+                        or b.energy_uj_per_image < a.energy_uj_per_image
+                    )
+                )
+                assert not dominates
+    # frontier sorted by area
+    areas = [c.area_mm2 for c in frontier]
+    assert areas == sorted(areas)
+
+
+def test_binary_on_every_area_frontier(lenet):
+    """Binary is the cheapest design at any geometry, so the smallest-
+    area frontier point must be binary."""
+    net, shape = lenet
+    candidates = explore_design_space(net, shape)
+    frontier = throughput_pareto(candidates)
+    assert frontier[0].precision.key == "binary"

@@ -1,0 +1,100 @@
+"""Per-image energy model tests, including paper calibration."""
+
+import pytest
+
+from repro import core
+from repro.core.precision import PAPER_PRECISIONS
+from repro.hw.energy import EnergyModel
+from repro.zoo.registry import build_network, network_info
+
+#: Full-precision per-image energies from Tables IV and V (uJ).
+PAPER_FLOAT_ENERGY = {
+    "lenet": 60.74,
+    "convnet": 754.18,
+    "alex": 335.68,
+}
+
+
+@pytest.fixture(scope="module")
+def model():
+    return EnergyModel()
+
+
+@pytest.mark.parametrize("network_name", sorted(PAPER_FLOAT_ENERGY))
+def test_float_energy_matches_paper(model, network_name):
+    info = network_info(network_name)
+    net = build_network(network_name)
+    report = model.evaluate(net, info.input_shape, core.get_precision("float32"))
+    assert report.energy_uj == pytest.approx(
+        PAPER_FLOAT_ENERGY[network_name], rel=0.10
+    )
+
+
+def test_energy_decreases_with_precision(model):
+    info = network_info("lenet")
+    net = build_network("lenet")
+    energies = [
+        model.evaluate(net, info.input_shape, spec).energy_uj
+        for spec in PAPER_PRECISIONS
+    ]
+    # float32 > fixed32 > fixed16 > fixed8 > fixed4; pow2 and binary at the end
+    assert energies[0] > energies[1] > energies[2] > energies[3] > energies[4]
+    assert energies[6] == min(energies)  # binary cheapest
+
+
+def test_savings_vs_baseline(model):
+    info = network_info("lenet")
+    net = build_network("lenet")
+    baseline = model.evaluate(net, info.input_shape, core.get_precision("float32"))
+    fixed8 = model.evaluate(net, info.input_shape, core.get_precision("fixed8"))
+    saving = fixed8.savings_vs(baseline)
+    # paper: 85.41% for MNIST fixed-point (8,8)
+    assert saving == pytest.approx(85.41, abs=5.0)
+
+
+def test_layer_energies_sum_to_total(model):
+    info = network_info("alex")
+    net = build_network("alex")
+    report = model.evaluate(net, info.input_shape, core.get_precision("fixed16"))
+    assert sum(l.energy_uj for l in report.layers) == pytest.approx(report.energy_uj)
+
+
+def test_report_metadata(model):
+    info = network_info("lenet")
+    net = build_network("lenet")
+    report = model.evaluate(net, info.input_shape, core.get_precision("pow2"))
+    assert report.network_name == "lenet"
+    assert report.precision_label == "Powers of Two (6,16)"
+    assert report.runtime_us == pytest.approx(report.total_cycles * 4e-3)
+
+
+def test_accelerators_are_cached(model):
+    a = model.accelerator_for(core.get_precision("fixed8"))
+    b = model.accelerator_for(core.get_precision("fixed8"))
+    assert a is b
+
+
+def test_enlarged_networks_cost_more(model):
+    spec = core.get_precision("fixed16")
+    energies = {}
+    for name in ("alex", "alex+", "alex++"):
+        info = network_info(name)
+        energies[name] = model.evaluate(
+            build_network(name), info.input_shape, spec
+        ).energy_uj
+    assert energies["alex"] < energies["alex+"]
+    assert energies["alex"] < energies["alex++"]
+
+
+def test_enlarged_low_precision_beats_float_baseline(model):
+    """The paper's headline: ALEX++ at powers-of-two costs less energy
+    than plain ALEX at float32."""
+    alex_info = network_info("alex")
+    baseline = model.evaluate(
+        build_network("alex"), alex_info.input_shape, core.get_precision("float32")
+    )
+    pp_info = network_info("alex++")
+    enlarged = model.evaluate(
+        build_network("alex++"), pp_info.input_shape, core.get_precision("pow2")
+    )
+    assert enlarged.energy_uj < baseline.energy_uj

@@ -1,0 +1,63 @@
+"""Neural functional unit tests."""
+
+import pytest
+
+from repro import core
+from repro.errors import HardwareModelError
+from repro.hw.nfu import NeuralFunctionalUnit, NfuGeometry
+
+
+def make(key="fixed16", **kwargs):
+    return NeuralFunctionalUnit(core.get_precision(key), **kwargs)
+
+
+def test_default_geometry_is_papers_16x16():
+    nfu = make()
+    assert nfu.geometry.neurons == 16
+    assert nfu.geometry.synapses == 16
+    assert nfu.geometry.macs_per_cycle == 256
+
+
+def test_pipeline_depth_binary_merged():
+    assert make("fixed16").pipeline_depth == 3
+    assert make("float32").pipeline_depth == 3
+    assert make("binary").pipeline_depth == 2  # paper merges stages 1-2
+
+
+def test_breakdown_sums_to_total():
+    nfu = make("fixed8")
+    parts = nfu.breakdown()
+    total_area = sum(p.area_mm2 for p in parts.values())
+    assert total_area == pytest.approx(nfu.total_cost().area_mm2)
+
+
+def test_stage1_dominates_for_float():
+    nfu = make("float32")
+    parts = nfu.breakdown()
+    assert parts["stage1_weight_blocks"].area_mm2 > parts["stage2_adder_trees"].area_mm2
+
+
+def test_costs_decrease_with_precision():
+    order = ["float32", "fixed32", "fixed16", "fixed8", "fixed4"]
+    areas = [make(k).total_cost().area_mm2 for k in order]
+    assert all(a > b for a, b in zip(areas, areas[1:]))
+
+
+def test_binary_cheapest_compute():
+    keys = ["float32", "fixed32", "fixed16", "fixed8", "pow2"]
+    binary_area = make("binary").total_cost().area_mm2
+    assert all(make(k).total_cost().area_mm2 > binary_area for k in keys)
+
+
+def test_custom_geometry_scales_stage1():
+    small = make("fixed16", geometry=NfuGeometry(neurons=8, synapses=8))
+    big = make("fixed16", geometry=NfuGeometry(neurons=16, synapses=16))
+    ratio = big.stage1_cost().area_mm2 / small.stage1_cost().area_mm2
+    assert ratio == pytest.approx(4.0)
+
+
+def test_invalid_geometry():
+    with pytest.raises(HardwareModelError):
+        NfuGeometry(neurons=0)
+    with pytest.raises(HardwareModelError):
+        NfuGeometry(synapses=1)

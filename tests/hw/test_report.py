@@ -1,0 +1,60 @@
+"""Synthesis report / Table III / Figure 3 formatting tests."""
+
+import pytest
+
+from repro.core.precision import PAPER_PRECISIONS
+from repro.hw.accelerator import Accelerator
+from repro.hw.report import (
+    BREAKDOWN_CATEGORIES,
+    area_power_breakdown,
+    design_metrics_table,
+    synthesis_report,
+)
+
+
+def test_breakdown_has_figure3_categories():
+    acc = Accelerator.for_precision("fixed16")
+    breakdown = area_power_breakdown(acc)
+    assert sorted(breakdown) == sorted(BREAKDOWN_CATEGORIES)
+    for entry in breakdown.values():
+        assert entry["area_mm2"] >= 0
+        assert entry["power_mw"] >= 0
+
+
+def test_memory_dominates_every_breakdown():
+    for spec in PAPER_PRECISIONS:
+        breakdown = area_power_breakdown(Accelerator(spec))
+        memory_area = breakdown["memory"]["area_mm2"]
+        assert all(
+            memory_area >= breakdown[c]["area_mm2"] for c in BREAKDOWN_CATEGORIES
+        ), spec.key
+
+
+def test_design_metrics_table_rows():
+    rows = design_metrics_table()
+    assert len(rows) == 7
+    assert rows[0]["key"] == "float32"
+    assert rows[0]["area_saving_pct"] == 0.0
+    # savings strictly increase from fixed32 down the fixed-point column
+    fixed = [r for r in rows if r["key"].startswith("fixed")]
+    savings = [r["area_saving_pct"] for r in fixed]
+    assert savings == sorted(savings)
+
+
+def test_synthesis_report_text():
+    acc = Accelerator.for_precision("pow2")
+    text = synthesis_report(acc)
+    assert "Powers of Two (6,16)" in text
+    assert "250 MHz" in text
+    for category in BREAKDOWN_CATEGORIES:
+        assert category in text
+    assert "buffers:" in text
+    assert "SB" in text
+
+
+def test_buffer_domination_claim_in_report():
+    """Section V-B: buffers dominate area and power for every design."""
+    for spec in PAPER_PRECISIONS:
+        fractions = Accelerator(spec).memory_fraction()
+        assert fractions["area"] > 0.5
+        assert fractions["power"] > 0.5

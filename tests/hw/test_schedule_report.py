@@ -1,0 +1,47 @@
+"""Schedule report and activation-range report tests."""
+
+import numpy as np
+
+from repro import core
+from repro.core.analysis import activation_range_report
+from repro.hw.accelerator import Accelerator
+from repro.hw.report import schedule_report
+from repro.hw.scheduler import TileScheduler
+from repro.zoo import build_network, network_info
+from tests.conftest import make_tiny_cnn
+
+
+def test_schedule_report_lists_layers():
+    info = network_info("lenet")
+    schedule = TileScheduler(Accelerator.for_precision("fixed16")).schedule(
+        build_network("lenet"), info.input_shape
+    )
+    text = schedule_report(schedule)
+    for name in ("conv1", "conv2", "ip1", "ip2"):
+        assert name in text
+    assert "total" in text
+    assert str(schedule.total_cycles) in text
+
+
+def test_schedule_report_utilization_bounded():
+    info = network_info("alex")
+    accelerator = Accelerator.for_precision("fixed16")
+    schedule = TileScheduler(accelerator).schedule(
+        build_network("alex"), info.input_shape
+    )
+    text = schedule_report(schedule)
+    assert "MACs/cycle" in text
+    for layer in schedule.layers:
+        assert layer.utilization <= accelerator.macs_per_cycle + 1e-9
+
+
+def test_activation_range_report_covers_insertion_points():
+    net = make_tiny_cnn()
+    qnet = core.QuantizedNetwork(net, core.get_precision("fixed8"))
+    rng = np.random.default_rng(0)
+    images = rng.standard_normal((16, 1, 28, 28)).astype(np.float32)
+    report = activation_range_report(qnet, images)
+    assert "quant_in" in report
+    assert all(value > 0 for value in report.values())
+    # input range should reflect the data (~standard normal max)
+    assert 1.0 < report["quant_in"] < 10.0

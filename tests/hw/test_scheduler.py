@@ -1,0 +1,85 @@
+"""Tile scheduler tests."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.errors import HardwareModelError
+from repro.hw.accelerator import Accelerator, AcceleratorConfig
+from repro.hw.scheduler import TileScheduler
+from tests.conftest import make_tiny_cnn
+
+
+def make_scheduler(key="fixed16", **config_kwargs):
+    config = AcceleratorConfig(**config_kwargs)
+    return TileScheduler(Accelerator.for_precision(key, config=config))
+
+
+def test_schedule_covers_compute_layers(tiny_cnn):
+    schedule = make_scheduler().schedule(tiny_cnn, (1, 28, 28))
+    assert [layer.name for layer in schedule.layers] == ["conv1", "conv2", "ip1"]
+    assert schedule.network_name == "tiny_cnn"
+
+
+def test_cycle_count_formula():
+    scheduler = make_scheduler(dataflow_efficiency=1.0, layer_startup_cycles=0)
+    gen = np.random.default_rng(0)
+    net = nn.Sequential([nn.Dense(256, 16, name="fc", rng=gen)])
+    schedule = scheduler.schedule(net, (256,))
+    # 256*16 = 4096 MACs on a 256 MAC/cycle tile, plus pipeline depth
+    assert schedule.layers[0].cycles == 16 + scheduler.accelerator.nfu.pipeline_depth
+
+
+def test_efficiency_increases_cycles():
+    ideal = make_scheduler(dataflow_efficiency=1.0)
+    real = make_scheduler(dataflow_efficiency=0.5)
+    net = make_tiny_cnn()
+    fast = ideal.schedule(net, (1, 28, 28)).total_cycles
+    slow = real.schedule(net, (1, 28, 28)).total_cycles
+    assert slow > fast
+
+
+def test_total_macs_matches_layer_sum(tiny_cnn):
+    schedule = make_scheduler().schedule(tiny_cnn, (1, 28, 28))
+    expected = sum(
+        layer.macs((1, 28, 28) if layer.name == "conv1" else shape)
+        for layer, shape in zip(
+            tiny_cnn.compute_layers(),
+            [(1, 28, 28), (4, 12, 12), (128,)],
+        )
+    )
+    assert schedule.total_macs == expected
+
+
+def test_runtime_seconds():
+    scheduler = make_scheduler()
+    net = make_tiny_cnn()
+    schedule = scheduler.schedule(net, (1, 28, 28))
+    assert schedule.runtime_s(250e6) == pytest.approx(schedule.total_cycles / 250e6)
+
+
+def test_binary_pipeline_reduces_startup():
+    """Merged two-stage NFU shaves one fill cycle per layer."""
+    net = make_tiny_cnn()
+    fixed = make_scheduler("fixed16").schedule(net, (1, 28, 28))
+    binary = make_scheduler("binary").schedule(net, (1, 28, 28))
+    layer_count = len(fixed.layers)
+    assert fixed.total_cycles - binary.total_cycles == layer_count
+
+
+def test_layer_work_records_sizes(tiny_cnn):
+    schedule = make_scheduler().schedule(tiny_cnn, (1, 28, 28))
+    conv1 = schedule.layers[0]
+    assert conv1.kind == "conv"
+    assert conv1.weights == 4 * 25 + 4
+    assert conv1.input_values == 28 * 28
+    assert conv1.output_values == 4 * 24 * 24
+    assert 0 < conv1.utilization <= 256
+
+
+def test_network_without_compute_layers_rejected():
+    net = nn.Sequential([nn.ReLU()])
+    with pytest.raises(HardwareModelError):
+        make_scheduler().schedule(net, (1, 8, 8))

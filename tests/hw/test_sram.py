@@ -1,0 +1,43 @@
+"""SRAM buffer model tests."""
+
+import pytest
+
+from repro.errors import HardwareModelError
+from repro.hw.sram import SramBuffer
+from repro.hw.tech import TECH_65NM
+
+
+def make(bits_per_word=16, words=4096, bandwidth=256):
+    return SramBuffer("Bin", words, bits_per_word, bandwidth)
+
+
+def test_capacity_accounting():
+    buffer = make()
+    assert buffer.total_bits == 4096 * 16
+    assert buffer.kilobytes == pytest.approx(8.0)
+
+
+def test_area_scales_with_word_width():
+    assert make(32).area_mm2(TECH_65NM) == pytest.approx(
+        2 * make(16).area_mm2(TECH_65NM)
+    )
+
+
+def test_power_positive_and_monotonic():
+    narrow = make(8, bandwidth=128).power_mw(TECH_65NM)
+    wide = make(16, bandwidth=256).power_mw(TECH_65NM)
+    assert 0 < narrow < wide
+
+
+def test_invalid_geometry_rejected():
+    with pytest.raises(HardwareModelError):
+        SramBuffer("bad", 0, 16, 10)
+    with pytest.raises(HardwareModelError):
+        SramBuffer("bad", 16, 0, 10)
+    with pytest.raises(HardwareModelError):
+        SramBuffer("bad", 16, 16, -1)
+
+
+def test_str_mentions_geometry():
+    text = str(make())
+    assert "Bin" in text and "4096" in text and "8.0 KB" in text

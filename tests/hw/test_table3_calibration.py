@@ -1,0 +1,57 @@
+"""Calibration guarantee: the hardware model reproduces Table III.
+
+These tolerances document the model's fidelity; if a refactor of the
+component models shifts any design point by more than the stated bound,
+these tests fail and the calibration must be redone (see
+repro/hw/tech.py for the protocol).
+"""
+
+import pytest
+
+from repro.core.precision import PAPER_PRECISIONS
+from repro.hw.accelerator import Accelerator
+
+#: (area mm^2, power mW) synthesized values from Table III.
+PAPER = {
+    "float32": (16.74, 1379.60),
+    "fixed32": (14.13, 1213.40),
+    "fixed16": (6.88, 574.75),
+    "fixed8": (3.36, 219.87),
+    "fixed4": (1.66, 111.17),
+    "pow2": (3.05, 209.91),
+    "binary": (1.21, 95.36),
+}
+
+#: worst acceptable relative error per design point
+AREA_TOLERANCE = 0.06
+POWER_TOLERANCE = 0.13
+
+
+@pytest.mark.parametrize("spec", PAPER_PRECISIONS, ids=lambda s: s.key)
+def test_area_matches_paper(spec):
+    paper_area, _ = PAPER[spec.key]
+    model_area = Accelerator(spec).area_mm2
+    assert model_area == pytest.approx(paper_area, rel=AREA_TOLERANCE)
+
+
+@pytest.mark.parametrize("spec", PAPER_PRECISIONS, ids=lambda s: s.key)
+def test_power_matches_paper(spec):
+    _, paper_power = PAPER[spec.key]
+    model_power = Accelerator(spec).power_mw
+    assert model_power == pytest.approx(paper_power, rel=POWER_TOLERANCE)
+
+
+def test_savings_ordering_matches_paper():
+    """The savings ranking across precisions must match Table III even
+    where absolute values deviate."""
+    baseline = Accelerator(PAPER_PRECISIONS[0])
+    model_area_savings = {
+        spec.key: 1.0 - Accelerator(spec).area_mm2 / baseline.area_mm2
+        for spec in PAPER_PRECISIONS
+    }
+    paper_area_savings = {
+        key: 1.0 - area / PAPER["float32"][0] for key, (area, _) in PAPER.items()
+    }
+    model_order = sorted(model_area_savings, key=model_area_savings.get)
+    paper_order = sorted(paper_area_savings, key=paper_area_savings.get)
+    assert model_order == paper_order

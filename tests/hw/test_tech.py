@@ -1,0 +1,53 @@
+"""Technology library tests."""
+
+import dataclasses
+
+import pytest
+
+from repro.errors import HardwareModelError
+from repro.hw.tech import TECH_65NM, TechnologyLibrary
+
+
+def test_default_library_parameters():
+    assert TECH_65NM.clock_hz == 250e6
+    assert TECH_65NM.clock_period_s == pytest.approx(4e-9)
+    assert TECH_65NM.name == "65nm-generic"
+
+
+def test_sram_area_linear_in_bits():
+    assert TECH_65NM.sram_area(2000) == pytest.approx(2 * TECH_65NM.sram_area(1000))
+    assert TECH_65NM.sram_area(0) == 0.0
+
+
+def test_sram_power_increases_with_bandwidth():
+    idle = TECH_65NM.sram_power(1 << 20, 0)
+    busy = TECH_65NM.sram_power(1 << 20, 4096)
+    assert busy > idle > 0
+
+
+def test_sram_power_leakage_scales_with_capacity():
+    small = TECH_65NM.sram_power(1 << 10, 0)
+    large = TECH_65NM.sram_power(1 << 20, 0)
+    assert large > small
+
+
+def test_logic_power_proportional_to_area():
+    assert TECH_65NM.logic_power(2.0) == pytest.approx(2 * TECH_65NM.logic_power(1.0))
+
+
+def test_negative_inputs_rejected():
+    with pytest.raises(HardwareModelError):
+        TECH_65NM.sram_area(-1)
+    with pytest.raises(HardwareModelError):
+        TECH_65NM.sram_power(10, -1)
+    with pytest.raises(HardwareModelError):
+        TECH_65NM.logic_power(-0.1)
+
+
+def test_invalid_library_construction():
+    with pytest.raises(HardwareModelError):
+        dataclasses.replace(TECH_65NM, clock_hz=0.0)
+    with pytest.raises(HardwareModelError):
+        dataclasses.replace(TECH_65NM, sram_area_per_bit=-1.0)
+    with pytest.raises(HardwareModelError):
+        dataclasses.replace(TECH_65NM, bufinv_fraction=1.5)

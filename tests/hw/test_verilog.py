@@ -1,0 +1,125 @@
+"""Structural validation of the generated NFU Verilog.
+
+No simulator is available offline, so these tests parse the emitted
+RTL: module/endmodule balance, expected port widths, instance counts
+and cross-module name consistency.
+"""
+
+import re
+
+import pytest
+
+from repro import core
+from repro.errors import HardwareModelError
+from repro.hw.nfu import NfuGeometry
+from repro.hw.verilog import (
+    generate_adder_tree,
+    generate_nfu,
+    generate_relu,
+    generate_weight_block,
+    product_bits,
+)
+
+
+def module_names(source: str):
+    return re.findall(r"^module\s+(\w+)", source, flags=re.MULTILINE)
+
+
+def balanced(source: str) -> bool:
+    return source.count("module ") - source.count("endmodule") == 0
+
+
+def test_fixed_weight_block():
+    source = generate_weight_block(core.get_precision("fixed8"))
+    assert "module wb_fixed_8x8" in source
+    assert "weight * din" in source
+    assert "[15:0] product" in source  # 8x8 -> 16-bit product
+    assert balanced(source)
+
+
+def test_pow2_weight_block_uses_shifter():
+    source = generate_weight_block(core.get_precision("pow2"))
+    assert "module wb_pow2_6_16" in source
+    assert "<<<" in source
+    assert "exponent" in source
+    assert balanced(source)
+
+
+def test_binary_weight_block_negates():
+    source = generate_weight_block(core.get_precision("binary"))
+    assert "module wb_binary_16" in source
+    assert "-extended" in source
+    assert "*" not in source.split("endmodule")[0].split(");")[1], (
+        "binary block must not contain a multiplier"
+    )
+
+
+def test_float_weight_block_not_generated():
+    with pytest.raises(HardwareModelError):
+        generate_weight_block(core.get_precision("float32"))
+    with pytest.raises(HardwareModelError):
+        generate_nfu(core.get_precision("float32"))
+
+
+def test_product_bits_per_kind():
+    assert product_bits(core.get_precision("fixed8")) == 16
+    assert product_bits(core.get_precision("fixed16")) == 32
+    assert product_bits(core.get_precision("pow2")) == 16 + 31
+    assert product_bits(core.get_precision("binary")) == 17
+
+
+def test_adder_tree_structure():
+    source = generate_adder_tree(16, 16)
+    assert "module adder_tree_16x16" in source
+    # 16-input tree: 8 + 4 + 2 + 1 = 15 two-input adders
+    assert source.count(" + ") == 15
+    # output grows by log2(16) = 4 bits
+    assert "[19:0] sum" in source
+    assert balanced(source)
+
+
+def test_adder_tree_validation():
+    with pytest.raises(HardwareModelError):
+        generate_adder_tree(12, 16)  # not a power of two
+    with pytest.raises(HardwareModelError):
+        generate_adder_tree(1, 16)
+
+
+def test_relu_module():
+    source = generate_relu(20)
+    assert "module relu_20" in source
+    assert "'sd0" in source
+    assert balanced(source)
+
+
+@pytest.mark.parametrize("key", ["fixed8", "fixed16", "pow2", "binary"])
+def test_nfu_top_generates(key):
+    spec = core.get_precision(key)
+    geometry = NfuGeometry(neurons=4, synapses=4)
+    source = generate_nfu(spec, geometry)
+    assert balanced(source)
+    names = module_names(source)
+    assert f"nfu_{key}_4x4" in names
+    # 4 neurons x 4 synapses weight blocks instantiated
+    assert source.count("u_wb_") == 16
+    # one tree + one relu per neuron
+    assert source.count("u_tree_") == 4
+    assert source.count("u_relu_") == 4
+    # registered output stage
+    assert "always @(posedge clk)" in source
+
+
+def test_nfu_component_names_consistent():
+    """Every instantiated module must be defined in the same source."""
+    source = generate_nfu(core.get_precision("fixed8"), NfuGeometry(2, 4))
+    defined = set(module_names(source))
+    instantiated = set(re.findall(r"^\s+(\w+)\s+u_\w+", source, flags=re.MULTILINE))
+    assert instantiated <= defined
+
+
+def test_nfu_scales_with_geometry():
+    small = generate_nfu(core.get_precision("binary"), NfuGeometry(2, 2))
+    large = generate_nfu(core.get_precision("binary"), NfuGeometry(8, 8))
+    assert large.count("u_wb_") == 64
+    assert small.count("u_wb_") == 4
+    assert len(large) > len(small)

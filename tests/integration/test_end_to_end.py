@@ -1,0 +1,102 @@
+"""End-to-end integration: the full study pipeline on a tiny budget.
+
+Train float -> warm-start QAT at a low precision -> evaluate accuracy
+-> model hardware energy -> build Pareto points.  This exercises every
+subsystem (data, nn, core, zoo, hw) in one flow.
+"""
+
+import numpy as np
+import pytest
+
+from repro import core, hw, nn
+from repro.core.pareto import DesignPoint, pareto_frontier
+from repro.data import load_dataset
+from repro.zoo import build_network, network_info
+
+
+@pytest.fixture(scope="module")
+def split():
+    return load_dataset("digits", n_train=300, n_test=150, seed=0)
+
+
+@pytest.fixture(scope="module")
+def float_net(split):
+    net = build_network("lenet_small", seed=0)
+    trainer = nn.Trainer(
+        net,
+        nn.SGD(net.parameters(), lr=0.02, momentum=0.9),
+        batch_size=32,
+        rng=np.random.default_rng(0),
+    )
+    trainer.fit(split.train.images, split.train.labels, epochs=4)
+    return net
+
+
+def test_full_pipeline(split, float_net):
+    # 1. float baseline learns the task
+    logits = float_net.predict(split.test.images)
+    float_accuracy = nn.accuracy(logits, split.test.labels)
+    assert float_accuracy > 0.8
+
+    # 2. QAT fine-tune at 8-bit fixed point from the float warm start
+    spec = core.get_precision("fixed8")
+    qat_net = build_network("lenet_small", seed=0)
+    nn.transfer_weights(float_net, qat_net)
+    qnet = core.QuantizedNetwork(qat_net, spec)
+    qnet.calibrate(split.train.images[:128])
+    trainer = core.QATTrainer(
+        qnet,
+        nn.SGD(qat_net.parameters(), lr=0.005, momentum=0.9),
+        batch_size=32,
+        rng=np.random.default_rng(1),
+    )
+    trainer.fit(split.train.images, split.train.labels, epochs=1)
+    quant_accuracy = qnet.evaluate(split.test.images, split.test.labels)
+    assert quant_accuracy > float_accuracy - 0.1, "8-bit must track float"
+
+    # 3. hardware energy on the paper's LeNet
+    info = network_info("lenet")
+    energy_model = hw.EnergyModel()
+    paper_net = build_network("lenet")
+    float_energy = energy_model.evaluate(
+        paper_net, info.input_shape, core.get_precision("float32")
+    )
+    quant_energy = energy_model.evaluate(paper_net, info.input_shape, spec)
+    saving = quant_energy.savings_vs(float_energy)
+    assert saving > 75.0  # paper: 85.41 % for fixed (8,8)
+
+    # 4. Pareto analysis places the quantized point on the frontier
+    points = [
+        DesignPoint("float32", 100 * float_accuracy, float_energy.energy_uj),
+        DesignPoint("fixed8", 100 * quant_accuracy, quant_energy.energy_uj),
+    ]
+    frontier = pareto_frontier(points)
+    assert any(p.label == "fixed8" for p in frontier)
+
+
+def test_save_load_quantized_workflow(tmp_path, split, float_net):
+    """Persist a trained network, reload, quantize post-training."""
+    path = str(tmp_path / "lenet_small.npz")
+    nn.save_network_weights(float_net, path)
+    fresh = build_network("lenet_small", seed=0)
+    nn.load_network_weights(fresh, path)
+    qnet = core.post_training_quantize(
+        fresh, core.get_precision("fixed16"), split.train.images[:128]
+    )
+    accuracy = qnet.evaluate(split.test.images, split.test.labels)
+    plain = nn.accuracy(fresh.predict(split.test.images), split.test.labels)
+    assert accuracy == pytest.approx(plain, abs=0.05), "16-bit PTQ is near-lossless"
+
+
+def test_precision_sweep_orders_energy(split):
+    """Across the sweep, accuracy-energy points must show the paper's
+    qualitative trade-off: energy strictly decreasing with precision."""
+    energy_model = hw.EnergyModel()
+    info = network_info("lenet")
+    paper_net = build_network("lenet")
+    energies = [
+        energy_model.evaluate(paper_net, info.input_shape, spec).energy_uj
+        for spec in core.PAPER_PRECISIONS
+    ]
+    assert energies[0] == max(energies)
+    assert energies[-1] == min(energies)

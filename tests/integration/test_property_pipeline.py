@@ -1,0 +1,79 @@
+"""Property-based integration tests over the quantized pipeline."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import core, nn
+from tests.conftest import make_micro_net
+
+PRECISION_KEYS = ["float32", "fixed32", "fixed16", "fixed8", "fixed4", "pow2", "binary"]
+
+
+@settings(max_examples=12, deadline=None)
+@given(key=st.sampled_from(PRECISION_KEYS), seed=st.integers(0, 5))
+def test_quantized_forward_finite_and_shaped(key, seed):
+    """Quantized inference must always produce finite logits of the
+    right shape, for every precision and random input."""
+    net = make_micro_net(seed=seed)
+    qnet = core.QuantizedNetwork(net, core.get_precision(key))
+    rng = np.random.default_rng(seed)
+    x = rng.standard_normal((3, 1, 6, 6)).astype(np.float32)
+    qnet.calibrate(x)
+    logits = qnet.predict(x)
+    assert logits.shape == (3, 3)
+    assert np.all(np.isfinite(logits))
+
+
+@settings(max_examples=10, deadline=None)
+@given(key=st.sampled_from(PRECISION_KEYS))
+def test_swap_restore_is_lossless(key):
+    """Entering and leaving quantized mode must restore shadow weights
+    bit-exactly, for every precision."""
+    net = make_micro_net(seed=0)
+    qnet = core.QuantizedNetwork(net, core.get_precision(key))
+    before = [p.data.copy() for p in net.parameters()]
+    with qnet.quantized_weights():
+        pass
+    for param, original in zip(net.parameters(), before):
+        assert np.array_equal(param.data, original)
+
+
+@settings(max_examples=8, deadline=None)
+@given(
+    key=st.sampled_from(["fixed8", "fixed16", "pow2"]),
+    scale=st.floats(0.25, 4.0),
+)
+def test_calibration_makes_prediction_deterministic(key, scale):
+    """After calibration, repeated quantized inference on the same
+    input is exactly reproducible (frozen ranges, no hidden state)."""
+    net = make_micro_net(seed=1)
+    qnet = core.QuantizedNetwork(net, core.get_precision(key))
+    rng = np.random.default_rng(2)
+    x = (scale * rng.standard_normal((4, 1, 6, 6))).astype(np.float32)
+    qnet.calibrate(x)
+    first = qnet.predict(x)
+    second = qnet.predict(x)
+    assert np.array_equal(first, second)
+
+
+@settings(max_examples=6, deadline=None)
+@given(steps=st.integers(1, 3))
+def test_qat_steps_preserve_shadow_dtype_and_shape(steps):
+    net = make_micro_net(seed=3)
+    qnet = core.QuantizedNetwork(net, core.get_precision("binary"))
+    rng = np.random.default_rng(0)
+    x = rng.standard_normal((8, 1, 6, 6)).astype(np.float32)
+    y = rng.integers(0, 3, size=8)
+    qnet.calibrate(x)
+    trainer = core.QATTrainer(
+        qnet, nn.SGD(net.parameters(), lr=0.01), batch_size=4,
+        rng=np.random.default_rng(1),
+    )
+    for _ in range(steps):
+        trainer.network.train_mode()
+        trainer.train_step(x[:4], y[:4])
+    for param in net.parameters():
+        assert param.data.dtype == np.float32
+        assert np.all(np.isfinite(param.data))

@@ -1,0 +1,88 @@
+"""Property test: randomly composed architectures stay consistent.
+
+Hypothesis builds random (but valid) conv/pool/dense stacks; for each
+we check the three invariants every subsystem relies on:
+
+1. ``output_shape`` agrees with the actual forward pass;
+2. ``backward`` returns an input-shaped gradient and every parameter
+   receives a gradient;
+3. the scheduler's MAC accounting matches the layers' own counts.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import nn
+from repro.hw.accelerator import Accelerator
+from repro.hw.scheduler import TileScheduler
+
+
+@st.composite
+def random_network(draw):
+    """A random valid conv stack for 1x12x12 inputs, ending in Dense."""
+    rng_seed = draw(st.integers(0, 100))
+    gen = np.random.default_rng(rng_seed)
+    layers = []
+    channels, size = 1, 12
+    n_blocks = draw(st.integers(1, 3))
+    for block in range(n_blocks):
+        out_channels = draw(st.integers(1, 6))
+        kernel = draw(st.sampled_from([1, 3]))
+        padding = draw(st.sampled_from([0, 1]))
+        if size + 2 * padding < kernel:
+            continue
+        layers.append(
+            nn.Conv2D(channels, out_channels, kernel, padding=padding, rng=gen)
+        )
+        channels = out_channels
+        size = size + 2 * padding - kernel + 1
+        if draw(st.booleans()):
+            layers.append(nn.ReLU())
+        if size >= 4 and draw(st.booleans()):
+            pool_cls = draw(st.sampled_from([nn.MaxPool2D, nn.AvgPool2D]))
+            layers.append(pool_cls(2))
+            size = -(-(size - 2) // 2) + 1  # ceil mode
+    layers.append(nn.Flatten())
+    layers.append(nn.Dense(channels * size * size, 3, rng=gen))
+    return nn.Sequential(layers, name=f"random{rng_seed}")
+
+
+@settings(max_examples=20, deadline=None)
+@given(net=random_network(), batch=st.integers(1, 3))
+def test_shape_trace_matches_forward(net, batch):
+    rng = np.random.default_rng(0)
+    x = rng.standard_normal((batch, 1, 12, 12)).astype(np.float32)
+    out = net.forward(x)
+    assert out.shape == (batch,) + net.output_shape((1, 12, 12))
+
+
+@settings(max_examples=15, deadline=None)
+@given(net=random_network())
+def test_backward_reaches_every_parameter(net):
+    rng = np.random.default_rng(1)
+    x = rng.standard_normal((2, 1, 12, 12)).astype(np.float32)
+    y = np.array([0, 2])
+    net.zero_grad()
+    logits = net.forward(x)
+    _, grad = nn.SoftmaxCrossEntropy().compute(logits, y)
+    grad_in = net.backward(grad)
+    assert grad_in.shape == x.shape
+    assert np.all(np.isfinite(grad_in))
+    for param in net.parameters():
+        assert np.all(np.isfinite(param.grad))
+
+
+@settings(max_examples=15, deadline=None)
+@given(net=random_network())
+def test_scheduler_mac_accounting(net):
+    scheduler = TileScheduler(Accelerator.for_precision("fixed16"))
+    schedule = scheduler.schedule(net, (1, 12, 12))
+    shapes = net.layer_shapes((1, 12, 12))
+    expected = sum(
+        layer.macs(in_shape)
+        for layer, (in_shape, _) in zip(net.layers, shapes)
+        if hasattr(layer, "macs")
+    )
+    assert schedule.total_macs == expected
+    assert all(work.cycles > 0 for work in schedule.layers)

@@ -1,0 +1,76 @@
+"""Activation layer values and gradients."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.errors import ConfigurationError, ShapeError
+
+
+def test_relu_values():
+    relu = nn.ReLU()
+    x = np.array([[-2.0, 0.0, 3.0]], dtype=np.float32)
+    assert np.array_equal(relu.forward(x), [[0.0, 0.0, 3.0]])
+
+
+def test_relu_gradient_mask():
+    relu = nn.ReLU()
+    x = np.array([[-1.0, 2.0]], dtype=np.float32)
+    relu.forward(x)
+    grad = relu.backward(np.array([[5.0, 7.0]], dtype=np.float32))
+    assert np.array_equal(grad, [[0.0, 7.0]])
+
+
+def test_leaky_relu_values_and_grad():
+    leaky = nn.LeakyReLU(0.1)
+    x = np.array([[-2.0, 4.0]], dtype=np.float32)
+    out = leaky.forward(x)
+    assert np.allclose(out, [[-0.2, 4.0]])
+    grad = leaky.backward(np.ones_like(x))
+    assert np.allclose(grad, [[0.1, 1.0]])
+
+
+def test_leaky_relu_invalid_slope():
+    with pytest.raises(ConfigurationError):
+        nn.LeakyReLU(-0.1)
+
+
+def test_sigmoid_values():
+    sig = nn.Sigmoid()
+    out = sig.forward(np.array([[0.0]], dtype=np.float32))
+    assert np.isclose(out[0, 0], 0.5)
+
+
+def test_sigmoid_saturates_without_overflow():
+    sig = nn.Sigmoid()
+    out = sig.forward(np.array([[1000.0, -1000.0]], dtype=np.float32))
+    assert np.isclose(out[0, 0], 1.0)
+    assert np.isclose(out[0, 1], 0.0)
+
+
+def test_sigmoid_gradient():
+    sig = nn.Sigmoid()
+    x = np.array([[0.3]], dtype=np.float32)
+    out = sig.forward(x)
+    grad = sig.backward(np.ones_like(x))
+    assert np.isclose(grad[0, 0], out[0, 0] * (1 - out[0, 0]))
+
+
+def test_tanh_gradient_numerically():
+    rng = np.random.default_rng(0)
+    net = nn.Sequential([nn.Dense(3, 3, rng=rng), nn.Tanh()])
+    x = rng.standard_normal((2, 3)).astype(np.float32)
+    y = rng.standard_normal((2, 3)).astype(np.float32)
+    errors = nn.check_gradients(net, nn.MeanSquaredError(), x, y)
+    assert max(errors.values()) < 1e-2
+
+
+@pytest.mark.parametrize("cls", [nn.ReLU, nn.Sigmoid, nn.Tanh])
+def test_backward_before_forward_raises(cls):
+    with pytest.raises(ShapeError):
+        cls().backward(np.ones((1, 2), dtype=np.float32))
+
+
+@pytest.mark.parametrize("cls", [nn.ReLU, nn.LeakyReLU, nn.Sigmoid, nn.Tanh])
+def test_output_shape_passthrough(cls):
+    assert cls().output_shape((3, 4, 4)) == (3, 4, 4)

@@ -1,0 +1,77 @@
+"""Adam optimizer tests."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.errors import ConfigurationError
+from repro.nn.tensor import Parameter
+
+
+def make_param(value=0.0):
+    return Parameter(np.array([value], dtype=np.float32), name="w")
+
+
+def test_first_step_size_is_lr():
+    """With bias correction, the first Adam step is ~lr * sign(grad)."""
+    param = make_param(0.0)
+    opt = nn.Adam([param], lr=0.1)
+    param.accumulate_grad(np.array([3.0], dtype=np.float32))
+    opt.step()
+    assert np.isclose(param.data[0], -0.1, atol=1e-4)
+
+
+def test_adaptive_scaling_equalizes_magnitudes():
+    big = Parameter(np.array([0.0], dtype=np.float32), name="big")
+    small = Parameter(np.array([0.0], dtype=np.float32), name="small")
+    opt = nn.Adam([big, small], lr=0.01)
+    big.accumulate_grad(np.array([100.0], dtype=np.float32))
+    small.accumulate_grad(np.array([0.01], dtype=np.float32))
+    opt.step()
+    # per-parameter normalization: both take ~equal steps
+    assert np.isclose(abs(big.data[0]), abs(small.data[0]), rtol=0.05)
+
+
+def test_weight_decay_decoupled():
+    param = make_param(10.0)
+    opt = nn.Adam([param], lr=0.1, weight_decay=0.1)
+    param.zero_grad()
+    opt.step()
+    assert param.data[0] < 10.0
+
+
+def test_frozen_parameter_skipped():
+    param = make_param(1.0)
+    param.trainable = False
+    opt = nn.Adam([param], lr=0.1)
+    param.accumulate_grad(np.array([1.0], dtype=np.float32))
+    opt.step()
+    assert param.data[0] == 1.0
+
+
+def test_validation():
+    with pytest.raises(ConfigurationError):
+        nn.Adam([], lr=0.1)
+    with pytest.raises(ConfigurationError):
+        nn.Adam([make_param()], beta1=1.0)
+    with pytest.raises(ConfigurationError):
+        nn.Adam([make_param()], epsilon=0.0)
+
+
+def test_trains_a_small_network():
+    rng = np.random.default_rng(0)
+    x = rng.standard_normal((60, 4)).astype(np.float32)
+    y = (x[:, 0] - x[:, 2] > 0).astype(np.int64)
+    gen = np.random.default_rng(1)
+    net = nn.Sequential([nn.Dense(4, 8, rng=gen), nn.ReLU(), nn.Dense(8, 2, rng=gen)])
+    trainer = nn.Trainer(net, nn.Adam(net.parameters(), lr=0.01), batch_size=16)
+    trainer.fit(x, y, epochs=15)
+    assert trainer.evaluate(x, y)["accuracy"] >= 0.9
+
+
+def test_schedule_supported():
+    param = make_param()
+    opt = nn.Adam([param], lr=nn.StepDecay(0.1, step=1, gamma=0.5))
+    assert opt.current_lr == 0.1
+    opt.set_epoch(2)
+    assert np.isclose(opt.current_lr, 0.025)

@@ -1,0 +1,113 @@
+"""Batch normalization tests."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.errors import ConfigurationError, ShapeError
+
+
+def test_training_output_normalized_2d():
+    rng = np.random.default_rng(0)
+    bn = nn.BatchNorm(4)
+    x = (rng.standard_normal((64, 4)) * 5 + 3).astype(np.float32)
+    out = bn.forward(x)
+    assert np.allclose(out.mean(axis=0), 0.0, atol=1e-4)
+    assert np.allclose(out.std(axis=0), 1.0, atol=1e-2)
+
+
+def test_training_output_normalized_4d():
+    rng = np.random.default_rng(1)
+    bn = nn.BatchNorm(3)
+    x = (rng.standard_normal((8, 3, 5, 5)) * 2 - 1).astype(np.float32)
+    out = bn.forward(x)
+    assert np.allclose(out.mean(axis=(0, 2, 3)), 0.0, atol=1e-4)
+
+
+def test_gamma_beta_affect_output():
+    bn = nn.BatchNorm(2)
+    bn.gamma.set_data(np.array([2.0, 1.0], dtype=np.float32))
+    bn.beta.set_data(np.array([0.0, 5.0], dtype=np.float32))
+    x = np.random.default_rng(2).standard_normal((32, 2)).astype(np.float32)
+    out = bn.forward(x)
+    assert np.isclose(out[:, 0].std(), 2.0, atol=0.05)
+    assert np.isclose(out[:, 1].mean(), 5.0, atol=1e-4)
+
+
+def test_eval_uses_running_statistics():
+    rng = np.random.default_rng(3)
+    bn = nn.BatchNorm(2, momentum=0.0)  # running stats = last batch
+    x = (rng.standard_normal((128, 2)) * 3 + 1).astype(np.float32)
+    bn.forward(x)
+    bn.eval_mode()
+    # a wildly different input must be normalized by the stored stats
+    y = np.zeros((4, 2), dtype=np.float32)
+    out = bn.forward(y)
+    expected = (0.0 - bn.running_mean) / np.sqrt(bn.running_var + bn.epsilon)
+    assert np.allclose(out, expected[None, :], atol=1e-4)
+
+
+def test_running_stats_updated_only_in_training():
+    bn = nn.BatchNorm(2)
+    bn.eval_mode()
+    before = bn.running_mean.copy()
+    bn.forward(np.ones((8, 2), dtype=np.float32) * 7)
+    assert np.array_equal(bn.running_mean, before)
+
+
+def test_gradients_numerically():
+    # bias before BatchNorm is a null direction (BN subtracts the mean),
+    # so the layers feeding BN are built bias-free, as real nets do.
+    gen = np.random.default_rng(4)
+    net = nn.Sequential([
+        nn.Dense(5, 4, rng=gen, use_bias=False),
+        nn.BatchNorm(4),
+        nn.ReLU(),
+        nn.Dense(4, 3, rng=gen),
+    ])
+    x = gen.standard_normal((6, 5)).astype(np.float32)
+    y = gen.integers(0, 3, size=6)
+    errors = nn.check_gradients(net, nn.SoftmaxCrossEntropy(), x, y, tolerance=3e-2)
+    assert max(errors.values()) < 3e-2
+
+
+def test_conv_batchnorm_stack_gradients():
+    gen = np.random.default_rng(5)
+    net = nn.Sequential([
+        nn.Conv2D(1, 2, 3, rng=gen, use_bias=False),
+        nn.BatchNorm(2),
+        nn.ReLU(),
+        nn.Flatten(),
+        nn.Dense(2 * 4 * 4, 3, rng=gen),
+    ])
+    x = gen.standard_normal((4, 1, 6, 6)).astype(np.float32)
+    y = gen.integers(0, 3, size=4)
+    errors = nn.check_gradients(net, nn.SoftmaxCrossEntropy(), x, y, tolerance=3e-2)
+    assert max(errors.values()) < 3e-2
+
+
+def test_shape_validation():
+    bn = nn.BatchNorm(3)
+    with pytest.raises(ShapeError):
+        bn.forward(np.zeros((4, 2), dtype=np.float32))
+    with pytest.raises(ShapeError):
+        bn.forward(np.zeros((4, 2, 3, 3), dtype=np.float32))
+    with pytest.raises(ShapeError):
+        bn.forward(np.zeros((4,), dtype=np.float32))
+    with pytest.raises(ShapeError):
+        bn.backward(np.zeros((4, 3), dtype=np.float32))
+
+
+def test_invalid_configuration():
+    with pytest.raises(ConfigurationError):
+        nn.BatchNorm(0)
+    with pytest.raises(ConfigurationError):
+        nn.BatchNorm(4, momentum=1.0)
+    with pytest.raises(ConfigurationError):
+        nn.BatchNorm(4, epsilon=0.0)
+
+
+def test_parameters_registered():
+    bn = nn.BatchNorm(4)
+    assert len(bn.parameters()) == 2
+    assert bn.output_shape((4, 8, 8)) == (4, 8, 8)

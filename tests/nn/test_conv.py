@@ -1,0 +1,117 @@
+"""Conv2D correctness: forward vs scipy, gradients, shapes, MACs."""
+
+import numpy as np
+import pytest
+from scipy import signal
+
+from repro import nn
+from repro.errors import ConfigurationError, ShapeError
+
+
+def reference_conv(x, weight, bias, stride, padding):
+    """Direct cross-correlation using scipy, per batch/channel."""
+    n, in_c, h, w = x.shape
+    out_c = weight.shape[0]
+    x_pad = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+    k = weight.shape[2]
+    out_h = (h + 2 * padding - k) // stride + 1
+    out_w = (w + 2 * padding - k) // stride + 1
+    out = np.zeros((n, out_c, out_h, out_w), dtype=np.float64)
+    for b in range(n):
+        for oc in range(out_c):
+            acc = np.zeros((h + 2 * padding - k + 1, w + 2 * padding - k + 1))
+            for ic in range(in_c):
+                acc += signal.correlate2d(
+                    x_pad[b, ic].astype(np.float64),
+                    weight[oc, ic].astype(np.float64),
+                    mode="valid",
+                )
+            out[b, oc] = acc[::stride, ::stride] + bias[oc]
+    return out
+
+
+@pytest.mark.parametrize("stride,padding", [(1, 0), (1, 2), (2, 1), (3, 0)])
+def test_forward_matches_scipy(stride, padding):
+    rng = np.random.default_rng(0)
+    conv = nn.Conv2D(3, 5, kernel_size=3, stride=stride, padding=padding, rng=rng)
+    conv.bias.set_data(rng.standard_normal(5))
+    x = rng.standard_normal((2, 3, 9, 9)).astype(np.float32)
+    got = conv.forward(x)
+    want = reference_conv(x, conv.weight.data, conv.bias.data, stride, padding)
+    assert got.shape == want.shape
+    assert np.allclose(got, want, atol=1e-4)
+
+
+def test_forward_without_bias():
+    rng = np.random.default_rng(1)
+    conv = nn.Conv2D(2, 3, kernel_size=3, use_bias=False, rng=rng)
+    assert conv.bias is None
+    x = rng.standard_normal((1, 2, 5, 5)).astype(np.float32)
+    want = reference_conv(x, conv.weight.data, np.zeros(3), 1, 0)
+    assert np.allclose(conv.forward(x), want, atol=1e-4)
+
+
+def test_gradients_numerically():
+    rng = np.random.default_rng(2)
+    net = nn.Sequential([nn.Conv2D(2, 3, kernel_size=3, stride=2, padding=1, rng=rng)])
+    x = rng.standard_normal((2, 2, 6, 6)).astype(np.float32)
+    y = rng.standard_normal(net.forward(x).shape).astype(np.float32)
+    errors = nn.check_gradients(net, nn.MeanSquaredError(), x, y)
+    assert max(errors.values()) < 1e-2
+
+
+def test_input_gradient_numerically():
+    rng = np.random.default_rng(3)
+    conv = nn.Conv2D(1, 2, kernel_size=3, rng=rng)
+    x = rng.standard_normal((1, 1, 5, 5)).astype(np.float64)
+
+    def loss_of(x_input):
+        out = conv.forward(x_input.astype(np.float32))
+        return float(np.sum(out**2))
+
+    out = conv.forward(x.astype(np.float32))
+    grad_x = conv.backward(2.0 * out)
+    eps = 1e-3
+    numeric = np.zeros_like(x)
+    flat = x.reshape(-1)
+    num_flat = numeric.reshape(-1)
+    for i in range(flat.size):
+        orig = flat[i]
+        flat[i] = orig + eps
+        up = loss_of(x)
+        flat[i] = orig - eps
+        down = loss_of(x)
+        flat[i] = orig
+        num_flat[i] = (up - down) / (2 * eps)
+    assert np.allclose(grad_x, numeric, atol=1e-2)
+
+
+def test_output_shape_and_macs():
+    conv = nn.Conv2D(3, 32, kernel_size=5, padding=2)
+    assert conv.output_shape((3, 32, 32)) == (32, 32, 32)
+    assert conv.macs((3, 32, 32)) == 32 * 32 * 32 * 3 * 5 * 5
+
+
+def test_shape_validation():
+    conv = nn.Conv2D(3, 4, kernel_size=3)
+    with pytest.raises(ShapeError):
+        conv.forward(np.zeros((1, 2, 8, 8), dtype=np.float32))
+    with pytest.raises(ShapeError):
+        conv.output_shape((2, 8, 8))
+    with pytest.raises(ShapeError):
+        conv.backward(np.zeros((1, 4, 6, 6), dtype=np.float32))
+
+
+def test_invalid_configuration_rejected():
+    with pytest.raises(ConfigurationError):
+        nn.Conv2D(0, 4, kernel_size=3)
+    with pytest.raises(ConfigurationError):
+        nn.Conv2D(1, 4, kernel_size=3, padding=-1)
+
+
+def test_eval_mode_does_not_cache():
+    conv = nn.Conv2D(1, 2, kernel_size=3)
+    conv.eval_mode()
+    conv.forward(np.zeros((1, 1, 5, 5), dtype=np.float32))
+    with pytest.raises(ShapeError):
+        conv.backward(np.zeros((1, 2, 3, 3), dtype=np.float32))

@@ -1,0 +1,81 @@
+"""Dense and Flatten layer tests."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.errors import ConfigurationError, ShapeError
+
+
+def test_dense_forward_affine():
+    dense = nn.Dense(3, 2)
+    dense.weight.set_data(np.array([[1, 0], [0, 1], [1, 1]], dtype=np.float32))
+    dense.bias.set_data(np.array([0.5, -0.5], dtype=np.float32))
+    x = np.array([[1.0, 2.0, 3.0]], dtype=np.float32)
+    out = dense.forward(x)
+    assert np.allclose(out, [[4.5, 4.5]])
+
+
+def test_dense_backward_gradients():
+    rng = np.random.default_rng(0)
+    dense = nn.Dense(4, 3, rng=rng)
+    x = rng.standard_normal((5, 4)).astype(np.float32)
+    out = dense.forward(x)
+    grad_out = rng.standard_normal(out.shape).astype(np.float32)
+    grad_x = dense.backward(grad_out)
+    assert np.allclose(dense.weight.grad, x.T @ grad_out, atol=1e-5)
+    assert np.allclose(dense.bias.grad, grad_out.sum(axis=0), atol=1e-5)
+    assert np.allclose(grad_x, grad_out @ dense.weight.data.T, atol=1e-5)
+
+
+def test_dense_gradcheck():
+    rng = np.random.default_rng(1)
+    net = nn.Sequential([nn.Dense(6, 4, rng=rng), nn.Tanh(), nn.Dense(4, 3, rng=rng)])
+    x = rng.standard_normal((3, 6)).astype(np.float32)
+    y = np.array([0, 1, 2])
+    errors = nn.check_gradients(net, nn.SoftmaxCrossEntropy(), x, y)
+    assert max(errors.values()) < 1e-2
+
+
+def test_dense_no_bias():
+    dense = nn.Dense(3, 2, use_bias=False)
+    assert dense.bias is None
+    assert len(dense.parameters()) == 1
+
+
+def test_dense_macs():
+    assert nn.Dense(800, 500).macs((800,)) == 400000
+
+
+def test_dense_shape_validation():
+    dense = nn.Dense(3, 2)
+    with pytest.raises(ShapeError):
+        dense.forward(np.zeros((2, 4), dtype=np.float32))
+    with pytest.raises(ShapeError):
+        dense.output_shape((4,))
+    with pytest.raises(ConfigurationError):
+        nn.Dense(0, 2)
+
+
+def test_flatten_roundtrip():
+    flat = nn.Flatten()
+    x = np.arange(24, dtype=np.float32).reshape(2, 3, 2, 2)
+    out = flat.forward(x)
+    assert out.shape == (2, 12)
+    back = flat.backward(out)
+    assert np.array_equal(back, x)
+
+
+def test_flatten_output_shape():
+    assert nn.Flatten().output_shape((3, 4, 4)) == (48,)
+
+
+def test_flatten_backward_before_forward_raises():
+    with pytest.raises(ShapeError):
+        nn.Flatten().backward(np.zeros((1, 4), dtype=np.float32))
+
+
+def test_dense_weight_parameters_excludes_bias():
+    dense = nn.Dense(3, 2)
+    weights = dense.weight_parameters()
+    assert weights == [dense.weight]

@@ -1,0 +1,63 @@
+"""Dropout tests."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.errors import ConfigurationError, ShapeError
+
+
+def test_eval_mode_is_identity():
+    drop = nn.Dropout(0.5)
+    drop.eval_mode()
+    x = np.random.default_rng(0).standard_normal((4, 8)).astype(np.float32)
+    assert np.array_equal(drop.forward(x), x)
+
+
+def test_training_zeroes_and_rescales():
+    drop = nn.Dropout(0.5, rng=np.random.default_rng(1))
+    x = np.ones((1000,), dtype=np.float32)
+    out = drop.forward(x)
+    zero_fraction = float(np.mean(out == 0))
+    assert 0.4 < zero_fraction < 0.6
+    survivors = out[out != 0]
+    assert np.allclose(survivors, 2.0)  # inverted scaling 1/(1-0.5)
+
+
+def test_expected_value_preserved():
+    drop = nn.Dropout(0.3, rng=np.random.default_rng(2))
+    x = np.ones((20000,), dtype=np.float32)
+    out = drop.forward(x)
+    assert np.isclose(out.mean(), 1.0, atol=0.03)
+
+
+def test_backward_uses_same_mask():
+    drop = nn.Dropout(0.5, rng=np.random.default_rng(3))
+    x = np.ones((100,), dtype=np.float32)
+    out = drop.forward(x)
+    grad = drop.backward(np.ones_like(x))
+    assert np.array_equal(grad == 0, out == 0)
+
+
+def test_zero_rate_identity_in_training():
+    drop = nn.Dropout(0.0)
+    x = np.random.default_rng(4).standard_normal((8,)).astype(np.float32)
+    assert np.array_equal(drop.forward(x), x)
+    assert np.array_equal(drop.backward(x), x)
+
+
+def test_backward_before_forward_raises():
+    drop = nn.Dropout(0.5)
+    with pytest.raises(ShapeError):
+        drop.backward(np.ones((4,), dtype=np.float32))
+
+
+def test_invalid_rate():
+    with pytest.raises(ConfigurationError):
+        nn.Dropout(1.0)
+    with pytest.raises(ConfigurationError):
+        nn.Dropout(-0.1)
+
+
+def test_output_shape():
+    assert nn.Dropout(0.5).output_shape((3, 4)) == (3, 4)

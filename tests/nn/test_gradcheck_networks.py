@@ -1,0 +1,79 @@
+"""End-to-end gradient checks through complete small networks.
+
+These validate that every layer type composes correctly in backprop —
+the strongest single guarantee the numpy framework offers.
+"""
+
+import numpy as np
+import pytest
+
+from repro import nn
+
+
+def check(net, input_shape, num_classes=3, seed=0, tolerance=2e-2):
+    rng = np.random.default_rng(seed)
+    x = rng.standard_normal((2,) + input_shape).astype(np.float32)
+    y = rng.integers(0, num_classes, size=2)
+    errors = nn.check_gradients(net, nn.SoftmaxCrossEntropy(), x, y,
+                                tolerance=tolerance)
+    return errors
+
+
+def test_conv_maxpool_dense_stack():
+    gen = np.random.default_rng(0)
+    net = nn.Sequential([
+        nn.Conv2D(1, 2, 3, rng=gen),
+        nn.ReLU(),
+        nn.MaxPool2D(2),
+        nn.Flatten(),
+        nn.Dense(2 * 3 * 3, 3, rng=gen),
+    ])
+    check(net, (1, 8, 8))
+
+
+def test_conv_avgpool_stack():
+    gen = np.random.default_rng(1)
+    net = nn.Sequential([
+        nn.Conv2D(1, 2, 3, padding=1, rng=gen),
+        nn.Tanh(),
+        nn.AvgPool2D(3, stride=2),
+        nn.Flatten(),
+        nn.Dense(2 * 4 * 4, 3, rng=gen),
+    ])
+    check(net, (1, 8, 8))
+
+
+def test_strided_padded_conv_stack():
+    gen = np.random.default_rng(2)
+    net = nn.Sequential([
+        nn.Conv2D(2, 3, 3, stride=2, padding=1, rng=gen),
+        nn.LeakyReLU(0.1),
+        nn.Flatten(),
+        nn.Dense(3 * 4 * 4, 3, rng=gen),
+    ])
+    check(net, (2, 7, 7))
+
+
+def test_deep_mlp():
+    gen = np.random.default_rng(3)
+    net = nn.Sequential([
+        nn.Dense(5, 7, rng=gen),
+        nn.Sigmoid(),
+        nn.Dense(7, 6, rng=gen),
+        nn.ReLU(),
+        nn.Dense(6, 3, rng=gen),
+    ])
+    check(net, (5,))
+
+
+def test_ceil_mode_pooling_stack():
+    """Partial edge windows must backpropagate correctly too."""
+    gen = np.random.default_rng(4)
+    net = nn.Sequential([
+        nn.Conv2D(1, 2, 3, padding=1, rng=gen),
+        nn.ReLU(),
+        nn.MaxPool2D(2, stride=2),  # 7 -> 4 via ceil mode (partial windows)
+        nn.Flatten(),
+        nn.Dense(2 * 4 * 4, 3, rng=gen),
+    ])
+    check(net, (1, 7, 7))

@@ -1,0 +1,98 @@
+"""im2col / col2im correctness against naive reference implementations."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ShapeError
+from repro.nn.im2col import col2im, conv_output_size, im2col
+
+
+def naive_im2col(x, kernel, stride, padding):
+    n, c, h, w = x.shape
+    out_h = conv_output_size(h, kernel, stride, padding)
+    out_w = conv_output_size(w, kernel, stride, padding)
+    x_pad = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+    cols = np.zeros((c * kernel * kernel, n * out_h * out_w), dtype=x.dtype)
+    col = 0
+    for i in range(out_h):
+        for j in range(out_w):
+            for b in range(n):
+                patch = x_pad[b, :, i * stride : i * stride + kernel,
+                              j * stride : j * stride + kernel]
+                # column order must match the vectorized implementation:
+                # batch-major within each output position
+                cols[:, i * out_w * n + j * n + b] = patch.reshape(-1)
+            col += n
+    return cols
+
+
+def test_conv_output_size_floor_mode():
+    assert conv_output_size(28, 5, 1, 0) == 24
+    assert conv_output_size(28, 5, 1, 2) == 28
+    assert conv_output_size(32, 3, 2, 0) == 15
+
+
+def test_conv_output_size_ceil_mode_matches_caffe():
+    # ALEX pooling: 32 -> 16 -> 8 -> 4 with 3x3 stride-2 ceil pooling
+    assert conv_output_size(32, 3, 2, 0, ceil_mode=True) == 16
+    assert conv_output_size(16, 3, 2, 0, ceil_mode=True) == 8
+    assert conv_output_size(8, 3, 2, 0, ceil_mode=True) == 4
+
+
+def test_conv_output_size_rejects_oversized_kernel():
+    with pytest.raises(ShapeError):
+        conv_output_size(4, 7, 1, 0)
+
+
+def test_im2col_matches_naive():
+    rng = np.random.default_rng(0)
+    x = rng.standard_normal((2, 3, 7, 7)).astype(np.float32)
+    got = im2col(x, kernel=3, stride=2, padding=1)
+    want = naive_im2col(x, kernel=3, stride=2, padding=1)
+    assert got.shape == want.shape
+    assert np.allclose(got, want)
+
+
+def test_im2col_identity_kernel_one():
+    rng = np.random.default_rng(1)
+    x = rng.standard_normal((1, 2, 4, 4)).astype(np.float32)
+    cols = im2col(x, kernel=1, stride=1, padding=0)
+    assert cols.shape == (2, 16)
+    assert np.allclose(cols.reshape(2, 4, 4), x[0])
+
+
+def test_col2im_is_adjoint_of_im2col():
+    """<im2col(x), c> == <x, col2im(c)> (gather/scatter-add adjointness)."""
+    rng = np.random.default_rng(2)
+    x = rng.standard_normal((2, 2, 6, 6)).astype(np.float64)
+    cols = im2col(x, kernel=3, stride=2, padding=1)
+    c = rng.standard_normal(cols.shape)
+    lhs = np.sum(cols * c)
+    rhs = np.sum(x * col2im(c, x.shape, kernel=3, stride=2, padding=1))
+    assert np.isclose(lhs, rhs, rtol=1e-10)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    n=st.integers(1, 3),
+    c=st.integers(1, 3),
+    size=st.integers(4, 10),
+    kernel=st.integers(1, 4),
+    stride=st.integers(1, 3),
+    padding=st.integers(0, 2),
+)
+def test_im2col_col2im_shapes_property(n, c, size, kernel, stride, padding):
+    if size + 2 * padding < kernel:
+        return
+    x = np.ones((n, c, size, size), dtype=np.float32)
+    cols = im2col(x, kernel, stride, padding)
+    out_h = conv_output_size(size, kernel, stride, padding)
+    out_w = conv_output_size(size, kernel, stride, padding)
+    assert cols.shape == (c * kernel * kernel, n * out_h * out_w)
+    back = col2im(cols, x.shape, kernel, stride, padding)
+    assert back.shape == x.shape
+    # every pixel is counted at most kernel^2 times, at least 0
+    assert back.max() <= kernel * kernel + 1e-6
+    assert back.min() >= 0.0

@@ -1,0 +1,61 @@
+"""Weight initializer tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.nn.initializers import (
+    _fans,
+    get_initializer,
+    glorot_uniform,
+    he_normal,
+    zeros,
+)
+
+
+def test_fans_dense():
+    assert _fans((100, 50)) == (100, 50)
+
+
+def test_fans_conv():
+    # (out_c, in_c, k, k): fan_in = in_c*k*k, fan_out = out_c*k*k
+    assert _fans((32, 16, 3, 3)) == (16 * 9, 32 * 9)
+
+
+def test_fans_invalid_shape():
+    with pytest.raises(ConfigurationError):
+        _fans((4,))
+
+
+def test_glorot_bounds():
+    rng = np.random.default_rng(0)
+    w = glorot_uniform((64, 64), rng)
+    limit = np.sqrt(6.0 / 128)
+    assert w.min() >= -limit and w.max() <= limit
+    assert w.dtype == np.float32
+
+
+def test_he_std():
+    rng = np.random.default_rng(0)
+    w = he_normal((1000, 100), rng)
+    expected_std = np.sqrt(2.0 / 1000)
+    assert np.isclose(w.std(), expected_std, rtol=0.1)
+    assert np.isclose(w.mean(), 0.0, atol=expected_std / 10)
+
+
+def test_initializers_deterministic_per_seed():
+    a = he_normal((8, 8), np.random.default_rng(1))
+    b = he_normal((8, 8), np.random.default_rng(1))
+    assert np.array_equal(a, b)
+
+
+def test_zeros():
+    z = zeros((3, 2))
+    assert np.all(z == 0) and z.dtype == np.float32
+
+
+def test_get_initializer_lookup():
+    assert get_initializer("he") is he_normal
+    assert get_initializer("glorot") is glorot_uniform
+    with pytest.raises(ConfigurationError):
+        get_initializer("orthogonal")

@@ -1,0 +1,98 @@
+"""Loss function tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro import nn
+from repro.errors import ShapeError
+
+
+def test_softmax_rows_sum_to_one():
+    logits = np.array([[1.0, 2.0, 3.0], [0.0, 0.0, 0.0]], dtype=np.float32)
+    probs = nn.softmax(logits)
+    assert np.allclose(probs.sum(axis=1), 1.0)
+    assert np.all(probs >= 0)
+
+
+def test_softmax_shift_invariance():
+    logits = np.array([[1.0, 2.0, 3.0]], dtype=np.float32)
+    assert np.allclose(nn.softmax(logits), nn.softmax(logits + 100.0), atol=1e-6)
+
+
+def test_cross_entropy_matches_manual():
+    logits = np.array([[2.0, 1.0, 0.0]], dtype=np.float32)
+    labels = np.array([0])
+    loss, grad = nn.SoftmaxCrossEntropy().compute(logits, labels)
+    probs = nn.softmax(logits)
+    assert np.isclose(loss, -np.log(probs[0, 0]), atol=1e-6)
+    expected_grad = probs.copy()
+    expected_grad[0, 0] -= 1.0
+    assert np.allclose(grad, expected_grad, atol=1e-6)
+
+
+def test_cross_entropy_perfect_prediction_near_zero():
+    logits = np.array([[100.0, 0.0]], dtype=np.float32)
+    loss, _ = nn.SoftmaxCrossEntropy().compute(logits, np.array([0]))
+    assert loss < 1e-3
+
+
+def test_cross_entropy_gradient_sums_to_zero_per_row():
+    rng = np.random.default_rng(0)
+    logits = rng.standard_normal((4, 5)).astype(np.float32)
+    labels = np.array([0, 1, 2, 3])
+    _, grad = nn.SoftmaxCrossEntropy().compute(logits, labels)
+    assert np.allclose(grad.sum(axis=1), 0.0, atol=1e-6)
+
+
+def test_label_smoothing_softens_target():
+    logits = np.array([[10.0, 0.0]], dtype=np.float32)
+    plain, _ = nn.SoftmaxCrossEntropy().compute(logits, np.array([0]))
+    smoothed, _ = nn.SoftmaxCrossEntropy(label_smoothing=0.2).compute(
+        logits, np.array([0])
+    )
+    assert smoothed > plain
+
+
+def test_cross_entropy_shape_validation():
+    loss = nn.SoftmaxCrossEntropy()
+    with pytest.raises(ShapeError):
+        loss.compute(np.zeros((2, 3, 1), dtype=np.float32), np.array([0, 1]))
+    with pytest.raises(ShapeError):
+        loss.compute(np.zeros((2, 3), dtype=np.float32), np.array([0]))
+    with pytest.raises(ShapeError):
+        nn.SoftmaxCrossEntropy(label_smoothing=1.5)
+
+
+def test_mse_values_and_gradient():
+    pred = np.array([[1.0, 2.0]], dtype=np.float32)
+    target = np.array([[0.0, 0.0]], dtype=np.float32)
+    loss, grad = nn.MeanSquaredError().compute(pred, target)
+    assert np.isclose(loss, 2.5)
+    assert np.allclose(grad, [[1.0, 2.0]])
+
+
+def test_mse_shape_validation():
+    with pytest.raises(ShapeError):
+        nn.MeanSquaredError().compute(
+            np.zeros((2, 2), dtype=np.float32), np.zeros((2, 3), dtype=np.float32)
+        )
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    logits=hnp.arrays(
+        np.float32, (3, 4),
+        elements=st.floats(-20, 20, width=32),
+    ),
+    labels=st.lists(st.integers(0, 3), min_size=3, max_size=3),
+)
+def test_cross_entropy_properties(logits, labels):
+    labels = np.array(labels)
+    loss, grad = nn.SoftmaxCrossEntropy().compute(logits, labels)
+    assert loss >= -1e-6, "cross entropy is non-negative"
+    assert np.all(np.isfinite(grad))
+    # gradient magnitude bounded by 1/N per element
+    assert np.max(np.abs(grad)) <= 1.0 / 3 + 1e-6

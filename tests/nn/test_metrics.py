@@ -1,0 +1,47 @@
+"""Metric function tests."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.errors import ShapeError
+
+
+def test_accuracy_simple():
+    logits = np.array([[1.0, 0.0], [0.0, 1.0], [1.0, 0.0]], dtype=np.float32)
+    labels = np.array([0, 1, 1])
+    assert np.isclose(nn.accuracy(logits, labels), 2 / 3)
+
+
+def test_accuracy_bounds():
+    logits = np.eye(4, dtype=np.float32)
+    assert nn.accuracy(logits, np.arange(4)) == 1.0
+    assert nn.accuracy(logits, (np.arange(4) + 1) % 4) == 0.0
+
+
+def test_accuracy_shape_validation():
+    with pytest.raises(ShapeError):
+        nn.accuracy(np.zeros((3,), dtype=np.float32), np.zeros(3, dtype=np.int64))
+
+
+def test_top_k_accuracy():
+    logits = np.array([[0.5, 0.3, 0.2], [0.1, 0.2, 0.7]], dtype=np.float32)
+    labels = np.array([1, 0])
+    assert nn.top_k_accuracy(logits, labels, k=1) == 0.0
+    assert nn.top_k_accuracy(logits, labels, k=2) == 0.5
+    assert nn.top_k_accuracy(logits, labels, k=3) == 1.0
+
+
+def test_top_k_validation():
+    with pytest.raises(ShapeError):
+        nn.top_k_accuracy(np.zeros((2, 3), dtype=np.float32), np.zeros(2), k=4)
+
+
+def test_confusion_matrix():
+    logits = np.array([[1, 0], [1, 0], [0, 1]], dtype=np.float32)
+    labels = np.array([0, 1, 1])
+    matrix = nn.confusion_matrix(logits, labels, num_classes=2)
+    assert matrix[0, 0] == 1   # true 0 predicted 0
+    assert matrix[1, 0] == 1   # true 1 predicted 0
+    assert matrix[1, 1] == 1
+    assert matrix.sum() == 3

@@ -1,0 +1,70 @@
+"""Module base class tests."""
+
+import numpy as np
+
+from repro import nn
+from repro.nn.module import Module, set_mode
+from repro.nn.tensor import Parameter
+
+
+class Doubler(Module):
+    """Trivial module for exercising the base-class machinery."""
+
+    def __init__(self):
+        super().__init__(name="doubler")
+        self.scale = self.register_parameter(
+            Parameter(np.array([2.0], dtype=np.float32), name="doubler.scale")
+        )
+
+    def forward(self, x):
+        return x * self.scale.data
+
+    def backward(self, grad_out):
+        return grad_out * self.scale.data
+
+    def output_shape(self, input_shape):
+        return input_shape
+
+
+def test_default_name_is_lowercase_class():
+    assert Doubler().name == "doubler"
+
+
+def test_register_and_enumerate_parameters():
+    module = Doubler()
+    assert module.parameters() == [module.scale]
+    assert module.parameter_count() == 1
+
+
+def test_weight_parameters_default_empty():
+    assert Doubler().weight_parameters() == []
+
+
+def test_zero_grad():
+    module = Doubler()
+    module.scale.accumulate_grad(np.array([5.0], dtype=np.float32))
+    module.zero_grad()
+    assert np.all(module.scale.grad == 0)
+
+
+def test_train_eval_toggles():
+    module = Doubler()
+    assert module.training
+    module.eval_mode()
+    assert not module.training
+    module.train_mode()
+    assert module.training
+
+
+def test_set_mode_helper():
+    modules = [Doubler(), nn.ReLU(), nn.Flatten()]
+    set_mode(modules, training=False)
+    assert all(not m.training for m in modules)
+    set_mode(modules, training=True)
+    assert all(m.training for m in modules)
+
+
+def test_call_invokes_forward():
+    module = Doubler()
+    out = module(np.array([3.0], dtype=np.float32))
+    assert out[0] == 6.0

@@ -1,0 +1,101 @@
+"""Sequential container tests."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.errors import ConfigurationError
+from tests.conftest import make_tiny_cnn
+
+
+def test_forward_backward_shapes(tiny_cnn):
+    x = np.random.default_rng(0).standard_normal((3, 1, 28, 28)).astype(np.float32)
+    out = tiny_cnn.forward(x)
+    assert out.shape == (3, 10)
+    grad_in = tiny_cnn.backward(np.ones_like(out))
+    assert grad_in.shape == x.shape
+
+
+def test_output_shape_trace(tiny_cnn):
+    assert tiny_cnn.output_shape((1, 28, 28)) == (10,)
+    shapes = tiny_cnn.layer_shapes((1, 28, 28))
+    assert shapes[0] == ((1, 28, 28), (4, 24, 24))
+    assert shapes[-1] == ((128,), (10,))
+
+
+def test_parameters_aggregated(tiny_cnn):
+    # conv1 w+b, conv2 w+b, dense w+b
+    assert len(tiny_cnn.parameters()) == 6
+    assert len(tiny_cnn.weight_parameters()) == 3
+
+
+def test_parameter_count(tiny_cnn):
+    expected = (4 * 1 * 25 + 4) + (8 * 4 * 25 + 8) + (128 * 10 + 10)
+    assert tiny_cnn.parameter_count() == expected
+
+
+def test_duplicate_layer_names_disambiguated():
+    net = nn.Sequential([nn.ReLU(), nn.ReLU(), nn.ReLU()])
+    names = [layer.name for layer in net.layers]
+    assert len(set(names)) == 3
+
+
+def test_duplicate_parameter_names_disambiguated():
+    gen = np.random.default_rng(0)
+    net = nn.Sequential(
+        [nn.Dense(4, 4, name="fc", rng=gen), nn.Dense(4, 4, name="fc", rng=gen)]
+    )
+    param_names = [p.name for p in net.parameters()]
+    assert len(set(param_names)) == len(param_names)
+
+
+def test_empty_network_rejected():
+    with pytest.raises(ConfigurationError):
+        nn.Sequential([])
+
+
+def test_train_eval_mode_propagates(tiny_cnn):
+    tiny_cnn.eval_mode()
+    assert all(not layer.training for layer in tiny_cnn.layers)
+    tiny_cnn.train_mode()
+    assert all(layer.training for layer in tiny_cnn.layers)
+
+
+def test_predict_batched_matches_single_pass(tiny_cnn):
+    x = np.random.default_rng(1).standard_normal((10, 1, 28, 28)).astype(np.float32)
+    tiny_cnn.eval_mode()
+    full = tiny_cnn.forward(x)
+    batched = tiny_cnn.predict(x, batch_size=3)
+    assert np.allclose(full, batched, atol=1e-5)
+
+
+def test_predict_restores_training_mode(tiny_cnn):
+    tiny_cnn.train_mode()
+    tiny_cnn.predict(np.zeros((2, 1, 28, 28), dtype=np.float32))
+    assert tiny_cnn.training
+
+
+def test_zero_grad_clears_all(tiny_cnn):
+    x = np.zeros((2, 1, 28, 28), dtype=np.float32)
+    out = tiny_cnn.forward(x)
+    tiny_cnn.backward(np.ones_like(out))
+    tiny_cnn.zero_grad()
+    assert all(np.all(p.grad == 0) for p in tiny_cnn.parameters())
+
+
+def test_compute_layers_only_macs(tiny_cnn):
+    compute = list(tiny_cnn.compute_layers())
+    assert [layer.name for layer in compute] == ["conv1", "conv2", "ip1"]
+
+
+def test_summary_mentions_every_layer(tiny_cnn):
+    text = tiny_cnn.summary((1, 28, 28))
+    for layer in tiny_cnn.layers:
+        assert layer.name in text
+    assert str(tiny_cnn.parameter_count()) in text
+
+
+def test_fresh_builds_are_identical():
+    a, b = make_tiny_cnn(seed=3), make_tiny_cnn(seed=3)
+    for pa, pb in zip(a.parameters(), b.parameters()):
+        assert np.array_equal(pa.data, pb.data)

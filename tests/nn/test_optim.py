@@ -1,0 +1,97 @@
+"""SGD and learning-rate schedule tests."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.errors import ConfigurationError
+from repro.nn.tensor import Parameter
+
+
+def make_param(value=1.0):
+    return Parameter(np.array([value], dtype=np.float32), name="w")
+
+
+def test_vanilla_sgd_step():
+    param = make_param(1.0)
+    opt = nn.SGD([param], lr=0.1, momentum=0.0)
+    param.accumulate_grad(np.array([2.0], dtype=np.float32))
+    opt.step()
+    assert np.isclose(param.data[0], 1.0 - 0.1 * 2.0)
+
+
+def test_momentum_accumulates_velocity():
+    param = make_param(0.0)
+    opt = nn.SGD([param], lr=0.1, momentum=0.5)
+    for _ in range(2):
+        param.zero_grad()
+        param.accumulate_grad(np.array([1.0], dtype=np.float32))
+        opt.step()
+    # v1 = -0.1; w1 = -0.1; v2 = 0.5*(-0.1) - 0.1 = -0.15; w2 = -0.25
+    assert np.isclose(param.data[0], -0.25)
+
+
+def test_weight_decay_pulls_toward_zero():
+    param = make_param(10.0)
+    opt = nn.SGD([param], lr=0.1, momentum=0.0, weight_decay=0.1)
+    param.zero_grad()
+    opt.step()  # gradient is zero; decay still shrinks the weight
+    assert param.data[0] < 10.0
+
+
+def test_gradient_clipping_limits_norm():
+    param = make_param(0.0)
+    opt = nn.SGD([param], lr=1.0, momentum=0.0, grad_clip=1.0)
+    param.accumulate_grad(np.array([100.0], dtype=np.float32))
+    opt.step()
+    assert np.isclose(param.data[0], -1.0)
+
+
+def test_frozen_parameter_not_updated():
+    param = make_param(1.0)
+    param.trainable = False
+    opt = nn.SGD([param], lr=0.1, momentum=0.0)
+    param.accumulate_grad(np.array([1.0], dtype=np.float32))
+    opt.step()
+    assert param.data[0] == 1.0
+
+
+def test_invalid_hyperparameters_rejected():
+    param = make_param()
+    with pytest.raises(ConfigurationError):
+        nn.SGD([param], lr=0.1, momentum=1.5)
+    with pytest.raises(ConfigurationError):
+        nn.SGD([param], lr=0.1, weight_decay=-1.0)
+    with pytest.raises(ConfigurationError):
+        nn.SGD([], lr=0.1)
+    with pytest.raises(ConfigurationError):
+        nn.ConstantSchedule(0.0)
+
+
+def test_step_decay_schedule():
+    schedule = nn.StepDecay(1.0, step=2, gamma=0.1)
+    assert schedule.rate(0) == 1.0
+    assert schedule.rate(1) == 1.0
+    assert np.isclose(schedule.rate(2), 0.1)
+    assert np.isclose(schedule.rate(4), 0.01)
+
+
+def test_exponential_decay_schedule():
+    schedule = nn.ExponentialDecay(1.0, gamma=0.5)
+    assert np.isclose(schedule.rate(3), 0.125)
+
+
+def test_optimizer_uses_schedule():
+    param = make_param(0.0)
+    opt = nn.SGD([param], lr=nn.StepDecay(1.0, step=1, gamma=0.1), momentum=0.0)
+    assert opt.current_lr == 1.0
+    opt.set_epoch(1)
+    assert np.isclose(opt.current_lr, 0.1)
+
+
+def test_zero_grad_through_optimizer():
+    param = make_param()
+    opt = nn.SGD([param], lr=0.1)
+    param.accumulate_grad(np.array([1.0], dtype=np.float32))
+    opt.zero_grad()
+    assert np.all(param.grad == 0)

@@ -1,0 +1,117 @@
+"""Pooling semantics: values, Caffe ceil-mode shapes, gradients."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.errors import ConfigurationError, ShapeError
+
+
+def test_maxpool_values_2x2():
+    x = np.arange(16, dtype=np.float32).reshape(1, 1, 4, 4)
+    pool = nn.MaxPool2D(2)
+    out = pool.forward(x)
+    assert out.shape == (1, 1, 2, 2)
+    assert np.array_equal(out[0, 0], [[5, 7], [13, 15]])
+
+
+def test_avgpool_values_2x2():
+    x = np.arange(16, dtype=np.float32).reshape(1, 1, 4, 4)
+    pool = nn.AvgPool2D(2)
+    out = pool.forward(x)
+    assert np.allclose(out[0, 0], [[2.5, 4.5], [10.5, 12.5]])
+
+
+def test_ceil_mode_shapes_match_caffe():
+    # the ALEX pooling chain: 32 -> 16 -> 8 -> 4
+    pool = nn.MaxPool2D(3, stride=2)
+    assert pool.output_shape((1, 32, 32)) == (1, 16, 16)
+    assert pool.output_shape((1, 16, 16)) == (1, 8, 8)
+    assert pool.output_shape((1, 8, 8)) == (1, 4, 4)
+
+
+def test_floor_mode_shapes():
+    pool = nn.MaxPool2D(3, stride=2, ceil_mode=False)
+    assert pool.output_shape((1, 32, 32)) == (1, 15, 15)
+
+
+def test_maxpool_partial_window_uses_real_values():
+    """Ceil-mode edge windows must ignore the -inf padding."""
+    x = -np.ones((1, 1, 5, 5), dtype=np.float32)
+    pool = nn.MaxPool2D(2, stride=2)  # 5 -> 3 with ceil mode
+    out = pool.forward(x)
+    assert out.shape == (1, 1, 3, 3)
+    assert np.all(out == -1.0), "padding must never win the max"
+
+
+def test_avgpool_partial_window_caffe_divisor():
+    """Caffe AVE divides by the full window, counting padding as zero."""
+    x = np.ones((1, 1, 3, 3), dtype=np.float32)
+    pool = nn.AvgPool2D(2, stride=2)  # 3 -> 2 with ceil mode
+    out = pool.forward(x)
+    # corner window sees one real pixel out of four
+    assert np.isclose(out[0, 0, 1, 1], 0.25)
+    assert np.isclose(out[0, 0, 0, 0], 1.0)
+
+
+def test_maxpool_backward_routes_to_argmax():
+    x = np.array([[[[1.0, 3.0], [2.0, 0.0]]]], dtype=np.float32)
+    pool = nn.MaxPool2D(2)
+    pool.forward(x)
+    grad = pool.backward(np.array([[[[5.0]]]], dtype=np.float32))
+    assert np.array_equal(grad[0, 0], [[0.0, 5.0], [0.0, 0.0]])
+
+
+def test_avgpool_backward_uniform():
+    x = np.zeros((1, 1, 4, 4), dtype=np.float32)
+    pool = nn.AvgPool2D(2)
+    pool.forward(x)
+    grad = pool.backward(np.ones((1, 1, 2, 2), dtype=np.float32))
+    assert np.allclose(grad, 0.25)
+
+
+@pytest.mark.parametrize("pool_cls", [nn.MaxPool2D, nn.AvgPool2D])
+def test_pool_gradients_numerically(pool_cls):
+    rng = np.random.default_rng(0)
+    net = nn.Sequential([pool_cls(3, stride=2)])
+    x = rng.standard_normal((2, 2, 7, 7)).astype(np.float32)
+    y = rng.standard_normal(net.forward(x).shape).astype(np.float32)
+    errors = nn.check_gradients(net, nn.MeanSquaredError(), x, y)
+    # pooling has no parameters; check the input gradient instead
+    out = net.forward(x)
+    loss, grad = nn.MeanSquaredError().compute(out, y)
+    grad_x = net.backward(grad)
+    eps = 1e-2
+    sample_indices = [(0, 0, 0, 0), (1, 1, 3, 3), (0, 1, 6, 6)]
+    for idx in sample_indices:
+        orig = x[idx]
+        x[idx] = orig + eps
+        up, _ = nn.MeanSquaredError().compute(net.forward(x), y)
+        x[idx] = orig - eps
+        down, _ = nn.MeanSquaredError().compute(net.forward(x), y)
+        x[idx] = orig
+        numeric = (up - down) / (2 * eps)
+        assert abs(grad_x[idx] - numeric) < 5e-2
+
+
+def test_stride_defaults_to_kernel():
+    assert nn.MaxPool2D(2).stride == 2
+    assert nn.MaxPool2D(3, stride=1).stride == 1
+
+
+def test_invalid_configuration():
+    with pytest.raises(ConfigurationError):
+        nn.MaxPool2D(0)
+    with pytest.raises(ConfigurationError):
+        nn.AvgPool2D(2, stride=0)
+
+
+def test_backward_before_forward_raises():
+    pool = nn.MaxPool2D(2)
+    with pytest.raises(ShapeError):
+        pool.backward(np.zeros((1, 1, 2, 2), dtype=np.float32))
+
+
+def test_non_nchw_input_rejected():
+    with pytest.raises(ShapeError):
+        nn.MaxPool2D(2).forward(np.zeros((4, 4), dtype=np.float32))

@@ -1,0 +1,65 @@
+"""Weight save/load/transfer tests."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.errors import ShapeError
+from tests.conftest import make_tiny_cnn
+
+
+def test_save_load_roundtrip(tmp_path, tiny_cnn):
+    path = str(tmp_path / "weights.npz")
+    nn.save_network_weights(tiny_cnn, path)
+    other = make_tiny_cnn(seed=99)
+    # seeds differ, so weights differ before loading
+    assert not np.array_equal(
+        other.parameters()[0].data, tiny_cnn.parameters()[0].data
+    )
+    nn.load_network_weights(other, path)
+    for a, b in zip(tiny_cnn.parameters(), other.parameters()):
+        assert np.array_equal(a.data, b.data)
+
+
+def test_load_missing_parameter_raises(tmp_path):
+    small = nn.Sequential([nn.Dense(3, 2, name="fc")])
+    path = str(tmp_path / "w.npz")
+    nn.save_network_weights(small, path)
+    bigger = nn.Sequential([nn.Dense(3, 2, name="fc"), nn.Dense(2, 2, name="fc2")])
+    with pytest.raises(ShapeError):
+        nn.load_network_weights(bigger, path)
+
+
+def test_load_extra_parameter_raises(tmp_path):
+    bigger = nn.Sequential([nn.Dense(3, 2, name="fc"), nn.Dense(2, 2, name="fc2")])
+    path = str(tmp_path / "w.npz")
+    nn.save_network_weights(bigger, path)
+    small = nn.Sequential([nn.Dense(3, 2, name="fc")])
+    with pytest.raises(ShapeError):
+        nn.load_network_weights(small, path)
+
+
+def test_load_shape_mismatch_raises(tmp_path):
+    a = nn.Sequential([nn.Dense(3, 2, name="fc")])
+    path = str(tmp_path / "w.npz")
+    nn.save_network_weights(a, path)
+    b = nn.Sequential([nn.Dense(3, 4, name="fc")])
+    with pytest.raises(ShapeError):
+        nn.load_network_weights(b, path)
+
+
+def test_transfer_weights_between_identical_builds():
+    a, b = make_tiny_cnn(seed=0), make_tiny_cnn(seed=42)
+    nn.transfer_weights(a, b)
+    for pa, pb in zip(a.parameters(), b.parameters()):
+        assert np.array_equal(pa.data, pb.data)
+    # transfer copies, not aliases
+    a.parameters()[0].data[...] += 1.0
+    assert not np.array_equal(a.parameters()[0].data, b.parameters()[0].data)
+
+
+def test_transfer_weights_mismatch_raises():
+    a = nn.Sequential([nn.Dense(3, 2, name="fc")])
+    b = nn.Sequential([nn.Dense(3, 2, name="other")])
+    with pytest.raises(ShapeError):
+        nn.transfer_weights(a, b)

@@ -1,0 +1,65 @@
+"""Unit tests for the Parameter container."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.nn.tensor import DTYPE, Parameter
+
+
+def test_parameter_stores_float32():
+    param = Parameter(np.arange(6, dtype=np.float64).reshape(2, 3))
+    assert param.data.dtype == DTYPE
+    assert param.shape == (2, 3)
+    assert param.size == 6
+
+
+def test_grad_starts_zero_and_matches_shape():
+    param = Parameter(np.ones((3, 4)))
+    assert param.grad.shape == (3, 4)
+    assert np.all(param.grad == 0.0)
+
+
+def test_accumulate_grad_adds():
+    param = Parameter(np.zeros((2, 2)))
+    param.accumulate_grad(np.ones((2, 2)))
+    param.accumulate_grad(2 * np.ones((2, 2)))
+    assert np.allclose(param.grad, 3.0)
+
+
+def test_accumulate_grad_shape_mismatch_raises():
+    param = Parameter(np.zeros((2, 2)))
+    with pytest.raises(ShapeError):
+        param.accumulate_grad(np.ones((2, 3)))
+
+
+def test_zero_grad_clears():
+    param = Parameter(np.zeros((2,)))
+    param.accumulate_grad(np.ones((2,)))
+    param.zero_grad()
+    assert np.all(param.grad == 0.0)
+
+
+def test_set_data_replaces_in_place():
+    param = Parameter(np.zeros((2, 2)))
+    view = param.data
+    param.set_data(np.ones((2, 2)))
+    assert np.all(view == 1.0), "set_data must write through the same array"
+
+
+def test_set_data_shape_mismatch_raises():
+    param = Parameter(np.zeros((2, 2)))
+    with pytest.raises(ShapeError):
+        param.set_data(np.zeros((3,)))
+
+
+def test_copy_data_is_defensive():
+    param = Parameter(np.zeros((2,)))
+    copy = param.copy_data()
+    copy[0] = 5.0
+    assert param.data[0] == 0.0
+
+
+def test_trainable_flag_default_true():
+    assert Parameter(np.zeros(1)).trainable
+    assert not Parameter(np.zeros(1), trainable=False).trainable

@@ -1,0 +1,111 @@
+"""Training loop tests on tiny synthetic problems."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.errors import ConfigurationError, TrainingError
+
+
+def linearly_separable(n=80, seed=0):
+    rng = np.random.default_rng(seed)
+    x = rng.standard_normal((n, 4)).astype(np.float32)
+    labels = (x[:, 0] + x[:, 1] > 0).astype(np.int64)
+    return x, labels
+
+
+def make_mlp(seed=0):
+    gen = np.random.default_rng(seed)
+    return nn.Sequential(
+        [nn.Dense(4, 8, rng=gen), nn.ReLU(), nn.Dense(8, 2, rng=gen)]
+    )
+
+
+def test_fit_improves_accuracy():
+    x, y = linearly_separable()
+    net = make_mlp()
+    trainer = nn.Trainer(net, nn.SGD(net.parameters(), lr=0.1), batch_size=16)
+    before = trainer.evaluate(x, y)["accuracy"]
+    trainer.fit(x, y, epochs=15)
+    after = trainer.evaluate(x, y)["accuracy"]
+    assert after > before
+    assert after > 0.9
+
+
+def test_history_records_every_epoch():
+    x, y = linearly_separable()
+    net = make_mlp()
+    trainer = nn.Trainer(net, nn.SGD(net.parameters(), lr=0.05))
+    history = trainer.fit(x, y, x, y, epochs=4)
+    assert history.epochs == 4
+    assert len(history.val_accuracy) == 4
+    assert history.best_val_accuracy == max(history.val_accuracy)
+
+
+def test_early_stopping_halts():
+    x, y = linearly_separable()
+    net = make_mlp()
+    # zero learning rate: validation accuracy can never improve
+    trainer = nn.Trainer(net, nn.SGD(net.parameters(), lr=1e-12))
+    stopper = nn.EarlyStopping(patience=2)
+    history = trainer.fit(x, y, x, y, epochs=50, early_stopping=stopper)
+    assert history.epochs <= 4
+
+
+def test_early_stopping_validation():
+    with pytest.raises(ConfigurationError):
+        nn.EarlyStopping(patience=0)
+
+
+def test_divergence_raises_training_error():
+    x, y = linearly_separable()
+    net = make_mlp()
+    # absurd learning rate forces NaN/inf loss quickly
+    trainer = nn.Trainer(net, nn.SGD(net.parameters(), lr=1e6, momentum=0.0))
+    with pytest.raises(TrainingError):
+        trainer.fit(x, y, epochs=20)
+
+
+def test_hooks_called_around_each_step():
+    x, y = linearly_separable(n=32)
+    net = make_mlp()
+    calls = []
+    trainer = nn.Trainer(
+        net,
+        nn.SGD(net.parameters(), lr=0.01),
+        batch_size=16,
+        before_step=lambda: calls.append("before"),
+        after_step=lambda: calls.append("after"),
+    )
+    trainer.fit(x, y, epochs=1)
+    assert calls == ["before", "after"] * 2  # 32 samples / batch 16
+
+
+def test_mismatched_lengths_rejected():
+    net = make_mlp()
+    trainer = nn.Trainer(net, nn.SGD(net.parameters(), lr=0.01))
+    with pytest.raises(ConfigurationError):
+        trainer.fit(np.zeros((4, 4), dtype=np.float32), np.zeros(3, dtype=np.int64))
+
+
+def test_invalid_batch_size():
+    net = make_mlp()
+    with pytest.raises(ConfigurationError):
+        nn.Trainer(net, nn.SGD(net.parameters(), lr=0.01), batch_size=0)
+
+
+def test_training_is_deterministic_given_seed():
+    x, y = linearly_separable()
+
+    def run():
+        net = make_mlp(seed=7)
+        trainer = nn.Trainer(
+            net, nn.SGD(net.parameters(), lr=0.05),
+            rng=np.random.default_rng(3),
+        )
+        trainer.fit(x, y, epochs=3)
+        return [p.data.copy() for p in net.parameters()]
+
+    first, second = run(), run()
+    for a, b in zip(first, second):
+        assert np.array_equal(a, b)

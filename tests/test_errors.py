@@ -1,0 +1,30 @@
+"""Exception hierarchy tests."""
+
+import pytest
+
+from repro import errors
+
+
+def test_all_errors_derive_from_repro_error():
+    for name in (
+        "ConfigurationError",
+        "ShapeError",
+        "QuantizationError",
+        "HardwareModelError",
+        "TrainingError",
+    ):
+        cls = getattr(errors, name)
+        assert issubclass(cls, errors.ReproError)
+        assert issubclass(cls, Exception)
+
+
+def test_catching_base_catches_all():
+    with pytest.raises(errors.ReproError):
+        raise errors.ShapeError("bad shape")
+    with pytest.raises(errors.ReproError):
+        raise errors.HardwareModelError("bad config")
+
+
+def test_subclasses_are_distinct():
+    assert not issubclass(errors.ShapeError, errors.ConfigurationError)
+    assert not issubclass(errors.QuantizationError, errors.ShapeError)

@@ -1,0 +1,49 @@
+"""Every example script must at least parse and import cleanly.
+
+(Full example runs are exercised manually / in CI with longer budgets;
+this guards against bit-rot of the example code paths.)
+"""
+
+import ast
+import os
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "examples")
+EXAMPLE_FILES = sorted(
+    name for name in os.listdir(EXAMPLES_DIR) if name.endswith(".py")
+)
+
+
+def test_examples_exist():
+    assert len(EXAMPLE_FILES) >= 3, "the paper repo ships at least 3 examples"
+    assert "quickstart.py" in EXAMPLE_FILES
+
+
+@pytest.mark.parametrize("name", EXAMPLE_FILES)
+def test_example_parses(name):
+    path = os.path.join(EXAMPLES_DIR, name)
+    with open(path) as handle:
+        source = handle.read()
+    tree = ast.parse(source, filename=name)
+    # every example is documented and runnable as a script
+    assert ast.get_docstring(tree), f"{name} needs a module docstring"
+    assert "__main__" in source, f"{name} should be runnable as a script"
+
+
+@pytest.mark.parametrize("name", EXAMPLE_FILES)
+def test_example_imports_resolve(name):
+    """Compile the example and import the repro modules it references."""
+    path = os.path.join(EXAMPLES_DIR, name)
+    with open(path) as handle:
+        tree = ast.parse(handle.read(), filename=name)
+    imported = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            imported.update(alias.name for alias in node.names)
+        elif isinstance(node, ast.ImportFrom) and node.module:
+            imported.add(node.module)
+    repro_modules = [mod for mod in imported if mod.startswith("repro")]
+    assert repro_modules, f"{name} should exercise the repro API"
+    for module in repro_modules:
+        __import__(module)

@@ -1,0 +1,79 @@
+"""Top-level CLI tests (fast paths; training uses tiny budgets)."""
+
+import os
+
+import pytest
+
+from repro.cli import main
+
+
+def test_hw_report(capsys):
+    assert main(["hw-report", "--precision", "pow2"]) == 0
+    out = capsys.readouterr().out
+    assert "Powers of Two (6,16)" in out
+    assert "buffers:" in out
+
+
+def test_energy(capsys):
+    assert main(["energy", "--network", "lenet"]) == 0
+    out = capsys.readouterr().out
+    assert "Binary Net (1,16)" in out
+    assert "Energy uJ" in out
+
+
+def test_export_rtl_stdout(capsys):
+    assert main(["export-rtl", "--precision", "binary",
+                 "--neurons", "2", "--synapses", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "module wb_binary_16" in out
+    assert "module nfu_binary_2x2" in out
+
+
+def test_export_rtl_file(tmp_path, capsys):
+    path = str(tmp_path / "nfu.v")
+    assert main(["export-rtl", "--precision", "fixed8", "--output", path,
+                 "--neurons", "2", "--synapses", "2"]) == 0
+    assert os.path.exists(path)
+    with open(path) as handle:
+        assert "wb_fixed_8x8" in handle.read()
+
+
+def test_train_and_evaluate_roundtrip(tmp_path, capsys):
+    weights = str(tmp_path / "w.npz")
+    code = main([
+        "train", "--network", "lenet_small", "--n-train", "200",
+        "--n-test", "100", "--epochs", "2", "--output", weights,
+    ])
+    assert code == 0
+    assert os.path.exists(weights)
+    out = capsys.readouterr().out
+    assert "float32 test accuracy" in out
+
+    code = main([
+        "evaluate", "--network", "lenet_small", "--weights", weights,
+        "--n-train", "200", "--n-test", "100",
+        "--precisions", "float32", "fixed8",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "Fixed-Point (8,8)" in out
+
+
+def test_train_with_qat(tmp_path, capsys):
+    code = main([
+        "train", "--network", "lenet_small", "--n-train", "200",
+        "--n-test", "100", "--epochs", "2", "--precision", "binary",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "Binary Net (1,16) test accuracy" in out
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        main(["frobnicate"])
+
+
+def test_unknown_network_rejected():
+    with pytest.raises(SystemExit):
+        main(["energy", "--network", "resnet"])

@@ -1,0 +1,39 @@
+"""Public API surface checks: every exported name resolves."""
+
+import importlib
+
+import pytest
+
+import repro
+
+PACKAGES = ["repro", "repro.nn", "repro.core", "repro.data", "repro.hw",
+            "repro.zoo", "repro.experiments"]
+
+
+def test_version_exposed():
+    assert repro.__version__ == "1.0.0"
+
+
+@pytest.mark.parametrize("package_name", PACKAGES)
+def test_all_exports_resolve(package_name):
+    package = importlib.import_module(package_name)
+    assert hasattr(package, "__all__"), f"{package_name} must declare __all__"
+    for name in package.__all__:
+        assert hasattr(package, name), f"{package_name}.{name} missing"
+
+
+@pytest.mark.parametrize("package_name", PACKAGES)
+def test_package_docstrings(package_name):
+    package = importlib.import_module(package_name)
+    assert package.__doc__ and len(package.__doc__) > 80, (
+        f"{package_name} needs real documentation"
+    )
+
+
+def test_no_accidental_private_exports():
+    for package_name in PACKAGES:
+        package = importlib.import_module(package_name)
+        for name in package.__all__:
+            if name == "__version__":
+                continue  # the one intentional dunder export
+            assert not name.startswith("_"), f"{package_name} exports {name}"

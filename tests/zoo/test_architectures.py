@@ -1,0 +1,109 @@
+"""Network zoo tests: shapes, parameter counts, registry."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.zoo import (
+    NETWORK_BUILDERS,
+    build_network,
+    network_info,
+)
+
+#: expected parameter counts derived from Tables I/II (weights + biases)
+EXPECTED_PARAMS = {
+    "lenet": (20 * 25 + 20) + (50 * 20 * 25 + 50) + (800 * 500 + 500) + (5000 + 10),
+    "convnet": (16 * 3 * 25 + 16) + (512 * 16 * 49 + 512)
+    + (8192 * 20 + 20) + (200 + 10),
+    "alex": (32 * 3 * 25 + 32) + (32 * 32 * 25 + 32) + (64 * 32 * 25 + 64)
+    + (1024 * 10 + 10),
+    "alex+": (64 * 3 * 25 + 64) + (64 * 64 * 25 + 64) + (128 * 64 * 25 + 128)
+    + (2048 * 10 + 10),
+    "alex++": (64 * 3 * 9 + 64) + (128 * 64 * 9 + 128) + (256 * 128 * 9 + 256)
+    + (4096 * 512 + 512) + (512 * 10 + 10),
+}
+
+
+@pytest.mark.parametrize("name", sorted(EXPECTED_PARAMS))
+def test_parameter_counts_match_tables(name):
+    assert build_network(name).parameter_count() == EXPECTED_PARAMS[name]
+
+
+@pytest.mark.parametrize("name", sorted(NETWORK_BUILDERS))
+def test_output_is_ten_classes(name):
+    info = network_info(name)
+    net = build_network(name)
+    assert net.output_shape(info.input_shape) == (10,)
+
+
+@pytest.mark.parametrize("name", ["lenet_small", "convnet_small", "alex_small"])
+def test_small_proxies_forward_pass(name):
+    info = network_info(name)
+    net = build_network(name)
+    x = np.zeros((2,) + info.input_shape, dtype=np.float32)
+    assert net.forward(x).shape == (2, 10)
+
+
+def test_alex_shape_chain():
+    """32 -> 16 -> 8 -> 4 through the three ceil-mode pools."""
+    net = build_network("alex")
+    shapes = dict(
+        (layer.name, out) for layer, (inp, out) in
+        zip(net.layers, net.layer_shapes((3, 32, 32)))
+    )
+    assert shapes["pool1"] == (32, 16, 16)
+    assert shapes["pool2"] == (32, 8, 8)
+    assert shapes["pool3"] == (64, 4, 4)
+
+
+def test_lenet_shape_chain():
+    net = build_network("lenet")
+    shapes = dict(
+        (layer.name, out) for layer, (inp, out) in
+        zip(net.layers, net.layer_shapes((1, 28, 28)))
+    )
+    assert shapes["conv1"] == (20, 24, 24)
+    assert shapes["pool1"] == (20, 12, 12)
+    assert shapes["conv2"] == (50, 8, 8)
+    assert shapes["pool2"] == (50, 4, 4)
+
+
+def test_plus_doubles_channels():
+    alex = build_network("alex")
+    plus = build_network("alex+")
+    alex_convs = [l for l in alex.layers if type(l).__name__ == "Conv2D"]
+    plus_convs = [l for l in plus.layers if type(l).__name__ == "Conv2D"]
+    for a, p in zip(alex_convs, plus_convs):
+        assert p.out_channels == 2 * a.out_channels
+
+
+def test_plus_plus_uses_3x3_kernels():
+    net = build_network("alex++")
+    convs = [l for l in net.layers if type(l).__name__ == "Conv2D"]
+    assert all(conv.kernel_size == 3 for conv in convs)
+    assert [conv.out_channels for conv in convs] == [64, 128, 256]
+
+
+def test_builders_deterministic():
+    a, b = build_network("lenet", seed=3), build_network("lenet", seed=3)
+    for pa, pb in zip(a.parameters(), b.parameters()):
+        assert np.array_equal(pa.data, pb.data)
+
+
+def test_registry_metadata():
+    info = network_info("convnet")
+    assert info.dataset == "svhn"
+    assert info.input_shape == (3, 32, 32)
+    assert info.table == "Table I"
+
+
+def test_unknown_network_raises():
+    with pytest.raises(ConfigurationError):
+        network_info("resnet50")
+
+
+def test_small_variants_preserve_scaling_relationships():
+    small = build_network("alex_small").parameter_count()
+    plus = build_network("alex_small+").parameter_count()
+    plus_plus = build_network("alex_small++").parameter_count()
+    assert small < plus < plus_plus
