@@ -34,8 +34,15 @@ The package is organized as one subpackage per subsystem:
 ``repro.experiments``
     One driver per paper table/figure (Table III, IV, V, Figure 3, 4 and
     the memory-footprint analysis in Section V-B).
+
+``repro.serve``
+    Batched, multi-worker quantized-inference serving engine: dynamic
+    micro-batching with backpressure, an LRU model store of calibrated
+    frozen networks, and per-request modeled-energy accounting
+    (``python -m repro serve-bench``).
 """
 
+from repro import serve
 from repro.version import __version__
 
-__all__ = ["__version__"]
+__all__ = ["__version__", "serve"]

@@ -14,6 +14,9 @@ Commands:
     Per-image energy of a registered network across all precisions.
 ``export-rtl``
     Write the generated NFU Verilog for a precision.
+``serve-bench``
+    Closed-loop load test of the batched inference server: throughput,
+    latency percentiles, batch-size histogram and modeled energy.
 
 Everything the CLI does is also available programmatically; the CLI
 exists so the common workflows are one command.
@@ -27,7 +30,7 @@ from typing import List, Optional
 
 import numpy as np
 
-from repro import core, hw, nn
+from repro import core, hw, nn, serve
 from repro.core.precision import PAPER_PRECISIONS
 from repro.data import load_dataset
 from repro.experiments.formatting import format_table
@@ -153,6 +156,65 @@ def cmd_export_rtl(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve_bench(args: argparse.Namespace) -> int:
+    info = network_info(args.network)
+    split = load_dataset(info.dataset, n_train=64, n_test=128, seed=args.seed)
+    images = split.test.images
+    store = serve.ModelStore(
+        weight_paths={args.network: args.weights} if args.weights else None,
+        calibration_images=args.calibration,
+        seed=args.seed,
+    )
+    servable = store.warm(args.network, args.precision)  # build outside timing
+    spec = core.get_precision(args.precision)
+    print(
+        f"serving {args.network} at {spec.label}: "
+        f"{servable.memory_kb:.0f} KB footprint, "
+        f"{servable.energy_uj_per_image:.3f} uJ/image modeled"
+    )
+
+    def run(max_batch: int) -> serve.LoadResult:
+        server = serve.InferenceServer(
+            store,
+            workers=args.workers,
+            max_batch_size=max_batch,
+            max_delay_ms=args.max_delay_ms,
+            max_queue_depth=args.queue_size,
+        )
+        with server:
+            return serve.run_closed_loop(
+                server,
+                images,
+                args.network,
+                args.precision,
+                n_requests=args.requests,
+                concurrency=args.concurrency,
+            )
+
+    result = run(args.max_batch)
+    print()
+    print(f"closed loop: {args.requests} requests, {args.concurrency} clients, "
+          f"{args.workers} workers, max batch {args.max_batch}")
+    print(result.report.format())
+    if result.retries:
+        print(f"backpressure retries    : {result.retries}")
+    if result.client_errors:
+        print(f"client errors           : {result.client_errors}")
+
+    if not args.skip_baseline and args.max_batch > 1:
+        baseline = run(1)
+        speedup = (
+            result.report.throughput_ips / baseline.report.throughput_ips
+            if baseline.report.throughput_ips > 0 else float("inf")
+        )
+        print()
+        print(f"batch=1 reference       : "
+              f"{baseline.report.throughput_ips:.1f} img/s, "
+              f"p95 {baseline.report.latency_ms_p95:.2f} ms")
+        print(f"dynamic batching speedup: {speedup:.2f}x img/s vs max-batch=1")
+    return 0 if result.client_errors == 0 else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -193,6 +255,29 @@ def build_parser() -> argparse.ArgumentParser:
     rtl.add_argument("--synapses", type=int, default=16)
     rtl.add_argument("--output", default="")
     rtl.set_defaults(func=cmd_export_rtl)
+
+    bench = sub.add_parser(
+        "serve-bench", help="load-test the batched inference server"
+    )
+    bench.add_argument("--network", default="lenet_small",
+                       choices=sorted(NETWORK_BUILDERS))
+    bench.add_argument("--precision", default="fixed8",
+                       choices=[s.key for s in PAPER_PRECISIONS])
+    bench.add_argument("--requests", type=int, default=256)
+    bench.add_argument("--workers", type=int, default=4)
+    bench.add_argument("--max-batch", type=int, default=32)
+    bench.add_argument("--max-delay-ms", type=float, default=2.0)
+    bench.add_argument("--queue-size", type=int, default=512)
+    bench.add_argument("--concurrency", type=int, default=64,
+                       help="closed-loop clients kept in flight")
+    bench.add_argument("--calibration", type=int, default=128,
+                       help="images used to calibrate activation ranges")
+    bench.add_argument("--weights", default="",
+                       help="optional trained weights (.npz) to serve")
+    bench.add_argument("--seed", type=int, default=0)
+    bench.add_argument("--skip-baseline", action="store_true",
+                       help="skip the max-batch=1 comparison run")
+    bench.set_defaults(func=cmd_serve_bench)
     return parser
 
 

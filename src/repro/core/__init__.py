@@ -36,7 +36,11 @@ from repro.core.per_channel import (
 )
 from repro.core.range_tracker import RangeTracker
 from repro.core.fake_quant import FakeQuantLayer
-from repro.core.quantized import QuantizedNetwork, build_quantizers
+from repro.core.quantized import (
+    FrozenQuantizedNetwork,
+    QuantizedNetwork,
+    build_quantizers,
+)
 from repro.core.qat import QATTrainer, post_training_quantize
 from repro.core.sweep import PrecisionResult, PrecisionSweep, SweepConfig
 from repro.core.pareto import DesignPoint, dominates, pareto_frontier
@@ -71,6 +75,7 @@ __all__ = [
     "RangeTracker",
     "FakeQuantLayer",
     "QuantizedNetwork",
+    "FrozenQuantizedNetwork",
     "build_quantizers",
     "QATTrainer",
     "post_training_quantize",

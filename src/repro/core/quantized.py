@@ -18,6 +18,7 @@ before feeding the next layer).
 from __future__ import annotations
 
 import contextlib
+import threading
 from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
@@ -118,6 +119,7 @@ class QuantizedNetwork:
             p for p in network.parameters() if id(p) not in weight_ids
         ]
         self._shadow: Optional[Dict[int, np.ndarray]] = None
+        self._swap_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # Weight swapping
@@ -131,34 +133,73 @@ class QuantizedNetwork:
         """
         return self.weight_quantizer
 
-    def swap_in_quantized(self) -> None:
-        """Replace parameter data with quantized values (shadow saved)."""
-        if self._shadow is not None:
-            raise ConfigurationError("quantized weights already swapped in")
-        self._shadow = {}
+    def quantized_parameter_data(self) -> Dict[int, np.ndarray]:
+        """Precomputed quantized copies of every parameter, keyed by id.
+
+        The shared :class:`Parameter` objects are read but never written,
+        so this is safe to call from any thread at any time.
+        """
+        quantized: Dict[int, np.ndarray] = {}
         for param in self._weight_params:
-            self._shadow[id(param)] = param.data.copy()
-            param.data[...] = self.weight_quantizer_for(param).quantize(param.data)
+            quantized[id(param)] = self.weight_quantizer_for(param).quantize(
+                param.data
+            )
         for param in self._bias_params:
-            self._shadow[id(param)] = param.data.copy()
-            param.data[...] = self.bias_quantizer.quantize(param.data)
+            quantized[id(param)] = self.bias_quantizer.quantize(param.data)
+        return quantized
+
+    def swap_in_quantized(self) -> None:
+        """Replace parameter data with quantized values (shadow saved).
+
+        Swapping mutates the ``Parameter`` objects *shared with the float
+        network*, so at most one swap may be active at a time; a second
+        concurrent swap raises :class:`ConfigurationError` (the check-and-
+        set is atomic under an internal lock).  For lock-free concurrent
+        inference use :meth:`freeze` instead.
+        """
+        quantized = self.quantized_parameter_data()
+        with self._swap_lock:
+            if self._shadow is not None:
+                raise ConfigurationError("quantized weights already swapped in")
+            self._shadow = {}
+            for param in self._weight_params + self._bias_params:
+                self._shadow[id(param)] = param.data.copy()
+                param.data[...] = quantized[id(param)]
 
     def restore_shadow(self) -> None:
         """Restore the full-precision shadow values saved by swap-in."""
-        if self._shadow is None:
-            raise ConfigurationError("no shadow weights to restore")
-        for param in self._weight_params + self._bias_params:
-            param.data[...] = self._shadow[id(param)]
-        self._shadow = None
+        with self._swap_lock:
+            if self._shadow is None:
+                raise ConfigurationError("no shadow weights to restore")
+            for param in self._weight_params + self._bias_params:
+                param.data[...] = self._shadow[id(param)]
+            self._shadow = None
 
     @contextlib.contextmanager
     def quantized_weights(self):
-        """Context manager: quantized values in, shadow restored on exit."""
+        """Context manager: quantized values in, shadow restored on exit.
+
+        NOT thread-safe: the swap mutates shared parameters, so two
+        threads entering this context on the same underlying network race
+        on the weight values.  The second concurrent entry raises
+        :class:`ConfigurationError`; concurrent serving should go through
+        :meth:`freeze` / :class:`FrozenQuantizedNetwork`.
+        """
         self.swap_in_quantized()
         try:
             yield self
         finally:
             self.restore_shadow()
+
+    def freeze(self) -> "FrozenQuantizedNetwork":
+        """Bake quantized weights in and return a thread-safe view.
+
+        See :class:`FrozenQuantizedNetwork`; while frozen, the underlying
+        float network holds the quantized values and further swaps are
+        rejected.  Call :meth:`FrozenQuantizedNetwork.thaw` to restore the
+        full-precision weights.
+        """
+        return FrozenQuantizedNetwork(self)
 
     # ------------------------------------------------------------------
     # Inference
@@ -193,3 +234,72 @@ class QuantizedNetwork:
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"QuantizedNetwork({self.network.name!r}, {self.spec.label})"
+
+
+class FrozenQuantizedNetwork:
+    """Read-only quantized-inference view, safe for concurrent forwards.
+
+    The weight-swap context manager of :class:`QuantizedNetwork` mutates
+    the ``Parameter`` objects shared with the float network, so two
+    threads running ``predict`` on the same wrapper race on the weight
+    values.  Freezing removes the mutation from the inference path:
+    quantized parameter copies are precomputed once and installed for the
+    lifetime of the frozen view, the pipeline is put in eval mode, and
+    ``forward`` runs the (now read-only) pipeline directly.  Every layer
+    caches backward state only in training mode, so concurrent forwards
+    do not interfere — this is what lets a serving engine share one
+    calibrated network across a pool of worker threads.
+
+    While frozen, the underlying float network holds the quantized
+    values; :meth:`thaw` restores the full-precision shadow and
+    invalidates the view.  Entering ``quantized_weights()`` on the
+    wrapped :class:`QuantizedNetwork` while frozen raises
+    :class:`ConfigurationError` (the swap slot is occupied).
+    """
+
+    def __init__(self, qnet: QuantizedNetwork):
+        self.qnet = qnet
+        self.spec = qnet.spec
+        self.pipeline = qnet.pipeline
+        qnet.swap_in_quantized()
+        self.pipeline.eval_mode()
+        self._active = True
+
+    @property
+    def active(self) -> bool:
+        return self._active
+
+    def _check_active(self) -> None:
+        if not self._active:
+            raise ConfigurationError("frozen network has been thawed")
+
+    def forward(self, batch: np.ndarray) -> np.ndarray:
+        """Quantized logits for one NCHW batch (thread-safe)."""
+        self._check_active()
+        return self.pipeline.forward(batch)
+
+    def predict(self, images: np.ndarray, batch_size: int = 128) -> np.ndarray:
+        """Batched quantized inference logits (thread-safe)."""
+        self._check_active()
+        return np.concatenate(
+            [
+                self.forward(images[start : start + batch_size])
+                for start in range(0, images.shape[0], batch_size)
+            ],
+            axis=0,
+        )
+
+    def evaluate(self, images: np.ndarray, labels: np.ndarray) -> float:
+        """Quantized test accuracy in [0, 1]."""
+        return accuracy(self.predict(images), labels)
+
+    def thaw(self) -> QuantizedNetwork:
+        """Restore full-precision weights and invalidate this view."""
+        self._check_active()
+        self._active = False
+        self.qnet.restore_shadow()
+        return self.qnet
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "active" if self._active else "thawed"
+        return f"FrozenQuantizedNetwork({self.pipeline.name!r}, {state})"

@@ -28,3 +28,19 @@ class HardwareModelError(ReproError):
 
 class TrainingError(ReproError):
     """Training failed in a way that is not a normal non-convergence."""
+
+
+class ServingError(ReproError):
+    """The inference-serving engine was configured or used inconsistently."""
+
+
+class ServerOverloadedError(ServingError):
+    """The bounded request queue is full; the request was rejected.
+
+    This is the serving layer's explicit backpressure signal: callers
+    should slow down or retry later rather than queue unboundedly.
+    """
+
+
+class ServerClosedError(ServingError):
+    """A request was submitted to a server that is draining or stopped."""

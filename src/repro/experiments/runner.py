@@ -52,6 +52,7 @@ class SweepRunner:
         self._sweeps: Dict[str, PrecisionSweep] = {}
         self._results: Dict[tuple, PrecisionResult] = {}
         self._energy: Dict[tuple, EnergyReport] = {}
+        self._energy_networks: Dict[str, object] = {}
 
     # ------------------------------------------------------------------
     def split_for(self, dataset: str):
@@ -88,13 +89,18 @@ class SweepRunner:
         return self._results[key]
 
     def energy_report(self, paper_network: str, spec: PrecisionSpec) -> EnergyReport:
-        """Per-image energy of the *paper* architecture (cached)."""
+        """Per-image energy of the *paper* architecture (cached).
+
+        The energy model only reads layer shapes, so one built network
+        per architecture serves every precision spec.
+        """
         key = (paper_network, spec.key)
         if key not in self._energy:
             info = network_info(paper_network)
-            network = build_network(paper_network)
+            if paper_network not in self._energy_networks:
+                self._energy_networks[paper_network] = build_network(paper_network)
             self._energy[key] = self.energy_model.evaluate(
-                network, info.input_shape, spec
+                self._energy_networks[paper_network], info.input_shape, spec
             )
         return self._energy[key]
 

@@ -54,6 +54,7 @@ class EnergyModel:
         self.config = config
         self.tech = tech
         self._accelerators: Dict[str, Accelerator] = {}
+        self._reports: Dict[Tuple[str, tuple, str], EnergyReport] = {}
 
     def accelerator_for(self, spec: PrecisionSpec) -> Accelerator:
         """Cached accelerator instance per precision."""
@@ -92,3 +93,23 @@ class EnergyModel:
             energy_uj=runtime_s * power_w * 1e6,
             layers=layers,
         )
+
+    def evaluate_cached(
+        self,
+        network: Sequential,
+        input_shape: tuple,
+        spec: PrecisionSpec,
+    ) -> EnergyReport:
+        """Memoized :meth:`evaluate`, keyed by (network name, shape, spec).
+
+        The schedule depends only on layer shapes, so two networks with
+        the same name and input shape are assumed architecturally
+        identical — true for the registry networks this cache serves.
+        The serving engine calls this once per request batch; scheduling
+        a network costs far more than an inference, so the cache is what
+        makes per-request energy accounting affordable.
+        """
+        key = (network.name, tuple(input_shape), spec.key)
+        if key not in self._reports:
+            self._reports[key] = self.evaluate(network, input_shape, spec)
+        return self._reports[key]

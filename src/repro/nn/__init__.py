@@ -34,6 +34,7 @@ from repro.nn.metrics import accuracy, confusion_matrix, top_k_accuracy
 from repro.nn.serialization import (
     load_network_weights,
     save_network_weights,
+    state_digest,
     transfer_weights,
 )
 from repro.nn.gradcheck import check_gradients
@@ -71,6 +72,7 @@ __all__ = [
     "confusion_matrix",
     "save_network_weights",
     "load_network_weights",
+    "state_digest",
     "transfer_weights",
     "check_gradients",
 ]

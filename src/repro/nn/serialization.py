@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import hashlib
 import os
 from typing import Dict
 
@@ -19,6 +20,21 @@ def network_state(network: Sequential) -> Dict[str, np.ndarray]:
             raise ShapeError(f"duplicate parameter name {param.name!r}")
         state[param.name] = param.data.copy()
     return state
+
+
+def state_digest(network: Sequential) -> str:
+    """SHA-256 over parameter names, shapes and exact float32 bytes.
+
+    Two networks have the same digest iff their parameters are
+    bit-identical, making save/load round trips and serving-cache
+    identity checkable without comparing arrays element-wise.
+    """
+    digest = hashlib.sha256()
+    for name, data in sorted(network_state(network).items()):
+        digest.update(name.encode("utf-8"))
+        digest.update(str(data.shape).encode("ascii"))
+        digest.update(np.ascontiguousarray(data).tobytes())
+    return digest.hexdigest()
 
 
 def save_network_weights(network: Sequential, path: str) -> None:

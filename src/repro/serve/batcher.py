@@ -1,0 +1,189 @@
+"""Dynamic micro-batching over a bounded request queue.
+
+Single-image requests are grouped into batches per ``(network,
+precision)`` lane.  A batch is released when it reaches
+``max_batch_size`` or when its oldest request has waited
+``max_delay_ms`` — the classic throughput/latency knob: larger batches
+amortize per-call numpy dispatch over more images (the same reason the
+accelerator processes feature maps tile-by-tile), the deadline bounds
+the latency cost of waiting for co-riders.
+
+The queue is bounded and rejects on overflow
+(:class:`~repro.errors.ServerOverloadedError`) rather than buffering
+unboundedly: under sustained overload an unbounded queue only converts
+memory into latency, so the server pushes back explicitly.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Deque, Dict, List, Optional, Protocol
+
+from repro.errors import ConfigurationError, ServerClosedError, ServerOverloadedError
+from repro.serve.request import ModelKey
+
+
+class Batchable(Protocol):
+    """Anything the batcher can group: a model lane plus an arrival time."""
+
+    @property
+    def model_key(self) -> ModelKey: ...
+
+    @property
+    def enqueued_at(self) -> float: ...
+
+
+class BatchPolicy:
+    """Batch-formation knobs.
+
+    Args:
+        max_batch_size: release a batch as soon as it has this many
+            requests.
+        max_delay_ms: release a batch once its oldest request has waited
+            this long, even if not full.
+    """
+
+    def __init__(self, max_batch_size: int = 32, max_delay_ms: float = 2.0):
+        if max_batch_size < 1:
+            raise ConfigurationError("max_batch_size must be >= 1")
+        if max_delay_ms < 0:
+            raise ConfigurationError("max_delay_ms must be >= 0")
+        self.max_batch_size = max_batch_size
+        self.max_delay_ms = max_delay_ms
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"BatchPolicy(max_batch_size={self.max_batch_size}, "
+            f"max_delay_ms={self.max_delay_ms})"
+        )
+
+
+class Batcher:
+    """Bounded multi-lane queue that releases dynamic micro-batches.
+
+    Requests for different models never share a batch; the lane whose
+    head request is oldest is always served first, so no model starves.
+    ``next_batch`` is designed to be called by several worker threads
+    concurrently.
+    """
+
+    def __init__(self, policy: Optional[BatchPolicy] = None, max_queue_depth: int = 256):
+        if max_queue_depth < 1:
+            raise ConfigurationError("max_queue_depth must be >= 1")
+        self.policy = policy or BatchPolicy()
+        self.max_queue_depth = max_queue_depth
+        self._lanes: Dict[ModelKey, Deque[Batchable]] = {}
+        self._claims: set = set()  # lanes a worker is currently assembling
+        self._size = 0
+        self._closed = False
+        self._cond = threading.Condition()
+
+    # ------------------------------------------------------------------
+    def put(self, item: Batchable) -> None:
+        """Enqueue one request; rejects when closed or full."""
+        with self._cond:
+            if self._closed:
+                raise ServerClosedError("server is draining; request rejected")
+            if self._size >= self.max_queue_depth:
+                raise ServerOverloadedError(
+                    f"request queue full ({self.max_queue_depth} pending)"
+                )
+            self._lanes.setdefault(item.model_key, deque()).append(item)
+            self._size += 1
+            self._cond.notify_all()
+
+    def depth(self) -> int:
+        """Requests currently queued (all lanes)."""
+        with self._cond:
+            return self._size
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        """Stop accepting requests; queued work can still be drained."""
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+
+    def pop_all(self) -> List[Batchable]:
+        """Remove and return every queued request (non-drain shutdown)."""
+        with self._cond:
+            items: List[Batchable] = []
+            for lane in self._lanes.values():
+                items.extend(lane)
+            self._lanes.clear()
+            self._size = 0
+            self._cond.notify_all()
+            return items
+
+    # ------------------------------------------------------------------
+    def _oldest_unclaimed_lane(self) -> Optional[ModelKey]:
+        """Oldest-head lane no other worker is currently assembling."""
+        candidates = [key for key in self._lanes if key not in self._claims]
+        if not candidates:
+            return None
+        return min(candidates, key=lambda key: self._lanes[key][0].enqueued_at)
+
+    def next_batch(self, timeout: Optional[float] = None) -> Optional[List[Batchable]]:
+        """Block until a batch is ready and return it.
+
+        Returns ``None`` when the batcher is closed and fully drained
+        (the worker's exit signal) and ``[]`` on timeout with nothing
+        queued.  May return fewer than ``max_batch_size`` requests when
+        the delay deadline fires first.
+
+        Each lane is *claimed* by exactly one worker while its batch
+        fills; without the claim, every worker waiting on the same
+        deadline would slice the lane into fragments, defeating the
+        point of batching.
+        """
+        with self._cond:
+            while True:
+                # Phase 1: wait for a lane nobody else is assembling.
+                wait_until = None if timeout is None else time.monotonic() + timeout
+                while True:
+                    key = self._oldest_unclaimed_lane()
+                    if key is not None:
+                        break
+                    if self._closed and self._size == 0:
+                        return None
+                    remaining = (
+                        None if wait_until is None else wait_until - time.monotonic()
+                    )
+                    if remaining is not None and remaining <= 0:
+                        return []
+                    self._cond.wait(remaining)
+
+                # Phase 2: let the claimed lane fill until full or deadline.
+                self._claims.add(key)
+                try:
+                    deadline = (
+                        self._lanes[key][0].enqueued_at
+                        + self.policy.max_delay_ms / 1000.0
+                    )
+                    while not self._closed:
+                        lane = self._lanes.get(key)
+                        if lane is None or len(lane) >= self.policy.max_batch_size:
+                            break
+                        remaining = deadline - time.monotonic()
+                        if remaining <= 0:
+                            break
+                        self._cond.wait(remaining)
+
+                    # pop_all() may have drained the lane while we waited.
+                    lane = self._lanes.get(key)
+                    if not lane:
+                        continue
+                    take = min(self.policy.max_batch_size, len(lane))
+                    batch = [lane.popleft() for _ in range(take)]
+                    if not lane:
+                        del self._lanes[key]
+                    self._size -= take
+                    return batch
+                finally:
+                    self._claims.discard(key)
+                    self._cond.notify_all()

@@ -1,0 +1,221 @@
+"""The in-process inference server: queue -> batches -> worker threads.
+
+Workers pull micro-batches from the :class:`~repro.serve.batcher.
+Batcher`, fetch the matching frozen servable from the
+:class:`~repro.serve.model_store.ModelStore`, and run one forward pass
+per batch.  Threads give real parallelism here because the hot path is
+numpy BLAS, which releases the GIL; on a single core they still overlap
+queueing with compute, and batching itself provides the dominant
+speedup by amortizing python/numpy dispatch across images.
+
+Shutdown is graceful by default: ``stop(drain=True)`` stops admissions,
+lets workers finish everything queued, then joins them.  ``drain=False``
+fails queued requests with :class:`~repro.errors.ServerClosedError`.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError, ServerClosedError
+from repro.serve.batcher import Batcher, BatchPolicy
+from repro.serve.model_store import ModelStore
+from repro.serve.request import (
+    InferenceRequest,
+    InferenceResult,
+    ModelKey,
+    ServeFuture,
+)
+from repro.serve.stats import ServerStats, StatsReport
+
+
+@dataclass
+class _Pending:
+    """A queued request paired with its completion future."""
+
+    request: InferenceRequest
+    future: ServeFuture
+
+    @property
+    def model_key(self) -> ModelKey:
+        return self.request.model_key
+
+    @property
+    def enqueued_at(self) -> float:
+        return self.request.enqueued_at
+
+
+class InferenceServer:
+    """Batched, multi-worker serving engine with per-request energy.
+
+    Args:
+        store: servable cache (a default one is built if omitted).
+        workers: worker-thread count.
+        max_batch_size / max_delay_ms: dynamic-batching policy.
+        max_queue_depth: bounded-queue backpressure threshold.
+
+    Use as a context manager for deterministic drain::
+
+        with InferenceServer(store, workers=4) as server:
+            futures = [server.submit(img, "lenet_small", "fixed8")
+                       for img in images]
+            results = [f.result(timeout=30.0) for f in futures]
+        print(server.report().format())
+    """
+
+    def __init__(
+        self,
+        store: Optional[ModelStore] = None,
+        workers: int = 4,
+        max_batch_size: int = 32,
+        max_delay_ms: float = 2.0,
+        max_queue_depth: int = 256,
+    ):
+        if workers < 1:
+            raise ConfigurationError("workers must be >= 1")
+        self.store = store or ModelStore()
+        self.workers = workers
+        self.batcher = Batcher(
+            BatchPolicy(max_batch_size=max_batch_size, max_delay_ms=max_delay_ms),
+            max_queue_depth=max_queue_depth,
+        )
+        self.stats = ServerStats()
+        self._threads: List[threading.Thread] = []
+        self._ids = itertools.count()
+        self._started = False
+        self._stopped = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "InferenceServer":
+        if self._started:
+            raise ConfigurationError("server already started")
+        if self._stopped:
+            raise ConfigurationError("server cannot be restarted after stop")
+        self._started = True
+        for index in range(self.workers):
+            thread = threading.Thread(
+                target=self._worker_loop, name=f"serve-worker-{index}", daemon=True
+            )
+            thread.start()
+            self._threads.append(thread)
+        return self
+
+    def stop(self, drain: bool = True, timeout: Optional[float] = None) -> None:
+        """Stop admissions; drain (default) or fail queued requests."""
+        if self._stopped:
+            return
+        self.batcher.close()
+        if not drain:
+            abandoned = self.batcher.pop_all()
+            for pending in abandoned:
+                pending.future.set_exception(
+                    ServerClosedError("server stopped before this request ran")
+                )
+            if abandoned:
+                self.stats.record_failure(len(abandoned))
+        for thread in self._threads:
+            thread.join(timeout)
+        self._stopped = True
+
+    def __enter__(self) -> "InferenceServer":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop(drain=exc_type is None)
+
+    # ------------------------------------------------------------------
+    # Client API
+    # ------------------------------------------------------------------
+    def warmup(self, network: str, precision: str) -> None:
+        """Pre-build a servable so first requests don't pay calibration."""
+        self.store.warm(network, precision)
+
+    def submit(self, image: np.ndarray, network: str, precision: str) -> ServeFuture:
+        """Enqueue one CHW image; returns a future for its result.
+
+        Raises :class:`~repro.errors.ServerOverloadedError` when the
+        bounded queue is full and :class:`~repro.errors.ServerClosedError`
+        after shutdown began — both *before* accepting the request, so
+        the caller always knows whether the image was admitted.
+        """
+        image = np.asarray(image, dtype=np.float32)
+        if image.ndim != 3:
+            raise ConfigurationError(
+                f"expected one CHW image, got shape {image.shape}"
+            )
+        request = InferenceRequest(
+            image=image,
+            model_key=ModelKey(network=network, precision=precision),
+            request_id=next(self._ids),
+            enqueued_at=time.monotonic(),
+        )
+        future = ServeFuture()
+        pending = _Pending(request=request, future=future)
+        self.stats.record_submission()
+        try:
+            self.batcher.put(pending)
+        except Exception:
+            self.stats.record_rejection()
+            raise
+        return future
+
+    def report(self) -> StatsReport:
+        return self.stats.snapshot()
+
+    # ------------------------------------------------------------------
+    # Workers
+    # ------------------------------------------------------------------
+    def _worker_loop(self) -> None:
+        while True:
+            batch = self.batcher.next_batch(timeout=0.1)
+            if batch is None:
+                return
+            if batch:
+                self._run_batch(batch)  # type: ignore[arg-type]
+
+    def _run_batch(self, batch: List[_Pending]) -> None:
+        queue_depth = self.batcher.depth()
+        started_at = time.monotonic()
+        try:
+            key = batch[0].model_key
+            servable = self.store.get(key.network, key.precision)
+            images = np.stack([pending.request.image for pending in batch], axis=0)
+            logits = servable.forward(images)
+        except Exception as error:
+            self.stats.record_failure(len(batch))
+            for pending in batch:
+                pending.future.set_exception(error)
+            return
+        finished_at = time.monotonic()
+        self.stats.record_batch(len(batch), queue_depth)
+        for row, pending in enumerate(batch):
+            request = pending.request
+            result = InferenceResult(
+                request_id=request.request_id,
+                logits=logits[row].copy(),
+                model_key=request.model_key,
+                batch_size=len(batch),
+                queue_ms=(started_at - request.enqueued_at) * 1e3,
+                latency_ms=(finished_at - request.enqueued_at) * 1e3,
+                energy_uj=servable.energy_uj_per_image,
+            )
+            self.stats.record_completion(
+                latency_ms=result.latency_ms,
+                queue_ms=result.queue_ms,
+                energy_uj=result.energy_uj,
+            )
+            pending.future.set_result(result)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"InferenceServer(workers={self.workers}, "
+            f"policy={self.batcher.policy!r}, depth={self.batcher.depth()})"
+        )

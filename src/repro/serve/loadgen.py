@@ -1,0 +1,102 @@
+"""Closed-loop load generation for serve benchmarking.
+
+A closed loop keeps a fixed number of in-flight requests: each client
+thread submits one image, waits for its result, then submits the next.
+That bounds the queue naturally (offered load adapts to service rate),
+which is the honest way to measure a batching engine — an open loop
+with a fixed rate either starves the batcher or overruns the queue.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError, ServerOverloadedError
+from repro.serve.engine import InferenceServer
+from repro.serve.stats import StatsReport
+
+
+@dataclass(frozen=True)
+class LoadResult:
+    """Outcome of one closed-loop run."""
+
+    report: StatsReport          # the server's stats over this run
+    submitted: int               # requests successfully admitted
+    retries: int                 # submissions retried after backpressure
+    client_errors: int           # requests that raised at the client
+
+
+def run_closed_loop(
+    server: InferenceServer,
+    images: np.ndarray,
+    network: str,
+    precision: str,
+    n_requests: int,
+    concurrency: int = 32,
+    request_timeout_s: float = 120.0,
+) -> LoadResult:
+    """Drive ``n_requests`` single-image requests through ``server``.
+
+    ``images`` is an NCHW pool cycled through round-robin; ``concurrency``
+    clients keep that many requests in flight.  Backpressure rejections
+    are retried after a short pause (and counted), so every request
+    eventually completes unless the server fails it.
+    """
+    if n_requests < 1:
+        raise ConfigurationError("n_requests must be >= 1")
+    if concurrency < 1:
+        raise ConfigurationError("concurrency must be >= 1")
+    n_images = images.shape[0]
+    counter_lock = threading.Lock()
+    state = {"next": 0, "submitted": 0, "retries": 0, "errors": 0}
+
+    def next_index() -> Optional[int]:
+        with counter_lock:
+            if state["next"] >= n_requests:
+                return None
+            index = state["next"]
+            state["next"] += 1
+            return index
+
+    def client() -> None:
+        while True:
+            index = next_index()
+            if index is None:
+                return
+            image = images[index % n_images]
+            while True:
+                try:
+                    future = server.submit(image, network, precision)
+                    break
+                except ServerOverloadedError:
+                    with counter_lock:
+                        state["retries"] += 1
+                    time.sleep(0.001)
+            with counter_lock:
+                state["submitted"] += 1
+            try:
+                future.result(timeout=request_timeout_s)
+            except Exception:
+                with counter_lock:
+                    state["errors"] += 1
+
+    threads: List[threading.Thread] = [
+        threading.Thread(target=client, name=f"loadgen-{i}", daemon=True)
+        for i in range(min(concurrency, n_requests))
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+
+    return LoadResult(
+        report=server.report(),
+        submitted=state["submitted"],
+        retries=state["retries"],
+        client_errors=state["errors"],
+    )

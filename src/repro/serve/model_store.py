@@ -1,0 +1,171 @@
+"""Servable cache: load, calibrate, freeze and evict quantized models.
+
+A *servable* is a fully prepared inference artifact for one
+``(network, precision)`` pair: weights loaded (via
+``repro.nn.serialization``), activation ranges calibrated, quantized
+parameter copies baked in via
+:meth:`repro.core.QuantizedNetwork.freeze`, and the per-image modeled
+energy pre-resolved from :class:`repro.hw.energy.EnergyModel`.  Each
+servable owns a private network instance, so freezing never disturbs a
+network the caller is training elsewhere, and worker threads can share
+the frozen pipeline without synchronization.
+
+The store keeps servables in an LRU map under a memory budget derived
+from :func:`repro.hw.memory_footprint.network_memory_footprint` — the
+same accounting the paper uses in Section V-B, so an int8 model costs
+the cache ~4x less than its float32 twin, exactly as it would on the
+accelerator's buffers.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.precision import get_precision
+from repro.core.quantized import FrozenQuantizedNetwork, QuantizedNetwork
+from repro.data.registry import load_dataset
+from repro.hw.energy import EnergyModel
+from repro.hw.memory_footprint import network_memory_footprint
+from repro.nn.serialization import load_network_weights, state_digest
+from repro.serve.request import ModelKey
+from repro.zoo.registry import build_network, network_info
+
+
+@dataclass
+class Servable:
+    """One ready-to-serve frozen model plus its accounting metadata."""
+
+    key: ModelKey
+    frozen: FrozenQuantizedNetwork
+    input_shape: Tuple[int, ...]
+    memory_kb: float             # paper-style footprint at this precision
+    energy_uj_per_image: float   # modeled accelerator energy per inference
+    weights_digest: str          # SHA-256 of the loaded float parameters
+
+    def forward(self, batch: np.ndarray) -> np.ndarray:
+        return self.frozen.forward(batch)
+
+
+class ModelStore:
+    """LRU cache of calibrated, frozen quantized networks.
+
+    Args:
+        memory_budget_kb: evict least-recently-used servables once the
+            summed footprint exceeds this (the most recent entry is
+            always kept, so one oversized model still serves).
+        weight_paths: optional ``network name -> .npz path`` map; names
+            without an entry serve freshly initialized weights (useful
+            for load testing without a training run).
+        calibration_images: how many task images calibrate each model's
+            activation ranges.
+        calibration_data: optional ``dataset name -> images`` override;
+            when absent the registry's synthetic task data is used.
+        energy_model: shared :class:`EnergyModel` (reports are cached
+            per (network, shape, precision) inside it).
+        seed: build seed for networks served without trained weights.
+
+    Eviction only drops the cache's reference — workers holding a
+    servable for an in-flight batch keep it alive until they finish.
+    """
+
+    def __init__(
+        self,
+        memory_budget_kb: float = 16384.0,
+        weight_paths: Optional[Dict[str, str]] = None,
+        calibration_images: int = 128,
+        calibration_data: Optional[Dict[str, np.ndarray]] = None,
+        energy_model: Optional[EnergyModel] = None,
+        seed: int = 0,
+    ):
+        self.memory_budget_kb = memory_budget_kb
+        self.weight_paths = dict(weight_paths or {})
+        self.calibration_images = calibration_images
+        self.energy_model = energy_model or EnergyModel()
+        self.seed = seed
+        self._calibration: Dict[str, np.ndarray] = dict(calibration_data or {})
+        self._entries: "OrderedDict[ModelKey, Servable]" = OrderedDict()
+        self._lock = threading.RLock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    # ------------------------------------------------------------------
+    def _calibration_for(self, dataset: str) -> np.ndarray:
+        if dataset not in self._calibration:
+            split = load_dataset(
+                dataset,
+                n_train=max(self.calibration_images, 32),
+                n_test=32,
+                seed=self.seed,
+            )
+            self._calibration[dataset] = split.train.images[: self.calibration_images]
+        return self._calibration[dataset]
+
+    def _build_servable(self, key: ModelKey) -> Servable:
+        info = network_info(key.network)
+        spec = get_precision(key.precision)
+        network = build_network(key.network, seed=self.seed)
+        if key.network in self.weight_paths:
+            load_network_weights(network, self.weight_paths[key.network])
+        digest = state_digest(network)
+        qnet = QuantizedNetwork(network, spec)
+        if not spec.is_float:
+            qnet.calibrate(self._calibration_for(info.dataset))
+        energy = self.energy_model.evaluate_cached(network, info.input_shape, spec)
+        footprint = network_memory_footprint(network, info.input_shape, spec)
+        return Servable(
+            key=key,
+            frozen=qnet.freeze(),
+            input_shape=info.input_shape,
+            memory_kb=footprint.total_kb,
+            energy_uj_per_image=energy.energy_uj,
+            weights_digest=digest,
+        )
+
+    def _evict_over_budget(self) -> None:
+        while len(self._entries) > 1 and self.total_memory_kb > self.memory_budget_kb:
+            evicted_key, _ = self._entries.popitem(last=False)
+            self.evictions += 1
+
+    # ------------------------------------------------------------------
+    def get(self, network: str, precision: str) -> Servable:
+        """Fetch (building and calibrating on miss) one servable."""
+        key = ModelKey(network=network, precision=precision)
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                return self._entries[key]
+            self.misses += 1
+            servable = self._build_servable(key)
+            self._entries[key] = servable
+            self._evict_over_budget()
+            return servable
+
+    def warm(self, network: str, precision: str) -> Servable:
+        """Alias for :meth:`get`, named for pre-loading before traffic."""
+        return self.get(network, precision)
+
+    # ------------------------------------------------------------------
+    @property
+    def total_memory_kb(self) -> float:
+        return sum(entry.memory_kb for entry in self._entries.values())
+
+    def cached_keys(self) -> List[ModelKey]:
+        """LRU -> MRU order of currently cached servables."""
+        with self._lock:
+            return list(self._entries.keys())
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"ModelStore({len(self._entries)} cached, "
+            f"{self.total_memory_kb:.0f}/{self.memory_budget_kb:.0f} KB)"
+        )

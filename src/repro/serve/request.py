@@ -1,0 +1,91 @@
+"""Request/result types and the future handed back by ``submit``.
+
+A request is one image bound for one ``(network, precision)`` model; the
+result carries the logits plus the observability payload the paper's
+trade-off analysis needs per request: where the time went (queue vs.
+compute), how large the batch it rode in was, and the modeled
+accelerator energy the inference cost.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ServingError
+
+
+@dataclass(frozen=True)
+class ModelKey:
+    """Cache/batching identity of a served model."""
+
+    network: str
+    precision: str
+
+
+@dataclass
+class InferenceRequest:
+    """One single-image inference request.
+
+    Attributes:
+        image: CHW float32 array (no batch dimension — batching is the
+            server's job).
+        model_key: which (network, precision) pair should serve it.
+        request_id: server-assigned monotonically increasing id.
+        enqueued_at: ``time.monotonic()`` at submission; latency and the
+            batcher's deadline accounting are measured from here.
+    """
+
+    image: np.ndarray
+    model_key: ModelKey
+    request_id: int
+    enqueued_at: float
+
+
+@dataclass(frozen=True)
+class InferenceResult:
+    """Logits plus per-request accounting."""
+
+    request_id: int
+    logits: np.ndarray
+    model_key: ModelKey
+    batch_size: int          # size of the micro-batch this request rode in
+    queue_ms: float          # submission -> batch execution start
+    latency_ms: float        # submission -> result available
+    energy_uj: float         # modeled accelerator energy for this image
+
+    @property
+    def predicted_class(self) -> int:
+        return int(np.argmax(self.logits))
+
+
+@dataclass
+class ServeFuture:
+    """Completion handle for a submitted request (wait with ``result``)."""
+
+    _event: threading.Event = field(default_factory=threading.Event)
+    _result: Optional[InferenceResult] = None
+    _exception: Optional[BaseException] = None
+
+    def set_result(self, result: InferenceResult) -> None:
+        self._result = result
+        self._event.set()
+
+    def set_exception(self, exception: BaseException) -> None:
+        self._exception = exception
+        self._event.set()
+
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    def result(self, timeout: Optional[float] = None) -> InferenceResult:
+        """Block until the request completes; re-raises server errors."""
+        if not self._event.wait(timeout):
+            raise ServingError("timed out waiting for inference result")
+        if self._exception is not None:
+            raise self._exception
+        assert self._result is not None
+        return self._result

@@ -1,0 +1,160 @@
+"""Serving metrics: latency percentiles, throughput, batching, energy.
+
+The paper's argument is an accuracy/energy trade-off measured per
+image; :class:`ServerStats` carries that accounting into the serving
+path so every load test reports not just p50/p95/p99 latency and
+images/s but also the cumulative *modeled* accelerator energy of the
+traffic it served (via :class:`repro.hw.energy.EnergyModel`).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class StatsReport:
+    """Immutable snapshot of one serving run."""
+
+    completed: int
+    rejected: int
+    failed: int
+    wall_s: float
+    throughput_ips: float          # completed images per second
+    latency_ms_mean: float
+    latency_ms_p50: float
+    latency_ms_p95: float
+    latency_ms_p99: float
+    latency_ms_max: float
+    queue_ms_mean: float
+    batch_histogram: Dict[int, int]  # batch size -> number of batches
+    mean_batch_size: float
+    max_queue_depth: int
+    energy_uj_total: float
+    energy_uj_per_image: float
+
+    def format(self) -> str:
+        """Human-readable report block (CLI / benchmark output)."""
+        lines = [
+            f"requests completed     : {self.completed}"
+            + (f"  (rejected {self.rejected}, failed {self.failed})"
+               if self.rejected or self.failed else ""),
+            f"wall time              : {self.wall_s:.3f} s",
+            f"throughput             : {self.throughput_ips:.1f} img/s",
+            "latency (ms)           : "
+            f"mean {self.latency_ms_mean:.2f}  p50 {self.latency_ms_p50:.2f}  "
+            f"p95 {self.latency_ms_p95:.2f}  p99 {self.latency_ms_p99:.2f}  "
+            f"max {self.latency_ms_max:.2f}",
+            f"queue wait (ms, mean)  : {self.queue_ms_mean:.2f}",
+            f"mean batch size        : {self.mean_batch_size:.2f}"
+            f"  (peak queue depth {self.max_queue_depth})",
+            "batch-size histogram   : " + self._histogram_line(),
+            f"modeled energy         : {self.energy_uj_total:.2f} uJ total, "
+            f"{self.energy_uj_per_image:.3f} uJ/image",
+        ]
+        return "\n".join(lines)
+
+    def _histogram_line(self) -> str:
+        if not self.batch_histogram:
+            return "(empty)"
+        return "  ".join(
+            f"{size}:{count}" for size, count in sorted(self.batch_histogram.items())
+        )
+
+
+class ServerStats:
+    """Thread-safe accumulator fed by the serving engine's workers."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._latencies_ms: List[float] = []
+        self._queue_ms: List[float] = []
+        self._batch_sizes: Counter = Counter()
+        self._max_queue_depth = 0
+        self._energy_uj = 0.0
+        self._rejected = 0
+        self._failed = 0
+        self._first_submit: Optional[float] = None
+        self._last_complete: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    def record_submission(self) -> None:
+        now = time.monotonic()
+        with self._lock:
+            if self._first_submit is None:
+                self._first_submit = now
+
+    def record_rejection(self) -> None:
+        with self._lock:
+            self._rejected += 1
+
+    def record_failure(self, count: int = 1) -> None:
+        with self._lock:
+            self._failed += count
+
+    def record_batch(self, batch_size: int, queue_depth: int) -> None:
+        with self._lock:
+            self._batch_sizes[batch_size] += 1
+            self._max_queue_depth = max(self._max_queue_depth, queue_depth)
+
+    def record_completion(
+        self, latency_ms: float, queue_ms: float, energy_uj: float
+    ) -> None:
+        now = time.monotonic()
+        with self._lock:
+            self._latencies_ms.append(latency_ms)
+            self._queue_ms.append(queue_ms)
+            self._energy_uj += energy_uj
+            self._last_complete = now
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> StatsReport:
+        """Consistent point-in-time report (percentiles computed here)."""
+        with self._lock:
+            latencies = np.asarray(self._latencies_ms, dtype=np.float64)
+            queue_ms = np.asarray(self._queue_ms, dtype=np.float64)
+            completed = int(latencies.size)
+            wall_s = 0.0
+            if self._first_submit is not None and self._last_complete is not None:
+                wall_s = max(self._last_complete - self._first_submit, 0.0)
+            n_batches = sum(self._batch_sizes.values())
+            batched_images = sum(
+                size * count for size, count in self._batch_sizes.items()
+            )
+
+            def percentile(p: float) -> float:
+                return float(np.percentile(latencies, p)) if completed else 0.0
+
+            return StatsReport(
+                completed=completed,
+                rejected=self._rejected,
+                failed=self._failed,
+                wall_s=wall_s,
+                throughput_ips=completed / wall_s if wall_s > 0 else 0.0,
+                latency_ms_mean=float(latencies.mean()) if completed else 0.0,
+                latency_ms_p50=percentile(50),
+                latency_ms_p95=percentile(95),
+                latency_ms_p99=percentile(99),
+                latency_ms_max=float(latencies.max()) if completed else 0.0,
+                queue_ms_mean=float(queue_ms.mean()) if queue_ms.size else 0.0,
+                batch_histogram=dict(self._batch_sizes),
+                mean_batch_size=batched_images / n_batches if n_batches else 0.0,
+                max_queue_depth=self._max_queue_depth,
+                energy_uj_total=self._energy_uj,
+                energy_uj_per_image=self._energy_uj / completed if completed else 0.0,
+            )
+
+
+def latency_percentiles(latencies_ms: List[float]) -> Tuple[float, float, float]:
+    """(p50, p95, p99) helper for ad-hoc measurements outside the stats
+    object (used by the benchmark drivers)."""
+    if not latencies_ms:
+        return (0.0, 0.0, 0.0)
+    array = np.asarray(latencies_ms, dtype=np.float64)
+    return tuple(float(np.percentile(array, p)) for p in (50, 95, 99))  # type: ignore[return-value]

@@ -1,0 +1,114 @@
+"""Concurrent inference on a shared QuantizedNetwork.
+
+The weight-swap context manager mutates the Parameters shared with the
+float network, so it is inherently single-threaded; the serving path
+relies on :meth:`QuantizedNetwork.freeze` baking quantized copies in so
+concurrent forwards never mutate shared state.  These tests pin both
+halves of that contract.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro import core
+from repro.data import load_dataset
+from repro.errors import ConfigurationError
+from tests.conftest import make_tiny_cnn
+
+N_THREADS = 4
+
+
+@pytest.fixture(scope="module")
+def digits():
+    return load_dataset("digits", n_train=64, n_test=32, seed=0)
+
+
+def _calibrated_qnet(digits):
+    network = make_tiny_cnn(seed=3)
+    qnet = core.QuantizedNetwork(network, core.get_precision("fixed8"))
+    qnet.calibrate(digits.train.images)
+    return qnet
+
+
+def test_four_threads_match_single_threaded_outputs(digits):
+    qnet = _calibrated_qnet(digits)
+    images = digits.test.images
+    frozen = qnet.freeze()
+    expected = frozen.predict(images)
+
+    results = [None] * N_THREADS
+    errors = []
+    barrier = threading.Barrier(N_THREADS)
+
+    def worker(slot):
+        try:
+            barrier.wait()  # maximize overlap
+            results[slot] = frozen.predict(images, batch_size=8)
+        except Exception as error:  # pragma: no cover - failure detail
+            errors.append(error)
+
+    threads = [
+        threading.Thread(target=worker, args=(slot,)) for slot in range(N_THREADS)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=60.0)
+    assert not errors
+    for slot in range(N_THREADS):
+        np.testing.assert_array_equal(results[slot], expected)
+
+
+def test_concurrent_weight_swap_is_rejected(digits):
+    qnet = _calibrated_qnet(digits)
+    with qnet.quantized_weights():
+        # a second swap (any thread) must fail loudly, not corrupt weights
+        with pytest.raises(ConfigurationError):
+            qnet.swap_in_quantized()
+
+
+def test_freeze_blocks_swaps_and_thaw_restores(digits):
+    qnet = _calibrated_qnet(digits)
+    original = {
+        param.name: param.data.copy() for param in qnet.network.parameters()
+    }
+    frozen = qnet.freeze()
+    # while frozen, the swap slot is occupied
+    with pytest.raises(ConfigurationError):
+        qnet.swap_in_quantized()
+    # quantized values are actually installed
+    weights = qnet.network.weight_parameters()[0]
+    quantizer = qnet.weight_quantizer_for(weights)
+    np.testing.assert_array_equal(
+        weights.data, quantizer.quantize(original[weights.name])
+    )
+    frozen.thaw()
+    for param in qnet.network.parameters():
+        np.testing.assert_array_equal(param.data, original[param.name])
+    with pytest.raises(ConfigurationError):
+        frozen.forward(digits.test.images[:1])  # thawed view is dead
+
+
+def test_frozen_network_through_server_matches(digits):
+    """End-to-end: 4 engine workers share one cached servable."""
+    from repro import serve
+
+    store = serve.ModelStore(calibration_data={"digits": digits.train.images})
+    servable = store.warm("lenet_small", "fixed8")
+    images = digits.test.images
+    expected = servable.frozen.predict(images)
+    with serve.InferenceServer(store, workers=N_THREADS, max_batch_size=4) as server:
+        futures = [
+            server.submit(images[i], "lenet_small", "fixed8")
+            for i in range(images.shape[0])
+        ]
+        for index, future in enumerate(futures):
+            # tolerance: BLAS accumulation order varies with batch size
+            np.testing.assert_allclose(
+                future.result(timeout=60.0).logits,
+                expected[index],
+                rtol=0,
+                atol=1e-5,
+            )

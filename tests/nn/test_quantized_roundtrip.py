@@ -1,0 +1,76 @@
+"""Save -> load -> quantize round-trip (serving deployment path).
+
+A checkpoint written by one process and loaded into a freshly built
+network in another must produce the *same* quantized model: identical
+SHA-256 state digest, bit-exact int8 logits after calibration on the
+same data, and therefore identical accuracy.  This is the contract the
+serve.ModelStore weight_paths option depends on.
+"""
+
+import numpy as np
+import pytest
+
+from repro import core, nn
+from repro.data import load_dataset
+from tests.conftest import make_tiny_cnn
+
+
+@pytest.fixture(scope="module")
+def digits():
+    return load_dataset("digits", n_train=96, n_test=48, seed=0)
+
+
+@pytest.fixture(scope="module")
+def trained_checkpoint(tmp_path_factory, digits):
+    network = make_tiny_cnn(seed=5)
+    trainer = nn.Trainer(
+        network,
+        nn.SGD(network.parameters(), lr=0.05),
+        batch_size=32,
+    )
+    trainer.fit(digits.train.images, digits.train.labels, epochs=1)
+    path = str(tmp_path_factory.mktemp("ckpt") / "tiny.npz")
+    nn.save_network_weights(network, path)
+    return network, path
+
+
+def test_digest_matches_after_reload(trained_checkpoint):
+    source, path = trained_checkpoint
+    restored = make_tiny_cnn(seed=11)  # different init, same topology
+    assert nn.state_digest(restored) != nn.state_digest(source)
+    nn.load_network_weights(restored, path)
+    assert nn.state_digest(restored) == nn.state_digest(source)
+
+
+def test_int8_logits_bit_exact_after_reload(trained_checkpoint, digits):
+    source, path = trained_checkpoint
+    restored = make_tiny_cnn(seed=11)
+    nn.load_network_weights(restored, path)
+
+    spec = core.get_precision("fixed8")
+    q_source = core.QuantizedNetwork(source, spec)
+    q_restored = core.QuantizedNetwork(restored, spec)
+    q_source.calibrate(digits.train.images)
+    q_restored.calibrate(digits.train.images)
+
+    logits_source = q_source.predict(digits.test.images)
+    logits_restored = q_restored.predict(digits.test.images)
+    np.testing.assert_array_equal(logits_restored, logits_source)
+
+    acc_source = q_source.evaluate(digits.test.images, digits.test.labels)
+    acc_restored = q_restored.evaluate(digits.test.images, digits.test.labels)
+    assert acc_restored == acc_source
+
+
+def test_frozen_serving_path_matches_context_manager(trained_checkpoint, digits):
+    """freeze() and the classic swap context agree bit-for-bit."""
+    _, path = trained_checkpoint
+    restored = make_tiny_cnn(seed=11)
+    nn.load_network_weights(restored, path)
+    qnet = core.QuantizedNetwork(restored, core.get_precision("fixed8"))
+    qnet.calibrate(digits.train.images)
+
+    expected = qnet.predict(digits.test.images)  # swap-in/restore path
+    frozen = qnet.freeze()
+    np.testing.assert_array_equal(frozen.predict(digits.test.images), expected)
+    frozen.thaw()

@@ -1,0 +1,130 @@
+"""Batcher semantics: lanes, deadlines, backpressure, drain."""
+
+import threading
+import time
+
+import pytest
+
+from repro.errors import ConfigurationError, ServerClosedError, ServerOverloadedError
+from repro.serve import Batcher, BatchPolicy, ModelKey
+
+
+class FakeItem:
+    """Minimal Batchable: a model lane plus an arrival timestamp."""
+
+    def __init__(self, key="lenet/fixed8", enqueued_at=None):
+        network, precision = key.split("/")
+        self.model_key = ModelKey(network=network, precision=precision)
+        self.enqueued_at = time.monotonic() if enqueued_at is None else enqueued_at
+
+
+def test_policy_validation():
+    with pytest.raises(ConfigurationError):
+        BatchPolicy(max_batch_size=0)
+    with pytest.raises(ConfigurationError):
+        BatchPolicy(max_delay_ms=-1.0)
+    with pytest.raises(ConfigurationError):
+        Batcher(max_queue_depth=0)
+
+
+def test_full_batch_released_immediately():
+    batcher = Batcher(BatchPolicy(max_batch_size=4, max_delay_ms=10_000.0))
+    for _ in range(4):
+        batcher.put(FakeItem())
+    start = time.monotonic()
+    batch = batcher.next_batch(timeout=1.0)
+    assert len(batch) == 4
+    # a full batch must not wait for the deadline
+    assert time.monotonic() - start < 1.0
+    assert batcher.depth() == 0
+
+
+def test_deadline_releases_partial_batch():
+    batcher = Batcher(BatchPolicy(max_batch_size=32, max_delay_ms=20.0))
+    batcher.put(FakeItem())
+    batcher.put(FakeItem())
+    batch = batcher.next_batch(timeout=2.0)
+    assert len(batch) == 2
+
+
+def test_lanes_never_mix_models():
+    batcher = Batcher(BatchPolicy(max_batch_size=8, max_delay_ms=5.0))
+    batcher.put(FakeItem("lenet/fixed8", enqueued_at=1.0))
+    batcher.put(FakeItem("lenet/float32", enqueued_at=2.0))
+    batcher.put(FakeItem("lenet/fixed8", enqueued_at=3.0))
+    first = batcher.next_batch(timeout=1.0)
+    assert [item.model_key.precision for item in first] == ["fixed8", "fixed8"]
+    second = batcher.next_batch(timeout=1.0)
+    assert [item.model_key.precision for item in second] == ["float32"]
+
+
+def test_oldest_lane_served_first():
+    batcher = Batcher(BatchPolicy(max_batch_size=8, max_delay_ms=0.0))
+    batcher.put(FakeItem("lenet/float32", enqueued_at=5.0))
+    batcher.put(FakeItem("alex/fixed4", enqueued_at=1.0))
+    batch = batcher.next_batch(timeout=1.0)
+    assert batch[0].model_key == ModelKey(network="alex", precision="fixed4")
+
+
+def test_backpressure_rejects_when_full():
+    batcher = Batcher(BatchPolicy(max_batch_size=4), max_queue_depth=2)
+    batcher.put(FakeItem())
+    batcher.put(FakeItem())
+    with pytest.raises(ServerOverloadedError):
+        batcher.put(FakeItem())
+    # draining frees capacity again
+    batcher.next_batch(timeout=1.0)
+    batcher.put(FakeItem())
+
+
+def test_closed_rejects_put_and_drains_remaining():
+    batcher = Batcher(BatchPolicy(max_batch_size=4, max_delay_ms=10_000.0))
+    batcher.put(FakeItem())
+    batcher.close()
+    with pytest.raises(ServerClosedError):
+        batcher.put(FakeItem())
+    # queued work remains available after close (graceful drain) ...
+    assert len(batcher.next_batch(timeout=1.0)) == 1
+    # ... and the exhausted, closed batcher signals worker exit
+    assert batcher.next_batch(timeout=1.0) is None
+
+
+def test_timeout_returns_empty_batch():
+    batcher = Batcher()
+    assert batcher.next_batch(timeout=0.01) == []
+
+
+def test_pop_all_flushes_queue():
+    batcher = Batcher()
+    for _ in range(3):
+        batcher.put(FakeItem())
+    assert len(batcher.pop_all()) == 3
+    assert batcher.depth() == 0
+
+
+def test_concurrent_workers_partition_the_queue():
+    batcher = Batcher(BatchPolicy(max_batch_size=8, max_delay_ms=5.0))
+    collected = []
+    lock = threading.Lock()
+
+    def worker():
+        while True:
+            batch = batcher.next_batch(timeout=0.05)
+            if batch is None:
+                return
+            with lock:
+                collected.extend(batch)
+
+    threads = [threading.Thread(target=worker) for _ in range(4)]
+    for thread in threads:
+        thread.start()
+    items = [FakeItem() for _ in range(40)]
+    for item in items:
+        batcher.put(item)
+    time.sleep(0.1)
+    batcher.close()
+    for thread in threads:
+        thread.join(timeout=5.0)
+    # every request delivered exactly once
+    assert len(collected) == 40
+    assert {id(item) for item in collected} == {id(item) for item in items}

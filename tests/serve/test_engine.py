@@ -1,0 +1,160 @@
+"""InferenceServer: correctness under batching, backpressure, shutdown."""
+
+import numpy as np
+import pytest
+
+from repro.data import load_dataset
+from repro.errors import (
+    ConfigurationError,
+    ServerClosedError,
+    ServerOverloadedError,
+    ShapeError,
+)
+from repro.serve import InferenceServer, ModelStore, run_closed_loop
+
+
+@pytest.fixture(scope="module")
+def digits_images():
+    split = load_dataset("digits", n_train=32, n_test=64, seed=0)
+    return split.test.images
+
+
+@pytest.fixture(scope="module")
+def calibration(digits_images):
+    return {"digits": digits_images[:32]}
+
+
+@pytest.fixture()
+def store(calibration):
+    return ModelStore(calibration_data=calibration, calibration_images=32)
+
+
+def test_batched_results_match_direct_inference(store, digits_images):
+    servable = store.warm("lenet_small", "fixed8")
+    expected = servable.forward(digits_images[:24])
+    with InferenceServer(store, workers=2, max_batch_size=8) as server:
+        futures = [
+            server.submit(digits_images[i], "lenet_small", "fixed8")
+            for i in range(24)
+        ]
+        results = [future.result(timeout=30.0) for future in futures]
+    for index, result in enumerate(results):
+        # tolerance: BLAS accumulation order varies with batch size
+        np.testing.assert_allclose(
+            result.logits, expected[index], rtol=0, atol=1e-5
+        )
+        assert result.batch_size >= 1
+        assert result.latency_ms >= result.queue_ms >= 0.0
+        assert result.energy_uj == servable.energy_uj_per_image
+
+
+def test_mixed_precision_traffic_stays_separated(store, digits_images):
+    int8 = store.warm("lenet_small", "fixed8")
+    full = store.warm("lenet_small", "float32")
+    with InferenceServer(store, workers=2, max_batch_size=4) as server:
+        futures = [
+            server.submit(
+                digits_images[i],
+                "lenet_small",
+                "fixed8" if i % 2 else "float32",
+            )
+            for i in range(16)
+        ]
+        results = [future.result(timeout=30.0) for future in futures]
+    for i, result in enumerate(results):
+        reference = int8 if i % 2 else full
+        other = full if i % 2 else int8
+        # BLAS accumulation order varies with batch size, so float32 logits
+        # can drift ~1e-7 between served batches and a batch-of-1 reference;
+        # the int8/float32 quantization gap is orders of magnitude larger.
+        np.testing.assert_allclose(
+            result.logits,
+            reference.forward(digits_images[i : i + 1])[0],
+            rtol=0,
+            atol=1e-5,
+        )
+        assert not np.allclose(
+            result.logits,
+            other.forward(digits_images[i : i + 1])[0],
+            rtol=0,
+            atol=1e-5,
+        )
+        assert result.energy_uj == reference.energy_uj_per_image
+    # int8 requests must be cheaper than float32 on the modeled accelerator
+    assert int8.energy_uj_per_image < full.energy_uj_per_image
+
+
+def test_backpressure_rejects_before_admitting(store, digits_images):
+    server = InferenceServer(store, workers=1, max_queue_depth=2)
+    server.submit(digits_images[0], "lenet_small", "fixed8")
+    server.submit(digits_images[1], "lenet_small", "fixed8")
+    with pytest.raises(ServerOverloadedError):
+        server.submit(digits_images[2], "lenet_small", "fixed8")
+    assert server.report().rejected == 1
+    server.stop(drain=False)
+
+
+def test_stop_without_drain_fails_queued_requests(store, digits_images):
+    server = InferenceServer(store, workers=1)
+    futures = [
+        server.submit(digits_images[i], "lenet_small", "fixed8") for i in range(3)
+    ]
+    server.stop(drain=False)
+    for future in futures:
+        with pytest.raises(ServerClosedError):
+            future.result(timeout=1.0)
+    assert server.report().failed == 3
+
+
+def test_submit_after_stop_raises(store, digits_images):
+    server = InferenceServer(store, workers=1).start()
+    server.stop()
+    with pytest.raises(ServerClosedError):
+        server.submit(digits_images[0], "lenet_small", "fixed8")
+
+
+def test_context_manager_drains_everything(store, digits_images):
+    with InferenceServer(store, workers=2, max_batch_size=8) as server:
+        futures = [
+            server.submit(digits_images[i % 8], "lenet_small", "fixed8")
+            for i in range(40)
+        ]
+    assert all(future.done() for future in futures)
+    assert server.report().completed == 40
+
+
+def test_submit_validates_image_rank(store, digits_images):
+    server = InferenceServer(store, workers=1)
+    with pytest.raises(ConfigurationError):
+        server.submit(digits_images[:2], "lenet_small", "fixed8")  # batched
+    server.stop(drain=False)
+
+
+def test_worker_errors_propagate_to_futures(store):
+    wrong_channels = np.zeros((3, 28, 28), dtype=np.float32)
+    with InferenceServer(store, workers=1) as server:
+        future = server.submit(wrong_channels, "lenet_small", "fixed8")
+        with pytest.raises(ShapeError):
+            future.result(timeout=30.0)
+    assert server.report().failed >= 1
+
+
+def test_closed_loop_load_generator(store, digits_images):
+    with InferenceServer(store, workers=2, max_batch_size=8) as server:
+        outcome = run_closed_loop(
+            server,
+            digits_images,
+            "lenet_small",
+            "fixed8",
+            n_requests=48,
+            concurrency=8,
+        )
+    assert outcome.submitted == 48
+    assert outcome.client_errors == 0
+    report = outcome.report
+    assert report.completed == 48
+    assert report.throughput_ips > 0
+    assert report.energy_uj_total == pytest.approx(
+        48 * report.energy_uj_per_image
+    )
+    assert sum(size * n for size, n in report.batch_histogram.items()) == 48

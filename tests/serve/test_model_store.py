@@ -1,0 +1,100 @@
+"""ModelStore: build, calibrate, freeze, LRU-evict under a budget."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.data import load_dataset
+from repro.serve import ModelKey, ModelStore
+from repro.zoo import build_network
+
+
+@pytest.fixture(scope="module")
+def calibration():
+    split = load_dataset("digits", n_train=32, n_test=16, seed=0)
+    return {"digits": split.train.images}
+
+
+def test_get_builds_and_caches(calibration):
+    store = ModelStore(calibration_data=calibration, calibration_images=32)
+    first = store.get("lenet_small", "fixed8")
+    second = store.get("lenet_small", "fixed8")
+    assert first is second
+    assert store.misses == 1 and store.hits == 1
+    assert store.cached_keys() == [ModelKey("lenet_small", "fixed8")]
+    assert first.memory_kb > 0
+    assert first.energy_uj_per_image > 0
+
+
+def test_servable_forward_matches_network_shape(calibration):
+    store = ModelStore(calibration_data=calibration)
+    servable = store.get("lenet_small", "fixed8")
+    batch = calibration["digits"][:4]
+    logits = servable.forward(batch)
+    assert logits.shape == (4, 10)
+
+
+def test_float32_servable_needs_no_calibration(calibration):
+    store = ModelStore(calibration_data=calibration)
+    servable = store.get("lenet_small", "float32")
+    logits = servable.forward(calibration["digits"][:2])
+    # float32 servable is the plain network output
+    reference = build_network("lenet_small", seed=0).predict(
+        calibration["digits"][:2]
+    )
+    np.testing.assert_allclose(logits, reference, rtol=0, atol=0)
+
+
+def test_low_precision_costs_less_cache_memory(calibration):
+    store = ModelStore(calibration_data=calibration)
+    full = store.get("lenet_small", "float32")
+    int8 = store.get("lenet_small", "fixed8")
+    assert int8.memory_kb < full.memory_kb
+
+
+def test_tiny_budget_keeps_only_newest(calibration):
+    store = ModelStore(memory_budget_kb=1.0, calibration_data=calibration)
+    store.get("lenet_small", "fixed8")
+    store.get("lenet_small", "fixed4")
+    assert len(store) == 1  # newest always kept even when over budget
+    assert store.cached_keys() == [ModelKey("lenet_small", "fixed4")]
+    assert store.evictions == 1
+    # the evicted model rebuilds on demand
+    assert store.get("lenet_small", "fixed8").key.precision == "fixed8"
+    assert store.misses == 3
+
+
+def test_lru_touch_order(calibration):
+    store = ModelStore(calibration_data=calibration)
+    store.get("lenet_small", "fixed8")
+    store.get("lenet_small", "fixed4")
+    store.get("lenet_small", "fixed8")  # touch -> most recent
+    assert store.cached_keys() == [
+        ModelKey("lenet_small", "fixed4"),
+        ModelKey("lenet_small", "fixed8"),
+    ]
+
+
+def test_weight_paths_served_bit_exact(tmp_path, calibration):
+    source = build_network("lenet_small", seed=7)
+    path = str(tmp_path / "weights.npz")
+    nn.save_network_weights(source, path)
+    store = ModelStore(
+        weight_paths={"lenet_small": path}, calibration_data=calibration
+    )
+    servable = store.get("lenet_small", "float32")
+    assert servable.weights_digest == nn.state_digest(source)
+    np.testing.assert_array_equal(
+        servable.forward(calibration["digits"][:3]),
+        source.predict(calibration["digits"][:3]),
+    )
+
+
+def test_energy_reports_cached_per_spec(calibration):
+    store = ModelStore(memory_budget_kb=1.0, calibration_data=calibration)
+    store.get("lenet_small", "fixed8")
+    store.get("lenet_small", "fixed8")  # cache hit
+    store.get("lenet_small", "fixed4")  # evicts fixed8
+    store.get("lenet_small", "fixed8")  # servable rebuilt ...
+    # ... but the energy model evaluated each (network, spec) only once
+    assert len(store.energy_model._reports) == 2

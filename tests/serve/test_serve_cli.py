@@ -1,0 +1,42 @@
+"""serve-bench CLI smoke tests (small budgets, fast)."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_serve_bench_reports_metrics(capsys):
+    code = main([
+        "serve-bench", "--network", "lenet_small", "--precision", "fixed8",
+        "--requests", "48", "--workers", "2", "--max-batch", "8",
+        "--concurrency", "8", "--calibration", "32", "--skip-baseline",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    for needle in (
+        "serving lenet_small at Fixed-Point (8,8)",
+        "throughput",
+        "p95",
+        "p99",
+        "batch-size histogram",
+        "modeled energy",
+        "uJ/image",
+    ):
+        assert needle in out, needle
+
+
+def test_serve_bench_baseline_comparison(capsys):
+    code = main([
+        "serve-bench", "--network", "lenet_small", "--precision", "fixed8",
+        "--requests", "32", "--workers", "2", "--max-batch", "8",
+        "--concurrency", "8", "--calibration", "32",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "batch=1 reference" in out
+    assert "dynamic batching speedup" in out
+
+
+def test_serve_bench_rejects_unknown_precision():
+    with pytest.raises(SystemExit):
+        main(["serve-bench", "--precision", "int3"])

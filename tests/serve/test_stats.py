@@ -1,0 +1,72 @@
+"""ServerStats accounting and report formatting."""
+
+import numpy as np
+
+from repro.serve import ServerStats, latency_percentiles
+
+
+def test_empty_snapshot_is_all_zero():
+    report = ServerStats().snapshot()
+    assert report.completed == 0
+    assert report.throughput_ips == 0.0
+    assert report.latency_ms_p99 == 0.0
+    assert report.energy_uj_total == 0.0
+    assert report.batch_histogram == {}
+    assert "(empty)" in report.format()
+
+
+def test_percentiles_and_energy_accumulate():
+    stats = ServerStats()
+    stats.record_submission()
+    for latency in range(1, 101):  # 1..100 ms
+        stats.record_completion(latency_ms=float(latency), queue_ms=0.5,
+                                energy_uj=2.0)
+    report = stats.snapshot()
+    assert report.completed == 100
+    assert report.latency_ms_p50 == np.percentile(np.arange(1.0, 101.0), 50)
+    assert report.latency_ms_p95 == np.percentile(np.arange(1.0, 101.0), 95)
+    assert report.latency_ms_p99 == np.percentile(np.arange(1.0, 101.0), 99)
+    assert report.latency_ms_max == 100.0
+    assert report.energy_uj_total == 200.0
+    assert report.energy_uj_per_image == 2.0
+    assert report.queue_ms_mean == 0.5
+
+
+def test_batch_histogram_and_mean():
+    stats = ServerStats()
+    stats.record_batch(1, queue_depth=0)
+    stats.record_batch(8, queue_depth=3)
+    stats.record_batch(8, queue_depth=9)
+    report = stats.snapshot()
+    assert report.batch_histogram == {1: 1, 8: 2}
+    assert report.mean_batch_size == (1 + 8 + 8) / 3
+    assert report.max_queue_depth == 9
+
+
+def test_rejections_and_failures_counted():
+    stats = ServerStats()
+    stats.record_rejection()
+    stats.record_failure(3)
+    report = stats.snapshot()
+    assert report.rejected == 1
+    assert report.failed == 3
+    assert "rejected 1" in report.format()
+
+
+def test_report_format_mentions_key_metrics():
+    stats = ServerStats()
+    stats.record_submission()
+    stats.record_batch(4, queue_depth=2)
+    stats.record_completion(latency_ms=3.0, queue_ms=1.0, energy_uj=1.5)
+    text = stats.snapshot().format()
+    for needle in ("throughput", "p50", "p95", "p99", "batch-size histogram",
+                   "modeled energy", "uJ"):
+        assert needle in text, needle
+
+
+def test_latency_percentiles_helper():
+    assert latency_percentiles([]) == (0.0, 0.0, 0.0)
+    p50, p95, p99 = latency_percentiles(list(range(1, 101)))
+    assert p50 == 50.5
+    assert p95 > p50
+    assert p99 > p95

@@ -7,7 +7,7 @@ import pytest
 import repro
 
 PACKAGES = ["repro", "repro.nn", "repro.core", "repro.data", "repro.hw",
-            "repro.zoo", "repro.experiments"]
+            "repro.zoo", "repro.experiments", "repro.serve"]
 
 
 def test_version_exposed():
