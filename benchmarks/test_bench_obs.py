@@ -1,0 +1,83 @@
+"""Observability overhead: tracing must be ~free when disabled.
+
+The instrumentation in ``Trainer.fit`` runs on every epoch of every
+sweep, so the disabled-tracer path has to stay negligible.  The check
+is deliberately noise-tolerant: measure the per-call cost of a
+disabled span directly, scale it by a generous overcount of the spans
+one ``fit`` actually opens, and require that total to stay under 2% of
+the measured fit wall time.
+"""
+
+import time
+
+import numpy as np
+
+from repro import nn, obs
+from repro.data import load_dataset
+from tests.conftest import make_tiny_cnn
+
+
+def _fit_once(epochs: int) -> float:
+    split = load_dataset("digits", n_train=200, n_test=50, seed=0)
+    network = make_tiny_cnn()
+    trainer = nn.Trainer(
+        network,
+        nn.SGD(network.parameters(), lr=0.01, momentum=0.9),
+        batch_size=32,
+        rng=np.random.default_rng(0),
+    )
+    start = time.perf_counter()
+    trainer.fit(
+        split.train.images, split.train.labels,
+        split.val.images, split.val.labels,
+        epochs=epochs,
+    )
+    return time.perf_counter() - start
+
+
+def test_noop_tracer_overhead_under_two_percent():
+    assert obs.get_tracer().enabled is False  # the shipped default
+
+    epochs = 2
+    fit_s = _fit_once(epochs)
+
+    tracer = obs.Tracer(enabled=False)
+    rounds = 10_000
+    start = time.perf_counter()
+    for _ in range(rounds):
+        with tracer.span("noop", epoch=0):
+            pass
+    per_span_s = (time.perf_counter() - start) / rounds
+
+    # fit opens 1 fit-span + one span per epoch; allow 100x that many
+    # (room for future per-batch instrumentation) and still demand <2%.
+    generous_span_count = 100 * (1 + epochs)
+    overhead = per_span_s * generous_span_count
+    assert overhead < 0.02 * fit_s, (
+        f"no-op span cost {per_span_s * 1e6:.2f} us x {generous_span_count} "
+        f"= {overhead * 1e3:.3f} ms vs fit {fit_s * 1e3:.1f} ms"
+    )
+
+
+def test_enabled_tracer_stays_cheap_per_span(benchmark):
+    tracer = obs.Tracer()
+
+    def one_span():
+        with tracer.span("bench", tag="x"):
+            pass
+
+    benchmark(one_span)
+    assert tracer.records("bench")
+
+
+def test_metrics_instruments_stay_cheap(benchmark):
+    registry = obs.MetricsRegistry()
+    counter = registry.counter("bench.hits")
+    histogram = registry.histogram("bench.ms")
+
+    def observe():
+        counter.inc()
+        histogram.observe(1.0)
+
+    benchmark(observe)
+    assert counter.value > 0

@@ -40,9 +40,16 @@ The package is organized as one subpackage per subsystem:
     micro-batching with backpressure, an LRU model store of calibrated
     frozen networks, and per-request modeled-energy accounting
     (``python -m repro serve-bench``).
+
+``repro.obs``
+    Observability: nested-span tracing, a process-wide metrics registry
+    (counters / gauges / windowed histograms), per-layer FLOP and
+    byte-traffic profiling, and JSONL / console sinks.  Wired through
+    the trainer, precision sweeps, the serving engine and the
+    experiment drivers (``python -m repro profile``).
 """
 
-from repro import serve
+from repro import obs, serve
 from repro.version import __version__
 
-__all__ = ["__version__", "serve"]
+__all__ = ["__version__", "obs", "serve"]

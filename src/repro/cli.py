@@ -17,6 +17,10 @@ Commands:
 ``serve-bench``
     Closed-loop load test of the batched inference server: throughput,
     latency percentiles, batch-size histogram and modeled energy.
+``profile``
+    Per-layer profile of quantized inference: forward time, FLOPs,
+    bytes moved through the accelerator buffers and weight
+    quantization RMS error for one (network, precision) point.
 
 Everything the CLI does is also available programmatically; the CLI
 exists so the common workflows are one command.
@@ -25,12 +29,14 @@ exists so the common workflows are one command.
 from __future__ import annotations
 
 import argparse
+import dataclasses
+import json
 import sys
 from typing import List, Optional
 
 import numpy as np
 
-from repro import core, hw, nn, serve
+from repro import core, hw, nn, obs, serve
 from repro.core.precision import PAPER_PRECISIONS
 from repro.data import load_dataset
 from repro.experiments.formatting import format_table
@@ -167,11 +173,12 @@ def cmd_serve_bench(args: argparse.Namespace) -> int:
     )
     servable = store.warm(args.network, args.precision)  # build outside timing
     spec = core.get_precision(args.precision)
-    print(
-        f"serving {args.network} at {spec.label}: "
-        f"{servable.memory_kb:.0f} KB footprint, "
-        f"{servable.energy_uj_per_image:.3f} uJ/image modeled"
-    )
+    if not args.json:
+        print(
+            f"serving {args.network} at {spec.label}: "
+            f"{servable.memory_kb:.0f} KB footprint, "
+            f"{servable.energy_uj_per_image:.3f} uJ/image modeled"
+        )
 
     def run(max_batch: int) -> serve.LoadResult:
         server = serve.InferenceServer(
@@ -192,6 +199,29 @@ def cmd_serve_bench(args: argparse.Namespace) -> int:
             )
 
     result = run(args.max_batch)
+    baseline = None
+    if not args.skip_baseline and args.max_batch > 1:
+        baseline = run(1)
+
+    if args.json:
+        payload = {
+            "network": args.network,
+            "precision": spec.key,
+            "requests": args.requests,
+            "concurrency": args.concurrency,
+            "workers": args.workers,
+            "max_batch": args.max_batch,
+            "memory_kb": float(servable.memory_kb),
+            "energy_uj_per_image": float(servable.energy_uj_per_image),
+            "report": dataclasses.asdict(result.report),
+            "retries": result.retries,
+            "client_errors": result.client_errors,
+        }
+        if baseline is not None:
+            payload["baseline_report"] = dataclasses.asdict(baseline.report)
+        print(json.dumps(payload, indent=2))
+        return 0 if result.client_errors == 0 else 1
+
     print()
     print(f"closed loop: {args.requests} requests, {args.concurrency} clients, "
           f"{args.workers} workers, max batch {args.max_batch}")
@@ -201,8 +231,7 @@ def cmd_serve_bench(args: argparse.Namespace) -> int:
     if result.client_errors:
         print(f"client errors           : {result.client_errors}")
 
-    if not args.skip_baseline and args.max_batch > 1:
-        baseline = run(1)
+    if baseline is not None:
         speedup = (
             result.report.throughput_ips / baseline.report.throughput_ips
             if baseline.report.throughput_ips > 0 else float("inf")
@@ -213,6 +242,62 @@ def cmd_serve_bench(args: argparse.Namespace) -> int:
               f"p95 {baseline.report.latency_ms_p95:.2f} ms")
         print(f"dynamic batching speedup: {speedup:.2f}x img/s vs max-batch=1")
     return 0 if result.client_errors == 0 else 1
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    info = network_info(args.network)
+    spec = core.PrecisionSpec.parse(args.precision)
+    limit = max(args.limit, 1)
+    # the loader carves ~10% (>=1 per class) of the test pool into the
+    # validation set, so over-request to keep `limit` test images
+    split = load_dataset(info.dataset, n_train=max(limit, 64),
+                         n_test=max(2 * limit, 40), seed=args.seed)
+    images = split.test.images[:limit]
+
+    network = build_network(args.network, seed=args.seed)
+    if args.weights:
+        nn.load_network_weights(network, args.weights)
+    qnet = core.QuantizedNetwork(network, spec)
+    qnet.calibrate(split.train.images[: args.calibration])
+    # RMS error must be measured while full-precision weights are
+    # resident, i.e. before the profiled (swapped) forward pass.
+    quant_errors = qnet.weight_quantization_errors()
+
+    profiler = obs.LayerProfiler(
+        qnet.pipeline,
+        weight_bits=spec.weight_bits,
+        activation_bits=spec.input_bits,
+        metrics=obs.get_metrics(),
+    )
+    with profiler:
+        logits = qnet.predict(images)
+    profiler.annotate(
+        "quant_rms",
+        {name.rsplit(".", 1)[0]: err for name, err in quant_errors.items()},
+    )
+
+    test_accuracy = nn.accuracy(logits, split.test.labels[:limit])
+    if args.json:
+        payload = {
+            "network": args.network,
+            "dataset": info.dataset,
+            "precision": spec.key,
+            "images": int(images.shape[0]),
+            "accuracy": float(test_accuracy),
+            "total_flops": profiler.total_flops(),
+            "total_bytes": profiler.total_bytes(),
+            "layers": [stats.as_dict() for stats in profiler.stats()],
+            "metrics": obs.get_metrics().snapshot(),
+        }
+        print(json.dumps(payload, indent=2))
+        return 0
+
+    print(f"profile: {args.network} on {info.dataset} at {spec.label}, "
+          f"{images.shape[0]} images "
+          f"(accuracy {100 * test_accuracy:.2f}%)")
+    print()
+    print(profiler.table())
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -277,7 +362,30 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--seed", type=int, default=0)
     bench.add_argument("--skip-baseline", action="store_true",
                        help="skip the max-batch=1 comparison run")
+    bench.add_argument("--json", action="store_true",
+                       help="emit the report as JSON instead of text")
     bench.set_defaults(func=cmd_serve_bench)
+
+    profile = sub.add_parser(
+        "profile",
+        help="per-layer time/FLOPs/bytes/quant-error profile",
+    )
+    profile.add_argument("--network", default="lenet_small",
+                         choices=sorted(NETWORK_BUILDERS))
+    profile.add_argument(
+        "--precision", default="fixed8",
+        help="precision key or spec string (e.g. fixed8, fixed:4:8)",
+    )
+    profile.add_argument("--limit", type=int, default=256,
+                         help="number of test images to run")
+    profile.add_argument("--calibration", type=int, default=64,
+                         help="images used to calibrate activation ranges")
+    profile.add_argument("--weights", default="",
+                         help="optional trained weights (.npz) to profile")
+    profile.add_argument("--seed", type=int, default=0)
+    profile.add_argument("--json", action="store_true",
+                         help="emit per-layer rows and metrics as JSON")
+    profile.set_defaults(func=cmd_profile)
     return parser
 
 

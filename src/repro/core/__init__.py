@@ -27,6 +27,7 @@ from repro.core.precision import (
     get_precision,
 )
 from repro.core.quantizers import IdentityQuantizer, Quantizer
+from repro.core.factory import make_quantizers
 from repro.core.fixed_point import FixedPointQuantizer
 from repro.core.power_of_two import PowerOfTwoQuantizer
 from repro.core.binary import BinaryQuantizer
@@ -76,6 +77,7 @@ __all__ = [
     "FakeQuantLayer",
     "QuantizedNetwork",
     "FrozenQuantizedNetwork",
+    "make_quantizers",
     "build_quantizers",
     "QATTrainer",
     "post_training_quantize",

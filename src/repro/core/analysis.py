@@ -24,7 +24,8 @@ from typing import Dict, List
 import numpy as np
 
 from repro.core.precision import PrecisionSpec
-from repro.core.quantized import QuantizedNetwork, build_quantizers
+from repro.core.factory import make_quantizers
+from repro.core.quantized import QuantizedNetwork
 from repro.nn.metrics import accuracy
 from repro.nn.network import Sequential
 
@@ -45,7 +46,7 @@ def quantization_report(
     network: Sequential, spec: PrecisionSpec
 ) -> List[TensorQuantizationStats]:
     """Static per-tensor error analysis for a precision point."""
-    weight_quantizer, _ = build_quantizers(spec)
+    weight_quantizer, _ = make_quantizers(spec)
     report: List[TensorQuantizationStats] = []
     for param in network.weight_parameters():
         data = param.data.astype(np.float64)
@@ -85,7 +86,7 @@ def layerwise_sensitivity(
     precision so the measurement isolates weight quantization.
     """
     baseline = accuracy(network.predict(images), labels)
-    weight_quantizer, _ = build_quantizers(spec)
+    weight_quantizer, _ = make_quantizers(spec)
     drops: Dict[str, float] = {}
     for param in network.weight_parameters():
         original = param.data.copy()

@@ -1,0 +1,58 @@
+"""Single quantizer-construction entry point.
+
+Quantizer selection used to be duplicated between
+``core.quantized.build_quantizers`` and ad-hoc call sites; this module
+is now the one place that maps a :class:`PrecisionSpec` (or any string
+:meth:`PrecisionSpec.parse` accepts) to the pair every consumer needs:
+
+* the **weight quantizer** — one shared instance, since weight
+  quantization is stateless per tensor, and
+* an **activation-quantizer factory** — a fresh quantizer per
+  insertion point, because each feature map tracks its own range and
+  radix point (the independent-radix-point refinement the paper's
+  future-work section motivates).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Tuple, Union
+
+from repro.core.binary import BinaryQuantizer
+from repro.core.fixed_point import FixedPointQuantizer
+from repro.core.power_of_two import PowerOfTwoQuantizer
+from repro.core.precision import PrecisionKind, PrecisionSpec
+from repro.core.quantizers import IdentityQuantizer, Quantizer
+from repro.errors import ConfigurationError
+
+__all__ = ["make_quantizers"]
+
+
+def make_quantizers(
+    spec: Union[PrecisionSpec, str],
+) -> Tuple[Quantizer, Callable[[], Quantizer]]:
+    """(weight quantizer, activation-quantizer factory) for ``spec``.
+
+    ``spec`` may be a :class:`PrecisionSpec` or any string
+    :meth:`PrecisionSpec.parse` understands (``"fixed8"``,
+    ``"fixed:4:8"``, ...).  This is the factory behind
+    :class:`~repro.core.quantized.QuantizedNetwork`,
+    :class:`~repro.core.mixed_precision.MixedPrecisionNetwork` and the
+    sensitivity analyses; the former ``build_quantizers`` name is a
+    deprecated alias.
+    """
+    spec = PrecisionSpec.parse(spec)
+    if spec.kind is PrecisionKind.FLOAT:
+        return IdentityQuantizer(32), lambda: IdentityQuantizer(32)
+    if spec.kind is PrecisionKind.FIXED:
+        return (
+            FixedPointQuantizer(spec.weight_bits),
+            lambda: FixedPointQuantizer(spec.input_bits),
+        )
+    if spec.kind is PrecisionKind.POW2:
+        return (
+            PowerOfTwoQuantizer(spec.weight_bits),
+            lambda: FixedPointQuantizer(spec.input_bits),
+        )
+    if spec.kind is PrecisionKind.BINARY:
+        return BinaryQuantizer(), lambda: FixedPointQuantizer(spec.input_bits)
+    raise ConfigurationError(f"unhandled precision kind {spec.kind}")

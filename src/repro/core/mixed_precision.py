@@ -24,7 +24,8 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.core.precision import PrecisionKind, PrecisionSpec
-from repro.core.quantized import QuantizedNetwork, build_quantizers
+from repro.core.factory import make_quantizers
+from repro.core.quantized import QuantizedNetwork
 from repro.core.quantizers import Quantizer
 from repro.errors import ConfigurationError
 from repro.nn.metrics import accuracy
@@ -74,7 +75,7 @@ class MixedPrecisionNetwork(QuantizedNetwork):
         self._per_param: Dict[int, Quantizer] = {}
         for param in network.weight_parameters():
             spec = assignment[param.name]
-            quantizer, _ = build_quantizers(spec)
+            quantizer, _ = make_quantizers(spec)
             self._per_param[id(param)] = quantizer
 
     def weight_quantizer_for(self, param: Parameter) -> Quantizer:

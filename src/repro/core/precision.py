@@ -8,8 +8,9 @@ map bit-width ``in`` — written ``(w, in)`` throughout the paper.
 from __future__ import annotations
 
 import enum
+import re
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict, List, Union
 
 from repro.errors import ConfigurationError
 
@@ -62,6 +63,70 @@ class PrecisionSpec:
 
     def __str__(self) -> str:
         return self.label
+
+    @classmethod
+    def parse(cls, text: Union[str, "PrecisionSpec"]) -> "PrecisionSpec":
+        """Parse a precision from its key or a ``kind:w:in`` string.
+
+        Accepted forms (all case-insensitive):
+
+        * registry keys — ``"fixed8"``, ``"pow2"``, ``"binary"``, ...
+        * explicit widths — ``"fixed:8:8"``, ``"fixed:4:8"``,
+          ``"pow2:6:16"``, ``"float:32"``; ``kind:w`` means ``w == in``
+          (for ``binary``, the single width names the *input* bits,
+          since binary weights are one bit by definition).
+        * compact novel widths — ``"fixed12"`` (not in the registry)
+          parses as ``fixed:12:12``.
+
+        Specs whose ``(kind, w, in)`` matches a registry entry come
+        back as that canonical entry, so
+        ``PrecisionSpec.parse("fixed:8:8") is get_precision("fixed8")``
+        and ``parse(spec.key)`` round-trips for every spec this method
+        produces.  A :class:`PrecisionSpec` input passes through.
+        """
+        if isinstance(text, PrecisionSpec):
+            return text
+        key = str(text).strip().lower()
+        if key in _REGISTRY:
+            return _REGISTRY[key]
+
+        kinds = {kind.value: kind for kind in PrecisionKind}
+        if ":" in key:
+            parts = key.split(":")
+            kind_name, bit_parts = parts[0], parts[1:]
+        else:
+            match = re.fullmatch(r"(float|fixed|pow2|binary)(\d+)", key)
+            if not match:
+                raise ConfigurationError(
+                    f"cannot parse precision {text!r}; expected a registry "
+                    f"key ({sorted(_REGISTRY)}), 'kind:w:in', or 'kindN'"
+                )
+            kind_name, bit_parts = match.group(1), [match.group(2)]
+        if kind_name not in kinds or not 1 <= len(bit_parts) <= 2:
+            raise ConfigurationError(
+                f"cannot parse precision {text!r}; expected 'kind:w:in' with "
+                f"kind in {sorted(kinds)}"
+            )
+        try:
+            bits = [int(part) for part in bit_parts]
+        except ValueError:
+            raise ConfigurationError(
+                f"cannot parse precision {text!r}: bit widths must be integers"
+            ) from None
+        kind = kinds[kind_name]
+        if kind is PrecisionKind.BINARY and len(bits) == 1:
+            weight_bits, input_bits = 1, bits[0]
+        elif len(bits) == 1:
+            weight_bits = input_bits = bits[0]
+        else:
+            weight_bits, input_bits = bits
+        for spec in _REGISTRY.values():
+            if (spec.kind, spec.weight_bits, spec.input_bits) == (
+                kind, weight_bits, input_bits,
+            ):
+                return spec
+        return cls(kind, weight_bits, input_bits,
+                   key=f"{kind.value}:{weight_bits}:{input_bits}")
 
 
 def _registry() -> Dict[str, PrecisionSpec]:

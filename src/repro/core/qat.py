@@ -26,6 +26,7 @@ from repro.core.quantized import QuantizedNetwork
 from repro.nn.losses import Loss
 from repro.nn.optim import SGD
 from repro.nn.trainer import Trainer
+from repro.obs.metrics import get_metrics
 
 
 class QATTrainer(Trainer):
@@ -38,6 +39,11 @@ class QATTrainer(Trainer):
         qnet.calibrate(train_images[:256])
         optimizer = SGD(net.parameters(), lr=0.01, momentum=0.9)
         QATTrainer(qnet, optimizer).fit(...)
+
+    With ``track_quant_error`` (default on), every evaluation also
+    publishes the current per-layer weight quantization RMS error to
+    the shared metrics registry as ``qat.weight_rms.<param>`` gauges —
+    the per-layer error trajectory of quantization-aware training.
     """
 
     def __init__(
@@ -48,8 +54,10 @@ class QATTrainer(Trainer):
         batch_size: int = 32,
         rng: Optional[np.random.Generator] = None,
         restore_best: bool = False,
+        track_quant_error: bool = True,
     ):
         self.qnet = quantized_network
+        self.track_quant_error = track_quant_error
         super().__init__(
             network=quantized_network.pipeline,
             optimizer=optimizer,
@@ -63,6 +71,12 @@ class QATTrainer(Trainer):
 
     def evaluate(self, x: np.ndarray, y: np.ndarray):
         """Evaluate with quantized weights (unlike the base trainer)."""
+        if self.track_quant_error:
+            # Measured against the resident full-precision shadows, so
+            # it must happen before the quantized swap below.
+            metrics = get_metrics()
+            for name, error in self.qnet.weight_quantization_errors().items():
+                metrics.gauge(f"qat.weight_rms.{name}").set(error)
         with self.qnet.quantized_weights():
             return super().evaluate(x, y)
 

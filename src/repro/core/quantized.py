@@ -19,47 +19,43 @@ from __future__ import annotations
 
 import contextlib
 import threading
-from typing import Callable, Dict, List, Optional, Tuple
+import time
+import warnings
+from typing import Callable, Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
-from repro.core.binary import BinaryQuantizer
+from repro.core.factory import make_quantizers
 from repro.core.fake_quant import FakeQuantLayer
 from repro.core.fixed_point import FixedPointQuantizer
-from repro.core.power_of_two import PowerOfTwoQuantizer
-from repro.core.precision import PrecisionKind, PrecisionSpec
+from repro.core.precision import PrecisionSpec
 from repro.core.quantizers import IdentityQuantizer, Quantizer
 from repro.errors import ConfigurationError
 from repro.nn.dense import Flatten
+from repro.nn.evaluation import EvalResult
 from repro.nn.metrics import accuracy
 from repro.nn.module import Module
 from repro.nn.network import Sequential
 from repro.nn.pooling import MaxPool2D
 from repro.nn.tensor import Parameter
 
+_BUILD_QUANTIZERS_WARNED = False
+
 
 def build_quantizers(spec: PrecisionSpec) -> Tuple[Quantizer, Callable[[], Quantizer]]:
-    """(weight quantizer, activation-quantizer factory) for a spec.
+    """Deprecated alias for :func:`repro.core.factory.make_quantizers`.
 
-    The activation side is a factory because every insertion point needs
-    its own quantizer/tracker pair (independent radix point per feature
-    map, as the paper's future-work section motivates).
+    Kept so existing imports keep working; warns once per process.
     """
-    if spec.kind is PrecisionKind.FLOAT:
-        return IdentityQuantizer(32), lambda: IdentityQuantizer(32)
-    if spec.kind is PrecisionKind.FIXED:
-        return (
-            FixedPointQuantizer(spec.weight_bits),
-            lambda: FixedPointQuantizer(spec.input_bits),
+    global _BUILD_QUANTIZERS_WARNED
+    if not _BUILD_QUANTIZERS_WARNED:
+        _BUILD_QUANTIZERS_WARNED = True
+        warnings.warn(
+            "build_quantizers is deprecated; use repro.core.make_quantizers",
+            DeprecationWarning,
+            stacklevel=2,
         )
-    if spec.kind is PrecisionKind.POW2:
-        return (
-            PowerOfTwoQuantizer(spec.weight_bits),
-            lambda: FixedPointQuantizer(spec.input_bits),
-        )
-    if spec.kind is PrecisionKind.BINARY:
-        return BinaryQuantizer(), lambda: FixedPointQuantizer(spec.input_bits)
-    raise ConfigurationError(f"unhandled precision kind {spec.kind}")
+    return make_quantizers(spec)
 
 
 def _needs_activation_quant(layer: Module) -> bool:
@@ -76,26 +72,30 @@ class QuantizedNetwork:
         network: the underlying :class:`Sequential`; its parameters are
             shared (the wrapper never copies weights — the shadow
             full-precision values live in the network itself).
-        spec: the precision point to emulate.
+        spec: the precision point to emulate — a :class:`PrecisionSpec`
+            or any string :meth:`PrecisionSpec.parse` accepts
+            (``"fixed8"``, ``"fixed:4:8"``, ...).
         quantize_bias: quantize bias vectors at the *input* precision
             (the accumulator width); the paper keeps biases at the wider
             input precision rather than the weight precision.
         weight_quantizer / activation_factory: override the quantizers
             the spec would select (used by the radix-placement ablation
-            benchmarks); ``None`` uses :func:`build_quantizers`.
+            benchmarks); ``None`` uses
+            :func:`repro.core.make_quantizers`.
     """
 
     def __init__(
         self,
         network: Sequential,
-        spec: PrecisionSpec,
+        spec: Union[PrecisionSpec, str],
         quantize_bias: bool = True,
         weight_quantizer: Optional[Quantizer] = None,
         activation_factory: Optional[Callable[[], Quantizer]] = None,
     ):
+        spec = PrecisionSpec.parse(spec)
         self.network = network
         self.spec = spec
-        default_weight, default_factory = build_quantizers(spec)
+        default_weight, default_factory = make_quantizers(spec)
         self.weight_quantizer = weight_quantizer or default_weight
         activation_factory = activation_factory or default_factory
         self.bias_quantizer: Quantizer = (
@@ -219,9 +219,35 @@ class QuantizedNetwork:
         with self.quantized_weights():
             return self.pipeline.predict(images, batch_size=batch_size)
 
-    def evaluate(self, images: np.ndarray, labels: np.ndarray) -> float:
-        """Quantized test accuracy in [0, 1]."""
-        return accuracy(self.predict(images), labels)
+    def evaluate(self, images: np.ndarray, labels: np.ndarray) -> EvalResult:
+        """Quantized test accuracy as an :class:`EvalResult`.
+
+        The result compares and formats like the accuracy float this
+        method used to return; ``float(result)`` still works but warns.
+        """
+        start = time.perf_counter()
+        acc = accuracy(self.predict(images), labels)
+        return EvalResult(
+            acc,
+            n_samples=int(len(labels)),
+            elapsed_s=time.perf_counter() - start,
+        )
+
+    def weight_quantization_errors(self) -> Dict[str, float]:
+        """Per-weight-tensor RMS quantization error at this precision.
+
+        Keys are parameter names (``"conv1.weight"``).  Must be called
+        while the full-precision values are resident (i.e. not inside
+        ``quantized_weights()`` and not while frozen), otherwise the
+        error is measured against already-quantized values and reads
+        as ~0.
+        """
+        return {
+            param.name: float(
+                self.weight_quantizer_for(param).quantization_error(param.data)
+            )
+            for param in self._weight_params
+        }
 
     # ------------------------------------------------------------------
     def quantized_state(self) -> Dict[str, np.ndarray]:
@@ -289,9 +315,15 @@ class FrozenQuantizedNetwork:
             axis=0,
         )
 
-    def evaluate(self, images: np.ndarray, labels: np.ndarray) -> float:
-        """Quantized test accuracy in [0, 1]."""
-        return accuracy(self.predict(images), labels)
+    def evaluate(self, images: np.ndarray, labels: np.ndarray) -> EvalResult:
+        """Quantized test accuracy as an :class:`EvalResult` (thread-safe)."""
+        start = time.perf_counter()
+        acc = accuracy(self.predict(images), labels)
+        return EvalResult(
+            acc,
+            n_samples=int(len(labels)),
+            elapsed_s=time.perf_counter() - start,
+        )
 
     def thaw(self) -> QuantizedNetwork:
         """Restore full-precision weights and invalidate this view."""

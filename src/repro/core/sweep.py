@@ -11,11 +11,13 @@ comparing the final accuracy against chance level.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
 from repro.core.precision import PAPER_PRECISIONS, PrecisionSpec
+from repro.obs.metrics import get_metrics
+from repro.obs.tracer import get_tracer
 from repro.core.qat import QATTrainer
 from repro.core.quantized import QuantizedNetwork
 from repro.data.dataset import DataSplit
@@ -137,8 +139,25 @@ class PrecisionSweep:
         )
         return self._float_result
 
-    def run_precision(self, spec: PrecisionSpec) -> PrecisionResult:
-        """Warm-start + QAT fine-tune + quantized evaluation for ``spec``."""
+    def run_precision(self, spec: Union[PrecisionSpec, str]) -> PrecisionResult:
+        """Warm-start + QAT fine-tune + quantized evaluation for ``spec``.
+
+        ``spec`` may be a :class:`PrecisionSpec` or any string
+        :meth:`PrecisionSpec.parse` accepts.  The whole point runs
+        inside a ``sweep.precision`` span tagged with the spec's key,
+        and the outcome lands in the shared metrics registry as
+        ``sweep.accuracy.<key>`` / ``sweep.converged.<key>`` gauges.
+        """
+        spec = PrecisionSpec.parse(spec)
+        with get_tracer().span("sweep.precision", spec=spec.key):
+            result = self._run_precision(spec)
+        metrics = get_metrics()
+        metrics.counter("sweep.precisions").inc()
+        metrics.gauge(f"sweep.accuracy.{spec.key}").set(result.accuracy)
+        metrics.gauge(f"sweep.converged.{spec.key}").set(float(result.converged))
+        return result
+
+    def _run_precision(self, spec: PrecisionSpec) -> PrecisionResult:
         baseline = self.train_float_baseline()
         if spec.is_float:
             return baseline
@@ -171,7 +190,9 @@ class PrecisionSweep:
                 # as non-convergent, like the paper's NA entries.
                 return PrecisionResult(spec=spec, accuracy=0.0, converged=False)
 
-        accuracy = qnet.evaluate(self.split.test.images, self.split.test.labels)
+        accuracy = qnet.evaluate(
+            self.split.test.images, self.split.test.labels
+        ).accuracy
         converged = accuracy >= cfg.convergence_factor * self.chance_accuracy
         return PrecisionResult(
             spec=spec, accuracy=accuracy, converged=converged, history=history

@@ -15,10 +15,13 @@ from __future__ import annotations
 
 import argparse
 import sys
+import time
 
 from repro.experiments import fig3, fig4, memory, table3, table4, table5
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.runner import SweepRunner
+from repro.obs.metrics import get_metrics
+from repro.obs.tracer import get_tracer
 
 HARDWARE_ONLY = {
     "table3": lambda runner: table3.format_results(table3.run()),
@@ -50,12 +53,20 @@ def main(argv=None) -> int:
     runner = SweepRunner(config)
 
     names = sorted(ALL) if args.experiment == "all" else [args.experiment]
+    metrics = get_metrics()
     for name in names:
         if name in TRAINED:
             print(f"[{name}] training sweeps ({config.mode} mode)...",
                   file=sys.stderr)
-        print(ALL[name](runner))
+        started = time.perf_counter()
+        with get_tracer().span("experiment", table=name):
+            output = ALL[name](runner)
+        elapsed = time.perf_counter() - started
+        metrics.gauge(f"experiments.{name}.elapsed_s").set(elapsed)
+        metrics.histogram("experiments.table_s").observe(elapsed)
+        print(output)
         print()
+        print(f"[{name}] done in {elapsed:.1f} s", file=sys.stderr)
     return 0
 
 

@@ -15,6 +15,7 @@ from repro.core.sweep import PrecisionResult, PrecisionSweep
 from repro.data.registry import load_dataset
 from repro.experiments.config import ExperimentConfig
 from repro.hw.energy import EnergyModel, EnergyReport
+from repro.obs.tracer import get_tracer
 from repro.zoo.registry import build_network, network_info
 
 #: paper dataset -> paper network name(s)
@@ -85,7 +86,10 @@ class SweepRunner:
         if key not in self._results:
             dataset = network_info(paper_network).dataset
             sweep = self._sweep_for(trained, dataset)
-            self._results[key] = sweep.run_precision(spec)
+            with get_tracer().span(
+                "runner.accuracy", network=trained, spec=spec.key
+            ):
+                self._results[key] = sweep.run_precision(spec)
         return self._results[key]
 
     def energy_report(self, paper_network: str, spec: PrecisionSpec) -> EnergyReport:

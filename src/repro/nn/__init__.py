@@ -29,6 +29,7 @@ from repro.nn.dropout import Dropout
 from repro.nn.network import Sequential
 from repro.nn.optim import SGD, ConstantSchedule, ExponentialDecay, LRSchedule, StepDecay
 from repro.nn.adam import Adam
+from repro.nn.evaluation import EvalResult
 from repro.nn.trainer import EarlyStopping, Trainer, TrainingHistory
 from repro.nn.metrics import accuracy, confusion_matrix, top_k_accuracy
 from repro.nn.serialization import (
@@ -67,6 +68,7 @@ __all__ = [
     "Trainer",
     "TrainingHistory",
     "EarlyStopping",
+    "EvalResult",
     "accuracy",
     "top_k_accuracy",
     "confusion_matrix",

@@ -1,0 +1,93 @@
+"""Structured evaluation results.
+
+Historically ``Trainer.evaluate`` returned a dict while
+``QuantizedNetwork.evaluate`` returned a bare accuracy float, so every
+caller had to know which shape it was holding.  :class:`EvalResult`
+unifies them: it *is* the accuracy (a ``float`` subclass, so
+comparisons, arithmetic and formatting at old call sites keep working)
+and it is also a small mapping carrying ``accuracy``, ``loss``,
+``n_samples`` and ``elapsed_s``.
+
+Explicitly converting with ``float(result)`` — the old bare-float
+protocol — still works but emits a one-time :class:`DeprecationWarning`
+pointing at ``result.accuracy``.
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import Dict, Iterator, Tuple
+
+__all__ = ["EvalResult"]
+
+_FLOAT_DEPRECATION_WARNED = False
+
+
+class EvalResult(float):
+    """Evaluation outcome: an accuracy float with attached metrics.
+
+    Attributes:
+        accuracy: fraction correct in [0, 1] (== the float value).
+        loss: dataset loss (``nan`` when the evaluator has no loss).
+        n_samples: number of evaluated examples.
+        elapsed_s: wall-clock evaluation time.
+    """
+
+    _FIELDS: Tuple[str, ...] = ("accuracy", "loss", "n_samples", "elapsed_s")
+
+    def __new__(
+        cls,
+        accuracy: float,
+        loss: float = float("nan"),
+        n_samples: int = 0,
+        elapsed_s: float = 0.0,
+    ) -> "EvalResult":
+        self = super().__new__(cls, accuracy)
+        self.accuracy = float(accuracy)
+        self.loss = float(loss)
+        self.n_samples = int(n_samples)
+        self.elapsed_s = float(elapsed_s)
+        return self
+
+    # ------------------------------------------------------------------
+    # Mapping protocol (read-only)
+    # ------------------------------------------------------------------
+    def __getitem__(self, key: str) -> float:
+        if key in self._FIELDS:
+            return getattr(self, key)
+        raise KeyError(key)
+
+    def keys(self) -> Tuple[str, ...]:
+        return self._FIELDS
+
+    def items(self) -> Iterator[Tuple[str, float]]:
+        return ((key, getattr(self, key)) for key in self._FIELDS)
+
+    def get(self, key: str, default=None):
+        return getattr(self, key) if key in self._FIELDS else default
+
+    def __contains__(self, key: object) -> bool:
+        return key in self._FIELDS
+
+    def as_dict(self) -> Dict[str, float]:
+        return {key: getattr(self, key) for key in self._FIELDS}
+
+    # ------------------------------------------------------------------
+    def __float__(self) -> float:
+        global _FLOAT_DEPRECATION_WARNED
+        if not _FLOAT_DEPRECATION_WARNED:
+            _FLOAT_DEPRECATION_WARNED = True
+            warnings.warn(
+                "treating an EvalResult as a bare float via float() is "
+                "deprecated; read result.accuracy (or result['accuracy']) "
+                "instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+        return self.accuracy
+
+    def __repr__(self) -> str:
+        return (
+            f"EvalResult(accuracy={self.accuracy:.4f}, loss={self.loss:.4f}, "
+            f"n_samples={self.n_samples}, elapsed_s={self.elapsed_s:.4f})"
+        )

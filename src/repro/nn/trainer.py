@@ -9,16 +9,20 @@ dual-weight-set technique of Courbariaux et al. adopted by the paper.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Callable, List, Optional
 
 import numpy as np
 
 from repro.errors import ConfigurationError, TrainingError
+from repro.nn.evaluation import EvalResult
 from repro.nn.losses import Loss, SoftmaxCrossEntropy
 from repro.nn.metrics import accuracy
 from repro.nn.network import Sequential
 from repro.nn.optim import SGD
+from repro.obs.metrics import get_metrics
+from repro.obs.tracer import get_tracer
 
 
 @dataclass
@@ -125,11 +129,22 @@ class Trainer:
         self.optimizer.step()
         return loss_value
 
-    def evaluate(self, x: np.ndarray, y: np.ndarray) -> Dict[str, float]:
-        """Loss and accuracy over a dataset in eval mode."""
+    def evaluate(self, x: np.ndarray, y: np.ndarray) -> EvalResult:
+        """Loss and accuracy over a dataset in eval mode.
+
+        Returns an :class:`EvalResult` — indexable like the dict this
+        method used to return (``result["accuracy"]``) and usable as
+        the accuracy float directly.
+        """
+        start = time.perf_counter()
         logits = self.network.predict(x, batch_size=max(self.batch_size, 64))
         loss_value, _ = self.loss.compute(logits, y)
-        return {"loss": loss_value, "accuracy": accuracy(logits, y)}
+        return EvalResult(
+            accuracy(logits, y),
+            loss=loss_value,
+            n_samples=int(len(y)),
+            elapsed_s=time.perf_counter() - start,
+        )
 
     def fit(
         self,
@@ -141,50 +156,72 @@ class Trainer:
         early_stopping: Optional[EarlyStopping] = None,
         verbose: bool = False,
     ) -> TrainingHistory:
-        """Train for up to ``epochs`` epochs, shuffling every epoch."""
+        """Train for up to ``epochs`` epochs, shuffling every epoch.
+
+        Each epoch runs inside a ``trainer.epoch`` span (under one
+        ``trainer.fit`` span) on the default tracer and feeds the shared
+        metrics registry: ``trainer.epochs`` (counter),
+        ``trainer.epoch_s`` (histogram), ``trainer.train_loss`` /
+        ``trainer.train_accuracy`` / ``trainer.val_accuracy`` /
+        ``trainer.throughput_sps`` (gauges).
+        """
         if train_x.shape[0] != len(train_y):
             raise ConfigurationError("train_x and train_y lengths differ")
         n = train_x.shape[0]
         best_accuracy = -np.inf
         best_state: Optional[List[np.ndarray]] = None
-        for epoch in range(epochs):
-            self.optimizer.set_epoch(epoch)
-            self.network.train_mode()
-            order = self.rng.permutation(n)
-            epoch_loss = 0.0
-            batches = 0
-            for start in range(0, n, self.batch_size):
-                idx = order[start : start + self.batch_size]
-                epoch_loss += self.train_step(train_x[idx], train_y[idx])
-                batches += 1
-            train_metrics = self.evaluate(train_x, train_y)
-            if val_x is not None and val_y is not None:
-                val_metrics = self.evaluate(val_x, val_y)
-            else:
-                val_metrics = {"loss": float("nan"), "accuracy": float("nan")}
-            self.history.record(
-                epoch_loss / max(batches, 1),
-                train_metrics["accuracy"],
-                val_metrics["loss"],
-                val_metrics["accuracy"],
-            )
-            if verbose:  # pragma: no cover - console output
-                print(
-                    f"epoch {epoch + 1}/{epochs} "
-                    f"loss={self.history.train_loss[-1]:.4f} "
-                    f"train_acc={train_metrics['accuracy']:.4f} "
-                    f"val_acc={val_metrics['accuracy']:.4f}"
+        tracer = get_tracer()
+        metrics = get_metrics()
+        with tracer.span("trainer.fit", network=self.network.name, epochs=epochs):
+            for epoch in range(epochs):
+                epoch_start = time.perf_counter()
+                with tracer.span("trainer.epoch", epoch=epoch):
+                    self.optimizer.set_epoch(epoch)
+                    self.network.train_mode()
+                    order = self.rng.permutation(n)
+                    epoch_loss = 0.0
+                    batches = 0
+                    for start in range(0, n, self.batch_size):
+                        idx = order[start : start + self.batch_size]
+                        epoch_loss += self.train_step(train_x[idx], train_y[idx])
+                        batches += 1
+                    train_metrics = self.evaluate(train_x, train_y)
+                    if val_x is not None and val_y is not None:
+                        val_metrics = self.evaluate(val_x, val_y)
+                    else:
+                        val_metrics = EvalResult(float("nan"))
+                self.history.record(
+                    epoch_loss / max(batches, 1),
+                    train_metrics["accuracy"],
+                    val_metrics["loss"],
+                    val_metrics["accuracy"],
                 )
-            if (
-                self.restore_best
-                and not np.isnan(val_metrics["accuracy"])
-                and val_metrics["accuracy"] > best_accuracy
-            ):
-                best_accuracy = val_metrics["accuracy"]
-                best_state = [p.data.copy() for p in self.network.parameters()]
-            if early_stopping is not None and not np.isnan(val_metrics["accuracy"]):
-                if early_stopping.update(val_metrics["accuracy"]):
-                    break
+                epoch_s = time.perf_counter() - epoch_start
+                metrics.counter("trainer.epochs").inc()
+                metrics.histogram("trainer.epoch_s").observe(epoch_s)
+                metrics.gauge("trainer.train_loss").set(self.history.train_loss[-1])
+                metrics.gauge("trainer.train_accuracy").set(train_metrics["accuracy"])
+                if epoch_s > 0:
+                    metrics.gauge("trainer.throughput_sps").set(n / epoch_s)
+                if not np.isnan(val_metrics["accuracy"]):
+                    metrics.gauge("trainer.val_accuracy").set(val_metrics["accuracy"])
+                if verbose:  # pragma: no cover - console output
+                    print(
+                        f"epoch {epoch + 1}/{epochs} "
+                        f"loss={self.history.train_loss[-1]:.4f} "
+                        f"train_acc={train_metrics['accuracy']:.4f} "
+                        f"val_acc={val_metrics['accuracy']:.4f}"
+                    )
+                if (
+                    self.restore_best
+                    and not np.isnan(val_metrics["accuracy"])
+                    and val_metrics["accuracy"] > best_accuracy
+                ):
+                    best_accuracy = val_metrics["accuracy"]
+                    best_state = [p.data.copy() for p in self.network.parameters()]
+                if early_stopping is not None and not np.isnan(val_metrics["accuracy"]):
+                    if early_stopping.update(val_metrics["accuracy"]):
+                        break
         if best_state is not None:
             for param, values in zip(self.network.parameters(), best_state):
                 param.data[...] = values

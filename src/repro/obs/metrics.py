@@ -1,0 +1,216 @@
+"""Counters, gauges and windowed histograms behind one registry.
+
+Every instrument lives in a :class:`MetricsRegistry` and the whole
+registry serializes to one plain dict via :meth:`MetricsRegistry.
+snapshot` — the same ``snapshot() -> dict`` contract
+:class:`repro.serve.ServerStats` follows, so dashboards and tests can
+consume trainer, sweep and serving metrics uniformly.
+
+Instruments are cheap and thread-safe: counters and gauges are a
+single locked update; histograms keep a bounded window of recent
+observations (plus running totals over *all* observations) and compute
+p50/p95/p99 only when a snapshot is taken.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Deque, Dict, Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "get_metrics",
+    "set_metrics",
+]
+
+
+class Counter:
+    """Monotonically increasing value (accepts float increments)."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: float = 1.0) -> None:
+        amount = float(amount)
+        if amount < 0:
+            raise ConfigurationError(f"counter {self.name!r} cannot decrease")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def snapshot(self) -> float:
+        return self._value
+
+
+class Gauge:
+    """Last-written value (e.g. current loss, queue depth)."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self._value = float("nan")
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def add(self, delta: float) -> None:
+        with self._lock:
+            current = 0.0 if np.isnan(self._value) else self._value
+            self._value = current + delta
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def snapshot(self) -> float:
+        return self._value
+
+
+class Histogram:
+    """Windowed distribution with p50/p95/p99 on demand.
+
+    The window holds the most recent ``window`` observations; ``count``
+    and ``sum`` keep running totals over everything ever observed, so
+    throughput math stays exact even after the window rolls.
+    """
+
+    def __init__(self, name: str, window: int = 2048):
+        if window < 1:
+            raise ConfigurationError("histogram window must be >= 1")
+        self.name = name
+        self.window = window
+        self._values: Deque[float] = deque(maxlen=window)
+        self._count = 0
+        self._sum = 0.0
+        self._min = float("inf")
+        self._max = float("-inf")
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        with self._lock:
+            self._values.append(value)
+            self._count += 1
+            self._sum += value
+            self._min = min(self._min, value)
+            self._max = max(self._max, value)
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    def snapshot(self) -> Dict[str, float]:
+        with self._lock:
+            values = np.asarray(self._values, dtype=np.float64)
+            count, total = self._count, self._sum
+            low, high = self._min, self._max
+        if count == 0:
+            return {"count": 0, "sum": 0.0, "mean": 0.0, "min": 0.0,
+                    "max": 0.0, "p50": 0.0, "p95": 0.0, "p99": 0.0}
+        p50, p95, p99 = (float(np.percentile(values, p)) for p in (50, 95, 99))
+        return {
+            "count": count,
+            "sum": total,
+            "mean": total / count,
+            "min": low,
+            "max": high,
+            "p50": p50,
+            "p95": p95,
+            "p99": p99,
+        }
+
+
+class MetricsRegistry:
+    """Named instruments with uniform creation and snapshotting.
+
+    ``counter`` / ``gauge`` / ``histogram`` get-or-create, so call
+    sites never need to pre-register::
+
+        registry.counter("trainer.epochs").inc()
+        registry.histogram("serve.latency_ms").observe(3.2)
+        registry.snapshot()["histograms"]["serve.latency_ms"]["p95"]
+    """
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    def counter(self, name: str) -> Counter:
+        with self._lock:
+            instrument = self._counters.get(name)
+            if instrument is None:
+                instrument = self._counters[name] = Counter(name)
+            return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        with self._lock:
+            instrument = self._gauges.get(name)
+            if instrument is None:
+                instrument = self._gauges[name] = Gauge(name)
+            return instrument
+
+    def histogram(self, name: str, window: int = 2048) -> Histogram:
+        with self._lock:
+            instrument = self._histograms.get(name)
+            if instrument is None:
+                instrument = self._histograms[name] = Histogram(name, window=window)
+            return instrument
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        """Point-in-time dict of every instrument's state."""
+        with self._lock:
+            counters = dict(self._counters)
+            gauges = dict(self._gauges)
+            histograms = dict(self._histograms)
+        return {
+            "counters": {name: c.snapshot() for name, c in counters.items()},
+            "gauges": {name: g.snapshot() for name, g in gauges.items()},
+            "histograms": {name: h.snapshot() for name, h in histograms.items()},
+        }
+
+    def reset(self) -> None:
+        """Drop every instrument (names are re-created on next use)."""
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"MetricsRegistry({len(self._counters)} counters, "
+            f"{len(self._gauges)} gauges, {len(self._histograms)} histograms)"
+        )
+
+
+_DEFAULT_METRICS = MetricsRegistry()
+
+
+def get_metrics() -> MetricsRegistry:
+    """The process-wide shared registry (trainer/sweep/serve default)."""
+    return _DEFAULT_METRICS
+
+
+def set_metrics(registry: MetricsRegistry) -> MetricsRegistry:
+    """Replace the process-wide registry; returns the previous one."""
+    global _DEFAULT_METRICS
+    previous = _DEFAULT_METRICS
+    _DEFAULT_METRICS = registry
+    return previous

@@ -1,0 +1,128 @@
+"""Pluggable event sinks for the tracer.
+
+A sink is anything with an ``emit(event: dict)`` method.  Two concrete
+sinks cover the common cases:
+
+``JsonlSink``
+    Appends one JSON object per event to a file — the structured trace
+    a notebook or external dashboard can replay.
+
+``ConsoleTableSink``
+    Buffers events and renders them as an aligned text table on
+    ``flush()`` — quick human inspection from scripts and the CLI.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from typing import Dict, List, Optional, Sequence, TextIO
+
+__all__ = ["Sink", "JsonlSink", "ConsoleTableSink"]
+
+
+class Sink:
+    """Base class: receives one flat dict per finished span."""
+
+    def emit(self, event: Dict[str, object]) -> None:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release any resources; further emits are undefined."""
+
+
+class JsonlSink(Sink):
+    """Append events as JSON lines to ``path`` (created on first emit).
+
+    Writes are line-buffered under a lock so concurrent worker threads
+    never interleave partial lines.
+    """
+
+    def __init__(self, path: str):
+        self.path = path
+        self._lock = threading.Lock()
+        self._handle: Optional[TextIO] = None
+        self.emitted = 0
+
+    def emit(self, event: Dict[str, object]) -> None:
+        line = json.dumps(event, sort_keys=True, default=str)
+        with self._lock:
+            if self._handle is None:
+                self._handle = open(self.path, "a")
+            self._handle.write(line + "\n")
+            self._handle.flush()
+            self.emitted += 1
+
+    def close(self) -> None:
+        with self._lock:
+            if self._handle is not None:
+                self._handle.close()
+                self._handle = None
+
+    def __enter__(self) -> "JsonlSink":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+class ConsoleTableSink(Sink):
+    """Buffer events; ``flush()`` prints them as an aligned table.
+
+    Args:
+        columns: event keys shown as columns (missing keys render
+            empty).  Defaults to the span fields most worth scanning.
+        stream: optional file-like target; defaults to stdout at flush
+            time (so pytest capture and CLI redirection both work).
+    """
+
+    DEFAULT_COLUMNS = ("name", "duration_s", "depth", "parent", "thread")
+
+    def __init__(self, columns: Sequence[str] = DEFAULT_COLUMNS,
+                 stream: Optional[TextIO] = None):
+        self.columns = list(columns)
+        self.stream = stream
+        self._events: List[Dict[str, object]] = []
+        self._lock = threading.Lock()
+
+    def emit(self, event: Dict[str, object]) -> None:
+        with self._lock:
+            self._events.append(dict(event))
+
+    def events(self) -> List[Dict[str, object]]:
+        with self._lock:
+            return list(self._events)
+
+    def render(self) -> str:
+        """The buffered events as one aligned text table."""
+        rows = []
+        for event in self.events():
+            row = []
+            for column in self.columns:
+                value = event.get(column, "")
+                if isinstance(value, float):
+                    row.append(f"{value:.6f}")
+                else:
+                    row.append("" if value is None else str(value))
+            rows.append(row)
+        widths = [
+            max([len(column)] + [len(row[i]) for row in rows])
+            for i, column in enumerate(self.columns)
+        ]
+        header = "  ".join(c.ljust(widths[i]) for i, c in enumerate(self.columns))
+        rule = "  ".join("-" * w for w in widths)
+        body = [
+            "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row))
+            for row in rows
+        ]
+        return "\n".join([header, rule] + body)
+
+    def flush(self) -> None:
+        """Print the table and clear the buffer."""
+        import sys
+
+        text = self.render()
+        target = self.stream or sys.stdout
+        print(text, file=target)
+        with self._lock:
+            self._events.clear()

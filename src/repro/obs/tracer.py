@@ -1,0 +1,228 @@
+"""Nested span tracing with monotonic wall-clock timing.
+
+A :class:`Tracer` hands out span context managers::
+
+    tracer = Tracer()
+    with tracer.span("sweep.precision", spec="fixed8"):
+        with tracer.span("trainer.fit"):
+            ...
+
+Every finished span becomes an immutable :class:`SpanRecord` carrying
+its name, tags, start time, duration, nesting depth and parent span
+name.  Nesting is tracked per thread (a thread-local stack), so worker
+threads can trace concurrently without seeing each other's stacks,
+while the finished-record list itself is guarded by a lock.
+
+Disabled tracers are free: :meth:`Tracer.span` returns one shared
+no-op context-manager singleton, so the hot path costs a single
+attribute check and no allocation.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+__all__ = [
+    "SpanRecord",
+    "Tracer",
+    "get_tracer",
+    "set_tracer",
+]
+
+
+@dataclass(frozen=True)
+class SpanRecord:
+    """One completed span."""
+
+    name: str
+    start_s: float          # time.monotonic() at entry
+    duration_s: float
+    depth: int              # 0 for top-level spans
+    parent: Optional[str]   # enclosing span name, if any
+    thread: str
+    tags: Dict[str, object] = field(default_factory=dict)
+
+    def to_event(self) -> Dict[str, object]:
+        """Flat dict form for sinks (JSONL lines, console tables)."""
+        event: Dict[str, object] = {
+            "type": "span",
+            "name": self.name,
+            "start_s": self.start_s,
+            "duration_s": self.duration_s,
+            "depth": self.depth,
+            "parent": self.parent,
+            "thread": self.thread,
+        }
+        for key, value in self.tags.items():
+            event[f"tag.{key}"] = value
+        return event
+
+
+class _NullSpan:
+    """Shared do-nothing span used when tracing is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+    def tag(self, **tags: object) -> "_NullSpan":
+        return self
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _Span:
+    """Live span; becomes a :class:`SpanRecord` on exit."""
+
+    __slots__ = ("_tracer", "name", "tags", "_start", "_depth", "_parent")
+
+    def __init__(self, tracer: "Tracer", name: str, tags: Dict[str, object]):
+        self._tracer = tracer
+        self.name = name
+        self.tags = tags
+
+    def tag(self, **tags: object) -> "_Span":
+        """Attach extra tags while the span is open."""
+        self.tags.update(tags)
+        return self
+
+    def __enter__(self) -> "_Span":
+        stack = self._tracer._stack()
+        self._depth = len(stack)
+        self._parent = stack[-1].name if stack else None
+        stack.append(self)
+        self._start = time.monotonic()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        end = time.monotonic()
+        stack = self._tracer._stack()
+        if stack and stack[-1] is self:
+            stack.pop()
+        self._tracer._record(
+            SpanRecord(
+                name=self.name,
+                start_s=self._start,
+                duration_s=end - self._start,
+                depth=self._depth,
+                parent=self._parent,
+                thread=threading.current_thread().name,
+                tags=dict(self.tags),
+            )
+        )
+        return False
+
+
+class Tracer:
+    """Collects nested spans; thread-safe; no-op when disabled.
+
+    Args:
+        enabled: start collecting immediately (default True).
+        sinks: objects with an ``emit(event: dict)`` method (see
+            :mod:`repro.obs.sinks`); every finished span is forwarded.
+        max_records: drop the oldest in-memory records beyond this bound
+            so long-running services cannot grow without limit (sinks
+            still see every span).
+    """
+
+    def __init__(
+        self,
+        enabled: bool = True,
+        sinks: Iterable[object] = (),
+        max_records: int = 100_000,
+    ):
+        self.enabled = enabled
+        self._sinks: List[object] = list(sinks)
+        self._max_records = max_records
+        self._records: List[SpanRecord] = []
+        self._lock = threading.Lock()
+        self._local = threading.local()
+
+    # ------------------------------------------------------------------
+    def span(self, name: str, **tags: object):
+        """Context manager timing one named span.
+
+        Keyword arguments become span tags, e.g.
+        ``tracer.span("sweep.precision", spec="fixed8")``.
+        """
+        if not self.enabled:
+            return _NULL_SPAN
+        return _Span(self, name, tags)
+
+    def enable(self) -> None:
+        self.enabled = True
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    def add_sink(self, sink: object) -> None:
+        self._sinks.append(sink)
+
+    # ------------------------------------------------------------------
+    def _stack(self) -> List[_Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def _record(self, record: SpanRecord) -> None:
+        with self._lock:
+            self._records.append(record)
+            if len(self._records) > self._max_records:
+                del self._records[: len(self._records) - self._max_records]
+        for sink in self._sinks:
+            sink.emit(record.to_event())
+
+    # ------------------------------------------------------------------
+    def records(self, name: Optional[str] = None) -> List[SpanRecord]:
+        """Finished spans in completion order (optionally filtered)."""
+        with self._lock:
+            records = list(self._records)
+        if name is not None:
+            records = [r for r in records if r.name == name]
+        return records
+
+    def reset(self) -> None:
+        """Drop all collected records (sinks are untouched)."""
+        with self._lock:
+            self._records.clear()
+
+    def snapshot(self) -> Dict[str, Dict[str, float]]:
+        """Per-span-name aggregate: ``{name: {count, total_s, max_s}}``."""
+        summary: Dict[str, Dict[str, float]] = {}
+        for record in self.records():
+            entry = summary.setdefault(
+                record.name, {"count": 0, "total_s": 0.0, "max_s": 0.0}
+            )
+            entry["count"] += 1
+            entry["total_s"] += record.duration_s
+            entry["max_s"] = max(entry["max_s"], record.duration_s)
+        return summary
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "enabled" if self.enabled else "disabled"
+        return f"Tracer({state}, {len(self._records)} records)"
+
+
+_DEFAULT_TRACER = Tracer(enabled=False)
+
+
+def get_tracer() -> Tracer:
+    """The process-wide default tracer (disabled until configured)."""
+    return _DEFAULT_TRACER
+
+
+def set_tracer(tracer: Tracer) -> Tracer:
+    """Replace the process-wide default tracer; returns the previous one."""
+    global _DEFAULT_TRACER
+    previous = _DEFAULT_TRACER
+    _DEFAULT_TRACER = tracer
+    return previous

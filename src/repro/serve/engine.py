@@ -168,7 +168,8 @@ class InferenceServer:
         return future
 
     def report(self) -> StatsReport:
-        return self.stats.snapshot()
+        """Typed stats report; ``self.stats.snapshot()`` is the dict form."""
+        return self.stats.report()
 
     # ------------------------------------------------------------------
     # Workers

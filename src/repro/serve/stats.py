@@ -9,6 +9,7 @@ traffic it served (via :class:`repro.hw.energy.EnergyModel`).
 
 from __future__ import annotations
 
+import dataclasses
 import threading
 import time
 from collections import Counter
@@ -16,6 +17,8 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
+
+from repro.obs.metrics import MetricsRegistry, get_metrics
 
 
 @dataclass(frozen=True)
@@ -69,9 +72,17 @@ class StatsReport:
 
 
 class ServerStats:
-    """Thread-safe accumulator fed by the serving engine's workers."""
+    """Thread-safe accumulator fed by the serving engine's workers.
 
-    def __init__(self) -> None:
+    Besides its own accounting, every completion/batch/rejection is
+    also routed into a :class:`~repro.obs.metrics.MetricsRegistry`
+    (the process-wide one by default) under ``serve.*`` names, so
+    serving latency and modeled energy show up in the same
+    ``snapshot()`` dict as trainer and sweep metrics.
+    """
+
+    def __init__(self, metrics: Optional[MetricsRegistry] = None) -> None:
+        self.metrics = metrics or get_metrics()
         self._lock = threading.Lock()
         self._latencies_ms: List[float] = []
         self._queue_ms: List[float] = []
@@ -93,15 +104,19 @@ class ServerStats:
     def record_rejection(self) -> None:
         with self._lock:
             self._rejected += 1
+        self.metrics.counter("serve.rejected").inc()
 
     def record_failure(self, count: int = 1) -> None:
         with self._lock:
             self._failed += count
+        self.metrics.counter("serve.failed").inc(count)
 
     def record_batch(self, batch_size: int, queue_depth: int) -> None:
         with self._lock:
             self._batch_sizes[batch_size] += 1
             self._max_queue_depth = max(self._max_queue_depth, queue_depth)
+        self.metrics.histogram("serve.batch_size").observe(batch_size)
+        self.metrics.gauge("serve.queue_depth").set(queue_depth)
 
     def record_completion(
         self, latency_ms: float, queue_ms: float, energy_uj: float
@@ -112,9 +127,23 @@ class ServerStats:
             self._queue_ms.append(queue_ms)
             self._energy_uj += energy_uj
             self._last_complete = now
+        self.metrics.counter("serve.completed").inc()
+        self.metrics.counter("serve.energy_uj").inc(energy_uj)
+        self.metrics.histogram("serve.latency_ms").observe(latency_ms)
+        self.metrics.histogram("serve.queue_ms").observe(queue_ms)
 
     # ------------------------------------------------------------------
-    def snapshot(self) -> StatsReport:
+    def snapshot(self) -> Dict[str, object]:
+        """Point-in-time dict of the serving counters and percentiles.
+
+        Same contract as :meth:`repro.obs.MetricsRegistry.snapshot`:
+        one plain dict, JSON-serializable, computed consistently under
+        the lock.  Use :meth:`report` for the typed
+        :class:`StatsReport` (attribute access and ``format()``).
+        """
+        return dataclasses.asdict(self.report())
+
+    def report(self) -> StatsReport:
         """Consistent point-in-time report (percentiles computed here)."""
         with self._lock:
             latencies = np.asarray(self._latencies_ms, dtype=np.float64)
@@ -146,8 +175,10 @@ class ServerStats:
                 batch_histogram=dict(self._batch_sizes),
                 mean_batch_size=batched_images / n_batches if n_batches else 0.0,
                 max_queue_depth=self._max_queue_depth,
-                energy_uj_total=self._energy_uj,
-                energy_uj_per_image=self._energy_uj / completed if completed else 0.0,
+                energy_uj_total=float(self._energy_uj),
+                energy_uj_per_image=(
+                    float(self._energy_uj) / completed if completed else 0.0
+                ),
             )
 
 

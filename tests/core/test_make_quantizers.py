@@ -1,0 +1,126 @@
+"""PrecisionSpec.parse and the unified make_quantizers factory."""
+
+import warnings
+
+import pytest
+
+from repro import core
+from repro.core import quantized
+from repro.core.precision import PrecisionKind, get_precision
+from repro.errors import ConfigurationError
+
+
+# ----------------------------------------------------------------------
+# PrecisionSpec.parse
+# ----------------------------------------------------------------------
+def test_parse_registry_keys_are_canonical():
+    for spec in core.PAPER_PRECISIONS:
+        assert core.PrecisionSpec.parse(spec.key) is spec
+
+
+def test_parse_spec_passthrough():
+    spec = get_precision("fixed8")
+    assert core.PrecisionSpec.parse(spec) is spec
+
+
+def test_parse_explicit_widths_canonicalize_to_registry():
+    assert core.PrecisionSpec.parse("fixed:8:8") is get_precision("fixed8")
+    assert core.PrecisionSpec.parse("fixed:16:16") is get_precision("fixed16")
+    assert core.PrecisionSpec.parse("pow2:6:16") is get_precision("pow2")
+    assert core.PrecisionSpec.parse("binary:1:16") is get_precision("binary")
+    assert core.PrecisionSpec.parse("float:32") is get_precision("float32")
+
+
+def test_parse_single_width_means_square():
+    spec = core.PrecisionSpec.parse("fixed:12")
+    assert (spec.weight_bits, spec.input_bits) == (12, 12)
+    # binary weights are 1 bit by definition; the width names the inputs
+    spec = core.PrecisionSpec.parse("binary:8")
+    assert (spec.weight_bits, spec.input_bits) == (1, 8)
+
+
+def test_parse_compact_novel_widths():
+    spec = core.PrecisionSpec.parse("fixed12")
+    assert spec.kind is PrecisionKind.FIXED
+    assert (spec.weight_bits, spec.input_bits) == (12, 12)
+    assert spec.key == "fixed:12:12"
+
+
+def test_parse_synthesized_key_round_trips():
+    spec = core.PrecisionSpec.parse("fixed:4:8")
+    assert spec.key == "fixed:4:8"
+    again = core.PrecisionSpec.parse(spec.key)
+    assert (again.kind, again.weight_bits, again.input_bits) == (
+        spec.kind, spec.weight_bits, spec.input_bits)
+
+
+def test_parse_is_case_insensitive():
+    assert core.PrecisionSpec.parse("FIXED8") is get_precision("fixed8")
+    assert core.PrecisionSpec.parse(" Fixed:8:8 ") is get_precision("fixed8")
+
+
+@pytest.mark.parametrize("bad", [
+    "", "fixed", "resnet", "fixed:a:b", "fixed:8:8:8", "kind:8", "fixed:0",
+])
+def test_parse_rejects_garbage(bad):
+    with pytest.raises(ConfigurationError):
+        core.PrecisionSpec.parse(bad)
+
+
+# ----------------------------------------------------------------------
+# make_quantizers
+# ----------------------------------------------------------------------
+def test_make_quantizers_float():
+    weight, factory = core.make_quantizers("float32")
+    assert isinstance(weight, core.IdentityQuantizer)
+    assert isinstance(factory(), core.IdentityQuantizer)
+
+
+def test_make_quantizers_fixed_widths():
+    weight, factory = core.make_quantizers("fixed:4:8")
+    assert isinstance(weight, core.FixedPointQuantizer)
+    assert weight.bits == 4
+    activation = factory()
+    assert isinstance(activation, core.FixedPointQuantizer)
+    assert activation.bits == 8
+
+
+def test_make_quantizers_pow2_and_binary():
+    weight, factory = core.make_quantizers("pow2")
+    assert isinstance(weight, core.PowerOfTwoQuantizer)
+    assert isinstance(factory(), core.FixedPointQuantizer)
+    weight, factory = core.make_quantizers("binary")
+    assert isinstance(weight, core.BinaryQuantizer)
+    assert isinstance(factory(), core.FixedPointQuantizer)
+
+
+def test_activation_factory_returns_fresh_instances():
+    _, factory = core.make_quantizers("fixed8")
+    assert factory() is not factory()  # independent range state per layer
+
+
+def test_make_quantizers_accepts_spec_objects():
+    spec = get_precision("fixed16")
+    weight, _ = core.make_quantizers(spec)
+    assert weight.bits == 16
+
+
+# ----------------------------------------------------------------------
+# deprecated build_quantizers shim
+# ----------------------------------------------------------------------
+def test_build_quantizers_warns_once_and_delegates():
+    quantized._BUILD_QUANTIZERS_WARNED = False
+    try:
+        spec = get_precision("fixed8")
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            weight, factory = core.build_quantizers(spec)
+            core.build_quantizers(spec)  # second call stays silent
+        deprecations = [w for w in caught
+                        if issubclass(w.category, DeprecationWarning)]
+        assert len(deprecations) == 1
+        assert "make_quantizers" in str(deprecations[0].message)
+        assert isinstance(weight, core.FixedPointQuantizer)
+        assert isinstance(factory(), core.FixedPointQuantizer)
+    finally:
+        quantized._BUILD_QUANTIZERS_WARNED = True

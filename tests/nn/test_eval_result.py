@@ -1,0 +1,99 @@
+"""EvalResult: float compatibility, mapping protocol, deprecation."""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.nn import EvalResult, SGD, Trainer
+from repro.nn import evaluation
+from tests.conftest import make_tiny_cnn
+
+
+def test_behaves_like_the_accuracy_float():
+    result = EvalResult(0.875, loss=0.4, n_samples=64, elapsed_s=0.01)
+    assert result == 0.875
+    assert result >= 0.5
+    assert 100 * result == 87.5
+    assert f"{result:.2f}" == "0.88"
+    assert result == pytest.approx(0.875)
+    assert isinstance(result, float)
+
+
+def test_mapping_protocol():
+    result = EvalResult(0.9, loss=0.2, n_samples=10, elapsed_s=1.5)
+    assert result["accuracy"] == 0.9
+    assert result["loss"] == 0.2
+    assert result["n_samples"] == 10
+    assert result["elapsed_s"] == 1.5
+    assert set(result.keys()) == {"accuracy", "loss", "n_samples", "elapsed_s"}
+    assert dict(result.items())["loss"] == 0.2
+    assert "accuracy" in result and "flops" not in result
+    assert result.get("missing", -1) == -1
+    with pytest.raises(KeyError):
+        result["missing"]
+    assert result.as_dict() == {
+        "accuracy": 0.9, "loss": 0.2, "n_samples": 10, "elapsed_s": 1.5,
+    }
+
+
+def test_defaults_and_repr():
+    result = EvalResult(0.5)
+    assert np.isnan(result["loss"])
+    assert result["n_samples"] == 0
+    assert "accuracy=0.5000" in repr(result)
+
+
+def test_float_conversion_warns_once():
+    evaluation._FLOAT_DEPRECATION_WARNED = False
+    try:
+        result = EvalResult(0.75)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            assert float(result) == 0.75
+            assert float(result) == 0.75  # second conversion is silent
+        deprecations = [w for w in caught
+                        if issubclass(w.category, DeprecationWarning)]
+        assert len(deprecations) == 1
+        assert "accuracy" in str(deprecations[0].message)
+    finally:
+        evaluation._FLOAT_DEPRECATION_WARNED = True
+
+
+def test_trainer_evaluate_returns_eval_result(tiny_digits):
+    network = make_tiny_cnn()
+    trainer = Trainer(
+        network,
+        SGD(network.parameters(), lr=0.01),
+        rng=np.random.default_rng(0),
+    )
+    result = trainer.evaluate(tiny_digits.test.images, tiny_digits.test.labels)
+    assert isinstance(result, EvalResult)
+    assert result["n_samples"] == len(tiny_digits.test.labels)
+    assert result["elapsed_s"] > 0.0
+    assert np.isfinite(result["loss"])
+    # the old dict-style call sites keep working
+    assert 0.0 <= result["accuracy"] <= 1.0
+    assert result["accuracy"] == result.accuracy == result
+
+
+def test_quantized_evaluate_returns_eval_result(tiny_digits):
+    from repro.core import QuantizedNetwork
+
+    network = make_tiny_cnn()
+    qnet = QuantizedNetwork(network, "fixed8")
+    qnet.calibrate(tiny_digits.train.images[:32])
+    result = qnet.evaluate(tiny_digits.test.images, tiny_digits.test.labels)
+    assert isinstance(result, EvalResult)
+    assert result["n_samples"] == len(tiny_digits.test.labels)
+    assert np.isnan(result["loss"])  # quantized eval reports no loss
+
+    frozen = qnet.freeze()
+    try:
+        frozen_result = frozen.evaluate(
+            tiny_digits.test.images, tiny_digits.test.labels
+        )
+        assert isinstance(frozen_result, EvalResult)
+        assert frozen_result.accuracy == result.accuracy
+    finally:
+        frozen.thaw()

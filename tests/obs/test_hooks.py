@@ -1,0 +1,143 @@
+"""FLOP / byte-traffic models and the layer profiler."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.errors import ConfigurationError
+from repro.obs import LayerProfiler, MetricsRegistry, layer_bytes, layer_flops
+from tests.conftest import make_tiny_cnn
+
+
+def test_conv_flops_match_hand_count():
+    conv = nn.Conv2D(1, 2, kernel_size=3, name="conv", rng=np.random.default_rng(0))
+    # 8x8 input, no padding -> 6x6 output; per output pixel one
+    # 1x3x3 window per output channel.
+    macs = 2 * 6 * 6 * (1 * 3 * 3)
+    assert conv.macs((1, 8, 8)) == macs
+    assert layer_flops(conv, (1, 8, 8)) == 2 * macs
+    assert layer_flops(conv, (1, 8, 8), batch=4) == 2 * macs * 4
+
+
+def test_dense_flops_match_hand_count():
+    dense = nn.Dense(4, 3, name="fc", rng=np.random.default_rng(0))
+    assert layer_flops(dense, (4,)) == 2 * 4 * 3
+    assert layer_flops(dense, (4,), batch=2) == 2 * 4 * 3 * 2
+
+
+def test_elementwise_layers_cost_one_flop_per_output():
+    relu = nn.ReLU(name="relu")
+    assert layer_flops(relu, (2, 6, 6)) == 72
+    assert layer_flops(relu, (2, 6, 6), batch=3) == 216
+
+
+def test_flatten_is_free():
+    flatten = nn.Flatten(name="flatten")
+    assert layer_flops(flatten, (2, 6, 6), batch=8) == 0
+
+
+def test_dense_bytes_match_hand_count():
+    dense = nn.Dense(4, 3, name="fc", rng=np.random.default_rng(0))
+    # weights 4*3 + bias 3 = 15 params; 4 in + 3 out activations.
+    assert layer_bytes(dense, (4,), batch=1,
+                       weight_bits=8, activation_bits=8) == 7 + 15
+    assert layer_bytes(dense, (4,), batch=2,
+                       weight_bits=8, activation_bits=8) == 14 + 15
+    # 32-bit everything scales activations and weights by 4
+    assert layer_bytes(dense, (4,), batch=1,
+                       weight_bits=32, activation_bits=32) == 4 * (7 + 15)
+
+
+def test_profiler_counts_forward_work():
+    network = make_tiny_cnn()
+    network.eval_mode()
+    images = np.random.default_rng(0).standard_normal(
+        (6, 1, 28, 28)
+    ).astype(np.float32)
+    with LayerProfiler(network) as profiler:
+        network.forward(images)
+    stats = {s.name: s for s in profiler.stats()}
+    assert set(stats) == {layer.name for layer in network.layers}
+    conv1 = stats["conv1"]
+    assert conv1.calls == 1
+    assert conv1.samples == 6
+    assert conv1.forward_s > 0.0
+    assert conv1.flops == 2 * network.layers[0].macs((1, 28, 28)) * 6
+    assert profiler.total_flops() == sum(s.flops for s in profiler.stats())
+    assert profiler.total_bytes() > 0
+
+
+def test_profiler_detach_restores_methods():
+    network = make_tiny_cnn()
+    profiler = LayerProfiler(network)
+    profiler.attach()
+    assert "forward" in network.layers[0].__dict__
+    profiler.detach()
+    for layer in network.layers:
+        assert "forward" not in layer.__dict__
+        assert "backward" not in layer.__dict__
+    # detaching twice is harmless
+    profiler.detach()
+
+
+def test_profiler_times_backward_in_training():
+    network = make_tiny_cnn()
+    rng = np.random.default_rng(0)
+    images = rng.standard_normal((4, 1, 28, 28)).astype(np.float32)
+    network.train_mode()
+    with LayerProfiler(network) as profiler:
+        logits = network.forward(images)
+        network.backward(np.ones_like(logits))
+    for stats in profiler.stats():
+        assert stats.backward_calls == 1
+        assert stats.backward_s >= 0.0
+
+
+def test_profiler_rejects_layerless_object():
+    with pytest.raises(ConfigurationError):
+        LayerProfiler(object())
+    with pytest.raises(ConfigurationError):
+        LayerProfiler(make_tiny_cnn()).attach().attach()
+
+
+def test_annotate_adds_extra_column():
+    network = make_tiny_cnn()
+    network.eval_mode()
+    images = np.zeros((1, 1, 28, 28), dtype=np.float32)
+    with LayerProfiler(network) as profiler:
+        network.forward(images)
+    profiler.annotate("quant_rms", {"conv1": 0.0123, "ip1": 0.0456})
+    stats = {s.name: s for s in profiler.stats()}
+    assert stats["conv1"].extra["quant_rms"] == 0.0123
+    assert "quant_rms" not in stats["relu1"].extra
+    table = profiler.table()
+    assert "quant_rms" in table
+    assert "0.01230" in table
+    assert "TOTAL" in table
+    assert stats["conv1"].as_dict()["quant_rms"] == 0.0123
+
+
+def test_profiler_feeds_metrics_registry():
+    registry = MetricsRegistry()
+    network = make_tiny_cnn()
+    network.eval_mode()
+    images = np.zeros((2, 1, 28, 28), dtype=np.float32)
+    with LayerProfiler(network, metrics=registry) as profiler:
+        network.forward(images)
+        network.forward(images)
+    snap = registry.snapshot()
+    assert snap["histograms"]["profile.forward_ms.conv1"]["count"] == 2
+    assert profiler.stats()[0].calls == 2
+
+
+def test_byte_model_shrinks_with_bit_width():
+    network = make_tiny_cnn()
+    network.eval_mode()
+    images = np.zeros((1, 1, 28, 28), dtype=np.float32)
+    totals = {}
+    for bits in (32, 8):
+        with LayerProfiler(network, weight_bits=bits,
+                           activation_bits=bits) as profiler:
+            network.forward(images)
+        totals[bits] = profiler.total_bytes()
+    assert totals[8] * 4 == pytest.approx(totals[32], rel=0.01)

@@ -1,0 +1,131 @@
+"""End-to-end observability: trainer, sweep and serving stats land in
+one registry snapshot, with spans nesting across subsystems."""
+
+import numpy as np
+import pytest
+
+from repro import nn, obs
+from repro.core.sweep import PrecisionSweep, SweepConfig
+from repro.serve.stats import ServerStats
+from tests.conftest import make_tiny_cnn
+
+
+@pytest.fixture
+def observed():
+    """Fresh tracer + registry installed as the process defaults."""
+    tracer = obs.Tracer()
+    registry = obs.MetricsRegistry()
+    old_tracer = obs.set_tracer(tracer)
+    old_metrics = obs.set_metrics(registry)
+    try:
+        yield tracer, registry
+    finally:
+        obs.set_tracer(old_tracer)
+        obs.set_metrics(old_metrics)
+
+
+def _fit_tiny(split, epochs=2):
+    network = make_tiny_cnn()
+    trainer = nn.Trainer(
+        network,
+        nn.SGD(network.parameters(), lr=0.01, momentum=0.9),
+        batch_size=32,
+        rng=np.random.default_rng(0),
+    )
+    trainer.fit(
+        split.train.images, split.train.labels,
+        split.val.images, split.val.labels,
+        epochs=epochs,
+    )
+    return trainer
+
+
+def test_fit_produces_spans_and_metrics(observed, tiny_digits):
+    tracer, registry = observed
+    _fit_tiny(tiny_digits, epochs=2)
+
+    fit_spans = tracer.records("trainer.fit")
+    epoch_spans = tracer.records("trainer.epoch")
+    assert len(fit_spans) == 1
+    assert len(epoch_spans) == 2
+    assert all(span.parent == "trainer.fit" for span in epoch_spans)
+    assert fit_spans[0].duration_s >= sum(s.duration_s for s in epoch_spans) * 0.5
+
+    snap = registry.snapshot()
+    assert snap["counters"]["trainer.epochs"] == 2
+    assert snap["histograms"]["trainer.epoch_s"]["count"] == 2
+    assert 0.0 <= snap["gauges"]["trainer.train_accuracy"] <= 1.0
+    assert snap["gauges"]["trainer.throughput_sps"] > 0
+    assert 0.0 <= snap["gauges"]["trainer.val_accuracy"] <= 1.0
+
+
+def test_sweep_spans_tagged_with_precision_key(observed, tiny_digits):
+    tracer, registry = observed
+    sweep = PrecisionSweep(
+        builder=make_tiny_cnn,
+        split=tiny_digits,
+        config=SweepConfig(float_epochs=1, qat_epochs=0,
+                           calibration_samples=32),
+    )
+    result = sweep.run_precision("fixed8")
+
+    spans = tracer.records("sweep.precision")
+    assert len(spans) == 1
+    assert spans[0].tags == {"spec": "fixed8"}
+    # the float-baseline fit ran inside the sweep span
+    fit_spans = tracer.records("trainer.fit")
+    assert fit_spans and fit_spans[0].parent == "sweep.precision"
+
+    snap = registry.snapshot()
+    assert snap["counters"]["sweep.precisions"] == 1
+    assert snap["gauges"]["sweep.accuracy.fixed8"] == result.accuracy
+    assert snap["gauges"]["sweep.converged.fixed8"] == float(result.converged)
+
+
+def test_trainer_sweep_and_serve_share_one_snapshot(observed, tiny_digits):
+    _, registry = observed
+    _fit_tiny(tiny_digits, epochs=1)
+    stats = ServerStats()  # picks up the installed default registry
+    stats.record_batch(4, queue_depth=1)
+    stats.record_completion(latency_ms=2.0, queue_ms=0.5, energy_uj=1.25)
+
+    snap = registry.snapshot()
+    assert snap["counters"]["trainer.epochs"] == 1
+    assert snap["counters"]["serve.completed"] == 1
+    assert snap["counters"]["serve.energy_uj"] == 1.25
+    assert snap["histograms"]["serve.latency_ms"]["count"] == 1
+
+
+def test_qat_tracks_per_layer_quant_error(observed, tiny_digits):
+    from repro.core.qat import QATTrainer
+    from repro.core.quantized import QuantizedNetwork
+
+    _, registry = observed
+    network = make_tiny_cnn()
+    qnet = QuantizedNetwork(network, "fixed8")
+    qnet.calibrate(tiny_digits.train.images[:32])
+    trainer = QATTrainer(
+        qnet,
+        nn.SGD(network.parameters(), lr=0.005, momentum=0.9),
+        batch_size=32,
+        rng=np.random.default_rng(1),
+    )
+    trainer.evaluate(tiny_digits.test.images, tiny_digits.test.labels)
+
+    gauges = registry.snapshot()["gauges"]
+    rms_gauges = {k: v for k, v in gauges.items()
+                  if k.startswith("qat.weight_rms.")}
+    weight_names = {p.name for p in network.weight_parameters()}
+    assert {k.replace("qat.weight_rms.", "") for k in rms_gauges} == weight_names
+    # shadow (full-precision) weights were resident, so 8-bit error is
+    # small but nonzero
+    assert all(0.0 < v < 0.1 for v in rms_gauges.values())
+
+
+def test_disabled_default_tracer_records_nothing(tiny_digits):
+    # without set_tracer, the process default stays disabled
+    baseline = obs.get_tracer()
+    assert baseline.enabled is False
+    before = len(baseline.records())
+    _fit_tiny(tiny_digits, epochs=1)
+    assert len(baseline.records()) == before

@@ -1,0 +1,121 @@
+"""Counters, gauges, windowed histograms and the registry snapshot."""
+
+import math
+import threading
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs import Histogram, MetricsRegistry, get_metrics, set_metrics
+
+
+def test_counter_accumulates_and_rejects_negative():
+    registry = MetricsRegistry()
+    counter = registry.counter("events")
+    counter.inc()
+    counter.inc(2.5)
+    assert counter.value == 3.5
+    with pytest.raises(ConfigurationError):
+        counter.inc(-1)
+
+
+def test_gauge_set_add_and_nan_default():
+    registry = MetricsRegistry()
+    gauge = registry.gauge("loss")
+    assert math.isnan(gauge.value)
+    gauge.add(2.0)  # add from the nan default starts at zero
+    assert gauge.value == 2.0
+    gauge.set(0.25)
+    assert gauge.value == 0.25
+
+
+def test_histogram_percentiles_match_numpy():
+    histogram = Histogram("latency")
+    values = list(range(1, 101))
+    for value in values:
+        histogram.observe(value)
+    snap = histogram.snapshot()
+    array = np.asarray(values, dtype=np.float64)
+    assert snap["count"] == 100
+    assert snap["sum"] == float(array.sum())
+    assert snap["mean"] == pytest.approx(array.mean())
+    assert snap["min"] == 1.0
+    assert snap["max"] == 100.0
+    assert snap["p50"] == np.percentile(array, 50)
+    assert snap["p95"] == np.percentile(array, 95)
+    assert snap["p99"] == np.percentile(array, 99)
+
+
+def test_histogram_window_rolls_but_totals_keep_running():
+    histogram = Histogram("rolled", window=4)
+    for value in range(1, 11):  # 1..10; window holds 7,8,9,10
+        histogram.observe(value)
+    snap = histogram.snapshot()
+    assert snap["count"] == 10          # over everything ever observed
+    assert snap["sum"] == 55.0
+    assert snap["min"] == 1.0           # running extrema survive the roll
+    assert snap["max"] == 10.0
+    assert snap["p50"] == np.percentile([7.0, 8.0, 9.0, 10.0], 50)
+
+
+def test_empty_histogram_snapshot_is_zeros():
+    snap = Histogram("empty").snapshot()
+    assert snap == {"count": 0, "sum": 0.0, "mean": 0.0, "min": 0.0,
+                    "max": 0.0, "p50": 0.0, "p95": 0.0, "p99": 0.0}
+
+
+def test_histogram_rejects_bad_window():
+    with pytest.raises(ConfigurationError):
+        Histogram("bad", window=0)
+
+
+def test_registry_get_or_create_returns_same_instrument():
+    registry = MetricsRegistry()
+    assert registry.counter("c") is registry.counter("c")
+    assert registry.gauge("g") is registry.gauge("g")
+    assert registry.histogram("h") is registry.histogram("h")
+
+
+def test_registry_snapshot_structure_and_reset():
+    registry = MetricsRegistry()
+    registry.counter("done").inc(3)
+    registry.gauge("depth").set(7)
+    registry.histogram("ms").observe(1.5)
+    snap = registry.snapshot()
+    assert set(snap) == {"counters", "gauges", "histograms"}
+    assert snap["counters"]["done"] == 3.0
+    assert snap["gauges"]["depth"] == 7.0
+    assert snap["histograms"]["ms"]["count"] == 1
+    registry.reset()
+    empty = registry.snapshot()
+    assert empty == {"counters": {}, "gauges": {}, "histograms": {}}
+
+
+def test_concurrent_observations_are_not_lost():
+    registry = MetricsRegistry()
+
+    def worker() -> None:
+        for _ in range(200):
+            registry.counter("hits").inc()
+            registry.histogram("h").observe(1.0)
+
+    threads = [threading.Thread(target=worker) for _ in range(4)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert registry.counter("hits").value == 800
+    assert registry.histogram("h").count == 800
+
+
+def test_default_registry_swap_round_trip():
+    original = get_metrics()
+    replacement = MetricsRegistry()
+    try:
+        previous = set_metrics(replacement)
+        assert previous is original
+        assert get_metrics() is replacement
+    finally:
+        set_metrics(original)
+    assert get_metrics() is original

@@ -1,0 +1,167 @@
+"""Tracer spans: nesting, tags, thread-safety, sinks, no-op path."""
+
+import json
+import threading
+
+from repro.obs import ConsoleTableSink, JsonlSink, Tracer, get_tracer, set_tracer
+
+
+def test_span_records_name_and_duration():
+    tracer = Tracer()
+    with tracer.span("work"):
+        pass
+    records = tracer.records()
+    assert len(records) == 1
+    record = records[0]
+    assert record.name == "work"
+    assert record.duration_s >= 0.0
+    assert record.depth == 0
+    assert record.parent is None
+
+
+def test_nested_spans_track_depth_and_parent():
+    tracer = Tracer()
+    with tracer.span("outer"):
+        with tracer.span("middle"):
+            with tracer.span("inner"):
+                pass
+    by_name = {r.name: r for r in tracer.records()}
+    assert by_name["outer"].depth == 0
+    assert by_name["middle"].depth == 1
+    assert by_name["middle"].parent == "outer"
+    assert by_name["inner"].depth == 2
+    assert by_name["inner"].parent == "middle"
+    # completion order is innermost first
+    assert [r.name for r in tracer.records()] == ["inner", "middle", "outer"]
+
+
+def test_sibling_spans_share_parent():
+    tracer = Tracer()
+    with tracer.span("parent"):
+        with tracer.span("first"):
+            pass
+        with tracer.span("second"):
+            pass
+    by_name = {r.name: r for r in tracer.records()}
+    assert by_name["first"].parent == "parent"
+    assert by_name["second"].parent == "parent"
+    assert by_name["first"].depth == by_name["second"].depth == 1
+
+
+def test_tags_from_kwargs_and_tag_method():
+    tracer = Tracer()
+    with tracer.span("sweep.precision", spec="fixed8") as span:
+        span.tag(accuracy=0.97)
+    (record,) = tracer.records()
+    assert record.tags == {"spec": "fixed8", "accuracy": 0.97}
+    event = record.to_event()
+    assert event["tag.spec"] == "fixed8"
+    assert event["name"] == "sweep.precision"
+
+
+def test_disabled_tracer_is_shared_noop():
+    tracer = Tracer(enabled=False)
+    first = tracer.span("a", x=1)
+    second = tracer.span("b")
+    assert first is second  # one shared singleton, no allocation
+    with first:
+        pass
+    assert tracer.records() == []
+    tracer.enable()
+    with tracer.span("c"):
+        pass
+    assert len(tracer.records()) == 1
+
+
+def test_records_filter_and_reset():
+    tracer = Tracer()
+    for _ in range(3):
+        with tracer.span("a"):
+            pass
+    with tracer.span("b"):
+        pass
+    assert len(tracer.records("a")) == 3
+    assert len(tracer.records("b")) == 1
+    summary = tracer.snapshot()
+    assert summary["a"]["count"] == 3
+    assert summary["a"]["total_s"] >= summary["a"]["max_s"]
+    tracer.reset()
+    assert tracer.records() == []
+
+
+def test_max_records_bounds_memory():
+    tracer = Tracer(max_records=5)
+    for index in range(12):
+        with tracer.span(f"s{index}"):
+            pass
+    records = tracer.records()
+    assert len(records) == 5
+    assert [r.name for r in records] == ["s7", "s8", "s9", "s10", "s11"]
+
+
+def test_thread_safety_of_nesting_and_recording():
+    tracer = Tracer()
+    errors = []
+
+    def worker(index: int) -> None:
+        try:
+            for _ in range(50):
+                with tracer.span(f"outer{index}"):
+                    with tracer.span(f"inner{index}"):
+                        pass
+        except Exception as error:  # pragma: no cover - failure path
+            errors.append(error)
+
+    threads = [threading.Thread(target=worker, args=(i,)) for i in range(4)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert not errors
+    assert len(tracer.records()) == 4 * 50 * 2
+    for index in range(4):
+        # each thread has its own stack: outer spans stay top-level
+        for record in tracer.records(f"outer{index}"):
+            assert record.depth == 0
+        for record in tracer.records(f"inner{index}"):
+            assert record.depth == 1
+            assert record.parent == f"outer{index}"
+
+
+def test_jsonl_sink_receives_every_span(tmp_path):
+    path = str(tmp_path / "trace.jsonl")
+    with JsonlSink(path) as sink:
+        tracer = Tracer(sinks=[sink])
+        with tracer.span("a", spec="fixed8"):
+            with tracer.span("b"):
+                pass
+        assert sink.emitted == 2
+    lines = [json.loads(line) for line in open(path)]
+    assert [line["name"] for line in lines] == ["b", "a"]
+    assert lines[1]["tag.spec"] == "fixed8"
+
+
+def test_console_sink_renders_table():
+    sink = ConsoleTableSink()
+    tracer = Tracer()
+    tracer.add_sink(sink)
+    with tracer.span("alpha"):
+        pass
+    table = sink.render()
+    assert "name" in table and "duration_s" in table
+    assert "alpha" in table
+    sink.flush()  # clears the buffer
+    assert sink.events() == []
+
+
+def test_default_tracer_swap_round_trip():
+    original = get_tracer()
+    assert original.enabled is False  # zero-cost until configured
+    replacement = Tracer()
+    try:
+        previous = set_tracer(replacement)
+        assert previous is original
+        assert get_tracer() is replacement
+    finally:
+        set_tracer(original)
+    assert get_tracer() is original

@@ -1,5 +1,7 @@
 """serve-bench CLI smoke tests (small budgets, fast)."""
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -35,6 +37,24 @@ def test_serve_bench_baseline_comparison(capsys):
     out = capsys.readouterr().out
     assert "batch=1 reference" in out
     assert "dynamic batching speedup" in out
+
+
+def test_serve_bench_json_output(capsys):
+    code = main([
+        "serve-bench", "--network", "lenet_small", "--precision", "fixed8",
+        "--requests", "32", "--workers", "2", "--max-batch", "8",
+        "--concurrency", "8", "--calibration", "32", "--skip-baseline",
+        "--json",
+    ])
+    assert code == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["network"] == "lenet_small"
+    assert payload["precision"] == "fixed8"
+    assert payload["report"]["completed"] == 32
+    assert payload["report"]["latency_ms_p95"] >= payload["report"]["latency_ms_p50"]
+    assert payload["report"]["energy_uj_total"] > 0
+    assert payload["client_errors"] == 0
+    assert "baseline_report" not in payload
 
 
 def test_serve_bench_rejects_unknown_precision():

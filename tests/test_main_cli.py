@@ -1,5 +1,6 @@
 """Top-level CLI tests (fast paths; training uses tiny budgets)."""
 
+import json
 import os
 
 import pytest
@@ -67,6 +68,49 @@ def test_train_with_qat(tmp_path, capsys):
     assert code == 0
     out = capsys.readouterr().out
     assert "Binary Net (1,16) test accuracy" in out
+
+
+def test_profile_prints_per_layer_table(capsys):
+    code = main([
+        "profile", "--network", "lenet_small", "--precision", "fixed8",
+        "--limit", "16", "--calibration", "16",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "profile: lenet_small" in out
+    assert "Fixed-Point (8,8)" in out
+    for needle in ("layer", "fwd ms", "MFLOPs", "KB moved", "quant_rms",
+                   "TOTAL"):
+        assert needle in out, needle
+
+
+def test_profile_accepts_spec_strings(capsys):
+    code = main([
+        "profile", "--network", "lenet_small", "--precision", "fixed:4:8",
+        "--limit", "8", "--calibration", "8",
+    ])
+    assert code == 0
+    assert "Fixed-Point (4,8)" in capsys.readouterr().out
+
+
+def test_profile_json_output(capsys):
+    code = main([
+        "profile", "--network", "lenet_small", "--precision", "fixed8",
+        "--limit", "8", "--calibration", "8", "--json",
+    ])
+    assert code == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["network"] == "lenet_small"
+    assert payload["precision"] == "fixed8"
+    assert payload["images"] == 8
+    assert payload["total_flops"] > 0
+    assert payload["total_bytes"] > 0
+    layers = {row["name"]: row for row in payload["layers"]}
+    conv_rows = [row for row in payload["layers"]
+                 if row["layer_type"] == "Conv2D"]
+    assert conv_rows and all(row["flops"] > 0 for row in conv_rows)
+    assert any("quant_rms" in row for row in layers.values())
+    assert "histograms" in payload["metrics"]
 
 
 def test_unknown_command_rejected():

@@ -7,7 +7,7 @@ import pytest
 import repro
 
 PACKAGES = ["repro", "repro.nn", "repro.core", "repro.data", "repro.hw",
-            "repro.zoo", "repro.experiments", "repro.serve"]
+            "repro.zoo", "repro.experiments", "repro.serve", "repro.obs"]
 
 
 def test_version_exposed():
