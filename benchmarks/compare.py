@@ -1,0 +1,238 @@
+"""Benchmark regression gate for CI.
+
+Runs the timed benchmark suite (one pytest subprocess per file so each
+gets a clean interpreter), collects wall-times plus the parallel-sweep
+metrics from ``results/parallel_sweep.json``, writes everything to
+``BENCH_ci.json`` and compares against the committed
+``benchmarks/results/baseline.json``.
+
+A metric fails the gate when it regresses by more than
+``THRESHOLD`` (25%) relative to the baseline AND, for wall-times, the
+absolute slowdown exceeds ``WALL_FLOOR_S`` — small benchmarks jitter
+by whole multiples of themselves on shared runners, and the floor
+keeps that noise from failing builds.
+
+Usage::
+
+    python benchmarks/compare.py                  # run, write, compare
+    python benchmarks/compare.py --update-baseline
+    python benchmarks/compare.py --skip-run       # compare existing output
+    python benchmarks/compare.py --self-test      # prove the gate trips
+
+Exit status 0 on pass, 1 on regression or benchmark failure.
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import time
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+REPO = os.path.dirname(HERE)
+RESULTS = os.path.join(HERE, "results")
+BASELINE_PATH = os.path.join(RESULTS, "baseline.json")
+OUTPUT_PATH = os.path.join(REPO, "BENCH_ci.json")
+
+SCHEMA = 1
+THRESHOLD = 0.25      # relative regression that fails the gate
+WALL_FLOOR_S = 5.0    # absolute wall-time slack below which we never fail
+
+#: benchmark file -> short metric name for its wall-time
+BENCH_FILES = {
+    "test_bench_table3.py": "wall_s.table3",
+    "test_bench_serve.py": "wall_s.serve",
+    "test_bench_kernels.py": "wall_s.kernels",
+    "test_bench_parallel_sweep.py": "wall_s.parallel_sweep",
+}
+
+#: metric name -> which direction is better
+DIRECTIONS = {
+    "wall_s.table3": "lower",
+    "wall_s.serve": "lower",
+    "wall_s.kernels": "lower",
+    "wall_s.parallel_sweep": "lower",
+    "parallel.cache_hit_rate": "higher",
+    "parallel.speedup": "higher",
+}
+
+
+def run_benchmarks():
+    """Run every benchmark file; return {metric: wall_s}. Exits on failure."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        part for part in (os.path.join(REPO, "src"), env.get("PYTHONPATH"))
+        if part
+    )
+    walls = {}
+    for filename, metric in BENCH_FILES.items():
+        path = os.path.join(HERE, filename)
+        print(f"[bench] running {filename} ...", flush=True)
+        started = time.perf_counter()
+        proc = subprocess.run(
+            [sys.executable, "-m", "pytest", path, "-q", "--no-header"],
+            cwd=REPO, env=env,
+        )
+        elapsed = time.perf_counter() - started
+        if proc.returncode != 0:
+            print(f"[bench] FAIL: {filename} exited {proc.returncode}")
+            sys.exit(1)
+        walls[metric] = round(elapsed, 2)
+        print(f"[bench] {filename}: {elapsed:.1f}s")
+    return walls
+
+
+def collect_metrics(walls):
+    """Merge wall-times with the parallel-sweep JSON metrics."""
+    metrics = dict(walls)
+    sweep_path = os.path.join(RESULTS, "parallel_sweep.json")
+    with open(sweep_path) as handle:
+        sweep = json.load(handle)
+    metrics["parallel.cache_hit_rate"] = sweep["cache_hit_rate"]
+    metrics["parallel.speedup"] = sweep["speedup"]
+    return {
+        "schema": SCHEMA,
+        "cpu_count": os.cpu_count() or 1,
+        "metrics": metrics,
+    }
+
+
+def compare(current, baseline):
+    """Return a list of human-readable regression strings (empty = pass).
+
+    ``parallel.speedup`` only gates when both runs had >= 4 CPUs: on
+    fewer cores process parallelism cannot win and the number is noise.
+    """
+    failures = []
+    for name, base_value in sorted(baseline["metrics"].items()):
+        direction = DIRECTIONS.get(name, "lower")
+        current_value = current["metrics"].get(name)
+        if current_value is None:
+            failures.append(f"{name}: missing from current run")
+            continue
+        if name == "parallel.speedup":
+            if min(current.get("cpu_count", 1), baseline.get("cpu_count", 1)) < 4:
+                continue
+        if base_value <= 0:
+            continue
+        if direction == "lower":
+            ratio = (current_value - base_value) / base_value
+            if ratio > THRESHOLD and current_value - base_value > WALL_FLOOR_S:
+                failures.append(
+                    f"{name}: {base_value:g} -> {current_value:g} "
+                    f"(+{100 * ratio:.0f}%, threshold {100 * THRESHOLD:.0f}%)"
+                )
+        else:
+            ratio = (base_value - current_value) / base_value
+            if ratio > THRESHOLD:
+                failures.append(
+                    f"{name}: {base_value:g} -> {current_value:g} "
+                    f"(-{100 * ratio:.0f}%, threshold {100 * THRESHOLD:.0f}%)"
+                )
+    return failures
+
+
+def self_test(baseline):
+    """Prove the gate trips on an injected >25% regression."""
+    clean = {
+        "schema": SCHEMA,
+        "cpu_count": baseline.get("cpu_count", 1),
+        "metrics": dict(baseline["metrics"]),
+    }
+    assert compare(clean, baseline) == [], "clean copy must pass the gate"
+
+    regressed = {
+        "schema": SCHEMA,
+        "cpu_count": baseline.get("cpu_count", 1),
+        "metrics": dict(baseline["metrics"]),
+    }
+    wall_metrics = [m for m in regressed["metrics"] if m.startswith("wall_s.")]
+    target = wall_metrics[0]
+    # 1.5x the baseline and comfortably above the absolute floor
+    regressed["metrics"][target] = round(
+        max(1.5 * baseline["metrics"][target],
+            baseline["metrics"][target] + 2 * WALL_FLOOR_S), 2,
+    )
+    failures = compare(regressed, baseline)
+    assert failures, "injected 50% wall-time regression must fail the gate"
+    print(f"[bench] self-test: injected regression on {target} was caught:")
+    for line in failures:
+        print(f"[bench]   {line}")
+
+    dropped = {
+        "schema": SCHEMA,
+        "cpu_count": baseline.get("cpu_count", 1),
+        "metrics": dict(baseline["metrics"]),
+    }
+    dropped["metrics"]["parallel.cache_hit_rate"] = round(
+        0.5 * baseline["metrics"]["parallel.cache_hit_rate"], 4
+    )
+    failures = compare(dropped, baseline)
+    assert failures, "halved cache hit rate must fail the gate"
+    print("[bench] self-test: halved cache_hit_rate was caught:")
+    for line in failures:
+        print(f"[bench]   {line}")
+    print("[bench] self-test passed")
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", default=BASELINE_PATH)
+    parser.add_argument("--output", default=OUTPUT_PATH)
+    parser.add_argument(
+        "--skip-run", action="store_true",
+        help="compare an existing --output file instead of re-running",
+    )
+    parser.add_argument(
+        "--update-baseline", action="store_true",
+        help="write the current run as the new committed baseline",
+    )
+    parser.add_argument(
+        "--self-test", action="store_true",
+        help="verify the gate fails on an injected regression, then exit",
+    )
+    args = parser.parse_args(argv)
+
+    if args.self_test:
+        with open(args.baseline) as handle:
+            self_test(json.load(handle))
+        return 0
+
+    if args.skip_run:
+        with open(args.output) as handle:
+            current = json.load(handle)
+    else:
+        current = collect_metrics(run_benchmarks())
+        with open(args.output, "w") as handle:
+            json.dump(current, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"[bench] wrote {args.output}")
+
+    if args.update_baseline:
+        with open(args.baseline, "w") as handle:
+            json.dump(current, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"[bench] baseline updated: {args.baseline}")
+        return 0
+
+    if not os.path.exists(args.baseline):
+        print(f"[bench] no baseline at {args.baseline}; "
+              "run with --update-baseline to create one")
+        return 1
+
+    with open(args.baseline) as handle:
+        baseline = json.load(handle)
+    failures = compare(current, baseline)
+    if failures:
+        print("[bench] REGRESSIONS DETECTED:")
+        for line in failures:
+            print(f"[bench]   {line}")
+        return 1
+    print(f"[bench] all {len(baseline['metrics'])} metrics within "
+          f"{100 * THRESHOLD:.0f}% of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

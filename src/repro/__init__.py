@@ -47,9 +47,16 @@ The package is organized as one subpackage per subsystem:
     byte-traffic profiling, and JSONL / console sinks.  Wired through
     the trainer, precision sweeps, the serving engine and the
     experiment drivers (``python -m repro profile``).
+
+``repro.parallel``
+    Process-parallel precision sweeps: deterministic per-point seed
+    derivation, a content-addressed on-disk result cache so sweeps
+    resume instead of retraining, and a ``ProcessPoolExecutor``-backed
+    executor whose results are bitwise identical to the sequential
+    path (``python -m repro sweep --workers 4``).
 """
 
-from repro import obs, serve
+from repro import obs, parallel, serve
 from repro.version import __version__
 
-__all__ = ["__version__", "obs", "serve"]
+__all__ = ["__version__", "obs", "parallel", "serve"]

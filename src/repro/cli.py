@@ -21,6 +21,11 @@ Commands:
     Per-layer profile of quantized inference: forward time, FLOPs,
     bytes moved through the accelerator buffers and weight
     quantization RMS error for one (network, precision) point.
+``sweep``
+    Train a precision sweep (float baseline + QAT fine-tune per
+    point) with worker-process parallelism and the resumable on-disk
+    result cache: ``repro sweep --workers 4`` regenerates a network's
+    accuracy column and a re-run resumes from cache.
 
 Everything the CLI does is also available programmatically; the CLI
 exists so the common workflows are one command.
@@ -30,17 +35,21 @@ from __future__ import annotations
 
 import argparse
 import dataclasses
+import functools
 import json
 import sys
+import time
 from typing import List, Optional
 
 import numpy as np
 
 from repro import core, hw, nn, obs, serve
 from repro.core.precision import PAPER_PRECISIONS
+from repro.core.sweep import PrecisionSweep, SweepConfig
 from repro.data import load_dataset
 from repro.experiments.formatting import format_table
 from repro.hw.nfu import NfuGeometry
+from repro.parallel import SweepCache, default_cache_dir, run_sweep
 from repro.zoo import NETWORK_BUILDERS, build_network, network_info
 
 
@@ -300,6 +309,81 @@ def cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_sweep(args: argparse.Namespace) -> int:
+    info = network_info(args.network)
+    split = load_dataset(info.dataset, n_train=args.n_train,
+                         n_test=args.n_test, seed=args.seed)
+    config = SweepConfig(
+        float_epochs=args.float_epochs,
+        qat_epochs=args.qat_epochs,
+        batch_size=args.batch_size,
+        seed=args.seed,
+    )
+    sweep = PrecisionSweep(
+        functools.partial(build_network, args.network, args.seed),
+        split,
+        config,
+    )
+    specs = [core.PrecisionSpec.parse(key) for key in args.precisions]
+    if args.clear_cache:
+        removed = SweepCache(args.cache_dir or None).clear()
+        print(f"cleared {removed} cache entries", file=sys.stderr)
+    store = None if args.no_cache else SweepCache(args.cache_dir or None)
+
+    started = time.perf_counter()
+    results = run_sweep(
+        sweep,
+        specs,
+        workers=args.workers,
+        cache=store,
+        refresh=args.refresh,
+        progress=not args.json,
+    )
+    elapsed = time.perf_counter() - started
+
+    if args.json:
+        payload = {
+            "network": args.network,
+            "dataset": info.dataset,
+            "workers": args.workers,
+            "elapsed_s": elapsed,
+            "cache_dir": store.root if store is not None else None,
+            "cache_hits": store.hits if store is not None else 0,
+            "cache_misses": store.misses if store is not None else 0,
+            "results": [
+                {
+                    "precision": result.spec.key,
+                    "accuracy": float(result.accuracy),
+                    "converged": bool(result.converged),
+                }
+                for result in results
+            ],
+        }
+        print(json.dumps(payload, indent=2))
+        return 0
+
+    rows = [
+        [
+            result.spec.label,
+            f"{result.accuracy_percent:.2f}" if result.converged else "NA",
+            "yes" if result.converged else "no",
+        ]
+        for result in results
+    ]
+    print(format_table(
+        ["Precision (w,in)", "Acc %", "Converged"],
+        rows,
+        title=f"{args.network} on {info.dataset} "
+              f"({args.workers} workers, {elapsed:.1f} s)",
+    ))
+    if store is not None:
+        print(
+            f"cache: {store.hits} hits / {store.misses} misses "
+            f"({store.root})"
+        )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -386,6 +470,44 @@ def build_parser() -> argparse.ArgumentParser:
     profile.add_argument("--json", action="store_true",
                          help="emit per-layer rows and metrics as JSON")
     profile.set_defaults(func=cmd_profile)
+
+    sweep = sub.add_parser(
+        "sweep",
+        help="parallel, cache-resumable precision sweep",
+        description="Train a precision sweep with worker-process "
+                    "parallelism and the resumable on-disk result cache. "
+                    "Results are bitwise identical for any worker count "
+                    "with the same seed.",
+    )
+    sweep.add_argument("--network", default="lenet_small",
+                       choices=sorted(NETWORK_BUILDERS))
+    sweep.add_argument(
+        "--precisions", nargs="+",
+        default=[s.key for s in PAPER_PRECISIONS],
+        help="precision keys or spec strings (e.g. fixed8, fixed:4:8)",
+    )
+    sweep.add_argument("--workers", type=int, default=1,
+                       help="worker processes (1 = sequential)")
+    sweep.add_argument("--n-train", type=int, default=1500)
+    sweep.add_argument("--n-test", type=int, default=400)
+    sweep.add_argument("--float-epochs", type=int, default=10)
+    sweep.add_argument("--qat-epochs", type=int, default=4)
+    sweep.add_argument("--batch-size", type=int, default=32)
+    sweep.add_argument("--seed", type=int, default=0,
+                       help="root seed (datasets, init, training)")
+    sweep.add_argument("--no-cache", action="store_true",
+                       help="disable the on-disk result cache")
+    sweep.add_argument("--refresh", action="store_true",
+                       help="retrain every point, overwriting the cache")
+    sweep.add_argument(
+        "--cache-dir", default="",
+        help=f"cache directory (default: {default_cache_dir()})",
+    )
+    sweep.add_argument("--clear-cache", action="store_true",
+                       help="delete every cache entry before running")
+    sweep.add_argument("--json", action="store_true",
+                       help="emit results and cache stats as JSON")
+    sweep.set_defaults(func=cmd_sweep)
     return parser
 
 

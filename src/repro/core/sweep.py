@@ -24,7 +24,7 @@ from repro.data.dataset import DataSplit
 from repro.errors import ConfigurationError, TrainingError
 from repro.nn.network import Sequential
 from repro.nn.optim import SGD, StepDecay
-from repro.nn.serialization import transfer_weights
+from repro.nn.serialization import load_network_state, transfer_weights
 from repro.nn.trainer import Trainer
 
 
@@ -101,6 +101,41 @@ class PrecisionSweep:
     def chance_accuracy(self) -> float:
         return 1.0 / self.split.num_classes
 
+    @property
+    def float_network(self) -> Optional[Sequential]:
+        """The trained full-precision network (None until trained)."""
+        return self._float_network
+
+    def seed_baseline(
+        self, state: Dict[str, np.ndarray], result: PrecisionResult
+    ) -> None:
+        """Install a previously trained float baseline without retraining.
+
+        ``state`` is a parameter name -> array mapping (as produced by
+        :func:`repro.nn.serialization.network_state`) and ``result`` the
+        baseline's :class:`PrecisionResult`.  Used by the parallel
+        executor and the on-disk cache so workers and resumed sweeps
+        warm-start from the exact weights the sequential run trained.
+        """
+        network = self.builder()
+        load_network_state(network, state)
+        self._float_network = network
+        self._float_result = result
+
+    def _derived_rng(self, *stream: object) -> np.random.Generator:
+        """Fresh generator for one named stream of this sweep.
+
+        Seeds are derived from ``config.seed`` and the stream
+        components alone (never from global numpy state or call
+        order), so two sweeps in one process cannot interleave RNG
+        draws and any point can be re-derived in isolation — the
+        property the parallel executor's determinism contract rests
+        on.
+        """
+        from repro.parallel.seeding import generator_for
+
+        return generator_for(self.config.seed, *stream)
+
     def _make_optimizer(self, network: Sequential, lr: float) -> SGD:
         cfg = self.config
         return SGD(
@@ -110,13 +145,15 @@ class PrecisionSweep:
             weight_decay=cfg.weight_decay,
         )
 
-    def train_float_baseline(self) -> PrecisionResult:
+    def train_float_baseline(
+        self, rng: Optional[np.random.Generator] = None
+    ) -> PrecisionResult:
         """Train the full-precision reference network (cached)."""
         if self._float_result is not None:
             return self._float_result
         cfg = self.config
         network = self.builder()
-        rng = np.random.default_rng(cfg.seed)
+        rng = rng if rng is not None else self._derived_rng("float")
         trainer = Trainer(
             network,
             self._make_optimizer(network, cfg.float_lr),
@@ -139,7 +176,11 @@ class PrecisionSweep:
         )
         return self._float_result
 
-    def run_precision(self, spec: Union[PrecisionSpec, str]) -> PrecisionResult:
+    def run_precision(
+        self,
+        spec: Union[PrecisionSpec, str],
+        rng: Optional[np.random.Generator] = None,
+    ) -> PrecisionResult:
         """Warm-start + QAT fine-tune + quantized evaluation for ``spec``.
 
         ``spec`` may be a :class:`PrecisionSpec` or any string
@@ -147,17 +188,26 @@ class PrecisionSweep:
         inside a ``sweep.precision`` span tagged with the spec's key,
         and the outcome lands in the shared metrics registry as
         ``sweep.accuracy.<key>`` / ``sweep.converged.<key>`` gauges.
+
+        ``rng`` overrides the QAT shuffling generator; by default each
+        spec gets its own generator derived from ``config.seed`` and
+        the spec key, so results are independent of the order (and the
+        process) in which points run.
         """
         spec = PrecisionSpec.parse(spec)
         with get_tracer().span("sweep.precision", spec=spec.key):
-            result = self._run_precision(spec)
+            result = self._run_precision(spec, rng=rng)
         metrics = get_metrics()
         metrics.counter("sweep.precisions").inc()
         metrics.gauge(f"sweep.accuracy.{spec.key}").set(result.accuracy)
         metrics.gauge(f"sweep.converged.{spec.key}").set(float(result.converged))
         return result
 
-    def _run_precision(self, spec: PrecisionSpec) -> PrecisionResult:
+    def _run_precision(
+        self,
+        spec: PrecisionSpec,
+        rng: Optional[np.random.Generator] = None,
+    ) -> PrecisionResult:
         baseline = self.train_float_baseline()
         if spec.is_float:
             return baseline
@@ -170,7 +220,8 @@ class PrecisionSweep:
 
         history: Dict[str, List[float]] = {}
         if cfg.qat_epochs > 0:
-            rng = np.random.default_rng(cfg.seed + 1)
+            if rng is None:
+                rng = self._derived_rng("qat", spec.key)
             trainer = QATTrainer(
                 qnet,
                 self._make_optimizer(network, cfg.qat_lr),
@@ -199,8 +250,37 @@ class PrecisionSweep:
         )
 
     def run(
-        self, precisions: Optional[Sequence[PrecisionSpec]] = None
+        self,
+        precisions: Optional[Sequence[PrecisionSpec]] = None,
+        *,
+        workers: int = 1,
+        cache: object = None,
+        refresh: bool = False,
     ) -> List[PrecisionResult]:
-        """Sweep all (default: the paper's seven) precision points."""
-        specs = list(precisions) if precisions is not None else list(PAPER_PRECISIONS)
-        return [self.run_precision(spec) for spec in specs]
+        """Sweep all (default: the paper's seven) precision points.
+
+        Args:
+            precisions: specs (or parseable strings) to run, in order.
+            workers: number of worker *processes*.  ``1`` (default)
+                runs in-process exactly as before; ``N > 1`` dispatches
+                points through :mod:`repro.parallel` and is guaranteed
+                to return bitwise-identical results for the same
+                ``config.seed``.
+            cache: on-disk result cache — ``None``/``False`` disables
+                it, ``True`` uses the default directory
+                (``~/.cache/repro-sweeps`` or ``$REPRO_SWEEP_CACHE``),
+                a string names a directory, and a
+                :class:`repro.parallel.SweepCache` is used as-is.
+            refresh: ignore cached results (but still store fresh ones).
+        """
+        specs = [
+            PrecisionSpec.parse(spec)
+            for spec in (precisions if precisions is not None else PAPER_PRECISIONS)
+        ]
+        if workers <= 1 and not cache:
+            return [self.run_precision(spec) for spec in specs]
+        from repro.parallel.executor import run_sweep
+
+        return run_sweep(
+            self, specs, workers=workers, cache=cache, refresh=refresh
+        )

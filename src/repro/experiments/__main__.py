@@ -6,6 +6,7 @@ Usage::
     python -m repro.experiments fig3
     python -m repro.experiments memory
     python -m repro.experiments table4          # trains (minutes)
+    python -m repro.experiments table4 --workers 4   # parallel + cached
     python -m repro.experiments table5 --full   # paper budgets (hours)
     python -m repro.experiments fig4
     python -m repro.experiments all
@@ -47,10 +48,31 @@ def main(argv=None) -> int:
         action="store_true",
         help="use the paper's exact architectures and long training budgets",
     )
+    parser.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="worker processes per accuracy sweep (results are bitwise "
+             "identical to --workers 1)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the on-disk sweep result cache",
+    )
+    parser.add_argument(
+        "--refresh", action="store_true",
+        help="retrain every point, overwriting cached results",
+    )
+    parser.add_argument(
+        "--cache-dir", default="", metavar="PATH",
+        help="sweep cache directory (default: $REPRO_SWEEP_CACHE or "
+             "~/.cache/repro-sweeps)",
+    )
     args = parser.parse_args(argv)
 
     config = ExperimentConfig.full() if args.full else ExperimentConfig.from_environment()
-    runner = SweepRunner(config)
+    cache = False if args.no_cache else (args.cache_dir or True)
+    runner = SweepRunner(
+        config, workers=args.workers, cache=cache, refresh=args.refresh
+    )
 
     names = sorted(ALL) if args.experiment == "all" else [args.experiment]
     metrics = get_metrics()

@@ -7,6 +7,7 @@ sweep once per process and serves every driver from the cache.
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
@@ -44,10 +45,35 @@ class EvaluatedPoint:
 
 
 class SweepRunner:
-    """Caches datasets, trained sweeps and energy reports per process."""
+    """Caches datasets, trained sweeps and energy reports per process.
 
-    def __init__(self, config: Optional[ExperimentConfig] = None):
+    Beyond the in-process memoization, the runner can parallelize
+    accuracy sweeps over worker processes and resume them from the
+    on-disk result cache:
+
+    Args:
+        config: experiment budgets (quick proxy vs. paper-fidelity).
+        workers: worker processes per network sweep (``1`` = the
+            legacy sequential path; results are bitwise identical
+            either way).
+        cache: on-disk sweep cache — ``None`` disables, ``True`` uses
+            the default directory, a string names one, or pass a
+            :class:`repro.parallel.SweepCache`.
+        refresh: ignore cached results, retrain, and overwrite them.
+    """
+
+    def __init__(
+        self,
+        config: Optional[ExperimentConfig] = None,
+        *,
+        workers: int = 1,
+        cache: object = None,
+        refresh: bool = False,
+    ):
         self.config = config or ExperimentConfig.from_environment()
+        self.workers = max(1, int(workers))
+        self.cache = cache
+        self.refresh = refresh
         self.energy_model = EnergyModel()
         self._splits: Dict[str, object] = {}
         self._sweeps: Dict[str, PrecisionSweep] = {}
@@ -69,13 +95,43 @@ class SweepRunner:
     def _sweep_for(self, trained_name: str, dataset: str) -> PrecisionSweep:
         if trained_name not in self._sweeps:
             self._sweeps[trained_name] = PrecisionSweep(
-                builder=lambda name=trained_name: build_network(
-                    name, seed=self.config.sweep.seed
+                # functools.partial (not a lambda) so the builder
+                # pickles into worker processes.
+                builder=functools.partial(
+                    build_network, trained_name, self.config.sweep.seed
                 ),
                 split=self.split_for(dataset),
                 config=self.config.sweep,
             )
         return self._sweeps[trained_name]
+
+    def prefetch(
+        self, paper_network: str, specs: Sequence[PrecisionSpec]
+    ) -> None:
+        """Train (or load from cache) several points in one parallel batch.
+
+        Populates the in-process result memo so the subsequent
+        per-point :meth:`accuracy_result` calls are pure lookups.
+        """
+        trained = self.config.accuracy_network(paper_network)
+        wanted = [
+            spec for spec in specs if (trained, spec.key) not in self._results
+        ]
+        if not wanted:
+            return
+        dataset = network_info(paper_network).dataset
+        sweep = self._sweep_for(trained, dataset)
+        with get_tracer().span(
+            "runner.prefetch", network=trained, points=len(wanted)
+        ):
+            results = sweep.run(
+                wanted,
+                workers=self.workers,
+                cache=self.cache,
+                refresh=self.refresh,
+            )
+        for spec, result in zip(wanted, results):
+            self._results[(trained, spec.key)] = result
 
     def accuracy_result(
         self, paper_network: str, spec: PrecisionSpec
@@ -89,7 +145,12 @@ class SweepRunner:
             with get_tracer().span(
                 "runner.accuracy", network=trained, spec=spec.key
             ):
-                self._results[key] = sweep.run_precision(spec)
+                if self.cache or self.refresh:
+                    self._results[key] = sweep.run(
+                        [spec], cache=self.cache, refresh=self.refresh
+                    )[0]
+                else:
+                    self._results[key] = sweep.run_precision(spec)
         return self._results[key]
 
     def energy_report(self, paper_network: str, spec: PrecisionSpec) -> EnergyReport:
@@ -141,6 +202,8 @@ class SweepRunner:
         energy_baseline_network: Optional[str] = None,
     ) -> List[EvaluatedPoint]:
         specs = list(precisions) if precisions is not None else list(PAPER_PRECISIONS)
+        if self.workers > 1 or self.cache:
+            self.prefetch(paper_network, specs)
         return [
             self.evaluate_point(paper_network, spec, energy_baseline_network)
             for spec in specs

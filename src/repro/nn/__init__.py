@@ -33,7 +33,9 @@ from repro.nn.evaluation import EvalResult
 from repro.nn.trainer import EarlyStopping, Trainer, TrainingHistory
 from repro.nn.metrics import accuracy, confusion_matrix, top_k_accuracy
 from repro.nn.serialization import (
+    load_network_state,
     load_network_weights,
+    network_state,
     save_network_weights,
     state_digest,
     transfer_weights,
@@ -73,7 +75,9 @@ __all__ = [
     "top_k_accuracy",
     "confusion_matrix",
     "save_network_weights",
+    "load_network_state",
     "load_network_weights",
+    "network_state",
     "state_digest",
     "transfer_weights",
     "check_gradients",

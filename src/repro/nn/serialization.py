@@ -58,6 +58,24 @@ def transfer_weights(source: Sequential, target: Sequential) -> None:
         param.set_data(state[param.name])
 
 
+def load_network_state(network: Sequential, state: Dict[str, np.ndarray]) -> None:
+    """Load parameters from an in-memory name -> array mapping.
+
+    The mapping must match the architecture exactly: every parameter
+    name present with the right shape, and no extras.  This is the
+    in-memory counterpart of :func:`load_network_weights`, used when
+    weights travel through pickled tasks or cache entries instead of
+    ``.npz`` files.
+    """
+    remaining = dict(state)
+    for param in network.parameters():
+        if param.name not in remaining:
+            raise ShapeError(f"state missing parameter {param.name!r}")
+        param.set_data(remaining.pop(param.name))
+    if remaining:
+        raise ShapeError(f"state has unmatched parameters: {sorted(remaining)}")
+
+
 def load_network_weights(network: Sequential, path: str) -> None:
     """Load parameters saved by :func:`save_network_weights`.
 
@@ -66,9 +84,4 @@ def load_network_weights(network: Sequential, path: str) -> None:
     """
     with np.load(path) as archive:
         stored = {key: archive[key] for key in archive.files}
-    for param in network.parameters():
-        if param.name not in stored:
-            raise ShapeError(f"archive missing parameter {param.name!r}")
-        param.set_data(stored.pop(param.name))
-    if stored:
-        raise ShapeError(f"archive has unmatched parameters: {sorted(stored)}")
+    load_network_state(network, stored)

@@ -48,6 +48,7 @@ from repro.obs.sinks import ConsoleTableSink, JsonlSink, Sink
 from repro.obs.hooks import (
     LayerProfiler,
     LayerStats,
+    ProgressNarrator,
     layer_bytes,
     layer_flops,
 )
@@ -68,6 +69,7 @@ __all__ = [
     "ConsoleTableSink",
     "LayerProfiler",
     "LayerStats",
+    "ProgressNarrator",
     "layer_flops",
     "layer_bytes",
 ]

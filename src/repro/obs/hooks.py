@@ -23,6 +23,7 @@ Cost accounting follows the paper's accelerator view of a layer:
 
 from __future__ import annotations
 
+import sys
 import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
@@ -34,9 +35,81 @@ from repro.errors import ConfigurationError
 __all__ = [
     "LayerStats",
     "LayerProfiler",
+    "ProgressNarrator",
     "layer_flops",
     "layer_bytes",
 ]
+
+
+class ProgressNarrator:
+    """One-line-per-event progress narration for long-running jobs.
+
+    The parallel sweep executor uses this to keep the console alive
+    while points train in worker processes: every finished point emits
+    a single line (``[sweep] fixed8 done in 3.2s (4/7, 2 cached)``)
+    and a final summary on :meth:`close`.  Progress also lands in the
+    shared metrics registry as a ``<label>.progress`` gauge in [0, 1],
+    so dashboards see it even with the stream silenced.
+
+    Args:
+        total: number of units of work expected.
+        label: line prefix and metrics namespace.
+        enabled: when False every method is a cheap no-op (the
+            library-default, so programmatic callers stay silent).
+        stream: destination (default ``sys.stderr``).
+        metrics: optional :class:`~repro.obs.metrics.MetricsRegistry`.
+    """
+
+    def __init__(
+        self,
+        total: int,
+        label: str = "sweep",
+        enabled: bool = True,
+        stream=None,
+        metrics: Optional[object] = None,
+    ):
+        self.total = max(int(total), 0)
+        self.label = label
+        self.enabled = enabled
+        self.stream = stream if stream is not None else sys.stderr
+        self.metrics = metrics
+        self.done = 0
+        self.cached = 0
+        self._started = time.perf_counter()
+
+    def point(
+        self, name: str, cached: bool = False, seconds: Optional[float] = None
+    ) -> None:
+        """Record one finished unit (``cached`` marks a cache hit)."""
+        self.done += 1
+        if cached:
+            self.cached += 1
+        if self.metrics is not None and self.total:
+            self.metrics.gauge(f"{self.label}.progress").set(
+                self.done / self.total
+            )
+        if not self.enabled:
+            return
+        how = "cache hit" if cached else (
+            f"done in {seconds:.1f}s" if seconds is not None else "done"
+        )
+        print(
+            f"[{self.label}] {name} {how} "
+            f"({self.done}/{self.total}, {self.cached} cached)",
+            file=self.stream,
+        )
+
+    def close(self, cache_hits: Optional[int] = None) -> None:
+        """Emit the final summary line."""
+        if not self.enabled:
+            return
+        elapsed = time.perf_counter() - self._started
+        hits = self.cached if cache_hits is None else cache_hits
+        print(
+            f"[{self.label}] {self.done}/{self.total} points in "
+            f"{elapsed:.1f}s ({hits} served from cache)",
+            file=self.stream,
+        )
 
 
 def layer_flops(layer: object, input_shape: tuple, batch: int = 1) -> int:

@@ -1,0 +1,77 @@
+"""Pickle-able sweep-point tasks executed inside worker processes.
+
+A :class:`SweepPointTask` carries everything a worker needs to rebuild
+the sweep state locally: the network builder (any picklable
+zero-argument callable — :func:`functools.partial` over a registry
+builder is the idiomatic choice), the data split, the training config,
+the precision spec, and (for non-float points) the trained float
+baseline so workers warm-start instead of retraining it.
+
+Workers return a plain :class:`PointOutcome` so the parent can tag
+observability spans with the worker's process id and wall time without
+the worker needing a configured tracer of its own.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from repro.core.precision import PrecisionSpec
+from repro.core.sweep import PrecisionResult, PrecisionSweep, SweepConfig
+from repro.data.dataset import DataSplit
+from repro.nn.network import Sequential
+
+__all__ = ["SweepPointTask", "PointOutcome", "run_sweep_point"]
+
+
+@dataclass
+class SweepPointTask:
+    """One (builder, split, config, spec) unit of work.
+
+    ``baseline_state`` / ``baseline_result`` hold the trained float
+    reference (parameter arrays + its result); when present the worker
+    installs them via :meth:`PrecisionSweep.seed_baseline` and trains
+    only the quantization-aware fine-tune for ``spec``.
+    """
+
+    builder: Callable[[], Sequential]
+    split: DataSplit
+    config: SweepConfig
+    spec: PrecisionSpec
+    baseline_state: Optional[Dict[str, np.ndarray]] = None
+    baseline_result: Optional[PrecisionResult] = None
+
+
+@dataclass
+class PointOutcome:
+    """A worker's reply: the result plus provenance for observability."""
+
+    result: PrecisionResult
+    worker: int          # worker process id
+    elapsed_s: float
+
+
+def run_sweep_point(task: SweepPointTask) -> PointOutcome:
+    """Rebuild sweep state locally and run one precision point.
+
+    This is the worker entry point — a module-level function so it
+    pickles by reference.  Determinism: the sweep re-derives the
+    point's RNG stream from ``config.seed`` and the spec key (see
+    :mod:`repro.parallel.seeding`), so the returned result is bitwise
+    identical to what the sequential loop produces for the same task.
+    """
+    started = time.perf_counter()
+    sweep = PrecisionSweep(task.builder, task.split, task.config)
+    if task.baseline_state is not None and task.baseline_result is not None:
+        sweep.seed_baseline(task.baseline_state, task.baseline_result)
+    result = sweep.run_precision(task.spec)
+    return PointOutcome(
+        result=result,
+        worker=os.getpid(),
+        elapsed_s=time.perf_counter() - started,
+    )

@@ -1,0 +1,213 @@
+"""Sweep cache: key recipe, hit/miss/refresh semantics, corruption."""
+
+import json
+import os
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+from repro.core.precision import get_precision
+from repro.core.sweep import PrecisionResult, SweepConfig
+from repro.data import load_dataset
+from repro.nn.serialization import state_digest
+from repro.parallel.cache import (
+    SweepCache,
+    config_fingerprint,
+    default_cache_dir,
+    split_fingerprint,
+)
+from tests.conftest import make_tiny_cnn
+
+
+@pytest.fixture()
+def cache(tmp_path):
+    return SweepCache(str(tmp_path / "sweep-cache"))
+
+
+def make_result(key="fixed8", accuracy=0.8125):
+    return PrecisionResult(
+        spec=get_precision(key),
+        accuracy=accuracy,
+        converged=True,
+        history={"val_accuracy": [0.5, 0.75, accuracy]},
+    )
+
+
+# -- key recipe --------------------------------------------------------
+
+def test_point_key_is_stable(cache):
+    key = cache.point_key("digest", "fixed8", "split", "config")
+    assert key == cache.point_key("digest", "fixed8", "split", "config")
+    assert key != cache.point_key("digest", "fixed4", "split", "config")
+    assert key != cache.point_key("other", "fixed8", "split", "config")
+    assert key != cache.point_key("digest", "fixed8", "other", "config")
+    assert key != cache.point_key("digest", "fixed8", "split", "other")
+
+
+def test_split_fingerprint_tracks_content():
+    split_a = load_dataset("digits", n_train=40, n_test=30, seed=0)
+    split_b = load_dataset("digits", n_train=40, n_test=30, seed=0)
+    split_c = load_dataset("digits", n_train=40, n_test=30, seed=1)
+    assert split_fingerprint(split_a) == split_fingerprint(split_b)
+    assert split_fingerprint(split_a) != split_fingerprint(split_c)
+
+
+def test_config_fingerprint_tracks_hyperparams():
+    base = SweepConfig()
+    assert config_fingerprint(base) == config_fingerprint(SweepConfig())
+    assert config_fingerprint(base) != config_fingerprint(SweepConfig(seed=9))
+    assert config_fingerprint(base) != config_fingerprint(
+        SweepConfig(qat_lr=0.001)
+    )
+
+
+def test_key_recipe_stable_across_processes(tmp_path):
+    """The full key recipe must reproduce bit-for-bit in a new process."""
+    script = (
+        "from repro.core.sweep import SweepConfig\n"
+        "from repro.data import load_dataset\n"
+        "from repro.nn.serialization import state_digest\n"
+        "from repro.parallel.cache import (SweepCache, config_fingerprint,\n"
+        "                                  split_fingerprint)\n"
+        "from repro.zoo import build_network\n"
+        "split = load_dataset('digits', n_train=40, n_test=30, seed=0)\n"
+        "cache = SweepCache('unused')\n"
+        "print(cache.point_key(state_digest(build_network('lenet_small', 0)),\n"
+        "                      'fixed8', split_fingerprint(split),\n"
+        "                      config_fingerprint(SweepConfig())))\n"
+    )
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+    env["PYTHONPATH"] = os.path.abspath(src)
+    child = subprocess.run(
+        [sys.executable, "-c", script],
+        capture_output=True, text=True, env=env, check=True,
+    )
+    from repro.zoo import build_network
+    split = load_dataset("digits", n_train=40, n_test=30, seed=0)
+    expected = SweepCache("unused").point_key(
+        state_digest(build_network("lenet_small", 0)),
+        "fixed8",
+        split_fingerprint(split),
+        config_fingerprint(SweepConfig()),
+    )
+    assert child.stdout.strip() == expected
+
+
+# -- hit / miss / refresh ----------------------------------------------
+
+def test_get_miss_then_hit_roundtrip(cache):
+    key = cache.point_key("d", "fixed8", "s", "c")
+    assert cache.get(key) is None
+    assert (cache.hits, cache.misses) == (0, 1)
+
+    stored = make_result()
+    cache.put(key, stored)
+    loaded = cache.get(key)
+    assert (cache.hits, cache.misses) == (1, 1)
+    assert loaded == stored  # bitwise: spec, accuracy, converged, history
+    assert loaded.spec is stored.spec  # canonical registry instance
+    assert cache.hit_rate == pytest.approx(0.5)
+
+
+def test_put_overwrites(cache):
+    key = cache.point_key("d", "fixed8", "s", "c")
+    cache.put(key, make_result(accuracy=0.25))
+    cache.put(key, make_result(accuracy=0.75))
+    assert cache.get(key).accuracy == 0.75
+
+
+def test_novel_spec_key_roundtrips(cache):
+    key = cache.point_key("d", "fixed:4:8", "s", "c")
+    result = PrecisionResult(
+        spec=get_precision("fixed8").parse("fixed:4:8"),
+        accuracy=0.5,
+        converged=True,
+    )
+    cache.put(key, result)
+    assert cache.get(key) == result
+
+
+# -- corruption recovery -----------------------------------------------
+
+def test_corrupt_json_is_a_miss_and_removed(cache, caplog):
+    key = cache.point_key("d", "fixed8", "s", "c")
+    path = cache.put(key, make_result())
+    with open(path, "w") as handle:
+        handle.write("{not json at all")
+    with caplog.at_level("WARNING", logger="repro.parallel.cache"):
+        assert cache.get(key) is None
+    assert "corrupt" in caplog.text
+    assert not os.path.exists(path)
+    # the sweep can then re-train and re-store the point
+    cache.put(key, make_result())
+    assert cache.get(key) is not None
+
+
+def test_schema_mismatch_is_a_miss(cache, caplog):
+    key = cache.point_key("d", "fixed8", "s", "c")
+    path = cache.put(key, make_result())
+    with open(path) as handle:
+        payload = json.load(handle)
+    payload["schema"] = 999
+    with open(path, "w") as handle:
+        json.dump(payload, handle)
+    with caplog.at_level("WARNING", logger="repro.parallel.cache"):
+        assert cache.get(key) is None
+    assert not os.path.exists(path)
+
+
+def test_missing_fields_are_a_miss(cache, caplog):
+    key = cache.point_key("d", "fixed8", "s", "c")
+    path = cache.put(key, make_result())
+    with open(path, "w") as handle:
+        json.dump({"schema": 1}, handle)
+    with caplog.at_level("WARNING", logger="repro.parallel.cache"):
+        assert cache.get(key) is None
+
+
+# -- weight states ------------------------------------------------------
+
+def test_state_roundtrip(cache):
+    network = make_tiny_cnn(seed=3)
+    from repro.nn.serialization import network_state
+    state = network_state(network)
+    key = cache.point_key("d", "float32", "s", "c")
+    assert cache.get_state(key) is None
+    cache.put_state(key, state)
+    loaded = cache.get_state(key)
+    assert sorted(loaded) == sorted(state)
+    for name in state:
+        assert np.array_equal(loaded[name], state[name])
+
+
+def test_corrupt_state_is_dropped(cache, caplog):
+    key = cache.point_key("d", "float32", "s", "c")
+    path = cache.put_state(key, {"w": np.ones(3, dtype=np.float32)})
+    with open(path, "wb") as handle:
+        handle.write(b"junk")
+    with caplog.at_level("WARNING", logger="repro.parallel.cache"):
+        assert cache.get_state(key) is None
+    assert not os.path.exists(path)
+
+
+# -- maintenance --------------------------------------------------------
+
+def test_clear_removes_everything(cache):
+    for spec_key in ("fixed8", "fixed4"):
+        cache.put(cache.point_key("d", spec_key, "s", "c"), make_result())
+    cache.put_state(
+        cache.point_key("d", "float32", "s", "c"),
+        {"w": np.zeros(2, dtype=np.float32)},
+    )
+    assert cache.clear() == 3
+    assert cache.get(cache.point_key("d", "fixed8", "s", "c")) is None
+
+
+def test_default_cache_dir_env_override(monkeypatch, tmp_path):
+    monkeypatch.setenv("REPRO_SWEEP_CACHE", str(tmp_path / "custom"))
+    assert default_cache_dir() == str(tmp_path / "custom")
+    monkeypatch.delenv("REPRO_SWEEP_CACHE")
+    assert default_cache_dir().endswith(os.path.join(".cache", "repro-sweeps"))

@@ -7,7 +7,8 @@ import pytest
 import repro
 
 PACKAGES = ["repro", "repro.nn", "repro.core", "repro.data", "repro.hw",
-            "repro.zoo", "repro.experiments", "repro.serve", "repro.obs"]
+            "repro.zoo", "repro.experiments", "repro.serve", "repro.obs",
+            "repro.parallel"]
 
 
 def test_version_exposed():
