@@ -45,6 +45,7 @@ BENCH_FILES = {
     "test_bench_serve.py": "wall_s.serve",
     "test_bench_kernels.py": "wall_s.kernels",
     "test_bench_parallel_sweep.py": "wall_s.parallel_sweep",
+    "test_bench_resilience.py": "wall_s.resilience",
 }
 
 #: metric name -> which direction is better
@@ -53,6 +54,7 @@ DIRECTIONS = {
     "wall_s.serve": "lower",
     "wall_s.kernels": "lower",
     "wall_s.parallel_sweep": "lower",
+    "wall_s.resilience": "lower",
     "parallel.cache_hit_rate": "higher",
     "parallel.speedup": "higher",
 }

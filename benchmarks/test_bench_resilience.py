@@ -1,0 +1,91 @@
+"""Benchmark: resilience-layer overhead with chaos disabled.
+
+The resilience layer's acceptance bar is that, with nothing armed, its
+hooks on the serve hot path — the ``engine.forward`` fire/corrupt
+sites, deadline bookkeeping and degrade routing — cost less than 2% of
+per-request latency.  Timing two full load runs against each other
+cannot resolve 2% on a shared runner, so the number is measured
+directly: the per-call cost of every disabled hook, times one call per
+request (an overestimate: fire/corrupt run once per *batch*), against
+the measured per-request service time of a no-chaos run.  A second
+load run with deadlines attached guards the deadline-eviction scan
+against accidental blowups.
+"""
+
+import time
+
+import numpy as np
+
+from repro.data import load_dataset
+from repro.resilience import FaultInjector
+from repro.serve import InferenceServer, ModelStore, run_closed_loop
+
+from benchmarks.conftest import save_result
+
+N_REQUESTS = 192
+CONCURRENCY = 64
+WORKERS = 4
+MICRO_ITERS = 20_000
+
+
+def _measure(store, images, deadline_ms):
+    server = InferenceServer(
+        store,
+        workers=WORKERS,
+        max_batch_size=32,
+        max_delay_ms=2.0,
+        max_queue_depth=512,
+    )
+    with server:
+        outcome = run_closed_loop(
+            server,
+            images,
+            "lenet_small",
+            "fixed8",
+            n_requests=N_REQUESTS,
+            concurrency=CONCURRENCY,
+            deadline_ms=deadline_ms,
+        )
+    report = outcome.report
+    assert outcome.client_errors == 0 and outcome.lost == 0
+    assert report.completed == N_REQUESTS
+    assert report.deadline_expired == 0
+    return report
+
+
+def test_bench_resilience_overhead(results_dir):
+    split = load_dataset("digits", n_train=128, n_test=128, seed=0)
+    store = ModelStore(calibration_data={"digits": split.train.images})
+    store.warm("lenet_small", "fixed8")
+
+    plain = _measure(store, split.test.images, deadline_ms=None)
+    deadlined = _measure(store, split.test.images, deadline_ms=60_000.0)
+
+    # per-call cost of the disabled hooks exactly as the worker runs them
+    injector = FaultInjector()  # nothing armed: the serving default
+    logits = np.zeros((32, 5), dtype=np.float32)
+    started = time.perf_counter()
+    for _ in range(MICRO_ITERS):
+        injector.fire("engine.forward")
+        injector.corrupt("engine.forward", logits)
+    hook_ms = (time.perf_counter() - started) / MICRO_ITERS * 1e3
+    overhead_pct = 100.0 * hook_ms / plain.latency_ms_mean
+
+    lines = [
+        "Resilience-layer overhead, chaos disabled "
+        f"({N_REQUESTS} requests, {WORKERS} workers)",
+        "",
+        f"mean latency, no deadlines   : {plain.latency_ms_mean:.3f} ms",
+        f"mean latency, 60 s deadlines : {deadlined.latency_ms_mean:.3f} ms",
+        f"disabled fire+corrupt        : {1e3 * hook_ms:.3f} us/call",
+        f"hook overhead per request    : {overhead_pct:.4f} %",
+    ]
+    save_result(results_dir, "resilience.txt", "\n".join(lines))
+
+    # the acceptance criterion: < 2% latency overhead with chaos off
+    assert overhead_pct < 2.0, (
+        f"disabled hooks cost {overhead_pct:.2f}% of request latency"
+    )
+    # deadline bookkeeping must stay in the same ballpark (generous
+    # bound: catches an accidentally quadratic eviction scan, not noise)
+    assert deadlined.latency_ms_mean < 5.0 * max(plain.latency_ms_mean, 1.0)

@@ -54,9 +54,16 @@ The package is organized as one subpackage per subsystem:
     resume instead of retraining, and a ``ProcessPoolExecutor``-backed
     executor whose results are bitwise identical to the sequential
     path (``python -m repro sweep --workers 4``).
+
+``repro.resilience``
+    Robustness layer shared by serving and sweeps: retry with
+    exponential backoff + full jitter, seeded fault injection at named
+    sites, and graceful precision-degradation under overload; combined
+    with per-request deadlines in ``repro.serve``
+    (``python -m repro serve-bench --chaos 0 --deadline-ms 500``).
 """
 
-from repro import obs, parallel, serve
+from repro import obs, parallel, resilience, serve
 from repro.version import __version__
 
-__all__ = ["__version__", "obs", "parallel", "serve"]
+__all__ = ["__version__", "obs", "parallel", "resilience", "serve"]

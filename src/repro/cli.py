@@ -45,6 +45,7 @@ import numpy as np
 
 from repro import core, hw, nn, obs, serve
 from repro.core.precision import PAPER_PRECISIONS
+from repro.resilience import DegradePolicy, chaos_preset, use_injector
 from repro.core.sweep import PrecisionSweep, SweepConfig
 from repro.data import load_dataset
 from repro.experiments.formatting import format_table
@@ -182,12 +183,29 @@ def cmd_serve_bench(args: argparse.Namespace) -> int:
     )
     servable = store.warm(args.network, args.precision)  # build outside timing
     spec = core.get_precision(args.precision)
+
+    degrade = None
+    if args.degrade:
+        watermark = args.degrade_watermark or max(args.queue_size // 2, 1)
+        degrade = DegradePolicy(
+            watermark=watermark, fallback={args.precision: args.degrade}
+        )
+        store.warm(args.network, args.degrade)  # fallback ready before load
+
     if not args.json:
         print(
             f"serving {args.network} at {spec.label}: "
             f"{servable.memory_kb:.0f} KB footprint, "
             f"{servable.energy_uj_per_image:.3f} uJ/image modeled"
         )
+        if degrade is not None:
+            print(f"overload degradation    : -> {args.degrade} past queue "
+                  f"depth {degrade.watermark}")
+        if args.chaos is not None:
+            print(f"chaos                   : fault injector armed, "
+                  f"seed {args.chaos}")
+
+    deadline_ms = args.deadline_ms if args.deadline_ms > 0 else None
 
     def run(max_batch: int) -> serve.LoadResult:
         server = serve.InferenceServer(
@@ -196,6 +214,7 @@ def cmd_serve_bench(args: argparse.Namespace) -> int:
             max_batch_size=max_batch,
             max_delay_ms=args.max_delay_ms,
             max_queue_depth=args.queue_size,
+            degrade=degrade,
         )
         with server:
             return serve.run_closed_loop(
@@ -205,12 +224,24 @@ def cmd_serve_bench(args: argparse.Namespace) -> int:
                 args.precision,
                 n_requests=args.requests,
                 concurrency=args.concurrency,
+                deadline_ms=deadline_ms,
             )
 
-    result = run(args.max_batch)
+    injector = chaos_preset(args.chaos) if args.chaos is not None else None
+    if injector is not None:
+        with use_injector(injector):
+            result = run(args.max_batch)
+    else:
+        result = run(args.max_batch)
     baseline = None
     if not args.skip_baseline and args.max_batch > 1:
         baseline = run(1)
+
+    # with chaos armed, typed failures are expected; what must never
+    # happen is a submitted request whose future simply never resolves
+    failed = result.lost > 0 or (
+        args.chaos is None and result.client_errors > 0
+    )
 
     if args.json:
         payload = {
@@ -220,16 +251,24 @@ def cmd_serve_bench(args: argparse.Namespace) -> int:
             "concurrency": args.concurrency,
             "workers": args.workers,
             "max_batch": args.max_batch,
+            "deadline_ms": deadline_ms,
+            "chaos_seed": args.chaos,
             "memory_kb": float(servable.memory_kb),
             "energy_uj_per_image": float(servable.energy_uj_per_image),
             "report": dataclasses.asdict(result.report),
             "retries": result.retries,
             "client_errors": result.client_errors,
+            "deadline_expired": result.deadline_expired,
+            "lost": result.lost,
+            "accounted": result.accounted,
+            "submitted": result.submitted,
         }
+        if injector is not None:
+            payload["injected_faults"] = injector.counts()
         if baseline is not None:
             payload["baseline_report"] = dataclasses.asdict(baseline.report)
         print(json.dumps(payload, indent=2))
-        return 0 if result.client_errors == 0 else 1
+        return 1 if failed else 0
 
     print()
     print(f"closed loop: {args.requests} requests, {args.concurrency} clients, "
@@ -239,6 +278,17 @@ def cmd_serve_bench(args: argparse.Namespace) -> int:
         print(f"backpressure retries    : {result.retries}")
     if result.client_errors:
         print(f"client errors           : {result.client_errors}")
+    if result.deadline_expired:
+        print(f"deadline expired        : {result.deadline_expired}")
+    if result.lost:
+        print(f"LOST futures            : {result.lost}")
+    if injector is not None:
+        fired = ", ".join(
+            f"{site}:{count}" for site, count in sorted(injector.counts().items())
+        ) or "(none)"
+        print(f"injected faults         : {fired}")
+        print(f"accounted               : {result.accounted}/{result.submitted} "
+              "(result | deadline | typed error)")
 
     if baseline is not None:
         speedup = (
@@ -444,6 +494,16 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--weights", default="",
                        help="optional trained weights (.npz) to serve")
     bench.add_argument("--seed", type=int, default=0)
+    bench.add_argument("--deadline-ms", type=float, default=0.0,
+                       help="per-request queueing deadline (0 = none)")
+    bench.add_argument("--chaos", type=int, default=None, metavar="SEED",
+                       help="arm the seeded fault injector for the run")
+    bench.add_argument("--degrade", default="",
+                       choices=[""] + [s.key for s in PAPER_PRECISIONS],
+                       help="reroute to this precision when overloaded")
+    bench.add_argument("--degrade-watermark", type=int, default=0,
+                       help="queue depth that triggers degradation "
+                            "(default: queue-size // 2)")
     bench.add_argument("--skip-baseline", action="store_true",
                        help="skip the max-batch=1 comparison run")
     bench.add_argument("--json", action="store_true",

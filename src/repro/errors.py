@@ -44,3 +44,41 @@ class ServerOverloadedError(ServingError):
 
 class ServerClosedError(ServingError):
     """A request was submitted to a server that is draining or stopped."""
+
+
+class DeadlineExceededError(ServingError):
+    """A request's deadline expired before a worker started computing it.
+
+    Raised through the request's future when the batcher evicts the
+    request instead of spending compute on an answer nobody is waiting
+    for anymore.
+    """
+
+
+class ResultTimeoutError(ServingError):
+    """``ServeFuture.result(timeout=...)`` gave up waiting.
+
+    Distinct from :class:`DeadlineExceededError`: the *server* never
+    resolved the future within the caller's local wait budget, so the
+    request may still complete later.  A load generator counts these as
+    lost futures.
+    """
+
+
+class WorkerStallError(ServingError):
+    """Worker threads survived the shutdown deadline and were leaked.
+
+    ``InferenceServer.stop(timeout=...)`` raises this instead of
+    reporting a clean stop when one or more workers are still alive
+    after the shared join deadline.
+    """
+
+
+class FaultInjectedError(ReproError):
+    """An error raised on purpose by :class:`repro.resilience.FaultInjector`.
+
+    Recovery paths treat it like the transient infrastructure failure it
+    stands in for (a died worker, a flaky filesystem read, a wedged
+    forward pass); it is never raised unless a test or a chaos run armed
+    the injector.
+    """

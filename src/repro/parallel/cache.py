@@ -37,6 +37,8 @@ import numpy as np
 from repro.core.precision import PrecisionSpec
 from repro.core.sweep import PrecisionResult, SweepConfig
 from repro.data.dataset import DataSplit
+from repro.errors import FaultInjectedError
+from repro.resilience.faults import get_injector
 from repro.version import __version__
 
 __all__ = [
@@ -165,15 +167,30 @@ class SweepCache:
 
     # -- results -------------------------------------------------------
     def get(self, key: str) -> Optional[PrecisionResult]:
-        """Cached result for ``key``, or None (corrupt entries -> miss)."""
+        """Cached result for ``key``, or None (corrupt entries -> miss).
+
+        The ``cache.read`` fault-injection site lives here: an injected
+        raise is treated as a transient miss (the entry survives on
+        disk), an injected corruption flows through the normal
+        corrupt-entry recovery below.
+        """
         path = self._path(key, ".json")
         try:
+            get_injector().fire("cache.read")
             with open(path, "r", encoding="utf-8") as handle:
                 payload = json.load(handle)
+            payload = get_injector().corrupt("cache.read", payload)
             if payload.get("schema") != CACHE_SCHEMA:
                 raise ValueError(f"schema {payload.get('schema')!r}")
             result = payload_to_result(payload)
         except FileNotFoundError:
+            self.misses += 1
+            return None
+        except FaultInjectedError:
+            logger.warning(
+                "sweep cache: injected fault reading %s; treating as a miss",
+                path,
+            )
             self.misses += 1
             return None
         except (ValueError, KeyError, TypeError, OSError) as exc:

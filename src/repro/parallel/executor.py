@@ -31,13 +31,16 @@ from __future__ import annotations
 
 import dataclasses
 import pickle
+import random
 import time
 import warnings
 from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures.process import BrokenProcessPool
 from typing import Dict, List, Optional, Sequence, Union
 
 from repro.core.precision import PrecisionSpec
 from repro.core.sweep import PrecisionResult, PrecisionSweep
+from repro.errors import FaultInjectedError, TrainingError
 from repro.nn.serialization import network_state, state_digest
 from repro.obs.hooks import ProgressNarrator
 from repro.obs.metrics import get_metrics
@@ -48,8 +51,17 @@ from repro.parallel.cache import (
     split_fingerprint,
 )
 from repro.parallel.tasks import PointOutcome, SweepPointTask, run_sweep_point
+from repro.resilience.faults import get_injector
+from repro.resilience.retry import RetryPolicy, retry_call
 
-__all__ = ["run_sweep", "resolve_cache"]
+__all__ = ["run_sweep", "resolve_cache", "DEFAULT_POINT_RETRY"]
+
+#: Backoff applied to sweep points that die transiently — an injected
+#: ``parallel.point`` fault or a worker process crashing out from under
+#: its :class:`ProcessPoolExecutor` (``BrokenProcessPool``).
+DEFAULT_POINT_RETRY = RetryPolicy(
+    max_attempts=3, base_delay_s=0.05, max_delay_s=1.0
+)
 
 CacheLike = Union[None, bool, str, SweepCache]
 
@@ -140,12 +152,21 @@ def run_sweep(
     cache: CacheLike = None,
     refresh: bool = False,
     progress: bool = False,
+    retry: Optional[RetryPolicy] = None,
 ) -> List[PrecisionResult]:
     """Run ``sweep`` over ``precisions`` with caching and N processes.
 
     See :meth:`repro.core.sweep.PrecisionSweep.run` for the argument
     contract; this function is its implementation for any combination
     of ``workers``/``cache``/``refresh``.
+
+    ``retry`` (default :data:`DEFAULT_POINT_RETRY`) governs recovery
+    from transient point failures: a worker process dying mid-point
+    (``BrokenProcessPool``) rebuilds the pool and resubmits only the
+    unfinished points; an injected ``parallel.point`` fault re-runs the
+    point in place.  Because every point derives its RNG stream from
+    the root seed alone, a retried point is bitwise identical to an
+    undisturbed one.
     """
     from repro.core.precision import PAPER_PRECISIONS
 
@@ -238,6 +259,18 @@ def run_sweep(
             store.put(keys[spec.key], outcome.result)
         narrator.point(spec.key, cached=False, seconds=outcome.elapsed_s)
 
+    policy = retry or DEFAULT_POINT_RETRY
+    backoff_rng = random.Random(0)
+
+    def note_retry(attempt: int, error: BaseException) -> None:
+        metrics.counter("parallel.retries").inc()
+        warnings.warn(
+            f"sweep point attempt {attempt + 1} failed transiently "
+            f"({error}); retrying",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+
     if parallel:
         tasks = {
             index: SweepPointTask(
@@ -251,23 +284,105 @@ def run_sweep(
             for index in misses
         }
         with tracer.span("parallel.dispatch", points=len(misses), workers=workers):
-            with ProcessPoolExecutor(
-                max_workers=min(workers, len(misses))
-            ) as pool:
-                futures = {
-                    pool.submit(run_sweep_point, task): index
-                    for index, task in tasks.items()
-                }
-                for future in as_completed(futures):
-                    record(futures[future], future.result())
+            _dispatch_with_retry(
+                tasks, workers, record, policy, backoff_rng, metrics
+            )
     else:
         for index in misses:
-            started = time.perf_counter()
-            result = sweep.run_precision(specs[index])
-            outcome = PointOutcome(
-                result=result, worker=0, elapsed_s=time.perf_counter() - started
+
+            def run_one(spec=specs[index]):
+                get_injector().fire("parallel.point")
+                started = time.perf_counter()
+                result = sweep.run_precision(spec)
+                return PointOutcome(
+                    result=result,
+                    worker=0,
+                    elapsed_s=time.perf_counter() - started,
+                )
+
+            outcome = retry_call(
+                run_one,
+                policy=policy,
+                retry_on=(FaultInjectedError,),
+                rng=backoff_rng,
+                on_retry=note_retry,
             )
             record(index, outcome)
 
     narrator.close(cache_hits=store.hits if store else 0)
     return [result for result in results if result is not None]
+
+
+def _dispatch_with_retry(
+    tasks: Dict[int, SweepPointTask],
+    workers: int,
+    record,
+    policy: RetryPolicy,
+    backoff_rng: random.Random,
+    metrics,
+) -> None:
+    """Dispatch tasks to a process pool, surviving worker deaths.
+
+    A :class:`BrokenProcessPool` poisons the whole executor, so the
+    pool is torn down and rebuilt and only the still-unfinished points
+    are resubmitted; each resubmission counts one attempt against every
+    pending point.  An injected ``parallel.point`` fault (fired in the
+    parent as each point completes) fails just that point, which stays
+    pending for the next round.  Points exhaust after
+    ``policy.max_attempts`` rounds.
+    """
+    pending = dict(tasks)
+    attempts = {index: 0 for index in tasks}
+    while pending:
+        pool_broke = False
+        with ProcessPoolExecutor(max_workers=min(workers, len(pending))) as pool:
+            futures = {
+                pool.submit(run_sweep_point, task): index
+                for index, task in pending.items()
+            }
+            for future in as_completed(futures):
+                index = futures[future]
+                try:
+                    outcome = future.result()
+                    get_injector().fire("parallel.point")
+                except BrokenProcessPool:
+                    pool_broke = True
+                    break
+                except FaultInjectedError as error:
+                    attempts[index] += 1
+                    if attempts[index] >= policy.max_attempts:
+                        raise
+                    metrics.counter("parallel.retries").inc()
+                    warnings.warn(
+                        f"sweep point {index} failed transiently ({error}); "
+                        "will resubmit",
+                        RuntimeWarning,
+                        stacklevel=2,
+                    )
+                    continue
+                record(index, outcome)
+                pending.pop(index)
+        if not pending:
+            return
+        if pool_broke:
+            metrics.counter("parallel.pool_rebuilds").inc()
+            for index in pending:
+                attempts[index] += 1
+            exhausted = sorted(
+                index for index in pending
+                if attempts[index] >= policy.max_attempts
+            )
+            if exhausted:
+                raise TrainingError(
+                    f"sweep points {exhausted} still failing after "
+                    f"{policy.max_attempts} attempts: worker processes "
+                    "keep dying (BrokenProcessPool)"
+                )
+            warnings.warn(
+                f"worker process died; rebuilding pool and resubmitting "
+                f"{len(pending)} unfinished point(s)",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+        round_attempt = max(attempts[index] for index in pending) - 1
+        time.sleep(policy.backoff_s(max(round_attempt, 0), backoff_rng))

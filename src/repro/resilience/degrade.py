@@ -1,0 +1,59 @@
+"""Graceful degradation: shed load by dropping precision, not requests.
+
+The paper's central result is that precision trades accuracy for
+energy; under overload the same dial trades accuracy for *throughput*.
+A :class:`DegradePolicy` watches queue depth at admission time: past
+the watermark, new requests whose precision has a configured fallback
+are rerouted to the lower-precision servable of the same network —
+cheaper per image on the modeled accelerator, so the queue drains
+faster — instead of being rejected outright.  The response still
+arrives, carries the fallback model key, and is counted in
+``ServerStats.degraded`` / the ``serve.degraded`` metric, so operators
+can see exactly how much accuracy the overload cost.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.errors import ConfigurationError
+
+__all__ = ["DegradePolicy"]
+
+
+class DegradePolicy:
+    """Reroute admissions to lower precision above a queue watermark.
+
+    Args:
+        watermark: queue depth (inclusive) at which degradation kicks
+            in.  A good default is half the server's ``max_queue_depth``
+            — early enough to act before backpressure rejections start.
+        fallback: ``precision key -> lower-precision key`` map; a
+            precision without an entry is never degraded.  Chains are
+            not followed: one submission degrades at most one step.
+    """
+
+    def __init__(self, watermark: int, fallback: Mapping[str, str]):
+        if watermark < 1:
+            raise ConfigurationError("watermark must be >= 1")
+        if not fallback:
+            raise ConfigurationError("fallback map must not be empty")
+        for source, target in fallback.items():
+            if source == target:
+                raise ConfigurationError(
+                    f"fallback for {source!r} must name a different precision"
+                )
+        self.watermark = watermark
+        self.fallback = dict(fallback)
+
+    def route(self, precision: str, queue_depth: int) -> str:
+        """The precision to actually serve at the given queue depth."""
+        if queue_depth >= self.watermark:
+            return self.fallback.get(precision, precision)
+        return precision
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"DegradePolicy(watermark={self.watermark}, "
+            f"fallback={self.fallback!r})"
+        )

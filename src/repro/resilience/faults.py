@@ -1,0 +1,219 @@
+"""Seeded fault injection at named sites.
+
+Production code is sprinkled with cheap hooks — ``fire(site)`` before
+doing real work, ``corrupt(site, value)`` on data it produced — and a
+:class:`FaultInjector` decides, on a seeded schedule, whether anything
+actually happens.  The default injector has nothing armed, so the hooks
+cost one dict lookup; tests and chaos runs arm sites to *prove* every
+recovery path (store-build retries, batcher deadline eviction, sweep
+point resubmission, cache corrupt-entry recovery) instead of trusting
+that the except clauses would work.
+
+Named sites (:data:`SITES`):
+
+``store.build``
+    :meth:`repro.serve.ModelStore.get` building a servable on a miss.
+``engine.forward``
+    one micro-batch forward pass inside a serve worker.
+``parallel.point``
+    one sweep point completing in :func:`repro.parallel.run_sweep`.
+``cache.read``
+    :meth:`repro.parallel.SweepCache.get` reading a result entry.
+
+Modes: ``raise`` (a :class:`~repro.errors.FaultInjectedError`),
+``delay`` (sleep ``delay_s``), ``corrupt`` (mangle the value passed to
+:meth:`FaultInjector.corrupt`).  Each armed spec fires with probability
+``rate`` per visit, at most ``max_fires`` times, from one seeded RNG —
+so a chaos run replays identically for the same seed.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from contextlib import contextmanager
+from typing import Callable, Dict, Iterator, List, Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError, FaultInjectedError
+
+__all__ = [
+    "SITES",
+    "FaultInjector",
+    "get_injector",
+    "set_injector",
+    "use_injector",
+    "chaos_preset",
+]
+
+#: Every site the codebase is instrumented with.
+SITES = ("store.build", "engine.forward", "parallel.point", "cache.read")
+
+_MODES = ("raise", "delay", "corrupt")
+
+
+class _Armed:
+    """One armed fault: mode + schedule + fire accounting."""
+
+    __slots__ = ("mode", "rate", "delay_s", "max_fires", "fired")
+
+    def __init__(self, mode: str, rate: float, delay_s: float,
+                 max_fires: Optional[int]):
+        self.mode = mode
+        self.rate = rate
+        self.delay_s = delay_s
+        self.max_fires = max_fires
+        self.fired = 0
+
+    def exhausted(self) -> bool:
+        return self.max_fires is not None and self.fired >= self.max_fires
+
+
+class FaultInjector:
+    """Thread-safe, seeded scheduler of raise/delay/corrupt faults.
+
+    Args:
+        seed: seeds the per-visit coin flips and the corruption noise;
+            two injectors with the same seed and arming produce the
+            same schedule.
+        sleep: injectable for tests that assert delay behaviour without
+            actually waiting.
+    """
+
+    def __init__(self, seed: int = 0,
+                 sleep: Callable[[float], None] = time.sleep):
+        self._rng = random.Random(seed)
+        self._noise = np.random.default_rng(seed)
+        self._sleep = sleep
+        self._lock = threading.Lock()
+        self._specs: Dict[str, List[_Armed]] = {}
+        self._counts: Dict[str, int] = {}
+
+    # -- arming ---------------------------------------------------------
+    def arm(
+        self,
+        site: str,
+        mode: str = "raise",
+        rate: float = 1.0,
+        delay_s: float = 0.01,
+        max_fires: Optional[int] = None,
+    ) -> "FaultInjector":
+        """Arm one fault at ``site``; returns self for chaining."""
+        if mode not in _MODES:
+            raise ConfigurationError(f"unknown fault mode {mode!r}")
+        if not 0.0 <= rate <= 1.0:
+            raise ConfigurationError("rate must be in [0, 1]")
+        with self._lock:
+            self._specs.setdefault(site, []).append(
+                _Armed(mode, rate, delay_s, max_fires)
+            )
+        return self
+
+    def disarm(self, site: Optional[str] = None) -> None:
+        """Remove armed faults at ``site`` (or everywhere)."""
+        with self._lock:
+            if site is None:
+                self._specs.clear()
+            else:
+                self._specs.pop(site, None)
+
+    @property
+    def armed(self) -> bool:
+        return bool(self._specs)
+
+    def counts(self) -> Dict[str, int]:
+        """``site -> times a fault actually fired`` (all modes)."""
+        with self._lock:
+            return dict(self._counts)
+
+    # -- firing ----------------------------------------------------------
+    def _draw(self, site: str, modes: tuple) -> List[_Armed]:
+        """Coin-flip each armed spec of the wanted modes; count fires."""
+        hits: List[_Armed] = []
+        with self._lock:
+            for spec in self._specs.get(site, ()):
+                if spec.mode not in modes or spec.exhausted():
+                    continue
+                if spec.rate < 1.0 and self._rng.random() >= spec.rate:
+                    continue
+                spec.fired += 1
+                self._counts[site] = self._counts.get(site, 0) + 1
+                hits.append(spec)
+        return hits
+
+    def fire(self, site: str) -> None:
+        """Maybe delay, maybe raise.  No-op unless ``site`` is armed."""
+        if not self._specs:          # fast path: nothing armed anywhere
+            return
+        hits = self._draw(site, ("raise", "delay"))
+        for spec in hits:
+            if spec.mode == "delay":
+                self._sleep(spec.delay_s)
+        for spec in hits:
+            if spec.mode == "raise":
+                raise FaultInjectedError(f"injected fault at {site!r}")
+
+    def corrupt(self, site: str, value):
+        """Return ``value`` mangled if a corrupt fault fires, else as-is.
+
+        Arrays get large additive noise (wrong answers, right shape);
+        mappings become a schema-breaking stub; everything else becomes
+        ``None`` — each a realistic flavour of silent data damage.
+        """
+        if not self._specs:
+            return value
+        if not self._draw(site, ("corrupt",)):
+            return value
+        if isinstance(value, np.ndarray):
+            noise = self._noise.normal(0.0, 1.0, size=value.shape)
+            scale = 10.0 * (np.abs(value).max() + 1.0)
+            return (value + scale * noise).astype(value.dtype, copy=False)
+        if isinstance(value, dict):
+            return {"__corrupted__": True}
+        return None
+
+
+#: Process-wide injector; nothing armed, so instrumented code pays only
+#: an attribute lookup until a test or chaos run arms it.
+_injector = FaultInjector()
+
+
+def get_injector() -> FaultInjector:
+    """The process-wide injector consulted by instrumented code."""
+    return _injector
+
+
+def set_injector(injector: FaultInjector) -> FaultInjector:
+    """Replace the process-wide injector; returns the previous one."""
+    global _injector
+    previous = _injector
+    _injector = injector
+    return previous
+
+
+@contextmanager
+def use_injector(injector: FaultInjector) -> Iterator[FaultInjector]:
+    """Temporarily install ``injector`` as the process-wide one."""
+    previous = set_injector(injector)
+    try:
+        yield injector
+    finally:
+        set_injector(previous)
+
+
+def chaos_preset(seed: int = 0) -> FaultInjector:
+    """An injector armed at every site with modest, survivable rates.
+
+    This is the schedule behind ``repro serve-bench --chaos SEED`` and
+    the CI chaos-smoke step: frequent enough that every recovery path
+    runs, rare enough that most traffic still completes.
+    """
+    injector = FaultInjector(seed=seed)
+    injector.arm("store.build", mode="raise", rate=0.25)
+    injector.arm("engine.forward", mode="raise", rate=0.02)
+    injector.arm("engine.forward", mode="delay", rate=0.05, delay_s=0.005)
+    injector.arm("parallel.point", mode="raise", rate=0.2)
+    injector.arm("cache.read", mode="raise", rate=0.2)
+    return injector

@@ -1,0 +1,83 @@
+"""Retry with exponential backoff and full jitter.
+
+One policy object, one entry point.  :func:`retry_call` re-invokes a
+zero-argument callable while it raises one of the ``retry_on`` types,
+sleeping ``uniform(0, min(max_delay, base * 2**attempt))`` between
+attempts — the "full jitter" scheme from the AWS architecture blog,
+which decorrelates retry storms better than equal or truncated jitter
+when many clients fail at once (exactly what a broken worker pool or a
+chaos run produces).
+
+Everything is injectable (clock, rng, sleep) so tests run instantly
+and deterministically.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+from typing import Callable, Optional, Tuple, Type, TypeVar
+
+from repro.errors import ConfigurationError
+
+__all__ = ["RetryPolicy", "retry_call"]
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How often and how patiently to retry.
+
+    Args:
+        max_attempts: total invocations (first try included); the last
+            failure propagates.
+        base_delay_s: backoff cap for the first retry; doubles per
+            attempt.
+        max_delay_s: upper bound on any single sleep.
+    """
+
+    max_attempts: int = 3
+    base_delay_s: float = 0.05
+    max_delay_s: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ConfigurationError("max_attempts must be >= 1")
+        if self.base_delay_s < 0 or self.max_delay_s < 0:
+            raise ConfigurationError("backoff delays must be >= 0")
+
+    def backoff_s(self, attempt: int, rng: random.Random) -> float:
+        """Full-jitter sleep before retry number ``attempt`` (0-based)."""
+        cap = min(self.max_delay_s, self.base_delay_s * (2.0 ** attempt))
+        return rng.uniform(0.0, cap)
+
+
+def retry_call(
+    fn: Callable[[], T],
+    *,
+    policy: Optional[RetryPolicy] = None,
+    retry_on: Tuple[Type[BaseException], ...] = (Exception,),
+    rng: Optional[random.Random] = None,
+    on_retry: Optional[Callable[[int, BaseException], None]] = None,
+    sleep: Callable[[float], None] = time.sleep,
+) -> T:
+    """Call ``fn`` until it returns or the policy is exhausted.
+
+    ``on_retry(attempt, error)`` is invoked before each sleep (attempt
+    is 0-based), which is where callers hook logging and metrics.
+    Errors outside ``retry_on`` propagate immediately.
+    """
+    policy = policy or RetryPolicy()
+    rng = rng or random.Random()
+    for attempt in range(policy.max_attempts):
+        try:
+            return fn()
+        except retry_on as error:
+            if attempt + 1 >= policy.max_attempts:
+                raise
+            if on_retry is not None:
+                on_retry(attempt, error)
+            sleep(policy.backoff_s(attempt, rng))
+    raise AssertionError("unreachable: loop either returns or raises")

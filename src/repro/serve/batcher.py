@@ -19,14 +19,19 @@ from __future__ import annotations
 import threading
 import time
 from collections import deque
-from typing import Deque, Dict, List, Optional, Protocol
+from typing import Callable, Deque, Dict, List, Optional, Protocol
 
 from repro.errors import ConfigurationError, ServerClosedError, ServerOverloadedError
 from repro.serve.request import ModelKey
 
 
 class Batchable(Protocol):
-    """Anything the batcher can group: a model lane plus an arrival time."""
+    """Anything the batcher can group: a model lane plus an arrival time.
+
+    An optional ``deadline_at`` attribute (monotonic seconds, or None)
+    opts the item into deadline eviction: once the clock passes it the
+    batcher drops the item instead of batching it.
+    """
 
     @property
     def model_key(self) -> ModelKey: ...
@@ -69,16 +74,28 @@ class Batcher:
     concurrently.
     """
 
-    def __init__(self, policy: Optional[BatchPolicy] = None, max_queue_depth: int = 256):
+    def __init__(
+        self,
+        policy: Optional[BatchPolicy] = None,
+        max_queue_depth: int = 256,
+        on_expired: Optional[Callable[[List[Batchable]], None]] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ):
         if max_queue_depth < 1:
             raise ConfigurationError("max_queue_depth must be >= 1")
         self.policy = policy or BatchPolicy()
         self.max_queue_depth = max_queue_depth
+        self._on_expired = on_expired
+        self._clock = clock
         self._lanes: Dict[ModelKey, Deque[Batchable]] = {}
         self._claims: set = set()  # lanes a worker is currently assembling
         self._size = 0
         self._closed = False
         self._cond = threading.Condition()
+        # set once any deadlined item is enqueued; until then the
+        # eviction scan is skipped entirely, keeping the no-deadline
+        # hot path exactly as cheap as before
+        self._track_deadlines = False
 
     # ------------------------------------------------------------------
     def put(self, item: Batchable) -> None:
@@ -92,6 +109,8 @@ class Batcher:
                 )
             self._lanes.setdefault(item.model_key, deque()).append(item)
             self._size += 1
+            if getattr(item, "deadline_at", None) is not None:
+                self._track_deadlines = True
             self._cond.notify_all()
 
     def depth(self) -> int:
@@ -128,13 +147,45 @@ class Batcher:
             return None
         return min(candidates, key=lambda key: self._lanes[key][0].enqueued_at)
 
+    def _evict_expired(self) -> None:
+        """Drop queued items whose deadline has passed (lock held).
+
+        Expired items are handed to ``on_expired`` so the engine can
+        fail their futures with ``DeadlineExceededError``; the callback
+        runs under the batcher lock and must not call back in.
+        """
+        if not self._track_deadlines or not self._lanes:
+            return
+        now = self._clock()
+        expired: List[Batchable] = []
+        for key in list(self._lanes):
+            lane = self._lanes[key]
+            kept: Deque[Batchable] = deque()
+            for item in lane:
+                deadline = getattr(item, "deadline_at", None)
+                if deadline is not None and now >= deadline:
+                    expired.append(item)
+                else:
+                    kept.append(item)
+            if len(kept) != len(lane):
+                if kept:
+                    self._lanes[key] = kept
+                else:
+                    del self._lanes[key]
+        if expired:
+            self._size -= len(expired)
+            self._cond.notify_all()
+            if self._on_expired is not None:
+                self._on_expired(expired)
+
     def next_batch(self, timeout: Optional[float] = None) -> Optional[List[Batchable]]:
         """Block until a batch is ready and return it.
 
         Returns ``None`` when the batcher is closed and fully drained
         (the worker's exit signal) and ``[]`` on timeout with nothing
         queued.  May return fewer than ``max_batch_size`` requests when
-        the delay deadline fires first.
+        the delay deadline fires first.  Requests whose ``deadline_at``
+        has passed are evicted (via ``on_expired``), never returned.
 
         Each lane is *claimed* by exactly one worker while its batch
         fills; without the claim, every worker waiting on the same
@@ -142,17 +193,21 @@ class Batcher:
         point of batching.
         """
         with self._cond:
+            # One timeout budget for the whole call: computed exactly
+            # once, so losing a claimed lane to pop_all() or deadline
+            # eviction and looping again never restarts the clock.
+            wait_until = None if timeout is None else self._clock() + timeout
             while True:
                 # Phase 1: wait for a lane nobody else is assembling.
-                wait_until = None if timeout is None else time.monotonic() + timeout
                 while True:
+                    self._evict_expired()
                     key = self._oldest_unclaimed_lane()
                     if key is not None:
                         break
                     if self._closed and self._size == 0:
                         return None
                     remaining = (
-                        None if wait_until is None else wait_until - time.monotonic()
+                        None if wait_until is None else wait_until - self._clock()
                     )
                     if remaining is not None and remaining <= 0:
                         return []
@@ -169,12 +224,15 @@ class Batcher:
                         lane = self._lanes.get(key)
                         if lane is None or len(lane) >= self.policy.max_batch_size:
                             break
-                        remaining = deadline - time.monotonic()
+                        remaining = deadline - self._clock()
                         if remaining <= 0:
                             break
                         self._cond.wait(remaining)
 
-                    # pop_all() may have drained the lane while we waited.
+                    # evict items that expired while the batch filled,
+                    # then re-check: pop_all() or eviction may have
+                    # drained the lane entirely while we waited.
+                    self._evict_expired()
                     lane = self._lanes.get(key)
                     if not lane:
                         continue

@@ -23,7 +23,14 @@ from typing import List, Optional
 
 import numpy as np
 
-from repro.errors import ConfigurationError, ServerClosedError
+from repro.errors import (
+    ConfigurationError,
+    DeadlineExceededError,
+    ServerClosedError,
+    WorkerStallError,
+)
+from repro.resilience.degrade import DegradePolicy
+from repro.resilience.faults import FaultInjector, get_injector
 from repro.serve.batcher import Batcher, BatchPolicy
 from repro.serve.model_store import ModelStore
 from repro.serve.request import (
@@ -50,6 +57,10 @@ class _Pending:
     def enqueued_at(self) -> float:
         return self.request.enqueued_at
 
+    @property
+    def deadline_at(self) -> Optional[float]:
+        return self.request.deadline_at
+
 
 class InferenceServer:
     """Batched, multi-worker serving engine with per-request energy.
@@ -59,6 +70,11 @@ class InferenceServer:
         workers: worker-thread count.
         max_batch_size / max_delay_ms: dynamic-batching policy.
         max_queue_depth: bounded-queue backpressure threshold.
+        degrade: optional overload policy — past its queue-depth
+            watermark, new admissions are rerouted to the configured
+            lower-precision servable (counted in ``stats.degraded``).
+        faults: explicit fault injector; defaults to the process-wide
+            one (unarmed, effectively free).
 
     Use as a context manager for deterministic drain::
 
@@ -76,14 +92,19 @@ class InferenceServer:
         max_batch_size: int = 32,
         max_delay_ms: float = 2.0,
         max_queue_depth: int = 256,
+        degrade: Optional[DegradePolicy] = None,
+        faults: Optional[FaultInjector] = None,
     ):
         if workers < 1:
             raise ConfigurationError("workers must be >= 1")
         self.store = store or ModelStore()
         self.workers = workers
+        self.degrade = degrade
+        self._faults = faults
         self.batcher = Batcher(
             BatchPolicy(max_batch_size=max_batch_size, max_delay_ms=max_delay_ms),
             max_queue_depth=max_queue_depth,
+            on_expired=self._expire_pending,
         )
         self.stats = ServerStats()
         self._threads: List[threading.Thread] = []
@@ -109,7 +130,15 @@ class InferenceServer:
         return self
 
     def stop(self, drain: bool = True, timeout: Optional[float] = None) -> None:
-        """Stop admissions; drain (default) or fail queued requests."""
+        """Stop admissions; drain (default) or fail queued requests.
+
+        ``timeout`` is one shared deadline across *all* worker joins —
+        not a per-thread budget, so the total wait is bounded by
+        ``timeout`` regardless of worker count.  Workers still alive at
+        the deadline raise :class:`~repro.errors.WorkerStallError`
+        (counted under ``serve.leaked_workers``) instead of being
+        silently leaked behind a clean-looking stop.
+        """
         if self._stopped:
             return
         self.batcher.close()
@@ -121,9 +150,21 @@ class InferenceServer:
                 )
             if abandoned:
                 self.stats.record_failure(len(abandoned))
+        deadline = None if timeout is None else time.monotonic() + timeout
         for thread in self._threads:
-            thread.join(timeout)
+            remaining = (
+                None if deadline is None
+                else max(deadline - time.monotonic(), 0.0)
+            )
+            thread.join(remaining)
         self._stopped = True
+        leaked = [thread.name for thread in self._threads if thread.is_alive()]
+        if leaked:
+            self.stats.metrics.counter("serve.leaked_workers").inc(len(leaked))
+            raise WorkerStallError(
+                f"{len(leaked)} worker thread(s) still running after the "
+                f"{timeout}s stop deadline: {', '.join(leaked)}"
+            )
 
     def __enter__(self) -> "InferenceServer":
         return self.start()
@@ -138,33 +179,64 @@ class InferenceServer:
         """Pre-build a servable so first requests don't pay calibration."""
         self.store.warm(network, precision)
 
-    def submit(self, image: np.ndarray, network: str, precision: str) -> ServeFuture:
+    def submit(
+        self,
+        image: np.ndarray,
+        network: str,
+        precision: str,
+        deadline_ms: Optional[float] = None,
+    ) -> ServeFuture:
         """Enqueue one CHW image; returns a future for its result.
 
         Raises :class:`~repro.errors.ServerOverloadedError` when the
         bounded queue is full and :class:`~repro.errors.ServerClosedError`
         after shutdown began — both *before* accepting the request, so
         the caller always knows whether the image was admitted.
+
+        ``deadline_ms`` bounds queueing: if no worker has started the
+        request's batch that many milliseconds after submission, the
+        batcher evicts it and the future raises
+        :class:`~repro.errors.DeadlineExceededError`.
+
+        When a :class:`~repro.resilience.DegradePolicy` is configured
+        and the queue is past its watermark, the request is admitted
+        under the policy's lower-precision fallback instead; the
+        returned result's ``model_key`` names the model that actually
+        served it.
         """
         image = np.asarray(image, dtype=np.float32)
         if image.ndim != 3:
             raise ConfigurationError(
                 f"expected one CHW image, got shape {image.shape}"
             )
+        if deadline_ms is not None and deadline_ms <= 0:
+            raise ConfigurationError("deadline_ms must be positive")
+        degraded = False
+        if self.degrade is not None:
+            routed = self.degrade.route(precision, self.batcher.depth())
+            if routed != precision:
+                precision = routed
+                degraded = True
+        now = time.monotonic()
         request = InferenceRequest(
             image=image,
             model_key=ModelKey(network=network, precision=precision),
             request_id=next(self._ids),
-            enqueued_at=time.monotonic(),
+            enqueued_at=now,
+            deadline_at=None if deadline_ms is None else now + deadline_ms / 1e3,
         )
         future = ServeFuture()
         pending = _Pending(request=request, future=future)
-        self.stats.record_submission()
         try:
             self.batcher.put(pending)
         except Exception:
             self.stats.record_rejection()
             raise
+        # the wall clock starts only once the queue has the request —
+        # rejected bursts must not stretch throughput denominators
+        self.stats.record_admission()
+        if degraded:
+            self.stats.record_degraded()
         return future
 
     def report(self) -> StatsReport:
@@ -174,6 +246,17 @@ class InferenceServer:
     # ------------------------------------------------------------------
     # Workers
     # ------------------------------------------------------------------
+    def _expire_pending(self, expired: List[_Pending]) -> None:
+        """Batcher callback: fail evicted requests with the typed error."""
+        for pending in expired:
+            pending.future.set_exception(
+                DeadlineExceededError(
+                    f"request {pending.request.request_id} missed its "
+                    "deadline before a worker picked it up"
+                )
+            )
+        self.stats.record_deadline_expired(len(expired))
+
     def _worker_loop(self) -> None:
         while True:
             batch = self.batcher.next_batch(timeout=0.1)
@@ -185,11 +268,13 @@ class InferenceServer:
     def _run_batch(self, batch: List[_Pending]) -> None:
         queue_depth = self.batcher.depth()
         started_at = time.monotonic()
+        faults = self._faults or get_injector()
         try:
+            faults.fire("engine.forward")
             key = batch[0].model_key
             servable = self.store.get(key.network, key.precision)
             images = np.stack([pending.request.image for pending in batch], axis=0)
-            logits = servable.forward(images)
+            logits = faults.corrupt("engine.forward", servable.forward(images))
         except Exception as error:
             self.stats.record_failure(len(batch))
             for pending in batch:

@@ -5,6 +5,12 @@ thread submits one image, waits for its result, then submits the next.
 That bounds the queue naturally (offered load adapts to service rate),
 which is the honest way to measure a batching engine — an open loop
 with a fixed rate either starves the batcher or overruns the queue.
+
+Every admitted request is accounted for in exactly one bucket of the
+returned :class:`LoadResult` — result, deadline expiry, typed server
+error, or lost (the future never resolved within the client's wait
+budget).  Chaos runs assert ``lost == 0``: faults may fail requests,
+but never silently swallow them.
 """
 
 from __future__ import annotations
@@ -16,7 +22,12 @@ from typing import List, Optional
 
 import numpy as np
 
-from repro.errors import ConfigurationError, ServerOverloadedError
+from repro.errors import (
+    ConfigurationError,
+    DeadlineExceededError,
+    ResultTimeoutError,
+    ServerOverloadedError,
+)
 from repro.serve.engine import InferenceServer
 from repro.serve.stats import StatsReport
 
@@ -28,7 +39,16 @@ class LoadResult:
     report: StatsReport          # the server's stats over this run
     submitted: int               # requests successfully admitted
     retries: int                 # submissions retried after backpressure
-    client_errors: int           # requests that raised at the client
+    client_errors: int           # requests failed with a typed server error
+    deadline_expired: int = 0    # requests that raised DeadlineExceededError
+    lost: int = 0                # futures that never resolved (wait timeout)
+
+    @property
+    def accounted(self) -> int:
+        """Requests that terminated in a definite outcome."""
+        return (
+            self.report.completed + self.client_errors + self.deadline_expired
+        )
 
 
 def run_closed_loop(
@@ -39,13 +59,15 @@ def run_closed_loop(
     n_requests: int,
     concurrency: int = 32,
     request_timeout_s: float = 120.0,
+    deadline_ms: Optional[float] = None,
 ) -> LoadResult:
     """Drive ``n_requests`` single-image requests through ``server``.
 
     ``images`` is an NCHW pool cycled through round-robin; ``concurrency``
     clients keep that many requests in flight.  Backpressure rejections
     are retried after a short pause (and counted), so every request
-    eventually completes unless the server fails it.
+    eventually completes unless the server fails it.  ``deadline_ms``
+    is attached to every submission when given.
     """
     if n_requests < 1:
         raise ConfigurationError("n_requests must be >= 1")
@@ -53,7 +75,10 @@ def run_closed_loop(
         raise ConfigurationError("concurrency must be >= 1")
     n_images = images.shape[0]
     counter_lock = threading.Lock()
-    state = {"next": 0, "submitted": 0, "retries": 0, "errors": 0}
+    state = {
+        "next": 0, "submitted": 0, "retries": 0,
+        "errors": 0, "deadline": 0, "lost": 0,
+    }
 
     def next_index() -> Optional[int]:
         with counter_lock:
@@ -63,6 +88,10 @@ def run_closed_loop(
             state["next"] += 1
             return index
 
+    def bump(key: str) -> None:
+        with counter_lock:
+            state[key] += 1
+
     def client() -> None:
         while True:
             index = next_index()
@@ -71,19 +100,22 @@ def run_closed_loop(
             image = images[index % n_images]
             while True:
                 try:
-                    future = server.submit(image, network, precision)
+                    future = server.submit(
+                        image, network, precision, deadline_ms=deadline_ms
+                    )
                     break
                 except ServerOverloadedError:
-                    with counter_lock:
-                        state["retries"] += 1
+                    bump("retries")
                     time.sleep(0.001)
-            with counter_lock:
-                state["submitted"] += 1
+            bump("submitted")
             try:
                 future.result(timeout=request_timeout_s)
+            except DeadlineExceededError:
+                bump("deadline")
+            except ResultTimeoutError:
+                bump("lost")
             except Exception:
-                with counter_lock:
-                    state["errors"] += 1
+                bump("errors")
 
     threads: List[threading.Thread] = [
         threading.Thread(target=client, name=f"loadgen-{i}", daemon=True)
@@ -99,4 +131,6 @@ def run_closed_loop(
         submitted=state["submitted"],
         retries=state["retries"],
         client_errors=state["errors"],
+        deadline_expired=state["deadline"],
+        lost=state["lost"],
     )

@@ -19,21 +19,37 @@ accelerator's buffers.
 
 from __future__ import annotations
 
+import functools
+import logging
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple, Type
 
 import numpy as np
 
 from repro.core.precision import get_precision
 from repro.core.quantized import FrozenQuantizedNetwork, QuantizedNetwork
 from repro.data.registry import load_dataset
+from repro.errors import FaultInjectedError
 from repro.hw.energy import EnergyModel
 from repro.hw.memory_footprint import network_memory_footprint
 from repro.nn.serialization import load_network_weights, state_digest
+from repro.obs.metrics import get_metrics
+from repro.resilience.faults import get_injector
+from repro.resilience.retry import RetryPolicy, retry_call
 from repro.serve.request import ModelKey
 from repro.zoo.registry import build_network, network_info
+
+logger = logging.getLogger(__name__)
+
+#: Errors worth a rebuilt attempt: injected chaos and transient I/O
+#: (e.g. a checkpoint read hiccup).  Real configuration mistakes
+#: (unknown network, bad spec) propagate on the first try.
+RETRYABLE_BUILD_ERRORS: Tuple[Type[BaseException], ...] = (
+    FaultInjectedError,
+    OSError,
+)
 
 
 @dataclass
@@ -68,6 +84,9 @@ class ModelStore:
         energy_model: shared :class:`EnergyModel` (reports are cached
             per (network, shape, precision) inside it).
         seed: build seed for networks served without trained weights.
+        retry_policy: backoff policy for servable builds that fail with
+            a :data:`RETRYABLE_BUILD_ERRORS` type (injected faults,
+            transient I/O); other errors propagate immediately.
 
     Eviction only drops the cache's reference — workers holding a
     servable for an in-flight batch keep it alive until they finish.
@@ -81,12 +100,16 @@ class ModelStore:
         calibration_data: Optional[Dict[str, np.ndarray]] = None,
         energy_model: Optional[EnergyModel] = None,
         seed: int = 0,
+        retry_policy: Optional[RetryPolicy] = None,
     ):
         self.memory_budget_kb = memory_budget_kb
         self.weight_paths = dict(weight_paths or {})
         self.calibration_images = calibration_images
         self.energy_model = energy_model or EnergyModel()
         self.seed = seed
+        self.retry_policy = retry_policy or RetryPolicy(
+            max_attempts=3, base_delay_s=0.01, max_delay_s=0.25
+        )
         self._calibration: Dict[str, np.ndarray] = dict(calibration_data or {})
         self._entries: "OrderedDict[ModelKey, Servable]" = OrderedDict()
         self._lock = threading.RLock()
@@ -107,6 +130,7 @@ class ModelStore:
         return self._calibration[dataset]
 
     def _build_servable(self, key: ModelKey) -> Servable:
+        get_injector().fire("store.build")
         info = network_info(key.network)
         spec = get_precision(key.precision)
         network = build_network(key.network, seed=self.seed)
@@ -134,7 +158,13 @@ class ModelStore:
 
     # ------------------------------------------------------------------
     def get(self, network: str, precision: str) -> Servable:
-        """Fetch (building and calibrating on miss) one servable."""
+        """Fetch (building and calibrating on miss) one servable.
+
+        Misses build under the store's retry policy, so a transient
+        failure (an injected fault, a flaky checkpoint read) costs a
+        backoff sleep rather than failing every request in the batch
+        that needed the model.
+        """
         key = ModelKey(network=network, precision=precision)
         with self._lock:
             if key in self._entries:
@@ -142,10 +172,23 @@ class ModelStore:
                 self.hits += 1
                 return self._entries[key]
             self.misses += 1
-            servable = self._build_servable(key)
+            servable = retry_call(
+                functools.partial(self._build_servable, key),
+                policy=self.retry_policy,
+                retry_on=RETRYABLE_BUILD_ERRORS,
+                on_retry=self._note_build_retry,
+            )
             self._entries[key] = servable
             self._evict_over_budget()
             return servable
+
+    @staticmethod
+    def _note_build_retry(attempt: int, error: BaseException) -> None:
+        logger.warning(
+            "model store: servable build attempt %d failed (%s); retrying",
+            attempt + 1, error,
+        )
+        get_metrics().counter("serve.store_build_retries").inc()
 
     def warm(self, network: str, precision: str) -> Servable:
         """Alias for :meth:`get`, named for pre-loading before traffic."""

@@ -15,7 +15,7 @@ from typing import Optional
 
 import numpy as np
 
-from repro.errors import ServingError
+from repro.errors import ResultTimeoutError
 
 
 @dataclass(frozen=True)
@@ -37,12 +37,17 @@ class InferenceRequest:
         request_id: server-assigned monotonically increasing id.
         enqueued_at: ``time.monotonic()`` at submission; latency and the
             batcher's deadline accounting are measured from here.
+        deadline_at: ``time.monotonic()`` value past which the batcher
+            evicts the request instead of computing it (None = no
+            deadline).  A deadline bounds *queueing*: a request whose
+            batch started before the deadline still completes.
     """
 
     image: np.ndarray
     model_key: ModelKey
     request_id: int
     enqueued_at: float
+    deadline_at: Optional[float] = None
 
 
 @dataclass(frozen=True)
@@ -84,7 +89,7 @@ class ServeFuture:
     def result(self, timeout: Optional[float] = None) -> InferenceResult:
         """Block until the request completes; re-raises server errors."""
         if not self._event.wait(timeout):
-            raise ServingError("timed out waiting for inference result")
+            raise ResultTimeoutError("timed out waiting for inference result")
         if self._exception is not None:
             raise self._exception
         assert self._result is not None

@@ -14,7 +14,7 @@ import threading
 import time
 from collections import Counter
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -28,6 +28,8 @@ class StatsReport:
     completed: int
     rejected: int
     failed: int
+    deadline_expired: int          # requests evicted past their deadline
+    degraded: int                  # admissions rerouted to lower precision
     wall_s: float
     throughput_ips: float          # completed images per second
     latency_ms_mean: float
@@ -47,7 +49,10 @@ class StatsReport:
         lines = [
             f"requests completed     : {self.completed}"
             + (f"  (rejected {self.rejected}, failed {self.failed})"
-               if self.rejected or self.failed else ""),
+               if self.rejected or self.failed else "")
+            + (f"  (deadline expired {self.deadline_expired})"
+               if self.deadline_expired else "")
+            + (f"  (degraded {self.degraded})" if self.degraded else ""),
             f"wall time              : {self.wall_s:.3f} s",
             f"throughput             : {self.throughput_ips:.1f} img/s",
             "latency (ms)           : "
@@ -81,8 +86,13 @@ class ServerStats:
     ``snapshot()`` dict as trainer and sweep metrics.
     """
 
-    def __init__(self, metrics: Optional[MetricsRegistry] = None) -> None:
+    def __init__(
+        self,
+        metrics: Optional[MetricsRegistry] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
         self.metrics = metrics or get_metrics()
+        self._clock = clock
         self._lock = threading.Lock()
         self._latencies_ms: List[float] = []
         self._queue_ms: List[float] = []
@@ -91,20 +101,42 @@ class ServerStats:
         self._energy_uj = 0.0
         self._rejected = 0
         self._failed = 0
-        self._first_submit: Optional[float] = None
+        self._deadline_expired = 0
+        self._degraded = 0
+        self._first_admit: Optional[float] = None
         self._last_complete: Optional[float] = None
 
     # ------------------------------------------------------------------
-    def record_submission(self) -> None:
-        now = time.monotonic()
+    def record_admission(self) -> None:
+        """One request accepted by the queue; starts the wall clock.
+
+        Only *admitted* requests start the clock: a rejected burst long
+        before real traffic must not inflate ``wall_s`` (and thereby
+        deflate throughput and energy-per-image denominators).
+        """
+        now = self._clock()
         with self._lock:
-            if self._first_submit is None:
-                self._first_submit = now
+            if self._first_admit is None:
+                self._first_admit = now
+
+    # Backwards-compatible name from when the engine stamped the clock
+    # before the queue accepted the request.
+    record_submission = record_admission
 
     def record_rejection(self) -> None:
         with self._lock:
             self._rejected += 1
         self.metrics.counter("serve.rejected").inc()
+
+    def record_deadline_expired(self, count: int = 1) -> None:
+        with self._lock:
+            self._deadline_expired += count
+        self.metrics.counter("serve.deadline_expired").inc(count)
+
+    def record_degraded(self, count: int = 1) -> None:
+        with self._lock:
+            self._degraded += count
+        self.metrics.counter("serve.degraded").inc(count)
 
     def record_failure(self, count: int = 1) -> None:
         with self._lock:
@@ -121,7 +153,7 @@ class ServerStats:
     def record_completion(
         self, latency_ms: float, queue_ms: float, energy_uj: float
     ) -> None:
-        now = time.monotonic()
+        now = self._clock()
         with self._lock:
             self._latencies_ms.append(latency_ms)
             self._queue_ms.append(queue_ms)
@@ -150,8 +182,8 @@ class ServerStats:
             queue_ms = np.asarray(self._queue_ms, dtype=np.float64)
             completed = int(latencies.size)
             wall_s = 0.0
-            if self._first_submit is not None and self._last_complete is not None:
-                wall_s = max(self._last_complete - self._first_submit, 0.0)
+            if self._first_admit is not None and self._last_complete is not None:
+                wall_s = max(self._last_complete - self._first_admit, 0.0)
             n_batches = sum(self._batch_sizes.values())
             batched_images = sum(
                 size * count for size, count in self._batch_sizes.items()
@@ -164,6 +196,8 @@ class ServerStats:
                 completed=completed,
                 rejected=self._rejected,
                 failed=self._failed,
+                deadline_expired=self._deadline_expired,
+                degraded=self._degraded,
                 wall_s=wall_s,
                 throughput_ips=completed / wall_s if wall_s > 0 else 0.0,
                 latency_ms_mean=float(latencies.mean()) if completed else 0.0,

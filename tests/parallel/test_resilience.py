@@ -1,0 +1,184 @@
+"""Sweep resilience: pool rebuilds, point retries, cache fault recovery."""
+
+import functools
+import os
+
+import pytest
+
+from repro.core.precision import get_precision
+from repro.core.sweep import PrecisionResult, PrecisionSweep, SweepConfig
+from repro.data import load_dataset
+from repro.errors import FaultInjectedError, TrainingError
+from repro.obs.metrics import get_metrics
+from repro.parallel import SweepCache, run_sweep
+from repro.resilience import FaultInjector, RetryPolicy, use_injector
+from tests.conftest import make_tiny_cnn
+
+
+def tiny_config(**overrides):
+    defaults = dict(float_epochs=1, qat_epochs=1, batch_size=16, seed=0)
+    defaults.update(overrides)
+    return SweepConfig(**defaults)
+
+
+@pytest.fixture(scope="module")
+def split():
+    return load_dataset("digits", n_train=80, n_test=60, seed=0)
+
+
+def make_sweep(split):
+    return PrecisionSweep(
+        functools.partial(make_tiny_cnn, 5), split, tiny_config()
+    )
+
+
+FAST_RETRY = RetryPolicy(max_attempts=3, base_delay_s=0.0, max_delay_s=0.0)
+
+
+# -- worker-process death (BrokenProcessPool) ---------------------------
+
+def crash_once_builder(sentinel_path, parent_pid, n_classes):
+    """Builder that kills the first *worker* process that calls it.
+
+    ``os._exit`` skips all cleanup, exactly like an OOM kill, which is
+    what turns the pool's pending futures into BrokenProcessPool.  The
+    parent (baseline training, digests) is never crashed, and the
+    sentinel file makes the crash happen exactly once per test.
+    """
+    if os.getpid() != parent_pid and not os.path.exists(sentinel_path):
+        with open(sentinel_path, "w") as handle:
+            handle.write(str(os.getpid()))
+        os._exit(3)
+    return make_tiny_cnn(n_classes)
+
+
+def test_broken_pool_is_rebuilt_and_points_resubmitted(split, tmp_path):
+    sentinel = str(tmp_path / "crashed-once")
+    sweep = PrecisionSweep(
+        functools.partial(crash_once_builder, sentinel, os.getpid(), 5),
+        split,
+        tiny_config(),
+    )
+    rebuilds = get_metrics().counter("parallel.pool_rebuilds")
+    before = rebuilds.value
+    with pytest.warns(RuntimeWarning, match="rebuilding pool"):
+        results = run_sweep(
+            sweep, ["fixed8", "binary"], workers=2, retry=FAST_RETRY
+        )
+    assert os.path.exists(sentinel)  # a worker really died
+    assert rebuilds.value > before
+    assert [r.spec.key for r in results] == ["fixed8", "binary"]
+    # resubmitted points are bitwise identical to an undisturbed run
+    reference = PrecisionSweep(
+        functools.partial(make_tiny_cnn, 5), split, tiny_config()
+    )
+    for result in results:
+        want = reference.run_precision(result.spec)
+        assert result.accuracy == want.accuracy
+        assert result.history == want.history
+
+
+def crash_always_builder(parent_pid, n_classes):
+    """Builder that kills every worker process that ever calls it."""
+    if os.getpid() != parent_pid:
+        os._exit(3)
+    return make_tiny_cnn(n_classes)
+
+
+def test_workers_that_keep_dying_exhaust_the_policy(split):
+    sweep = PrecisionSweep(
+        functools.partial(crash_always_builder, os.getpid(), 5),
+        split,
+        tiny_config(),
+    )
+    with pytest.warns(RuntimeWarning):
+        with pytest.raises(TrainingError, match="still failing"):
+            run_sweep(
+                sweep,
+                ["fixed8", "binary"],
+                workers=2,
+                retry=RetryPolicy(
+                    max_attempts=2, base_delay_s=0.0, max_delay_s=0.0
+                ),
+            )
+
+
+# -- injected parallel.point faults -------------------------------------
+
+def test_sequential_point_fault_is_retried(split):
+    injector = FaultInjector().arm("parallel.point", rate=1.0, max_fires=1)
+    with use_injector(injector):
+        with pytest.warns(RuntimeWarning, match="retrying"):
+            results = run_sweep(
+                make_sweep(split), ["fixed8"], workers=1, retry=FAST_RETRY
+            )
+    assert injector.counts() == {"parallel.point": 1}
+    assert len(results) == 1
+    want = make_sweep(split).run_precision(get_precision("fixed8"))
+    assert results[0].accuracy == want.accuracy  # retry kept determinism
+
+
+def test_sequential_point_fault_exhaustion_propagates(split):
+    injector = FaultInjector().arm("parallel.point", rate=1.0)
+    with use_injector(injector):
+        with pytest.warns(RuntimeWarning):
+            with pytest.raises(FaultInjectedError):
+                run_sweep(
+                    make_sweep(split),
+                    ["fixed8"],
+                    workers=1,
+                    retry=RetryPolicy(
+                        max_attempts=2, base_delay_s=0.0, max_delay_s=0.0
+                    ),
+                )
+    assert injector.counts() == {"parallel.point": 2}  # one per attempt
+
+
+def test_parallel_point_fault_resubmits_just_that_point(split):
+    injector = FaultInjector().arm("parallel.point", rate=1.0, max_fires=1)
+    with use_injector(injector):
+        with pytest.warns(RuntimeWarning, match="resubmit"):
+            results = run_sweep(
+                make_sweep(split),
+                ["fixed8", "binary"],
+                workers=2,
+                retry=FAST_RETRY,
+            )
+    assert [r.spec.key for r in results] == ["fixed8", "binary"]
+    assert injector.counts() == {"parallel.point": 1}
+
+
+# -- injected cache.read faults -----------------------------------------
+
+def fixed8_result():
+    return PrecisionResult(
+        spec=get_precision("fixed8"),
+        accuracy=0.75,
+        converged=True,
+        history={"val_accuracy": [0.5, 0.75]},
+    )
+
+
+def test_cache_read_raise_is_a_transient_miss(tmp_path):
+    cache = SweepCache(str(tmp_path))
+    path = cache.put("ab" * 32, fixed8_result())
+    injector = FaultInjector().arm("cache.read", rate=1.0, max_fires=1)
+    with use_injector(injector):
+        assert cache.get("ab" * 32) is None       # injected raise -> miss
+        assert os.path.exists(path)               # ...but the entry survives
+        hit = cache.get("ab" * 32)                # fault exhausted -> hit
+    assert hit is not None and hit.accuracy == 0.75
+    assert cache.misses == 1 and cache.hits == 1
+
+
+def test_cache_read_corruption_drops_the_entry(tmp_path):
+    cache = SweepCache(str(tmp_path))
+    path = cache.put("cd" * 32, fixed8_result())
+    injector = FaultInjector().arm(
+        "cache.read", mode="corrupt", rate=1.0, max_fires=1
+    )
+    with use_injector(injector):
+        assert cache.get("cd" * 32) is None  # corrupt payload -> recovery
+    assert not os.path.exists(path)          # corrupt entries are removed
+    assert cache.get("cd" * 32) is None      # stays a plain miss
+    assert cache.misses == 2

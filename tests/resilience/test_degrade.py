@@ -1,0 +1,36 @@
+"""DegradePolicy: validation and watermark routing."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.resilience import DegradePolicy
+
+
+def test_validation():
+    with pytest.raises(ConfigurationError):
+        DegradePolicy(watermark=0, fallback={"fixed8": "fixed4"})
+    with pytest.raises(ConfigurationError):
+        DegradePolicy(watermark=4, fallback={})
+    with pytest.raises(ConfigurationError):
+        DegradePolicy(watermark=4, fallback={"fixed8": "fixed8"})
+
+
+def test_routes_only_at_or_above_watermark():
+    policy = DegradePolicy(watermark=10, fallback={"fixed8": "fixed4"})
+    assert policy.route("fixed8", 0) == "fixed8"
+    assert policy.route("fixed8", 9) == "fixed8"
+    assert policy.route("fixed8", 10) == "fixed4"  # watermark is inclusive
+    assert policy.route("fixed8", 500) == "fixed4"
+
+
+def test_unmapped_precision_never_degrades():
+    policy = DegradePolicy(watermark=1, fallback={"fixed8": "fixed4"})
+    assert policy.route("float32", 100) == "float32"
+
+
+def test_chains_are_not_followed():
+    policy = DegradePolicy(
+        watermark=1, fallback={"fixed8": "fixed4", "fixed4": "fixed2"}
+    )
+    # one submission degrades at most one step
+    assert policy.route("fixed8", 5) == "fixed4"

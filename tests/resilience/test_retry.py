@@ -1,0 +1,120 @@
+"""RetryPolicy / retry_call: jitter bounds, attempt accounting."""
+
+import random
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.resilience import RetryPolicy, retry_call
+
+
+def test_policy_validation():
+    with pytest.raises(ConfigurationError):
+        RetryPolicy(max_attempts=0)
+    with pytest.raises(ConfigurationError):
+        RetryPolicy(base_delay_s=-0.1)
+    with pytest.raises(ConfigurationError):
+        RetryPolicy(max_delay_s=-1.0)
+
+
+def test_backoff_is_full_jitter_within_cap():
+    policy = RetryPolicy(max_attempts=10, base_delay_s=0.1, max_delay_s=1.0)
+    rng = random.Random(0)
+    for attempt in range(10):
+        cap = min(1.0, 0.1 * 2.0 ** attempt)
+        for _ in range(50):
+            delay = policy.backoff_s(attempt, rng)
+            assert 0.0 <= delay <= cap
+
+
+def test_backoff_deterministic_under_seeded_rng():
+    policy = RetryPolicy()
+    a = [policy.backoff_s(i, random.Random(7)) for i in range(5)]
+    b = [policy.backoff_s(i, random.Random(7)) for i in range(5)]
+    assert a == b
+
+
+def test_first_try_success_never_sleeps():
+    sleeps = []
+    result = retry_call(lambda: "ok", sleep=sleeps.append)
+    assert result == "ok"
+    assert sleeps == []
+
+
+def test_retries_then_succeeds():
+    calls = []
+    retried = []
+
+    def flaky():
+        calls.append(1)
+        if len(calls) < 3:
+            raise OSError("transient")
+        return 42
+
+    result = retry_call(
+        flaky,
+        policy=RetryPolicy(max_attempts=5),
+        retry_on=(OSError,),
+        rng=random.Random(0),
+        on_retry=lambda attempt, error: retried.append((attempt, type(error))),
+        sleep=lambda s: None,
+    )
+    assert result == 42
+    assert len(calls) == 3
+    assert retried == [(0, OSError), (1, OSError)]
+
+
+def test_exhaustion_propagates_last_error():
+    calls = []
+
+    def always_fails():
+        calls.append(1)
+        raise OSError(f"attempt {len(calls)}")
+
+    with pytest.raises(OSError, match="attempt 3"):
+        retry_call(
+            always_fails,
+            policy=RetryPolicy(max_attempts=3),
+            retry_on=(OSError,),
+            sleep=lambda s: None,
+        )
+    assert len(calls) == 3
+
+
+def test_non_retryable_error_propagates_immediately():
+    calls = []
+
+    def wrong_kind():
+        calls.append(1)
+        raise ValueError("not transient")
+
+    with pytest.raises(ValueError):
+        retry_call(
+            wrong_kind,
+            policy=RetryPolicy(max_attempts=5),
+            retry_on=(OSError,),
+            sleep=lambda s: None,
+        )
+    assert len(calls) == 1
+
+
+def test_sleeps_follow_the_policy_schedule():
+    policy = RetryPolicy(max_attempts=4, base_delay_s=0.5, max_delay_s=10.0)
+    slept = []
+
+    def fails_three_times(state={"n": 0}):
+        state["n"] += 1
+        if state["n"] < 4:
+            raise OSError("again")
+        return state["n"]
+
+    retry_call(
+        fails_three_times,
+        policy=policy,
+        retry_on=(OSError,),
+        rng=random.Random(3),
+        sleep=slept.append,
+    )
+    expected_rng = random.Random(3)
+    expected = [policy.backoff_s(i, expected_rng) for i in range(3)]
+    assert slept == expected

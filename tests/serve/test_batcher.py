@@ -102,6 +102,85 @@ def test_pop_all_flushes_queue():
     assert batcher.depth() == 0
 
 
+def test_next_batch_timeout_is_one_budget_not_per_restart():
+    """Regression: losing a claimed lane must not restart the timeout.
+
+    ``next_batch`` used to recompute its wait deadline on every pass of
+    the outer loop, so a worker that repeatedly lost its claimed lane to
+    ``pop_all()`` never timed out as long as puts kept trickling in.
+    One shared budget means the call below returns ``[]`` after ~0.3 s
+    even though the queue is refilled on a cadence shorter than that.
+    """
+    batcher = Batcher(BatchPolicy(max_batch_size=4, max_delay_ms=10_000.0))
+    result = {}
+
+    def worker():
+        start = time.monotonic()
+        result["batch"] = batcher.next_batch(timeout=0.3)
+        result["elapsed"] = time.monotonic() - start
+
+    thread = threading.Thread(target=worker)
+    batcher.put(FakeItem())
+    thread.start()
+    for _ in range(6):
+        time.sleep(0.2)
+        batcher.pop_all()        # steal the lane the worker claimed
+        if not thread.is_alive():
+            break
+        time.sleep(0.15)         # worker re-enters phase 1, queue empty
+        if not thread.is_alive():
+            break
+        batcher.put(FakeItem())  # per-restart budgets would reset here
+    thread.join(timeout=5.0)
+    assert not thread.is_alive()
+    assert result["batch"] == []
+    assert result["elapsed"] < 1.0
+
+
+def test_expired_items_are_evicted_not_batched():
+    fake = {"t": 0.0}
+    expired = []
+    batcher = Batcher(
+        BatchPolicy(max_batch_size=8, max_delay_ms=0.0),
+        on_expired=expired.extend,
+        clock=lambda: fake["t"],
+    )
+    dead = FakeItem(enqueued_at=0.0)
+    dead.deadline_at = 5.0
+    live = FakeItem(enqueued_at=0.0)
+    live.deadline_at = None
+    batcher.put(dead)
+    batcher.put(live)
+    fake["t"] = 10.0  # both queued; only one has an (expired) deadline
+    batch = batcher.next_batch(timeout=0.0)
+    assert batch == [live]
+    assert expired == [dead]
+    assert batcher.depth() == 0
+
+
+def test_queue_of_only_expired_items_drains_to_timeout():
+    fake = {"t": 0.0}
+    expired = []
+    batcher = Batcher(on_expired=expired.extend, clock=lambda: fake["t"])
+    item = FakeItem(enqueued_at=0.0)
+    item.deadline_at = 1.0
+    batcher.put(item)
+    fake["t"] = 2.0
+    assert batcher.next_batch(timeout=0.0) == []
+    assert expired == [item]
+    assert batcher.depth() == 0
+
+
+def test_items_without_deadlines_never_pay_the_eviction_scan():
+    batcher = Batcher()
+    batcher.put(FakeItem())
+    assert not batcher._track_deadlines  # hot path stays scan-free
+    deadlined = FakeItem()
+    deadlined.deadline_at = time.monotonic() + 60.0
+    batcher.put(deadlined)
+    assert batcher._track_deadlines
+
+
 def test_concurrent_workers_partition_the_queue():
     batcher = Batcher(BatchPolicy(max_batch_size=8, max_delay_ms=5.0))
     collected = []

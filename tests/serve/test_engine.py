@@ -1,15 +1,21 @@
 """InferenceServer: correctness under batching, backpressure, shutdown."""
 
+import threading
+import time
+
 import numpy as np
 import pytest
 
 from repro.data import load_dataset
 from repro.errors import (
     ConfigurationError,
+    DeadlineExceededError,
     ServerClosedError,
     ServerOverloadedError,
     ShapeError,
+    WorkerStallError,
 )
+from repro.resilience import DegradePolicy, FaultInjector
 from repro.serve import InferenceServer, ModelStore, run_closed_loop
 
 
@@ -137,6 +143,141 @@ def test_worker_errors_propagate_to_futures(store):
         with pytest.raises(ShapeError):
             future.result(timeout=30.0)
     assert server.report().failed >= 1
+
+
+def slow_down(servable, delay_s):
+    """Wrap a servable's forward so each batch takes ``delay_s`` extra."""
+    real_forward = servable.forward
+
+    def slow_forward(batch):
+        time.sleep(delay_s)
+        return real_forward(batch)
+
+    servable.forward = slow_forward
+
+
+def test_deadline_evicts_queued_requests_under_a_slow_servable(
+    store, digits_images
+):
+    servable = store.warm("lenet_small", "fixed8")
+    slow_down(servable, delay_s=0.15)
+    with InferenceServer(store, workers=1, max_batch_size=1,
+                         max_delay_ms=0.0) as server:
+        head = server.submit(digits_images[0], "lenet_small", "fixed8")
+        late = [
+            server.submit(
+                digits_images[i], "lenet_small", "fixed8", deadline_ms=50.0
+            )
+            for i in range(1, 3)
+        ]
+        assert head.result(timeout=10.0).request_id == 0
+        for future in late:
+            # queued behind a 150 ms batch with a 50 ms budget: evicted
+            with pytest.raises(DeadlineExceededError):
+                future.result(timeout=10.0)
+    report = server.report()
+    assert report.completed == 1
+    assert report.deadline_expired == 2
+    assert report.failed == 0  # eviction is not a server failure
+
+
+def test_deadline_ms_must_be_positive(store, digits_images):
+    server = InferenceServer(store, workers=1)
+    with pytest.raises(ConfigurationError):
+        server.submit(digits_images[0], "lenet_small", "fixed8",
+                      deadline_ms=0.0)
+    server.stop(drain=False)
+
+
+def test_generous_deadline_never_fires(store, digits_images):
+    with InferenceServer(store, workers=2, max_batch_size=8) as server:
+        futures = [
+            server.submit(digits_images[i], "lenet_small", "fixed8",
+                          deadline_ms=30_000.0)
+            for i in range(16)
+        ]
+        for future in futures:
+            future.result(timeout=30.0)
+    assert server.report().deadline_expired == 0
+    assert server.report().completed == 16
+
+
+def test_overload_degrades_to_lower_precision(store, digits_images):
+    full = store.warm("lenet_small", "fixed8")
+    low = store.warm("lenet_small", "fixed4")
+    policy = DegradePolicy(watermark=2, fallback={"fixed8": "fixed4"})
+    server = InferenceServer(store, workers=1, degrade=policy)
+    # the server is not started yet, so submissions pile up in the queue
+    futures = [
+        server.submit(digits_images[i], "lenet_small", "fixed8")
+        for i in range(4)
+    ]
+    server.start()
+    results = [future.result(timeout=30.0) for future in futures]
+    server.stop()
+    # below the watermark: served as asked; above it: degraded
+    assert [r.model_key.precision for r in results] == [
+        "fixed8", "fixed8", "fixed4", "fixed4"
+    ]
+    # degraded responses carry the fallback model's (lower) energy
+    assert results[2].energy_uj == low.energy_uj_per_image
+    assert results[0].energy_uj == full.energy_uj_per_image
+    assert low.energy_uj_per_image < full.energy_uj_per_image
+    assert server.report().degraded == 2
+
+
+def test_degradation_leaves_unmapped_precisions_alone(store, digits_images):
+    policy = DegradePolicy(watermark=1, fallback={"fixed8": "fixed4"})
+    store.warm("lenet_small", "float32")
+    server = InferenceServer(store, workers=1, degrade=policy)
+    futures = [
+        server.submit(digits_images[i], "lenet_small", "float32")
+        for i in range(3)
+    ]
+    server.start()
+    results = [future.result(timeout=30.0) for future in futures]
+    server.stop()
+    assert all(r.model_key.precision == "float32" for r in results)
+    assert server.report().degraded == 0
+
+
+def test_stop_deadline_is_shared_and_stalls_are_loud(store, digits_images):
+    """Regression: ``stop(timeout=...)`` used to give *each* worker the
+    full timeout and then mark the server stopped without checking that
+    the joins succeeded — a wedged worker was silently leaked."""
+    release = threading.Event()
+    servable = store.warm("lenet_small", "fixed8")
+    real_forward = servable.forward
+
+    def blocking_forward(batch):
+        release.wait(10.0)
+        return real_forward(batch)
+
+    servable.forward = blocking_forward
+    server = InferenceServer(store, workers=2, max_batch_size=1).start()
+    future = server.submit(digits_images[0], "lenet_small", "fixed8")
+    time.sleep(0.05)  # let a worker enter the blocked forward
+    started = time.monotonic()
+    with pytest.raises(WorkerStallError):
+        server.stop(timeout=0.2)
+    # one shared deadline, not 0.2 s per worker
+    assert time.monotonic() - started < 2.0
+    assert server.stats.metrics.counter("serve.leaked_workers").value >= 1
+    server.stop()  # repeat stop is a no-op, not a second error
+    release.set()
+    future.result(timeout=10.0)
+
+
+def test_faults_parameter_overrides_process_injector(store, digits_images):
+    injector = FaultInjector().arm("engine.forward", rate=1.0, max_fires=1)
+    with InferenceServer(store, workers=1, faults=injector) as server:
+        first = server.submit(digits_images[0], "lenet_small", "fixed8")
+        with pytest.raises(Exception, match="engine.forward"):
+            first.result(timeout=10.0)
+        second = server.submit(digits_images[1], "lenet_small", "fixed8")
+        second.result(timeout=10.0)  # fault exhausted: traffic recovers
+    assert server.report().failed == 1
+    assert server.report().completed == 1
 
 
 def test_closed_loop_load_generator(store, digits_images):

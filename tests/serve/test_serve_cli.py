@@ -60,3 +60,52 @@ def test_serve_bench_json_output(capsys):
 def test_serve_bench_rejects_unknown_precision():
     with pytest.raises(SystemExit):
         main(["serve-bench", "--precision", "int3"])
+
+
+def test_serve_bench_chaos_run_loses_nothing(capsys):
+    from repro.resilience import get_injector
+
+    code = main([
+        "serve-bench", "--network", "lenet_small", "--precision", "fixed8",
+        "--requests", "64", "--workers", "2", "--max-batch", "8",
+        "--concurrency", "8", "--calibration", "32", "--skip-baseline",
+        "--chaos", "0", "--deadline-ms", "5000", "--json",
+    ])
+    assert code == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["chaos_seed"] == 0
+    assert payload["lost"] == 0
+    assert payload["accounted"] == payload["submitted"] == 64
+    assert "injected_faults" in payload
+    # the run-scoped injector was uninstalled afterwards
+    assert not get_injector().armed
+
+
+def test_serve_bench_degrade_flag_reroutes_overload(capsys):
+    code = main([
+        "serve-bench", "--network", "lenet_small", "--precision", "fixed8",
+        "--requests", "64", "--workers", "1", "--max-batch", "4",
+        "--concurrency", "16", "--calibration", "32", "--skip-baseline",
+        "--degrade", "fixed4", "--degrade-watermark", "1", "--json",
+    ])
+    assert code == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["report"]["completed"] == 64
+    # watermark 1 with 16 closed-loop clients: overload is certain
+    assert payload["report"]["degraded"] > 0
+
+
+def test_serve_bench_deadline_flag_accounts_expiries(capsys):
+    code = main([
+        "serve-bench", "--network", "lenet_small", "--precision", "fixed8",
+        "--requests", "32", "--workers", "2", "--max-batch", "8",
+        "--concurrency", "8", "--calibration", "32", "--skip-baseline",
+        "--deadline-ms", "30000", "--json",
+    ])
+    assert code == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["deadline_ms"] == 30000.0
+    # a 30 s budget on a millisecond workload never expires, but every
+    # request is still accounted for through the deadline bookkeeping
+    assert payload["deadline_expired"] == 0
+    assert payload["accounted"] == 32

@@ -100,6 +100,61 @@ def test_stats_publish_into_metrics_registry():
     assert snap["histograms"]["serve.batch_size"]["max"] == 4
 
 
+def test_wall_clock_starts_at_admission_not_rejection():
+    """Regression: a rejected burst must not inflate ``wall_s``.
+
+    The clock used to start on the first *submission attempt*; a burst
+    of backpressure rejections long before real traffic then stretched
+    the throughput and energy-per-image denominators.
+    """
+    fake = {"t": 0.0}
+    stats = ServerStats(metrics=MetricsRegistry(), clock=lambda: fake["t"])
+    for _ in range(5):
+        stats.record_rejection()   # t = 0: overload burst, nothing admitted
+    fake["t"] = 100.0
+    stats.record_admission()       # real traffic starts here
+    fake["t"] = 101.0
+    stats.record_completion(latency_ms=5.0, queue_ms=1.0, energy_uj=2.0)
+    report = stats.report()
+    assert report.wall_s == 1.0    # not 101.0
+    assert report.throughput_ips == 1.0
+    assert report.rejected == 5
+
+
+def test_rejection_only_run_reports_zero_wall():
+    stats = _isolated_stats()
+    for _ in range(3):
+        stats.record_rejection()
+    report = stats.report()
+    assert report.wall_s == 0.0
+    assert report.throughput_ips == 0.0
+    assert report.completed == 0
+
+
+def test_deadline_and_degraded_counters_flow_to_report_and_metrics():
+    registry = MetricsRegistry()
+    stats = ServerStats(metrics=registry)
+    stats.record_deadline_expired(2)
+    stats.record_degraded(3)
+    report = stats.report()
+    assert report.deadline_expired == 2
+    assert report.degraded == 3
+    assert "deadline expired 2" in report.format()
+    assert "degraded 3" in report.format()
+    snap = registry.snapshot()
+    assert snap["counters"]["serve.deadline_expired"] == 2
+    assert snap["counters"]["serve.degraded"] == 3
+
+
+def test_record_submission_alias_still_works():
+    fake = {"t": 7.0}
+    stats = ServerStats(metrics=MetricsRegistry(), clock=lambda: fake["t"])
+    stats.record_submission()  # pre-deadline-era name for record_admission
+    fake["t"] = 9.0
+    stats.record_completion(latency_ms=1.0, queue_ms=0.0, energy_uj=0.0)
+    assert stats.report().wall_s == 2.0
+
+
 def test_latency_percentiles_helper():
     assert latency_percentiles([]) == (0.0, 0.0, 0.0)
     p50, p95, p99 = latency_percentiles(list(range(1, 101)))
