@@ -46,6 +46,7 @@ BENCH_FILES = {
     "test_bench_kernels.py": "wall_s.kernels",
     "test_bench_parallel_sweep.py": "wall_s.parallel_sweep",
     "test_bench_resilience.py": "wall_s.resilience",
+    "test_bench_registry.py": "wall_s.registry",
 }
 
 #: metric name -> which direction is better
@@ -55,6 +56,7 @@ DIRECTIONS = {
     "wall_s.kernels": "lower",
     "wall_s.parallel_sweep": "lower",
     "wall_s.resilience": "lower",
+    "wall_s.registry": "lower",
     "parallel.cache_hit_rate": "higher",
     "parallel.speedup": "higher",
 }

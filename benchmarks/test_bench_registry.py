@@ -1,0 +1,107 @@
+"""Registry integration overhead: serving must not pay for the registry.
+
+Two claims guard the serving fast path:
+
+* the *disabled* path — serving a servable that never came from the
+  registry — adds only the per-batch ``registry_digest is None`` check,
+  and a generous overcount of that check stays under 2% of measured
+  serving wall time;
+* the *enabled* path — per-batch artifact accounting via
+  ``ServerStats.record_artifact`` — stays similarly negligible.
+
+A third section times the deployment swap itself: the locked
+``ModelStore.install`` assignment must be orders of magnitude cheaper
+than the background build it publishes.
+"""
+
+import time
+
+from repro import registry
+from repro.data import load_dataset
+from repro.nn.serialization import network_state
+from repro.serve import InferenceServer, ModelStore, run_closed_loop
+from repro.serve.stats import ServerStats
+from repro.zoo import build_network
+
+from benchmarks.conftest import save_result
+
+N_REQUESTS = 192
+CONCURRENCY = 32
+WORKERS = 4
+
+
+def _serve_once(store, images):
+    server = InferenceServer(
+        store, workers=WORKERS, max_batch_size=32, max_delay_ms=2.0
+    )
+    start = time.perf_counter()
+    with server:
+        outcome = run_closed_loop(
+            server, images, "lenet_small", "fixed8",
+            n_requests=N_REQUESTS, concurrency=CONCURRENCY,
+        )
+    wall_s = time.perf_counter() - start
+    assert outcome.client_errors == 0 and outcome.lost == 0
+    return wall_s, outcome.report
+
+
+def test_bench_registry(results_dir, tmp_path):
+    split = load_dataset("digits", n_train=128, n_test=128, seed=0)
+    store = ModelStore(calibration_data={"digits": split.train.images})
+    plain = store.warm("lenet_small", "fixed8")
+    assert plain.registry_digest is None
+    serve_wall_s, report = _serve_once(store, split.test.images)
+
+    # disabled path: the engine's only registry touch per batch
+    rounds = 1_000_000
+    start = time.perf_counter()
+    for _ in range(rounds):
+        plain.registry_digest is not None
+    per_check_s = (time.perf_counter() - start) / rounds
+    # every request its own batch would be the worst case; allow 10x
+    generous_batches = 10 * N_REQUESTS
+    disabled_overhead_s = per_check_s * generous_batches
+    assert disabled_overhead_s < 0.02 * serve_wall_s, (
+        f"disabled-path check {per_check_s * 1e9:.1f} ns x "
+        f"{generous_batches} = {disabled_overhead_s * 1e3:.3f} ms vs "
+        f"serve {serve_wall_s * 1e3:.0f} ms"
+    )
+
+    # enabled path: per-batch artifact accounting.  Worst case is one
+    # batch per request; allow 2x that and still demand <2%.
+    stats = ServerStats()
+    rounds = 100_000
+    start = time.perf_counter()
+    for _ in range(rounds):
+        stats.record_artifact("lenet_small@fixed8", "d" * 64, 1)
+    per_record_s = (time.perf_counter() - start) / rounds
+    enabled_overhead_s = per_record_s * 2 * N_REQUESTS
+    assert enabled_overhead_s < 0.02 * serve_wall_s, (
+        f"record_artifact {per_record_s * 1e6:.2f} us x {2 * N_REQUESTS} "
+        f"= {enabled_overhead_s * 1e3:.3f} ms vs "
+        f"serve {serve_wall_s * 1e3:.0f} ms"
+    )
+
+    # deployment swap: the locked install is ~free next to the build
+    art_store = registry.ArtifactStore(str(tmp_path / "reg"))
+    manifest = art_store.publish(
+        network_state(build_network("lenet_small", seed=1)),
+        network="lenet_small", precision="fixed8",
+        dataset="digits", accuracy=0.9, energy_uj_per_image=1.3,
+    )
+    channel = registry.Channel(art_store, "prod")
+    channel.promote(manifest.digest)
+    rollout = registry.Deployer(art_store, store).rollout(channel)
+    assert rollout.swap_ms < rollout.build_ms
+
+    save_result(results_dir, "registry.txt", "\n".join([
+        "Registry serving overhead (lenet_small @ fixed8, "
+        f"{N_REQUESTS} requests)",
+        "",
+        f"serving wall            : {serve_wall_s * 1e3:8.1f} ms "
+        f"({report.throughput_ips:.0f} img/s)",
+        f"disabled-path check     : {per_check_s * 1e9:8.1f} ns/batch",
+        f"artifact accounting     : {per_record_s * 1e6:8.2f} us/batch",
+        f"rollout build           : {rollout.build_ms:8.1f} ms",
+        f"rollout swap (locked)   : {rollout.swap_ms:8.3f} ms",
+    ]))

@@ -61,9 +61,18 @@ The package is organized as one subpackage per subsystem:
     sites, and graceful precision-degradation under overload; combined
     with per-request deadlines in ``repro.serve``
     (``python -m repro serve-bench --chaos 0 --deadline-ms 500``).
+
+``repro.registry``
+    Content-addressed model-artifact registry and deployment lifecycle:
+    manifests with measured accuracy + modeled hw costs, named channels
+    with promote/rollback/pin, Pareto-gated promotion policies reusing
+    ``repro.core.pareto``, and a deployer that swaps artifacts into the
+    live serving engine with zero downtime and automatic rollback
+    (``python -m repro registry publish|list|promote|rollback|serve``).
 """
 
-from repro import obs, parallel, resilience, serve
+from repro import obs, parallel, registry, resilience, serve
 from repro.version import __version__
 
-__all__ = ["__version__", "obs", "parallel", "resilience", "serve"]
+__all__ = ["__version__", "obs", "parallel", "registry", "resilience",
+           "serve"]

@@ -25,7 +25,13 @@ Commands:
     Train a precision sweep (float baseline + QAT fine-tune per
     point) with worker-process parallelism and the resumable on-disk
     result cache: ``repro sweep --workers 4`` regenerates a network's
-    accuracy column and a re-run resumes from cache.
+    accuracy column and a re-run resumes from cache.  ``--publish``
+    turns every converged point into a registry artifact.
+``registry``
+    Model-artifact lifecycle (``repro registry publish|list|promote|
+    rollback|serve``): publish trained weights as content-addressed
+    artifacts, promote them through channels behind the Pareto gate,
+    serve a channel live and roll it back — see ``docs/registry.md``.
 
 Everything the CLI does is also available programmatically; the CLI
 exists so the common workflows are one command.
@@ -37,17 +43,20 @@ import argparse
 import dataclasses
 import functools
 import json
+import math
+import os
 import sys
 import time
 from typing import List, Optional
 
 import numpy as np
 
-from repro import core, hw, nn, obs, serve
+from repro import core, hw, nn, obs, registry, serve
 from repro.core.precision import PAPER_PRECISIONS
 from repro.resilience import DegradePolicy, chaos_preset, use_injector
 from repro.core.sweep import PrecisionSweep, SweepConfig
 from repro.data import load_dataset
+from repro.errors import RegistryError
 from repro.experiments.formatting import format_table
 from repro.hw.nfu import NfuGeometry
 from repro.parallel import SweepCache, default_cache_dir, run_sweep
@@ -173,6 +182,15 @@ def cmd_export_rtl(args: argparse.Namespace) -> int:
 
 
 def cmd_serve_bench(args: argparse.Namespace) -> int:
+    art_store = channel = None
+    if args.registry:
+        art_store = registry.ArtifactStore(args.registry)
+        channel = registry.Channel(art_store, args.channel)
+        manifest = channel.active_manifest()
+        # the channel decides what is served; CLI network/precision
+        # flags only apply to registry-less runs
+        args.network = manifest.network
+        args.precision = manifest.precision
     info = network_info(args.network)
     split = load_dataset(info.dataset, n_train=64, n_test=128, seed=args.seed)
     images = split.test.images
@@ -181,6 +199,10 @@ def cmd_serve_bench(args: argparse.Namespace) -> int:
         calibration_images=args.calibration,
         seed=args.seed,
     )
+    rollout = None
+    if channel is not None:
+        deployer = registry.Deployer(art_store, store, seed=args.seed)
+        rollout = deployer.rollout(channel)
     servable = store.warm(args.network, args.precision)  # build outside timing
     spec = core.get_precision(args.precision)
 
@@ -198,6 +220,11 @@ def cmd_serve_bench(args: argparse.Namespace) -> int:
             f"{servable.memory_kb:.0f} KB footprint, "
             f"{servable.energy_uj_per_image:.3f} uJ/image modeled"
         )
+        if rollout is not None:
+            print(f"registry rollout        : {args.channel} "
+                  f"v{rollout.version} ({rollout.digest[:12]}), "
+                  f"build {rollout.build_ms:.1f} ms, "
+                  f"swap {rollout.swap_ms:.2f} ms")
         if degrade is not None:
             print(f"overload degradation    : -> {args.degrade} past queue "
                   f"depth {degrade.watermark}")
@@ -263,6 +290,15 @@ def cmd_serve_bench(args: argparse.Namespace) -> int:
             "accounted": result.accounted,
             "submitted": result.submitted,
         }
+        if rollout is not None:
+            payload["registry"] = {
+                "root": art_store.root,
+                "channel": rollout.channel,
+                "version": rollout.version,
+                "digest": rollout.digest,
+                "swap_ms": rollout.swap_ms,
+                "build_ms": rollout.build_ms,
+            }
         if injector is not None:
             payload["injected_faults"] = injector.counts()
         if baseline is not None:
@@ -373,6 +409,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         functools.partial(build_network, args.network, args.seed),
         split,
         config,
+        keep_states=bool(args.publish),
     )
     specs = [core.PrecisionSpec.parse(key) for key in args.precisions]
     if args.clear_cache:
@@ -390,6 +427,26 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         progress=not args.json,
     )
     elapsed = time.perf_counter() - started
+
+    published = []
+    if args.publish:
+        art_store = registry.ArtifactStore(args.publish)
+        cache_keys = {}
+        if store is not None:
+            from repro.parallel.executor import _point_keys
+            cache_keys = _point_keys(sweep, specs, store)
+        for result in results:
+            state = sweep.point_states.get(result.spec.key)
+            if not result.converged or state is None:
+                continue
+            manifest = registry.publish_with_modeled_costs(
+                art_store, state, args.network, result.spec.key,
+                accuracy=result.accuracy,
+                n_samples=int(split.test.labels.shape[0]),
+                sweep_cache_key=cache_keys.get(result.spec.key),
+                created_by="repro sweep --publish",
+            )
+            published.append(manifest)
 
     if args.json:
         payload = {
@@ -409,6 +466,15 @@ def cmd_sweep(args: argparse.Namespace) -> int:
                 for result in results
             ],
         }
+        if args.publish:
+            payload["artifacts"] = [
+                {
+                    "precision": manifest.precision,
+                    "digest": manifest.digest,
+                    "energy_uj_per_image": manifest.energy_uj_per_image,
+                }
+                for manifest in published
+            ]
         print(json.dumps(payload, indent=2))
         return 0
 
@@ -431,7 +497,159 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             f"cache: {store.hits} hits / {store.misses} misses "
             f"({store.root})"
         )
+    for manifest in published:
+        print(f"published {manifest.precision:<10} -> "
+              f"{manifest.short_digest()} "
+              f"({manifest.energy_uj_per_image:.2f} uJ/image)")
     return 0
+
+
+def _registry_store(args: argparse.Namespace) -> "registry.ArtifactStore":
+    return registry.ArtifactStore(args.root)
+
+
+def _policy_from_args(args: argparse.Namespace) -> registry.PromotionPolicy:
+    return registry.PromotionPolicy(
+        require_non_dominated=not args.allow_dominated,
+        min_accuracy=args.min_accuracy,
+        max_energy_uj=args.max_energy_uj,
+        max_accuracy_drop=args.max_accuracy_drop,
+    )
+
+
+def cmd_registry_publish(args: argparse.Namespace) -> int:
+    info = network_info(args.network)
+    spec = core.get_precision(args.precision)
+    network = build_network(args.network, seed=args.seed)
+    split = load_dataset(info.dataset, n_train=args.n_train,
+                         n_test=args.n_test, seed=args.seed)
+    if args.weights:
+        nn.load_network_weights(network, args.weights)
+    else:
+        # quick training pass so the artifact has honest metrics; for
+        # longer budgets, train separately and pass --weights
+        trainer = nn.Trainer(
+            network,
+            nn.SGD(network.parameters(), lr=0.02, momentum=0.9,
+                   weight_decay=1e-4),
+            batch_size=32,
+            rng=np.random.default_rng(args.seed),
+            restore_best=True,
+        )
+        trainer.fit(
+            split.train.images, split.train.labels,
+            split.val.images, split.val.labels,
+            epochs=args.epochs,
+        )
+    if spec.is_float:
+        logits = network.predict(split.test.images)
+        accuracy = nn.accuracy(logits, split.test.labels)
+    else:
+        qnet = core.QuantizedNetwork(network, spec)
+        qnet.calibrate(split.train.images[:256])
+        accuracy = qnet.evaluate(split.test.images, split.test.labels).accuracy
+    manifest = registry.publish_with_modeled_costs(
+        _registry_store(args), nn.network_state(network),
+        args.network, spec.key,
+        accuracy=accuracy,
+        n_samples=int(split.test.labels.shape[0]),
+        created_by="repro registry publish",
+    )
+    print(f"published {manifest.network}@{manifest.precision}: "
+          f"{manifest.digest}")
+    print(f"  accuracy {100 * manifest.accuracy:.2f}%  "
+          f"energy {manifest.energy_uj_per_image:.2f} uJ/image  "
+          f"memory {manifest.memory_kb:.0f} KB")
+    return 0
+
+
+def cmd_registry_list(args: argparse.Namespace) -> int:
+    store = _registry_store(args)
+    manifests = store.list_artifacts()
+    if args.json:
+        print(json.dumps([m.to_dict() for m in manifests], indent=2))
+        return 0
+    if not manifests:
+        print(f"registry {store.root} is empty")
+        return 0
+    rows = [
+        [
+            m.short_digest(),
+            m.network,
+            m.precision,
+            f"{100 * m.accuracy:.2f}" if math.isfinite(m.accuracy) else "?",
+            f"{m.energy_uj_per_image:.2f}"
+            if math.isfinite(m.energy_uj_per_image) else "?",
+            m.dataset or "?",
+        ]
+        for m in manifests
+    ]
+    print(format_table(
+        ["Digest", "Network", "Precision", "Acc %", "uJ/img", "Dataset"],
+        rows, title=f"{len(manifests)} artifact(s) in {store.root}",
+    ))
+    channel_dir = os.path.join(store.root, "channels")
+    for name in sorted(
+        f[:-5] for f in os.listdir(channel_dir) if f.endswith(".json")
+    ):
+        chan = registry.Channel(store, name)
+        entry = chan.active()
+        state = "empty" if entry is None else (
+            f"v{entry.version} -> {entry.digest[:12]}"
+        )
+        pin = " [pinned]" if chan.pinned else ""
+        print(f"channel {name}: {state}{pin}")
+    return 0
+
+
+def cmd_registry_promote(args: argparse.Namespace) -> int:
+    store = _registry_store(args)
+    chan = registry.Channel(store, args.channel)
+    entry = chan.promote(
+        args.ref,
+        policy=None if args.force else _policy_from_args(args),
+        note=args.note,
+        force=args.force,
+    )
+    print(f"{args.channel} -> v{entry.version} ({entry.digest[:12]})")
+    return 0
+
+
+def cmd_registry_rollback(args: argparse.Namespace) -> int:
+    store = _registry_store(args)
+    chan = registry.Channel(store, args.channel)
+    entry = chan.rollback(args.steps)
+    print(f"{args.channel} rolled back to v{entry.version} "
+          f"({entry.digest[:12]})")
+    return 0
+
+
+def cmd_registry_serve(args: argparse.Namespace) -> int:
+    store = _registry_store(args)
+    chan = registry.Channel(store, args.channel)
+    manifest = chan.active_manifest()
+    model_store = serve.ModelStore(seed=args.seed)
+    deployer = registry.Deployer(store, model_store, seed=args.seed)
+    report = deployer.rollout(chan)
+    info = network_info(manifest.network)
+    split = load_dataset(info.dataset, n_train=64,
+                         n_test=max(args.requests, 32), seed=args.seed)
+    server = serve.InferenceServer(model_store, workers=args.workers)
+    with server:
+        result = serve.run_closed_loop(
+            server,
+            split.test.images,
+            manifest.network,
+            manifest.precision,
+            n_requests=args.requests,
+            concurrency=args.concurrency,
+        )
+    print(f"served {args.channel} v{report.version} "
+          f"({manifest.short_digest()}): "
+          f"{result.report.throughput_ips:.1f} img/s, "
+          f"p95 {result.report.latency_ms_p95:.2f} ms, "
+          f"{result.client_errors} client errors")
+    return 0 if result.client_errors == 0 and result.lost == 0 else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -506,6 +724,11 @@ def build_parser() -> argparse.ArgumentParser:
                             "(default: queue-size // 2)")
     bench.add_argument("--skip-baseline", action="store_true",
                        help="skip the max-batch=1 comparison run")
+    bench.add_argument("--registry", default="", metavar="ROOT",
+                       help="serve a registry channel's active artifact "
+                            "(overrides --network/--precision/--weights)")
+    bench.add_argument("--channel", default="prod",
+                       help="registry channel to deploy (with --registry)")
     bench.add_argument("--json", action="store_true",
                        help="emit the report as JSON instead of text")
     bench.set_defaults(func=cmd_serve_bench)
@@ -565,16 +788,97 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sweep.add_argument("--clear-cache", action="store_true",
                        help="delete every cache entry before running")
+    sweep.add_argument("--publish", default="", metavar="ROOT",
+                       help="publish every converged point as a registry "
+                            "artifact under this root")
     sweep.add_argument("--json", action="store_true",
                        help="emit results and cache stats as JSON")
     sweep.set_defaults(func=cmd_sweep)
+
+    reg = sub.add_parser(
+        "registry",
+        help="model-artifact registry: publish/list/promote/rollback/serve",
+        description="Content-addressed model-artifact lifecycle: publish "
+                    "trained weights, promote them through channels behind "
+                    "the Pareto gate, serve a channel and roll it back.",
+    )
+    reg_sub = reg.add_subparsers(dest="registry_command", required=True)
+
+    def _add_root(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--root", required=True, help="registry root directory")
+
+    reg_publish = reg_sub.add_parser(
+        "publish", help="train (or load) weights and publish an artifact"
+    )
+    _add_root(reg_publish)
+    reg_publish.add_argument("--network", default="lenet_small",
+                             choices=sorted(NETWORK_BUILDERS))
+    reg_publish.add_argument("--precision", default="float32",
+                             choices=[s.key for s in PAPER_PRECISIONS])
+    reg_publish.add_argument("--weights", default="",
+                             help="trained weights (.npz); trains quickly "
+                                  "when omitted")
+    reg_publish.add_argument("--epochs", type=int, default=6)
+    reg_publish.add_argument("--n-train", type=int, default=1500)
+    reg_publish.add_argument("--n-test", type=int, default=400)
+    reg_publish.add_argument("--seed", type=int, default=0)
+    reg_publish.set_defaults(func=cmd_registry_publish)
+
+    reg_list = reg_sub.add_parser(
+        "list", help="list stored artifacts and channel states"
+    )
+    _add_root(reg_list)
+    reg_list.add_argument("--json", action="store_true",
+                          help="emit manifests as JSON")
+    reg_list.set_defaults(func=cmd_registry_list)
+
+    reg_promote = reg_sub.add_parser(
+        "promote", help="promote an artifact onto a channel (Pareto-gated)"
+    )
+    _add_root(reg_promote)
+    reg_promote.add_argument("--channel", required=True)
+    reg_promote.add_argument("ref", help="artifact digest (or unique prefix)")
+    reg_promote.add_argument("--note", default="")
+    reg_promote.add_argument("--min-accuracy", type=float, default=None)
+    reg_promote.add_argument("--max-energy-uj", type=float, default=None)
+    reg_promote.add_argument("--max-accuracy-drop", type=float, default=None)
+    reg_promote.add_argument("--allow-dominated", action="store_true",
+                             help="drop the Pareto non-domination rule")
+    reg_promote.add_argument("--force", action="store_true",
+                             help="skip the policy gate entirely")
+    reg_promote.set_defaults(func=cmd_registry_promote)
+
+    reg_rollback = reg_sub.add_parser(
+        "rollback", help="move a channel's active pointer back"
+    )
+    _add_root(reg_rollback)
+    reg_rollback.add_argument("--channel", required=True)
+    reg_rollback.add_argument("--steps", type=int, default=1)
+    reg_rollback.set_defaults(func=cmd_registry_rollback)
+
+    reg_serve = reg_sub.add_parser(
+        "serve", help="deploy a channel and run a short serving loop"
+    )
+    _add_root(reg_serve)
+    reg_serve.add_argument("--channel", required=True)
+    reg_serve.add_argument("--requests", type=int, default=64)
+    reg_serve.add_argument("--concurrency", type=int, default=16)
+    reg_serve.add_argument("--workers", type=int, default=2)
+    reg_serve.add_argument("--seed", type=int, default=0)
+    reg_serve.set_defaults(func=cmd_registry_serve)
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except RegistryError as exc:
+        # typed registry failures (rejected promotions, unknown refs,
+        # failed rollouts) are user errors, not tracebacks
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

@@ -37,11 +37,7 @@ from repro.core.per_channel import (
 )
 from repro.core.range_tracker import RangeTracker
 from repro.core.fake_quant import FakeQuantLayer
-from repro.core.quantized import (
-    FrozenQuantizedNetwork,
-    QuantizedNetwork,
-    build_quantizers,
-)
+from repro.core.quantized import FrozenQuantizedNetwork, QuantizedNetwork
 from repro.core.qat import QATTrainer, post_training_quantize
 from repro.core.sweep import PrecisionResult, PrecisionSweep, SweepConfig
 from repro.core.pareto import DesignPoint, dominates, pareto_frontier
@@ -78,7 +74,6 @@ __all__ = [
     "QuantizedNetwork",
     "FrozenQuantizedNetwork",
     "make_quantizers",
-    "build_quantizers",
     "QATTrainer",
     "post_training_quantize",
     "PrecisionSweep",

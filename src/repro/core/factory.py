@@ -37,8 +37,7 @@ def make_quantizers(
     ``"fixed:4:8"``, ...).  This is the factory behind
     :class:`~repro.core.quantized.QuantizedNetwork`,
     :class:`~repro.core.mixed_precision.MixedPrecisionNetwork` and the
-    sensitivity analyses; the former ``build_quantizers`` name is a
-    deprecated alias.
+    sensitivity analyses.
     """
     spec = PrecisionSpec.parse(spec)
     if spec.kind is PrecisionKind.FLOAT:

@@ -20,8 +20,7 @@ from __future__ import annotations
 import contextlib
 import threading
 import time
-import warnings
-from typing import Callable, Dict, List, Optional, Tuple, Union
+from typing import Callable, Dict, List, Optional, Union
 
 import numpy as np
 
@@ -38,24 +37,6 @@ from repro.nn.module import Module
 from repro.nn.network import Sequential
 from repro.nn.pooling import MaxPool2D
 from repro.nn.tensor import Parameter
-
-_BUILD_QUANTIZERS_WARNED = False
-
-
-def build_quantizers(spec: PrecisionSpec) -> Tuple[Quantizer, Callable[[], Quantizer]]:
-    """Deprecated alias for :func:`repro.core.factory.make_quantizers`.
-
-    Kept so existing imports keep working; warns once per process.
-    """
-    global _BUILD_QUANTIZERS_WARNED
-    if not _BUILD_QUANTIZERS_WARNED:
-        _BUILD_QUANTIZERS_WARNED = True
-        warnings.warn(
-            "build_quantizers is deprecated; use repro.core.make_quantizers",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-    return make_quantizers(spec)
 
 
 def _needs_activation_quant(layer: Module) -> bool:
@@ -223,7 +204,7 @@ class QuantizedNetwork:
         """Quantized test accuracy as an :class:`EvalResult`.
 
         The result compares and formats like the accuracy float this
-        method used to return; ``float(result)`` still works but warns.
+        method used to return, and carries ``n_samples``/``elapsed_s``.
         """
         start = time.perf_counter()
         acc = accuracy(self.predict(images), labels)

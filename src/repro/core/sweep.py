@@ -24,7 +24,11 @@ from repro.data.dataset import DataSplit
 from repro.errors import ConfigurationError, TrainingError
 from repro.nn.network import Sequential
 from repro.nn.optim import SGD, StepDecay
-from repro.nn.serialization import load_network_state, transfer_weights
+from repro.nn.serialization import (
+    load_network_state,
+    network_state,
+    transfer_weights,
+)
 from repro.nn.trainer import Trainer
 
 
@@ -82,6 +86,12 @@ class PrecisionSweep:
             structured :class:`Sequential` (same layer/parameter names).
         split: train/val/test data.
         config: training budgets.
+        keep_states: retain each point's trained full-precision
+            parameter arrays in :attr:`point_states` (keyed by spec
+            key).  Off by default — a full sweep's states are several
+            networks' worth of memory — and switched on by publishers
+            (``repro sweep --publish``) that turn sweep winners into
+            registry artifacts.
     """
 
     def __init__(
@@ -89,10 +99,14 @@ class PrecisionSweep:
         builder: Callable[[], Sequential],
         split: DataSplit,
         config: Optional[SweepConfig] = None,
+        keep_states: bool = False,
     ):
         self.builder = builder
         self.split = split
         self.config = config or SweepConfig()
+        self.keep_states = keep_states
+        #: spec key -> trained parameter arrays (only with keep_states)
+        self.point_states: Dict[str, Dict[str, np.ndarray]] = {}
         self._float_network: Optional[Sequential] = None
         self._float_result: Optional[PrecisionResult] = None
 
@@ -121,6 +135,8 @@ class PrecisionSweep:
         load_network_state(network, state)
         self._float_network = network
         self._float_result = result
+        if self.keep_states:
+            self.point_states["float32"] = network_state(network)
 
     def _derived_rng(self, *stream: object) -> np.random.Generator:
         """Fresh generator for one named stream of this sweep.
@@ -174,6 +190,8 @@ class PrecisionSweep:
             converged=True,
             history={"val_accuracy": trainer.history.val_accuracy},
         )
+        if self.keep_states:
+            self.point_states["float32"] = network_state(network)
         return self._float_result
 
     def run_precision(
@@ -245,6 +263,12 @@ class PrecisionSweep:
             self.split.test.images, self.split.test.labels
         ).accuracy
         converged = accuracy >= cfg.convergence_factor * self.chance_accuracy
+        if self.keep_states:
+            # The network holds the QAT-fine-tuned *full-precision*
+            # weights (the dual-weight scheme's shadow values); they are
+            # what a registry artifact stores — quantization is re-applied
+            # at deploy time from the precision spec.
+            self.point_states[spec.key] = network_state(network)
         return PrecisionResult(
             spec=spec, accuracy=accuracy, converged=converged, history=history
         )

@@ -30,6 +30,37 @@ class TrainingError(ReproError):
     """Training failed in a way that is not a normal non-convergence."""
 
 
+class SerializationError(ReproError):
+    """A stored weight archive or manifest could not be decoded.
+
+    Raised instead of the underlying numpy/zipfile/json exception when a
+    checkpoint file is truncated, corrupt or structurally invalid, so
+    callers can distinguish "bad bytes on disk" from a transient I/O
+    failure (``OSError``) or an architecture mismatch
+    (:class:`ShapeError`).
+    """
+
+
+class RegistryError(ReproError):
+    """The model-artifact registry was asked something inconsistent.
+
+    Covers unknown/ambiguous digests, corrupt manifests, channel
+    operations with no version to act on, and artifacts whose stored
+    weights no longer match their manifest digest.
+    """
+
+
+class PromotionRejectedError(RegistryError):
+    """A candidate artifact failed the channel's promotion policy.
+
+    Raised by :meth:`repro.registry.Channel.promote` when the
+    :class:`repro.registry.PromotionPolicy` finds the candidate
+    dominated by the incumbent or outside the configured
+    accuracy-floor / energy-budget constraints.  The message lists
+    every violated rule.
+    """
+
+
 class ServingError(ReproError):
     """The inference-serving engine was configured or used inconsistently."""
 

@@ -9,6 +9,7 @@ Usage::
     python -m repro.experiments table4 --workers 4   # parallel + cached
     python -m repro.experiments table5 --full   # paper budgets (hours)
     python -m repro.experiments fig4
+    python -m repro.experiments fig4 --registry models/   # + publish frontier
     python -m repro.experiments all
 """
 
@@ -66,12 +67,23 @@ def main(argv=None) -> int:
         help="sweep cache directory (default: $REPRO_SWEEP_CACHE or "
              "~/.cache/repro-sweeps)",
     )
+    parser.add_argument(
+        "--registry", default="", metavar="ROOT",
+        help="fig4 only: publish every trained design point into the "
+             "model registry at ROOT and promote the Pareto frontier "
+             "through the 'fig4' channel",
+    )
     args = parser.parse_args(argv)
 
     config = ExperimentConfig.full() if args.full else ExperimentConfig.from_environment()
     cache = False if args.no_cache else (args.cache_dir or True)
+    if args.registry:
+        # Publishing needs the trained weights in memory, which the
+        # on-disk result cache does not carry — retrain and keep them.
+        cache = False
     runner = SweepRunner(
-        config, workers=args.workers, cache=cache, refresh=args.refresh
+        config, workers=args.workers, cache=cache, refresh=args.refresh,
+        keep_states=bool(args.registry),
     )
 
     names = sorted(ALL) if args.experiment == "all" else [args.experiment]
@@ -82,7 +94,15 @@ def main(argv=None) -> int:
                   file=sys.stderr)
         started = time.perf_counter()
         with get_tracer().span("experiment", table=name):
-            output = ALL[name](runner)
+            if name == "fig4" and args.registry:
+                result = fig4.run(runner=runner)
+                output = fig4.format_results(result)
+                published = fig4.publish_registry(
+                    result, runner, args.registry
+                )
+                output += "\n\n" + fig4.format_registry(published)
+            else:
+                output = ALL[name](runner)
         elapsed = time.perf_counter() - started
         metrics.gauge(f"experiments.{name}.elapsed_s").set(elapsed)
         metrics.histogram("experiments.table_s").observe(elapsed)

@@ -4,6 +4,12 @@ Plots every Table V configuration on the accuracy-vs-energy plane
 (log-scale energy) and extracts the Pareto frontier.  The paper's
 argument: enlarged low-precision networks (e.g. Powers of Two++) can
 dominate the full-precision baseline on *both* axes.
+
+Beyond the table, :func:`publish_registry` turns the figure into a
+deployment: every converged point whose trained weights were retained
+becomes a registry artifact, and the frontier is promoted through a
+channel so the winning operating points are servable rather than just
+plotted (``python -m repro.experiments fig4 --registry models/``).
 """
 
 from __future__ import annotations
@@ -11,10 +17,18 @@ from __future__ import annotations
 from typing import Dict, List, Optional
 
 from repro.core.pareto import DesignPoint, pareto_frontier
+from repro.core.precision import PrecisionSpec
+from repro.errors import PromotionRejectedError
 from repro.experiments import table5
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.formatting import format_scatter
 from repro.experiments.runner import EvaluatedPoint, SweepRunner
+from repro.registry import (
+    ArtifactStore,
+    Channel,
+    PromotionPolicy,
+    publish_with_modeled_costs,
+)
 
 
 def design_points(points: List[EvaluatedPoint]) -> List[DesignPoint]:
@@ -56,6 +70,99 @@ def run(
         "baseline": baseline,
         "dominates_baseline": dominating,
     }
+
+
+def publish_registry(
+    result: Dict[str, object],
+    runner: SweepRunner,
+    root: str,
+    channel_name: str = "fig4",
+) -> Dict[str, object]:
+    """Persist the figure's design points as deployable artifacts.
+
+    Every converged point whose trained weights the runner retained
+    (``SweepRunner(keep_states=True)``) is published into an
+    :class:`~repro.registry.ArtifactStore` under ``root``; the Pareto
+    frontier is then promoted through ``channel_name`` from the most
+    expensive point down, so the channel ends on the lowest-energy
+    frontier point.  Each promotion passes the default
+    :class:`~repro.registry.PromotionPolicy` gate — frontier points are
+    mutual trades on the figure's plane, though in quick/proxy mode the
+    gate judges the *trained* network's modeled energy, which can
+    disagree with the paper-architecture energies plotted in the figure
+    (those are kept in ``extra``); gated-out points are returned under
+    ``"rejected"`` rather than raised.
+    """
+    store = ArtifactStore(root)
+    points: List[DesignPoint] = result["points"]  # type: ignore[assignment]
+    manifests: Dict[str, object] = {}
+    for point in points:
+        paper_network = point.metadata["network"]
+        spec = PrecisionSpec.parse(point.metadata["precision"])
+        state = runner.trained_state(paper_network, spec)
+        if state is None:
+            continue
+        manifests[point.label] = publish_with_modeled_costs(
+            store,
+            state,
+            runner.config.accuracy_network(paper_network),
+            spec.key,
+            accuracy=point.accuracy / 100.0,
+            energy_model=runner.energy_model,
+            created_by="experiments.fig4",
+            extra={
+                "paper_network": paper_network,
+                "paper_energy_uj": f"{point.energy_uj:.6g}",
+            },
+        )
+    channel = Channel(store, channel_name)
+    policy = PromotionPolicy()
+    frontier: List[DesignPoint] = result["frontier"]  # type: ignore[assignment]
+    promoted = []
+    rejected = []
+    for point in sorted(frontier, key=lambda p: -p.energy_uj):
+        manifest = manifests.get(point.label)
+        if manifest is None:
+            continue
+        try:
+            entry = channel.promote(
+                manifest.digest,
+                policy=policy,
+                note=f"fig4 frontier: {point.label}",
+            )
+        except PromotionRejectedError as exc:
+            rejected.append((point.label, str(exc)))
+            continue
+        promoted.append((point.label, entry))
+    return {
+        "store": store,
+        "artifacts": manifests,
+        "channel": channel,
+        "promoted": promoted,
+        "rejected": rejected,
+    }
+
+
+def format_registry(published: Dict[str, object]) -> str:
+    store: ArtifactStore = published["store"]  # type: ignore[assignment]
+    channel: Channel = published["channel"]  # type: ignore[assignment]
+    lines = [
+        f"Registry: {len(published['artifacts'])} artifact(s) "
+        f"published to {store.root}",
+    ]
+    for label, entry in published["promoted"]:  # type: ignore[union-attr]
+        lines.append(
+            f"  {channel.name} v{entry.version}: {label} "
+            f"({entry.digest[:12]})"
+        )
+    for label, reason in published["rejected"]:  # type: ignore[union-attr]
+        lines.append(f"  gate rejected {label}: {reason}")
+    active = channel.active()
+    if active is not None:
+        lines.append(
+            f"  active: v{active.version} ({active.digest[:12]})"
+        )
+    return "\n".join(lines)
 
 
 def format_results(result: Dict[str, object]) -> str:

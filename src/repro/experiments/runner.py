@@ -69,11 +69,13 @@ class SweepRunner:
         workers: int = 1,
         cache: object = None,
         refresh: bool = False,
+        keep_states: bool = False,
     ):
         self.config = config or ExperimentConfig.from_environment()
         self.workers = max(1, int(workers))
         self.cache = cache
         self.refresh = refresh
+        self.keep_states = keep_states
         self.energy_model = EnergyModel()
         self._splits: Dict[str, object] = {}
         self._sweeps: Dict[str, PrecisionSweep] = {}
@@ -102,8 +104,23 @@ class SweepRunner:
                 ),
                 split=self.split_for(dataset),
                 config=self.config.sweep,
+                keep_states=self.keep_states,
             )
         return self._sweeps[trained_name]
+
+    def trained_state(self, paper_network: str, spec: PrecisionSpec):
+        """Trained parameter arrays for one evaluated point, or ``None``.
+
+        Only available when the runner was built with
+        ``keep_states=True`` and the point actually trained (registry
+        publishing from the Figure 4 driver); cached sweep results that
+        were restored without their weights return ``None``.
+        """
+        trained = self.config.accuracy_network(paper_network)
+        sweep = self._sweeps.get(trained)
+        if sweep is None:
+            return None
+        return sweep.point_states.get(spec.key)
 
     def prefetch(
         self, paper_network: str, specs: Sequence[PrecisionSpec]

@@ -1,0 +1,50 @@
+"""Shared filesystem helpers: atomic writes that never leave torn files.
+
+Several subsystems persist state other processes may read concurrently
+— the sweep cache (:mod:`repro.parallel.cache`), the model registry
+(:mod:`repro.registry`) — and all of them need the same property: a
+reader never observes a half-written file, no matter when the writer
+dies.  The classic POSIX recipe lives here once: write to a temp file
+in the destination directory, then ``os.replace`` onto the final name
+(atomic on the same filesystem).
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from typing import BinaryIO, Callable, Union
+
+__all__ = ["atomic_write"]
+
+
+def atomic_write(
+    path: str,
+    data: Union[bytes, Callable[[BinaryIO], None]],
+) -> str:
+    """Atomically create or replace ``path``; returns ``path``.
+
+    ``data`` is either the exact bytes to write or a callable that
+    writes to the open binary handle (for writers like
+    ``np.savez_compressed`` that want a file object).  Parent
+    directories are created as needed.  On any failure the temp file is
+    removed and the previous contents of ``path`` — if any — remain
+    intact.
+    """
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            if callable(data):
+                data(handle)
+            else:
+                handle.write(data)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.remove(tmp)
+        except OSError:
+            pass
+        raise
+    return path

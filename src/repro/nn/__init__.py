@@ -36,7 +36,9 @@ from repro.nn.serialization import (
     load_network_state,
     load_network_weights,
     network_state,
+    read_state_archive,
     save_network_weights,
+    state_dict_digest,
     state_digest,
     transfer_weights,
 )
@@ -78,6 +80,8 @@ __all__ = [
     "load_network_state",
     "load_network_weights",
     "network_state",
+    "read_state_archive",
+    "state_dict_digest",
     "state_digest",
     "transfer_weights",
     "check_gradients",

@@ -6,21 +6,16 @@ caller had to know which shape it was holding.  :class:`EvalResult`
 unifies them: it *is* the accuracy (a ``float`` subclass, so
 comparisons, arithmetic and formatting at old call sites keep working)
 and it is also a small mapping carrying ``accuracy``, ``loss``,
-``n_samples`` and ``elapsed_s``.
-
-Explicitly converting with ``float(result)`` — the old bare-float
-protocol — still works but emits a one-time :class:`DeprecationWarning`
-pointing at ``result.accuracy``.
+``n_samples`` and ``elapsed_s``.  Prefer ``result.accuracy`` (or
+``result["accuracy"]``) over ``float(result)`` when the accuracy is
+what you mean.
 """
 
 from __future__ import annotations
 
-import warnings
 from typing import Dict, Iterator, Tuple
 
 __all__ = ["EvalResult"]
-
-_FLOAT_DEPRECATION_WARNED = False
 
 
 class EvalResult(float):
@@ -73,19 +68,6 @@ class EvalResult(float):
         return {key: getattr(self, key) for key in self._FIELDS}
 
     # ------------------------------------------------------------------
-    def __float__(self) -> float:
-        global _FLOAT_DEPRECATION_WARNED
-        if not _FLOAT_DEPRECATION_WARNED:
-            _FLOAT_DEPRECATION_WARNED = True
-            warnings.warn(
-                "treating an EvalResult as a bare float via float() is "
-                "deprecated; read result.accuracy (or result['accuracy']) "
-                "instead",
-                DeprecationWarning,
-                stacklevel=2,
-            )
-        return self.accuracy
-
     def __repr__(self) -> str:
         return (
             f"EvalResult(accuracy={self.accuracy:.4f}, loss={self.loss:.4f}, "

@@ -1,14 +1,23 @@
-"""Saving and loading network weights as ``.npz`` archives."""
+"""Saving and loading network weights as ``.npz`` archives.
+
+Decoding failures surface as :class:`~repro.errors.SerializationError`
+(truncated or corrupt archive bytes) or :class:`~repro.errors.ShapeError`
+(architecture mismatch) rather than whatever numpy/zipfile exception the
+damage happens to trigger, so recovery paths — the model registry, the
+serving store's build retries — can match on type.
+"""
 
 from __future__ import annotations
 
 import hashlib
 import os
+import zipfile
+import zlib
 from typing import Dict
 
 import numpy as np
 
-from repro.errors import ShapeError
+from repro.errors import SerializationError, ShapeError
 from repro.nn.network import Sequential
 
 
@@ -22,6 +31,22 @@ def network_state(network: Sequential) -> Dict[str, np.ndarray]:
     return state
 
 
+def state_dict_digest(state: Dict[str, np.ndarray]) -> str:
+    """SHA-256 over a name -> array mapping (names, shapes, exact bytes).
+
+    The state-dict counterpart of :func:`state_digest`, used when the
+    parameters travel as plain arrays (registry artifacts, cache
+    entries, pickled sweep tasks) rather than inside a network.
+    """
+    digest = hashlib.sha256()
+    for name, data in sorted(state.items()):
+        data = np.asarray(data)
+        digest.update(name.encode("utf-8"))
+        digest.update(str(data.shape).encode("ascii"))
+        digest.update(np.ascontiguousarray(data).tobytes())
+    return digest.hexdigest()
+
+
 def state_digest(network: Sequential) -> str:
     """SHA-256 over parameter names, shapes and exact float32 bytes.
 
@@ -29,12 +54,7 @@ def state_digest(network: Sequential) -> str:
     bit-identical, making save/load round trips and serving-cache
     identity checkable without comparing arrays element-wise.
     """
-    digest = hashlib.sha256()
-    for name, data in sorted(network_state(network).items()):
-        digest.update(name.encode("utf-8"))
-        digest.update(str(data.shape).encode("ascii"))
-        digest.update(np.ascontiguousarray(data).tobytes())
-    return digest.hexdigest()
+    return state_dict_digest(network_state(network))
 
 
 def save_network_weights(network: Sequential, path: str) -> None:
@@ -76,12 +96,31 @@ def load_network_state(network: Sequential, state: Dict[str, np.ndarray]) -> Non
         raise ShapeError(f"state has unmatched parameters: {sorted(remaining)}")
 
 
+def read_state_archive(path: str) -> Dict[str, np.ndarray]:
+    """Decode an ``.npz`` weight archive into a name -> array mapping.
+
+    A file that exists but cannot be decoded — truncated, overwritten,
+    not a zip at all — raises :class:`~repro.errors.SerializationError`
+    naming the path.  A missing file still raises ``FileNotFoundError``
+    (the caller may legitimately treat that as "nothing saved yet").
+    """
+    try:
+        with np.load(path) as archive:
+            return {key: archive[key] for key in archive.files}
+    except FileNotFoundError:
+        raise
+    except (ValueError, OSError, EOFError, zipfile.BadZipFile, KeyError,
+            zlib.error) as exc:
+        raise SerializationError(
+            f"weight archive {path!r} is corrupt or truncated: {exc}"
+        ) from exc
+
+
 def load_network_weights(network: Sequential, path: str) -> None:
     """Load parameters saved by :func:`save_network_weights`.
 
     The network architecture must match: every parameter name must be
-    present with the right shape, and no extras may remain.
+    present with the right shape, and no extras may remain.  Undecodable
+    files raise :class:`~repro.errors.SerializationError`.
     """
-    with np.load(path) as archive:
-        stored = {key: archive[key] for key in archive.files}
-    load_network_state(network, stored)
+    load_network_state(network, read_state_archive(path))

@@ -29,7 +29,6 @@ import hashlib
 import json
 import logging
 import os
-import tempfile
 from typing import Dict, Optional
 
 import numpy as np
@@ -38,6 +37,7 @@ from repro.core.precision import PrecisionSpec
 from repro.core.sweep import PrecisionResult, SweepConfig
 from repro.data.dataset import DataSplit
 from repro.errors import FaultInjectedError
+from repro.ioutil import atomic_write
 from repro.resilience.faults import get_injector
 from repro.version import __version__
 
@@ -208,7 +208,7 @@ class SweepCache:
         """Atomically store ``result``; returns the entry path."""
         path = self._path(key, ".json")
         payload = json.dumps(result_to_payload(result), indent=1, sort_keys=True)
-        self._atomic_write(path, payload.encode("utf-8"))
+        atomic_write(path, payload.encode("utf-8"))
         return path
 
     # -- weight states (float baseline warm-starts) --------------------
@@ -230,15 +230,7 @@ class SweepCache:
     def put_state(self, key: str, state: Dict[str, np.ndarray]) -> str:
         """Atomically store a name -> array mapping as ``.npz``."""
         path = self._path(key, ".npz")
-        os.makedirs(os.path.dirname(path), exist_ok=True)
-        fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path), suffix=".tmp")
-        try:
-            with os.fdopen(fd, "wb") as handle:
-                np.savez_compressed(handle, **state)
-            os.replace(tmp, path)
-        except BaseException:
-            self._remove(tmp)
-            raise
+        atomic_write(path, lambda handle: np.savez_compressed(handle, **state))
         return path
 
     # -- maintenance ---------------------------------------------------
@@ -262,17 +254,6 @@ class SweepCache:
     def hit_rate(self) -> float:
         """Fraction of lookups served from disk (0.0 when unused)."""
         return self.hits / self.requests if self.requests else 0.0
-
-    def _atomic_write(self, path: str, data: bytes) -> None:
-        os.makedirs(os.path.dirname(path), exist_ok=True)
-        fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path), suffix=".tmp")
-        try:
-            with os.fdopen(fd, "wb") as handle:
-                handle.write(data)
-            os.replace(tmp, path)
-        except BaseException:
-            self._remove(tmp)
-            raise
 
     @staticmethod
     def _remove(path: str) -> None:

@@ -188,6 +188,8 @@ def run_sweep(
     cached_float: Optional[PrecisionResult] = None
     float_checked = False
 
+    keep_states = getattr(sweep, "keep_states", False)
+
     # -- pass 1: resolve every point against the cache -----------------
     if store is not None:
         keys = _point_keys(sweep, specs, store)
@@ -199,6 +201,17 @@ def run_sweep(
                 if result is None:
                     metrics.counter("parallel.cache.misses").inc()
                     continue
+                if keep_states:
+                    # A publishing sweep needs the trained weights, not
+                    # just the accuracy row; a result-only entry (from a
+                    # pre-publish run) counts as a miss so the point is
+                    # retrained — deterministically, so the weights match
+                    # the cached accuracy.
+                    state = store.get_state(keys[spec.key])
+                    if state is None:
+                        metrics.counter("parallel.cache.misses").inc()
+                        continue
+                    sweep.point_states[spec.key] = state
                 metrics.counter("parallel.cache.hits").inc()
                 with tracer.span("parallel.point", spec=spec.key, cached=True):
                     results[index] = result
@@ -257,6 +270,14 @@ def run_sweep(
             pass
         if store is not None:
             store.put(keys[spec.key], outcome.result)
+        if keep_states:
+            # In-process points already populated sweep.point_states;
+            # worker outcomes ship theirs back explicitly.
+            state = outcome.state or sweep.point_states.get(spec.key)
+            if state is not None:
+                sweep.point_states[spec.key] = state
+                if store is not None:
+                    store.put_state(keys[spec.key], state)
         narrator.point(spec.key, cached=False, seconds=outcome.elapsed_s)
 
     policy = retry or DEFAULT_POINT_RETRY
@@ -280,6 +301,7 @@ def run_sweep(
                 spec=specs[index],
                 baseline_state=baseline_state,
                 baseline_result=baseline,
+                keep_state=keep_states,
             )
             for index in misses
         }

@@ -37,6 +37,10 @@ class SweepPointTask:
     reference (parameter arrays + its result); when present the worker
     installs them via :meth:`PrecisionSweep.seed_baseline` and trains
     only the quantization-aware fine-tune for ``spec``.
+
+    ``keep_state`` asks the worker to ship the point's trained
+    parameter arrays back in :attr:`PointOutcome.state`, so the parent
+    can cache them and publish registry artifacts without retraining.
     """
 
     builder: Callable[[], Sequential]
@@ -45,6 +49,7 @@ class SweepPointTask:
     spec: PrecisionSpec
     baseline_state: Optional[Dict[str, np.ndarray]] = None
     baseline_result: Optional[PrecisionResult] = None
+    keep_state: bool = False
 
 
 @dataclass
@@ -54,6 +59,7 @@ class PointOutcome:
     result: PrecisionResult
     worker: int          # worker process id
     elapsed_s: float
+    state: Optional[Dict[str, np.ndarray]] = None  # with keep_state only
 
 
 def run_sweep_point(task: SweepPointTask) -> PointOutcome:
@@ -66,7 +72,9 @@ def run_sweep_point(task: SweepPointTask) -> PointOutcome:
     identical to what the sequential loop produces for the same task.
     """
     started = time.perf_counter()
-    sweep = PrecisionSweep(task.builder, task.split, task.config)
+    sweep = PrecisionSweep(
+        task.builder, task.split, task.config, keep_states=task.keep_state
+    )
     if task.baseline_state is not None and task.baseline_result is not None:
         sweep.seed_baseline(task.baseline_state, task.baseline_result)
     result = sweep.run_precision(task.spec)
@@ -74,4 +82,5 @@ def run_sweep_point(task: SweepPointTask) -> PointOutcome:
         result=result,
         worker=os.getpid(),
         elapsed_s=time.perf_counter() - started,
+        state=sweep.point_states.get(task.spec.key),
     )

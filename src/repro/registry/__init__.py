@@ -1,0 +1,52 @@
+"""Versioned model-artifact registry with Pareto-gated deployment.
+
+The sweep machinery answers *which* (network, precision) points are
+worth deploying; this subpackage owns what happens next.  Trained
+weights become content-addressed *artifacts* — SHA-256 over network,
+precision and exact weight bytes — stored on disk with a manifest
+carrying the measured accuracy, the modeled accelerator energy/area/
+memory, and the sweep-cache entry they came from.  Named *channels*
+(staging, prod) hold an ordered promotion history over those digests;
+a :class:`PromotionPolicy` gates each promotion with the paper's own
+Section V-B criterion (a candidate the incumbent Pareto-dominates on
+the accuracy/energy plane is rejected) plus optional accuracy-floor /
+energy-budget constraints.  The :class:`Deployer` rolls a channel's
+active artifact into the live serving engine with zero downtime — the
+replacement builds in the background and swaps into the
+:class:`repro.serve.ModelStore` under one lock while in-flight batches
+drain on the old weights — and restores the channel pointer when a
+build faults.
+
+Typical lifecycle::
+
+    store = registry.ArtifactStore("models/")
+    manifest = store.publish(state, network="lenet_small",
+                             precision="fixed8", accuracy=0.94, ...)
+    prod = registry.Channel(store, "prod")
+    prod.promote(manifest.digest, policy=registry.PromotionPolicy())
+    registry.Deployer(store, model_store).rollout(prod)
+    ...
+    prod.rollback()          # pointer back; Deployer.rollback redeploys
+
+The same flow is scriptable via ``python -m repro registry
+publish|list|promote|rollback|serve`` (see ``docs/registry.md``).
+"""
+
+from repro.registry.store import ArtifactManifest, ArtifactStore, artifact_digest
+from repro.registry.channels import Channel, ChannelVersion
+from repro.registry.policy import PromotionPolicy, design_point
+from repro.registry.deployer import Deployer, RolloutReport
+from repro.registry.publish import publish_with_modeled_costs
+
+__all__ = [
+    "ArtifactManifest",
+    "ArtifactStore",
+    "artifact_digest",
+    "Channel",
+    "ChannelVersion",
+    "PromotionPolicy",
+    "design_point",
+    "Deployer",
+    "RolloutReport",
+    "publish_with_modeled_costs",
+]

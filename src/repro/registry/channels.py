@@ -1,0 +1,246 @@
+"""Named deployment channels: ordered version history over artifacts.
+
+A :class:`Channel` (``"staging"``, ``"prod"``) is an append-only list
+of promoted artifact digests plus a pointer to the active one.
+``promote`` appends a new version (gated by a
+:class:`~repro.registry.policy.PromotionPolicy` when one is supplied),
+``rollback`` moves the pointer to an earlier version without erasing
+history, and ``pin`` freezes the pointer so neither works until the
+channel is unpinned.  State persists as one JSON file per channel under
+the store root, written atomically, so a crashed promote can never
+leave a channel half-updated.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.errors import RegistryError
+from repro.ioutil import atomic_write
+from repro.obs.metrics import get_metrics
+from repro.registry.policy import PromotionPolicy
+from repro.registry.store import ArtifactManifest, ArtifactStore
+
+__all__ = ["Channel", "ChannelVersion"]
+
+_CHANNEL_SCHEMA = 1
+
+
+@dataclass(frozen=True)
+class ChannelVersion:
+    """One promotion event in a channel's history."""
+
+    version: int
+    digest: str
+    promoted_unix: float
+    note: str = ""
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "version": self.version,
+            "digest": self.digest,
+            "promoted_unix": self.promoted_unix,
+            "note": self.note,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "ChannelVersion":
+        try:
+            return cls(
+                version=int(payload["version"]),
+                digest=str(payload["digest"]),
+                promoted_unix=float(payload["promoted_unix"]),
+                note=str(payload.get("note", "")),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise RegistryError(f"channel version entry invalid: {exc}") from exc
+
+
+class Channel:
+    """One named promotion lane over an :class:`ArtifactStore`.
+
+    Args:
+        store: the artifact store whose digests this channel points at.
+        name: channel name; doubles as the state filename
+            (``<root>/channels/<name>.json``).
+
+    Existing state is loaded on construction; a channel that was never
+    promoted to starts empty.  A state file that exists but cannot be
+    parsed raises :class:`~repro.errors.RegistryError` — channels are
+    tiny and hand-recoverable, and silently resetting one would forget
+    which model production is meant to run.
+    """
+
+    def __init__(self, store: ArtifactStore, name: str):
+        if not name or "/" in name or name.startswith("."):
+            raise RegistryError(f"invalid channel name {name!r}")
+        self.store = store
+        self.name = name
+        self.versions: List[ChannelVersion] = []
+        self.active_version: Optional[int] = None
+        self.pinned = False
+        self._load()
+
+    # -- persistence -----------------------------------------------------
+    @property
+    def path(self) -> str:
+        return self.store.channel_path(self.name)
+
+    def _load(self) -> None:
+        try:
+            with open(self.path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except FileNotFoundError:
+            return
+        except (json.JSONDecodeError, UnicodeDecodeError, OSError) as exc:
+            raise RegistryError(
+                f"channel file {self.path!r} is corrupt: {exc}"
+            ) from exc
+        if not isinstance(payload, dict):
+            raise RegistryError(f"channel file {self.path!r} is not a mapping")
+        self.versions = [
+            ChannelVersion.from_dict(entry)
+            for entry in payload.get("versions", [])
+        ]
+        active = payload.get("active")
+        self.active_version = None if active is None else int(active)
+        self.pinned = bool(payload.get("pinned", False))
+
+    def _save(self) -> None:
+        payload = json.dumps(
+            {
+                "schema": _CHANNEL_SCHEMA,
+                "name": self.name,
+                "active": self.active_version,
+                "pinned": self.pinned,
+                "versions": [v.to_dict() for v in self.versions],
+            },
+            indent=2,
+            sort_keys=True,
+        )
+        atomic_write(self.path, payload.encode("utf-8"))
+
+    # -- queries ---------------------------------------------------------
+    def history(self) -> List[ChannelVersion]:
+        """All promotions, oldest first."""
+        return list(self.versions)
+
+    def version(self, number: int) -> ChannelVersion:
+        for entry in self.versions:
+            if entry.version == number:
+                return entry
+        raise RegistryError(
+            f"channel {self.name!r} has no version {number}"
+        )
+
+    def active(self) -> Optional[ChannelVersion]:
+        """The currently deployed version, or ``None`` when empty."""
+        if self.active_version is None:
+            return None
+        return self.version(self.active_version)
+
+    def active_manifest(self) -> ArtifactManifest:
+        """Manifest behind the active version (raises when empty)."""
+        entry = self.active()
+        if entry is None:
+            raise RegistryError(f"channel {self.name!r} has no active version")
+        return self.store.get(entry.digest)
+
+    # -- mutations -------------------------------------------------------
+    def _check_unpinned(self, operation: str) -> None:
+        if self.pinned:
+            raise RegistryError(
+                f"channel {self.name!r} is pinned; unpin before {operation}"
+            )
+
+    def promote(
+        self,
+        ref: str,
+        *,
+        policy: Optional[PromotionPolicy] = None,
+        note: str = "",
+        force: bool = False,
+    ) -> ChannelVersion:
+        """Append a new active version pointing at ``ref``.
+
+        With a ``policy``, the candidate manifest is checked against
+        the active incumbent first and a failing candidate raises
+        :class:`~repro.errors.PromotionRejectedError` (``force=True``
+        records the promotion anyway, for break-glass deploys).
+        Promoting the already-active digest is a no-op returning the
+        active entry.
+        """
+        self._check_unpinned("promoting")
+        manifest = self.store.get(ref)
+        current = self.active()
+        if current is not None and current.digest == manifest.digest:
+            return current
+        if policy is not None:
+            incumbent = None if current is None else self.store.get(current.digest)
+            violations = policy.check(manifest, incumbent)
+            if violations and not force:
+                get_metrics().counter("registry.promotions_rejected").inc()
+                policy.reject(self.name, manifest, violations)
+        next_version = 1 + max((v.version for v in self.versions), default=0)
+        entry = ChannelVersion(
+            version=next_version,
+            digest=manifest.digest,
+            promoted_unix=time.time(),
+            note=note,
+        )
+        self.versions.append(entry)
+        self.active_version = entry.version
+        self._save()
+        get_metrics().counter("registry.promotions").inc()
+        return entry
+
+    def rollback(self, steps: int = 1) -> ChannelVersion:
+        """Move the active pointer ``steps`` promotions earlier.
+
+        History is kept intact — a later promote appends after the full
+        history, and rolling "forward" is just promoting the newer
+        digest again.  Rolling back past the first version raises
+        :class:`~repro.errors.RegistryError`.
+        """
+        self._check_unpinned("rolling back")
+        if steps < 1:
+            raise RegistryError("rollback steps must be >= 1")
+        current = self.active()
+        if current is None:
+            raise RegistryError(
+                f"channel {self.name!r} has no active version to roll back"
+            )
+        index = next(
+            i for i, entry in enumerate(self.versions)
+            if entry.version == current.version
+        )
+        if index - steps < 0:
+            raise RegistryError(
+                f"channel {self.name!r} has only {index} earlier "
+                f"version(s); cannot roll back {steps}"
+            )
+        target = self.versions[index - steps]
+        self.active_version = target.version
+        self._save()
+        get_metrics().counter("registry.rollbacks").inc()
+        return target
+
+    def pin(self) -> None:
+        """Freeze the active version against promote/rollback."""
+        self.pinned = True
+        self._save()
+
+    def unpin(self) -> None:
+        self.pinned = False
+        self._save()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        active = self.active_version if self.active_version is not None else "-"
+        pin = ", pinned" if self.pinned else ""
+        return (
+            f"Channel({self.name!r}, {len(self.versions)} versions, "
+            f"active={active}{pin})"
+        )

@@ -1,0 +1,126 @@
+"""Pareto-gated promotion rules.
+
+The paper's deployment argument (Section V-B) is exactly a promotion
+policy: a configuration earns its place only if no other configuration
+beats it on both accuracy and energy.  :class:`PromotionPolicy` encodes
+that as a gate between a candidate artifact and a channel's incumbent,
+reusing the same :func:`repro.core.pareto.dominates` predicate that
+draws Figure 4 — a candidate the incumbent dominates is rejected, plus
+optional absolute constraints (an accuracy floor, a per-image energy
+budget, a bounded accuracy drop versus the incumbent).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.core.pareto import DesignPoint, dominates
+from repro.errors import PromotionRejectedError
+from repro.registry.store import ArtifactManifest
+
+__all__ = ["PromotionPolicy", "design_point"]
+
+
+def design_point(manifest: ArtifactManifest) -> DesignPoint:
+    """Map an artifact onto the paper's accuracy/energy plane.
+
+    Accuracy converts to percent to match the Figure 4 convention used
+    everywhere :class:`~repro.core.pareto.DesignPoint` appears.
+    """
+    return DesignPoint(
+        label=f"{manifest.network}@{manifest.precision}",
+        accuracy=100.0 * manifest.accuracy,
+        energy_uj=manifest.energy_uj_per_image,
+        metadata={
+            "digest": manifest.digest,
+            "network": manifest.network,
+            "precision": manifest.precision,
+        },
+    )
+
+
+@dataclass(frozen=True)
+class PromotionPolicy:
+    """Configurable gate a candidate must pass to take over a channel.
+
+    Args:
+        require_non_dominated: reject candidates the incumbent Pareto-
+            dominates (at least as accurate AND at least as cheap, and
+            strictly better on one axis).  A candidate that merely
+            trades accuracy for energy — a different point on the
+            frontier — passes.
+        min_accuracy: absolute floor, fraction in [0, 1].
+        max_energy_uj: absolute per-image energy budget.
+        max_accuracy_drop: largest tolerated accuracy regression versus
+            the incumbent, as a fraction (``0.01`` = one point).
+        require_metrics: reject candidates whose accuracy or energy was
+            never measured (``nan``) whenever a rule would need them.
+    """
+
+    require_non_dominated: bool = True
+    min_accuracy: Optional[float] = None
+    max_energy_uj: Optional[float] = None
+    max_accuracy_drop: Optional[float] = None
+    require_metrics: bool = True
+
+    def check(
+        self,
+        candidate: ArtifactManifest,
+        incumbent: Optional[ArtifactManifest] = None,
+    ) -> List[str]:
+        """Every rule the candidate violates (empty = promotable)."""
+        violations: List[str] = []
+        acc_known = math.isfinite(candidate.accuracy)
+        energy_known = math.isfinite(candidate.energy_uj_per_image)
+        if self.require_metrics:
+            if not acc_known:
+                violations.append("candidate reports no measured accuracy")
+            if not energy_known:
+                violations.append("candidate reports no modeled energy")
+        if self.min_accuracy is not None and acc_known:
+            if candidate.accuracy < self.min_accuracy:
+                violations.append(
+                    f"accuracy {candidate.accuracy:.4f} below floor "
+                    f"{self.min_accuracy:.4f}"
+                )
+        if self.max_energy_uj is not None and energy_known:
+            if candidate.energy_uj_per_image > self.max_energy_uj:
+                violations.append(
+                    f"energy {candidate.energy_uj_per_image:.3f} uJ/image "
+                    f"over budget {self.max_energy_uj:.3f}"
+                )
+        if incumbent is not None:
+            if self.require_non_dominated and acc_known and energy_known:
+                if dominates(design_point(incumbent), design_point(candidate)):
+                    violations.append(
+                        f"dominated by incumbent "
+                        f"{incumbent.short_digest()} "
+                        f"(acc {incumbent.accuracy:.4f} vs "
+                        f"{candidate.accuracy:.4f}, energy "
+                        f"{incumbent.energy_uj_per_image:.3f} vs "
+                        f"{candidate.energy_uj_per_image:.3f} uJ)"
+                    )
+            if (self.max_accuracy_drop is not None and acc_known
+                    and math.isfinite(incumbent.accuracy)):
+                drop = incumbent.accuracy - candidate.accuracy
+                if drop > self.max_accuracy_drop:
+                    violations.append(
+                        f"accuracy drop {drop:.4f} exceeds allowed "
+                        f"{self.max_accuracy_drop:.4f}"
+                    )
+        return violations
+
+    def reject(
+        self,
+        channel: str,
+        candidate: ArtifactManifest,
+        violations: List[str],
+    ) -> None:
+        """Raise the typed rejection listing every violated rule."""
+        detail = "; ".join(violations)
+        raise PromotionRejectedError(
+            f"artifact {candidate.short_digest()} rejected for channel "
+            f"{channel!r}: {detail}"
+        )

@@ -1,0 +1,79 @@
+"""Publishing helpers: trained state + modeled hardware costs in one call.
+
+Everything that turns a trained model into a registry artifact needs
+the same three measurements from :mod:`repro.hw` — per-image energy,
+accelerator area at the artifact's precision, and the Section V-B
+weight+buffer memory footprint.  :func:`publish_with_modeled_costs`
+computes them from the state being published so the CLI (``repro sweep
+--publish`` / ``repro registry publish``) and the Figure 4 experiment
+driver cannot drift apart on how manifests are filled in.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.core.precision import PrecisionSpec
+from repro.errors import ConfigurationError
+from repro.hw.accelerator import Accelerator
+from repro.hw.energy import EnergyModel
+from repro.hw.memory_footprint import network_memory_footprint
+from repro.nn.serialization import load_network_state
+from repro.registry.store import ArtifactManifest, ArtifactStore
+from repro.zoo.registry import build_network, network_info
+
+__all__ = ["publish_with_modeled_costs"]
+
+
+def publish_with_modeled_costs(
+    store: ArtifactStore,
+    state: Dict[str, np.ndarray],
+    network: str,
+    precision: str,
+    *,
+    accuracy: float = float("nan"),
+    loss: float = float("nan"),
+    n_samples: int = 0,
+    split: str = "test",
+    energy_model: Optional[EnergyModel] = None,
+    sweep_cache_key: Optional[str] = None,
+    created_by: str = "",
+    extra: Optional[Dict[str, str]] = None,
+) -> ArtifactManifest:
+    """Publish ``state`` with energy/area/memory filled in from ``repro.hw``.
+
+    The measured ``accuracy`` (and optionally ``loss``/``n_samples``)
+    comes from the caller — it depends on how the model was evaluated —
+    while the modeled costs are recomputed here from the exact weights
+    being stored, so a manifest's hardware numbers always describe the
+    artifact itself rather than whatever network produced the metrics.
+    """
+    info = network_info(network)
+    spec = PrecisionSpec.parse(precision)
+    instance = build_network(network, seed=0)
+    load_network_state(instance, state)
+    model = energy_model or EnergyModel()
+    energy = model.evaluate_cached(instance, info.input_shape, spec)
+    footprint = network_memory_footprint(instance, info.input_shape, spec)
+    try:
+        area_mm2 = Accelerator.for_precision(spec.key).area_mm2
+    except ConfigurationError:
+        area_mm2 = float("nan")  # novel spec with no named accelerator
+    return store.publish(
+        state,
+        network=network,
+        precision=spec.key,
+        dataset=info.dataset,
+        split=split,
+        accuracy=accuracy,
+        loss=loss,
+        n_samples=n_samples,
+        energy_uj_per_image=energy.energy_uj,
+        area_mm2=area_mm2,
+        memory_kb=footprint.total_kb,
+        sweep_cache_key=sweep_cache_key,
+        created_by=created_by,
+        extra=extra,
+    )

@@ -1,0 +1,409 @@
+"""Content-addressed, on-disk store of trained model artifacts.
+
+An *artifact* is one trained set of weights plus the manifest that
+makes it deployable without re-deriving anything: the precision spec it
+was trained for, the dataset/split it was measured on, the measured
+accuracy, the modeled accelerator energy/area/memory cost
+(``repro.hw``), and the sweep-cache entry it came from.  Artifacts are
+addressed by a SHA-256 digest over their identity (network, precision,
+exact weight bytes), so publishing the same trained model twice is
+idempotent and two registries that hold the same digest hold the same
+model, bit for bit.
+
+On-disk layout (everything written via
+:func:`repro.ioutil.atomic_write`, so a crashed publish never leaves a
+half-written artifact visible)::
+
+    <root>/artifacts/<digest[:2]>/<digest>/manifest.json
+    <root>/artifacts/<digest[:2]>/<digest>/weights.npz
+    <root>/channels/<name>.json          (see repro.registry.channels)
+
+A manifest that has been damaged on disk is rebuilt from the weight
+archive when possible (:meth:`ArtifactStore.recover_manifest`): the
+identity fields are recomputed from the surviving bytes and the
+measured metrics — which cannot be recovered — come back as ``nan``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+import os
+import time
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.core.precision import PrecisionSpec
+from repro.errors import RegistryError, SerializationError
+from repro.ioutil import atomic_write
+from repro.nn.network import Sequential
+from repro.nn.serialization import (
+    load_network_state,
+    network_state,
+    read_state_archive,
+    state_dict_digest,
+)
+from repro.obs.metrics import get_metrics
+from repro.obs.tracer import get_tracer
+from repro.resilience.faults import get_injector
+from repro.zoo.registry import build_network
+
+__all__ = ["ArtifactManifest", "ArtifactStore", "artifact_digest"]
+
+#: Manifest schema version; bump when the layout changes incompatibly.
+MANIFEST_SCHEMA = 1
+
+_MANIFEST_NAME = "manifest.json"
+_WEIGHTS_NAME = "weights.npz"
+
+
+def artifact_digest(network: str, precision: str, weights_digest: str) -> str:
+    """Content address of one artifact.
+
+    Covers exactly the identity: which architecture, at which precision
+    spec, with which exact weight bytes.  Metrics, timestamps and
+    provenance are *not* part of the address — re-measuring a model
+    does not mint a new artifact.
+    """
+    digest = hashlib.sha256()
+    for part in (f"repro-artifact-v{MANIFEST_SCHEMA}", network,
+                 precision, weights_digest):
+        digest.update(part.encode("utf-8"))
+        digest.update(b"\0")
+    return digest.hexdigest()
+
+
+@dataclass(frozen=True)
+class ArtifactManifest:
+    """Everything needed to deploy one trained model without retraining.
+
+    Attributes:
+        digest: content address (see :func:`artifact_digest`).
+        network: zoo architecture name (``"lenet_small"``).
+        precision: canonical precision key (``"fixed8"``).
+        weights_digest: SHA-256 over the stored parameter arrays
+            (:func:`repro.nn.serialization.state_dict_digest`); checked
+            on every load so silent weight corruption is caught.
+        dataset / split: where the accuracy below was measured.
+        accuracy: measured fraction correct in [0, 1] (``nan`` unknown).
+        loss: measured dataset loss (``nan`` when not recorded).
+        n_samples: evaluation sample count behind ``accuracy``.
+        energy_uj_per_image: modeled accelerator energy
+            (:class:`repro.hw.energy.EnergyModel`).
+        area_mm2: modeled accelerator area at this precision.
+        memory_kb: paper-style Section V-B weight+buffer footprint.
+        sweep_cache_key: the :class:`repro.parallel.SweepCache` entry
+            this artifact was published from, when it came from a sweep.
+        created_unix / created_by: provenance.
+        extra: free-form string extras (git revision, experiment id).
+    """
+
+    digest: str
+    network: str
+    precision: str
+    weights_digest: str
+    dataset: str = ""
+    split: str = ""
+    accuracy: float = float("nan")
+    loss: float = float("nan")
+    n_samples: int = 0
+    energy_uj_per_image: float = float("nan")
+    area_mm2: float = float("nan")
+    memory_kb: float = float("nan")
+    sweep_cache_key: Optional[str] = None
+    created_unix: float = 0.0
+    created_by: str = ""
+    schema: int = MANIFEST_SCHEMA
+    extra: Dict[str, str] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, object]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "ArtifactManifest":
+        if not isinstance(payload, dict):
+            raise RegistryError("manifest payload is not a mapping")
+        missing = [key for key in
+                   ("digest", "network", "precision", "weights_digest")
+                   if key not in payload]
+        if missing:
+            raise RegistryError(f"manifest missing required keys {missing}")
+        known = {f: payload[f] for f in cls.__dataclass_fields__
+                 if f in payload}
+        try:
+            return cls(**known)
+        except (TypeError, ValueError) as exc:
+            raise RegistryError(f"manifest fields invalid: {exc}") from exc
+
+    def short_digest(self) -> str:
+        return self.digest[:12]
+
+
+class ArtifactStore:
+    """Content-addressed artifact persistence under one root directory.
+
+    All writes are atomic (temp file + rename), publishes of an
+    already-stored digest are idempotent, and every weight load is
+    verified against the manifest's ``weights_digest`` so a corrupted
+    archive raises :class:`~repro.errors.RegistryError` instead of
+    serving wrong numbers.
+    """
+
+    def __init__(self, root: str):
+        self.root = os.path.abspath(root)
+        os.makedirs(os.path.join(self.root, "artifacts"), exist_ok=True)
+        os.makedirs(os.path.join(self.root, "channels"), exist_ok=True)
+
+    # -- paths -----------------------------------------------------------
+    def artifact_dir(self, digest: str) -> str:
+        return os.path.join(self.root, "artifacts", digest[:2], digest)
+
+    def manifest_path(self, digest: str) -> str:
+        return os.path.join(self.artifact_dir(digest), _MANIFEST_NAME)
+
+    def weights_path(self, digest: str) -> str:
+        return os.path.join(self.artifact_dir(digest), _WEIGHTS_NAME)
+
+    def channel_path(self, name: str) -> str:
+        return os.path.join(self.root, "channels", f"{name}.json")
+
+    # -- publishing ------------------------------------------------------
+    def publish(
+        self,
+        state: Dict[str, np.ndarray],
+        *,
+        network: str,
+        precision: str,
+        dataset: str = "",
+        split: str = "",
+        accuracy: float = float("nan"),
+        loss: float = float("nan"),
+        n_samples: int = 0,
+        energy_uj_per_image: float = float("nan"),
+        area_mm2: float = float("nan"),
+        memory_kb: float = float("nan"),
+        sweep_cache_key: Optional[str] = None,
+        created_by: str = "",
+        extra: Optional[Dict[str, str]] = None,
+    ) -> ArtifactManifest:
+        """Persist one trained state dict plus its manifest.
+
+        ``precision`` is canonicalized through
+        :meth:`repro.core.PrecisionSpec.parse`, so ``"fixed:8:8"`` and
+        ``"fixed8"`` publish to the same address.  Republishing an
+        existing digest rewrites the manifest (metrics may have been
+        re-measured) but not the weight archive.
+        """
+        precision_key = PrecisionSpec.parse(precision).key
+        weights_digest = state_dict_digest(state)
+        digest = artifact_digest(network, precision_key, weights_digest)
+        manifest = ArtifactManifest(
+            digest=digest,
+            network=network,
+            precision=precision_key,
+            weights_digest=weights_digest,
+            dataset=dataset,
+            split=split,
+            accuracy=float(accuracy),
+            loss=float(loss),
+            n_samples=int(n_samples),
+            energy_uj_per_image=float(energy_uj_per_image),
+            area_mm2=float(area_mm2),
+            memory_kb=float(memory_kb),
+            sweep_cache_key=sweep_cache_key,
+            created_unix=time.time(),
+            created_by=created_by,
+            extra=dict(extra or {}),
+        )
+        with get_tracer().span("registry.publish", digest=digest[:12],
+                               network=network, precision=precision_key):
+            fresh = not os.path.exists(self.weights_path(digest))
+            if fresh:
+                atomic_write(
+                    self.weights_path(digest),
+                    lambda handle: np.savez_compressed(handle, **state),
+                )
+            self._write_manifest(manifest)
+        metrics = get_metrics()
+        metrics.counter("registry.publishes").inc()
+        if not fresh:
+            metrics.counter("registry.dedup_publishes").inc()
+        return manifest
+
+    def publish_network(self, network_obj: Sequential, **kwargs) -> ArtifactManifest:
+        """Publish a live network's parameters (convenience wrapper)."""
+        return self.publish(network_state(network_obj), **kwargs)
+
+    def _write_manifest(self, manifest: ArtifactManifest) -> None:
+        payload = json.dumps(manifest.to_dict(), indent=2, sort_keys=True,
+                             allow_nan=True)
+        atomic_write(self.manifest_path(manifest.digest),
+                     payload.encode("utf-8"))
+
+    # -- lookup ----------------------------------------------------------
+    def exists(self, digest: str) -> bool:
+        return os.path.exists(self.manifest_path(digest))
+
+    def digests(self) -> List[str]:
+        """Every stored digest (including ones with damaged manifests)."""
+        base = os.path.join(self.root, "artifacts")
+        found: List[str] = []
+        for shard in sorted(os.listdir(base)):
+            shard_dir = os.path.join(base, shard)
+            if os.path.isdir(shard_dir):
+                found.extend(sorted(os.listdir(shard_dir)))
+        return found
+
+    def resolve(self, ref: str) -> str:
+        """Expand a digest prefix to the unique full digest.
+
+        Unknown prefixes and ambiguous ones (two stored digests share
+        the prefix) both raise :class:`~repro.errors.RegistryError`.
+        """
+        if not ref:
+            raise RegistryError("empty artifact reference")
+        matches = [d for d in self.digests() if d.startswith(ref)]
+        if not matches:
+            raise RegistryError(f"no artifact matches {ref!r}")
+        if len(matches) > 1:
+            raise RegistryError(
+                f"ambiguous reference {ref!r}: matches {len(matches)} artifacts"
+            )
+        return matches[0]
+
+    def get(self, ref: str) -> ArtifactManifest:
+        """Load the manifest for a digest (or unique prefix).
+
+        A manifest that exists but cannot be parsed is rebuilt from the
+        weight archive (:meth:`recover_manifest`) — measured metrics are
+        lost but the artifact stays addressable and deployable.
+        """
+        digest = self.resolve(ref)
+        path = self.manifest_path(digest)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                manifest = ArtifactManifest.from_dict(json.load(handle))
+        except FileNotFoundError:
+            return self.recover_manifest(digest)
+        except (json.JSONDecodeError, UnicodeDecodeError, OSError,
+                RegistryError):
+            get_metrics().counter("registry.corrupt_manifests").inc()
+            return self.recover_manifest(digest)
+        if manifest.digest != digest:
+            get_metrics().counter("registry.corrupt_manifests").inc()
+            return self.recover_manifest(digest)
+        return manifest
+
+    def recover_manifest(self, digest: str) -> ArtifactManifest:
+        """Rebuild a damaged manifest from the surviving weight archive.
+
+        Identity fields are recomputed from the artifact's directory
+        name and weight bytes; measured metrics come back ``nan``.  The
+        rebuilt manifest is written back so the next read is clean.  If
+        the weights are unreadable too the artifact is genuinely lost
+        and :class:`~repro.errors.RegistryError` is raised.
+        """
+        try:
+            state = read_state_archive(self.weights_path(digest))
+        except (FileNotFoundError, SerializationError) as exc:
+            raise RegistryError(
+                f"artifact {digest[:12]} unrecoverable: manifest damaged "
+                f"and weights unreadable ({exc})"
+            ) from exc
+        weights_digest = state_dict_digest(state)
+        manifest = ArtifactManifest(
+            digest=digest,
+            network="unknown",
+            precision="unknown",
+            weights_digest=weights_digest,
+            created_unix=time.time(),
+            created_by="recover_manifest",
+            extra={"recovered": "true"},
+        )
+        # The digest encodes (network, precision, weights): if exactly
+        # one (network, precision) pair reproduces it, identity is fully
+        # recovered, not just the weights.
+        for name, spec in _identity_candidates():
+            if artifact_digest(name, spec, weights_digest) == digest:
+                manifest = ArtifactManifest(
+                    digest=digest, network=name, precision=spec,
+                    weights_digest=weights_digest,
+                    created_unix=manifest.created_unix,
+                    created_by="recover_manifest",
+                    extra={"recovered": "true"},
+                )
+                break
+        self._write_manifest(manifest)
+        get_metrics().counter("registry.recovered_manifests").inc()
+        return manifest
+
+    def list_artifacts(self) -> List[ArtifactManifest]:
+        """All manifests, oldest first (damaged ones auto-recovered)."""
+        manifests = [self.get(digest) for digest in self.digests()]
+        return sorted(manifests, key=lambda m: (m.created_unix, m.digest))
+
+    def __len__(self) -> int:
+        return len(self.digests())
+
+    # -- loading weights -------------------------------------------------
+    def load_state(self, ref: str) -> Dict[str, np.ndarray]:
+        """Read and verify one artifact's weight arrays.
+
+        Fires the ``registry.load`` fault site (chaos runs exercise the
+        deployer's retry/rollback path here) and checks the decoded
+        arrays against the manifest's ``weights_digest`` — a mismatch
+        means the archive bytes were damaged after publish and raises
+        :class:`~repro.errors.RegistryError`.
+        """
+        manifest = self.get(ref)
+        get_injector().fire("registry.load")
+        try:
+            state = read_state_archive(self.weights_path(manifest.digest))
+        except SerializationError as exc:
+            raise RegistryError(
+                f"artifact {manifest.short_digest()} weights unreadable: {exc}"
+            ) from exc
+        actual = state_dict_digest(state)
+        if actual != manifest.weights_digest:
+            raise RegistryError(
+                f"artifact {manifest.short_digest()} weight digest mismatch: "
+                f"manifest says {manifest.weights_digest[:12]}, "
+                f"archive decodes to {actual[:12]}"
+            )
+        return state
+
+    def load_network(self, ref: str, seed: int = 0) -> Sequential:
+        """Rebuild the artifact's architecture with its stored weights."""
+        manifest = self.get(ref)
+        network = build_network(manifest.network, seed=seed)
+        load_network_state(network, self.load_state(manifest.digest))
+        return network
+
+    def verify(self, ref: str) -> bool:
+        """True when the stored weights still match their manifest."""
+        try:
+            self.load_state(ref)
+            return True
+        except (RegistryError, SerializationError, FileNotFoundError):
+            return False
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"ArtifactStore({self.root!r}, {len(self)} artifacts)"
+
+
+def _identity_candidates():
+    """(network, precision-key) pairs to probe during manifest recovery."""
+    from repro.core.precision import PAPER_PRECISIONS
+    from repro.zoo.registry import NETWORK_BUILDERS
+
+    for name in NETWORK_BUILDERS:
+        for spec in PAPER_PRECISIONS:
+            yield name, spec.key
+
+
+def is_finite_metric(value: float) -> bool:
+    """True for a real recorded measurement (``nan`` means unmeasured)."""
+    return value is not None and math.isfinite(value)

@@ -19,6 +19,9 @@ Named sites (:data:`SITES`):
     one sweep point completing in :func:`repro.parallel.run_sweep`.
 ``cache.read``
     :meth:`repro.parallel.SweepCache.get` reading a result entry.
+``registry.load``
+    :meth:`repro.registry.ArtifactStore.load_state` decoding a stored
+    weight archive (exercises the deployer's retry/auto-rollback).
 
 Modes: ``raise`` (a :class:`~repro.errors.FaultInjectedError`),
 ``delay`` (sleep ``delay_s``), ``corrupt`` (mangle the value passed to
@@ -49,7 +52,13 @@ __all__ = [
 ]
 
 #: Every site the codebase is instrumented with.
-SITES = ("store.build", "engine.forward", "parallel.point", "cache.read")
+SITES = (
+    "store.build",
+    "engine.forward",
+    "parallel.point",
+    "cache.read",
+    "registry.load",
+)
 
 _MODES = ("raise", "delay", "corrupt")
 
@@ -216,4 +225,5 @@ def chaos_preset(seed: int = 0) -> FaultInjector:
     injector.arm("engine.forward", mode="delay", rate=0.05, delay_s=0.005)
     injector.arm("parallel.point", mode="raise", rate=0.2)
     injector.arm("cache.read", mode="raise", rate=0.2)
+    injector.arm("registry.load", mode="raise", rate=0.2)
     return injector

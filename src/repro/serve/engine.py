@@ -282,6 +282,12 @@ class InferenceServer:
             return
         finished_at = time.monotonic()
         self.stats.record_batch(len(batch), queue_depth)
+        if servable.registry_digest is not None:
+            self.stats.record_artifact(
+                f"{key.network}@{key.precision}",
+                servable.registry_digest,
+                servable.registry_version,
+            )
         for row, pending in enumerate(batch):
             request = pending.request
             result = InferenceResult(

@@ -62,6 +62,8 @@ class Servable:
     memory_kb: float             # paper-style footprint at this precision
     energy_uj_per_image: float   # modeled accelerator energy per inference
     weights_digest: str          # SHA-256 of the loaded float parameters
+    registry_digest: Optional[str] = None   # artifact digest when deployed
+    registry_version: Optional[int] = None  # channel version when deployed
 
     def forward(self, batch: np.ndarray) -> np.ndarray:
         return self.frozen.forward(batch)
@@ -118,7 +120,14 @@ class ModelStore:
         self.evictions = 0
 
     # ------------------------------------------------------------------
-    def _calibration_for(self, dataset: str) -> np.ndarray:
+    def calibration_for(self, dataset: str) -> np.ndarray:
+        """Calibration images for ``dataset`` (loaded once, then cached).
+
+        Public because the registry's :class:`~repro.registry.Deployer`
+        calibrates its background-built servables with the same images
+        the store would use, so a deployed artifact and a store-built
+        fallback see identical activation ranges.
+        """
         if dataset not in self._calibration:
             split = load_dataset(
                 dataset,
@@ -139,7 +148,7 @@ class ModelStore:
         digest = state_digest(network)
         qnet = QuantizedNetwork(network, spec)
         if not spec.is_float:
-            qnet.calibrate(self._calibration_for(info.dataset))
+            qnet.calibrate(self.calibration_for(info.dataset))
         energy = self.energy_model.evaluate_cached(network, info.input_shape, spec)
         footprint = network_memory_footprint(network, info.input_shape, spec)
         return Servable(
@@ -181,6 +190,24 @@ class ModelStore:
             self._entries[key] = servable
             self._evict_over_budget()
             return servable
+
+    def install(self, servable: Servable) -> Optional[Servable]:
+        """Atomically (re)place the cache entry for ``servable.key``.
+
+        This is the zero-downtime swap slot used by
+        :class:`repro.registry.Deployer`: the new servable is built and
+        calibrated entirely outside the lock, then swapped in here in
+        one locked assignment.  Workers that grabbed the previous
+        servable for an in-flight batch keep their reference and finish
+        on the old weights; every later :meth:`get` returns the new
+        one.  Returns the replaced servable (``None`` on first
+        install), which the caller keeps for rollback.
+        """
+        with self._lock:
+            previous = self._entries.pop(servable.key, None)
+            self._entries[servable.key] = servable
+            self._evict_over_budget()
+            return previous
 
     @staticmethod
     def _note_build_retry(attempt: int, error: BaseException) -> None:

@@ -43,6 +43,11 @@ class StatsReport:
     max_queue_depth: int
     energy_uj_total: float
     energy_uj_per_image: float
+    #: model key -> {"digest", "version", "batches"} for traffic served
+    #: from registry-deployed servables; empty when serving zoo weights.
+    served_artifacts: Dict[str, Dict[str, object]] = dataclasses.field(
+        default_factory=dict
+    )
 
     def format(self) -> str:
         """Human-readable report block (CLI / benchmark output)."""
@@ -66,6 +71,12 @@ class StatsReport:
             f"modeled energy         : {self.energy_uj_total:.2f} uJ total, "
             f"{self.energy_uj_per_image:.3f} uJ/image",
         ]
+        for key, info in sorted(self.served_artifacts.items()):
+            lines.append(
+                f"served artifact        : {key} = "
+                f"{str(info.get('digest', ''))[:12]} "
+                f"(v{info.get('version')}, {info.get('batches')} batches)"
+            )
         return "\n".join(lines)
 
     def _histogram_line(self) -> str:
@@ -103,6 +114,7 @@ class ServerStats:
         self._failed = 0
         self._deadline_expired = 0
         self._degraded = 0
+        self._served_artifacts: Dict[str, Dict[str, object]] = {}
         self._first_admit: Optional[float] = None
         self._last_complete: Optional[float] = None
 
@@ -149,6 +161,23 @@ class ServerStats:
             self._max_queue_depth = max(self._max_queue_depth, queue_depth)
         self.metrics.histogram("serve.batch_size").observe(batch_size)
         self.metrics.gauge("serve.queue_depth").set(queue_depth)
+
+    def record_artifact(self, key: str, digest: str, version: object) -> None:
+        """One batch served from a registry-deployed artifact.
+
+        The engine calls this only when the servable carries a registry
+        digest (:attr:`repro.serve.Servable.registry_digest`), so plain
+        zoo-weight serving pays nothing.  The snapshot then answers
+        *which model version actually handled the traffic* — the datum
+        a rollout/rollback needs to be auditable.
+        """
+        with self._lock:
+            entry = self._served_artifacts.get(key)
+            if entry is None or entry.get("digest") != digest:
+                entry = {"digest": digest, "version": version, "batches": 0}
+                self._served_artifacts[key] = entry
+            entry["batches"] = int(entry["batches"]) + 1
+        self.metrics.counter("serve.registry_batches").inc()
 
     def record_completion(
         self, latency_ms: float, queue_ms: float, energy_uj: float
@@ -213,6 +242,10 @@ class ServerStats:
                 energy_uj_per_image=(
                     float(self._energy_uj) / completed if completed else 0.0
                 ),
+                served_artifacts={
+                    key: dict(info)
+                    for key, info in self._served_artifacts.items()
+                },
             )
 
 

@@ -1,11 +1,8 @@
 """PrecisionSpec.parse and the unified make_quantizers factory."""
 
-import warnings
-
 import pytest
 
 from repro import core
-from repro.core import quantized
 from repro.core.precision import PrecisionKind, get_precision
 from repro.errors import ConfigurationError
 
@@ -103,24 +100,3 @@ def test_make_quantizers_accepts_spec_objects():
     spec = get_precision("fixed16")
     weight, _ = core.make_quantizers(spec)
     assert weight.bits == 16
-
-
-# ----------------------------------------------------------------------
-# deprecated build_quantizers shim
-# ----------------------------------------------------------------------
-def test_build_quantizers_warns_once_and_delegates():
-    quantized._BUILD_QUANTIZERS_WARNED = False
-    try:
-        spec = get_precision("fixed8")
-        with warnings.catch_warnings(record=True) as caught:
-            warnings.simplefilter("always")
-            weight, factory = core.build_quantizers(spec)
-            core.build_quantizers(spec)  # second call stays silent
-        deprecations = [w for w in caught
-                        if issubclass(w.category, DeprecationWarning)]
-        assert len(deprecations) == 1
-        assert "make_quantizers" in str(deprecations[0].message)
-        assert isinstance(weight, core.FixedPointQuantizer)
-        assert isinstance(factory(), core.FixedPointQuantizer)
-    finally:
-        quantized._BUILD_QUANTIZERS_WARNED = True

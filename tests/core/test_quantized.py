@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro import core, nn
-from repro.core.quantized import build_quantizers
 from repro.errors import ConfigurationError
 from tests.conftest import make_tiny_cnn
 
@@ -14,28 +13,23 @@ def qnet():
     return core.QuantizedNetwork(make_tiny_cnn(), core.get_precision("fixed8"))
 
 
-def test_build_quantizers_dispatch():
-    wq, act_factory = build_quantizers(core.get_precision("fixed8"))
+def test_make_quantizers_dispatch():
+    wq, act_factory = core.make_quantizers(core.get_precision("fixed8"))
     assert isinstance(wq, core.FixedPointQuantizer)
     assert wq.bits == 8
     assert isinstance(act_factory(), core.FixedPointQuantizer)
 
-    wq, act_factory = build_quantizers(core.get_precision("pow2"))
+    wq, act_factory = core.make_quantizers(core.get_precision("pow2"))
     assert isinstance(wq, core.PowerOfTwoQuantizer)
     act = act_factory()
     assert isinstance(act, core.FixedPointQuantizer) and act.bits == 16
 
-    wq, _ = build_quantizers(core.get_precision("binary"))
+    wq, _ = core.make_quantizers(core.get_precision("binary"))
     assert isinstance(wq, core.BinaryQuantizer)
 
-    wq, act_factory = build_quantizers(core.get_precision("float32"))
+    wq, act_factory = core.make_quantizers(core.get_precision("float32"))
     assert isinstance(wq, core.IdentityQuantizer)
     assert isinstance(act_factory(), core.IdentityQuantizer)
-
-
-def test_activation_factory_returns_fresh_instances():
-    _, factory = build_quantizers(core.get_precision("fixed8"))
-    assert factory() is not factory()
 
 
 def test_swap_restores_exact_values(qnet):

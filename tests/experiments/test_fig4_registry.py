@@ -1,0 +1,113 @@
+"""fig4 → registry integration: publish points, promote the frontier."""
+
+import numpy as np
+import pytest
+
+from repro.core.precision import PrecisionSpec
+from repro.core.sweep import SweepConfig
+from repro.experiments import fig4
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import SweepRunner
+from repro.registry import ArtifactStore, Channel
+
+
+@pytest.fixture(scope="module")
+def runner():
+    config = ExperimentConfig(
+        n_train=250,
+        n_test=120,
+        sweep=SweepConfig(float_epochs=3, qat_epochs=0, float_lr=0.02),
+    )
+    return SweepRunner(config, keep_states=True)
+
+
+@pytest.fixture(scope="module")
+def fig4_result(runner):
+    return fig4.run(runner=runner)
+
+
+@pytest.fixture(scope="module")
+def published(fig4_result, runner, tmp_path_factory):
+    root = tmp_path_factory.mktemp("fig4-registry")
+    return fig4.publish_registry(fig4_result, runner, str(root))
+
+
+def test_runner_retains_trained_states(runner, fig4_result):
+    point = fig4_result["points"][0]
+    spec = PrecisionSpec.parse(point.metadata["precision"])
+    state = runner.trained_state(point.metadata["network"], spec)
+    assert state is not None
+    assert all(isinstance(arr, np.ndarray) for arr in state.values())
+
+
+def test_trained_state_missing_point_is_none(runner):
+    assert runner.trained_state("lenet", PrecisionSpec.parse("float32")) is None
+
+
+def test_publishes_every_converged_point(published, fig4_result):
+    artifacts = published["artifacts"]
+    assert set(artifacts) == {p.label for p in fig4_result["points"]}
+    store = published["store"]
+    digests = {m.digest for m in artifacts.values()}
+    assert digests <= {m.digest for m in store.list_artifacts()}
+
+
+def test_manifests_record_paper_provenance(published, fig4_result):
+    by_label = {p.label: p for p in fig4_result["points"]}
+    for label, manifest in published["artifacts"].items():
+        point = by_label[label]
+        assert manifest.created_by == "experiments.fig4"
+        assert manifest.extra["paper_network"] == point.metadata["network"]
+        assert float(manifest.extra["paper_energy_uj"]) == pytest.approx(
+            point.energy_uj, rel=1e-4
+        )
+        assert manifest.accuracy == pytest.approx(point.accuracy / 100.0)
+        assert manifest.precision == point.metadata["precision"]
+
+
+def test_frontier_promoted_energy_descending(published, fig4_result):
+    frontier = {p.label: p for p in fig4_result["frontier"]}
+    handled = [label for label, _ in published["promoted"]]
+    handled += [label for label, _ in published["rejected"]]
+    assert set(handled) == set(frontier)
+    energies = [frontier[label].energy_uj for label in handled]
+    assert energies == sorted(energies, reverse=True)
+    versions = [entry.version for _, entry in published["promoted"]]
+    assert versions == sorted(versions)
+
+
+def test_channel_ends_on_cheapest_promoted_point(published, fig4_result):
+    assert published["promoted"], "gate rejected the entire frontier"
+    channel = published["channel"]
+    last_label, last_entry = published["promoted"][-1]
+    assert channel.active().digest == last_entry.digest
+    assert channel.active().digest == published["artifacts"][last_label].digest
+    # channel state survives a reload from disk
+    reloaded = Channel(published["store"], channel.name)
+    assert reloaded.active().digest == last_entry.digest
+
+
+def test_artifacts_deployable(published):
+    store: ArtifactStore = published["store"]
+    manifest = published["channel"].active_manifest()
+    network = store.load_network(manifest.digest)
+    info_shape = network.forward(
+        np.zeros((1,) + tuple(manifest_input_shape(manifest)), dtype=np.float64)
+    ).shape
+    assert info_shape[0] == 1
+
+
+def manifest_input_shape(manifest):
+    from repro.zoo.registry import network_info
+
+    return network_info(manifest.network).input_shape
+
+
+def test_format_registry_summary(published):
+    text = fig4.format_registry(published)
+    assert "Registry:" in text
+    assert f"{len(published['artifacts'])} artifact(s)" in text
+    for label, entry in published["promoted"]:
+        assert label in text
+        assert entry.digest[:12] in text
+    assert "active:" in text

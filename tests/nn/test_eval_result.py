@@ -1,4 +1,4 @@
-"""EvalResult: float compatibility, mapping protocol, deprecation."""
+"""EvalResult: float compatibility and mapping protocol."""
 
 import warnings
 
@@ -6,7 +6,6 @@ import numpy as np
 import pytest
 
 from repro.nn import EvalResult, SGD, Trainer
-from repro.nn import evaluation
 from tests.conftest import make_tiny_cnn
 
 
@@ -44,20 +43,14 @@ def test_defaults_and_repr():
     assert "accuracy=0.5000" in repr(result)
 
 
-def test_float_conversion_warns_once():
-    evaluation._FLOAT_DEPRECATION_WARNED = False
-    try:
-        result = EvalResult(0.75)
-        with warnings.catch_warnings(record=True) as caught:
-            warnings.simplefilter("always")
-            assert float(result) == 0.75
-            assert float(result) == 0.75  # second conversion is silent
-        deprecations = [w for w in caught
-                        if issubclass(w.category, DeprecationWarning)]
-        assert len(deprecations) == 1
-        assert "accuracy" in str(deprecations[0].message)
-    finally:
-        evaluation._FLOAT_DEPRECATION_WARNED = True
+def test_float_conversion_is_silent():
+    result = EvalResult(0.75)
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        assert float(result) == 0.75
+        assert type(float(result)) is float
+    assert not [w for w in caught
+                if issubclass(w.category, DeprecationWarning)]
 
 
 def test_trainer_evaluate_returns_eval_result(tiny_digits):

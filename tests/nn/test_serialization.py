@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro import nn
-from repro.errors import ShapeError
+from repro.errors import SerializationError, ShapeError
 from tests.conftest import make_tiny_cnn
 
 
@@ -63,3 +63,80 @@ def test_transfer_weights_mismatch_raises():
     b = nn.Sequential([nn.Dense(3, 2, name="other")])
     with pytest.raises(ShapeError):
         nn.transfer_weights(a, b)
+
+
+def test_empty_network_round_trips(tmp_path):
+    empty = nn.Sequential([nn.Flatten(name="flat")])  # no parameters
+    assert nn.network_state(empty) == {}
+    path = str(tmp_path / "empty.npz")
+    nn.save_network_weights(empty, path)
+    assert nn.read_state_archive(path) == {}
+    nn.load_network_weights(empty, path)  # no-op, must not raise
+
+
+def test_duplicate_layer_names_are_uniquified():
+    net = nn.Sequential([nn.Dense(3, 3, name="fc"), nn.Dense(3, 2, name="fc")])
+    names = [p.name for p in net.parameters()]
+    assert len(set(names)) == len(names)  # "fc" -> "fc", "fc2"
+
+
+def test_duplicate_parameter_names_raise_typed_error():
+    # Sequential uniquifies layer names, so force a collision directly
+    net = nn.Sequential([nn.Dense(3, 3, name="a"), nn.Dense(3, 2, name="b")])
+    params = net.parameters()
+    params[2].name = params[0].name
+    with pytest.raises(ShapeError, match="duplicate parameter"):
+        nn.network_state(net)
+
+
+def test_corrupt_archive_raises_serialization_error(tmp_path):
+    path = str(tmp_path / "w.npz")
+    with open(path, "wb") as handle:
+        handle.write(b"this is not an npz archive")
+    with pytest.raises(SerializationError, match="corrupt or truncated"):
+        nn.read_state_archive(path)
+
+
+def test_truncated_archive_raises_serialization_error(tmp_path, tiny_cnn):
+    path = str(tmp_path / "w.npz")
+    nn.save_network_weights(tiny_cnn, path)
+    with open(path, "rb") as handle:
+        blob = handle.read()
+    with open(path, "wb") as handle:
+        handle.write(blob[: len(blob) // 2])
+    with pytest.raises(SerializationError):
+        nn.load_network_weights(make_tiny_cnn(), path)
+
+
+def test_missing_file_still_raises_file_not_found(tmp_path):
+    # callers legitimately treat "nothing saved yet" differently from
+    # "saved but damaged", so FileNotFoundError passes through untyped
+    with pytest.raises(FileNotFoundError):
+        nn.read_state_archive(str(tmp_path / "absent.npz"))
+
+
+def test_state_archive_round_trip_preserves_exact_bytes(tmp_path, tiny_cnn):
+    path = str(tmp_path / "w.npz")
+    nn.save_network_weights(tiny_cnn, path)
+    state = nn.read_state_archive(path)
+    original = nn.network_state(tiny_cnn)
+    assert sorted(state) == sorted(original)
+    for name in original:
+        np.testing.assert_array_equal(state[name], original[name])
+        assert state[name].dtype == original[name].dtype
+    assert nn.state_dict_digest(state) == nn.state_digest(tiny_cnn)
+
+
+def test_state_dict_digest_is_order_independent_and_content_sensitive():
+    state = {"a": np.ones((2, 2), np.float32),
+             "b": np.zeros(3, np.float32)}
+    reordered = {"b": state["b"].copy(), "a": state["a"].copy()}
+    assert nn.state_dict_digest(state) == nn.state_dict_digest(reordered)
+
+    flipped = {"a": state["a"].copy(), "b": state["b"].copy()}
+    flipped["b"][0] = 1.0
+    assert nn.state_dict_digest(flipped) != nn.state_dict_digest(state)
+
+    # shape participates even when the bytes are identical
+    flat = {"a": state["a"].reshape(4), "b": state["b"]}
+    assert nn.state_dict_digest(flat) != nn.state_dict_digest(state)

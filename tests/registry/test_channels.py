@@ -1,0 +1,131 @@
+"""Channels: ordered promotion history, rollback, pinning, persistence."""
+
+import pytest
+
+from repro import registry
+from repro.errors import PromotionRejectedError, RegistryError
+from repro.nn.serialization import network_state
+from repro.zoo import build_network
+
+
+@pytest.fixture
+def store(tmp_path):
+    return registry.ArtifactStore(str(tmp_path / "reg"))
+
+
+def publish(store, seed, accuracy, energy):
+    return store.publish(
+        network_state(build_network("lenet_small", seed=seed)),
+        network="lenet_small",
+        precision="fixed8",
+        accuracy=accuracy,
+        energy_uj_per_image=energy,
+    )
+
+
+def test_promote_appends_versions(store):
+    a = publish(store, 0, 0.90, 2.0)
+    b = publish(store, 1, 0.95, 1.5)
+    chan = registry.Channel(store, "prod")
+    assert chan.active() is None
+    v1 = chan.promote(a.digest)
+    v2 = chan.promote(b.digest, note="sweep winner")
+    assert (v1.version, v2.version) == (1, 2)
+    assert chan.active().digest == b.digest
+    assert chan.active_manifest().accuracy == pytest.approx(0.95)
+    assert [v.version for v in chan.history()] == [1, 2]
+    assert chan.version(2).note == "sweep winner"
+
+
+def test_promoting_active_digest_is_noop(store):
+    a = publish(store, 0, 0.90, 2.0)
+    chan = registry.Channel(store, "prod")
+    chan.promote(a.digest)
+    again = chan.promote(a.short_digest())
+    assert again.version == 1
+    assert len(chan.history()) == 1
+
+
+def test_rollback_moves_pointer_without_erasing_history(store):
+    a = publish(store, 0, 0.90, 2.0)
+    b = publish(store, 1, 0.95, 1.5)
+    chan = registry.Channel(store, "prod")
+    chan.promote(a.digest)
+    chan.promote(b.digest)
+    target = chan.rollback()
+    assert target.digest == a.digest
+    assert chan.active().version == 1
+    assert len(chan.history()) == 2  # history intact
+    # promoting after a rollback appends after the full history
+    v3 = chan.promote(b.digest)
+    assert v3.version == 3
+
+
+def test_rollback_bounds(store):
+    chan = registry.Channel(store, "prod")
+    with pytest.raises(RegistryError):
+        chan.rollback()  # empty channel
+    a = publish(store, 0, 0.90, 2.0)
+    chan.promote(a.digest)
+    with pytest.raises(RegistryError):
+        chan.rollback()  # nothing earlier
+    with pytest.raises(RegistryError):
+        chan.rollback(0)
+
+
+def test_pin_blocks_mutations(store):
+    a = publish(store, 0, 0.90, 2.0)
+    b = publish(store, 1, 0.95, 1.5)
+    chan = registry.Channel(store, "prod")
+    chan.promote(a.digest)
+    chan.pin()
+    with pytest.raises(RegistryError, match="pinned"):
+        chan.promote(b.digest)
+    with pytest.raises(RegistryError, match="pinned"):
+        chan.rollback()
+    chan.unpin()
+    assert chan.promote(b.digest).version == 2
+
+
+def test_state_persists_across_instances(store):
+    a = publish(store, 0, 0.90, 2.0)
+    b = publish(store, 1, 0.95, 1.5)
+    chan = registry.Channel(store, "prod")
+    chan.promote(a.digest)
+    chan.promote(b.digest)
+    chan.rollback()
+    chan.pin()
+
+    reloaded = registry.Channel(store, "prod")
+    assert reloaded.active().digest == a.digest
+    assert [v.digest for v in reloaded.history()] == [a.digest, b.digest]
+    assert reloaded.pinned
+
+
+def test_corrupt_channel_file_raises(store):
+    a = publish(store, 0, 0.90, 2.0)
+    registry.Channel(store, "prod").promote(a.digest)
+    with open(store.channel_path("prod"), "w") as handle:
+        handle.write("{ nope")
+    with pytest.raises(RegistryError, match="corrupt"):
+        registry.Channel(store, "prod")
+
+
+def test_invalid_channel_names_rejected(store):
+    for name in ("", "../prod", ".hidden", "a/b"):
+        with pytest.raises(RegistryError):
+            registry.Channel(store, name)
+
+
+def test_policy_gate_applies_at_promote(store):
+    good = publish(store, 0, 0.95, 1.5)
+    dominated = publish(store, 1, 0.90, 2.0)  # worse on both axes
+    chan = registry.Channel(store, "prod")
+    policy = registry.PromotionPolicy()
+    chan.promote(good.digest, policy=policy)
+    with pytest.raises(PromotionRejectedError, match="dominated"):
+        chan.promote(dominated.digest, policy=policy)
+    assert len(chan.history()) == 1
+    # break-glass force records the promotion anyway
+    entry = chan.promote(dominated.digest, policy=policy, force=True)
+    assert entry.version == 2

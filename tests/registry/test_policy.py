@@ -1,0 +1,84 @@
+"""PromotionPolicy: the paper's Pareto argument as a deployment gate."""
+
+import pytest
+
+from repro import registry
+from repro.errors import PromotionRejectedError
+from repro.registry.store import ArtifactManifest
+
+
+def manifest(accuracy, energy, digest="d" * 64, precision="fixed8"):
+    return ArtifactManifest(
+        digest=digest,
+        network="lenet_small",
+        precision=precision,
+        weights_digest="w" * 64,
+        accuracy=accuracy,
+        energy_uj_per_image=energy,
+    )
+
+
+def test_design_point_uses_figure4_conventions():
+    point = registry.design_point(manifest(0.94, 1.3))
+    assert point.accuracy == pytest.approx(94.0)  # percent
+    assert point.energy_uj == pytest.approx(1.3)
+    assert point.label == "lenet_small@fixed8"
+    assert point.metadata["digest"] == "d" * 64
+
+
+def test_dominated_candidate_rejected():
+    policy = registry.PromotionPolicy()
+    incumbent = manifest(0.95, 1.0)
+    candidate = manifest(0.90, 2.0)  # worse accuracy AND worse energy
+    violations = policy.check(candidate, incumbent)
+    assert any("dominated" in v for v in violations)
+
+
+def test_frontier_tradeoff_passes():
+    policy = registry.PromotionPolicy()
+    incumbent = manifest(0.95, 1.0)
+    cheaper_but_less_accurate = manifest(0.93, 0.5)
+    assert policy.check(cheaper_but_less_accurate, incumbent) == []
+
+
+def test_strict_improvement_passes():
+    policy = registry.PromotionPolicy()
+    assert policy.check(manifest(0.96, 0.9), manifest(0.95, 1.0)) == []
+
+
+def test_first_promotion_has_no_incumbent():
+    assert registry.PromotionPolicy().check(manifest(0.5, 9.0), None) == []
+
+
+def test_absolute_floors_and_budgets():
+    policy = registry.PromotionPolicy(min_accuracy=0.90, max_energy_uj=2.0)
+    assert policy.check(manifest(0.92, 1.5)) == []
+    assert any("floor" in v for v in policy.check(manifest(0.80, 1.5)))
+    assert any("budget" in v for v in policy.check(manifest(0.92, 3.0)))
+
+
+def test_max_accuracy_drop_vs_incumbent():
+    policy = registry.PromotionPolicy(
+        require_non_dominated=False, max_accuracy_drop=0.01
+    )
+    incumbent = manifest(0.95, 1.0)
+    assert policy.check(manifest(0.945, 0.5), incumbent) == []
+    assert any(
+        "drop" in v for v in policy.check(manifest(0.90, 0.5), incumbent)
+    )
+
+
+def test_unmeasured_metrics_rejected_by_default():
+    policy = registry.PromotionPolicy()
+    violations = policy.check(manifest(float("nan"), float("nan")))
+    assert len(violations) == 2
+    relaxed = registry.PromotionPolicy(require_metrics=False)
+    assert relaxed.check(manifest(float("nan"), float("nan"))) == []
+
+
+def test_reject_raises_typed_error_listing_violations():
+    policy = registry.PromotionPolicy(min_accuracy=0.99)
+    candidate = manifest(0.50, 1.0)
+    violations = policy.check(candidate)
+    with pytest.raises(PromotionRejectedError, match="floor"):
+        policy.reject("prod", candidate, violations)

@@ -1,0 +1,175 @@
+"""ArtifactStore: content addressing, atomic publish, recovery."""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro import registry
+from repro.errors import RegistryError
+from repro.nn.serialization import network_state, state_dict_digest
+from repro.zoo import build_network
+
+
+@pytest.fixture
+def state():
+    return network_state(build_network("lenet_small", seed=0))
+
+
+@pytest.fixture
+def store(tmp_path):
+    return registry.ArtifactStore(str(tmp_path / "reg"))
+
+
+def publish(store, state, **overrides):
+    kwargs = dict(
+        network="lenet_small",
+        precision="fixed8",
+        dataset="digits",
+        split="test",
+        accuracy=0.94,
+        energy_uj_per_image=1.3,
+    )
+    kwargs.update(overrides)
+    return store.publish(state, **kwargs)
+
+
+def test_publish_round_trip(store, state):
+    manifest = publish(store, state)
+    assert manifest.digest == registry.artifact_digest(
+        "lenet_small", "fixed8", state_dict_digest(state)
+    )
+    loaded = store.get(manifest.digest)
+    assert loaded == store.get(manifest.short_digest())  # prefix resolve
+    assert loaded.network == "lenet_small"
+    assert loaded.precision == "fixed8"
+    assert loaded.accuracy == pytest.approx(0.94)
+    restored = store.load_state(manifest.digest)
+    for name, array in state.items():
+        np.testing.assert_array_equal(restored[name], array)
+
+
+def test_precision_spelling_is_canonicalized(store, state):
+    a = publish(store, state, precision="fixed8")
+    b = publish(store, state, precision="fixed:8:8")
+    assert a.digest == b.digest
+    assert len(store) == 1
+
+
+def test_republish_is_idempotent_but_updates_metrics(store, state):
+    first = publish(store, state, accuracy=0.90)
+    second = publish(store, state, accuracy=0.95)
+    assert first.digest == second.digest
+    assert len(store) == 1
+    assert store.get(first.digest).accuracy == pytest.approx(0.95)
+
+
+def test_metrics_do_not_change_the_address(store, state):
+    a = publish(store, state, accuracy=0.90, energy_uj_per_image=9.0)
+    b = publish(store, state, accuracy=0.10, energy_uj_per_image=1.0)
+    assert a.digest == b.digest
+
+
+def test_different_weights_mint_different_artifacts(store, state):
+    other = network_state(build_network("lenet_small", seed=1))
+    a = publish(store, state)
+    b = publish(store, other)
+    assert a.digest != b.digest
+    assert sorted(store.digests()) == sorted([a.digest, b.digest])
+
+
+def test_resolve_unknown_and_ambiguous(store, state):
+    manifest = publish(store, state)
+    with pytest.raises(RegistryError):
+        store.resolve("ffffffff")
+    with pytest.raises(RegistryError):
+        store.resolve("")
+    # every stored digest shares the empty-ish common prefix with itself
+    assert store.resolve(manifest.digest[:6]) == manifest.digest
+
+
+def test_load_network_reproduces_forward_pass(store, state):
+    manifest = publish(store, state)
+    network = store.load_network(manifest.digest)
+    reference = build_network("lenet_small", seed=0)
+    batch = np.random.default_rng(0).normal(size=(2, 1, 28, 28)).astype(
+        np.float32
+    )
+    np.testing.assert_array_equal(
+        network.predict(batch), reference.predict(batch)
+    )
+
+
+def test_corrupt_manifest_recovers_identity(store, state):
+    manifest = publish(store, state)
+    with open(store.manifest_path(manifest.digest), "w") as handle:
+        handle.write("{ not json")
+    recovered = store.get(manifest.digest)
+    # identity comes back from the digest probe; metrics are lost
+    assert recovered.network == "lenet_small"
+    assert recovered.precision == "fixed8"
+    assert recovered.weights_digest == manifest.weights_digest
+    assert recovered.extra.get("recovered") == "true"
+    assert recovered.accuracy != recovered.accuracy  # nan
+    # the rewritten manifest reads clean afterwards
+    clean = store.get(manifest.digest)
+    assert clean.network == "lenet_small"
+    assert store.verify(manifest.digest)
+
+
+def test_missing_manifest_is_rebuilt(store, state):
+    manifest = publish(store, state)
+    os.remove(store.manifest_path(manifest.digest))
+    assert store.get(manifest.digest).weights_digest == manifest.weights_digest
+
+
+def test_corrupt_weights_are_unrecoverable(store, state):
+    manifest = publish(store, state)
+    with open(store.weights_path(manifest.digest), "wb") as handle:
+        handle.write(b"\x00" * 64)
+    with pytest.raises(RegistryError):
+        store.load_state(manifest.digest)
+    assert not store.verify(manifest.digest)
+    # manifest damaged too -> genuinely lost
+    os.remove(store.manifest_path(manifest.digest))
+    with pytest.raises(RegistryError, match="unrecoverable"):
+        store.get(manifest.digest)
+
+
+def test_weight_digest_mismatch_is_detected(store, state):
+    manifest = publish(store, state)
+    # swap in a *valid* archive with different parameters
+    other = network_state(build_network("lenet_small", seed=1))
+    np.savez_compressed(store.weights_path(manifest.digest), **other)
+    with pytest.raises(RegistryError, match="digest mismatch"):
+        store.load_state(manifest.digest)
+
+
+def test_list_artifacts_sorted_and_counted(store, state):
+    publish(store, state)
+    publish(store, network_state(build_network("lenet_small", seed=1)))
+    manifests = store.list_artifacts()
+    assert len(manifests) == len(store) == 2
+    stamps = [m.created_unix for m in manifests]
+    assert stamps == sorted(stamps)
+
+
+def test_manifest_json_is_stable_on_disk(store, state):
+    manifest = publish(store, state)
+    with open(store.manifest_path(manifest.digest)) as handle:
+        payload = json.load(handle)
+    assert payload["digest"] == manifest.digest
+    assert payload["schema"] == registry.store.MANIFEST_SCHEMA
+    # round trip through from_dict matches what the store itself reads
+    # (compare via the parsed copy: the unmeasured fields are nan)
+    assert registry.ArtifactManifest.from_dict(payload) == store.get(
+        manifest.digest
+    )
+
+
+def test_manifest_from_dict_rejects_junk():
+    with pytest.raises(RegistryError):
+        registry.ArtifactManifest.from_dict({"digest": "abc"})
+    with pytest.raises(RegistryError):
+        registry.ArtifactManifest.from_dict([1, 2])

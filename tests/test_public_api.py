@@ -8,7 +8,7 @@ import repro
 
 PACKAGES = ["repro", "repro.nn", "repro.core", "repro.data", "repro.hw",
             "repro.zoo", "repro.experiments", "repro.serve", "repro.obs",
-            "repro.parallel", "repro.resilience"]
+            "repro.parallel", "repro.resilience", "repro.registry"]
 
 
 def test_version_exposed():
