@@ -47,6 +47,7 @@ BENCH_FILES = {
     "test_bench_parallel_sweep.py": "wall_s.parallel_sweep",
     "test_bench_resilience.py": "wall_s.resilience",
     "test_bench_registry.py": "wall_s.registry",
+    "test_bench_sim.py": "wall_s.sim",
 }
 
 #: metric name -> which direction is better
@@ -57,6 +58,7 @@ DIRECTIONS = {
     "wall_s.parallel_sweep": "lower",
     "wall_s.resilience": "lower",
     "wall_s.registry": "lower",
+    "wall_s.sim": "lower",
     "parallel.cache_hit_rate": "higher",
     "parallel.speedup": "higher",
 }

@@ -21,6 +21,15 @@ Commands:
     Per-layer profile of quantized inference: forward time, FLOPs,
     bytes moved through the accelerator buffers and weight
     quantization RMS error for one (network, precision) point.
+    ``--sim`` appends the cycle-level simulated view (utilization,
+    stall breakdown, energy).
+``simulate``
+    Event-driven cycle-level accelerator simulation (``repro.hw.sim``):
+    cycles, utilization %, stall breakdown by cause, per-image energy,
+    roofline point.  ``--validate`` cross-checks the simulator against
+    the analytical Table-III model for every precision;
+    ``--sweep-bandwidth`` tabulates utilization vs DMA bandwidth —
+    the axis the analytical model cannot see.
 ``sweep``
     Train a precision sweep (float baseline + QAT fine-tune per
     point) with worker-process parallelism and the resumable on-disk
@@ -372,6 +381,11 @@ def cmd_profile(args: argparse.Namespace) -> int:
     )
 
     test_accuracy = nn.accuracy(logits, split.test.labels[:limit])
+    sim_report = None
+    if args.sim:
+        sim_report = hw.EnergyModel().simulate(
+            network, info.input_shape, spec
+        )
     if args.json:
         payload = {
             "network": args.network,
@@ -384,6 +398,8 @@ def cmd_profile(args: argparse.Namespace) -> int:
             "layers": [stats.as_dict() for stats in profiler.stats()],
             "metrics": obs.get_metrics().snapshot(),
         }
+        if sim_report is not None:
+            payload["sim"] = sim_report.as_dict()
         print(json.dumps(payload, indent=2))
         return 0
 
@@ -392,6 +408,96 @@ def cmd_profile(args: argparse.Namespace) -> int:
           f"(accuracy {100 * test_accuracy:.2f}%)")
     print()
     print(profiler.table())
+    if sim_report is not None:
+        print()
+        print(sim_report.format())
+    return 0
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    info = network_info(args.network)
+    network = build_network(args.network, seed=args.seed)
+    sim_config = hw.SimConfig(
+        bandwidth_gbps=args.bandwidth_gbps if args.bandwidth_gbps > 0 else None
+    )
+    model = hw.EnergyModel()
+
+    if args.sweep_bandwidth:
+        bandwidths = [float(b) for b in args.sweep_bandwidth.split(",")]
+        spec = core.PrecisionSpec.parse(args.precision)
+        reports = []
+        for bandwidth in bandwidths:
+            config = hw.SimConfig(
+                bandwidth_gbps=bandwidth if bandwidth > 0 else None
+            )
+            reports.append(model.simulate(
+                network, info.input_shape, spec, sim_config=config
+            ))
+        if args.json:
+            print(json.dumps(
+                [report.as_dict() for report in reports], indent=2
+            ))
+            return 0
+        rows = [
+            [
+                "inf" if report.bandwidth_gbps is None
+                else f"{report.bandwidth_gbps:g}",
+                str(report.total_cycles),
+                f"{100 * report.utilization:.1f}",
+                str(report.stalls.get("dma_wait", 0)),
+                f"{report.energy_uj:.3f}",
+                "compute" if report.roofline.compute_bound else "bandwidth",
+            ]
+            for report in reports
+        ]
+        print(format_table(
+            ["Gbit/s", "Cycles", "Util %", "DMA wait", "Energy uJ", "Bound"],
+            rows,
+            title=f"Utilization vs DMA bandwidth: {args.network} "
+                  f"at {spec.label}",
+        ))
+        return 0
+
+    if args.validate:
+        reports = [
+            model.simulate(network, info.input_shape, spec,
+                           sim_config=sim_config)
+            for spec in PAPER_PRECISIONS
+        ]
+        if args.json:
+            print(json.dumps(
+                [report.as_dict() for report in reports], indent=2
+            ))
+            return 0
+        rows = [
+            [
+                report.precision_label,
+                str(report.total_cycles),
+                f"{report.cycle_gap_pct:+.2f}",
+                f"{report.energy_uj:.3f}",
+                f"{report.analytical_energy_uj:.3f}",
+                f"{report.energy_gap_pct:+.2f}",
+                f"{100 * report.utilization:.1f}",
+            ]
+            for report in reports
+        ]
+        print(format_table(
+            ["Precision (w,in)", "Cycles", "dCyc %", "Sim uJ",
+             "Model uJ", "dE %", "Util %"],
+            rows,
+            title=f"Sim vs analytical cross-validation: {args.network}",
+        ))
+        worst = max(abs(report.energy_gap_pct) for report in reports)
+        print(f"worst energy gap: {worst:.2f}% (tolerance 5%)")
+        return 0 if worst <= 5.0 else 1
+
+    spec = core.PrecisionSpec.parse(args.precision)
+    report = model.simulate(network, info.input_shape, spec,
+                            sim_config=sim_config)
+    if args.json:
+        print(json.dumps(report.as_dict(), indent=2))
+        return 0
+    print(report.format())
     return 0
 
 
@@ -752,7 +858,45 @@ def build_parser() -> argparse.ArgumentParser:
     profile.add_argument("--seed", type=int, default=0)
     profile.add_argument("--json", action="store_true",
                          help="emit per-layer rows and metrics as JSON")
+    profile.add_argument("--sim", action="store_true",
+                         help="append the cycle-level simulation view "
+                              "(cycles, utilization, stall breakdown)")
     profile.set_defaults(func=cmd_profile)
+
+    simulate = sub.add_parser(
+        "simulate",
+        help="event-driven cycle-level accelerator simulation",
+        description="Run the repro.hw.sim event-driven simulator: "
+                    "cycles, utilization, stall breakdown by cause, "
+                    "per-image energy and the roofline point — "
+                    "cross-validated against the analytical model "
+                    "(see docs/hw_sim.md).",
+    )
+    simulate.add_argument("--network", default="lenet",
+                          choices=sorted(NETWORK_BUILDERS))
+    simulate.add_argument(
+        "--precision", default="fixed16",
+        help="precision key or spec string (e.g. fixed8, fixed:4:8)",
+    )
+    simulate.add_argument(
+        "--bandwidth-gbps", type=float, default=0.0,
+        help="off-chip DMA bandwidth in Gbit/s (0 = unconstrained, "
+             "the paper's operating assumption)",
+    )
+    simulate.add_argument(
+        "--sweep-bandwidth", default="", metavar="GBPS,GBPS,...",
+        help="utilization sweep: simulate once per bandwidth and "
+             "tabulate cycles/utilization/stalls",
+    )
+    simulate.add_argument(
+        "--validate", action="store_true",
+        help="cross-validate sim vs analytical energy across all "
+             "Table-III precisions (exit 1 if any gap exceeds 5%%)",
+    )
+    simulate.add_argument("--seed", type=int, default=0)
+    simulate.add_argument("--json", action="store_true",
+                          help="emit the SimReport(s) as JSON")
+    simulate.set_defaults(func=cmd_simulate)
 
     sweep = sub.add_parser(
         "sweep",

@@ -68,8 +68,21 @@ class FixedPointQuantizer(Quantizer):
     def resolve_frac_bits(self, x: np.ndarray, range_hint: Optional[float]) -> int:
         if self.frac_bits is not None:
             return self.frac_bits
-        max_abs = range_hint if range_hint is not None else float(np.max(np.abs(x), initial=0.0))
-        return self.frac_bits_for(max_abs)
+        if range_hint is not None:
+            return self.frac_bits_for(range_hint)
+        # Sign-aware dynamic placement: the two's-complement grid
+        # reaches one extra step on the negative side, so an exact
+        # -2^k needs one fewer integer bit than +2^k.  Without this,
+        # quantize is not idempotent — a saturated most-negative code
+        # would shift the radix on the next pass and move every value.
+        pos = float(np.max(x, initial=0.0))
+        neg = float(-np.min(x, initial=0.0))
+        needed = []
+        if pos > 0.0:
+            needed.append(integer_bits_for_range(pos))
+        if neg > 0.0:
+            needed.append(int(math.ceil(math.log2(max(neg, 1e-12)))))
+        return self.bits - 1 - (max(needed) if needed else 0)
 
     def quantize(self, x: np.ndarray, range_hint: Optional[float] = None) -> np.ndarray:
         x = np.asarray(x, dtype=np.float32)

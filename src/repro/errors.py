@@ -26,6 +26,39 @@ class HardwareModelError(ReproError):
     """The hardware model was configured or queried inconsistently."""
 
 
+class ConfigError(ConfigurationError, HardwareModelError):
+    """A structured-configuration field holds an invalid value.
+
+    Carries the offending field name so callers (and error messages)
+    can point at exactly what to fix.  Inherits from both
+    :class:`ConfigurationError` (it is a user input problem) and
+    :class:`HardwareModelError` (today's raisers are the hardware
+    configs), so existing ``except`` clauses keep working.
+    """
+
+    def __init__(self, field: str, message: str):
+        self.field = field
+        super().__init__(f"{field}: {message}")
+
+
+class SchedulingError(HardwareModelError):
+    """A network cannot be mapped onto the tile as asked.
+
+    Raised by :class:`repro.hw.TileScheduler` for degenerate inputs —
+    an empty network, a non-positive input shape, or a layer whose
+    minimal tile working set exceeds a buffer's double-buffered bank —
+    instead of silently producing a zero-cycle schedule.
+    """
+
+
+class SimulationError(HardwareModelError):
+    """The cycle-level simulator hit an internal protocol violation.
+
+    Examples: an event scheduled in the past, a buffer bank loaded
+    while still in use, or the deterministic event budget exhausted.
+    """
+
+
 class TrainingError(ReproError):
     """Training failed in a way that is not a normal non-convergence."""
 

@@ -11,7 +11,7 @@ from dataclasses import dataclass
 from typing import Dict
 
 from repro.core.precision import PrecisionSpec, get_precision
-from repro.errors import HardwareModelError
+from repro.errors import ConfigError
 from repro.hw.components import AreaPower
 from repro.hw.nfu import NeuralFunctionalUnit, NfuGeometry
 from repro.hw.sram import SramBuffer
@@ -41,15 +41,17 @@ class AcceleratorConfig:
     layer_startup_cycles: int = 64
 
     def __post_init__(self) -> None:
-        if min(self.neurons, self.synapses) < 1:
-            raise HardwareModelError("invalid tile geometry")
-        if min(self.input_buffer_words, self.output_buffer_words,
-               self.weight_buffer_words) < 1:
-            raise HardwareModelError("buffer capacities must be positive")
+        for field in ("neurons", "synapses"):
+            if getattr(self, field) < 1:
+                raise ConfigError(field, "tile dimension must be >= 1")
+        for field in ("input_buffer_words", "output_buffer_words",
+                      "weight_buffer_words"):
+            if getattr(self, field) < 1:
+                raise ConfigError(field, "buffer capacity must be >= 1 word")
         if not 0.0 < self.dataflow_efficiency <= 1.0:
-            raise HardwareModelError("dataflow_efficiency must be in (0, 1]")
+            raise ConfigError("dataflow_efficiency", "must be in (0, 1]")
         if self.layer_startup_cycles < 0:
-            raise HardwareModelError("layer_startup_cycles must be >= 0")
+            raise ConfigError("layer_startup_cycles", "must be >= 0")
 
 
 class Accelerator:
@@ -128,6 +130,19 @@ class Accelerator:
             + self.combinational_cost()
             + self.register_cost()
             + self.bufinv_cost()
+        )
+
+    @property
+    def idle_power_mw(self) -> float:
+        """Power while the NFU is stalled: SRAM leakage plus the
+        registers and clock tree, which keep toggling; the NFU's
+        combinational logic and the buffer access ports do not switch.
+        The cycle-level simulator charges this during stall cycles."""
+        leakage = sum(b.leakage_mw(self.tech) for b in self.buffers)
+        return (
+            leakage
+            + self.register_cost().power_mw
+            + self.bufinv_cost().power_mw
         )
 
     @property

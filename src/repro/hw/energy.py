@@ -94,6 +94,30 @@ class EnergyModel:
             layers=layers,
         )
 
+    def simulate(
+        self,
+        network: Sequential,
+        input_shape: tuple,
+        spec: PrecisionSpec,
+        sim_config=None,
+    ):
+        """Cycle-level counterpart of :meth:`evaluate`.
+
+        Runs the event-driven simulator (:mod:`repro.hw.sim`) on the
+        same accelerator/schedule this model prices analytically and
+        returns its :class:`repro.hw.sim.SimReport` — which carries the
+        analytical cycles/energy alongside the simulated ones, so the
+        cross-validation gap is one attribute away
+        (``report.energy_gap_pct``).
+        """
+        from repro.hw.sim import SimConfig, TileSimulator
+
+        accelerator = self.accelerator_for(spec)
+        schedule = TileScheduler(accelerator).schedule(network, input_shape)
+        return TileSimulator(
+            accelerator, schedule, sim_config or SimConfig()
+        ).run()
+
     def evaluate_cached(
         self,
         network: Sequential,

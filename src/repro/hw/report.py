@@ -51,29 +51,89 @@ def design_metrics_table(
     return rows
 
 
-def schedule_report(schedule, clock_hz: float = 250e6) -> str:
+#: compact stall-cause abbreviations for the schedule-report column
+_STALL_ABBREV = {
+    "startup": "su",
+    "pipeline_fill": "pf",
+    "dataflow": "df",
+    "dma_wait": "dw",
+    "drain": "dr",
+}
+
+
+def _stall_cell(stalls) -> str:
+    """``su64 pf3 df203``-style compact stall breakdown."""
+    parts = [
+        f"{_STALL_ABBREV.get(cause, cause)}{cycles}"
+        for cause, cycles in stalls.items()
+        if cycles
+    ]
+    return " ".join(parts) if parts else "0"
+
+
+def schedule_report(schedule, clock_hz: float = 250e6, sim=None) -> str:
     """Per-layer utilization table for one scheduled network.
 
     Shows where the tile's MAC throughput goes — the conv layers run
     near the calibrated dataflow efficiency, while small inner-product
     layers are startup-dominated.
+
+    Args:
+        schedule: analytical :class:`repro.hw.Schedule`.
+        clock_hz: tile clock for the runtime header.
+        sim: optional :class:`repro.hw.sim.SimReport` for the same
+            schedule; when given, the utilization and stall-breakdown
+            columns come from the simulated execution (and cycles show
+            the simulated counts).  Without it the utilization column
+            is analytical and the stall column renders ``—``.
     """
-    lines = [
+    sim_layers = {layer.name: layer for layer in sim.layers} if sim else {}
+    header = (
         f"Schedule: {schedule.network_name} "
         f"({schedule.total_cycles} cycles, "
-        f"{schedule.runtime_s(clock_hz) * 1e6:.1f} us @ {clock_hz / 1e6:.0f} MHz)",
-        f"{'layer':<10}{'kind':<7}{'MACs':>12}{'cycles':>10}{'MACs/cycle':>12}",
-        "-" * 51,
+        f"{schedule.runtime_s(clock_hz) * 1e6:.1f} us @ {clock_hz / 1e6:.0f} MHz)"
+    )
+    if sim is not None:
+        header += (
+            f" | simulated {sim.total_cycles} cycles, "
+            f"util {100 * sim.utilization:.1f}%"
+        )
+    lines = [
+        header,
+        f"{'layer':<10}{'kind':<7}{'MACs':>12}{'cycles':>10}"
+        f"{'MACs/cycle':>12}{'util %':>8}  {'stalls':<20}",
+        "-" * 71,
     ]
     for layer in schedule.layers:
+        simulated = sim_layers.get(layer.name)
+        if simulated is not None:
+            cycles = simulated.cycles
+            util = simulated.utilization
+            stalls = _stall_cell(simulated.stalls)
+            rate = simulated.macs / max(simulated.cycles, 1)
+        else:
+            cycles = layer.cycles
+            util = layer.utilization
+            stalls = "—"
+            rate = layer.macs_per_cycle
         lines.append(
             f"{layer.name:<10}{layer.kind:<7}{layer.macs:>12}"
-            f"{layer.cycles:>10}{layer.utilization:>12.1f}"
+            f"{cycles:>10}{rate:>12.1f}{100 * util:>8.1f}  {stalls:<20}"
         )
-    lines.append("-" * 51)
+    lines.append("-" * 71)
+    total_cycles = sim.total_cycles if sim is not None else schedule.total_cycles
+    total_stalls = _stall_cell(sim.stalls) if sim is not None else "—"
+    if sim is not None:
+        total_util = 100 * sim.utilization
+    else:
+        peak = max(schedule.layers[0].peak_macs_per_cycle, 1)
+        total_util = 100 * min(
+            1.0, schedule.total_macs / (peak * total_cycles)
+        )
     lines.append(
-        f"{'total':<17}{schedule.total_macs:>12}{schedule.total_cycles:>10}"
-        f"{schedule.total_macs / schedule.total_cycles:>12.1f}"
+        f"{'total':<17}{schedule.total_macs:>12}{total_cycles:>10}"
+        f"{schedule.total_macs / total_cycles:>12.1f}{total_util:>8.1f}"
+        f"  {total_stalls:<20}"
     )
     return "\n".join(lines)
 

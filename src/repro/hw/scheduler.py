@@ -11,6 +11,16 @@ the calibrated dataflow efficiency, plus a fixed per-layer startup.
 
 Pooling and activation run in NFU stage 3 / the pooling path and
 overlap the MAC stream; they contribute no extra cycles.
+
+Degenerate inputs raise :class:`repro.errors.SchedulingError` instead
+of producing a silent zero-cycle schedule: an empty network, a
+non-positive input shape, a layer reporting non-positive MACs, or a
+tile whose minimal working set (one row of synapse inputs, one tile of
+weights, one row of neuron outputs) does not fit the double-buffered
+half of the corresponding buffer.  Layers whose MAC count is not
+divisible by the tile's 256 MACs/cycle run a padded edge tile — the
+ceil in the cycle formula — which is why ``LayerWork.utilization``
+reports the *achieved* fraction of peak, clamped to [0, 1].
 """
 
 from __future__ import annotations
@@ -19,7 +29,7 @@ import math
 from dataclasses import dataclass
 from typing import List, Tuple
 
-from repro.errors import HardwareModelError
+from repro.errors import SchedulingError
 from repro.hw.accelerator import Accelerator
 from repro.nn.network import Sequential
 
@@ -35,11 +45,26 @@ class LayerWork:
     input_values: int       # feature-map values read
     output_values: int      # feature-map values produced
     cycles: int             # scheduled execution cycles
+    #: tile peak throughput the layer was scheduled against; 0 means
+    #: "unknown" (hand-built LayerWork) and falls back to MACs/cycle
+    peak_macs_per_cycle: int = 0
+
+    @property
+    def macs_per_cycle(self) -> float:
+        """Achieved MAC throughput (diagnostic)."""
+        return self.macs / max(self.cycles, 1)
 
     @property
     def utilization(self) -> float:
-        """Achieved fraction of peak MACs (diagnostic)."""
-        return self.macs / max(self.cycles, 1)
+        """Achieved fraction of the tile's peak throughput, in [0, 1].
+
+        Edge tiles (MAC counts not divisible by the tile dimensions)
+        and per-layer startup both show up here as lost utilization.
+        """
+        if self.peak_macs_per_cycle <= 0:
+            return min(1.0, self.macs / max(self.cycles, 1))
+        peak = self.peak_macs_per_cycle * max(self.cycles, 1)
+        return max(0.0, min(1.0, self.macs / peak))
 
 
 @dataclass(frozen=True)
@@ -66,6 +91,27 @@ class TileScheduler:
 
     def __init__(self, accelerator: Accelerator):
         self.accelerator = accelerator
+        self._validate_tile_capacity()
+
+    def _validate_tile_capacity(self) -> None:
+        """One tile pass must fit in the double-buffered bank of each
+        buffer, or no layer can ever be resident while the next chunk
+        streams in."""
+        config = self.accelerator.config
+        checks = [
+            ("input_buffer_words", config.input_buffer_words, config.synapses,
+             "one row of synapse inputs"),
+            ("weight_buffer_words", config.weight_buffer_words,
+             config.neurons * config.synapses, "one tile of weights"),
+            ("output_buffer_words", config.output_buffer_words, config.neurons,
+             "one row of neuron outputs"),
+        ]
+        for field, words, needed, what in checks:
+            if words // 2 < needed:
+                raise SchedulingError(
+                    f"{field}={words} cannot double-buffer {what} "
+                    f"({needed} words needed per bank)"
+                )
 
     def _cycles_for(self, macs: int) -> int:
         config = self.accelerator.config
@@ -85,7 +131,16 @@ class TileScheduler:
         Args:
             network: the model to map.
             input_shape: (C, H, W) of one input image.
+
+        Raises:
+            SchedulingError: no compute layers, a non-positive input
+                shape, or a layer reporting non-positive MACs.
         """
+        if not input_shape or any(int(dim) < 1 for dim in input_shape):
+            raise SchedulingError(
+                f"input shape {input_shape!r} has no volume; every "
+                "dimension must be >= 1"
+            )
         layers: List[LayerWork] = []
         shape = input_shape
         for layer in network.layers:
@@ -93,7 +148,7 @@ class TileScheduler:
             if hasattr(layer, "macs"):
                 macs = layer.macs(shape)
                 if macs <= 0:
-                    raise HardwareModelError(
+                    raise SchedulingError(
                         f"layer {layer.name} reports non-positive MACs"
                     )
                 kind = "conv" if len(out_shape) == 3 else "dense"
@@ -106,11 +161,14 @@ class TileScheduler:
                         input_values=int(_prod(shape)),
                         output_values=int(_prod(out_shape)),
                         cycles=self._cycles_for(macs) + self._startup_cycles(),
+                        peak_macs_per_cycle=self.accelerator.macs_per_cycle,
                     )
                 )
             shape = out_shape
         if not layers:
-            raise HardwareModelError("network has no compute layers to schedule")
+            raise SchedulingError(
+                f"network {network.name!r} has no compute layers to schedule"
+            )
         return Schedule(network_name=network.name, layers=tuple(layers))
 
 

@@ -1,0 +1,60 @@
+"""Event-driven, cycle-level simulator of the DianNao-style tile.
+
+Where :mod:`repro.hw` prices the accelerator *analytically* (cycles =
+MACs / throughput / efficiency; energy = power x runtime), this
+subpackage *executes* the schedule: a deterministic event queue walks
+DMA transfers, double-buffered Bin/SB occupancy, NFU pipeline issue and
+Bout write-back, attributing every cycle to a cause and every slice of
+energy to the calibrated :mod:`repro.hw.tech` component costs.
+
+Cross-validation is the contract: with the paper's operating assumption
+(DMA bandwidth unconstrained, ``SimConfig.bandwidth_gbps=None``), the
+simulated energy/image agrees with the analytical model within the
+documented 5 % tolerance for every Table-III precision — asserted in
+tier-1 tests.  A finite bandwidth then opens the axis the analytical
+model cannot see: ``dma_wait`` stalls, utilization collapse, and the
+roofline crossover — see ``repro simulate --sweep-bandwidth`` and
+``docs/hw_sim.md``.
+
+The simulator is bitwise deterministic: no wall-clock, no randomness,
+total event ordering by (cycle, priority, sequence).  Two runs at any
+``PYTHONHASHSEED`` produce identical event traces, witnessed by
+``SimReport.trace_digest``.
+"""
+
+from repro.hw.sim.engine import Event, SimConfig, SimEngine
+from repro.hw.sim.buffers import DoubleBuffer
+from repro.hw.sim.dma import DmaEngine
+from repro.hw.sim.compile import (
+    LayerProgram,
+    TileChunk,
+    compile_layer,
+    compile_schedule,
+)
+from repro.hw.sim.energy import EnergyAccountant
+from repro.hw.sim.report import (
+    STALL_CAUSES,
+    RooflinePoint,
+    SimLayer,
+    SimReport,
+)
+from repro.hw.sim.tile import TileSimulator, simulate
+
+__all__ = [
+    "Event",
+    "SimConfig",
+    "SimEngine",
+    "DoubleBuffer",
+    "DmaEngine",
+    "LayerProgram",
+    "TileChunk",
+    "compile_layer",
+    "compile_schedule",
+    "EnergyAccountant",
+    "STALL_CAUSES",
+    "RooflinePoint",
+    "SimLayer",
+    "SimReport",
+    "TileSimulator",
+    "simulate",
+]

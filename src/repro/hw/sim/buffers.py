@@ -1,0 +1,87 @@
+"""Double-buffered on-chip buffer occupancy model.
+
+Each of Bin and SB is split into two banks: while the NFU consumes one
+bank, the DMA fills the other ("to support double buffering, each
+buffer is split in half").  The model tracks which chunk occupies which
+bank and how many bits, enforces the fill/consume protocol, and records
+peak occupancy for the report.  Capacity violations raise
+:class:`repro.errors.SimulationError` — the layer compiler sizes chunks
+so they never trigger on a well-formed program.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.errors import SimulationError
+
+#: bank states
+_EMPTY, _FILLING, _READY, _DRAINING = "empty", "filling", "ready", "draining"
+
+
+class DoubleBuffer:
+    """Two-bank ping/pong buffer with explicit state transitions."""
+
+    def __init__(self, name: str, words: int, bits_per_word: int):
+        self.name = name
+        self.bank_bits = (words // 2) * bits_per_word
+        self._state: List[str] = [_EMPTY, _EMPTY]
+        self._chunk: List[Optional[int]] = [None, None]
+        self._bits: List[int] = [0, 0]
+        self.peak_occupancy_bits = 0
+        self.fills = 0
+
+    def bank_for(self, chunk_index: int) -> int:
+        return chunk_index % 2
+
+    def begin_fill(self, chunk_index: int, bits: int) -> int:
+        """DMA starts loading ``chunk_index``; returns the bank used."""
+        bank = self.bank_for(chunk_index)
+        if self._state[bank] not in (_EMPTY,):
+            raise SimulationError(
+                f"{self.name}: bank {bank} is {self._state[bank]}, "
+                f"cannot fill chunk {chunk_index}"
+            )
+        if bits > self.bank_bits:
+            raise SimulationError(
+                f"{self.name}: chunk {chunk_index} needs {bits} bits but a "
+                f"bank holds {self.bank_bits}"
+            )
+        self._state[bank] = _FILLING
+        self._chunk[bank] = chunk_index
+        self._bits[bank] = bits
+        self.fills += 1
+        self.peak_occupancy_bits = max(
+            self.peak_occupancy_bits, sum(self._bits)
+        )
+        return bank
+
+    def finish_fill(self, chunk_index: int) -> None:
+        bank = self.bank_for(chunk_index)
+        if self._state[bank] != _FILLING or self._chunk[bank] != chunk_index:
+            raise SimulationError(
+                f"{self.name}: bank {bank} not filling chunk {chunk_index}"
+            )
+        self._state[bank] = _READY
+
+    def is_ready(self, chunk_index: int) -> bool:
+        bank = self.bank_for(chunk_index)
+        return self._state[bank] == _READY and self._chunk[bank] == chunk_index
+
+    def consume(self, chunk_index: int) -> None:
+        """The NFU finished with ``chunk_index``; free its bank."""
+        bank = self.bank_for(chunk_index)
+        if self._state[bank] != _READY or self._chunk[bank] != chunk_index:
+            raise SimulationError(
+                f"{self.name}: bank {bank} does not hold ready chunk "
+                f"{chunk_index}"
+            )
+        self._state[bank] = _EMPTY
+        self._chunk[bank] = None
+        self._bits[bank] = 0
+
+    def reset(self) -> None:
+        """Between layers: both banks reclaimed."""
+        self._state = [_EMPTY, _EMPTY]
+        self._chunk = [None, None]
+        self._bits = [0, 0]

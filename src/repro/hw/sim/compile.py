@@ -1,0 +1,125 @@
+"""Layer-to-event compiler.
+
+Consumes the analytical :class:`repro.hw.Schedule` (the same
+``TileScheduler.schedule()`` output the energy model prices) and lowers
+each layer to a sequence of double-buffered *chunks*: the largest unit
+of work whose inputs, weights and outputs all fit in one bank (half) of
+the corresponding buffer.  The simulator then streams chunk ``i+1``
+while computing chunk ``i``.
+
+Chunk compute time uses the same calibrated dataflow efficiency as the
+analytical model, but split into an *ideal* part
+(``ceil(macs / 256)``) and an explicit ``dataflow`` stall (edge tiles,
+dataflow bubbles) so the report can attribute cycles by cause.  Per
+chunk the ceil rounds up at most once, so the simulated layer exceeds
+the analytical cycle count by fewer than ``len(chunks)`` cycles — the
+documented source of the (tiny) cross-validation gap.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.hw.accelerator import Accelerator
+from repro.hw.scheduler import LayerWork, Schedule
+
+
+@dataclass(frozen=True)
+class TileChunk:
+    """One double-buffered unit of work within a layer."""
+
+    index: int
+    macs: int
+    ideal_cycles: int        # ceil(macs / peak MACs-per-cycle)
+    dataflow_stall: int      # calibrated-efficiency bubbles, explicit
+    input_bits: int          # Bin traffic for this chunk
+    weight_bits: int         # SB traffic for this chunk
+    output_bits: int         # Bout write-back for this chunk
+
+    @property
+    def compute_cycles(self) -> int:
+        return self.ideal_cycles + self.dataflow_stall
+
+    @property
+    def load_bits(self) -> int:
+        return self.input_bits + self.weight_bits
+
+
+@dataclass(frozen=True)
+class LayerProgram:
+    """Event-compiler output for one compute layer."""
+
+    name: str
+    kind: str
+    macs: int
+    startup_cycles: int      # buffer priming (config.layer_startup_cycles)
+    fill_cycles: int         # NFU pipeline depth (2 for binary, else 3)
+    chunks: Tuple[TileChunk, ...]
+
+    @property
+    def compute_cycles(self) -> int:
+        return sum(chunk.compute_cycles for chunk in self.chunks)
+
+
+def _split(total: int, parts: int) -> List[int]:
+    """Balanced integer split: parts differ by at most one, sum == total."""
+    base, extra = divmod(total, parts)
+    return [base + (1 if i < extra else 0) for i in range(parts)]
+
+
+def _chunk_count(work: LayerWork, accelerator: Accelerator) -> int:
+    """Chunks needed so every slice fits one double-buffered bank."""
+    config = accelerator.config
+    return max(
+        1,
+        math.ceil(work.input_values / (config.input_buffer_words // 2)),
+        math.ceil(work.weights / (config.weight_buffer_words // 2)),
+        math.ceil(work.output_values / (config.output_buffer_words // 2)),
+    )
+
+
+def compile_layer(work: LayerWork, accelerator: Accelerator) -> LayerProgram:
+    """Lower one scheduled layer to its chunk program."""
+    spec = accelerator.spec
+    config = accelerator.config
+    peak = accelerator.macs_per_cycle
+    efficiency = config.dataflow_efficiency
+
+    parts = _chunk_count(work, accelerator)
+    macs = _split(work.macs, parts)
+    inputs = _split(work.input_values, parts)
+    weights = _split(work.weights, parts)
+    outputs = _split(work.output_values, parts)
+
+    chunks = []
+    for index in range(parts):
+        ideal = int(math.ceil(macs[index] / peak))
+        scaled = int(math.ceil((macs[index] / peak) / efficiency))
+        chunks.append(
+            TileChunk(
+                index=index,
+                macs=macs[index],
+                ideal_cycles=ideal,
+                dataflow_stall=max(0, scaled - ideal),
+                input_bits=inputs[index] * spec.input_bits,
+                weight_bits=weights[index] * spec.weight_bits,
+                output_bits=outputs[index] * spec.input_bits,
+            )
+        )
+    return LayerProgram(
+        name=work.name,
+        kind=work.kind,
+        macs=work.macs,
+        startup_cycles=config.layer_startup_cycles,
+        fill_cycles=accelerator.nfu.pipeline_depth,
+        chunks=tuple(chunks),
+    )
+
+
+def compile_schedule(
+    schedule: Schedule, accelerator: Accelerator
+) -> Tuple[LayerProgram, ...]:
+    """Lower a whole-network schedule to layer programs, in order."""
+    return tuple(compile_layer(work, accelerator) for work in schedule.layers)

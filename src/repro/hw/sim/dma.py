@@ -1,0 +1,51 @@
+"""DMA channel model.
+
+One channel serializes its transfers: a transfer issued while the
+channel is busy queues behind the in-flight one.  Transfer duration is
+``ceil(bits / bits_per_cycle)`` with the bits-per-cycle derived from
+:class:`repro.hw.sim.engine.SimConfig.bandwidth_gbps`; ``None`` means
+the paper's operating point — transfers fully hidden, zero cycles —
+under which the simulator must agree with the analytical model.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from repro.errors import SimulationError
+
+
+class DmaEngine:
+    """A single DMA channel with deterministic FIFO service."""
+
+    def __init__(self, name: str, bits_per_cycle: Optional[float]):
+        if bits_per_cycle is not None and bits_per_cycle <= 0:
+            raise SimulationError(f"{name}: bits_per_cycle must be positive")
+        self.name = name
+        self.bits_per_cycle = bits_per_cycle
+        self.busy_until: int = 0
+        self.bits_moved: int = 0
+        self.busy_cycles: int = 0
+        self.transfers: int = 0
+
+    def duration_cycles(self, bits: int) -> int:
+        if bits < 0:
+            raise SimulationError(f"{self.name}: negative transfer size")
+        if self.bits_per_cycle is None:
+            return 0
+        return int(math.ceil(bits / self.bits_per_cycle))
+
+    def issue(self, now: int, bits: int) -> int:
+        """Enqueue a transfer at cycle ``now``; returns completion cycle.
+
+        The channel services transfers in issue order, so the transfer
+        starts at ``max(now, busy_until)``.
+        """
+        start = max(int(now), self.busy_until)
+        duration = self.duration_cycles(bits)
+        self.busy_until = start + duration
+        self.bits_moved += bits
+        self.busy_cycles += duration
+        self.transfers += 1
+        return self.busy_until

@@ -1,0 +1,213 @@
+"""Simulation results: per-layer stats, stall breakdown, roofline.
+
+A :class:`SimReport` is the simulator's one output object.  It carries
+the cycle/energy totals, the stall breakdown by cause, the roofline
+point, the analytical cross-validation gap, and the event-trace digest
+that witnesses determinism.  ``format()`` renders the human table used
+by ``repro simulate``; ``as_dict()`` feeds ``--json``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+#: every stall cause the simulator can attribute, in display order
+STALL_CAUSES: Tuple[str, ...] = (
+    "startup", "pipeline_fill", "dataflow", "dma_wait", "drain",
+)
+
+
+@dataclass(frozen=True)
+class SimLayer:
+    """Simulated execution of one compute layer."""
+
+    name: str
+    kind: str
+    macs: int
+    cycles: int              # end - start, includes every stall
+    busy_cycles: int         # NFU streaming
+    stalls: Dict[str, int]   # cause -> cycles (keys = STALL_CAUSES)
+    energy_uj: float
+    chunks: int
+
+    @property
+    def stall_cycles(self) -> int:
+        return sum(self.stalls.values())
+
+    @property
+    def utilization(self) -> float:
+        """MACs issued over peak MACs issuable in the layer's window."""
+        if self.cycles <= 0 or self.busy_cycles <= 0:
+            return 0.0
+        # peak per cycle = macs / ideal busy cycles; utilization is the
+        # achieved fraction over the whole window, clamped like
+        # LayerWork.utilization
+        return max(0.0, min(1.0, self.busy_cycles / self.cycles))
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "macs": self.macs,
+            "cycles": self.cycles,
+            "busy_cycles": self.busy_cycles,
+            "stalls": dict(self.stalls),
+            "energy_uj": self.energy_uj,
+            "utilization": self.utilization,
+            "chunks": self.chunks,
+        }
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """Where the run sits on the naive roofline for this design."""
+
+    arithmetic_intensity_macs_per_byte: float
+    achieved_macs_per_cycle: float
+    peak_macs_per_cycle: int
+    bandwidth_macs_per_cycle: Optional[float]  # None = unconstrained DMA
+
+    @property
+    def attainable_macs_per_cycle(self) -> float:
+        if self.bandwidth_macs_per_cycle is None:
+            return float(self.peak_macs_per_cycle)
+        return min(float(self.peak_macs_per_cycle),
+                   self.bandwidth_macs_per_cycle)
+
+    @property
+    def compute_bound(self) -> bool:
+        return (self.bandwidth_macs_per_cycle is None
+                or self.bandwidth_macs_per_cycle
+                >= float(self.peak_macs_per_cycle))
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "arithmetic_intensity_macs_per_byte":
+                self.arithmetic_intensity_macs_per_byte,
+            "achieved_macs_per_cycle": self.achieved_macs_per_cycle,
+            "peak_macs_per_cycle": self.peak_macs_per_cycle,
+            "attainable_macs_per_cycle": self.attainable_macs_per_cycle,
+            "compute_bound": self.compute_bound,
+        }
+
+
+@dataclass(frozen=True)
+class SimReport:
+    """Everything one simulation run produced."""
+
+    network_name: str
+    precision_key: str
+    precision_label: str
+    clock_hz: float
+    bandwidth_gbps: Optional[float]      # None = transfers fully hidden
+    total_cycles: int
+    busy_cycles: int
+    stalls: Dict[str, int]               # cause -> cycles, whole network
+    utilization: float                   # in [0, 1]
+    energy_uj: float
+    energy_by_component_uj: Dict[str, float]
+    runtime_us: float
+    analytical_cycles: int
+    analytical_energy_uj: float
+    roofline: RooflinePoint
+    events_processed: int
+    trace_digest: str
+    layers: Tuple[SimLayer, ...]
+
+    @property
+    def stall_cycles(self) -> int:
+        return sum(self.stalls.values())
+
+    @property
+    def cycle_gap_pct(self) -> float:
+        """Simulated vs analytical cycle count, in percent."""
+        return 100.0 * (self.total_cycles / self.analytical_cycles - 1.0)
+
+    @property
+    def energy_gap_pct(self) -> float:
+        """Simulated vs analytical energy/image, in percent."""
+        return 100.0 * (self.energy_uj / self.analytical_energy_uj - 1.0)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "network": self.network_name,
+            "precision": self.precision_key,
+            "precision_label": self.precision_label,
+            "clock_hz": self.clock_hz,
+            "bandwidth_gbps": self.bandwidth_gbps,
+            "total_cycles": self.total_cycles,
+            "busy_cycles": self.busy_cycles,
+            "stalls": dict(self.stalls),
+            "utilization": self.utilization,
+            "energy_uj": self.energy_uj,
+            "energy_by_component_uj": dict(self.energy_by_component_uj),
+            "runtime_us": self.runtime_us,
+            "analytical_cycles": self.analytical_cycles,
+            "analytical_energy_uj": self.analytical_energy_uj,
+            "cycle_gap_pct": self.cycle_gap_pct,
+            "energy_gap_pct": self.energy_gap_pct,
+            "roofline": self.roofline.as_dict(),
+            "events_processed": self.events_processed,
+            "trace_digest": self.trace_digest,
+            "layers": [layer.as_dict() for layer in self.layers],
+        }
+
+    # ------------------------------------------------------------------
+    def stall_summary(self) -> str:
+        """Compact ``cause:cycles`` listing of non-zero stalls."""
+        parts = [
+            f"{cause}:{self.stalls.get(cause, 0)}"
+            for cause in STALL_CAUSES
+            if self.stalls.get(cause, 0)
+        ]
+        return " ".join(parts) if parts else "none"
+
+    def format(self) -> str:
+        """Human-readable report for ``repro simulate``."""
+        bandwidth = (
+            "unconstrained (paper mode)" if self.bandwidth_gbps is None
+            else f"{self.bandwidth_gbps:g} Gbit/s"
+        )
+        lines = [
+            f"Simulation: {self.network_name} at {self.precision_label}",
+            f"clock {self.clock_hz / 1e6:.0f} MHz, DMA bandwidth {bandwidth}",
+            "",
+            f"cycles      : {self.total_cycles} "
+            f"(analytical {self.analytical_cycles}, "
+            f"{self.cycle_gap_pct:+.2f}%)",
+            f"energy/image: {self.energy_uj:.3f} uJ "
+            f"(analytical {self.analytical_energy_uj:.3f} uJ, "
+            f"{self.energy_gap_pct:+.2f}%)",
+            f"utilization : {100 * self.utilization:.1f}%  "
+            f"({self.busy_cycles} busy / {self.stall_cycles} stalled)",
+            f"runtime     : {self.runtime_us:.1f} us/image",
+            f"roofline    : {self.roofline.achieved_macs_per_cycle:.1f} of "
+            f"{self.roofline.attainable_macs_per_cycle:.1f} attainable "
+            f"MACs/cycle "
+            f"({'compute' if self.roofline.compute_bound else 'bandwidth'}"
+            f"-bound, "
+            f"{self.roofline.arithmetic_intensity_macs_per_byte:.1f} "
+            f"MACs/byte)",
+            f"events      : {self.events_processed}  "
+            f"trace {self.trace_digest[:16]}",
+            "",
+            "stall breakdown (cycles):",
+        ]
+        for cause in STALL_CAUSES:
+            cycles = self.stalls.get(cause, 0)
+            share = 100.0 * cycles / max(self.total_cycles, 1)
+            lines.append(f"  {cause:<14}{cycles:>10}  {share:5.1f}%")
+        lines.append("")
+        lines.append(
+            f"{'layer':<10}{'kind':<7}{'chunks':>7}{'cycles':>10}"
+            f"{'util %':>8}{'stalls':>8}{'uJ':>10}"
+        )
+        lines.append("-" * 60)
+        for layer in self.layers:
+            lines.append(
+                f"{layer.name:<10}{layer.kind:<7}{layer.chunks:>7}"
+                f"{layer.cycles:>10}{100 * layer.utilization:>8.1f}"
+                f"{layer.stall_cycles:>8}{layer.energy_uj:>10.3f}"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,371 @@
+"""Event-driven execution of a compiled layer program on the tile.
+
+The :class:`TileSimulator` walks the network layer by layer the way the
+DianNao-style tile does: a fixed startup window primes the buffers and
+fills the NFU pipeline, then double-buffered chunks stream — the DMA
+loads chunk ``i+1`` into the idle banks of Bin/SB while the NFU
+computes chunk ``i``, and Bout write-back drains behind the compute.
+Every state change is an event on the deterministic queue, so the full
+trace (and its digest) is reproducible bit-for-bit.
+
+Cycle attribution per layer:
+
+* ``busy``           — cycles the NFU issues MACs (``ceil(macs/256)``
+  per chunk);
+* ``dataflow``       — edge-tile / dataflow bubbles, the explicit form
+  of the calibrated ``dataflow_efficiency`` derate.  The datapath and
+  buffers keep clocking through these, so they charge *streaming*
+  power — exactly as the analytical model prices them;
+* ``startup`` / ``pipeline_fill`` / ``dma_wait`` / ``drain`` — coarse
+  stalls where the NFU sits idle; these charge
+  :attr:`repro.hw.Accelerator.idle_power_mw`, the simulator's
+  refinement over the analytical flat rate.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.errors import SimulationError
+from repro.hw.accelerator import Accelerator
+from repro.hw.scheduler import Schedule, TileScheduler
+from repro.hw.sim.buffers import DoubleBuffer
+from repro.hw.sim.compile import LayerProgram, compile_schedule
+from repro.hw.sim.dma import DmaEngine
+from repro.hw.sim.energy import EnergyAccountant
+from repro.hw.sim.engine import Event, SimConfig, SimEngine
+from repro.hw.sim.report import (
+    STALL_CAUSES,
+    RooflinePoint,
+    SimLayer,
+    SimReport,
+)
+
+
+class _LayerState:
+    """Mutable bookkeeping for the layer currently on the tile."""
+
+    def __init__(self, program: LayerProgram, start_time: int):
+        self.program = program
+        self.start_time = start_time
+        # compute may begin once buffers are primed and the pipeline full
+        self.ready_time = (
+            start_time + program.startup_cycles + program.fill_cycles
+        )
+        self.earliest_next = self.ready_time
+        self.next_compute = 0
+        self.compute_busy = False
+        self.wakeup_posted = False
+        self.out_completion = start_time
+        self.busy = 0
+        self.dataflow = 0
+        self.dma_wait = 0
+        self.drain = 0
+
+
+class TileSimulator:
+    """Simulates one network at one precision on one accelerator."""
+
+    def __init__(
+        self,
+        accelerator: Accelerator,
+        schedule: Schedule,
+        sim_config: SimConfig = SimConfig(),
+    ):
+        self.accelerator = accelerator
+        self.schedule = schedule
+        self.sim_config = sim_config
+        self.programs = compile_schedule(schedule, accelerator)
+        bits_per_cycle = sim_config.dma_bits_per_cycle(
+            accelerator.tech.clock_hz
+        )
+        self.dma_in = DmaEngine("dma.in", bits_per_cycle)
+        self.dma_out = DmaEngine("dma.out", bits_per_cycle)
+        config = accelerator.config
+        self.bin_buffer = DoubleBuffer(
+            "Bin", config.input_buffer_words, accelerator.spec.input_bits
+        )
+        self.sb_buffer = DoubleBuffer(
+            "SB", config.weight_buffer_words, accelerator.spec.weight_bits
+        )
+        self._report: Optional[SimReport] = None
+
+    # ------------------------------------------------------------------
+    def run(self) -> SimReport:
+        """Execute the program; idempotent (the report is cached)."""
+        if self._report is not None:
+            return self._report
+
+        from repro import obs
+
+        tracer = obs.get_tracer()
+        metrics = obs.get_metrics()
+        engine = SimEngine(max_events=self.sim_config.max_events)
+        accountant = EnergyAccountant(self.accelerator)
+        self._engine = engine
+        self._accountant = accountant
+        self._layer_index = 0
+        self._state: Optional[_LayerState] = None
+        self._layers: List[SimLayer] = []
+
+        with tracer.span(
+            "sim.run",
+            network=self.schedule.network_name,
+            precision=self.accelerator.spec.key,
+        ):
+            engine.post(0, "layer.start", self.programs[0].name)
+            engine.run(self._handle)
+
+        total_cycles = engine.now
+        if self._layer_index != len(self.programs):  # pragma: no cover
+            raise SimulationError("simulation ended with layers pending")
+
+        stalls = {cause: 0 for cause in STALL_CAUSES}
+        for layer in self._layers:
+            for cause, cycles in layer.stalls.items():
+                stalls[cause] += cycles
+        busy_cycles = sum(layer.busy_cycles for layer in self._layers)
+
+        metrics.counter("sim.runs").inc()
+        metrics.counter("sim.events").inc(engine.events_processed)
+        metrics.counter("sim.cycles").inc(total_cycles)
+        for cause, cycles in stalls.items():
+            metrics.counter(f"sim.stall.{cause}").inc(cycles)
+        for layer in self._layers:
+            metrics.histogram("sim.layer_stall_cycles").observe(
+                layer.stall_cycles
+            )
+            metrics.histogram("sim.layer_utilization").observe(
+                layer.utilization
+            )
+
+        self._report = self._build_report(
+            engine, accountant, total_cycles, busy_cycles, stalls
+        )
+        return self._report
+
+    # ------------------------------------------------------------------
+    # event handlers
+    # ------------------------------------------------------------------
+    def _handle(self, engine: SimEngine, event: Event) -> None:
+        if event.kind == "layer.start":
+            self._on_layer_start(engine)
+        elif event.kind == "dma.in.done":
+            self._on_dma_in_done(engine, event)
+        elif event.kind == "nfu.wakeup":
+            self._try_start_compute(engine)
+        elif event.kind == "nfu.done":
+            self._on_nfu_done(engine, event)
+        elif event.kind == "dma.out.done":
+            pass  # accounted when issued; kept for the trace
+        elif event.kind == "layer.done":
+            self._on_layer_done(engine)
+        else:  # pragma: no cover - defensive
+            raise SimulationError(f"unknown event kind {event.kind!r}")
+
+    def _on_layer_start(self, engine: SimEngine) -> None:
+        program = self.programs[self._layer_index]
+        self.bin_buffer.reset()
+        self.sb_buffer.reset()
+        self._state = _LayerState(program, engine.now)
+        self._issue_load(engine, 0)
+
+    def _issue_load(self, engine: SimEngine, chunk_index: int) -> None:
+        program = self._state.program
+        if chunk_index >= len(program.chunks):
+            return
+        chunk = program.chunks[chunk_index]
+        self.bin_buffer.begin_fill(chunk_index, chunk.input_bits)
+        self.sb_buffer.begin_fill(chunk_index, chunk.weight_bits)
+        completion = self.dma_in.issue(engine.now, chunk.load_bits)
+        engine.post(
+            completion - engine.now,
+            "dma.in.done",
+            f"{program.name}#{chunk_index}",
+            detail=f"bits={chunk.load_bits}",
+        )
+
+    def _on_dma_in_done(self, engine: SimEngine, event: Event) -> None:
+        chunk_index = int(event.subject.rsplit("#", 1)[1])
+        self.bin_buffer.finish_fill(chunk_index)
+        self.sb_buffer.finish_fill(chunk_index)
+        self._try_start_compute(engine)
+
+    def _try_start_compute(self, engine: SimEngine) -> None:
+        state = self._state
+        program = state.program
+        index = state.next_compute
+        if state.compute_busy or index >= len(program.chunks):
+            return
+        if not (self.bin_buffer.is_ready(index)
+                and self.sb_buffer.is_ready(index)):
+            return
+        if engine.now < state.earliest_next:
+            # data arrived early; the NFU is still starting up or
+            # finishing the previous chunk — wake up when it frees
+            if not state.wakeup_posted:
+                state.wakeup_posted = True
+                engine.post(
+                    state.earliest_next - engine.now,
+                    "nfu.wakeup",
+                    f"{program.name}#{index}",
+                )
+            return
+        state.wakeup_posted = False
+        chunk = program.chunks[index]
+        state.dma_wait += engine.now - state.earliest_next
+        state.busy += chunk.ideal_cycles
+        state.dataflow += chunk.dataflow_stall
+        state.compute_busy = True
+        # edge-tile bubbles keep the datapath streaming: busy power
+        self._accountant.charge_busy(chunk.compute_cycles)
+        engine.post(
+            chunk.compute_cycles,
+            "nfu.done",
+            f"{program.name}#{index}",
+            detail=f"macs={chunk.macs}",
+        )
+        # double buffering: the bank the previous chunk vacated is
+        # free the moment this chunk starts computing
+        self._issue_load(engine, index + 1)
+
+    def _on_nfu_done(self, engine: SimEngine, event: Event) -> None:
+        state = self._state
+        program = state.program
+        index = state.next_compute
+        self.bin_buffer.consume(index)
+        self.sb_buffer.consume(index)
+        state.compute_busy = False
+        state.earliest_next = engine.now
+        chunk = program.chunks[index]
+        if self.sim_config.drain_outputs:
+            completion = self.dma_out.issue(engine.now, chunk.output_bits)
+            engine.post(
+                completion - engine.now,
+                "dma.out.done",
+                f"{program.name}#{index}",
+                detail=f"bits={chunk.output_bits}",
+            )
+            state.out_completion = max(state.out_completion, completion)
+        else:
+            state.out_completion = max(state.out_completion, engine.now)
+        state.next_compute += 1
+        if state.next_compute < len(program.chunks):
+            self._try_start_compute(engine)
+        else:
+            end = max(engine.now, state.out_completion)
+            state.drain = end - engine.now
+            engine.post(end - engine.now, "layer.done", program.name)
+
+    def _on_layer_done(self, engine: SimEngine) -> None:
+        state = self._state
+        program = state.program
+        coarse = (program.startup_cycles + program.fill_cycles
+                  + state.dma_wait + state.drain)
+        self._accountant.charge_stall(coarse)
+        # busy slices were charged globally as the chunks issued; the
+        # per-layer energy is re-derived from this layer's own cycles
+        period = self.accelerator.tech.clock_period_s
+        layer_energy = (
+            (state.busy + state.dataflow) * period
+            * self.accelerator.power_mw * 1e3
+            + coarse * period * self.accelerator.idle_power_mw * 1e3
+        )
+        stalls = {
+            "startup": program.startup_cycles,
+            "pipeline_fill": program.fill_cycles,
+            "dataflow": state.dataflow,
+            "dma_wait": state.dma_wait,
+            "drain": state.drain,
+        }
+        self._layers.append(
+            SimLayer(
+                name=program.name,
+                kind=program.kind,
+                macs=program.macs,
+                cycles=engine.now - state.start_time,
+                busy_cycles=state.busy,
+                stalls=stalls,
+                energy_uj=layer_energy,
+                chunks=len(program.chunks),
+            )
+        )
+        self._layer_index += 1
+        self._state = None
+        if self._layer_index < len(self.programs):
+            engine.post(
+                0, "layer.start", self.programs[self._layer_index].name
+            )
+
+    # ------------------------------------------------------------------
+    def _build_report(
+        self,
+        engine: SimEngine,
+        accountant: EnergyAccountant,
+        total_cycles: int,
+        busy_cycles: int,
+        stalls: Dict[str, int],
+    ) -> SimReport:
+        accelerator = self.accelerator
+        tech = accelerator.tech
+        total_macs = self.schedule.total_macs
+
+        dram_bits = sum(
+            chunk.load_bits + chunk.output_bits
+            for program in self.programs
+            for chunk in program.chunks
+        )
+        dram_bytes = dram_bits / 8.0
+        bits_per_cycle = self.sim_config.dma_bits_per_cycle(tech.clock_hz)
+        intensity = total_macs / max(dram_bytes, 1e-12)
+        roofline = RooflinePoint(
+            arithmetic_intensity_macs_per_byte=intensity,
+            achieved_macs_per_cycle=total_macs / max(total_cycles, 1),
+            peak_macs_per_cycle=accelerator.macs_per_cycle,
+            bandwidth_macs_per_cycle=(
+                None if bits_per_cycle is None
+                else intensity * bits_per_cycle / 8.0
+            ),
+        )
+
+        analytical_cycles = self.schedule.total_cycles
+        analytical_energy_uj = (
+            analytical_cycles * tech.clock_period_s
+            * accelerator.power_mw * 1e3
+        )
+        utilization = max(
+            0.0,
+            min(1.0, total_macs
+                / (accelerator.macs_per_cycle * max(total_cycles, 1))),
+        )
+        return SimReport(
+            network_name=self.schedule.network_name,
+            precision_key=accelerator.spec.key,
+            precision_label=accelerator.spec.label,
+            clock_hz=tech.clock_hz,
+            bandwidth_gbps=self.sim_config.bandwidth_gbps,
+            total_cycles=total_cycles,
+            busy_cycles=busy_cycles,
+            stalls=stalls,
+            utilization=utilization,
+            energy_uj=accountant.energy_uj,
+            energy_by_component_uj=accountant.component_energy_uj(),
+            runtime_us=total_cycles / tech.clock_hz * 1e6,
+            analytical_cycles=analytical_cycles,
+            analytical_energy_uj=analytical_energy_uj,
+            roofline=roofline,
+            events_processed=engine.events_processed,
+            trace_digest=engine.trace_digest(),
+            layers=tuple(self._layers),
+        )
+
+
+def simulate(
+    network,
+    input_shape: tuple,
+    accelerator: Accelerator,
+    sim_config: SimConfig = SimConfig(),
+) -> SimReport:
+    """One-call convenience: schedule ``network`` and simulate it."""
+    schedule = TileScheduler(accelerator).schedule(network, input_shape)
+    return TileSimulator(accelerator, schedule, sim_config).run()

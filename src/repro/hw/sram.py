@@ -53,6 +53,14 @@ class SramBuffer:
     def power_mw(self, tech: TechnologyLibrary) -> float:
         return tech.sram_power(self.total_bits, self.bits_per_cycle)
 
+    def leakage_mw(self, tech: TechnologyLibrary) -> float:
+        """Static power only — what the buffer burns while not streaming.
+
+        The cycle-level simulator charges this during stall cycles and
+        the full :meth:`power_mw` (leakage + access) during busy ones.
+        """
+        return tech.sram_leakage_per_mm2 * self.area_mm2(tech)
+
     def __str__(self) -> str:
         return (
             f"{self.name}: {self.words} x {self.bits_per_word}b "

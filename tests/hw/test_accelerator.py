@@ -4,7 +4,7 @@ import pytest
 
 from repro import core
 from repro.core.precision import PAPER_PRECISIONS
-from repro.errors import HardwareModelError
+from repro.errors import ConfigError, ConfigurationError, HardwareModelError
 from repro.hw.accelerator import Accelerator, AcceleratorConfig
 
 
@@ -73,3 +73,31 @@ def test_invalid_config():
         AcceleratorConfig(layer_startup_cycles=-1)
     with pytest.raises(HardwareModelError):
         AcceleratorConfig(weight_buffer_words=0)
+
+
+@pytest.mark.parametrize(
+    "kwargs, field",
+    [
+        ({"neurons": 0}, "neurons"),
+        ({"synapses": -3}, "synapses"),
+        ({"input_buffer_words": 0}, "input_buffer_words"),
+        ({"output_buffer_words": -1}, "output_buffer_words"),
+        ({"weight_buffer_words": 0}, "weight_buffer_words"),
+        ({"dataflow_efficiency": 0.0}, "dataflow_efficiency"),
+        ({"dataflow_efficiency": 1.5}, "dataflow_efficiency"),
+        ({"layer_startup_cycles": -1}, "layer_startup_cycles"),
+    ],
+)
+def test_invalid_config_names_offending_field(kwargs, field):
+    with pytest.raises(ConfigError) as excinfo:
+        AcceleratorConfig(**kwargs)
+    assert excinfo.value.field == field
+    assert field in str(excinfo.value)
+
+
+def test_config_error_is_both_config_and_hardware_error():
+    """Back-compat: callers catching either hierarchy keep working."""
+    with pytest.raises(ConfigurationError):
+        AcceleratorConfig(neurons=0)
+    with pytest.raises(HardwareModelError):
+        AcceleratorConfig(neurons=0)

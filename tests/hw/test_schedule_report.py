@@ -35,6 +35,30 @@ def test_schedule_report_utilization_bounded():
         assert layer.utilization <= accelerator.macs_per_cycle + 1e-9
 
 
+def test_schedule_report_sim_columns():
+    """With a SimReport the table shows measured stalls, without it
+    the stall column degrades to an em dash."""
+    from repro.hw.sim import TileSimulator
+
+    info = network_info("lenet")
+    accelerator = Accelerator.for_precision("fixed8")
+    schedule = TileScheduler(accelerator).schedule(
+        build_network("lenet"), info.input_shape
+    )
+    plain = schedule_report(schedule)
+    assert "util %" in plain and "stalls" in plain
+    assert "—" in plain
+    assert "simulated" not in plain
+
+    sim = TileSimulator(accelerator, schedule).run()
+    with_sim = schedule_report(schedule, sim=sim)
+    assert f"simulated {sim.total_cycles} cycles" in with_sim
+    assert "—" not in with_sim
+    # the compact breakdown uses per-cause abbreviations (su=startup)
+    assert "su" in with_sim
+    assert str(sim.total_cycles) in with_sim
+
+
 def test_activation_range_report_covers_insertion_points():
     net = make_tiny_cnn()
     qnet = core.QuantizedNetwork(net, core.get_precision("fixed8"))

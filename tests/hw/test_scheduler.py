@@ -6,9 +6,9 @@ import numpy as np
 import pytest
 
 from repro import nn
-from repro.errors import HardwareModelError
+from repro.errors import HardwareModelError, SchedulingError
 from repro.hw.accelerator import Accelerator, AcceleratorConfig
-from repro.hw.scheduler import TileScheduler
+from repro.hw.scheduler import LayerWork, TileScheduler
 from tests.conftest import make_tiny_cnn
 
 
@@ -83,3 +83,61 @@ def test_network_without_compute_layers_rejected():
     net = nn.Sequential([nn.ReLU()])
     with pytest.raises(HardwareModelError):
         make_scheduler().schedule(net, (1, 8, 8))
+
+
+# ----------------------------------------------------------------------
+# degenerate inputs raise typed SchedulingError
+# ----------------------------------------------------------------------
+def test_empty_network_raises_scheduling_error():
+    """A network with nothing to schedule raises a typed, named error
+    rather than returning a silent zero-cycle schedule."""
+    net = nn.Sequential([nn.ReLU()], name="empty")
+    with pytest.raises(SchedulingError, match="no compute layers"):
+        make_scheduler().schedule(net, (1, 8, 8))
+
+
+@pytest.mark.parametrize("shape", [(), (0, 28, 28), (1, -4, 28)])
+def test_degenerate_input_shape_rejected(shape):
+    with pytest.raises(SchedulingError, match="input shape"):
+        make_scheduler().schedule(make_tiny_cnn(), shape)
+
+
+def test_tile_working_set_must_fit_half_bank():
+    """A buffer too small to double-buffer one tile pass is rejected
+    at scheduler construction, naming the offending buffer."""
+    with pytest.raises(SchedulingError, match="weight_buffer_words"):
+        # one 16x16 weight tile needs 256 words per bank; 256 words
+        # total leaves only 128 per bank
+        make_scheduler(weight_buffer_words=256)
+    with pytest.raises(SchedulingError, match="input_buffer_words"):
+        make_scheduler(input_buffer_words=16)
+    with pytest.raises(SchedulingError, match="output_buffer_words"):
+        make_scheduler(output_buffer_words=8)
+    # exactly one tile pass per bank is the legal minimum
+    make_scheduler(
+        weight_buffer_words=512, input_buffer_words=32,
+        output_buffer_words=32,
+    )
+
+
+def test_utilization_clamped_to_unit_interval(tiny_cnn):
+    schedule = make_scheduler().schedule(tiny_cnn, (1, 28, 28))
+    for layer in schedule.layers:
+        assert 0.0 <= layer.utilization <= 1.0
+    # non-divisible tile dims: 100 MACs on a 256-wide tile in 1 cycle
+    # would read as 39% — a hand-built record claiming more MACs than
+    # peak*cycles clamps instead of reporting >100%
+    inflated = LayerWork(
+        name="x", kind="dense", macs=10_000, weights=1, input_values=1,
+        output_values=1, cycles=1, peak_macs_per_cycle=256,
+    )
+    assert inflated.utilization == 1.0
+
+
+def test_legacy_layer_work_without_peak_still_bounded():
+    legacy = LayerWork(
+        name="x", kind="dense", macs=4096, weights=1, input_values=1,
+        output_values=1, cycles=2,
+    )
+    assert legacy.utilization == 1.0
+    assert legacy.macs_per_cycle == pytest.approx(2048.0)

@@ -1,0 +1,174 @@
+"""Unit tests for the simulator core: engine, DMA, buffers, compiler."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.hw.accelerator import Accelerator, AcceleratorConfig
+from repro.hw.scheduler import TileScheduler
+from repro.hw.sim import (
+    DmaEngine,
+    DoubleBuffer,
+    SimConfig,
+    SimEngine,
+    compile_schedule,
+)
+from tests.conftest import make_tiny_cnn
+
+
+# ----------------------------------------------------------------------
+# event engine
+# ----------------------------------------------------------------------
+def test_events_pop_in_time_then_seq_order():
+    engine = SimEngine()
+    order = []
+    engine.post(5, "b", "x")
+    engine.post(5, "a", "y")   # same cycle, posted later
+    engine.post(2, "c", "z")
+    engine.run(lambda _, e: order.append(e.kind))
+    assert order == ["c", "b", "a"]
+    assert engine.now == 5
+
+
+def test_priority_breaks_same_cycle_ties():
+    engine = SimEngine()
+    order = []
+    engine.post(3, "late", "x", priority=1)
+    engine.post(3, "early", "y", priority=0)
+    engine.run(lambda _, e: order.append(e.kind))
+    assert order == ["early", "late"]
+
+
+def test_negative_delay_rejected():
+    engine = SimEngine()
+    with pytest.raises(SimulationError):
+        engine.post(-1, "bad", "x")
+
+
+def test_event_budget_guards_runaway():
+    engine = SimEngine(max_events=10)
+
+    def reschedule(eng, event):
+        eng.post(1, "tick", "x")
+
+    engine.post(0, "tick", "x")
+    with pytest.raises(SimulationError):
+        engine.run(reschedule)
+
+
+def test_trace_digest_depends_on_trace():
+    def run(kinds):
+        engine = SimEngine()
+        for delay, kind in kinds:
+            engine.post(delay, kind, "s")
+        engine.run(lambda _, e: None)
+        return engine.trace_digest()
+
+    assert run([(1, "a"), (2, "b")]) == run([(1, "a"), (2, "b")])
+    assert run([(1, "a"), (2, "b")]) != run([(1, "a"), (2, "c")])
+
+
+def test_sim_config_validation():
+    with pytest.raises(SimulationError):
+        SimConfig(bandwidth_gbps=0.0)
+    with pytest.raises(SimulationError):
+        SimConfig(max_events=0)
+    assert SimConfig().dma_bits_per_cycle(250e6) is None
+    # 256 Gbit/s at 250 MHz = 1024 bits per cycle
+    assert SimConfig(bandwidth_gbps=256).dma_bits_per_cycle(250e6) == \
+        pytest.approx(1024.0)
+
+
+# ----------------------------------------------------------------------
+# DMA
+# ----------------------------------------------------------------------
+def test_dma_unconstrained_is_zero_cycles():
+    dma = DmaEngine("dma", None)
+    assert dma.issue(10, 1_000_000) == 10
+
+
+def test_dma_serializes_transfers():
+    dma = DmaEngine("dma", bits_per_cycle=100.0)
+    first = dma.issue(0, 1000)    # 10 cycles
+    second = dma.issue(0, 500)    # queues behind: +5
+    assert (first, second) == (10, 15)
+    assert dma.bits_moved == 1500
+    assert dma.transfers == 2
+
+
+def test_dma_rejects_bad_parameters():
+    with pytest.raises(SimulationError):
+        DmaEngine("dma", bits_per_cycle=0.0)
+    dma = DmaEngine("dma", None)
+    with pytest.raises(SimulationError):
+        dma.duration_cycles(-1)
+
+
+# ----------------------------------------------------------------------
+# double buffer protocol
+# ----------------------------------------------------------------------
+def test_double_buffer_ping_pong():
+    buffer = DoubleBuffer("Bin", words=8, bits_per_word=8)  # 32b banks
+    buffer.begin_fill(0, 32)
+    buffer.begin_fill(1, 32)       # other bank, legal while 0 fills
+    buffer.finish_fill(0)
+    assert buffer.is_ready(0) and not buffer.is_ready(1)
+    buffer.consume(0)
+    buffer.finish_fill(1)
+    buffer.begin_fill(2, 16)       # bank 0 reclaimed
+    assert buffer.peak_occupancy_bits == 64
+
+
+def test_double_buffer_rejects_protocol_violations():
+    buffer = DoubleBuffer("SB", words=8, bits_per_word=8)
+    with pytest.raises(SimulationError):
+        buffer.begin_fill(0, 33)   # over bank capacity
+    buffer.begin_fill(0, 32)
+    with pytest.raises(SimulationError):
+        buffer.begin_fill(2, 8)    # bank 0 still filling
+    with pytest.raises(SimulationError):
+        buffer.consume(0)          # not ready yet
+
+
+# ----------------------------------------------------------------------
+# layer compiler
+# ----------------------------------------------------------------------
+def test_compile_chunks_fit_double_buffered_banks():
+    accelerator = Accelerator.for_precision(
+        "fixed8",
+        config=AcceleratorConfig(
+            input_buffer_words=256,
+            output_buffer_words=256,
+            weight_buffer_words=2048,
+        ),
+    )
+    schedule = TileScheduler(accelerator).schedule(
+        make_tiny_cnn(), (1, 28, 28)
+    )
+    programs = compile_schedule(schedule, accelerator)
+    spec = accelerator.spec
+    for program, work in zip(programs, schedule.layers):
+        assert sum(c.macs for c in program.chunks) == work.macs
+        assert sum(c.input_bits for c in program.chunks) == \
+            work.input_values * spec.input_bits
+        assert sum(c.weight_bits for c in program.chunks) == \
+            work.weights * spec.weight_bits
+        for chunk in program.chunks:
+            assert chunk.input_bits <= (256 // 2) * spec.input_bits
+            assert chunk.weight_bits <= (2048 // 2) * spec.weight_bits
+            assert chunk.output_bits <= (256 // 2) * spec.input_bits
+
+
+def test_compile_cycle_totals_track_analytical():
+    """Per-chunk ceils exceed the whole-layer ceil by < #chunks."""
+    accelerator = Accelerator.for_precision("fixed16")
+    schedule = TileScheduler(accelerator).schedule(
+        make_tiny_cnn(), (1, 28, 28)
+    )
+    programs = compile_schedule(schedule, accelerator)
+    for program, work in zip(programs, schedule.layers):
+        analytical_compute = work.cycles - (
+            program.startup_cycles + program.fill_cycles
+        )
+        assert analytical_compute <= program.compute_cycles
+        assert program.compute_cycles - analytical_compute < \
+            len(program.chunks)
