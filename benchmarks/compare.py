@@ -59,8 +59,10 @@ DIRECTIONS = {
     "wall_s.resilience": "lower",
     "wall_s.registry": "lower",
     "wall_s.sim": "lower",
+    "wall_s.kernels_fused": "lower",
     "parallel.cache_hit_rate": "higher",
     "parallel.speedup": "higher",
+    "kernels.fused_speedup": "higher",
 }
 
 
@@ -90,13 +92,18 @@ def run_benchmarks():
 
 
 def collect_metrics(walls):
-    """Merge wall-times with the parallel-sweep JSON metrics."""
+    """Merge wall-times with the JSON metrics benchmark files emit."""
     metrics = dict(walls)
     sweep_path = os.path.join(RESULTS, "parallel_sweep.json")
     with open(sweep_path) as handle:
         sweep = json.load(handle)
     metrics["parallel.cache_hit_rate"] = sweep["cache_hit_rate"]
     metrics["parallel.speedup"] = sweep["speedup"]
+    kernels_path = os.path.join(RESULTS, "kernels_fused.json")
+    with open(kernels_path) as handle:
+        kernels = json.load(handle)
+    metrics["wall_s.kernels_fused"] = kernels["fused_s"]
+    metrics["kernels.fused_speedup"] = kernels["speedup"]
     return {
         "schema": SCHEMA,
         "cpu_count": os.cpu_count() or 1,

@@ -83,7 +83,7 @@ def test_bench_ablation_shadow_weights(benchmark, results_dir):
         qnet = core.QuantizedNetwork(base, spec)
         qnet.calibrate(split.train.images[:128])
         if use_shadow:
-            after_step = qnet.restore_shadow
+            after_step = qnet._restore_shadow
         else:
             # drop the shadow: quantization becomes permanent each step
             def after_step():
@@ -93,12 +93,12 @@ def test_bench_ablation_shadow_weights(benchmark, results_dir):
             nn.SGD(base.parameters(), lr=0.01, momentum=0.9),
             batch_size=32,
             rng=np.random.default_rng(1),
-            before_step=qnet.swap_in_quantized,
+            before_step=qnet._swap_in_quantized,
             after_step=after_step,
         )
         trainer.fit(split.train.images, split.train.labels, epochs=3)
         if qnet._shadow is not None:  # defensive: leave a clean state
-            qnet.restore_shadow()
+            qnet._restore_shadow()
         return qnet.evaluate(split.test.images, split.test.labels)
 
     def run_ablation():

@@ -3,12 +3,23 @@
 These time the substrate itself (conv lowering, quantizer throughput,
 quantized inference overhead) so performance regressions in the
 framework are visible independently of the experiment harness.
+
+The fused-backend benchmarks additionally write
+``results/kernels_fused.json`` (reference vs fused wall time and the
+speedup ratio) for ``benchmarks/compare.py`` / the CI bench gate, and
+assert the fused backend's >= 2x contract on the batched
+quantized-inference workload.
 """
+
+import json
+import os
+import time
 
 import numpy as np
 
-from repro import core, nn
-from repro.zoo import build_network
+from repro import backends, core, nn
+from repro.data import load_dataset
+from repro.zoo import build_network, network_info
 
 
 def test_bench_conv_forward(benchmark):
@@ -77,3 +88,58 @@ def test_bench_float_inference_baseline(benchmark):
     x = rng.standard_normal((16, 1, 28, 28)).astype(np.float32)
     logits = benchmark(net.predict, x)
     assert logits.shape == (16, 10)
+
+
+def _fused_workload(network_name: str = "lenet", n_images: int = 256):
+    info = network_info(network_name)
+    split = load_dataset(info.dataset, n_train=64, n_test=n_images + 44, seed=0)
+    qnet = core.QuantizedNetwork(build_network(network_name, seed=0), "fixed8")
+    qnet.calibrate(split.train.images[:32])
+    return qnet, split.test.images[:n_images]
+
+
+def test_bench_fused_quantized_inference(benchmark):
+    """Steady-state fused inference (workspaces warm after first call)."""
+    qnet, images = _fused_workload()
+    fused = backends.get("fused")
+    with qnet.quantized_weights():
+        logits = benchmark(fused.predict, qnet.pipeline, images, 64)
+    assert logits.shape == (images.shape[0], 10)
+
+
+def test_bench_fused_speedup_vs_reference(results_dir):
+    """The fused backend's acceptance contract: >= 2x over reference on
+    batched quantized inference, at bitwise-equal outputs."""
+    qnet, images = _fused_workload()
+    reference = backends.get("reference")
+    fused = backends.get("fused")
+    reps = 3
+    with qnet.quantized_weights():
+        expected = reference.predict(qnet.pipeline, images, batch_size=64)
+        assert np.array_equal(
+            expected, fused.predict(qnet.pipeline, images, batch_size=64)
+        ), "speedup without parity is a non-result"
+        walls = {}
+        for name, impl in (("reference", reference), ("fused", fused)):
+            started = time.perf_counter()
+            for _ in range(reps):
+                impl.predict(qnet.pipeline, images, batch_size=64)
+            walls[name] = (time.perf_counter() - started) / reps
+
+    speedup = walls["reference"] / walls["fused"]
+    payload = {
+        "network": "lenet",
+        "images": int(images.shape[0]),
+        "batch_size": 64,
+        "reference_s": round(walls["reference"], 4),
+        "fused_s": round(walls["fused"], 4),
+        "speedup": round(speedup, 4),
+    }
+    with open(os.path.join(results_dir, "kernels_fused.json"), "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"\nfused vs reference: {walls['reference'] * 1e3:.1f} ms -> "
+          f"{walls['fused'] * 1e3:.1f} ms ({speedup:.2f}x)")
+    assert speedup >= 2.0, (
+        f"fused backend must be >= 2x reference, measured {speedup:.2f}x"
+    )

@@ -62,6 +62,20 @@ The package is organized as one subpackage per subsystem:
     with per-request deadlines in ``repro.serve``
     (``python -m repro serve-bench --chaos 0 --deadline-ms 500``).
 
+``repro.kernels``
+    Fused quantized-inference kernels: single-pass quantize /
+    im2col-conv / matmul / pool / ReLU routines writing into
+    preallocated per-layer workspaces reused across batches, bitwise-
+    equal to the layer-by-layer reference path for every paper
+    precision (``docs/kernels.md``).
+
+``repro.backends``
+    Pluggable compute-backend dispatch over those kernels: a uniform
+    ``dense`` / ``conv`` / ``pool`` / ``act`` / ``run`` interface with
+    ``reference`` and ``fused`` implementations, selectable per call
+    (``QuantizedNetwork.infer(x, backend=...)``), per network, or
+    process-wide (``REPRO_BACKEND`` / ``--backend``).
+
 ``repro.registry``
     Content-addressed model-artifact registry and deployment lifecycle:
     manifests with measured accuracy + modeled hw costs, named channels
@@ -71,8 +85,8 @@ The package is organized as one subpackage per subsystem:
     (``python -m repro registry publish|list|promote|rollback|serve``).
 """
 
-from repro import obs, parallel, registry, resilience, serve
+from repro import backends, kernels, obs, parallel, registry, resilience, serve
 from repro.version import __version__
 
-__all__ = ["__version__", "obs", "parallel", "registry", "resilience",
-           "serve"]
+__all__ = ["__version__", "backends", "kernels", "obs", "parallel",
+           "registry", "resilience", "serve"]

@@ -1,0 +1,56 @@
+"""Pluggable compute backends for quantized inference.
+
+A backend executes the fake-quant pipeline of a
+:class:`~repro.core.quantized.QuantizedNetwork` through the uniform
+:class:`~repro.backends.base.Backend` interface (``dense`` / ``conv`` /
+``pool`` / ``act`` entry points plus whole-pipeline ``run`` /
+``predict``).  Two backends ship:
+
+``reference``
+    Layer-by-layer numpy ``forward`` calls — the historical execution
+    path and the parity ground truth.
+
+``fused``
+    Single-pass :mod:`repro.kernels` routines over preallocated,
+    batch-reused buffers; bitwise-equal to ``reference`` for every
+    Table III precision and the process default.
+
+Select per call (``qnet.infer(x, backend="reference")``), per network
+(``QuantizedNetwork(..., backend=...)``), or globally
+(:func:`set_default`, the ``REPRO_BACKEND`` environment variable, or
+the ``--backend`` flag on ``repro sweep`` / ``repro profile`` /
+``repro serve-bench``).  See ``docs/kernels.md`` for the design and how
+to add a backend.
+"""
+
+from repro.backends.base import Backend, Unit, compile_units
+from repro.backends.fused import FusedBackend
+from repro.backends.reference import ReferenceBackend
+from repro.backends.registry import (
+    DEFAULT_BACKEND,
+    ENV_VAR,
+    available,
+    get,
+    get_default,
+    register,
+    resolve,
+    set_default,
+    using_backend,
+)
+
+__all__ = [
+    "Backend",
+    "DEFAULT_BACKEND",
+    "ENV_VAR",
+    "FusedBackend",
+    "ReferenceBackend",
+    "Unit",
+    "available",
+    "compile_units",
+    "get",
+    "get_default",
+    "register",
+    "resolve",
+    "set_default",
+    "using_backend",
+]

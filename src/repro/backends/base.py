@@ -1,0 +1,155 @@
+"""Backend interface and the shared pipeline -> unit compiler.
+
+A *backend* executes a quantized-inference pipeline (the
+``FakeQuantLayer``-interleaved :class:`~repro.nn.network.Sequential`
+built by :class:`~repro.core.quantized.QuantizedNetwork`).  All
+backends consume the same :func:`compile_units` plan — (layer,
+trailing activation-quantizer) pairs tagged with an operation kind —
+and differ only in how each unit is executed: the reference backend
+calls the layers' own ``forward`` methods, the fused backend runs
+single-pass kernels over reusable buffers, and future backends
+(threaded, integer-arithmetic, accelerator-sim-backed) slot in behind
+the same entry points without touching any caller.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.fake_quant import FakeQuantLayer
+from repro.nn.activations import ReLU
+from repro.nn.conv import Conv2D
+from repro.nn.dense import Dense, Flatten
+from repro.nn.module import Module
+from repro.nn.network import Sequential
+from repro.nn.pooling import AvgPool2D, MaxPool2D
+
+__all__ = ["Backend", "Unit", "compile_units"]
+
+#: Operation kinds a unit can carry.  ``other`` marks layers no fused
+#: kernel understands — every backend must still execute them (the
+#: fused backend falls back to the layer's own ``forward``).
+KINDS = ("dense", "conv", "maxpool", "avgpool", "act", "quant", "reshape", "other")
+
+
+@dataclass(frozen=True)
+class Unit:
+    """One schedulable step: a layer plus its trailing activation quant.
+
+    ``index`` is the layer's position in ``pipeline.layers`` — stable
+    across calls, which makes it the natural workspace-buffer key.
+    ``quant`` is the :class:`FakeQuantLayer` immediately following the
+    layer (``None`` when the pipeline doesn't re-quantize this output,
+    e.g. after MaxPool/Flatten).
+    """
+
+    kind: str
+    layer: Module
+    quant: Optional[FakeQuantLayer]
+    index: int
+
+
+def _classify(layer: Module) -> str:
+    """Exact-type kinds: a subclass may override ``forward``, so it is
+    never safe to run it through a kind-specialized kernel."""
+    layer_type = type(layer)
+    if layer_type is Dense:
+        return "dense"
+    if layer_type is Conv2D:
+        return "conv"
+    if layer_type is MaxPool2D:
+        return "maxpool"
+    if layer_type is AvgPool2D:
+        return "avgpool"
+    if layer_type is ReLU:
+        return "act"
+    if layer_type is Flatten:
+        return "reshape"
+    return "other"
+
+
+def compile_units(pipeline: Sequential) -> List[Unit]:
+    """Group ``pipeline.layers`` into (layer, quant) execution units.
+
+    A :class:`FakeQuantLayer` directly following a layer is absorbed
+    into that layer's unit (the fusion seam); a leading or standalone
+    one (``quant_in``) becomes its own ``quant`` unit.
+    """
+    layers = pipeline.layers
+    units: List[Unit] = []
+    i = 0
+    while i < len(layers):
+        layer = layers[i]
+        if isinstance(layer, FakeQuantLayer):
+            units.append(Unit("quant", layer, None, i))
+            i += 1
+            continue
+        quant: Optional[FakeQuantLayer] = None
+        if i + 1 < len(layers) and isinstance(layers[i + 1], FakeQuantLayer):
+            quant = layers[i + 1]
+        units.append(Unit(_classify(layer), layer, quant, i))
+        i += 2 if quant is not None else 1
+    return units
+
+
+class Backend(abc.ABC):
+    """Executes quantized-inference pipelines.
+
+    Subclasses implement :meth:`run` plus the four per-operation entry
+    points (:meth:`dense` / :meth:`conv` / :meth:`pool` / :meth:`act`).
+    The entry points always return arrays the caller owns — never a
+    view of internal scratch memory — and must be bitwise-equal to the
+    corresponding layer's ``forward`` in eval mode.
+    """
+
+    #: Registry name; set by subclasses.
+    name: str = ""
+
+    # ------------------------------------------------------------------
+    # Per-operation entry points
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def dense(self, layer: Dense, x: np.ndarray) -> np.ndarray:
+        """Inner product ``x @ W + b`` for one :class:`Dense` layer."""
+
+    @abc.abstractmethod
+    def conv(self, layer: Conv2D, x: np.ndarray) -> np.ndarray:
+        """2-D convolution for one :class:`Conv2D` layer (NCHW)."""
+
+    @abc.abstractmethod
+    def pool(self, layer: Module, x: np.ndarray) -> np.ndarray:
+        """Max/avg pooling for one ``_Pool2D`` layer (NCHW)."""
+
+    @abc.abstractmethod
+    def act(self, layer: Module, x: np.ndarray) -> np.ndarray:
+        """Elementwise nonlinearity for one activation layer."""
+
+    # ------------------------------------------------------------------
+    # Whole-pipeline execution
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def run(self, pipeline: Sequential, x: np.ndarray) -> np.ndarray:
+        """Forward one batch through ``pipeline`` (respects its mode)."""
+
+    def predict(
+        self, pipeline: Sequential, x: np.ndarray, batch_size: int = 128
+    ) -> np.ndarray:
+        """Batched eval-mode inference, mirroring ``Sequential.predict``."""
+        was_training = pipeline.training
+        pipeline.eval_mode()
+        try:
+            outputs = [
+                self.run(pipeline, x[i : i + batch_size])
+                for i in range(0, x.shape[0], batch_size)
+            ]
+        finally:
+            if was_training:
+                pipeline.train_mode()
+        return np.concatenate(outputs, axis=0)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"{type(self).__name__}(name={self.name!r})"

@@ -1,0 +1,133 @@
+"""Backend registry: name -> backend instance, plus default selection.
+
+Selection precedence, strongest first:
+
+1. an explicit ``backend=`` argument (name or :class:`Backend`
+   instance) on the call — ``QuantizedNetwork.infer(x, backend=...)``,
+   ``freeze(backend=...)``;
+2. a process-wide override installed with :func:`set_default` (the
+   ``--backend`` CLI flag uses this);
+3. the ``REPRO_BACKEND`` environment variable — inherited by sweep
+   worker processes, which is how ``repro sweep --backend`` reaches a
+   ``ProcessPoolExecutor``;
+4. the built-in default, ``"fused"`` (safe because the fused backend is
+   bitwise-equal to the reference path for every paper precision).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import threading
+from typing import Callable, Dict, Iterator, List, Optional, Union
+
+from repro.backends.base import Backend
+from repro.backends.fused import FusedBackend
+from repro.backends.reference import ReferenceBackend
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "DEFAULT_BACKEND",
+    "ENV_VAR",
+    "available",
+    "get",
+    "get_default",
+    "register",
+    "resolve",
+    "set_default",
+    "using_backend",
+]
+
+#: Environment variable consulted when no explicit default is set.
+ENV_VAR = "REPRO_BACKEND"
+
+#: Built-in default backend name.
+DEFAULT_BACKEND = "fused"
+
+_lock = threading.Lock()
+_factories: Dict[str, Callable[[], Backend]] = {
+    "reference": ReferenceBackend,
+    "fused": FusedBackend,
+}
+_instances: Dict[str, Backend] = {}
+_default_override: Optional[str] = None
+
+
+def register(name: str, factory: Callable[[], Backend]) -> None:
+    """Add (or replace) a backend under ``name``.
+
+    ``factory`` is called once, lazily, on the first :func:`get`;
+    re-registering drops any existing instance so the next ``get``
+    builds from the new factory.
+    """
+    if not name:
+        raise ConfigurationError("backend name must be non-empty")
+    with _lock:
+        _factories[name] = factory
+        _instances.pop(name, None)
+
+
+def available() -> List[str]:
+    """Registered backend names, sorted."""
+    with _lock:
+        return sorted(_factories)
+
+
+def get(name: str) -> Backend:
+    """The (lazily constructed, shared) backend registered as ``name``."""
+    with _lock:
+        if name not in _factories:
+            raise ConfigurationError(
+                f"unknown backend {name!r}; available: "
+                f"{', '.join(sorted(_factories))}"
+            )
+        instance = _instances.get(name)
+        if instance is None:
+            instance = _instances[name] = _factories[name]()
+            if not instance.name:
+                instance.name = name
+        return instance
+
+
+def get_default() -> str:
+    """The backend name used when no explicit backend is passed."""
+    if _default_override is not None:
+        return _default_override
+    return os.environ.get(ENV_VAR) or DEFAULT_BACKEND
+
+
+def set_default(name: Optional[str]) -> None:
+    """Install (or with ``None`` clear) the process-wide default."""
+    global _default_override
+    if name is not None:
+        with _lock:
+            if name not in _factories:
+                raise ConfigurationError(
+                    f"unknown backend {name!r}; available: "
+                    f"{', '.join(sorted(_factories))}"
+                )
+    _default_override = name
+
+
+def resolve(backend: Union[Backend, str, None] = None) -> Backend:
+    """Normalize an optional backend argument to a :class:`Backend`."""
+    if backend is None:
+        return get(get_default())
+    if isinstance(backend, str):
+        return get(backend)
+    if isinstance(backend, Backend):
+        return backend
+    raise ConfigurationError(
+        f"backend must be a name or Backend instance, got {type(backend).__name__}"
+    )
+
+
+@contextlib.contextmanager
+def using_backend(name: str) -> Iterator[Backend]:
+    """Temporarily make ``name`` the process-wide default backend."""
+    previous = _default_override
+    set_default(name)
+    try:
+        yield get(name)
+    finally:
+        set_default(previous)

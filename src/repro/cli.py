@@ -60,7 +60,7 @@ from typing import List, Optional
 
 import numpy as np
 
-from repro import core, hw, nn, obs, registry, serve
+from repro import backends, core, hw, nn, obs, registry, serve
 from repro.core.precision import PAPER_PRECISIONS
 from repro.resilience import DegradePolicy, chaos_preset, use_injector
 from repro.core.sweep import PrecisionSweep, SweepConfig
@@ -190,7 +190,23 @@ def cmd_export_rtl(args: argparse.Namespace) -> int:
     return 0
 
 
+def _apply_backend(args: argparse.Namespace) -> str:
+    """Honor a ``--backend`` flag for this process and its children.
+
+    Installs the choice both as the process-wide default (used by every
+    in-process ``infer``/``freeze``) and in the environment, so sweep
+    worker processes spawned by a ``ProcessPoolExecutor`` inherit it.
+    Returns the effective backend name.
+    """
+    name = getattr(args, "backend", None)
+    if name:
+        backends.set_default(name)
+        os.environ[backends.ENV_VAR] = name
+    return backends.get_default()
+
+
 def cmd_serve_bench(args: argparse.Namespace) -> int:
+    backend_name = _apply_backend(args)
     art_store = channel = None
     if args.registry:
         art_store = registry.ArtifactStore(args.registry)
@@ -207,6 +223,7 @@ def cmd_serve_bench(args: argparse.Namespace) -> int:
         weight_paths={args.network: args.weights} if args.weights else None,
         calibration_images=args.calibration,
         seed=args.seed,
+        backend=backend_name,
     )
     rollout = None
     if channel is not None:
@@ -227,7 +244,8 @@ def cmd_serve_bench(args: argparse.Namespace) -> int:
         print(
             f"serving {args.network} at {spec.label}: "
             f"{servable.memory_kb:.0f} KB footprint, "
-            f"{servable.energy_uj_per_image:.3f} uJ/image modeled"
+            f"{servable.energy_uj_per_image:.3f} uJ/image modeled, "
+            f"{backend_name} backend"
         )
         if rollout is not None:
             print(f"registry rollout        : {args.channel} "
@@ -283,6 +301,7 @@ def cmd_serve_bench(args: argparse.Namespace) -> int:
         payload = {
             "network": args.network,
             "precision": spec.key,
+            "backend": backend_name,
             "requests": args.requests,
             "concurrency": args.concurrency,
             "workers": args.workers,
@@ -349,6 +368,7 @@ def cmd_serve_bench(args: argparse.Namespace) -> int:
 
 
 def cmd_profile(args: argparse.Namespace) -> int:
+    backend_name = _apply_backend(args)
     info = network_info(args.network)
     spec = core.PrecisionSpec.parse(args.precision)
     limit = max(args.limit, 1)
@@ -374,11 +394,29 @@ def cmd_profile(args: argparse.Namespace) -> int:
         metrics=obs.get_metrics(),
     )
     with profiler:
+        # under the profiler every layer carries an instance-level
+        # forward wrapper, so any backend degrades to per-unit reference
+        # calls here — the layer table always measures the real layers
         logits = qnet.predict(images)
     profiler.annotate(
         "quant_rms",
         {name.rsplit(".", 1)[0]: err for name, err in quant_errors.items()},
     )
+
+    # Fused-kernel view: a second, unwrapped pass on the selected
+    # backend, timed per unit, plus a bitwise parity gate against the
+    # profiled (reference-path) logits.
+    impl = backends.get(backend_name)
+    kernel_rows = parity_ok = None
+    if isinstance(impl, backends.FusedBackend):
+        impl.reset_stats()
+        impl.profiling = True
+        try:
+            fused_logits = qnet.infer(images, backend=impl)
+        finally:
+            impl.profiling = False
+        kernel_rows = impl.kernel_stats()
+        parity_ok = fused_logits.tobytes() == logits.tobytes()
 
     test_accuracy = nn.accuracy(logits, split.test.labels[:limit])
     sim_report = None
@@ -391,6 +429,7 @@ def cmd_profile(args: argparse.Namespace) -> int:
             "network": args.network,
             "dataset": info.dataset,
             "precision": spec.key,
+            "backend": backend_name,
             "images": int(images.shape[0]),
             "accuracy": float(test_accuracy),
             "total_flops": profiler.total_flops(),
@@ -398,20 +437,43 @@ def cmd_profile(args: argparse.Namespace) -> int:
             "layers": [stats.as_dict() for stats in profiler.stats()],
             "metrics": obs.get_metrics().snapshot(),
         }
+        if kernel_rows is not None:
+            payload["kernels"] = kernel_rows
+            payload["kernels_parity"] = bool(parity_ok)
         if sim_report is not None:
             payload["sim"] = sim_report.as_dict()
         print(json.dumps(payload, indent=2))
-        return 0
+        return 0 if parity_ok in (None, True) else 1
 
     print(f"profile: {args.network} on {info.dataset} at {spec.label}, "
           f"{images.shape[0]} images "
-          f"(accuracy {100 * test_accuracy:.2f}%)")
+          f"(accuracy {100 * test_accuracy:.2f}%, {backend_name} backend)")
     print()
     print(profiler.table())
+    if kernel_rows is not None:
+        total_s = sum(row["seconds"] for row in kernel_rows) or 1.0
+        print()
+        print(format_table(
+            ["Unit", "Kind", "Fused", "Calls", "Time ms", "%"],
+            [
+                [
+                    row["unit"],
+                    row["kind"],
+                    "yes" if row["fused"] else "fallback",
+                    row["calls"],
+                    f"{1e3 * row['seconds']:.2f}",
+                    f"{100 * row['seconds'] / total_s:.1f}",
+                ]
+                for row in kernel_rows
+            ],
+            title=f"fused kernels ({backend_name} backend)",
+        ))
+        print(f"fused vs reference logits: "
+              f"{'bitwise equal' if parity_ok else 'MISMATCH'}")
     if sim_report is not None:
         print()
         print(sim_report.format())
-    return 0
+    return 0 if parity_ok in (None, True) else 1
 
 
 def cmd_simulate(args: argparse.Namespace) -> int:
@@ -502,6 +564,7 @@ def cmd_simulate(args: argparse.Namespace) -> int:
 
 
 def cmd_sweep(args: argparse.Namespace) -> int:
+    backend_name = _apply_backend(args)
     info = network_info(args.network)
     split = load_dataset(info.dataset, n_train=args.n_train,
                          n_test=args.n_test, seed=args.seed)
@@ -558,6 +621,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         payload = {
             "network": args.network,
             "dataset": info.dataset,
+            "backend": backend_name,
             "workers": args.workers,
             "elapsed_s": elapsed,
             "cache_dir": store.root if store is not None else None,
@@ -835,6 +899,9 @@ def build_parser() -> argparse.ArgumentParser:
                             "(overrides --network/--precision/--weights)")
     bench.add_argument("--channel", default="prod",
                        help="registry channel to deploy (with --registry)")
+    bench.add_argument("--backend", default="",
+                       help="compute backend servables are frozen onto "
+                            "(default: process default, normally fused)")
     bench.add_argument("--json", action="store_true",
                        help="emit the report as JSON instead of text")
     bench.set_defaults(func=cmd_serve_bench)
@@ -861,6 +928,10 @@ def build_parser() -> argparse.ArgumentParser:
     profile.add_argument("--sim", action="store_true",
                          help="append the cycle-level simulation view "
                               "(cycles, utilization, stall breakdown)")
+    profile.add_argument("--backend", default="",
+                         help="compute backend; with fused, appends the "
+                              "per-unit kernel table and a bitwise "
+                              "parity gate against the reference path")
     profile.set_defaults(func=cmd_profile)
 
     simulate = sub.add_parser(
@@ -935,6 +1006,10 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--publish", default="", metavar="ROOT",
                        help="publish every converged point as a registry "
                             "artifact under this root")
+    sweep.add_argument("--backend", default="",
+                       help="compute backend for evaluation forwards; "
+                            "exported via REPRO_BACKEND so sweep worker "
+                            "processes inherit it")
     sweep.add_argument("--json", action="store_true",
                        help="emit results and cache stats as JSON")
     sweep.set_defaults(func=cmd_sweep)

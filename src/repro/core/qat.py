@@ -64,8 +64,8 @@ class QATTrainer(Trainer):
             loss=loss,
             batch_size=batch_size,
             rng=rng,
-            before_step=quantized_network.swap_in_quantized,
-            after_step=quantized_network.restore_shadow,
+            before_step=quantized_network._swap_in_quantized,
+            after_step=quantized_network._restore_shadow,
             restore_best=restore_best,
         )
 

@@ -20,9 +20,13 @@ from __future__ import annotations
 import contextlib
 import threading
 import time
-from typing import Callable, Dict, List, Optional, Union
+import warnings
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Set, Union
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.backends import Backend
 
 from repro.core.factory import make_quantizers
 from repro.core.fake_quant import FakeQuantLayer
@@ -37,6 +41,28 @@ from repro.nn.module import Module
 from repro.nn.network import Sequential
 from repro.nn.pooling import MaxPool2D
 from repro.nn.tensor import Parameter
+
+
+_DEPRECATION_WARNED: Set[str] = set()
+
+
+def _warn_once(name: str, alternative: str) -> None:
+    """Emit one DeprecationWarning per deprecated entry point per process."""
+    if name in _DEPRECATION_WARNED:
+        return
+    _DEPRECATION_WARNED.add(name)
+    warnings.warn(
+        f"QuantizedNetwork.{name}() is deprecated; use {alternative} instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+def _resolve_backend(backend: Union["Backend", str, None]) -> "Backend":
+    """Late-bound backend resolution (``repro.backends`` imports core)."""
+    from repro import backends
+
+    return backends.resolve(backend)
 
 
 def _needs_activation_quant(layer: Module) -> bool:
@@ -63,6 +89,10 @@ class QuantizedNetwork:
             the spec would select (used by the radix-placement ablation
             benchmarks); ``None`` uses
             :func:`repro.core.make_quantizers`.
+        backend: the :mod:`repro.backends` compute backend used by
+            :meth:`infer` / :meth:`predict` / :meth:`evaluate` when no
+            per-call backend is given — a name, a ``Backend`` instance,
+            or ``None`` for the process default.
     """
 
     def __init__(
@@ -72,10 +102,12 @@ class QuantizedNetwork:
         quantize_bias: bool = True,
         weight_quantizer: Optional[Quantizer] = None,
         activation_factory: Optional[Callable[[], Quantizer]] = None,
+        backend: Union["Backend", str, None] = None,
     ):
         spec = PrecisionSpec.parse(spec)
         self.network = network
         self.spec = spec
+        self.backend = backend
         default_weight, default_factory = make_quantizers(spec)
         self.weight_quantizer = weight_quantizer or default_weight
         activation_factory = activation_factory or default_factory
@@ -129,7 +161,7 @@ class QuantizedNetwork:
             quantized[id(param)] = self.bias_quantizer.quantize(param.data)
         return quantized
 
-    def swap_in_quantized(self) -> None:
+    def _swap_in_quantized(self) -> None:
         """Replace parameter data with quantized values (shadow saved).
 
         Swapping mutates the ``Parameter`` objects *shared with the float
@@ -147,7 +179,7 @@ class QuantizedNetwork:
                 self._shadow[id(param)] = param.data.copy()
                 param.data[...] = quantized[id(param)]
 
-    def restore_shadow(self) -> None:
+    def _restore_shadow(self) -> None:
         """Restore the full-precision shadow values saved by swap-in."""
         with self._swap_lock:
             if self._shadow is None:
@@ -155,6 +187,18 @@ class QuantizedNetwork:
             for param in self._weight_params + self._bias_params:
                 param.data[...] = self._shadow[id(param)]
             self._shadow = None
+
+    def swap_in_quantized(self) -> None:
+        """Deprecated: use the :meth:`quantized_weights` context manager
+        (or :meth:`freeze` for concurrent inference) instead of a raw
+        swap-in/restore pair.  Warns once per process, then swaps."""
+        _warn_once("swap_in_quantized", "the quantized_weights() context manager")
+        self._swap_in_quantized()
+
+    def restore_shadow(self) -> None:
+        """Deprecated counterpart of :meth:`swap_in_quantized`."""
+        _warn_once("restore_shadow", "the quantized_weights() context manager")
+        self._restore_shadow()
 
     @contextlib.contextmanager
     def quantized_weights(self):
@@ -166,21 +210,24 @@ class QuantizedNetwork:
         :class:`ConfigurationError`; concurrent serving should go through
         :meth:`freeze` / :class:`FrozenQuantizedNetwork`.
         """
-        self.swap_in_quantized()
+        self._swap_in_quantized()
         try:
             yield self
         finally:
-            self.restore_shadow()
+            self._restore_shadow()
 
-    def freeze(self) -> "FrozenQuantizedNetwork":
+    def freeze(
+        self, backend: Union["Backend", str, None] = None
+    ) -> "FrozenQuantizedNetwork":
         """Bake quantized weights in and return a thread-safe view.
 
         See :class:`FrozenQuantizedNetwork`; while frozen, the underlying
         float network holds the quantized values and further swaps are
         rejected.  Call :meth:`FrozenQuantizedNetwork.thaw` to restore the
-        full-precision weights.
+        full-precision weights.  ``backend`` pins the compute backend the
+        frozen view runs on (``None`` follows this network's backend).
         """
-        return FrozenQuantizedNetwork(self)
+        return FrozenQuantizedNetwork(self, backend=backend)
 
     # ------------------------------------------------------------------
     # Inference
@@ -195,10 +242,27 @@ class QuantizedNetwork:
         finally:
             self.pipeline.eval_mode()
 
-    def predict(self, images: np.ndarray, batch_size: int = 128) -> np.ndarray:
-        """Quantized inference logits."""
+    def infer(
+        self,
+        images: np.ndarray,
+        batch_size: int = 128,
+        backend: Union["Backend", str, None] = None,
+    ) -> np.ndarray:
+        """Quantized inference logits — the single public entry point.
+
+        Quantized weights are swapped in for the duration of the call and
+        the batch loop runs on a :mod:`repro.backends` compute backend.
+        ``backend`` overrides, per call, the backend chosen at
+        construction (which in turn defaults to the process-wide
+        selection — see :func:`repro.backends.get_default`).
+        """
+        impl = _resolve_backend(backend if backend is not None else self.backend)
         with self.quantized_weights():
-            return self.pipeline.predict(images, batch_size=batch_size)
+            return impl.predict(self.pipeline, images, batch_size=batch_size)
+
+    def predict(self, images: np.ndarray, batch_size: int = 128) -> np.ndarray:
+        """Quantized inference logits (alias of :meth:`infer`)."""
+        return self.infer(images, batch_size=batch_size)
 
     def evaluate(self, images: np.ndarray, labels: np.ndarray) -> EvalResult:
         """Quantized test accuracy as an :class:`EvalResult`.
@@ -252,10 +316,12 @@ class FrozenQuantizedNetwork:
     values.  Freezing removes the mutation from the inference path:
     quantized parameter copies are precomputed once and installed for the
     lifetime of the frozen view, the pipeline is put in eval mode, and
-    ``forward`` runs the (now read-only) pipeline directly.  Every layer
-    caches backward state only in training mode, so concurrent forwards
-    do not interfere — this is what lets a serving engine share one
-    calibrated network across a pool of worker threads.
+    ``forward`` runs the (now read-only) pipeline on the backend resolved
+    at freeze time (``freeze(backend=...)``).  Every layer caches
+    backward state only in training mode, and the fused backend keeps its
+    plan and workspaces thread-local, so concurrent forwards do not
+    interfere — this is what lets a serving engine share one calibrated
+    network across a pool of worker threads.
 
     While frozen, the underlying float network holds the quantized
     values; :meth:`thaw` restores the full-precision shadow and
@@ -264,11 +330,20 @@ class FrozenQuantizedNetwork:
     :class:`ConfigurationError` (the swap slot is occupied).
     """
 
-    def __init__(self, qnet: QuantizedNetwork):
+    def __init__(
+        self,
+        qnet: QuantizedNetwork,
+        backend: Union["Backend", str, None] = None,
+    ):
         self.qnet = qnet
         self.spec = qnet.spec
         self.pipeline = qnet.pipeline
-        qnet.swap_in_quantized()
+        # Resolved once at freeze time so every serving thread runs the
+        # same backend for the lifetime of this view.
+        self.backend = _resolve_backend(
+            backend if backend is not None else qnet.backend
+        )
+        qnet._swap_in_quantized()
         self.pipeline.eval_mode()
         self._active = True
 
@@ -283,7 +358,7 @@ class FrozenQuantizedNetwork:
     def forward(self, batch: np.ndarray) -> np.ndarray:
         """Quantized logits for one NCHW batch (thread-safe)."""
         self._check_active()
-        return self.pipeline.forward(batch)
+        return self.backend.run(self.pipeline, batch)
 
     def predict(self, images: np.ndarray, batch_size: int = 128) -> np.ndarray:
         """Batched quantized inference logits (thread-safe)."""
@@ -310,7 +385,7 @@ class FrozenQuantizedNetwork:
         """Restore full-precision weights and invalidate this view."""
         self._check_active()
         self._active = False
-        self.qnet.restore_shadow()
+        self.qnet._restore_shadow()
         return self.qnet
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

@@ -1,0 +1,417 @@
+"""Fused, buffer-reusing inference kernels.
+
+Each kernel collapses what the layer-by-layer reference path does in
+several numpy passes (quantize -> im2col/matmul -> clip -> activation,
+each allocating temporaries) into the minimum number of vectorized
+passes over preallocated :class:`~repro.kernels.workspace.Workspace`
+buffers.  Clipping and the ReLU both use the mask idiom of the
+dianaSDK ``SIMDModelClass`` hardware model: build a boolean mask, then
+patch the masked lanes in place instead of materializing branch
+temporaries.
+
+Every kernel is **bitwise-equal** to the reference implementation it
+replaces (``repro.nn`` layer ``forward`` + ``FakeQuantLayer``).  Three
+equalities carry the speed without breaking that contract:
+
+- *float32 quantization*: scaling by a power of two is exact in
+  float32, so for word lengths whose code range fits a float32
+  mantissa (``bits <= 24``) the whole round/saturate/rescale chain can
+  run at single precision in place — the reference's float64 round
+  trip is only kept for ``fixed32``;
+- *channel-major (CHWN) activations*: the im2col matmul naturally
+  produces ``(C_out, OH, OW, N)``; since quantize/ReLU are elementwise
+  and pooling windows are layout-agnostic, downstream kernels accept
+  that layout directly and the NCHW transpose-copy the reference pays
+  after every convolution happens at most once (at ``Flatten`` or a
+  fallback boundary);
+- *in-place updates*: a tensor owned by scratch memory is quantized
+  and rectified where it sits instead of into a fresh buffer.
+
+The property tests in ``tests/kernels/test_parity.py`` enforce bitwise
+output parity for every Table III precision.
+
+Quantization fuses only for the plain round-to-nearest
+:class:`~repro.core.fixed_point.FixedPointQuantizer` (the activation
+format of every non-float paper precision); anything else — stochastic
+rounding, per-channel or custom quantizers — must go through the
+quantizer's own ``quantize`` so semantics are never silently changed.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Optional
+
+import numpy as np
+
+from repro.core.fixed_point import FixedPointQuantizer
+from repro.core.quantizers import IdentityQuantizer, Quantizer
+from repro.kernels.workspace import Workspace
+
+__all__ = [
+    "fusable_quantizer",
+    "fused_quantize",
+    "fused_dense",
+    "fused_conv2d",
+    "fused_maxpool",
+    "fused_avgpool",
+    "fused_relu_quantize",
+    "im2col_into",
+    "to_nchw",
+]
+
+
+def fusable_quantizer(quantizer: Optional[Quantizer]) -> bool:
+    """Can the fused clip/round path legally replace ``quantizer``?
+
+    ``True`` for ``None``, identity pass-through, and the exact
+    round-to-nearest :class:`FixedPointQuantizer` (subclasses excluded:
+    they may redefine the grid).  Everything else must fall back to the
+    quantizer's own ``quantize``.
+    """
+    if quantizer is None or type(quantizer) is IdentityQuantizer:
+        return True
+    return (
+        type(quantizer) is FixedPointQuantizer
+        and not quantizer.stochastic_rounding
+    )
+
+
+def _quantize_core(
+    quantizer: FixedPointQuantizer,
+    x: np.ndarray,
+    frac_bits: int,
+    ws: Workspace,
+    key: Hashable,
+    in_place: bool,
+) -> np.ndarray:
+    """scale -> rint -> clip -> rescale, matching the reference bit for bit.
+
+    Fast path: with ``bits <= 24`` every clipped code is exactly
+    representable in a float32 mantissa, and ``2^frac`` scaling is an
+    exact exponent shift while the scale itself is a normal float32
+    (``-126 <= frac <= 127``), so multiply/rint/clip/divide at single
+    precision produce the identical bit pattern the reference's
+    float64 round trip does (brute-force-verified across saturation,
+    subnormal and non-finite corners).  ``fixed32`` codes exceed the
+    float32 mantissa, so that width keeps the float64 chain.
+    """
+    scale = float(2.0**frac_bits)
+    q_min = float(-(2 ** (quantizer.bits - 1)))
+    q_max = float(2 ** (quantizer.bits - 1) - 1)
+    if quantizer.bits <= 24 and -126 <= frac_bits <= 127:
+        out = x if in_place else ws.get((key, "q32"), x.shape, np.float32)
+        # saturated lanes may overflow float32 pre-clip; the clip heals
+        # them to the same codes the float64 path produces
+        with np.errstate(over="ignore"):
+            np.multiply(x, scale, out=out)
+        np.rint(out, out=out)
+        np.clip(out, q_min, q_max, out=out)
+        np.divide(out, scale, out=out)
+        return out
+    buf64 = ws.get((key, "q64"), x.shape, np.float64)
+    out = x if in_place else ws.get((key, "q32"), x.shape, np.float32)
+    np.multiply(x, scale, out=buf64)
+    np.rint(buf64, out=buf64)
+    np.clip(buf64, q_min, q_max, out=buf64)
+    np.divide(buf64, scale, out=buf64)
+    np.copyto(out, buf64, casting="unsafe")
+    return out
+
+
+def fused_quantize(
+    quantizer: Optional[Quantizer],
+    x: np.ndarray,
+    range_hint: Optional[float],
+    ws: Workspace,
+    key: Hashable,
+    in_place: bool = False,
+) -> np.ndarray:
+    """Quantize ``x`` into scratch (or, with ``in_place``, into ``x``).
+
+    The caller must have checked :func:`fusable_quantizer`; an identity
+    quantizer is a true pass-through (float32 in, same array out), so
+    no buffer is touched.  ``in_place`` may only be set when ``x`` is
+    memory the caller owns (a workspace buffer or a dead temporary) —
+    never on the user's input array.
+    """
+    if quantizer is None:
+        return x
+    if type(quantizer) is IdentityQuantizer:
+        return np.asarray(x, dtype=np.float32)
+    x = np.asarray(x, dtype=np.float32)
+    frac = quantizer.resolve_frac_bits(x, range_hint)
+    return _quantize_core(quantizer, x, frac, ws, key, in_place)
+
+
+def fused_relu_quantize(
+    quantizer: Optional[Quantizer],
+    x: np.ndarray,
+    range_hint: Optional[float],
+    ws: Workspace,
+    key: Hashable,
+    in_place: bool = False,
+) -> np.ndarray:
+    """ReLU and activation quantization as one mask-based pass.
+
+    Instead of materializing ``relu(x)`` and quantizing the result, the
+    kernel quantizes ``x`` directly and then zeroes the non-positive
+    lanes through a mask — quantization is monotonic and positive
+    values quantize identically either way, while every masked lane
+    lands on exactly ``+0.0``, just as ``np.where(x > 0, x, 0)``
+    followed by quantization would.
+
+    The dynamic radix point (no hint, uncalibrated tracker) is placed
+    from the *rectified* range: ``max(x, 0)`` is the largest magnitude
+    the reference quantizer would ever see after the ReLU.
+    """
+    # ~(x > 0) rather than (x <= 0): identical for finite lanes, and a
+    # NaN lane zeroes exactly as the reference's np.where(x > 0, ...)
+    mask = ws.get((key, "mask"), x.shape, np.bool_)
+    np.greater(x, 0, out=mask)
+    np.logical_not(mask, out=mask)
+    if quantizer is None or type(quantizer) is IdentityQuantizer:
+        if in_place:
+            out = x
+        else:
+            out = ws.get((key, "relu"), x.shape, np.float32)
+            np.copyto(out, x)
+        np.copyto(out, 0.0, where=mask)
+        return out
+    if quantizer.frac_bits is not None:
+        frac = quantizer.frac_bits
+    elif range_hint is not None:
+        frac = quantizer.frac_bits_for(range_hint)
+    else:
+        frac = quantizer.frac_bits_for(float(np.max(x, initial=0.0)))
+    out = _quantize_core(quantizer, x, frac, ws, key, in_place)
+    np.copyto(out, 0.0, where=mask)
+    return out
+
+
+def fused_dense(
+    x: np.ndarray,
+    weight: np.ndarray,
+    bias: Optional[np.ndarray],
+    ws: Workspace,
+    key: Hashable,
+) -> np.ndarray:
+    """``x @ W + b`` straight into a workspace buffer."""
+    out = ws.get((key, "out"), (x.shape[0], weight.shape[1]), np.float32)
+    np.matmul(x, weight, out=out)
+    if bias is not None:
+        out += bias
+    return out
+
+
+def im2col_into(
+    src: np.ndarray,
+    kernel: int,
+    stride: int,
+    out_h: int,
+    out_w: int,
+    cols: np.ndarray,
+    chwn: bool = False,
+) -> np.ndarray:
+    """Lower ``src`` (already padded) into the ``cols`` buffer.
+
+    Produces the exact ``(C*K*K, OHW*N)`` layout of
+    :func:`repro.nn.im2col.im2col` — row ``c*K*K + ki*K + kj``, column
+    ``o*N + n`` — via strided-view assignments, so the only writes land
+    in the preallocated buffer.  ``src`` is NCHW by default; with
+    ``chwn`` it is channel-major ``(C, H, W, N)``, whose shifted views
+    already match the column layout with no per-patch transpose.
+    """
+    c = src.shape[0] if chwn else src.shape[1]
+    out5 = cols.reshape(c, kernel * kernel, out_h, out_w, -1)
+    for ki in range(kernel):
+        row = ki * kernel
+        for kj in range(kernel):
+            if chwn:
+                out5[:, row + kj] = src[
+                    :, ki : ki + stride * out_h : stride, kj : kj + stride * out_w : stride
+                ]
+            else:
+                view = src[
+                    :, :, ki : ki + stride * out_h : stride, kj : kj + stride * out_w : stride
+                ]
+                out5[:, row + kj] = view.transpose(1, 2, 3, 0)
+    return cols
+
+
+def fused_conv2d(
+    x: np.ndarray,
+    weight: np.ndarray,
+    bias: Optional[np.ndarray],
+    stride: int,
+    padding: int,
+    out_h: int,
+    out_w: int,
+    ws: Workspace,
+    key: Hashable,
+    chwn_in: bool = False,
+) -> np.ndarray:
+    """im2col convolution with every intermediate in workspace buffers.
+
+    One padded copy (only when ``padding > 0``), one strided im2col
+    fill, one BLAS matmul with ``out=``, and an in-place bias add.
+
+    Returns the result in **channel-major** layout ``(C_out, OH, OW,
+    N)`` — a free reshape of the matmul buffer; the reference path's
+    per-layer NCHW transpose-copy is deferred to whoever actually
+    needs NCHW (``to_nchw``).  Input may be NCHW or, with ``chwn_in``,
+    channel-major.
+    """
+    if chwn_in:
+        c, h, w, n = x.shape
+    else:
+        n, c, h, w = x.shape
+    out_c, _, kernel, _ = weight.shape
+    if padding > 0:
+        if chwn_in:
+            pad = ws.get((key, "pad"), (c, h + 2 * padding, w + 2 * padding, n))
+            pad.fill(0.0)
+            pad[:, padding : padding + h, padding : padding + w, :] = x
+        else:
+            pad = ws.get((key, "pad"), (n, c, h + 2 * padding, w + 2 * padding))
+            pad.fill(0.0)
+            pad[:, :, padding : padding + h, padding : padding + w] = x
+        src = pad
+    else:
+        src = x
+    cols = ws.get((key, "cols"), (c * kernel * kernel, n * out_h * out_w))
+    im2col_into(src, kernel, stride, out_h, out_w, cols, chwn=chwn_in)
+    w_mat = weight.reshape(out_c, -1)
+    mm = ws.get((key, "mm"), (out_c, n * out_h * out_w))
+    np.matmul(w_mat, cols, out=mm)
+    if bias is not None:
+        mm += bias[:, None]
+    return mm.reshape(out_c, out_h, out_w, n)
+
+
+def to_nchw(x: np.ndarray, ws: Workspace, key: Hashable) -> np.ndarray:
+    """Transpose-copy a channel-major ``(C, H, W, N)`` tensor to NCHW."""
+    c, h, w, n = x.shape
+    out = ws.get((key, "nchw"), (n, c, h, w))
+    np.copyto(out, x.transpose(3, 0, 1, 2))
+    return out
+
+
+def _pooled_source(
+    x: np.ndarray,
+    kernel: int,
+    stride: int,
+    padding: int,
+    out_h: int,
+    out_w: int,
+    fill: float,
+    ws: Workspace,
+    key: Hashable,
+    chwn: bool,
+) -> np.ndarray:
+    """Pad so every (possibly partial, ceil-mode) window is materialized.
+
+    Mirrors ``_Pool2D._padded``; when no padding is needed the input is
+    used directly — the reference's unconditional ``np.pad`` copy is
+    pure data movement, so skipping it cannot change any value.
+    """
+    h, w = (x.shape[1], x.shape[2]) if chwn else (x.shape[2], x.shape[3])
+    need_h = (out_h - 1) * stride + kernel
+    need_w = (out_w - 1) * stride + kernel
+    pad_bottom = max(0, need_h - h - padding)
+    pad_right = max(0, need_w - w - padding)
+    if padding == 0 and pad_bottom == 0 and pad_right == 0:
+        return x
+    full_h = padding + h + pad_bottom
+    full_w = padding + w + pad_right
+    if chwn:
+        pad = ws.get((key, "pad"), (x.shape[0], full_h, full_w, x.shape[3]))
+        pad.fill(fill)
+        pad[:, padding : padding + h, padding : padding + w, :] = x
+    else:
+        pad = ws.get((key, "pad"), (x.shape[0], x.shape[1], full_h, full_w))
+        pad.fill(fill)
+        pad[:, :, padding : padding + h, padding : padding + w] = x
+    return pad
+
+
+def _pool_views(src, kernel, stride, out_h, out_w, chwn):
+    for ki in range(kernel):
+        for kj in range(kernel):
+            if chwn:
+                yield src[
+                    :, ki : ki + stride * out_h : stride, kj : kj + stride * out_w : stride, :
+                ]
+            else:
+                yield src[
+                    :, :, ki : ki + stride * out_h : stride, kj : kj + stride * out_w : stride
+                ]
+
+
+def _pool_out(x, out_h, out_w, ws, key, chwn):
+    if chwn:
+        return ws.get((key, "out"), (x.shape[0], out_h, out_w, x.shape[3]))
+    return ws.get((key, "out"), (x.shape[0], x.shape[1], out_h, out_w))
+
+
+def fused_maxpool(
+    x: np.ndarray,
+    kernel: int,
+    stride: int,
+    padding: int,
+    out_h: int,
+    out_w: int,
+    ws: Workspace,
+    key: Hashable,
+    chwn: bool = False,
+) -> np.ndarray:
+    """Max pooling as a running ``np.maximum`` over the k*k shifted views.
+
+    The reference stacks all k*k views and takes the argmax; the
+    running maximum selects the same values without the (K*K, N, C,
+    OH, OW) stack allocation.  Output layout follows the input layout.
+    """
+    src = _pooled_source(
+        x, kernel, stride, padding, out_h, out_w, -np.inf, ws, key, chwn
+    )
+    out = _pool_out(x, out_h, out_w, ws, key, chwn)
+    first = True
+    for view in _pool_views(src, kernel, stride, out_h, out_w, chwn):
+        if first:
+            np.copyto(out, view)
+            first = False
+        else:
+            np.maximum(out, view, out=out)
+    return out
+
+
+def fused_avgpool(
+    x: np.ndarray,
+    kernel: int,
+    stride: int,
+    padding: int,
+    out_h: int,
+    out_w: int,
+    ws: Workspace,
+    key: Hashable,
+    chwn: bool = False,
+) -> np.ndarray:
+    """Average pooling as a running float32 sum over the shifted views.
+
+    Sequential accumulation in view order matches ``np.mean(axis=0)``
+    over the reference's stacked windows bit for bit (numpy reduces a
+    leading axis sequentially), including the final division by the
+    full window size (Caffe ``AVE`` semantics).
+    """
+    src = _pooled_source(
+        x, kernel, stride, padding, out_h, out_w, 0.0, ws, key, chwn
+    )
+    out = _pool_out(x, out_h, out_w, ws, key, chwn)
+    first = True
+    for view in _pool_views(src, kernel, stride, out_h, out_w, chwn):
+        if first:
+            np.copyto(out, view)
+            first = False
+        else:
+            out += view
+    np.divide(out, float(kernel * kernel), out=out)
+    return out

@@ -1,0 +1,71 @@
+"""Preallocated, reusable kernel buffers.
+
+Every fused kernel writes into buffers owned by a :class:`Workspace`
+instead of allocating fresh arrays per batch.  Buffers are keyed by
+``(name, shape, dtype)``: re-running the same batch shape reuses the
+existing buffer (``hits`` grows, ``allocations`` does not), while a
+batch-size change is revalidated into a freshly sized buffer — exactly
+the contract the buffer-reuse tests lock.
+
+A workspace is **not** thread-safe; the fused backend keeps one
+workspace per (pipeline, thread), which is what makes lock-free
+concurrent serving possible on top of mutable scratch memory.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Tuple
+
+import numpy as np
+
+__all__ = ["Workspace"]
+
+
+class Workspace:
+    """Named scratch buffers reused across kernel invocations."""
+
+    def __init__(self) -> None:
+        self._buffers: Dict[Tuple[Hashable, Tuple[int, ...], np.dtype], np.ndarray] = {}
+        self.allocations = 0
+        self.hits = 0
+
+    def get(
+        self,
+        key: Hashable,
+        shape: Tuple[int, ...],
+        dtype: "np.typing.DTypeLike" = np.float32,
+    ) -> np.ndarray:
+        """Fetch (allocating on first use) the buffer for ``key``/``shape``.
+
+        Contents are unspecified on return — kernels must fully
+        overwrite the region they read back.  Distinct shapes under the
+        same key coexist, so a trailing partial batch does not thrash
+        the full-batch buffers.
+        """
+        full_key = (key, tuple(int(s) for s in shape), np.dtype(dtype))
+        buffer = self._buffers.get(full_key)
+        if buffer is None:
+            buffer = np.empty(full_key[1], dtype=full_key[2])
+            self._buffers[full_key] = buffer
+            self.allocations += 1
+        else:
+            self.hits += 1
+        return buffer
+
+    def __len__(self) -> int:
+        return len(self._buffers)
+
+    @property
+    def nbytes(self) -> int:
+        """Total bytes held by live buffers."""
+        return sum(buffer.nbytes for buffer in self._buffers.values())
+
+    def clear(self) -> None:
+        """Drop every buffer (counters keep their history)."""
+        self._buffers.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Workspace({len(self._buffers)} buffers, {self.nbytes / 1024:.0f} KB, "
+            f"{self.allocations} allocs / {self.hits} hits)"
+        )

@@ -20,7 +20,10 @@ class Flatten(Module):
         self._cache_shape: Optional[tuple] = None
 
     def forward(self, x: np.ndarray) -> np.ndarray:
-        self._cache_shape = x.shape
+        if self.training:
+            # Cached only for backward; writing it in eval mode would let
+            # concurrent frozen-network forwards race on shared state.
+            self._cache_shape = x.shape
         return x.reshape(x.shape[0], -1)
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:

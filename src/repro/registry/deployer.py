@@ -111,7 +111,7 @@ class Deployer:
         footprint = network_memory_footprint(network, info.input_shape, spec)
         return Servable(
             key=ModelKey(network=manifest.network, precision=manifest.precision),
-            frozen=qnet.freeze(),
+            frozen=qnet.freeze(backend=self.model_store.backend),
             input_shape=info.input_shape,
             memory_kb=footprint.total_kb,
             energy_uj_per_image=energy.energy_uj,

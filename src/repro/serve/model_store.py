@@ -103,12 +103,15 @@ class ModelStore:
         energy_model: Optional[EnergyModel] = None,
         seed: int = 0,
         retry_policy: Optional[RetryPolicy] = None,
+        backend: Optional[str] = None,
     ):
         self.memory_budget_kb = memory_budget_kb
         self.weight_paths = dict(weight_paths or {})
         self.calibration_images = calibration_images
         self.energy_model = energy_model or EnergyModel()
         self.seed = seed
+        #: compute backend every servable is frozen onto (None = default)
+        self.backend = backend
         self.retry_policy = retry_policy or RetryPolicy(
             max_attempts=3, base_delay_s=0.01, max_delay_s=0.25
         )
@@ -153,7 +156,7 @@ class ModelStore:
         footprint = network_memory_footprint(network, info.input_shape, spec)
         return Servable(
             key=key,
-            frozen=qnet.freeze(),
+            frozen=qnet.freeze(backend=self.backend),
             input_shape=info.input_shape,
             memory_kb=footprint.total_kb,
             energy_uj_per_image=energy.energy_uj,

@@ -1,0 +1,209 @@
+"""Backend registry, selection precedence, and entry-point contracts."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro import backends, core, nn
+from repro.errors import ConfigurationError
+from tests.conftest import make_tiny_cnn
+
+
+@pytest.fixture(autouse=True)
+def clean_selection(monkeypatch):
+    """Isolate each test from process-wide default / env leakage."""
+    monkeypatch.delenv(backends.ENV_VAR, raising=False)
+    backends.set_default(None)
+    yield
+    backends.set_default(None)
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+def test_builtin_backends_registered():
+    assert backends.available() == ["fused", "reference"]
+    assert backends.get("reference").name == "reference"
+    assert backends.get("fused").name == "fused"
+    # instances are shared singletons
+    assert backends.get("fused") is backends.get("fused")
+
+
+def test_unknown_backend_raises_with_choices():
+    with pytest.raises(ConfigurationError, match="unknown backend 'nope'"):
+        backends.get("nope")
+    with pytest.raises(ConfigurationError, match="available"):
+        backends.resolve("nope")
+
+
+def test_register_custom_backend():
+    class EchoBackend(backends.ReferenceBackend):
+        name = "echo"
+
+    backends.register("echo", EchoBackend)
+    try:
+        assert "echo" in backends.available()
+        assert isinstance(backends.resolve("echo"), EchoBackend)
+    finally:
+        # drop it again to keep the registry canonical for other tests
+        from repro.backends import registry as backend_registry
+
+        backend_registry._factories.pop("echo", None)
+        backend_registry._instances.pop("echo", None)
+
+
+# ----------------------------------------------------------------------
+# Selection precedence: explicit arg > set_default > env > built-in
+# ----------------------------------------------------------------------
+def test_default_is_fused():
+    assert backends.get_default() == "fused"
+    assert backends.resolve(None).name == "fused"
+
+
+def test_env_var_overrides_builtin_default(monkeypatch):
+    monkeypatch.setenv(backends.ENV_VAR, "reference")
+    assert backends.get_default() == "reference"
+    assert backends.resolve(None).name == "reference"
+
+
+def test_set_default_overrides_env(monkeypatch):
+    monkeypatch.setenv(backends.ENV_VAR, "fused")
+    backends.set_default("reference")
+    assert backends.get_default() == "reference"
+    backends.set_default(None)  # cleared -> env visible again
+    assert backends.get_default() == "fused"
+
+
+def test_set_default_validates_name():
+    with pytest.raises(ConfigurationError):
+        backends.set_default("bogus")
+
+
+def test_explicit_argument_beats_everything(monkeypatch, tiny_digits):
+    monkeypatch.setenv(backends.ENV_VAR, "fused")
+    backends.set_default("fused")
+    qnet = core.QuantizedNetwork(make_tiny_cnn(), "fixed8")
+    impl = backends.resolve("reference")
+    assert impl.name == "reference"
+    out = qnet.infer(tiny_digits.test.images[:2], backend="reference")
+    assert out.shape == (2, 10)
+
+
+def test_resolve_accepts_instances_and_rejects_junk():
+    instance = backends.FusedBackend()
+    assert backends.resolve(instance) is instance
+    with pytest.raises(ConfigurationError, match="name or Backend"):
+        backends.resolve(42)
+
+
+def test_using_backend_context_restores_previous():
+    backends.set_default("fused")
+    with backends.using_backend("reference") as impl:
+        assert impl.name == "reference"
+        assert backends.get_default() == "reference"
+    assert backends.get_default() == "fused"
+
+
+def test_network_level_backend_choice(tiny_digits):
+    qnet = core.QuantizedNetwork(
+        make_tiny_cnn(), "fixed8", backend="reference"
+    )
+    qnet.calibrate(tiny_digits.train.images[:16])
+    reference = qnet.infer(tiny_digits.test.images[:3])
+    fused = qnet.infer(tiny_digits.test.images[:3], backend="fused")
+    np.testing.assert_array_equal(reference, fused)
+    frozen = qnet.freeze()  # inherits the network's backend
+    try:
+        assert frozen.backend.name == "reference"
+    finally:
+        frozen.thaw()
+
+
+# ----------------------------------------------------------------------
+# Per-operation entry points
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("name", ["reference", "fused"])
+def test_entry_points_match_layer_forward(name, rng):
+    impl = backends.get(name)
+    dense = nn.Dense(12, 5, name="d", rng=rng)
+    dense.eval_mode()
+    x2 = rng.standard_normal((3, 12)).astype(np.float32)
+    np.testing.assert_array_equal(impl.dense(dense, x2), dense.forward(x2))
+
+    conv = nn.Conv2D(2, 3, kernel_size=3, padding=1, name="c", rng=rng)
+    conv.eval_mode()
+    x4 = rng.standard_normal((2, 2, 8, 8)).astype(np.float32)
+    np.testing.assert_array_equal(impl.conv(conv, x4), conv.forward(x4))
+
+    for pool in (nn.MaxPool2D(2, name="mp"), nn.AvgPool2D(2, name="ap")):
+        pool.eval_mode()
+        np.testing.assert_array_equal(impl.pool(pool, x4), pool.forward(x4))
+
+    relu = nn.ReLU(name="r")
+    relu.eval_mode()
+    np.testing.assert_array_equal(impl.act(relu, x4), relu.forward(x4))
+
+
+def test_entry_points_return_caller_owned_arrays(rng):
+    impl = backends.get("fused")
+    dense = nn.Dense(6, 4, name="d", rng=rng)
+    dense.eval_mode()
+    x = rng.standard_normal((2, 6)).astype(np.float32)
+    first = impl.dense(dense, x)
+    snapshot = first.copy()
+    impl.dense(dense, rng.standard_normal((2, 6)).astype(np.float32))
+    np.testing.assert_array_equal(first, snapshot)
+    assert first.base is None, "entry points must not return scratch views"
+
+
+def test_compile_units_absorbs_trailing_quant():
+    qnet = core.QuantizedNetwork(make_tiny_cnn(), "fixed8")
+    units = backends.compile_units(qnet.pipeline)
+    # quant_in leads as its own unit; every conv/dense unit carries its
+    # trailing FakeQuantLayer; pools/flatten have none
+    assert units[0].kind == "quant"
+    by_kind = {}
+    for unit in units:
+        by_kind.setdefault(unit.kind, []).append(unit)
+    assert all(u.quant is not None for u in by_kind["conv"])
+    assert all(u.quant is not None for u in by_kind["dense"])
+    assert all(u.quant is None for u in by_kind["maxpool"])
+    assert all(u.quant is None for u in by_kind["reshape"])
+    total_layers = sum(
+        2 if unit.quant is not None else 1 for unit in units
+    )
+    assert total_layers == len(qnet.pipeline.layers)
+
+
+def test_frozen_view_uses_selected_backend(tiny_digits):
+    qnet = core.QuantizedNetwork(make_tiny_cnn(), "fixed8")
+    qnet.calibrate(tiny_digits.train.images[:16])
+    frozen = qnet.freeze(backend="fused")
+    try:
+        assert frozen.backend is backends.get("fused")
+        out = frozen.forward(tiny_digits.test.images[:2])
+        assert out.shape == (2, 10)
+    finally:
+        frozen.thaw()
+
+
+def test_env_var_reaches_subprocess(tmp_path):
+    """REPRO_BACKEND is how sweep worker processes inherit --backend."""
+    import subprocess
+    import sys
+
+    code = (
+        "from repro import backends; print(backends.get_default())"
+    )
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        part for part in ("src", env.get("PYTHONPATH")) if part
+    )
+    env[backends.ENV_VAR] = "reference"
+    out = subprocess.run(
+        [sys.executable, "-c", code],
+        capture_output=True, text=True, env=env, cwd=os.getcwd(),
+    )
+    assert out.returncode == 0, out.stderr
+    assert out.stdout.strip() == "reference"

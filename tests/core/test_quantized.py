@@ -1,5 +1,7 @@
 """QuantizedNetwork wrapper tests."""
 
+import warnings
+
 import numpy as np
 import pytest
 
@@ -34,26 +36,44 @@ def test_make_quantizers_dispatch():
 
 def test_swap_restores_exact_values(qnet):
     originals = [p.data.copy() for p in qnet.network.parameters()]
-    qnet.swap_in_quantized()
+    qnet._swap_in_quantized()
     changed = any(
         not np.array_equal(p.data, orig)
         for p, orig in zip(qnet.network.parameters(), originals)
     )
     assert changed, "8-bit quantization must alter some weights"
-    qnet.restore_shadow()
+    qnet._restore_shadow()
     for p, orig in zip(qnet.network.parameters(), originals):
         assert np.array_equal(p.data, orig)
 
 
 def test_double_swap_raises(qnet):
-    qnet.swap_in_quantized()
+    qnet._swap_in_quantized()
     with pytest.raises(ConfigurationError):
-        qnet.swap_in_quantized()
-    qnet.restore_shadow()
+        qnet._swap_in_quantized()
+    qnet._restore_shadow()
 
 
 def test_restore_without_swap_raises(qnet):
     with pytest.raises(ConfigurationError):
+        qnet._restore_shadow()
+
+
+def test_public_swap_shims_warn_once_and_still_work(qnet):
+    from repro.core import quantized as quantized_module
+
+    originals = [p.data.copy() for p in qnet.network.parameters()]
+    quantized_module._DEPRECATION_WARNED.clear()
+    with pytest.warns(DeprecationWarning, match="quantized_weights"):
+        qnet.swap_in_quantized()
+    with pytest.warns(DeprecationWarning, match="quantized_weights"):
+        qnet.restore_shadow()
+    for p, orig in zip(qnet.network.parameters(), originals):
+        assert np.array_equal(p.data, orig)
+    # second use is silent: the warning fires once per entry point
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        qnet.swap_in_quantized()
         qnet.restore_shadow()
 
 

@@ -61,12 +61,59 @@ def test_four_threads_match_single_threaded_outputs(digits):
         np.testing.assert_array_equal(results[slot], expected)
 
 
+def test_flatten_does_not_cache_shape_in_eval_mode(digits):
+    """Regression: ``Flatten.forward`` used to write ``_cache_shape`` even
+    in eval mode, so concurrent frozen-network forwards with different
+    batch sizes raced on it — violating freeze()'s lock-free contract."""
+    from repro.nn.dense import Flatten
+
+    qnet = _calibrated_qnet(digits)
+    frozen = qnet.freeze(backend="reference")
+    flattens = [
+        layer for layer in qnet.pipeline.layers if isinstance(layer, Flatten)
+    ]
+    assert flattens, "tiny CNN pipeline should contain a Flatten"
+    for layer in flattens:
+        layer._cache_shape = None
+
+    images = digits.test.images
+    expected = [
+        frozen.predict(images[: 4 + slot], batch_size=2 + slot)
+        for slot in range(N_THREADS)
+    ]
+    results = [None] * N_THREADS
+    errors = []
+    barrier = threading.Barrier(N_THREADS)
+
+    def worker(slot):
+        try:
+            barrier.wait()
+            # distinct batch shapes per thread make any cached-shape
+            # cross-talk deterministic instead of a silent race
+            results[slot] = frozen.predict(images[: 4 + slot], batch_size=2 + slot)
+        except Exception as error:  # pragma: no cover - failure detail
+            errors.append(error)
+
+    threads = [
+        threading.Thread(target=worker, args=(slot,)) for slot in range(N_THREADS)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=60.0)
+    assert not errors
+    for slot in range(N_THREADS):
+        np.testing.assert_array_equal(results[slot], expected[slot])
+    for layer in flattens:
+        assert layer._cache_shape is None, "eval-mode forward wrote the cache"
+
+
 def test_concurrent_weight_swap_is_rejected(digits):
     qnet = _calibrated_qnet(digits)
     with qnet.quantized_weights():
         # a second swap (any thread) must fail loudly, not corrupt weights
         with pytest.raises(ConfigurationError):
-            qnet.swap_in_quantized()
+            qnet._swap_in_quantized()
 
 
 def test_freeze_blocks_swaps_and_thaw_restores(digits):
@@ -77,7 +124,7 @@ def test_freeze_blocks_swaps_and_thaw_restores(digits):
     frozen = qnet.freeze()
     # while frozen, the swap slot is occupied
     with pytest.raises(ConfigurationError):
-        qnet.swap_in_quantized()
+        qnet._swap_in_quantized()
     # quantized values are actually installed
     weights = qnet.network.weight_parameters()[0]
     quantizer = qnet.weight_quantizer_for(weights)

@@ -1,0 +1,245 @@
+"""Fused-vs-reference bitwise parity and buffer-reuse properties.
+
+The fused backend's whole contract is "same bits, fewer passes": for
+every Table III precision the fused kernels must reproduce the
+reference layer-by-layer path *bitwise*, and its workspaces must stop
+allocating once warm.  These tests pin both halves.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import backends, core
+from repro.data import load_dataset
+from repro.zoo import build_network, network_info
+from tests.conftest import make_tiny_cnn
+
+#: Every precision spec of the paper's Table III.
+PRECISION_KEYS = [
+    "float32", "fixed32", "fixed16", "fixed8", "fixed4", "pow2", "binary",
+]
+
+_SPLITS = {}
+
+
+def _split(dataset):
+    if dataset not in _SPLITS:
+        _SPLITS[dataset] = load_dataset(dataset, n_train=48, n_test=24, seed=0)
+    return _SPLITS[dataset]
+
+
+def _assert_bitwise(reference, fused, context):
+    assert reference.shape == fused.shape, context
+    assert reference.dtype == fused.dtype, context
+    if not np.array_equal(reference, fused):  # fast path for the message
+        worst = float(np.max(np.abs(reference.astype(np.float64) - fused)))
+        raise AssertionError(f"{context}: max |delta| = {worst}")
+    assert reference.tobytes() == fused.tobytes(), context
+
+
+@settings(max_examples=21, deadline=None)
+@given(
+    key=st.sampled_from(PRECISION_KEYS),
+    net_name=st.sampled_from(["lenet", "convnet"]),
+    calibrated=st.booleans(),
+    batch_size=st.integers(1, 7),
+    n_images=st.integers(1, 10),
+)
+def test_fused_matches_reference_bitwise(
+    key, net_name, calibrated, batch_size, n_images
+):
+    """Property: for every Table III precision, on real zoo networks,
+    calibrated or not, any batch split, the fused backend's logits are
+    bitwise identical to the reference backend's."""
+    split = _split(network_info(net_name).dataset)
+    qnet = core.QuantizedNetwork(build_network(net_name, seed=0), key)
+    if calibrated:
+        qnet.calibrate(split.train.images[:32])
+    x = split.test.images[:n_images]
+    with qnet.quantized_weights():
+        reference = backends.get("reference").predict(
+            qnet.pipeline, x, batch_size=batch_size
+        )
+        fused = backends.get("fused").predict(
+            qnet.pipeline, x, batch_size=batch_size
+        )
+    _assert_bitwise(
+        reference, fused,
+        f"{net_name}/{key} calibrated={calibrated} batch={batch_size}",
+    )
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    key=st.sampled_from(PRECISION_KEYS),
+    seed=st.integers(0, 7),
+    scale=st.sampled_from([1e-4, 0.1, 1.0, 30.0, 1e4]),
+)
+def test_fused_matches_reference_on_adversarial_inputs(key, seed, scale):
+    """Property: parity holds for extreme input magnitudes (deep in the
+    saturation and underflow regimes of every quantizer)."""
+    qnet = core.QuantizedNetwork(make_tiny_cnn(seed=seed), key)
+    rng = np.random.default_rng(seed)
+    x = (scale * rng.standard_normal((3, 1, 28, 28))).astype(np.float32)
+    with qnet.quantized_weights():
+        reference = backends.get("reference").predict(qnet.pipeline, x)
+        fused = backends.get("fused").predict(qnet.pipeline, x)
+    _assert_bitwise(reference, fused, f"tiny/{key} seed={seed} scale={scale}")
+
+
+def test_fused_parity_through_infer_and_freeze(tiny_digits):
+    """The public entry points agree across backends too."""
+    qnet = core.QuantizedNetwork(make_tiny_cnn(), "fixed8")
+    qnet.calibrate(tiny_digits.train.images[:32])
+    x = tiny_digits.test.images[:9]
+    reference = qnet.infer(x, batch_size=4, backend="reference")
+    fused = qnet.infer(x, batch_size=4, backend="fused")
+    _assert_bitwise(reference, fused, "infer")
+
+    frozen = qnet.freeze(backend="fused")
+    try:
+        _assert_bitwise(reference, frozen.predict(x, batch_size=4), "frozen")
+    finally:
+        frozen.thaw()
+
+
+def test_fused_falls_back_on_unknown_layers(tiny_digits):
+    """A layer kind without a fused kernel runs through its own forward
+    and the surrounding fused units still produce bitwise parity."""
+    from repro import nn
+
+    gen = np.random.default_rng(0)
+    net = nn.Sequential(
+        [
+            nn.Conv2D(1, 4, kernel_size=5, name="conv1", rng=gen),
+            nn.Sigmoid(name="sig1"),  # no fused kernel for sigmoid
+            nn.MaxPool2D(2, name="pool1"),
+            nn.Flatten(name="flatten"),
+            nn.Dense(4 * 12 * 12, 10, name="ip1", rng=gen),
+        ],
+        name="oddball",
+    )
+    qnet = core.QuantizedNetwork(net, "fixed8")
+    qnet.calibrate(tiny_digits.train.images[:16])
+    x = tiny_digits.test.images[:5]
+    reference = qnet.infer(x, backend="reference")
+    fused = qnet.infer(x, backend="fused")
+    _assert_bitwise(reference, fused, "fallback")
+
+
+# ----------------------------------------------------------------------
+# Buffer reuse
+# ----------------------------------------------------------------------
+def test_workspace_allocations_stop_after_warmup(tiny_digits):
+    """Steady-state batches must hit preallocated buffers, not allocate."""
+    fused = backends.FusedBackend()
+    qnet = core.QuantizedNetwork(make_tiny_cnn(), "fixed8")
+    qnet.calibrate(tiny_digits.train.images[:32])
+    x = tiny_digits.test.images[:16]
+    with qnet.quantized_weights():
+        fused.predict(qnet.pipeline, x, batch_size=8)  # warm up
+        workspace = fused.workspace_for(qnet.pipeline)
+        allocations = workspace.allocations
+        for _ in range(3):
+            fused.predict(qnet.pipeline, x, batch_size=8)
+        assert workspace.allocations == allocations, (
+            "steady-state batches allocated new buffers"
+        )
+        assert workspace.hits > 0
+        assert len(workspace) > 0 and workspace.nbytes > 0
+
+
+def test_workspace_revalidates_on_batch_size_change(tiny_digits):
+    """Changing the batch size must produce fresh, correctly shaped
+    buffers (keyed by shape), never a stale-size result."""
+    fused = backends.FusedBackend()
+    qnet = core.QuantizedNetwork(make_tiny_cnn(), "fixed8")
+    qnet.calibrate(tiny_digits.train.images[:32])
+    x = tiny_digits.test.images[:12]
+    with qnet.quantized_weights():
+        out8 = fused.predict(qnet.pipeline, x, batch_size=8)
+        workspace = fused.workspace_for(qnet.pipeline)
+        before = workspace.allocations
+        out5 = fused.predict(qnet.pipeline, x, batch_size=5)
+        assert workspace.allocations > before, (
+            "new batch shape must allocate shape-matched buffers"
+        )
+        reference = backends.get("reference").predict(
+            qnet.pipeline, x, batch_size=5
+        )
+    _assert_bitwise(out8, out5, "batch-size change")
+    _assert_bitwise(reference, out5, "batch-size change vs reference")
+
+
+def test_fused_output_is_not_a_workspace_view(tiny_digits):
+    """Returned logits must be caller-owned: a later batch through the
+    same workspace cannot mutate an earlier result."""
+    fused = backends.get("fused")
+    qnet = core.QuantizedNetwork(make_tiny_cnn(), "fixed8")
+    qnet.calibrate(tiny_digits.train.images[:32])
+    with qnet.quantized_weights():
+        first = fused.predict(qnet.pipeline, tiny_digits.test.images[:4])
+        snapshot = first.copy()
+        fused.predict(qnet.pipeline, tiny_digits.test.images[4:8])
+    np.testing.assert_array_equal(first, snapshot)
+
+
+def test_fused_does_not_write_caller_input(tiny_digits):
+    """The in-place fast paths must never touch the caller's array."""
+    fused = backends.get("fused")
+    qnet = core.QuantizedNetwork(make_tiny_cnn(), "fixed8")
+    qnet.calibrate(tiny_digits.train.images[:32])
+    x = tiny_digits.test.images[:6].copy()
+    snapshot = x.copy()
+    with qnet.quantized_weights():
+        fused.predict(qnet.pipeline, x)
+    np.testing.assert_array_equal(x, snapshot)
+
+
+def test_training_mode_uses_reference_path(tiny_digits):
+    """In train mode the fused backend defers to Sequential.forward so
+    range trackers keep observing."""
+    fused = backends.get("fused")
+    qnet = core.QuantizedNetwork(make_tiny_cnn(), "fixed8")
+    qnet.pipeline.train_mode()
+    try:
+        with qnet.quantized_weights():
+            out = fused.run(qnet.pipeline, tiny_digits.train.images[:4])
+    finally:
+        qnet.pipeline.eval_mode()
+    assert out.shape == (4, 10)
+    trackers = [
+        layer.tracker
+        for layer in qnet.pipeline.layers
+        if isinstance(layer, core.FakeQuantLayer)
+    ]
+    assert any(tracker.initialized for tracker in trackers), (
+        "training-mode forwards must feed the range trackers"
+    )
+
+
+def test_stochastic_rounding_units_fall_back(tiny_digits):
+    """A stochastic-rounding quantizer is not exactly reproducible by
+    the fused kernels, so its units must use the layer's own forward."""
+    spec = core.get_precision("fixed8")
+    qnet = core.QuantizedNetwork(
+        make_tiny_cnn(),
+        spec,
+        activation_factory=lambda: core.FixedPointQuantizer(
+            8, stochastic_rounding=True, rng=np.random.default_rng(0)
+        ),
+    )
+    fused = backends.FusedBackend()
+    plan_fusable = [
+        fusable
+        for unit, fusable in zip(
+            backends.compile_units(qnet.pipeline),
+            fused._plan(qnet.pipeline).fusable,
+        )
+        if unit.kind == "quant" or unit.quant is not None
+    ]
+    assert plan_fusable and not any(plan_fusable), (
+        "stochastic-rounding quant units must be non-fusable"
+    )

@@ -8,7 +8,8 @@ import repro
 
 PACKAGES = ["repro", "repro.nn", "repro.core", "repro.data", "repro.hw",
             "repro.zoo", "repro.experiments", "repro.serve", "repro.obs",
-            "repro.parallel", "repro.resilience", "repro.registry"]
+            "repro.parallel", "repro.resilience", "repro.registry",
+            "repro.kernels", "repro.backends"]
 
 
 def test_version_exposed():
@@ -29,6 +30,27 @@ def test_package_docstrings(package_name):
     assert package.__doc__ and len(package.__doc__) > 80, (
         f"{package_name} needs real documentation"
     )
+
+
+def test_backend_surface_locked():
+    """The backend-dispatch API the redesign introduced stays put."""
+    from repro import backends, kernels
+    from repro.core import QuantizedNetwork
+
+    for name in ("Backend", "available", "get", "get_default", "register",
+                 "resolve", "set_default", "using_backend", "compile_units"):
+        assert name in backends.__all__, f"repro.backends.{name} unlisted"
+    for name in ("Workspace", "fused_dense", "fused_conv2d", "fused_maxpool",
+                 "fused_avgpool", "fused_quantize", "fused_relu_quantize"):
+        assert name in kernels.__all__, f"repro.kernels.{name} unlisted"
+    assert set(backends.available()) >= {"reference", "fused"}
+    # the single public inference entry point with per-call backend choice
+    assert callable(QuantizedNetwork.infer)
+    import inspect
+
+    parameters = inspect.signature(QuantizedNetwork.infer).parameters
+    assert "backend" in parameters and "batch_size" in parameters
+    assert "backend" in inspect.signature(QuantizedNetwork.freeze).parameters
 
 
 def test_no_accidental_private_exports():
