@@ -48,7 +48,13 @@ BENCH_FILES = {
     "test_bench_resilience.py": "wall_s.resilience",
     "test_bench_registry.py": "wall_s.registry",
     "test_bench_sim.py": "wall_s.sim",
+    "test_bench_fleet.py": "wall_s.fleet",
 }
+
+#: metrics that are meaningless below 4 CPUs (process parallelism
+#: cannot win on fewer cores); compared only when both the baseline
+#: and the current run had >= 4
+CPU_GATED = {"parallel.speedup", "serve.fleet_speedup", "wall_s.fleet"}
 
 #: metric name -> which direction is better
 DIRECTIONS = {
@@ -60,9 +66,11 @@ DIRECTIONS = {
     "wall_s.registry": "lower",
     "wall_s.sim": "lower",
     "wall_s.kernels_fused": "lower",
+    "wall_s.fleet": "lower",
     "parallel.cache_hit_rate": "higher",
     "parallel.speedup": "higher",
     "kernels.fused_speedup": "higher",
+    "serve.fleet_speedup": "higher",
 }
 
 
@@ -104,6 +112,10 @@ def collect_metrics(walls):
         kernels = json.load(handle)
     metrics["wall_s.kernels_fused"] = kernels["fused_s"]
     metrics["kernels.fused_speedup"] = kernels["speedup"]
+    fleet_path = os.path.join(RESULTS, "fleet.json")
+    if os.path.exists(fleet_path):  # the fleet bench skips below 4 CPUs
+        with open(fleet_path) as handle:
+            metrics["serve.fleet_speedup"] = json.load(handle)["speedup"]
     return {
         "schema": SCHEMA,
         "cpu_count": os.cpu_count() or 1,
@@ -114,19 +126,20 @@ def collect_metrics(walls):
 def compare(current, baseline):
     """Return a list of human-readable regression strings (empty = pass).
 
-    ``parallel.speedup`` only gates when both runs had >= 4 CPUs: on
-    fewer cores process parallelism cannot win and the number is noise.
+    ``CPU_GATED`` metrics (parallel/fleet speedups and the fleet wall)
+    only gate when both runs had >= 4 CPUs: on fewer cores process
+    parallelism cannot win and the numbers are noise.
     """
     failures = []
     for name, base_value in sorted(baseline["metrics"].items()):
         direction = DIRECTIONS.get(name, "lower")
+        if name in CPU_GATED:
+            if min(current.get("cpu_count", 1), baseline.get("cpu_count", 1)) < 4:
+                continue
         current_value = current["metrics"].get(name)
         if current_value is None:
             failures.append(f"{name}: missing from current run")
             continue
-        if name == "parallel.speedup":
-            if min(current.get("cpu_count", 1), baseline.get("cpu_count", 1)) < 4:
-                continue
         if base_value <= 0:
             continue
         if direction == "lower":
@@ -160,7 +173,10 @@ def self_test(baseline):
         "cpu_count": baseline.get("cpu_count", 1),
         "metrics": dict(baseline["metrics"]),
     }
-    wall_metrics = [m for m in regressed["metrics"] if m.startswith("wall_s.")]
+    wall_metrics = [
+        m for m in regressed["metrics"]
+        if m.startswith("wall_s.") and m not in CPU_GATED
+    ]
     target = wall_metrics[0]
     # 1.5x the baseline and comfortably above the absolute floor
     regressed["metrics"][target] = round(

@@ -1,0 +1,120 @@
+#!/usr/bin/env bash
+# CI smoke runner: one place for every `python -m repro ...` smoke the
+# workflow used to inline.  Each subcommand is a fast end-to-end check
+# of one subsystem; JSON-emitting smokes tee their payloads into
+# $SMOKE_OUT so the workflow can upload them as artifacts.
+#
+# Usage:
+#   scripts/ci_smoke.sh <serve|chaos|fleet-chaos|profile|kernels|sim|sweep|all>
+#
+# Environment:
+#   SMOKE_OUT   directory for JSON artifacts (default /tmp/repro-smoke)
+set -euo pipefail
+
+export PYTHONPATH="${PYTHONPATH:-src}"
+OUT="${SMOKE_OUT:-/tmp/repro-smoke}"
+mkdir -p "$OUT"
+
+smoke_serve() {
+  echo "== smoke: serving engine"
+  python -m repro serve-bench \
+    --requests 64 --workers 2 --max-batch 8 \
+    --concurrency 16 --calibration 64 --skip-baseline \
+    --json | tee "$OUT/serve.json" >/dev/null
+  python - "$OUT/serve.json" <<'EOF'
+import json, sys
+payload = json.load(open(sys.argv[1]))
+assert payload["report"]["completed"] == 64, payload["report"]
+assert payload["client_errors"] == 0
+print(f"serve smoke: {payload['report']['throughput_ips']:.0f} img/s, "
+      f"p99 {payload['report']['latency_ms_p99']:.1f} ms")
+EOF
+}
+
+smoke_chaos() {
+  echo "== smoke: seeded chaos, zero lost futures"
+  python -m repro serve-bench \
+    --requests 256 --workers 2 --max-batch 8 \
+    --concurrency 16 --calibration 64 --skip-baseline \
+    --chaos 0 --deadline-ms 500 --degrade fixed4 \
+    --json | tee "$OUT/chaos.json" >/dev/null
+  python - "$OUT/chaos.json" <<'EOF'
+import json, sys
+payload = json.load(open(sys.argv[1]))
+assert payload["lost"] == 0, payload
+print(f"chaos smoke: {payload['accounted']}/{payload['submitted']} "
+      f"accounted, {payload['injected_faults']} faults injected")
+EOF
+}
+
+smoke_fleet_chaos() {
+  echo "== smoke: fleet chaos (2 replicas, one killed mid-run)"
+  # --crash-after makes replica 1 die after two batches; the CLI exits
+  # non-zero unless the monitor respawned it (restarts >= 1) and every
+  # future resolved (lost == 0)
+  python -m repro serve-bench \
+    --requests 128 --max-batch 8 --concurrency 16 \
+    --calibration 32 --skip-baseline \
+    --replicas 2 --crash-after 2 \
+    --json | tee "$OUT/fleet_chaos.json" >/dev/null
+  python - "$OUT/fleet_chaos.json" <<'EOF'
+import json, sys
+payload = json.load(open(sys.argv[1]))
+assert payload["lost"] == 0, payload
+assert payload["fleet"]["restarts"] >= 1, payload["fleet"]
+assert payload["report"]["completed"] == 128, payload["report"]
+print(f"fleet-chaos smoke: {payload['fleet']['restarts']} restart(s), "
+      f"{payload['fleet']['resubmissions']} resubmission(s), 0 lost")
+EOF
+}
+
+smoke_profile() {
+  echo "== smoke: energy/latency profiler"
+  python -m repro profile --precision fixed8 --limit 64
+}
+
+smoke_kernels() {
+  echo "== smoke: fused kernels (per-unit table + bitwise parity gate)"
+  python -m repro profile --backend fused --precision fixed8 --limit 64
+  python -m repro profile --backend fused --network convnet \
+    --precision fixed4 --limit 32
+  python -m pytest -q tests/kernels/test_parity.py
+}
+
+smoke_sim() {
+  echo "== smoke: cycle-level simulator cross-check"
+  python -m repro simulate --network lenet_small --precision fixed8 \
+    --json | tee "$OUT/sim.json" >/dev/null
+  python -m repro simulate --network lenet --validate
+}
+
+smoke_sweep() {
+  echo "== smoke: parallel precision sweep"
+  python -m repro sweep \
+    --network lenet_small --workers 2 \
+    --precisions float32 fixed8 binary \
+    --n-train 128 --n-test 64 --float-epochs 1 --qat-epochs 1 \
+    --cache-dir /tmp/repro-sweep-cache \
+    --json | tee "$OUT/sweep.json" >/dev/null
+}
+
+usage() {
+  grep '^#   scripts/' "$0" | sed 's/^# *//'
+  exit 2
+}
+
+[ $# -ge 1 ] || usage
+for target in "$@"; do
+  case "$target" in
+    serve)        smoke_serve ;;
+    chaos)        smoke_chaos ;;
+    fleet-chaos)  smoke_fleet_chaos ;;
+    profile)      smoke_profile ;;
+    kernels)      smoke_kernels ;;
+    sim)          smoke_sim ;;
+    sweep)        smoke_sweep ;;
+    all)          smoke_serve; smoke_chaos; smoke_fleet_chaos; \
+                  smoke_profile; smoke_kernels; smoke_sim; smoke_sweep ;;
+    *)            echo "unknown smoke target: $target" >&2; usage ;;
+  esac
+done

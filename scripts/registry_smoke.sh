@@ -45,18 +45,56 @@ python -m repro registry serve --root "$ROOT" --channel prod \
 # Roll back and verify the prior digest is active again.
 python -m repro registry rollback --root "$ROOT" --channel prod
 
-ACTIVE=$(python - "$ROOT" <<'EOF'
+active_digest() {
+  python - "$ROOT" <<'EOF'
 import json, os, sys
 with open(os.path.join(sys.argv[1], "channels", "prod.json")) as handle:
     payload = json.load(handle)
 entry = next(v for v in payload["versions"] if v["version"] == payload["active"])
 print(entry["digest"])
 EOF
-)
+}
 
+ACTIVE=$(active_digest)
 if [ "$ACTIVE" != "$FLOAT_DIGEST" ]; then
   echo "rollback did not restore the prior digest:" \
        "active=$ACTIVE expected=$FLOAT_DIGEST" >&2
   exit 1
 fi
-echo "== rollback restored v1 ($FLOAT_DIGEST) -- registry smoke OK"
+echo "== rollback restored v1 ($FLOAT_DIGEST)"
+
+# -- fleet canary rollouts -------------------------------------------
+# Healthy canary: the fixed8 candidate runs on one of two replicas,
+# beats the float incumbent's error rate/p99, and is auto-promoted.
+# --expect makes the CLI exit non-zero on any other outcome.
+python -m repro serve-bench --registry "$ROOT" --channel prod \
+  --replicas 2 --requests 64 --concurrency 8 --max-batch 8 \
+  --calibration 32 --skip-baseline \
+  --canary "$FIXED_DIGEST" --canary-min-requests 10 \
+  --expect promoted --json > "$ROOT/canary_promote.json"
+
+ACTIVE=$(active_digest)
+if [ "$ACTIVE" != "$FIXED_DIGEST" ]; then
+  echo "healthy canary did not promote the candidate:" \
+       "active=$ACTIVE expected=$FIXED_DIGEST" >&2
+  exit 1
+fi
+echo "== healthy canary promoted fixed8 ($FIXED_DIGEST)"
+
+# Regressing canary: redeploy the float artifact as a canary with its
+# forward path sabotaged; the controller must roll it back and leave
+# the channel pointer untouched.
+python -m repro serve-bench --registry "$ROOT" --channel prod \
+  --replicas 2 --requests 64 --concurrency 8 --max-batch 8 \
+  --calibration 32 --skip-baseline \
+  --canary "$FLOAT_DIGEST" --canary-min-requests 10 --sabotage-canary \
+  --expect rolled_back --json > "$ROOT/canary_rollback.json"
+
+ACTIVE=$(active_digest)
+if [ "$ACTIVE" != "$FIXED_DIGEST" ]; then
+  echo "sabotaged canary moved the channel pointer:" \
+       "active=$ACTIVE expected=$FIXED_DIGEST" >&2
+  exit 1
+fi
+echo "== sabotaged canary rolled back, channel still on $FIXED_DIGEST"
+echo "== registry smoke OK"

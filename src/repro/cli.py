@@ -207,6 +207,14 @@ def _apply_backend(args: argparse.Namespace) -> str:
 
 def cmd_serve_bench(args: argparse.Namespace) -> int:
     backend_name = _apply_backend(args)
+    if args.canary and not args.registry:
+        raise RegistryError("--canary needs --registry (artifacts to roll)")
+    if args.canary and args.replicas < 2:
+        raise RegistryError("--canary needs --replicas >= 2 (a control group)")
+    if args.canary and args.routing == "hash":
+        raise RegistryError(
+            "--canary needs shared routing so both groups see traffic"
+        )
     art_store = channel = None
     if args.registry:
         art_store = registry.ArtifactStore(args.registry)
@@ -226,7 +234,7 @@ def cmd_serve_bench(args: argparse.Namespace) -> int:
         backend=backend_name,
     )
     rollout = None
-    if channel is not None:
+    if channel is not None and args.replicas == 0:
         deployer = registry.Deployer(art_store, store, seed=args.seed)
         rollout = deployer.rollout(channel)
     servable = store.warm(args.network, args.precision)  # build outside timing
@@ -239,6 +247,12 @@ def cmd_serve_bench(args: argparse.Namespace) -> int:
             watermark=watermark, fallback={args.precision: args.degrade}
         )
         store.warm(args.network, args.degrade)  # fallback ready before load
+
+    if args.replicas > 0:
+        return _serve_bench_fleet(
+            args, backend_name, art_store, channel, images, servable,
+            spec, degrade,
+        )
 
     if not args.json:
         print(
@@ -365,6 +379,192 @@ def cmd_serve_bench(args: argparse.Namespace) -> int:
               f"p95 {baseline.report.latency_ms_p95:.2f} ms")
         print(f"dynamic batching speedup: {speedup:.2f}x img/s vs max-batch=1")
     return 0 if result.client_errors == 0 else 1
+
+
+def _serve_bench_fleet(
+    args: argparse.Namespace,
+    backend_name: str,
+    art_store,
+    channel,
+    images,
+    servable,
+    spec,
+    degrade,
+) -> int:
+    """The ``serve-bench --replicas N`` path: multi-process fleet serving,
+    optionally with a registry canary rollout riding the traffic."""
+    deadline_ms = args.deadline_ms if args.deadline_ms > 0 else None
+    warm = [(args.network, args.precision)]
+    if args.degrade:
+        warm.append((args.network, args.degrade))
+    startup_artifact = None
+    if channel is not None:
+        entry = channel.active()
+        startup_artifact = (
+            art_store.root, channel.name, entry.digest, entry.version
+        )
+    crash_after = None
+    if args.crash_after > 0:
+        # deterministic chaos: the last replica dies once, mid-run
+        crash_after = (args.replicas - 1, args.crash_after)
+    config = serve.FleetConfig(
+        replicas=args.replicas,
+        ring_slots=args.ring_slots,
+        max_batch_size=args.max_batch,
+        max_delay_ms=args.max_delay_ms,
+        max_queue_depth=args.queue_size,
+        routing=args.routing,
+        seed=args.seed,
+        backend=backend_name,
+        calibration_images=args.calibration,
+        weight_paths={args.network: args.weights} if args.weights else {},
+        warm=warm,
+        startup_artifact=startup_artifact,
+        chaos_seed=args.chaos,
+        crash_replica_after=crash_after,
+    )
+    if not args.json:
+        print(
+            f"serving {args.network} at {spec.label} on {args.replicas} "
+            f"replica processes ({args.routing} routing, "
+            f"{args.ring_slots} ring slots, {backend_name} backend)"
+        )
+        if startup_artifact is not None:
+            print(f"registry artifact       : {args.channel} "
+                  f"v{startup_artifact[3]} ({startup_artifact[2][:12]})")
+        if args.chaos is not None:
+            print(f"chaos                   : per-replica injectors armed, "
+                  f"seed {args.chaos}")
+        if crash_after is not None:
+            print(f"deterministic crash     : replica {crash_after[0]} "
+                  f"after {crash_after[1]} batches")
+
+    fleet = serve.FleetServer(config, degrade=degrade)
+    canary_report = None
+    fleet.start(install_signal_handler=True)
+    try:
+        controller = None
+        if args.canary:
+            policy = registry.CanaryPolicy(
+                fraction=args.canary_fraction,
+                min_requests=args.canary_min_requests,
+            )
+            controller = registry.CanaryController(
+                fleet, art_store, channel, policy
+            )
+            indices = controller.begin(
+                args.canary, sabotage=args.sabotage_canary
+            )
+            if not args.json:
+                sabotaged = " (sabotaged)" if args.sabotage_canary else ""
+                print(f"canary                  : "
+                      f"{args.canary[:12]} on replicas "
+                      f"{list(indices)}{sabotaged}")
+        result = serve.run_closed_loop(
+            fleet, images, args.network, args.precision,
+            n_requests=args.requests, concurrency=args.concurrency,
+            deadline_ms=deadline_ms,
+        )
+        if controller is not None:
+            decision = controller.decide()
+            rounds = 0
+            while decision.verdict == "wait" and rounds < 5:
+                # uneven work stealing can starve one group early on;
+                # keep the traffic flowing until both groups have data
+                serve.run_closed_loop(
+                    fleet, images, args.network, args.precision,
+                    n_requests=max(args.requests // 2, 32),
+                    concurrency=args.concurrency,
+                    deadline_ms=deadline_ms,
+                )
+                decision = controller.decide()
+                rounds += 1
+            canary_report = controller.finish(decision)
+    finally:
+        fleet.stop()
+    freport = fleet.fleet_report()
+
+    # Chaos and sabotage make typed per-request failures expected; a
+    # lost future never is.  A requested deterministic crash must also
+    # prove the rejoin actually happened.
+    failed = result.lost > 0
+    if args.chaos is None and not args.sabotage_canary:
+        failed = failed or result.client_errors > 0
+    if crash_after is not None and freport.restarts < 1:
+        failed = True
+    if args.expect and (
+        canary_report is None or canary_report.outcome != args.expect
+    ):
+        failed = True
+
+    if args.json:
+        payload = {
+            "network": args.network,
+            "precision": spec.key,
+            "backend": backend_name,
+            "requests": args.requests,
+            "concurrency": args.concurrency,
+            "replicas": args.replicas,
+            "routing": args.routing,
+            "ring_slots": args.ring_slots,
+            "max_batch": args.max_batch,
+            "deadline_ms": deadline_ms,
+            "chaos_seed": args.chaos,
+            "crash_after": args.crash_after or None,
+            "memory_kb": float(servable.memory_kb),
+            "energy_uj_per_image": float(servable.energy_uj_per_image),
+            "report": dataclasses.asdict(result.report),
+            "replica_compute": dataclasses.asdict(freport.replica_compute),
+            "fleet": {
+                "restarts": freport.restarts,
+                "resubmissions": freport.resubmissions,
+                "replicas": {
+                    str(i): dataclasses.asdict(status)
+                    for i, status in freport.replicas.items()
+                },
+            },
+            "retries": result.retries,
+            "client_errors": result.client_errors,
+            "deadline_expired": result.deadline_expired,
+            "lost": result.lost,
+            "accounted": result.accounted,
+            "submitted": result.submitted,
+        }
+        if canary_report is not None:
+            payload["canary"] = {
+                "outcome": canary_report.outcome,
+                "digest": canary_report.digest,
+                "version": canary_report.version,
+                "replicas": list(canary_report.canary_indices),
+                "decision": dataclasses.asdict(canary_report.decision),
+            }
+        print(json.dumps(payload, indent=2))
+        return 1 if failed else 0
+
+    print()
+    print(f"closed loop: {args.requests} requests, {args.concurrency} "
+          f"clients, {args.replicas} replicas, max batch {args.max_batch}")
+    print(freport.format())
+    if result.retries:
+        print(f"backpressure retries    : {result.retries}")
+    if result.client_errors:
+        print(f"client errors           : {result.client_errors}")
+    if result.deadline_expired:
+        print(f"deadline expired        : {result.deadline_expired}")
+    if result.lost:
+        print(f"LOST futures            : {result.lost}")
+    if canary_report is not None:
+        decision = canary_report.decision
+        print(f"canary outcome          : {canary_report.outcome} "
+              f"({decision.reason})")
+        print(f"canary traffic          : canary "
+              f"{decision.canary_requests} req "
+              f"(err {decision.canary_error_rate:.1%}, "
+              f"p99 {decision.canary_p99_ms:.2f} ms) vs control "
+              f"{decision.control_requests} req "
+              f"(err {decision.control_error_rate:.1%}, "
+              f"p99 {decision.control_p99_ms:.2f} ms)")
+    return 1 if failed else 0
 
 
 def cmd_profile(args: argparse.Namespace) -> int:
@@ -902,6 +1102,32 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--backend", default="",
                        help="compute backend servables are frozen onto "
                             "(default: process default, normally fused)")
+    bench.add_argument("--replicas", type=int, default=0,
+                       help="serve from this many replica processes "
+                            "(0 = in-process engine)")
+    bench.add_argument("--ring-slots", type=int, default=2,
+                       help="shared-memory batches in flight per replica")
+    bench.add_argument("--routing", default="shared",
+                       choices=["shared", "hash"],
+                       help="fleet routing: shared work-stealing queue or "
+                            "consistent-hash lane pinning")
+    bench.add_argument("--crash-after", type=int, default=0, metavar="N",
+                       help="deterministic chaos: kill the last replica "
+                            "after N batches, assert it rejoins "
+                            "(with --replicas)")
+    bench.add_argument("--canary", default="", metavar="REF",
+                       help="canary-roll this artifact digest onto part of "
+                            "the fleet (needs --registry and --replicas>=2)")
+    bench.add_argument("--canary-fraction", type=float, default=0.25,
+                       help="share of replicas serving the canary")
+    bench.add_argument("--canary-min-requests", type=int, default=20,
+                       help="requests per group before a canary verdict")
+    bench.add_argument("--sabotage-canary", action="store_true",
+                       help="arm forward-path faults on the canary replicas "
+                            "(chaos: forces the auto-rollback path)")
+    bench.add_argument("--expect", default="",
+                       choices=["", "promoted", "rolled_back"],
+                       help="fail unless the canary outcome matches (CI)")
     bench.add_argument("--json", action="store_true",
                        help="emit the report as JSON instead of text")
     bench.set_defaults(func=cmd_serve_bench)

@@ -138,6 +138,25 @@ class WorkerStallError(ServingError):
     """
 
 
+class ReplicaCrashError(ServingError):
+    """A fleet replica died too many times while holding this request.
+
+    The front-end resubmits in-flight batches of a crashed replica
+    through the retry machinery; a request that exceeds the fleet's
+    resubmission budget fails with this error instead of cycling
+    forever between dying replicas.
+    """
+
+
+class FleetNotReadyError(ServingError):
+    """The fleet's replicas never reached the ready state in time.
+
+    Raised by ``FleetServer.start`` when a replica fails to build its
+    model (the replica's init error is chained) or its ready message
+    does not arrive within the startup deadline.
+    """
+
+
 class FaultInjectedError(ReproError):
     """An error raised on purpose by :class:`repro.resilience.FaultInjector`.
 

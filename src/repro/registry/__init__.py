@@ -28,6 +28,12 @@ Typical lifecycle::
     ...
     prod.rollback()          # pointer back; Deployer.rollback redeploys
 
+Fleet canary rollouts (``registry.CanaryController``) extend the same
+contract to multi-process serving: a candidate deploys to a fraction of
+a :class:`repro.serve.FleetServer`'s replicas, live error-rate and p99
+deltas against the control replicas decide the verdict, and the channel
+history only ever records candidates that survived their canary.
+
 The same flow is scriptable via ``python -m repro registry
 publish|list|promote|rollback|serve`` (see ``docs/registry.md``).
 """
@@ -36,6 +42,12 @@ from repro.registry.store import ArtifactManifest, ArtifactStore, artifact_diges
 from repro.registry.channels import Channel, ChannelVersion
 from repro.registry.policy import PromotionPolicy, design_point
 from repro.registry.deployer import Deployer, RolloutReport
+from repro.registry.canary import (
+    CanaryController,
+    CanaryDecision,
+    CanaryPolicy,
+    CanaryReport,
+)
 from repro.registry.publish import publish_with_modeled_costs
 
 __all__ = [
@@ -48,5 +60,9 @@ __all__ = [
     "design_point",
     "Deployer",
     "RolloutReport",
+    "CanaryController",
+    "CanaryDecision",
+    "CanaryPolicy",
+    "CanaryReport",
     "publish_with_modeled_costs",
 ]

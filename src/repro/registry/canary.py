@@ -1,0 +1,333 @@
+"""Registry-driven canary rollouts over a serving fleet.
+
+A canary rollout deploys a candidate artifact to a *fraction* of a
+:class:`~repro.serve.FleetServer`'s replicas, lets real traffic split
+between the canary group and the control group (the replicas still on
+the incumbent), and then compares the two groups' error rates and tail
+latencies.  A healthy canary is promoted: the candidate is appended to
+the :class:`~repro.registry.Channel` (history intact, same promotion
+policy hooks as a direct promote) and the control replicas are rolled
+onto it.  A regressing canary is rolled back: the canary replicas are
+redeployed onto the incumbent digest and the channel pointer never
+moves — the bad artifact leaves no trace in the channel history.
+
+The controller is deliberately passive about traffic: it snapshots
+per-replica counters at :meth:`CanaryController.begin`, and
+:meth:`~CanaryController.decide` only reasons about the deltas since
+then.  Whoever drives load (the closed-loop generator, production
+clients) is invisible to it; it needs no hooks in the serving path.
+
+Verdict rules (:class:`CanaryPolicy`):
+
+* ``wait`` until both groups saw ``min_requests`` requests — deciding
+  on three data points promotes noise, in both directions.
+* ``rollback`` when the canary group's error rate exceeds the control
+  group's by more than ``max_error_rate_increase`` (absolute), or when
+  the canary p99 exceeds the control p99 by more than
+  ``max_p99_increase_pct`` percent.
+* ``promote`` otherwise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError, RegistryError
+from repro.obs.metrics import get_metrics
+from repro.registry.channels import Channel
+from repro.registry.policy import PromotionPolicy
+from repro.registry.store import ArtifactStore
+
+__all__ = [
+    "CanaryPolicy",
+    "CanaryDecision",
+    "CanaryReport",
+    "CanaryController",
+]
+
+
+@dataclass(frozen=True)
+class CanaryPolicy:
+    """Knobs of the promote/rollback verdict."""
+
+    fraction: float = 0.25             # share of replicas canaried
+    min_requests: int = 20             # per group, before any verdict
+    max_error_rate_increase: float = 0.05   # absolute (canary - control)
+    max_p99_increase_pct: float = 100.0     # canary p99 vs control p99
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.fraction < 1.0:
+            raise ConfigurationError("canary fraction must be in (0, 1)")
+        if self.min_requests < 1:
+            raise ConfigurationError("min_requests must be >= 1")
+
+
+@dataclass(frozen=True)
+class CanaryDecision:
+    """One evaluation of canary vs control since ``begin``."""
+
+    verdict: str                       # "promote" | "rollback" | "wait"
+    reason: str
+    canary_requests: int
+    control_requests: int
+    canary_error_rate: float
+    control_error_rate: float
+    canary_p99_ms: float
+    control_p99_ms: float
+
+
+@dataclass(frozen=True)
+class CanaryReport:
+    """What one finished canary rollout did."""
+
+    outcome: str                       # "promoted" | "rolled_back"
+    digest: str
+    version: Optional[int]             # channel version when promoted
+    canary_indices: Tuple[int, ...]
+    decision: CanaryDecision
+
+
+@dataclass
+class _GroupBaseline:
+    completed: int = 0
+    failed: int = 0
+    n_latencies: int = 0
+
+
+class CanaryController:
+    """Drives one candidate artifact through canary -> verdict -> act.
+
+    Args:
+        fleet: a started :class:`~repro.serve.FleetServer` with at
+            least two replicas (a canary needs a control group).
+        store: artifact source of truth.
+        channel: the channel being rolled; its active version is the
+            incumbent the canary is measured against and rolled back to.
+        policy: verdict thresholds.
+
+    Lifecycle::
+
+        controller = CanaryController(fleet, store, channel)
+        controller.begin("abc123...")      # deploys to canary replicas
+        ... traffic flows ...
+        while controller.decide().verdict == "wait":
+            ... more traffic ...
+        report = controller.finish()       # promotes or rolls back
+    """
+
+    def __init__(
+        self,
+        fleet,
+        store: ArtifactStore,
+        channel: Channel,
+        policy: Optional[CanaryPolicy] = None,
+    ):
+        self.fleet = fleet
+        self.store = store
+        self.channel = channel
+        self.policy = policy or CanaryPolicy()
+        self._digest: Optional[str] = None
+        self._incumbent_digest: Optional[str] = None
+        self._incumbent_version: Optional[int] = None
+        self._canary: Tuple[int, ...] = ()
+        self._control: Tuple[int, ...] = ()
+        self._baselines: Dict[int, _GroupBaseline] = {}
+        self._active = False
+
+    # ------------------------------------------------------------------
+    def begin(self, ref: str, sabotage: bool = False) -> Tuple[int, ...]:
+        """Deploy the candidate onto the canary replicas.
+
+        Returns the canary replica indices.  ``sabotage`` arms
+        forward-path faults on the canary replicas (chaos testing —
+        it forces the regression the rollback path must catch).
+        """
+        if self._active:
+            raise RegistryError("a canary rollout is already in progress")
+        replicas = self.fleet.config.replicas
+        if replicas < 2:
+            raise ConfigurationError(
+                "canary rollout needs >= 2 replicas (one must stay control)"
+            )
+        manifest = self.store.get(ref)
+        incumbent = self.channel.active()
+        if incumbent is None:
+            raise RegistryError(
+                f"channel {self.channel.name!r} has no incumbent; "
+                "use a plain rollout for the first deploy"
+            )
+        if incumbent.digest == manifest.digest:
+            raise RegistryError(
+                f"candidate {manifest.short_digest()} is already active "
+                f"on {self.channel.name!r}"
+            )
+        self._incumbent_digest = incumbent.digest
+        self._incumbent_version = incumbent.version
+        n_canary = max(1, round(self.policy.fraction * replicas))
+        n_canary = min(n_canary, replicas - 1)
+        # highest indices canary: replica 0 stays control, so a
+        # single-replica fleet restart story never loses the incumbent
+        self._canary = tuple(range(replicas - n_canary, replicas))
+        self._control = tuple(range(0, replicas - n_canary))
+        self._digest = manifest.digest
+        self._snapshot_baselines()
+        # the version number is provisional until the promote appends
+        # the real channel entry; replicas only echo it in stats
+        provisional = 1 + max(
+            (v.version for v in self.channel.versions), default=0
+        )
+        self.fleet.deploy_to(
+            self._canary, self.store.root, self.channel.name,
+            manifest.digest, provisional, sabotage=sabotage,
+        )
+        self._active = True
+        get_metrics().counter("registry.canary_started").inc()
+        return self._canary
+
+    def _snapshot_baselines(self) -> None:
+        self._baselines = {}
+        for index, metrics in self.fleet.replica_metrics().items():
+            self._baselines[index] = _GroupBaseline(
+                completed=int(metrics["completed"]),
+                failed=int(metrics["failed"]),
+                n_latencies=len(metrics["latencies_ms"]),
+            )
+
+    # ------------------------------------------------------------------
+    def _group_window(
+        self, indices: Sequence[int]
+    ) -> Tuple[int, int, List[float]]:
+        """(completed, failed, latency window) deltas since ``begin``."""
+        metrics = self.fleet.replica_metrics()
+        completed = failed = 0
+        latencies: List[float] = []
+        for index in indices:
+            snap = metrics[index]
+            base = self._baselines.get(index, _GroupBaseline())
+            completed += int(snap["completed"]) - base.completed
+            failed += int(snap["failed"]) - base.failed
+            samples = snap["latencies_ms"]
+            if len(samples) >= base.n_latencies:
+                latencies.extend(samples[base.n_latencies:])
+            else:  # the replica's sample buffer was trimmed mid-canary
+                latencies.extend(samples)
+        return completed, failed, latencies
+
+    def decide(self) -> CanaryDecision:
+        """Compare canary vs control traffic since ``begin``."""
+        if not self._active:
+            raise RegistryError("no canary rollout in progress")
+        can_done, can_fail, can_lat = self._group_window(self._canary)
+        ctl_done, ctl_fail, ctl_lat = self._group_window(self._control)
+        can_requests = can_done + can_fail
+        ctl_requests = ctl_done + ctl_fail
+        can_err = can_fail / can_requests if can_requests else 0.0
+        ctl_err = ctl_fail / ctl_requests if ctl_requests else 0.0
+        can_p99 = float(np.percentile(can_lat, 99)) if can_lat else 0.0
+        ctl_p99 = float(np.percentile(ctl_lat, 99)) if ctl_lat else 0.0
+
+        def decision(verdict: str, reason: str) -> CanaryDecision:
+            return CanaryDecision(
+                verdict=verdict,
+                reason=reason,
+                canary_requests=can_requests,
+                control_requests=ctl_requests,
+                canary_error_rate=can_err,
+                control_error_rate=ctl_err,
+                canary_p99_ms=can_p99,
+                control_p99_ms=ctl_p99,
+            )
+
+        if min(can_requests, ctl_requests) < self.policy.min_requests:
+            return decision(
+                "wait",
+                f"need {self.policy.min_requests} requests per group, have "
+                f"canary={can_requests} control={ctl_requests}",
+            )
+        if can_err > ctl_err + self.policy.max_error_rate_increase:
+            return decision(
+                "rollback",
+                f"canary error rate {can_err:.1%} exceeds control "
+                f"{ctl_err:.1%} by more than "
+                f"{self.policy.max_error_rate_increase:.1%}",
+            )
+        if (
+            ctl_p99 > 0.0
+            and can_lat
+            and can_p99 > ctl_p99 * (1.0 + self.policy.max_p99_increase_pct / 100.0)
+        ):
+            return decision(
+                "rollback",
+                f"canary p99 {can_p99:.2f} ms exceeds control "
+                f"{ctl_p99:.2f} ms by more than "
+                f"{self.policy.max_p99_increase_pct:.0f}%",
+            )
+        return decision(
+            "promote",
+            f"canary healthy: error {can_err:.1%} vs {ctl_err:.1%}, "
+            f"p99 {can_p99:.2f} ms vs {ctl_p99:.2f} ms",
+        )
+
+    # ------------------------------------------------------------------
+    def finish(
+        self,
+        decision: Optional[CanaryDecision] = None,
+        *,
+        promotion_policy: Optional[PromotionPolicy] = None,
+        note: str = "",
+    ) -> CanaryReport:
+        """Act on the verdict: promote fleet-wide or roll the canary back.
+
+        A ``wait`` verdict raises — the caller is responsible for
+        driving traffic until :meth:`decide` reaches a real verdict (or
+        for choosing one explicitly and passing it in).
+        """
+        if not self._active:
+            raise RegistryError("no canary rollout in progress")
+        decision = decision or self.decide()
+        if decision.verdict == "wait":
+            raise RegistryError(
+                f"canary verdict still 'wait' ({decision.reason}); "
+                "drive more traffic before finish()"
+            )
+        assert self._digest is not None
+        if decision.verdict == "promote":
+            entry = self.channel.promote(
+                self._digest, policy=promotion_policy,
+                note=note or "canary promote",
+            )
+            if self._control:
+                self.fleet.deploy_to(
+                    self._control, self.store.root, self.channel.name,
+                    self._digest, entry.version,
+                )
+            self._active = False
+            get_metrics().counter("registry.canary_promotions").inc()
+            return CanaryReport(
+                outcome="promoted",
+                digest=self._digest,
+                version=entry.version,
+                canary_indices=self._canary,
+                decision=decision,
+            )
+        # rollback: canary replicas return to the incumbent; the channel
+        # pointer never moved, so there is nothing to rewind there
+        assert self._incumbent_digest is not None
+        assert self._incumbent_version is not None
+        self.fleet.deploy_to(
+            self._canary, self.store.root, self.channel.name,
+            self._incumbent_digest, self._incumbent_version,
+        )
+        digest = self._digest
+        self._active = False
+        get_metrics().counter("registry.canary_rollbacks").inc()
+        return CanaryReport(
+            outcome="rolled_back",
+            digest=digest,
+            version=None,
+            canary_indices=self._canary,
+            decision=decision,
+        )

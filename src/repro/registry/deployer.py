@@ -92,10 +92,16 @@ class Deployer:
         self.seed = seed
 
     # ------------------------------------------------------------------
-    def _build_servable(
+    def build_servable(
         self, manifest: ArtifactManifest, version: int
     ) -> Servable:
-        """Load, calibrate and freeze one artifact off the serving path."""
+        """Load, calibrate and freeze one artifact off the serving path.
+
+        Public because fleet replicas build their own copy of a rolled-
+        out artifact in-process (each replica owns a private
+        ``ModelStore``), then install it locally — the per-replica half
+        of a canary deploy.
+        """
         info = network_info(manifest.network)
         spec = PrecisionSpec.parse(manifest.precision)
         network = build_network(manifest.network, seed=self.seed)
@@ -145,7 +151,7 @@ class Deployer:
             build_start = time.perf_counter()
             try:
                 servable = retry_call(
-                    functools.partial(self._build_servable, manifest,
+                    functools.partial(self.build_servable, manifest,
                                       entry.version),
                     policy=self.retry_policy,
                     retry_on=RETRYABLE_BUILD_ERRORS,

@@ -22,6 +22,11 @@ Named sites (:data:`SITES`):
 ``registry.load``
     :meth:`repro.registry.ArtifactStore.load_state` decoding a stored
     weight archive (exercises the deployer's retry/auto-rollback).
+``replica.crash``
+    one fleet replica about to serve a batch — but unlike every other
+    site, a raise-mode fire here kills the *process* (``os._exit``),
+    exercising heartbeat detection, respawn/rejoin and in-flight batch
+    resubmission rather than an exception path.
 
 Modes: ``raise`` (a :class:`~repro.errors.FaultInjectedError`),
 ``delay`` (sleep ``delay_s``), ``corrupt`` (mangle the value passed to
@@ -58,6 +63,7 @@ SITES = (
     "parallel.point",
     "cache.read",
     "registry.load",
+    "replica.crash",
 )
 
 _MODES = ("raise", "delay", "corrupt")
@@ -226,4 +232,8 @@ def chaos_preset(seed: int = 0) -> FaultInjector:
     injector.arm("parallel.point", mode="raise", rate=0.2)
     injector.arm("cache.read", mode="raise", rate=0.2)
     injector.arm("registry.load", mode="raise", rate=0.2)
+    # Real process death, at most once per replica incarnation: the
+    # respawned process re-arms from a derived seed, so a soak sees
+    # crash/rejoin without replicas dying in a tight loop.
+    injector.arm("replica.crash", mode="raise", rate=0.01, max_fires=1)
     return injector

@@ -31,18 +31,44 @@ Components:
     and cumulative modeled energy.
 ``run_closed_loop``
     Closed-loop load generator backing ``python -m repro serve-bench``.
+``FleetServer`` / ``FleetConfig``
+    Multi-process sharded serving: N replica processes behind one
+    admission front-end, zero-copy shared-memory tensor handoff
+    (``repro.serve.ipc``), heartbeat-driven crash recovery with
+    in-flight resubmission, and per-replica canary deploys
+    (``docs/serving.md`` has the topology).
 """
 
 from repro.serve.request import (
     InferenceRequest,
     InferenceResult,
     ModelKey,
+    PendingRequest,
     ServeFuture,
 )
 from repro.serve.batcher import Batcher, BatchPolicy
-from repro.serve.stats import ServerStats, StatsReport, latency_percentiles
+from repro.serve.stats import (
+    ServerStats,
+    StatsReport,
+    latency_percentiles,
+    merge_reports,
+)
 from repro.serve.model_store import ModelStore, Servable
 from repro.serve.engine import InferenceServer
+from repro.serve.ipc import (
+    ReplicaRing,
+    SlotDescriptor,
+    SlotState,
+    TensorRing,
+    scan_segments,
+)
+from repro.serve.replica import CRASH_EXIT_CODE, ReplicaConfig
+from repro.serve.fleet import (
+    FleetConfig,
+    FleetReport,
+    FleetServer,
+    ReplicaStatus,
+)
 from repro.serve.loadgen import LoadResult, run_closed_loop
 
 __all__ = [
@@ -52,12 +78,25 @@ __all__ = [
     "ServeFuture",
     "Batcher",
     "BatchPolicy",
+    "PendingRequest",
     "ServerStats",
     "StatsReport",
     "latency_percentiles",
+    "merge_reports",
     "ModelStore",
     "Servable",
     "InferenceServer",
+    "TensorRing",
+    "ReplicaRing",
+    "SlotDescriptor",
+    "SlotState",
+    "scan_segments",
+    "ReplicaConfig",
+    "CRASH_EXIT_CODE",
+    "FleetServer",
+    "FleetConfig",
+    "FleetReport",
+    "ReplicaStatus",
     "LoadResult",
     "run_closed_loop",
 ]

@@ -113,6 +113,25 @@ class Batcher:
                 self._track_deadlines = True
             self._cond.notify_all()
 
+    def requeue(self, items: List[Batchable]) -> None:
+        """Put recovered in-flight items back at the *front* of their lanes.
+
+        The fleet resubmits batches that were in flight to a crashed
+        replica.  Unlike :meth:`put`, this works on a closed batcher
+        (the crash may happen during drain — the items were already
+        admitted once and are still owed a result), bypasses the depth
+        bound, and prepends in reverse order so the original arrival
+        order is preserved for deadline accounting and lane fairness.
+        """
+        with self._cond:
+            for item in reversed(items):
+                self._lanes.setdefault(item.model_key, deque()).appendleft(item)
+                self._size += 1
+                if getattr(item, "deadline_at", None) is not None:
+                    self._track_deadlines = True
+            if items:
+                self._cond.notify_all()
+
     def depth(self) -> int:
         """Requests currently queued (all lanes)."""
         with self._cond:

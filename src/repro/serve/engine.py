@@ -18,7 +18,6 @@ from __future__ import annotations
 import itertools
 import threading
 import time
-from dataclasses import dataclass
 from typing import List, Optional
 
 import numpy as np
@@ -37,29 +36,14 @@ from repro.serve.request import (
     InferenceRequest,
     InferenceResult,
     ModelKey,
+    PendingRequest,
     ServeFuture,
 )
 from repro.serve.stats import ServerStats, StatsReport
 
-
-@dataclass
-class _Pending:
-    """A queued request paired with its completion future."""
-
-    request: InferenceRequest
-    future: ServeFuture
-
-    @property
-    def model_key(self) -> ModelKey:
-        return self.request.model_key
-
-    @property
-    def enqueued_at(self) -> float:
-        return self.request.enqueued_at
-
-    @property
-    def deadline_at(self) -> Optional[float]:
-        return self.request.deadline_at
+# Both serving engines queue the same unit; the fleet server adds a
+# resubmission count on top, which the in-process engine never touches.
+_Pending = PendingRequest
 
 
 class InferenceServer:

@@ -68,6 +68,34 @@ class InferenceResult:
 
 
 @dataclass
+class PendingRequest:
+    """A queued request paired with its completion future.
+
+    This is the unit the :class:`~repro.serve.Batcher` queues and both
+    serving engines (in-process ``InferenceServer`` and the
+    multi-process ``FleetServer``) dispatch.  ``resubmits`` counts how
+    many times a fleet front-end re-queued the request after a replica
+    crashed with it in flight; the budget lives in the fleet config.
+    """
+
+    request: "InferenceRequest"
+    future: "ServeFuture"
+    resubmits: int = 0
+
+    @property
+    def model_key(self) -> ModelKey:
+        return self.request.model_key
+
+    @property
+    def enqueued_at(self) -> float:
+        return self.request.enqueued_at
+
+    @property
+    def deadline_at(self) -> Optional[float]:
+        return self.request.deadline_at
+
+
+@dataclass
 class ServeFuture:
     """Completion handle for a submitted request (wait with ``result``)."""
 

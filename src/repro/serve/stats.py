@@ -14,7 +14,7 @@ import threading
 import time
 from collections import Counter
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -194,6 +194,17 @@ class ServerStats:
         self.metrics.histogram("serve.queue_ms").observe(queue_ms)
 
     # ------------------------------------------------------------------
+    def samples(self) -> Tuple[List[float], List[float]]:
+        """Raw (latency_ms, queue_ms) per-request samples, copied.
+
+        Fleet replicas ship these alongside their :class:`StatsReport`
+        so the front-end can merge percentiles *exactly* (pooling the
+        samples) instead of averaging each replica's p99 — see
+        :func:`merge_reports`.
+        """
+        with self._lock:
+            return list(self._latencies_ms), list(self._queue_ms)
+
     def snapshot(self) -> Dict[str, object]:
         """Point-in-time dict of the serving counters and percentiles.
 
@@ -247,6 +258,137 @@ class ServerStats:
                     for key, info in self._served_artifacts.items()
                 },
             )
+
+
+def _weighted_percentile(
+    values: np.ndarray, weights: np.ndarray, p: float
+) -> float:
+    """Percentile of a weighted sample set (linear interpolation).
+
+    Used only for the degraded merge path where raw samples are not
+    available: each part contributes its own percentile value weighted
+    by how many requests backed it.  An approximation — exact pooling
+    via raw samples is always preferred — but strictly better than the
+    unweighted mean of percentiles, which lets a 10-request replica
+    drag the fleet p99 as hard as a 10000-request one.
+    """
+    order = np.argsort(values)
+    values = values[order]
+    weights = weights[order].astype(np.float64)
+    cum = np.cumsum(weights) - 0.5 * weights
+    cum /= weights.sum()
+    return float(np.interp(p / 100.0, cum, values))
+
+
+def merge_reports(
+    parts: Sequence[StatsReport],
+    samples: Optional[Sequence[Tuple[Sequence[float], Sequence[float]]]] = None,
+) -> StatsReport:
+    """Aggregate per-replica :class:`StatsReport` s into one fleet view.
+
+    The trap this function exists to avoid is averages-of-averages: a
+    fleet's p99 is *not* the mean of replica p99s, and energy per
+    request is *not* the mean of per-replica energy means when replicas
+    served different request counts.  Counters are summed; energy per
+    image is recomputed as total energy over total completions; batch
+    histograms are added; ``wall_s`` is the maximum part wall (replicas
+    run concurrently, so the fleet's span is the longest replica span)
+    and throughput is total completions over that shared wall.
+
+    Percentiles merge in one of two ways:
+
+    * ``samples`` given (one ``(latencies_ms, queue_ms)`` pair per
+      part, as shipped by replicas at shutdown): the samples are pooled
+      and the percentiles recomputed exactly.
+    * otherwise: weighted percentile merge — each part's percentile
+      enters a weighted quantile with weight = its completion count.
+      Approximate, clearly better than unweighted averaging, and only
+      used when a replica died before shipping its samples.
+    """
+    parts = [p for p in parts if p is not None]
+    if not parts:
+        return ServerStats(metrics=MetricsRegistry()).report()
+    if samples is not None and len(samples) != len(parts):
+        raise ValueError(
+            f"{len(parts)} reports but {len(samples)} sample sets"
+        )
+
+    completed = sum(p.completed for p in parts)
+    energy_total = float(sum(p.energy_uj_total for p in parts))
+    wall_s = max(p.wall_s for p in parts)
+    histogram: Counter = Counter()
+    for p in parts:
+        histogram.update({int(k): v for k, v in p.batch_histogram.items()})
+    n_batches = sum(histogram.values())
+    batched_images = sum(size * count for size, count in histogram.items())
+
+    artifacts: Dict[str, Dict[str, object]] = {}
+    for p in parts:
+        for key, info in p.served_artifacts.items():
+            entry = artifacts.setdefault(
+                key, {"digest": info.get("digest"),
+                      "version": info.get("version"), "batches": 0}
+            )
+            if entry.get("digest") == info.get("digest"):
+                entry["batches"] = int(entry["batches"]) + int(info["batches"])
+            else:  # a canary split: keep the most-served digest's entry
+                if int(info["batches"]) > int(entry["batches"]):
+                    artifacts[key] = dict(info)
+
+    if samples is not None:
+        pooled_lat = np.concatenate([
+            np.asarray(list(s[0]), dtype=np.float64) for s in samples
+        ]) if any(len(s[0]) for s in samples) else np.empty(0)
+        pooled_queue = np.concatenate([
+            np.asarray(list(s[1]), dtype=np.float64) for s in samples
+        ]) if any(len(s[1]) for s in samples) else np.empty(0)
+
+        def pct(p: float) -> float:
+            return float(np.percentile(pooled_lat, p)) if pooled_lat.size else 0.0
+
+        latency_mean = float(pooled_lat.mean()) if pooled_lat.size else 0.0
+        latency_max = float(pooled_lat.max()) if pooled_lat.size else 0.0
+        queue_mean = float(pooled_queue.mean()) if pooled_queue.size else 0.0
+        p50, p95, p99 = pct(50), pct(95), pct(99)
+    else:
+        weights = np.asarray([p.completed for p in parts], dtype=np.float64)
+        if weights.sum() <= 0:
+            weights = np.ones(len(parts))
+
+        def wpct(attr: str, p: float) -> float:
+            values = np.asarray([getattr(part, attr) for part in parts])
+            return _weighted_percentile(values, weights, p)
+
+        latency_mean = float(np.average(
+            [p.latency_ms_mean for p in parts], weights=weights))
+        latency_max = max(p.latency_ms_max for p in parts)
+        queue_mean = float(np.average(
+            [p.queue_ms_mean for p in parts], weights=weights))
+        p50 = wpct("latency_ms_p50", 50)
+        p95 = wpct("latency_ms_p95", 95)
+        p99 = wpct("latency_ms_p99", 99)
+
+    return StatsReport(
+        completed=completed,
+        rejected=sum(p.rejected for p in parts),
+        failed=sum(p.failed for p in parts),
+        deadline_expired=sum(p.deadline_expired for p in parts),
+        degraded=sum(p.degraded for p in parts),
+        wall_s=wall_s,
+        throughput_ips=completed / wall_s if wall_s > 0 else 0.0,
+        latency_ms_mean=latency_mean,
+        latency_ms_p50=p50,
+        latency_ms_p95=p95,
+        latency_ms_p99=p99,
+        latency_ms_max=latency_max,
+        queue_ms_mean=queue_mean,
+        batch_histogram=dict(histogram),
+        mean_batch_size=batched_images / n_batches if n_batches else 0.0,
+        max_queue_depth=max(p.max_queue_depth for p in parts),
+        energy_uj_total=energy_total,
+        energy_uj_per_image=energy_total / completed if completed else 0.0,
+        served_artifacts=artifacts,
+    )
 
 
 def latency_percentiles(latencies_ms: List[float]) -> Tuple[float, float, float]:

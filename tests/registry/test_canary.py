@@ -1,0 +1,237 @@
+"""Canary rollouts: traffic-split verdicts, promote/rollback actions.
+
+The controller only talks to a fleet through ``config.replicas``,
+``replica_metrics()`` and ``deploy_to(...)``, so these tests drive it
+with an in-process fake — verdict logic and channel bookkeeping need
+no real replica processes behind them (``tests/serve/test_fleet.py``
+and the CLI smoke cover the live wiring).
+"""
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro import registry
+from repro.errors import ConfigurationError, RegistryError
+from repro.nn.serialization import network_state
+from repro.registry import CanaryController, CanaryPolicy
+from repro.zoo import build_network
+
+
+class FakeFleet:
+    """Just enough fleet surface for the controller: counters + deploys."""
+
+    def __init__(self, replicas=4):
+        self.config = SimpleNamespace(replicas=replicas)
+        self.metrics = {
+            index: {"completed": 0, "failed": 0, "latencies_ms": [],
+                    "restarts": 0, "ready": True}
+            for index in range(replicas)
+        }
+        self.deploys = []
+
+    def replica_metrics(self):
+        return {
+            index: dict(snap, latencies_ms=list(snap["latencies_ms"]))
+            for index, snap in self.metrics.items()
+        }
+
+    def deploy_to(self, indices, root, channel, digest, version,
+                  sabotage=False, timeout_s=120.0):
+        self.deploys.append({
+            "indices": tuple(indices), "digest": digest,
+            "version": version, "sabotage": sabotage,
+        })
+
+    def serve(self, index, completed=0, failed=0, latency_ms=5.0):
+        snap = self.metrics[index]
+        snap["completed"] += completed
+        snap["failed"] += failed
+        snap["latencies_ms"].extend([latency_ms] * completed)
+
+
+@pytest.fixture
+def store(tmp_path):
+    return registry.ArtifactStore(str(tmp_path / "reg"))
+
+
+def publish(store, seed, accuracy=0.9, energy=2.0):
+    return store.publish(
+        network_state(build_network("lenet_small", seed=seed)),
+        network="lenet_small",
+        precision="fixed8",
+        dataset="digits",
+        accuracy=accuracy,
+        energy_uj_per_image=energy,
+    )
+
+
+def begin_canary(store, fleet, policy=None):
+    incumbent = publish(store, 0)
+    candidate = publish(store, 1, accuracy=0.95)
+    channel = registry.Channel(store, "prod")
+    channel.promote(incumbent.digest)
+    controller = CanaryController(
+        fleet, store, channel, policy=policy or CanaryPolicy(min_requests=10)
+    )
+    indices = controller.begin(candidate.digest)
+    return controller, channel, incumbent, candidate, indices
+
+
+def test_begin_deploys_candidate_to_highest_indices(store):
+    fleet = FakeFleet(replicas=4)
+    controller, channel, incumbent, candidate, indices = begin_canary(
+        store, fleet
+    )
+    # fraction 0.25 of 4 replicas -> exactly one canary, replica 0 control
+    assert indices == (3,)
+    assert fleet.deploys == [{
+        "indices": (3,), "digest": candidate.digest,
+        "version": 2, "sabotage": False,
+    }]
+    # the channel pointer did not move on begin
+    assert channel.active().digest == incumbent.digest
+
+
+def test_decide_waits_until_both_groups_have_traffic(store):
+    fleet = FakeFleet(replicas=4)
+    controller, *_ = begin_canary(store, fleet)
+    assert controller.decide().verdict == "wait"
+    fleet.serve(3, completed=50)         # canary traffic only
+    decision = controller.decide()
+    assert decision.verdict == "wait"
+    assert "control=0" in decision.reason
+    with pytest.raises(RegistryError, match="wait"):
+        controller.finish()
+
+
+def test_healthy_canary_promotes_and_rolls_control_forward(store):
+    fleet = FakeFleet(replicas=4)
+    controller, channel, incumbent, candidate, indices = begin_canary(
+        store, fleet
+    )
+    for index in range(4):
+        fleet.serve(index, completed=30, latency_ms=4.0)
+    decision = controller.decide()
+    assert decision.verdict == "promote"
+    assert decision.canary_requests == 30
+    assert decision.control_requests == 90
+
+    report = controller.finish(decision)
+    assert report.outcome == "promoted"
+    assert report.digest == candidate.digest
+    assert report.version == 2
+    # the channel gained a real version and the control group follows
+    assert channel.active().digest == candidate.digest
+    assert [v.version for v in channel.versions] == [1, 2]
+    assert fleet.deploys[-1]["indices"] == (0, 1, 2)
+    assert fleet.deploys[-1]["digest"] == candidate.digest
+
+
+def test_regressing_canary_rolls_back_without_touching_channel(store):
+    fleet = FakeFleet(replicas=4)
+    controller, channel, incumbent, candidate, indices = begin_canary(
+        store, fleet
+    )
+    for index in (0, 1, 2):
+        fleet.serve(index, completed=30)
+    fleet.serve(3, completed=15, failed=15)   # 50% canary error rate
+    decision = controller.decide()
+    assert decision.verdict == "rollback"
+    assert "error rate" in decision.reason
+
+    report = controller.finish(decision)
+    assert report.outcome == "rolled_back"
+    assert report.version is None
+    # the bad artifact leaves no trace: channel history is untouched
+    assert channel.active().digest == incumbent.digest
+    assert [v.version for v in channel.versions] == [1]
+    # canary replicas were redeployed onto the incumbent
+    assert fleet.deploys[-1] == {
+        "indices": (3,), "digest": incumbent.digest,
+        "version": 1, "sabotage": False,
+    }
+
+
+def test_tail_latency_regression_also_rolls_back(store):
+    fleet = FakeFleet(replicas=4)
+    policy = CanaryPolicy(min_requests=10, max_p99_increase_pct=50.0)
+    controller, channel, incumbent, *_ = begin_canary(store, fleet, policy)
+    for index in (0, 1, 2):
+        fleet.serve(index, completed=30, latency_ms=4.0)
+    fleet.serve(3, completed=30, latency_ms=40.0)   # 10x the control p99
+    decision = controller.decide()
+    assert decision.verdict == "rollback"
+    assert "p99" in decision.reason
+    assert controller.finish(decision).outcome == "rolled_back"
+    assert channel.active().digest == incumbent.digest
+
+
+def test_only_traffic_after_begin_counts(store):
+    fleet = FakeFleet(replicas=4)
+    # pre-canary history: the canary replica was failing hard before
+    fleet.serve(3, completed=10, failed=90)
+    controller, *_ = begin_canary(store, fleet)
+    for index in range(4):
+        fleet.serve(index, completed=30, latency_ms=4.0)
+    # baselines snapshot at begin() — old failures must not condemn it
+    assert controller.decide().verdict == "promote"
+
+
+def test_begin_rejects_bad_setups(store):
+    channel = registry.Channel(store, "prod")
+    incumbent = publish(store, 0)
+    candidate = publish(store, 1)
+
+    # a 1-replica fleet has no control group
+    small = CanaryController(FakeFleet(replicas=1), store, channel)
+    channel.promote(incumbent.digest)
+    with pytest.raises(ConfigurationError, match="2 replicas"):
+        small.begin(candidate.digest)
+
+    # candidate == incumbent is a no-op, not a canary
+    controller = CanaryController(FakeFleet(), store, channel)
+    with pytest.raises(RegistryError, match="already active"):
+        controller.begin(incumbent.digest)
+
+    # double-begin
+    controller.begin(candidate.digest)
+    with pytest.raises(RegistryError, match="in progress"):
+        controller.begin(candidate.digest)
+
+
+def test_begin_requires_an_incumbent(store):
+    channel = registry.Channel(store, "prod")
+    candidate = publish(store, 1)
+    controller = CanaryController(FakeFleet(), store, channel)
+    with pytest.raises(RegistryError, match="no incumbent"):
+        controller.begin(candidate.digest)
+
+
+def test_decide_and_finish_require_active_rollout(store):
+    controller = CanaryController(
+        FakeFleet(), store, registry.Channel(store, "prod")
+    )
+    with pytest.raises(RegistryError, match="no canary"):
+        controller.decide()
+    with pytest.raises(RegistryError, match="no canary"):
+        controller.finish()
+
+
+def test_policy_validates_fraction_and_min_requests():
+    with pytest.raises(ConfigurationError):
+        CanaryPolicy(fraction=0.0)
+    with pytest.raises(ConfigurationError):
+        CanaryPolicy(fraction=1.0)
+    with pytest.raises(ConfigurationError):
+        CanaryPolicy(min_requests=0)
+
+
+def test_half_fraction_still_keeps_replica_zero_as_control(store):
+    fleet = FakeFleet(replicas=2)
+    policy = CanaryPolicy(fraction=0.9, min_requests=5)
+    controller, channel, incumbent, candidate, indices = begin_canary(
+        store, fleet, policy
+    )
+    # rounding up can never swallow the whole fleet
+    assert indices == (1,)

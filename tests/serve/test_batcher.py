@@ -207,3 +207,39 @@ def test_concurrent_workers_partition_the_queue():
     # every request delivered exactly once
     assert len(collected) == 40
     assert {id(item) for item in collected} == {id(item) for item in items}
+
+
+def test_requeue_prepends_in_original_order():
+    batcher = Batcher(BatchPolicy(max_batch_size=8, max_delay_ms=1.0))
+    recovered = [FakeItem() for _ in range(3)]
+    later = FakeItem()
+    batcher.put(later)
+    # crash recovery puts the in-flight batch back at the lane front,
+    # ahead of anything that arrived while it was out
+    batcher.requeue(recovered)
+    batch = batcher.next_batch(timeout=1.0)
+    assert [id(i) for i in batch[:3]] == [id(i) for i in recovered]
+    assert id(batch[3]) == id(later)
+
+
+def test_requeue_works_on_a_closed_batcher():
+    batcher = Batcher(BatchPolicy(max_batch_size=4, max_delay_ms=1.0))
+    item = FakeItem()
+    batcher.close()
+    with pytest.raises(ServerClosedError):
+        batcher.put(FakeItem())
+    # recovered items were already admitted once and are owed a result,
+    # so a drain-time crash must still be able to return them
+    batcher.requeue([item])
+    assert batcher.depth() == 1
+    assert batcher.next_batch(timeout=1.0) == [item]
+
+
+def test_requeue_bypasses_the_depth_bound():
+    batcher = Batcher(BatchPolicy(max_batch_size=4, max_delay_ms=1.0),
+                      max_queue_depth=1)
+    batcher.put(FakeItem())
+    with pytest.raises(ServerOverloadedError):
+        batcher.put(FakeItem())
+    batcher.requeue([FakeItem(), FakeItem()])
+    assert batcher.depth() == 3

@@ -1,0 +1,118 @@
+"""Tests for the zero-copy shared-memory tensor ring (repro.serve.ipc)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, ServingError
+from repro.serve import ReplicaRing, SlotState, TensorRing, scan_segments
+
+
+@pytest.fixture()
+def ring():
+    ring = TensorRing.for_batches(
+        replica=0, slots=2, max_batch=4, image_floats=3 * 4 * 4
+    )
+    yield ring
+    ring.unlink()
+
+
+def test_acquire_walks_free_to_loaded(ring):
+    slot = ring.acquire(timeout=1.0)
+    assert slot == 0
+    assert ring.states()[0] == SlotState.LOADED
+    assert ring.states()[1] == SlotState.FREE
+
+
+def test_full_slot_cycle_roundtrips_the_batch(ring):
+    rng = np.random.default_rng(0)
+    batch = rng.normal(size=(3, 3, 4, 4)).astype(np.float32)
+    slot = ring.acquire(timeout=1.0)
+    desc = ring.write_batch(slot, batch)
+    assert desc.n == 3 and desc.shape == (3, 4, 4)
+    ring.mark_inflight(slot)
+
+    # replica side: attach, read the inputs, write logits back
+    replica = ReplicaRing(ring.segment_names(), ring.input_bytes)
+    seen = replica.read_batch(desc)
+    np.testing.assert_array_equal(seen, batch)
+    logits = rng.normal(size=(3, 10)).astype(np.float32)
+    n_out, dtype = replica.write_output(desc, logits)
+    replica.close()
+
+    out = ring.read_output(slot, desc.n, n_out, dtype)
+    np.testing.assert_array_equal(out, logits)
+    ring.release(slot)
+    assert ring.states()[slot] == SlotState.FREE
+
+
+def test_acquire_blocks_until_release_and_times_out(ring):
+    assert ring.acquire(timeout=0.5) == 0
+    assert ring.acquire(timeout=0.5) == 1
+    # both slots taken: a bounded acquire must time out, not hang
+    assert ring.acquire(timeout=0.05) is None
+    ring.release(0)
+    assert ring.acquire(timeout=0.5) == 0
+
+
+def test_state_machine_rejects_out_of_order_transitions(ring):
+    batch = np.zeros((1, 3, 4, 4), dtype=np.float32)
+    with pytest.raises(ConfigurationError):
+        ring.write_batch(0, batch)          # FREE, not LOADED
+    with pytest.raises(ConfigurationError):
+        ring.mark_inflight(0)               # FREE, not LOADED
+    with pytest.raises(ConfigurationError):
+        ring.release(0)                     # already FREE
+    slot = ring.acquire(timeout=1.0)
+    with pytest.raises(ConfigurationError):
+        ring.read_output(slot, 1, 10, "float32")  # LOADED, not INFLIGHT
+
+
+def test_write_batch_rejects_oversized_batches(ring):
+    slot = ring.acquire(timeout=1.0)
+    too_big = np.zeros((64, 3, 4, 4), dtype=np.float32)
+    with pytest.raises(ConfigurationError):
+        ring.write_batch(slot, too_big)
+
+
+def test_read_output_rejects_oversized_logits(ring):
+    slot = ring.acquire(timeout=1.0)
+    ring.write_batch(slot, np.zeros((4, 3, 4, 4), dtype=np.float32))
+    ring.mark_inflight(slot)
+    with pytest.raises(ServingError):
+        ring.read_output(slot, 4, 100000, "float64")
+
+
+def test_reset_frees_every_slot(ring):
+    ring.acquire(timeout=1.0)
+    slot = ring.acquire(timeout=1.0)
+    ring.write_batch(slot, np.zeros((1, 3, 4, 4), dtype=np.float32))
+    ring.mark_inflight(slot)
+    ring.reset()
+    assert set(ring.states().values()) == {SlotState.FREE}
+
+
+def test_close_wakes_waiters_with_none(ring):
+    ring.acquire(timeout=1.0)
+    ring.acquire(timeout=1.0)
+    ring.close()
+    assert ring.acquire(timeout=5.0) is None
+
+
+def test_segments_visible_by_token_and_unlink_is_idempotent():
+    ring = TensorRing.for_batches(
+        replica=3, slots=2, max_batch=2, image_floats=16, token="ipctest1"
+    )
+    names = scan_segments("ipctest1")
+    if names:  # /dev/shm scannable on this platform
+        assert len(names) == 2
+        assert all("_r3_s" in name for name in names)
+    ring.unlink()
+    assert scan_segments("ipctest1") == []
+    ring.unlink()  # second unlink must not raise
+
+
+def test_ring_validates_shape():
+    with pytest.raises(ConfigurationError):
+        TensorRing(replica=0, slots=0, input_bytes=64)
+    with pytest.raises(ConfigurationError):
+        TensorRing(replica=0, slots=1, input_bytes=0)

@@ -109,3 +109,33 @@ def test_serve_bench_deadline_flag_accounts_expiries(capsys):
     # request is still accounted for through the deadline bookkeeping
     assert payload["deadline_expired"] == 0
     assert payload["accounted"] == 32
+
+
+def test_serve_bench_fleet_mode(capsys):
+    code = main([
+        "serve-bench", "--network", "lenet_small", "--precision", "fixed8",
+        "--requests", "32", "--max-batch", "8", "--concurrency", "8",
+        "--calibration", "8", "--skip-baseline", "--replicas", "2", "--json",
+    ])
+    assert code == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["replicas"] == 2
+    assert payload["report"]["completed"] == 32
+    assert payload["lost"] == 0
+    assert payload["client_errors"] == 0
+    assert payload["fleet"]["restarts"] == 0
+    assert len(payload["fleet"]["replicas"]) == 2
+    # the merged replica-side view accounts for every request too
+    assert payload["replica_compute"]["completed"] == 32
+
+
+def test_serve_bench_fleet_validates_canary_flags(capsys):
+    # --canary without a registry, and without a control group: both
+    # are configuration errors reported before any process spawns
+    assert main(["serve-bench", "--canary", "abc123"]) != 0
+    assert "--canary needs --registry" in capsys.readouterr().err
+    assert main([
+        "serve-bench", "--registry", "/tmp/nonexistent-reg",
+        "--canary", "abc123", "--replicas", "1",
+    ]) != 0
+    assert "--replicas >= 2" in capsys.readouterr().err

@@ -1,0 +1,109 @@
+"""Shared-memory lifecycle: no segment outlives its fleet.
+
+Every test scans ``/dev/shm`` before and after the interesting event;
+the front-end is the single owner of segment lifetime, so a leak here
+means an orphan that survives until reboot on a real host.
+"""
+
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import numpy as np
+import pytest
+
+from repro.serve import FleetConfig, FleetServer, scan_segments
+
+needs_shm = pytest.mark.skipif(
+    not os.path.isdir("/dev/shm"), reason="no scannable /dev/shm mount"
+)
+
+SMALL = dict(
+    warm=[("lenet_small", "fixed8")], calibration_images=8, seed=0
+)
+
+
+@needs_shm
+def test_clean_shutdown_unlinks_every_segment():
+    fleet = FleetServer(FleetConfig(replicas=1, ring_slots=2, **SMALL))
+    fleet.start()
+    token = fleet._token
+    try:
+        assert len(scan_segments(token)) == 2   # 1 replica x 2 ring slots
+        future = fleet.submit(
+            np.zeros((1, 28, 28), dtype=np.float32), "lenet_small", "fixed8"
+        )
+        future.result(timeout=60.0)
+    finally:
+        fleet.stop()
+    assert scan_segments(token) == []
+
+
+@needs_shm
+def test_replica_crash_reuses_segments_and_stop_unlinks():
+    fleet = FleetServer(FleetConfig(
+        replicas=1, ring_slots=2, heartbeat_timeout_s=10.0, **SMALL
+    ))
+    fleet.start()
+    token = fleet._token
+    try:
+        before = scan_segments(token)
+        assert len(before) == 2
+        fleet.kill_replica(0)
+        deadline = time.monotonic() + 120.0
+        while fleet.restarts < 1 or fleet.ready_replicas() < 1:
+            assert time.monotonic() < deadline, "replica never rejoined"
+            time.sleep(0.05)
+        # a dying replica must not unlink (it only ever attaches) and
+        # the respawned incarnation rejoins the *same* segments
+        assert scan_segments(token) == before
+        future = fleet.submit(
+            np.zeros((1, 28, 28), dtype=np.float32), "lenet_small", "fixed8"
+        )
+        future.result(timeout=60.0)
+    finally:
+        fleet.stop()
+    assert scan_segments(token) == []
+
+
+FRONTEND_SCRIPT = """
+import sys, time
+import numpy as np
+from repro.serve import FleetConfig, FleetServer
+
+fleet = FleetServer(FleetConfig(
+    replicas=1, ring_slots=2, warm=[("lenet_small", "fixed8")],
+    calibration_images=8, seed=0,
+))
+fleet.start(install_signal_handler=True)
+print(fleet._token, flush=True)
+while True:   # serve until SIGTERM
+    time.sleep(0.1)
+"""
+
+
+@needs_shm
+def test_frontend_sigterm_unlinks_segments():
+    """SIGTERM to the front-end process must not orphan /dev/shm."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in ["src", env.get("PYTHONPATH", "")] if p
+    )
+    proc = subprocess.Popen(
+        [sys.executable, "-c", FRONTEND_SCRIPT],
+        stdout=subprocess.PIPE, text=True, env=env,
+    )
+    try:
+        token = proc.stdout.readline().strip()
+        assert token, "front-end never became ready"
+        assert len(scan_segments(token)) == 2
+        proc.send_signal(signal.SIGTERM)
+        # the emergency handler unlinks, then exits 128+SIGTERM
+        assert proc.wait(timeout=60.0) == 128 + signal.SIGTERM
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait(timeout=10.0)
+    assert scan_segments(token) == []

@@ -1,0 +1,121 @@
+"""Fleet stats merging: no averages-of-averages, exact pooled tails."""
+
+import numpy as np
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.serve import ServerStats, merge_reports
+
+
+def make_part(latencies, energy_uj=2.0, batch_size=4, failed=0):
+    """A realistic per-replica report plus its raw sample shipment."""
+    stats = ServerStats(metrics=MetricsRegistry())
+    for _ in latencies:
+        stats.record_submission()
+    for start in range(0, len(latencies), batch_size):
+        stats.record_batch(
+            min(batch_size, len(latencies) - start), queue_depth=0
+        )
+    queue = []
+    for latency in latencies:
+        stats.record_completion(
+            latency_ms=latency, queue_ms=latency / 2, energy_uj=energy_uj
+        )
+        queue.append(latency / 2)
+    if failed:
+        stats.record_failure(failed)
+    return stats.report(), (list(latencies), queue)
+
+
+def test_merge_counts_are_sums():
+    a, sa = make_part([1.0] * 40, failed=2)
+    b, sb = make_part([2.0] * 10, failed=1)
+    merged = merge_reports([a, b], [sa, sb])
+    assert merged.completed == 50
+    assert merged.failed == 3
+    assert merged.batch_histogram == {4: 12, 2: 1}
+
+
+def test_pooled_percentiles_beat_averaged_percentiles():
+    # replica A: 99 fast requests and one 100 ms straggler -> high p99.
+    # replica B: tiny traffic, all fast.  The fleet p99 must come from
+    # the pooled 110 samples, not from averaging the two replica p99s.
+    lat_a = [1.0] * 99 + [100.0]
+    lat_b = [1.0] * 10
+    a, sa = make_part(lat_a)
+    b, sb = make_part(lat_b)
+    merged = merge_reports([a, b], [sa, sb])
+    exact = float(np.percentile(lat_a + lat_b, 99))
+    assert merged.latency_ms_p99 == pytest.approx(exact)
+    naive = (a.latency_ms_p99 + b.latency_ms_p99) / 2
+    assert abs(merged.latency_ms_p99 - exact) < abs(naive - exact)
+    assert merged.latency_ms_max == 100.0
+    assert merged.latency_ms_mean == pytest.approx(
+        float(np.mean(lat_a + lat_b))
+    )
+
+
+def test_energy_per_image_is_total_over_total():
+    # 100 cheap completions and 10 expensive ones: the fleet uJ/image
+    # is 300/110, nowhere near the unweighted mean of (2, 10).
+    a, sa = make_part([1.0] * 100, energy_uj=2.0)
+    b, sb = make_part([1.0] * 10, energy_uj=10.0)
+    merged = merge_reports([a, b], [sa, sb])
+    assert merged.energy_uj_total == pytest.approx(300.0)
+    assert merged.energy_uj_per_image == pytest.approx(300.0 / 110.0)
+
+
+def test_wall_is_max_not_sum():
+    # replicas run concurrently: the fleet span is the longest replica
+    # span, and throughput divides by that shared wall
+    a, sa = make_part([1.0] * 20)
+    b, sb = make_part([1.0] * 20)
+    merged = merge_reports([a, b], [sa, sb])
+    assert merged.wall_s == max(a.wall_s, b.wall_s)
+    if merged.wall_s > 0:
+        assert merged.throughput_ips == pytest.approx(40 / merged.wall_s)
+
+
+def test_weighted_fallback_without_raw_samples():
+    # when a replica died before shipping samples we fall back to a
+    # completion-weighted percentile merge: the 1000-request replica
+    # must dominate the 10-request one
+    a, _ = make_part([10.0] * 1000)
+    b, _ = make_part([1.0] * 10)
+    merged = merge_reports([a, b])
+    assert abs(merged.latency_ms_p99 - a.latency_ms_p99) < abs(
+        merged.latency_ms_p99 - b.latency_ms_p99
+    )
+    assert merged.latency_ms_mean == pytest.approx(
+        (10.0 * 1000 + 1.0 * 10) / 1010
+    )
+
+
+def test_merge_rejects_mismatched_sample_sets():
+    a, sa = make_part([1.0] * 4)
+    b, _ = make_part([1.0] * 4)
+    with pytest.raises(ValueError, match="sample sets"):
+        merge_reports([a, b], [sa])
+
+
+def test_merge_of_nothing_is_an_empty_report():
+    merged = merge_reports([])
+    assert merged.completed == 0
+    assert merged.latency_ms_p99 == 0.0
+
+
+def test_merge_pools_served_artifacts():
+    a, sa = make_part([1.0] * 8)
+    b, sb = make_part([1.0] * 8)
+    stats_a = ServerStats(metrics=MetricsRegistry())
+    stats_a.record_batch(4, 0)
+    stats_a.record_artifact("lenet_small@fixed8", "aaa", 1)
+    stats_b = ServerStats(metrics=MetricsRegistry())
+    stats_b.record_batch(4, 0)
+    stats_b.record_artifact("lenet_small@fixed8", "aaa", 1)
+    merged = merge_reports(
+        [stats_a.report(), stats_b.report()], [([], []), ([], [])]
+    )
+    entry = merged.served_artifacts["lenet_small@fixed8"]
+    assert entry["digest"] == "aaa"
+    assert entry["batches"] == 2
