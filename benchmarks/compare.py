@@ -45,6 +45,7 @@ BENCH_FILES = {
     "test_bench_serve.py": "wall_s.serve",
     "test_bench_kernels.py": "wall_s.kernels",
     "test_bench_parallel_sweep.py": "wall_s.parallel_sweep",
+    "test_bench_search.py": "wall_s.search",
     "test_bench_resilience.py": "wall_s.resilience",
     "test_bench_registry.py": "wall_s.registry",
     "test_bench_sim.py": "wall_s.sim",
@@ -62,12 +63,14 @@ DIRECTIONS = {
     "wall_s.serve": "lower",
     "wall_s.kernels": "lower",
     "wall_s.parallel_sweep": "lower",
+    "wall_s.search": "lower",
     "wall_s.resilience": "lower",
     "wall_s.registry": "lower",
     "wall_s.sim": "lower",
     "wall_s.kernels_fused": "lower",
     "wall_s.fleet": "lower",
     "parallel.cache_hit_rate": "higher",
+    "search.cache_hit_rate": "higher",
     "parallel.speedup": "higher",
     "kernels.fused_speedup": "higher",
     "serve.fleet_speedup": "higher",
@@ -107,6 +110,9 @@ def collect_metrics(walls):
         sweep = json.load(handle)
     metrics["parallel.cache_hit_rate"] = sweep["cache_hit_rate"]
     metrics["parallel.speedup"] = sweep["speedup"]
+    search_path = os.path.join(RESULTS, "search.json")
+    with open(search_path) as handle:
+        metrics["search.cache_hit_rate"] = json.load(handle)["cache_hit_rate"]
     kernels_path = os.path.join(RESULTS, "kernels_fused.json")
     with open(kernels_path) as handle:
         kernels = json.load(handle)

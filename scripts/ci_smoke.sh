@@ -5,7 +5,7 @@
 # $SMOKE_OUT so the workflow can upload them as artifacts.
 #
 # Usage:
-#   scripts/ci_smoke.sh <serve|chaos|fleet-chaos|profile|kernels|sim|sweep|all>
+#   scripts/ci_smoke.sh <serve|chaos|fleet-chaos|profile|kernels|sim|sweep|search|all>
 #
 # Environment:
 #   SMOKE_OUT   directory for JSON artifacts (default /tmp/repro-smoke)
@@ -98,6 +98,30 @@ smoke_sweep() {
     --json | tee "$OUT/sweep.json" >/dev/null
 }
 
+smoke_search() {
+  echo "== smoke: mixed-precision & width search -> promoted channel"
+  rm -rf /tmp/repro-search-cache /tmp/repro-search-registry
+  python -m repro search \
+    --task lenet_small --energy-budget 50 \
+    --generations 2 --population 3 --survivors 3 \
+    --widths 0.5 1.0 --weight-bits 2 4 8 \
+    --n-train 256 --n-test 96 --float-epochs 1 --qat-epochs 1 \
+    --cache-dir /tmp/repro-search-cache \
+    --registry /tmp/repro-search-registry \
+    --json | tee "$OUT/search.json" >/dev/null
+  python - "$OUT/search.json" <<'EOF'
+import json, sys
+payload = json.load(open(sys.argv[1]))
+assert payload["promoted"], payload.get("rejected")
+assert payload["frontier"], payload
+assert all(p["energy_uj"] <= 50.0 for p in payload["frontier"]), payload
+print(f"search smoke: {payload['evaluated']} evaluated, "
+      f"{len(payload['frontier'])} frontier point(s), "
+      f"{len(payload['promoted'])} promoted, "
+      f"dominates_fixed_grid={payload['dominates_fixed_grid']}")
+EOF
+}
+
 usage() {
   grep '^#   scripts/' "$0" | sed 's/^# *//'
   exit 2
@@ -113,8 +137,10 @@ for target in "$@"; do
     kernels)      smoke_kernels ;;
     sim)          smoke_sim ;;
     sweep)        smoke_sweep ;;
+    search)       smoke_search ;;
     all)          smoke_serve; smoke_chaos; smoke_fleet_chaos; \
-                  smoke_profile; smoke_kernels; smoke_sim; smoke_sweep ;;
+                  smoke_profile; smoke_kernels; smoke_sim; smoke_sweep; \
+                  smoke_search ;;
     *)            echo "unknown smoke target: $target" >&2; usage ;;
   esac
 done

@@ -36,6 +36,12 @@ Commands:
     result cache: ``repro sweep --workers 4`` regenerates a network's
     accuracy column and a re-run resumes from cache.  ``--publish``
     turns every converged point into a registry artifact.
+``search``
+    Automated mixed-precision & width search: evolve per-layer
+    precision assignments crossed with width-scaled architectures
+    under an energy budget, prune each generation with the Pareto
+    frontier, and (``--registry``) publish + promote the surviving
+    frontier through a channel — see ``docs/search.md``.
 ``registry``
     Model-artifact lifecycle (``repro registry publish|list|promote|
     rollback|serve``): publish trained weights as content-addressed
@@ -874,6 +880,132 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_search(args: argparse.Namespace) -> int:
+    from repro.core.sweep import SweepConfig as _SweepConfig
+    from repro.search import PrecisionSearch, SearchConfig, SearchSpace
+
+    space = SearchSpace(
+        task=args.task,
+        width_choices=tuple(args.widths),
+        weight_bit_choices=tuple(args.weight_bits),
+        input_bits=args.input_bits,
+        kind=args.kind,
+        per_layer=not args.uniform_only,
+    )
+    config = SearchConfig(
+        space=space,
+        generations=args.generations,
+        population=args.population,
+        survivors=args.survivors,
+        energy_budget_uj=args.energy_budget,
+        seed=args.seed,
+        workers=args.workers,
+        sweep=_SweepConfig(
+            float_epochs=args.float_epochs,
+            qat_epochs=args.qat_epochs,
+            seed=args.seed,
+        ),
+        n_train=args.n_train,
+        n_test=args.n_test,
+        dataset_seed=args.seed,
+        sim_check=args.sim_check,
+    )
+    cache = None if args.no_cache else (args.cache_dir or True)
+    if args.resume and cache is None:
+        print("error: --resume requires the cache (drop --no-cache)",
+              file=sys.stderr)
+        return 2
+
+    search = PrecisionSearch(config, cache=cache)
+    started = time.perf_counter()
+    result = search.run(resume=args.resume)
+    elapsed = time.perf_counter() - started
+
+    published = None
+    if args.registry:
+        published = search.publish(result, args.registry, args.channel or None)
+
+    if args.json:
+        payload = {
+            "task": args.task,
+            "fingerprint": space.fingerprint(),
+            "energy_budget_uj": args.energy_budget,
+            "generations_run": result.generations_run,
+            "evaluated": len(result.evaluated),
+            "elapsed_s": elapsed,
+            "cache_hits": result.cache_hits,
+            "cache_misses": result.cache_misses,
+            "dominates_fixed_grid": result.dominates_fixed_grid,
+            "frontier": [
+                {
+                    "label": p.label,
+                    "accuracy": p.accuracy,
+                    "energy_uj": p.energy_uj,
+                    "metadata": dict(p.metadata),
+                }
+                for p in result.frontier
+            ],
+            "grid_frontier": [
+                {"label": p.label, "accuracy": p.accuracy,
+                 "energy_uj": p.energy_uj}
+                for p in result.grid_frontier
+            ],
+            "sim_gaps_pct": result.sim_gaps_pct,
+        }
+        if published is not None:
+            payload["promoted"] = [
+                {"label": label, "version": entry.version,
+                 "digest": entry.digest}
+                for label, entry in published["promoted"]
+            ]
+            payload["rejected"] = [
+                {"label": label, "reason": reason}
+                for label, reason in published["rejected"]
+            ]
+        print(json.dumps(payload, indent=2))
+    else:
+        frontier_labels = {p.label for p in result.frontier}
+        rows = [
+            [
+                e.candidate.network,
+                e.candidate.spec_key,
+                f"{e.result.accuracy_percent:.2f}" if e.converged else "NA",
+                f"{e.energy_uj:.3f}",
+                str(e.generation),
+                "*" if e.candidate.key in frontier_labels else "",
+            ]
+            for e in result.evaluated
+        ]
+        budget = (f", budget {args.energy_budget:g} uJ"
+                  if args.energy_budget else "")
+        print(format_table(
+            ["Network", "Precision", "Acc %", "Energy uJ", "Gen", "Front"],
+            rows,
+            title=f"search: {args.task} ({result.generations_run} "
+                  f"generation(s){budget}, {elapsed:.1f} s)",
+        ))
+        print("frontier: " + ", ".join(p.label for p in result.frontier))
+        verdict = ("DOMINATES" if result.dominates_fixed_grid
+                   else "does not dominate")
+        print(f"search {verdict} the fixed grid "
+              f"({len(result.dominating)} dominating point(s))")
+        for label, gap in result.sim_gaps_pct.items():
+            print(f"  sim check {label}: {gap:+.2f}% energy gap")
+        if result.cache_hits or result.cache_misses:
+            print(f"cache: {result.cache_hits} hits / "
+                  f"{result.cache_misses} misses")
+        if published is not None:
+            for label, entry in published["promoted"]:
+                print(f"promoted v{entry.version}: {label} "
+                      f"({entry.digest[:12]})")
+            for label, reason in published["rejected"]:
+                print(f"gate rejected {label}: {reason}")
+    if args.registry and (published is None or not published["promoted"]):
+        print("error: nothing promoted", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _registry_store(args: argparse.Namespace) -> "registry.ArtifactStore":
     return registry.ArtifactStore(args.root)
 
@@ -1239,6 +1371,77 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--json", action="store_true",
                        help="emit results and cache stats as JSON")
     sweep.set_defaults(func=cmd_sweep)
+
+    search = sub.add_parser(
+        "search",
+        help="automated mixed-precision & width search under an "
+             "energy budget",
+        description="Evolve per-layer precision assignments crossed "
+                    "with width-scaled architectures, pruning each "
+                    "generation with the Pareto frontier.  With "
+                    "--registry, the surviving frontier is published "
+                    "and promoted through a channel behind the Pareto "
+                    "gate (the budget becomes the gate's absolute "
+                    "energy cap).  Results are bitwise identical for "
+                    "any --workers count; --resume replays finished "
+                    "points from the sweep cache.",
+    )
+    search.add_argument("--task", default="lenet_small",
+                        choices=sorted(NETWORK_BUILDERS),
+                        help="base network whose width/precision is "
+                             "searched")
+    search.add_argument("--energy-budget", type=float, default=None,
+                        metavar="UJ",
+                        help="per-image energy cap in uJ (feasible "
+                             "points drive the frontier and the "
+                             "promotion gate)")
+    search.add_argument("--generations", type=int, default=3,
+                        help="evolutionary rounds after the seed "
+                             "generation")
+    search.add_argument("--population", type=int, default=6,
+                        help="new candidates per generation")
+    search.add_argument("--survivors", type=int, default=4,
+                        help="frontier points kept as parents")
+    search.add_argument("--widths", type=float, nargs="+",
+                        default=[0.5, 0.75, 1.0, 1.25, 1.5],
+                        help="width multipliers (1.0 required)")
+    search.add_argument("--weight-bits", type=int, nargs="+",
+                        default=[2, 4, 6, 8],
+                        help="weight bit-width menu")
+    search.add_argument("--input-bits", type=int, default=8)
+    search.add_argument("--kind", default="fixed",
+                        choices=["fixed", "pow2"],
+                        help="representation family of generated specs")
+    search.add_argument("--uniform-only", action="store_true",
+                        help="disable per-layer assignments")
+    search.add_argument("--workers", type=int, default=1,
+                        help="worker processes per evaluation batch")
+    search.add_argument("--n-train", type=int, default=1500)
+    search.add_argument("--n-test", type=int, default=400)
+    search.add_argument("--float-epochs", type=int, default=10)
+    search.add_argument("--qat-epochs", type=int, default=4)
+    search.add_argument("--seed", type=int, default=0,
+                        help="root seed (sampling, datasets, training)")
+    search.add_argument("--no-cache", action="store_true",
+                        help="disable the on-disk result cache")
+    search.add_argument(
+        "--cache-dir", default="",
+        help=f"cache directory (default: {default_cache_dir()})",
+    )
+    search.add_argument("--resume", action="store_true",
+                        help="resume an interrupted search from the "
+                             "cache (verifies the space fingerprint)")
+    search.add_argument("--sim-check", action="store_true",
+                        help="cross-check frontier energies against "
+                             "the cycle-level simulator")
+    search.add_argument("--registry", default="", metavar="ROOT",
+                        help="publish + promote the frontier into this "
+                             "registry root")
+    search.add_argument("--channel", default="",
+                        help="channel name (default: search-<task>)")
+    search.add_argument("--json", action="store_true",
+                        help="emit the full result as JSON")
+    search.set_defaults(func=cmd_search)
 
     reg = sub.add_parser(
         "registry",

@@ -22,9 +22,11 @@ Typical use::
 from repro.core.precision import (
     PAPER_PRECISIONS,
     EXPANDED_VARIANTS,
+    LayeredPrecisionSpec,
     PrecisionKind,
     PrecisionSpec,
     get_precision,
+    layered_spec,
 )
 from repro.core.quantizers import IdentityQuantizer, Quantizer
 from repro.core.factory import make_quantizers
@@ -40,12 +42,18 @@ from repro.core.fake_quant import FakeQuantLayer
 from repro.core.quantized import FrozenQuantizedNetwork, QuantizedNetwork
 from repro.core.qat import QATTrainer, post_training_quantize
 from repro.core.sweep import PrecisionResult, PrecisionSweep, SweepConfig
-from repro.core.pareto import DesignPoint, dominates, pareto_frontier
+from repro.core.pareto import (
+    DesignPoint,
+    dominates,
+    pareto_frontier,
+    pareto_frontier_bruteforce,
+)
 from repro.core.integer_network import IntegerInference
 from repro.core.mixed_precision import (
     MixedPrecisionNetwork,
     assignment_weight_kb,
     greedy_bit_allocation,
+    make_quantized_network,
 )
 from repro.core.analysis import (
     TensorQuantizationStats,
@@ -59,6 +67,8 @@ from repro.core.analysis import (
 __all__ = [
     "PrecisionKind",
     "PrecisionSpec",
+    "LayeredPrecisionSpec",
+    "layered_spec",
     "PAPER_PRECISIONS",
     "EXPANDED_VARIANTS",
     "get_precision",
@@ -81,9 +91,11 @@ __all__ = [
     "SweepConfig",
     "DesignPoint",
     "pareto_frontier",
+    "pareto_frontier_bruteforce",
     "dominates",
     "IntegerInference",
     "MixedPrecisionNetwork",
+    "make_quantized_network",
     "greedy_bit_allocation",
     "assignment_weight_kb",
     "TensorQuantizationStats",

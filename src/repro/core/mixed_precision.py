@@ -23,11 +23,15 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.core.precision import PrecisionKind, PrecisionSpec
+from repro.core.precision import (
+    LayeredPrecisionSpec,
+    PrecisionKind,
+    PrecisionSpec,
+)
 from repro.core.factory import make_quantizers
 from repro.core.quantized import QuantizedNetwork
 from repro.core.quantizers import Quantizer
-from repro.errors import ConfigurationError
+from repro.errors import ConfigError, ConfigurationError
 from repro.nn.metrics import accuracy
 from repro.nn.network import Sequential
 from repro.nn.tensor import Parameter
@@ -42,6 +46,12 @@ class MixedPrecisionNetwork(QuantizedNetwork):
             Every weight tensor of ``network`` must be assigned.
         input_bits: activation/feature-map width (one radix per tensor
             is still chosen dynamically by the range trackers).
+        headline: the spec this wrapper reports as ``self.spec``.
+            Defaults to a synthetic ``mixed<maxbits>`` spec; callers
+            constructing the network from a
+            :class:`~repro.core.precision.LayeredPrecisionSpec` pass
+            that spec so keys/labels round-trip (see
+            :func:`make_quantized_network`).
     """
 
     def __init__(
@@ -49,6 +59,7 @@ class MixedPrecisionNetwork(QuantizedNetwork):
         network: Sequential,
         assignment: Dict[str, PrecisionSpec],
         input_bits: int = 16,
+        headline: Optional[PrecisionSpec] = None,
     ):
         weight_names = {p.name for p in network.weight_parameters()}
         missing = weight_names - set(assignment)
@@ -63,13 +74,14 @@ class MixedPrecisionNetwork(QuantizedNetwork):
             )
         # the wrapper-level spec carries the activation width; weight
         # bits vary per layer, so the headline number is the maximum
-        max_weight_bits = max(spec.weight_bits for spec in assignment.values())
-        headline = PrecisionSpec(
-            kind=PrecisionKind.FIXED,
-            weight_bits=max_weight_bits,
-            input_bits=input_bits,
-            key=f"mixed{max_weight_bits}",
-        )
+        if headline is None:
+            max_weight_bits = max(spec.weight_bits for spec in assignment.values())
+            headline = PrecisionSpec(
+                kind=PrecisionKind.FIXED,
+                weight_bits=max_weight_bits,
+                input_bits=input_bits,
+                key=f"mixed{max_weight_bits}",
+            )
         super().__init__(network, headline)
         self.assignment = dict(assignment)
         self._per_param: Dict[int, Quantizer] = {}
@@ -81,12 +93,60 @@ class MixedPrecisionNetwork(QuantizedNetwork):
     def weight_quantizer_for(self, param: Parameter) -> Quantizer:
         return self._per_param[id(param)]
 
+    @classmethod
+    def from_layered(
+        cls, network: Sequential, spec: "LayeredPrecisionSpec"
+    ) -> "MixedPrecisionNetwork":
+        """Build from a per-layer spec: widths map to weight tensors in
+        network layer order (the order they are declared, the same
+        order :meth:`Sequential.weight_parameters` returns)."""
+        weights = network.weight_parameters()
+        if len(spec.weight_bits_per_layer) != len(weights):
+            raise ConfigError(
+                "weight_bits_per_layer",
+                f"spec {spec.key!r} assigns "
+                f"{len(spec.weight_bits_per_layer)} layer widths but "
+                f"{network.name!r} has {len(weights)} weight tensors",
+            )
+        assignment = {
+            param.name: layer_spec
+            for param, layer_spec in zip(weights, spec.per_layer_specs())
+        }
+        return cls(
+            network, assignment, input_bits=spec.input_bits, headline=spec
+        )
+
     def describe(self) -> str:
         """One line per layer: tensor name and its assigned precision."""
         lines = [f"MixedPrecisionNetwork({self.network.name!r}):"]
         for param in self.network.weight_parameters():
             lines.append(f"  {param.name:<24} {self.assignment[param.name].label}")
         return "\n".join(lines)
+
+
+def make_quantized_network(
+    network: Sequential,
+    spec: "PrecisionSpec | str",
+    **kwargs,
+) -> QuantizedNetwork:
+    """Quantized-inference wrapper for any parseable precision.
+
+    The single construction point shared by sweeps, serving and the
+    search: uniform specs build a plain :class:`QuantizedNetwork`,
+    per-layer :class:`LayeredPrecisionSpec` s build a
+    :class:`MixedPrecisionNetwork` whose reported ``spec`` is the
+    layered spec itself (keys round-trip through caches and manifests).
+    ``kwargs`` forward to :class:`QuantizedNetwork` for uniform specs
+    (layered construction accepts none today).
+    """
+    spec = PrecisionSpec.parse(spec)
+    if isinstance(spec, LayeredPrecisionSpec):
+        if kwargs:
+            raise ConfigurationError(
+                f"layered precision does not accept options {sorted(kwargs)}"
+            )
+        return MixedPrecisionNetwork.from_layered(network, spec)
+    return QuantizedNetwork(network, spec, **kwargs)
 
 
 def assignment_weight_kb(

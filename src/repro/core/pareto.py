@@ -4,12 +4,20 @@ The paper plots every (network, precision) configuration on an
 accuracy-vs-energy plane and argues that enlarged low-precision
 networks dominate the full-precision baseline.  ``pareto_frontier``
 extracts the non-dominated set used for that argument.
+
+Search populations (``repro.search``) are ~100x the fig4 grid, so the
+frontier extraction is a sort-based O(n log n) sweep; the original
+quadratic scan survives as :func:`pareto_frontier_bruteforce`, the
+oracle the property tests compare against.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Sequence
+
+from repro.errors import ConfigError
 
 
 @dataclass(frozen=True)
@@ -21,12 +29,29 @@ class DesignPoint:
         accuracy: classification accuracy in percent.
         energy_uj: per-image inference energy in microjoules.
         metadata: free-form extras (network name, precision key, ...).
+
+    Raises:
+        ConfigError: if ``accuracy`` or ``energy_uj`` is NaN.  A
+            diverged QAT point used to poison dominance comparisons
+            silently (every NaN comparison is False, so the point was
+            neither dominated nor dominating); rejecting it at
+            construction makes the failure typed and attributable.
     """
 
     label: str
     accuracy: float
     energy_uj: float
     metadata: Dict[str, str] = field(default_factory=dict, compare=False, hash=False)
+
+    def __post_init__(self) -> None:
+        if math.isnan(self.accuracy):
+            raise ConfigError(
+                "accuracy", f"design point {self.label!r} has NaN accuracy"
+            )
+        if math.isnan(self.energy_uj):
+            raise ConfigError(
+                "energy_uj", f"design point {self.label!r} has NaN energy"
+            )
 
 
 def dominates(a: DesignPoint, b: DesignPoint) -> bool:
@@ -41,7 +66,38 @@ def pareto_frontier(points: Sequence[DesignPoint]) -> List[DesignPoint]:
     """Non-dominated subset, sorted by increasing energy.
 
     Duplicate-coordinate points are all kept (none dominates the other).
+
+    One pass over the points sorted by (energy asc, accuracy desc): an
+    equal-energy group survives iff its best accuracy strictly exceeds
+    the best accuracy seen at any strictly lower energy, and within a
+    surviving group exactly the max-accuracy points (all duplicates)
+    are kept.  O(n log n) versus the quadratic all-pairs scan kept as
+    :func:`pareto_frontier_bruteforce`.
     """
+    n = len(points)
+    if n == 0:
+        return []
+    order = sorted(range(n), key=lambda i: (points[i].energy_uj, -points[i].accuracy))
+    frontier: List[DesignPoint] = []
+    best_cheaper_acc = -math.inf
+    i = 0
+    while i < n:
+        energy = points[order[i]].energy_uj
+        j = i
+        while j < n and points[order[j]].energy_uj == energy:
+            j += 1
+        group = [points[order[k]] for k in range(i, j)]
+        group_best = group[0].accuracy  # sorted descending within the group
+        if group_best > best_cheaper_acc:
+            frontier.extend(p for p in group if p.accuracy == group_best)
+            best_cheaper_acc = group_best
+        i = j
+    return frontier
+
+
+def pareto_frontier_bruteforce(points: Sequence[DesignPoint]) -> List[DesignPoint]:
+    """Quadratic all-pairs frontier: the test oracle for
+    :func:`pareto_frontier` (identical output, O(n^2) time)."""
     frontier = [
         p for p in points
         if not any(dominates(q, p) for q in points)

@@ -9,8 +9,8 @@ from __future__ import annotations
 
 import enum
 import re
-from dataclasses import dataclass
-from typing import Dict, List, Union
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple, Union
 
 from repro.errors import ConfigurationError
 
@@ -77,6 +77,10 @@ class PrecisionSpec:
           since binary weights are one bit by definition).
         * compact novel widths — ``"fixed12"`` (not in the registry)
           parses as ``fixed:12:12``.
+        * per-layer widths — ``"fixed:2,4,8:8"`` parses as a
+          :class:`LayeredPrecisionSpec` assigning one weight bit-width
+          per weight tensor, in network layer order (see
+          :func:`layered_spec`).
 
         Specs whose ``(kind, w, in)`` matches a registry entry come
         back as that canonical entry, so
@@ -94,6 +98,21 @@ class PrecisionSpec:
         if ":" in key:
             parts = key.split(":")
             kind_name, bit_parts = parts[0], parts[1:]
+            if bit_parts and "," in bit_parts[0]:
+                if kind_name not in kinds or len(bit_parts) != 2:
+                    raise ConfigurationError(
+                        f"cannot parse precision {text!r}; per-layer form "
+                        f"is 'kind:w1,w2,...:in' with kind in {sorted(kinds)}"
+                    )
+                try:
+                    per_layer = [int(part) for part in bit_parts[0].split(",")]
+                    input_bits = int(bit_parts[1])
+                except ValueError:
+                    raise ConfigurationError(
+                        f"cannot parse precision {text!r}: bit widths must "
+                        f"be integers"
+                    ) from None
+                return layered_spec(kinds[kind_name], per_layer, input_bits)
         else:
             match = re.fullmatch(r"(float|fixed|pow2|binary)(\d+)", key)
             if not match:
@@ -127,6 +146,84 @@ class PrecisionSpec:
                 return spec
         return cls(kind, weight_bits, input_bits,
                    key=f"{kind.value}:{weight_bits}:{input_bits}")
+
+
+@dataclass(frozen=True)
+class LayeredPrecisionSpec(PrecisionSpec):
+    """A precision spec with an independent weight width per layer.
+
+    The paper's Section VI future-work direction (and the search's
+    per-layer axis): one representation kind and one activation width,
+    but each weight tensor carries its own bit count, in network layer
+    order.  ``weight_bits`` (the inherited headline number the uniform
+    code paths read — memory footprints, registry manifests) is the
+    per-layer maximum.
+
+    The canonical key is the parseable per-layer form,
+    ``"fixed:2,4,8:8"``, so layered specs round-trip through
+    :meth:`PrecisionSpec.parse` across cache entries, registry
+    manifests and process boundaries exactly like uniform ones.
+    Construct via :func:`layered_spec` (or ``parse``), which computes
+    the derived fields.
+    """
+
+    weight_bits_per_layer: Tuple[int, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not self.weight_bits_per_layer:
+            raise ConfigurationError(
+                "layered precision needs at least one per-layer width"
+            )
+        if any(bits < 1 for bits in self.weight_bits_per_layer):
+            raise ConfigurationError("per-layer bit widths must be >= 1")
+        if self.weight_bits != max(self.weight_bits_per_layer):
+            raise ConfigurationError(
+                "headline weight_bits must be the per-layer maximum"
+            )
+
+    @property
+    def label(self) -> str:
+        widths = ",".join(str(b) for b in self.weight_bits_per_layer)
+        return f"{super().label.split(' (')[0]} ([{widths}],{self.input_bits})"
+
+    def layer_spec(self, bits: int) -> PrecisionSpec:
+        """The uniform spec one layer assigned ``bits`` runs at."""
+        return PrecisionSpec.parse(
+            f"{self.kind.value}:{bits}:{self.input_bits}"
+        )
+
+    def per_layer_specs(self) -> List[PrecisionSpec]:
+        """Uniform specs in layer order (one per weight tensor)."""
+        return [self.layer_spec(bits) for bits in self.weight_bits_per_layer]
+
+
+def layered_spec(
+    kind: Union[PrecisionKind, str],
+    weight_bits_per_layer: Sequence[int],
+    input_bits: int,
+) -> LayeredPrecisionSpec:
+    """Build a :class:`LayeredPrecisionSpec` with its canonical key."""
+    if isinstance(kind, str):
+        try:
+            kind = PrecisionKind(kind.lower())
+        except ValueError:
+            raise ConfigurationError(
+                f"unknown precision kind {kind!r}"
+            ) from None
+    per_layer = tuple(int(bits) for bits in weight_bits_per_layer)
+    if not per_layer:
+        raise ConfigurationError(
+            "layered precision needs at least one per-layer width"
+        )
+    key = f"{kind.value}:{','.join(str(b) for b in per_layer)}:{input_bits}"
+    return LayeredPrecisionSpec(
+        kind=kind,
+        weight_bits=max(per_layer),
+        input_bits=int(input_bits),
+        key=key,
+        weight_bits_per_layer=per_layer,
+    )
 
 
 def _registry() -> Dict[str, PrecisionSpec]:

@@ -233,7 +233,11 @@ class PrecisionSweep:
         cfg = self.config
         network = self.builder()
         transfer_weights(self._float_network, network)
-        qnet = QuantizedNetwork(network, spec)
+        # layered specs build a MixedPrecisionNetwork; QAT and the
+        # quantized evaluation flow through weight_quantizer_for either way
+        from repro.core.mixed_precision import make_quantized_network
+
+        qnet = make_quantized_network(network, spec)
         qnet.calibrate(self.split.train.images[: cfg.calibration_samples])
 
         history: Dict[str, List[float]] = {}

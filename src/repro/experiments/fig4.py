@@ -18,7 +18,6 @@ from typing import Dict, List, Optional
 
 from repro.core.pareto import DesignPoint, pareto_frontier
 from repro.core.precision import PrecisionSpec
-from repro.errors import PromotionRejectedError
 from repro.experiments import table5
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.formatting import format_scatter
@@ -27,6 +26,7 @@ from repro.registry import (
     ArtifactStore,
     Channel,
     PromotionPolicy,
+    promote_frontier,
     publish_with_modeled_costs,
 )
 
@@ -116,24 +116,11 @@ def publish_registry(
             },
         )
     channel = Channel(store, channel_name)
-    policy = PromotionPolicy()
     frontier: List[DesignPoint] = result["frontier"]  # type: ignore[assignment]
-    promoted = []
-    rejected = []
-    for point in sorted(frontier, key=lambda p: -p.energy_uj):
-        manifest = manifests.get(point.label)
-        if manifest is None:
-            continue
-        try:
-            entry = channel.promote(
-                manifest.digest,
-                policy=policy,
-                note=f"fig4 frontier: {point.label}",
-            )
-        except PromotionRejectedError as exc:
-            rejected.append((point.label, str(exc)))
-            continue
-        promoted.append((point.label, entry))
+    promoted, rejected = promote_frontier(
+        channel, frontier, manifests,
+        policy=PromotionPolicy(), note="fig4 frontier",
+    )
     return {
         "store": store,
         "artifacts": manifests,

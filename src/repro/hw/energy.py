@@ -10,7 +10,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Tuple
 
-from repro.core.precision import PrecisionSpec
+from repro.core.precision import LayeredPrecisionSpec, PrecisionSpec
+from repro.errors import ConfigError
 from repro.hw.accelerator import Accelerator, AcceleratorConfig
 from repro.hw.scheduler import Schedule, TileScheduler
 from repro.hw.tech import TECH_65NM, TechnologyLibrary
@@ -70,7 +71,15 @@ class EnergyModel:
         input_shape: tuple,
         spec: PrecisionSpec,
     ) -> EnergyReport:
-        """Schedule ``network`` at ``spec`` and integrate energy."""
+        """Schedule ``network`` at ``spec`` and integrate energy.
+
+        A :class:`~repro.core.precision.LayeredPrecisionSpec` prices
+        each layer at its assigned per-layer width (see
+        :meth:`evaluate_layered`); uniform specs take the single-
+        schedule path below.
+        """
+        if isinstance(spec, LayeredPrecisionSpec):
+            return self.evaluate_layered(network, input_shape, spec)
         accelerator = self.accelerator_for(spec)
         schedule: Schedule = TileScheduler(accelerator).schedule(network, input_shape)
         power_w = accelerator.power_mw * 1e-3
@@ -92,6 +101,65 @@ class EnergyModel:
             power_mw=accelerator.power_mw,
             energy_uj=runtime_s * power_w * 1e6,
             layers=layers,
+        )
+
+    def evaluate_layered(
+        self,
+        network: Sequential,
+        input_shape: tuple,
+        spec: "LayeredPrecisionSpec",
+    ) -> EnergyReport:
+        """Per-layer mixed-precision energy.
+
+        Each weight layer is priced from the schedule of its *own*
+        uniform precision (bank capacities, cycle counts and datapath
+        power all depend on the word width, so the per-width schedules
+        differ); non-weight layers (pools) are priced at the spec's
+        widest width, the conservative anchor.  The per-width uniform
+        reports come from :meth:`evaluate_cached`, so a search
+        generation touching many layered specs over one network
+        schedules each distinct width once.
+        """
+        weight_layers = [
+            layer for layer in network.layers
+            if getattr(layer, "weight_parameters", None)
+            and layer.weight_parameters()
+        ]
+        if len(spec.weight_bits_per_layer) != len(weight_layers):
+            raise ConfigError(
+                "weight_bits_per_layer",
+                f"spec {spec.key!r} assigns "
+                f"{len(spec.weight_bits_per_layer)} layer widths but "
+                f"{network.name!r} has {len(weight_layers)} weight layers",
+            )
+        anchor = spec.layer_spec(spec.weight_bits)
+        assigned = {
+            layer.name: spec.layer_spec(bits)
+            for layer, bits in zip(weight_layers, spec.weight_bits_per_layer)
+        }
+        reports = {
+            uniform.key: self.evaluate_cached(network, input_shape, uniform)
+            for uniform in {anchor.key: anchor, **{
+                s.key: s for s in assigned.values()
+            }}.values()
+        }
+        anchor_report = reports[anchor.key]
+        layers = []
+        for index, anchor_layer in enumerate(anchor_report.layers):
+            source = reports[assigned.get(anchor_layer.name, anchor).key]
+            layers.append(source.layers[index])
+        total_cycles = sum(layer.cycles for layer in layers)
+        energy_uj = sum(layer.energy_uj for layer in layers)
+        runtime_s = total_cycles * self.tech.clock_period_s
+        return EnergyReport(
+            network_name=network.name,
+            precision_label=spec.label,
+            total_cycles=total_cycles,
+            runtime_us=runtime_s * 1e6,
+            power_mw=(energy_uj / (runtime_s * 1e6) * 1e3
+                      if runtime_s > 0 else 0.0),
+            energy_uj=energy_uj,
+            layers=tuple(layers),
         )
 
     def simulate(

@@ -130,13 +130,20 @@ class SweepCache:
 
     Args:
         root: cache directory; defaults to :func:`default_cache_dir`.
+        salt: extra component mixed into every :meth:`point_key`.
+            The search passes its search-space fingerprint here, so a
+            resumed search only ever reads entries produced by an
+            identical space definition — the property that makes
+            ``--resume`` bitwise-reproducible at any worker count.
+            The default empty salt leaves plain-sweep keys unchanged.
 
     The instance counts ``hits`` / ``misses`` for reporting; the
     executor additionally feeds the shared metrics registry.
     """
 
-    def __init__(self, root: Optional[str] = None):
+    def __init__(self, root: Optional[str] = None, salt: str = ""):
         self.root = os.path.abspath(os.path.expanduser(root or default_cache_dir()))
+        self.salt = salt
         self.hits = 0
         self.misses = 0
 
@@ -150,14 +157,19 @@ class SweepCache:
     ) -> str:
         """Content address of one sweep point (see module docstring)."""
         digest = hashlib.sha256()
-        for component in (
+        components = [
             f"repro-sweep-cache-v{CACHE_SCHEMA}",
             __version__,
             init_digest,
             spec_key,
             split_fp,
             config_fp,
-        ):
+        ]
+        if self.salt:
+            # appended (not inserted) so the empty-salt keys are byte-
+            # identical to pre-salt caches
+            components.append(f"salt:{self.salt}")
+        for component in components:
             digest.update(str(component).encode("utf-8"))
             digest.update(b"\x00")
         return digest.hexdigest()

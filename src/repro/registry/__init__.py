@@ -48,7 +48,7 @@ from repro.registry.canary import (
     CanaryPolicy,
     CanaryReport,
 )
-from repro.registry.publish import publish_with_modeled_costs
+from repro.registry.publish import promote_frontier, publish_with_modeled_costs
 
 __all__ = [
     "ArtifactManifest",
@@ -65,4 +65,5 @@ __all__ = [
     "CanaryPolicy",
     "CanaryReport",
     "publish_with_modeled_costs",
+    "promote_frontier",
 ]

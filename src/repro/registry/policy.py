@@ -92,7 +92,15 @@ class PromotionPolicy:
                     f"over budget {self.max_energy_uj:.3f}"
                 )
         if incumbent is not None:
-            if self.require_non_dominated and acc_known and energy_known:
+            incumbent_known = (
+                math.isfinite(incumbent.accuracy)
+                and math.isfinite(incumbent.energy_uj_per_image)
+            )
+            # An incumbent with unmeasured metrics cannot dominate; it
+            # also can no longer be lifted onto the plane at all now
+            # that DesignPoint rejects NaN coordinates.
+            if (self.require_non_dominated and acc_known and energy_known
+                    and incumbent_known):
                 if dominates(design_point(incumbent), design_point(candidate)):
                     violations.append(
                         f"dominated by incumbent "

@@ -11,20 +11,23 @@ driver cannot drift apart on how manifests are filled in.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.core.pareto import DesignPoint
 from repro.core.precision import PrecisionSpec
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, PromotionRejectedError
 from repro.hw.accelerator import Accelerator
 from repro.hw.energy import EnergyModel
 from repro.hw.memory_footprint import network_memory_footprint
 from repro.nn.serialization import load_network_state
+from repro.registry.channels import Channel, ChannelVersion
+from repro.registry.policy import PromotionPolicy
 from repro.registry.store import ArtifactManifest, ArtifactStore
 from repro.zoo.registry import build_network, network_info
 
-__all__ = ["publish_with_modeled_costs"]
+__all__ = ["publish_with_modeled_costs", "promote_frontier"]
 
 
 def publish_with_modeled_costs(
@@ -77,3 +80,43 @@ def publish_with_modeled_costs(
         created_by=created_by,
         extra=extra,
     )
+
+
+def promote_frontier(
+    channel: Channel,
+    frontier: Sequence[DesignPoint],
+    manifests: Dict[str, ArtifactManifest],
+    policy: Optional[PromotionPolicy] = None,
+    note: str = "frontier",
+) -> Tuple[List[Tuple[str, ChannelVersion]], List[Tuple[str, str]]]:
+    """Promote a Pareto frontier through ``channel``, most expensive first.
+
+    The shared promotion loop behind ``fig4 --registry`` and the search:
+    frontier points walk the channel from the highest-energy point down,
+    so the channel ends on the lowest-energy point the ``policy`` gate
+    accepts.  ``manifests`` maps a point's label to its published
+    manifest; points without one are skipped.  Gate rejections are
+    collected, not raised.
+
+    Returns ``(promoted, rejected)`` — ``promoted`` pairs each label
+    with its :class:`~repro.registry.channels.ChannelVersion`,
+    ``rejected`` pairs labels with the gate's reason.
+    """
+    policy = policy or PromotionPolicy()
+    promoted: List[Tuple[str, ChannelVersion]] = []
+    rejected: List[Tuple[str, str]] = []
+    for point in sorted(frontier, key=lambda p: -p.energy_uj):
+        manifest = manifests.get(point.label)
+        if manifest is None:
+            continue
+        try:
+            entry = channel.promote(
+                manifest.digest,
+                policy=policy,
+                note=f"{note}: {point.label}",
+            )
+        except PromotionRejectedError as exc:
+            rejected.append((point.label, str(exc)))
+            continue
+        promoted.append((point.label, entry))
+    return promoted, rejected

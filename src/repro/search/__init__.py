@@ -1,0 +1,25 @@
+"""Automated mixed-precision & width search (``repro search``).
+
+Explores per-layer precision assignments
+(:class:`~repro.core.precision.LayeredPrecisionSpec`) crossed with
+width-scaled architectures (:mod:`repro.zoo.scale`) under an energy
+budget, pruning each generation with the Pareto frontier and promoting
+survivors into the model registry.  See ``docs/search.md``.
+"""
+
+from repro.search.engine import (
+    EvaluatedCandidate,
+    PrecisionSearch,
+    SearchConfig,
+    SearchResult,
+)
+from repro.search.space import Candidate, SearchSpace
+
+__all__ = [
+    "Candidate",
+    "EvaluatedCandidate",
+    "PrecisionSearch",
+    "SearchConfig",
+    "SearchResult",
+    "SearchSpace",
+]

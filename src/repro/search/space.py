@@ -1,0 +1,213 @@
+"""The search space: width multipliers x (per-layer) precision specs.
+
+A :class:`SearchSpace` pins every axis the explorer may move along —
+the task architecture, the admissible width multipliers, the weight
+bit-width menu, the activation width and whether per-layer assignments
+are allowed.  Its :meth:`~SearchSpace.fingerprint` is mixed into every
+sweep-cache key (``SweepCache(salt=...)``), so a resumed search can
+only ever read evaluations produced by an identical space definition.
+
+Candidates, sampling and mutation are all deterministic functions of
+the space plus an explicit :class:`numpy.random.Generator` — the engine
+derives those generators from the root seed alone
+(:func:`repro.parallel.seeding.generator_for`), which is what makes a
+search bitwise-reproducible at any worker count.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.precision import (
+    PAPER_PRECISIONS,
+    PrecisionSpec,
+    layered_spec,
+)
+from repro.errors import ConfigError
+from repro.zoo.scale import scaled_name
+
+__all__ = ["Candidate", "SearchSpace"]
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """One point of the search space: (architecture width, precision).
+
+    ``base`` is the task's registered network name; ``width`` a
+    multiplier from the space's menu; ``spec_key`` any key
+    :meth:`~repro.core.precision.PrecisionSpec.parse` accepts
+    (uniform or per-layer).
+    """
+
+    base: str
+    width: float
+    spec_key: str
+
+    @property
+    def network(self) -> str:
+        """Resolvable network name (``base`` itself at width 1.0)."""
+        if self.width == 1.0:
+            return self.base
+        return scaled_name(self.base, self.width)
+
+    @property
+    def key(self) -> str:
+        """Stable identity used for dedup and result bookkeeping."""
+        return f"{self.network}|{self.spec_key}"
+
+    def spec(self) -> PrecisionSpec:
+        return PrecisionSpec.parse(self.spec_key)
+
+
+@dataclass(frozen=True)
+class SearchSpace:
+    """Axes of the mixed-precision/width search.
+
+    Attributes:
+        task: registered network name whose architecture is scaled.
+        width_choices: admissible width multipliers (must include the
+            values mutation steps between; 1.0 anchors the fixed grid).
+        weight_bit_choices: admissible weight bit-widths, ascending.
+        input_bits: activation/feature-map width shared by all
+            generated specs (the paper fixes activations per table).
+        kind: representation family of generated specs (``"fixed"`` or
+            ``"pow2"``).
+        per_layer: allow per-layer weight-width assignments
+            (:class:`~repro.core.precision.LayeredPrecisionSpec`).
+    """
+
+    task: str
+    width_choices: Tuple[float, ...] = (0.5, 0.75, 1.0, 1.25, 1.5)
+    weight_bit_choices: Tuple[int, ...] = (2, 4, 6, 8)
+    input_bits: int = 8
+    kind: str = "fixed"
+    per_layer: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.width_choices:
+            raise ConfigError("width_choices", "need at least one width")
+        if any(not w > 0 for w in self.width_choices):
+            raise ConfigError("width_choices", "widths must be > 0")
+        if 1.0 not in self.width_choices:
+            raise ConfigError(
+                "width_choices",
+                "width 1.0 must be included (it anchors the fixed grid)",
+            )
+        if not self.weight_bit_choices:
+            raise ConfigError("weight_bit_choices", "need at least one width")
+        if any(bits < 1 for bits in self.weight_bit_choices):
+            raise ConfigError("weight_bit_choices", "bit widths must be >= 1")
+        if self.input_bits < 1:
+            raise ConfigError("input_bits", "bit widths must be >= 1")
+        if self.kind not in ("fixed", "pow2"):
+            raise ConfigError(
+                "kind", f"searchable kinds are 'fixed'/'pow2', got {self.kind!r}"
+            )
+        # canonicalize order so equal spaces fingerprint equally
+        object.__setattr__(
+            self, "width_choices", tuple(sorted(set(self.width_choices)))
+        )
+        object.__setattr__(
+            self, "weight_bit_choices",
+            tuple(sorted(set(int(b) for b in self.weight_bit_choices))),
+        )
+
+    # ------------------------------------------------------------------
+    def fingerprint(self) -> str:
+        """SHA-256 over the full space definition (the cache salt)."""
+        payload = json.dumps(
+            dataclasses.asdict(self), sort_keys=True, default=str
+        )
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+    # ------------------------------------------------------------------
+    def _uniform_key(self, bits: int) -> str:
+        return PrecisionSpec.parse(f"{self.kind}:{bits}:{self.input_bits}").key
+
+    def _candidate_from_bits(self, width: float, bits: List[int]) -> Candidate:
+        """Collapse all-equal per-layer widths back to a uniform spec."""
+        if len(set(bits)) == 1:
+            return Candidate(self.task, width, self._uniform_key(bits[0]))
+        return Candidate(
+            self.task, width,
+            layered_spec(self.kind, bits, self.input_bits).key,
+        )
+
+    def anchors(self) -> List[Candidate]:
+        """The fixed grid: every paper precision at width 1.0.
+
+        Always part of generation 0 — they are both the baseline
+        frontier the search must beat and legitimate search members.
+        """
+        return [
+            Candidate(self.task, 1.0, spec.key) for spec in PAPER_PRECISIONS
+        ]
+
+    def sample(self, rng: np.random.Generator, n_layers: int) -> Candidate:
+        """Draw one candidate uniformly from the space."""
+        width = float(self.width_choices[rng.integers(len(self.width_choices))])
+        if self.per_layer and n_layers > 1 and rng.random() < 0.5:
+            bits = [
+                int(self.weight_bit_choices[
+                    rng.integers(len(self.weight_bit_choices))
+                ])
+                for _ in range(n_layers)
+            ]
+        else:
+            bits = [int(self.weight_bit_choices[
+                rng.integers(len(self.weight_bit_choices))
+            ])] * n_layers
+        return self._candidate_from_bits(width, bits)
+
+    def mutate(
+        self,
+        candidate: Candidate,
+        rng: np.random.Generator,
+        n_layers: int,
+    ) -> Optional[Candidate]:
+        """One local move: step the width, all widths, or one layer.
+
+        Anchors outside the space's own menus (e.g. the float32 or
+        pow2 grid points when ``kind == "fixed"``) cannot be stepped
+        locally; callers fall back to :meth:`sample` on ``None``.
+        """
+        spec = candidate.spec()
+        if spec.kind.value != self.kind:
+            return None
+        layered = getattr(spec, "weight_bits_per_layer", None)
+        bits = list(layered) if layered else [spec.weight_bits] * n_layers
+        if len(bits) != n_layers:
+            return None
+        if any(b not in self.weight_bit_choices for b in bits):
+            return None
+        if candidate.width not in self.width_choices:
+            return None
+
+        ops = 3 if (self.per_layer and n_layers > 1) else 2
+        op = int(rng.integers(ops))
+        step = -1 if rng.random() < 0.5 else 1
+        if op == 0:
+            index = self.width_choices.index(candidate.width)
+            index = min(max(index + step, 0), len(self.width_choices) - 1)
+            return self._candidate_from_bits(
+                float(self.width_choices[index]), bits
+            )
+        if op == 1:
+            indices = [self.weight_bit_choices.index(b) for b in bits]
+            moved = [
+                min(max(i + step, 0), len(self.weight_bit_choices) - 1)
+                for i in indices
+            ]
+            bits = [int(self.weight_bit_choices[i]) for i in moved]
+            return self._candidate_from_bits(candidate.width, bits)
+        layer = int(rng.integers(n_layers))
+        index = self.weight_bit_choices.index(bits[layer])
+        index = min(max(index + step, 0), len(self.weight_bit_choices) - 1)
+        bits[layer] = int(self.weight_bit_choices[index])
+        return self._candidate_from_bits(candidate.width, bits)

@@ -28,8 +28,9 @@ from typing import Dict, List, Optional, Tuple, Type
 
 import numpy as np
 
-from repro.core.precision import get_precision
-from repro.core.quantized import FrozenQuantizedNetwork, QuantizedNetwork
+from repro.core.mixed_precision import make_quantized_network
+from repro.core.precision import PrecisionSpec
+from repro.core.quantized import FrozenQuantizedNetwork
 from repro.data.registry import load_dataset
 from repro.errors import FaultInjectedError
 from repro.hw.energy import EnergyModel
@@ -144,12 +145,12 @@ class ModelStore:
     def _build_servable(self, key: ModelKey) -> Servable:
         get_injector().fire("store.build")
         info = network_info(key.network)
-        spec = get_precision(key.precision)
+        spec = PrecisionSpec.parse(key.precision)
         network = build_network(key.network, seed=self.seed)
         if key.network in self.weight_paths:
             load_network_weights(network, self.weight_paths[key.network])
         digest = state_digest(network)
-        qnet = QuantizedNetwork(network, spec)
+        qnet = make_quantized_network(network, spec)
         if not spec.is_float:
             qnet.calibrate(self.calibration_for(info.dataset))
         energy = self.energy_model.evaluate_cached(network, info.input_shape, spec)

@@ -272,11 +272,19 @@ def _weighted_percentile(
     unweighted mean of percentiles, which lets a 10-request replica
     drag the fleet p99 as hard as a 10000-request one.
     """
+    if len(values) == 0:
+        return 0.0
     order = np.argsort(values)
     values = values[order]
     weights = weights[order].astype(np.float64)
+    total = float(weights.sum())
+    if total <= 0.0:
+        # Every contributing part served zero requests; dividing by the
+        # zero weight sum used to yield NaN percentiles.  Nothing was
+        # measured, so report 0.0 like the empty-report percentiles do.
+        return 0.0
     cum = np.cumsum(weights) - 0.5 * weights
-    cum /= weights.sum()
+    cum /= total
     return float(np.interp(p / 100.0, cum, values))
 
 
@@ -305,13 +313,23 @@ def merge_reports(
       Approximate, clearly better than unweighted averaging, and only
       used when a replica died before shipping its samples.
     """
-    parts = [p for p in parts if p is not None]
-    if not parts:
-        return ServerStats(metrics=MetricsRegistry()).report()
+    # Validate alignment against the ORIGINAL part list, then drop dead
+    # replicas (a ``None`` report) together with their sample slot.
+    # Filtering parts first used to either raise spuriously (the dead
+    # replica's sample slot was still present) or silently pool samples
+    # against the wrong report.
     if samples is not None and len(samples) != len(parts):
         raise ValueError(
             f"{len(parts)} reports but {len(samples)} sample sets"
         )
+    if samples is not None:
+        kept = [(p, s) for p, s in zip(parts, samples) if p is not None]
+        parts = [p for p, _ in kept]
+        samples = [s for _, s in kept]
+    else:
+        parts = [p for p in parts if p is not None]
+    if not parts:
+        return ServerStats(metrics=MetricsRegistry()).report()
 
     completed = sum(p.completed for p in parts)
     energy_total = float(sum(p.energy_uj_total for p in parts))

@@ -53,14 +53,48 @@ NETWORK_BUILDERS: Dict[str, NetworkInfo] = {
 }
 
 
+#: synthesized records for width-scaled variants (see repro.zoo.scale),
+#: memoized so repeated lookups return the identical NetworkInfo
+_SCALED_INFOS: Dict[str, NetworkInfo] = {}
+
+
 def network_info(name: str) -> NetworkInfo:
-    """Look up a registered architecture."""
+    """Look up a registered architecture.
+
+    Width-scaled names (``"lenet@x1.5"``) resolve to a synthesized
+    record whose builder is a picklable binding of
+    :func:`repro.zoo.scale.build_scaled`, so scaled networks behave
+    like registered ones everywhere a name crosses a process or
+    registry boundary.
+    """
     try:
         return NETWORK_BUILDERS[name]
     except KeyError:
-        raise ConfigurationError(
-            f"unknown network {name!r}; choose from {sorted(NETWORK_BUILDERS)}"
-        ) from None
+        pass
+    if name not in _SCALED_INFOS:
+        from functools import partial
+
+        from repro.zoo.scale import parse_scaled_name
+
+        parsed = parse_scaled_name(name)
+        if parsed is None or parsed[0] not in NETWORK_BUILDERS:
+            raise ConfigurationError(
+                f"unknown network {name!r}; choose from "
+                f"{sorted(NETWORK_BUILDERS)} or a scaled variant "
+                f"'<base>@x<width>'"
+            )
+        base, width = parsed
+        from repro.zoo.scale import build_scaled
+
+        base_info = NETWORK_BUILDERS[base]
+        _SCALED_INFOS[name] = NetworkInfo(
+            name=name,
+            builder=partial(build_scaled, base, width),
+            input_shape=base_info.input_shape,
+            dataset=base_info.dataset,
+            table="scaled",
+        )
+    return _SCALED_INFOS[name]
 
 
 def build_network(name: str, seed: int = 0) -> Sequential:

@@ -1,0 +1,130 @@
+"""Width-scaled variants of the registered architectures.
+
+The paper's Table II networks (ALEX+, ALEX++) spend the energy saved by
+low precision on *wider* layers — but those widths are hand-specified.
+The search (:mod:`repro.search`) explores width multipliers
+continuously; this module synthesizes the scaled architectures on
+demand:
+
+* ``build_scaled("lenet", 1.5, seed)`` rebuilds LeNet with every hidden
+  channel/feature count multiplied by 1.5 (the classifier head keeps
+  its class count);
+* scaled networks are addressable by name — ``"lenet@x1.5"`` — through
+  :func:`repro.zoo.registry.network_info`, so sweep worker processes,
+  the registry deployer and the serving store resolve them exactly like
+  hand-written architectures.
+
+``build_scaled`` is a module-level function and scaled builders are
+``functools.partial`` bindings of it, so they pickle across process
+boundaries (a requirement of the parallel sweep executor).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro import nn
+from repro.errors import ConfigurationError
+
+__all__ = ["build_scaled", "parse_scaled_name", "scaled_name"]
+
+#: name pattern of a scaled variant: ``<base>@x<width>``
+_SCALED_RE = re.compile(r"^(?P<base>[^@]+)@x(?P<width>\d+(?:\.\d+)?)$")
+
+
+def scaled_name(base: str, width: float) -> str:
+    """Canonical name of a scaled variant, e.g. ``"lenet@x1.5"``.
+
+    ``width`` must round-trip through ``%g`` (the search restricts
+    itself to such widths); ``scaled_name(base, 1.0)`` is still the
+    ``@x1`` form — callers that mean the unscaled network should use
+    its plain name.
+    """
+    return f"{base}@x{width:g}"
+
+
+def parse_scaled_name(name: str) -> Optional[Tuple[str, float]]:
+    """``(base, width)`` when ``name`` is a scaled-variant name, else None."""
+    match = _SCALED_RE.match(name)
+    if not match:
+        return None
+    return match.group("base"), float(match.group("width"))
+
+
+def _scaled(count: int, width: float) -> int:
+    """Channel/feature count scaled by ``width`` (never below 1)."""
+    return max(1, int(round(count * width)))
+
+
+def build_scaled(base: str, width: float, seed: int = 0) -> nn.Sequential:
+    """Rebuild architecture ``base`` with every hidden width scaled.
+
+    Conv channel counts and hidden Dense widths multiply by ``width``
+    (rounded, floored at 1); the final Dense keeps its output count (the
+    classifier).  Inter-layer shapes are re-derived with each layer's
+    ``output_shape``, so Flatten -> Dense fan-ins stay consistent at any
+    multiplier.  Weight init uses one shared generator seeded by
+    ``seed``, drawn in layer order — the same convention as the
+    hand-written builders.
+    """
+    from repro.zoo.registry import NETWORK_BUILDERS
+
+    if base not in NETWORK_BUILDERS:
+        raise ConfigurationError(
+            f"cannot scale unknown network {base!r}; "
+            f"choose from {sorted(NETWORK_BUILDERS)}"
+        )
+    if not width > 0:
+        raise ConfigurationError(f"width multiplier must be > 0, got {width!r}")
+    info = NETWORK_BUILDERS[base]
+    template = info.builder(0)
+
+    last_dense = max(
+        (i for i, layer in enumerate(template.layers)
+         if isinstance(layer, nn.Dense)),
+        default=None,
+    )
+    rng = np.random.default_rng(seed)
+    shape: tuple = tuple(info.input_shape)
+    channels = shape[0]
+    layers: List[nn.Module] = []
+    for i, layer in enumerate(template.layers):
+        if isinstance(layer, nn.Conv2D):
+            out_channels = _scaled(layer.out_channels, width)
+            scaled = nn.Conv2D(
+                channels, out_channels,
+                kernel_size=layer.kernel_size, stride=layer.stride,
+                padding=layer.padding, use_bias=layer.use_bias,
+                name=layer.name, rng=rng,
+            )
+            channels = out_channels
+        elif isinstance(layer, nn.Dense):
+            out_features = (
+                layer.out_features if i == last_dense
+                else _scaled(layer.out_features, width)
+            )
+            scaled = nn.Dense(
+                shape[0], out_features,
+                use_bias=layer.use_bias, name=layer.name, rng=rng,
+            )
+        elif isinstance(layer, (nn.MaxPool2D, nn.AvgPool2D)):
+            scaled = type(layer)(
+                layer.kernel_size, stride=layer.stride,
+                padding=layer.padding, ceil_mode=layer.ceil_mode,
+                name=layer.name,
+            )
+        elif isinstance(layer, nn.Flatten):
+            scaled = nn.Flatten(name=layer.name)
+        elif isinstance(layer, nn.ReLU):
+            scaled = nn.ReLU(name=layer.name)
+        else:
+            raise ConfigurationError(
+                f"cannot scale layer {layer.name!r} of type "
+                f"{type(layer).__name__}"
+            )
+        shape = scaled.output_shape(shape)
+        layers.append(scaled)
+    return nn.Sequential(layers, name=scaled_name(base, width))

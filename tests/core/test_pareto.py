@@ -92,3 +92,76 @@ def test_frontier_properties(coords):
         f.accuracy >= best.accuracy and f.energy_uj <= best.energy_uj
         for f in frontier
     )
+
+
+# -- NaN hardening (typed ConfigError instead of silent propagation) ----
+
+def test_nan_accuracy_is_rejected_with_typed_error():
+    from repro.errors import ConfigError
+
+    with pytest.raises(ConfigError) as excinfo:
+        point("bad", float("nan"), 10.0)
+    assert excinfo.value.field == "accuracy"
+    assert "bad" in str(excinfo.value)
+
+
+def test_nan_energy_is_rejected_with_typed_error():
+    from repro.errors import ConfigError
+
+    with pytest.raises(ConfigError) as excinfo:
+        point("bad", 90.0, float("nan"))
+    assert excinfo.value.field == "energy_uj"
+
+
+def test_config_error_is_a_configuration_error():
+    from repro.errors import ConfigError, ConfigurationError
+
+    with pytest.raises(ConfigurationError):
+        point("bad", float("nan"), 10.0)
+    assert issubclass(ConfigError, ConfigurationError)
+
+
+# -- sort-based frontier vs the quadratic oracle ------------------------
+
+@settings(max_examples=80, deadline=None)
+@given(
+    coords=st.lists(
+        st.tuples(
+            st.sampled_from([70.0, 75.0, 80.0, 90.0]),
+            st.sampled_from([1.0, 2.0, 5.0, 10.0]),
+        ),
+        min_size=1, max_size=16,
+    )
+)
+def test_frontier_matches_bruteforce_oracle_on_duplicates(coords):
+    """Coordinates drawn from a tiny grid force heavy duplication —
+    the regime where a sort-based sweep most easily diverges from the
+    quadratic definition (ties on one or both axes)."""
+    from repro.core.pareto import pareto_frontier_bruteforce
+
+    points = [point(f"p{i}", acc, e) for i, (acc, e) in enumerate(coords)]
+    fast = pareto_frontier(points)
+    oracle = pareto_frontier_bruteforce(points)
+    assert [p.label for p in fast] == [p.label for p in oracle]
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    coords=st.lists(
+        st.tuples(st.floats(0, 100), st.floats(1, 1000)),
+        min_size=1, max_size=14,
+    )
+)
+def test_frontier_matches_bruteforce_oracle_on_floats(coords):
+    from repro.core.pareto import pareto_frontier_bruteforce
+
+    points = [point(f"p{i}", acc, e) for i, (acc, e) in enumerate(coords)]
+    assert [p.label for p in pareto_frontier(points)] == [
+        p.label for p in pareto_frontier_bruteforce(points)
+    ]
+
+
+def test_duplicate_points_all_kept_on_frontier():
+    points = [point("a", 90.0, 10.0), point("b", 90.0, 10.0),
+              point("worse", 80.0, 20.0)]
+    assert [p.label for p in pareto_frontier(points)] == ["a", "b"]

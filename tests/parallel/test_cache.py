@@ -211,3 +211,31 @@ def test_default_cache_dir_env_override(monkeypatch, tmp_path):
     assert default_cache_dir() == str(tmp_path / "custom")
     monkeypatch.delenv("REPRO_SWEEP_CACHE")
     assert default_cache_dir().endswith(os.path.join(".cache", "repro-sweeps"))
+
+
+# -- salted keys (search-space isolation) -------------------------------
+
+def test_empty_salt_keys_match_pre_salt_layout(tmp_path):
+    plain = SweepCache(str(tmp_path))
+    explicit = SweepCache(str(tmp_path), salt="")
+    args = ("digest", "fixed8", "split", "config")
+    assert plain.point_key(*args) == explicit.point_key(*args)
+
+
+def test_salt_partitions_the_key_space(tmp_path):
+    args = ("digest", "fixed8", "split", "config")
+    base = SweepCache(str(tmp_path)).point_key(*args)
+    salted = SweepCache(str(tmp_path), salt="space-a").point_key(*args)
+    other = SweepCache(str(tmp_path), salt="space-b").point_key(*args)
+    assert len({base, salted, other}) == 3
+
+
+def test_salted_caches_do_not_see_each_others_entries(tmp_path):
+    spec = get_precision("fixed8")
+    result = PrecisionResult(spec=spec, accuracy=0.5, converged=True)
+    a = SweepCache(str(tmp_path), salt="space-a")
+    b = SweepCache(str(tmp_path), salt="space-b")
+    args = ("digest", spec.key, "split", "config")
+    a.put(a.point_key(*args), result)
+    assert a.get(a.point_key(*args)) is not None
+    assert b.get(b.point_key(*args)) is None

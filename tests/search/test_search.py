@@ -1,0 +1,166 @@
+"""PrecisionSearch end-to-end: frontiers, reproducibility, publishing.
+
+The module-scoped ``searched`` fixture runs one real (tiny) search and
+every test inspects it, so the expensive part happens once.  Its
+configuration is deliberately frozen: seed 0 over lenet_small with
+widths {0.5, 1.0} and bits {2, 4, 8} deterministically discovers
+scaled/layered points that dominate the fixed paper grid.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.core.sweep import SweepConfig
+from repro.errors import ConfigError
+from repro.search import PrecisionSearch, SearchConfig, SearchSpace
+
+BUDGET_UJ = 50.0
+
+
+def make_config(**overrides):
+    space = SearchSpace(
+        task="lenet_small",
+        width_choices=(0.5, 1.0),
+        weight_bit_choices=(2, 4, 8),
+    )
+    kwargs = dict(
+        space=space,
+        generations=2,
+        population=3,
+        survivors=3,
+        energy_budget_uj=BUDGET_UJ,
+        seed=0,
+        sweep=SweepConfig(float_epochs=1, qat_epochs=1),
+        n_train=256,
+        n_test=96,
+    )
+    kwargs.update(overrides)
+    return SearchConfig(**kwargs)
+
+
+def frontier_tuples(result):
+    return [(p.label, p.accuracy, p.energy_uj) for p in result.frontier]
+
+
+@pytest.fixture(scope="module")
+def cache_root(tmp_path_factory):
+    return str(tmp_path_factory.mktemp("search-cache"))
+
+
+@pytest.fixture(scope="module")
+def searched(cache_root):
+    search = PrecisionSearch(make_config(), cache=cache_root)
+    return search, search.run()
+
+
+def test_search_produces_an_energy_sorted_frontier(searched):
+    _, result = searched
+    assert result.generations_run == 2
+    assert len(result.frontier) >= 2
+    energies = [p.energy_uj for p in result.frontier]
+    assert energies == sorted(energies)
+    # the budget filtered the frontier
+    assert all(p.energy_uj <= BUDGET_UJ for p in result.frontier)
+    # anchors plus bred candidates were all evaluated
+    anchors = len(result.grid_frontier)
+    assert len(result.evaluated) > anchors
+
+
+def test_search_discovers_points_dominating_the_fixed_grid(searched):
+    _, result = searched
+    assert result.dominates_fixed_grid
+    grid_labels = {p.label for p in result.grid_frontier}
+    assert all(p.label not in grid_labels for p in result.dominating)
+
+
+def test_search_writes_resume_state(searched):
+    search, result = searched
+    assert result.state_path is not None and os.path.exists(result.state_path)
+    with open(result.state_path) as handle:
+        state = json.load(handle)
+    assert state["fingerprint"] == search.space.fingerprint()
+    assert state["generations_done"] == result.generations_run
+
+
+def test_resume_replays_bitwise_from_cache(searched, cache_root):
+    _, first = searched
+    resumed = PrecisionSearch(make_config(), cache=cache_root).run(resume=True)
+    assert frontier_tuples(resumed) == frontier_tuples(first)
+    assert resumed.cache_misses == 0
+    assert resumed.cache_hits > 0
+
+
+def test_resume_requires_a_cache():
+    with pytest.raises(ConfigError, match="resume"):
+        PrecisionSearch(make_config(), cache=None).run(resume=True)
+
+
+def test_resume_rejects_a_different_search_space(searched, cache_root):
+    search, _ = searched
+    other = PrecisionSearch(
+        make_config(space=SearchSpace(
+            task="lenet_small",
+            width_choices=(0.5, 1.0),
+            weight_bit_choices=(4, 8),
+        )),
+        cache=cache_root,
+    )
+    # plant the first search's state where the second expects its own
+    with open(search.state_path()) as handle:
+        state = json.load(handle)
+    with open(other.state_path(), "w") as handle:
+        json.dump(state, handle)
+    with pytest.raises(ConfigError, match="fingerprint"):
+        other.run(resume=True)
+
+
+def test_worker_count_does_not_change_results(tmp_path):
+    config = make_config(generations=0, population=2, n_train=192, n_test=64)
+    serial = PrecisionSearch(
+        make_config(generations=0, population=2, n_train=192, n_test=64),
+        cache=str(tmp_path / "c1"),
+    ).run()
+    config.workers = 3
+    parallel = PrecisionSearch(config, cache=str(tmp_path / "c2")).run()
+    assert [
+        (e.candidate.key, e.result.accuracy, e.energy_uj)
+        for e in serial.evaluated
+    ] == [
+        (e.candidate.key, e.result.accuracy, e.energy_uj)
+        for e in parallel.evaluated
+    ]
+
+
+def test_publish_promotes_the_frontier(searched, tmp_path):
+    search, result = searched
+    published = search.publish(result, str(tmp_path / "registry"))
+    assert published["promoted"], published["rejected"]
+    channel = published["channel"]
+    assert channel.name == "search-lenet_small"
+    active = channel.active()
+    assert active is not None
+    # manifests carry search provenance and the salted cache key
+    promoted_labels = {label for label, _ in published["promoted"]}
+    for label in promoted_labels:
+        manifest = published["artifacts"][label]
+        assert manifest.extra["search_fingerprint"] == search.space.fingerprint()
+        assert manifest.sweep_cache_key
+    # the budget became the promotion gate's absolute cap
+    for label, _ in published["promoted"]:
+        assert published["artifacts"][label].energy_uj_per_image <= BUDGET_UJ
+
+
+def test_search_counters_flow_to_metrics(cache_root):
+    from repro.obs.metrics import get_metrics
+
+    metrics = get_metrics()
+    gen_before = metrics.counter("search.generation").value
+    eval_before = metrics.counter("search.evaluated").value
+    hits_before = metrics.counter("search.cache_hits").value
+    result = PrecisionSearch(make_config(), cache=cache_root).run()
+    assert metrics.counter("search.generation").value - gen_before == 3
+    assert (metrics.counter("search.evaluated").value - eval_before
+            == len(result.evaluated))
+    assert metrics.counter("search.cache_hits").value - hits_before > 0

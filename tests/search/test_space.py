@@ -1,0 +1,117 @@
+"""SearchSpace: validation, fingerprints, deterministic moves."""
+
+import pytest
+
+from repro.core.precision import LayeredPrecisionSpec, PrecisionSpec
+from repro.errors import ConfigError
+from repro.parallel.seeding import generator_for
+from repro.search import Candidate, SearchSpace
+
+
+def space(**overrides):
+    kwargs = dict(
+        task="lenet_small",
+        width_choices=(0.5, 1.0),
+        weight_bit_choices=(2, 4, 8),
+    )
+    kwargs.update(overrides)
+    return SearchSpace(**kwargs)
+
+
+def test_validation_rejects_bad_axes():
+    with pytest.raises(ConfigError):
+        space(width_choices=())
+    with pytest.raises(ConfigError):
+        space(width_choices=(0.5, 2.0))  # 1.0 missing
+    with pytest.raises(ConfigError):
+        space(width_choices=(-1.0, 1.0))
+    with pytest.raises(ConfigError):
+        space(weight_bit_choices=(0, 8))
+    with pytest.raises(ConfigError):
+        space(kind="float")
+    with pytest.raises(ConfigError):
+        space(input_bits=0)
+
+
+def test_axes_are_canonicalized():
+    a = space(width_choices=(1.0, 0.5, 0.5), weight_bit_choices=(8, 2, 4))
+    assert a.width_choices == (0.5, 1.0)
+    assert a.weight_bit_choices == (2, 4, 8)
+
+
+def test_fingerprint_tracks_every_axis():
+    base = space()
+    assert base.fingerprint() == space().fingerprint()
+    assert base.fingerprint() != space(task="convnet_small").fingerprint()
+    assert base.fingerprint() != space(weight_bit_choices=(4, 8)).fingerprint()
+    assert base.fingerprint() != space(input_bits=4).fingerprint()
+    assert base.fingerprint() != space(per_layer=False).fingerprint()
+    # canonicalization means ordering does not change identity
+    assert base.fingerprint() == space(width_choices=(1.0, 0.5)).fingerprint()
+
+
+def test_candidate_network_naming():
+    assert Candidate("lenet", 1.0, "fixed8").network == "lenet"
+    assert Candidate("lenet", 0.5, "fixed8").network == "lenet@x0.5"
+    assert Candidate("lenet", 0.5, "fixed8").key == "lenet@x0.5|fixed8"
+
+
+def test_anchors_are_the_paper_grid_at_width_one():
+    anchors = space().anchors()
+    assert all(c.width == 1.0 for c in anchors)
+    keys = {c.spec_key for c in anchors}
+    assert "float32" in keys and "fixed8" in keys
+
+
+def test_sample_is_deterministic_and_in_space():
+    s = space()
+    a = s.sample(generator_for(0, "t"), n_layers=4)
+    b = s.sample(generator_for(0, "t"), n_layers=4)
+    assert a == b
+    assert a.width in s.width_choices
+    spec = a.spec()
+    layered = getattr(spec, "weight_bits_per_layer", None) or (
+        spec.weight_bits,
+    ) * 4
+    assert all(bits in s.weight_bit_choices for bits in layered)
+
+
+def test_sample_collapses_uniform_assignments():
+    s = space(weight_bit_choices=(8,))  # only one menu entry
+    candidate = s.sample(generator_for(0, "u"), n_layers=3)
+    assert not isinstance(candidate.spec(), LayeredPrecisionSpec)
+    assert candidate.spec_key == "fixed8"
+
+
+def test_mutate_stays_in_space():
+    s = space()
+    candidate = Candidate("lenet_small", 1.0, "fixed8")
+    for i in range(32):
+        child = s.mutate(candidate, generator_for(0, "m", i), n_layers=4)
+        assert child is not None
+        assert child.width in s.width_choices
+        spec = child.spec()
+        layered = getattr(spec, "weight_bits_per_layer", None) or (
+            spec.weight_bits,
+        ) * 4
+        assert all(bits in s.weight_bit_choices for bits in layered)
+
+
+def test_mutate_rejects_out_of_space_parents():
+    s = space()
+    rng = generator_for(0, "r")
+    # float32 anchor: different kind
+    assert s.mutate(Candidate("lenet_small", 1.0, "float32"), rng, 4) is None
+    # width not on the menu
+    assert s.mutate(Candidate("lenet_small", 0.75, "fixed8"), rng, 4) is None
+    # bits not on the menu
+    assert s.mutate(Candidate("lenet_small", 1.0, "fixed16"), rng, 4) is None
+
+
+def test_mutated_layered_specs_round_trip_through_parse():
+    s = space()
+    candidate = Candidate("lenet_small", 1.0, "fixed:2,4,8,8:8")
+    for i in range(16):
+        child = s.mutate(candidate, generator_for(1, "rt", i), n_layers=4)
+        spec = PrecisionSpec.parse(child.spec_key)
+        assert spec.key == child.spec_key

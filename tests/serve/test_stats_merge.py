@@ -119,3 +119,53 @@ def test_merge_pools_served_artifacts():
     entry = merged.served_artifacts["lenet_small@fixed8"]
     assert entry["digest"] == "aaa"
     assert entry["batches"] == 2
+
+
+# -- regression: zero completion weights used to yield NaN percentiles --
+
+def test_weighted_percentile_zero_weights_is_zero_not_nan():
+    from repro.serve.stats import _weighted_percentile
+
+    values = np.asarray([5.0, 10.0, 20.0])
+    weights = np.zeros(3)
+    result = _weighted_percentile(values, weights, 99)
+    assert result == 0.0
+    assert not np.isnan(result)
+
+
+def test_weighted_percentile_empty_inputs_are_zero():
+    from repro.serve.stats import _weighted_percentile
+
+    assert _weighted_percentile(np.empty(0), np.empty(0), 50) == 0.0
+
+
+def test_merge_of_idle_replicas_has_no_nans():
+    # replicas that served nothing: every weight is zero on the
+    # degraded (no-samples) path
+    idle_a, _ = make_part([])
+    idle_b, _ = make_part([])
+    merged = merge_reports([idle_a, idle_b])
+    assert merged.completed == 0
+    for value in (merged.latency_ms_p50, merged.latency_ms_p95,
+                  merged.latency_ms_p99, merged.latency_ms_mean):
+        assert not np.isnan(value)
+
+
+# -- regression: dead replicas must drop with their sample slots --------
+
+def test_dead_replica_drops_its_sample_slot_too():
+    a, sa = make_part([1.0] * 8)
+    b, sb = make_part([9.0] * 8)
+    with_dead = merge_reports([a, None, b], [sa, ([123.0], [123.0]), sb])
+    without = merge_reports([a, b], [sa, sb])
+    assert with_dead.completed == without.completed
+    assert with_dead.latency_ms_p99 == without.latency_ms_p99
+    assert with_dead.latency_ms_max == without.latency_ms_max  # no 123 ms
+
+
+def test_alignment_check_runs_before_dead_replica_filtering():
+    a, sa = make_part([1.0] * 4)
+    # one dead replica, but only one sample set for two parts: must
+    # raise instead of silently pairing the survivor with the wrong slot
+    with pytest.raises(ValueError, match="sample sets"):
+        merge_reports([a, None], [sa])

@@ -1,0 +1,84 @@
+"""Width-scaled architecture variants (``lenet@x0.5`` etc.)."""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.zoo import build_network, network_info
+from repro.zoo.scale import build_scaled, parse_scaled_name, scaled_name
+
+
+def test_name_round_trip():
+    assert scaled_name("lenet", 0.5) == "lenet@x0.5"
+    assert scaled_name("lenet", 1.0) == "lenet@x1"
+    assert parse_scaled_name("lenet@x0.5") == ("lenet", 0.5)
+    assert parse_scaled_name("alex_small@x1.25") == ("alex_small", 1.25)
+    assert parse_scaled_name("lenet") is None
+    assert parse_scaled_name("@x0.5") is None
+
+
+@pytest.mark.parametrize("base,width", [
+    ("lenet_small", 0.5), ("lenet_small", 1.5), ("convnet_small", 2.0),
+    ("lenet", 0.75),
+])
+def test_scaled_networks_keep_io_contract(base, width):
+    info = network_info(base)
+    network = build_scaled(base, width, seed=0)
+    x = np.random.default_rng(0).normal(size=(2,) + info.input_shape)
+    out = network.forward(x.astype(np.float64))
+    base_out = build_network(base, seed=0).forward(x.astype(np.float64))
+    # the classifier layer is never scaled: class count is preserved
+    assert out.shape == base_out.shape
+
+
+def test_scaling_changes_parameter_count_monotonically():
+    def n_params(net):
+        return sum(p.data.size for p in net.parameters())
+
+    small = n_params(build_scaled("lenet_small", 0.5))
+    base = n_params(build_network("lenet_small"))
+    large = n_params(build_scaled("lenet_small", 1.5))
+    assert small < base < large
+
+
+def test_scaled_weights_are_deterministic_per_seed():
+    a = build_scaled("lenet_small", 0.5, seed=3)
+    b = build_scaled("lenet_small", 0.5, seed=3)
+    c = build_scaled("lenet_small", 0.5, seed=4)
+    for pa, pb in zip(a.parameters(), b.parameters()):
+        np.testing.assert_array_equal(pa.data, pb.data)
+    assert any(
+        not np.array_equal(pa.data, pc.data)
+        for pa, pc in zip(a.parameters(), c.parameters())
+    )
+
+
+def test_network_info_resolves_scaled_names():
+    info = network_info("lenet_small@x0.5")
+    base = network_info("lenet_small")
+    assert info.input_shape == base.input_shape
+    assert info.dataset == base.dataset
+    network = build_network("lenet_small@x0.5", seed=0)
+    assert network.name == "lenet_small@x0.5"
+    # memoized: the same info object comes back
+    assert network_info("lenet_small@x0.5") is info
+
+
+def test_scaled_builders_are_picklable():
+    info = network_info("lenet_small@x0.5")
+    rebuilt = pickle.loads(pickle.dumps(info.builder))
+    network = rebuilt(0)
+    for pa, pb in zip(network.parameters(),
+                      build_network("lenet_small@x0.5", seed=0).parameters()):
+        np.testing.assert_array_equal(pa.data, pb.data)
+
+
+def test_unknown_base_and_bad_width_raise():
+    with pytest.raises(ConfigurationError):
+        build_scaled("not_a_network", 0.5)
+    with pytest.raises(ConfigurationError):
+        build_scaled("lenet_small", 0.0)
+    with pytest.raises(ConfigurationError):
+        network_info("nope@x0.5")
