@@ -49,6 +49,7 @@ BENCH_FILES = {
     "test_bench_resilience.py": "wall_s.resilience",
     "test_bench_registry.py": "wall_s.registry",
     "test_bench_sim.py": "wall_s.sim",
+    "test_bench_control.py": "wall_s.control",
     "test_bench_fleet.py": "wall_s.fleet",
 }
 
@@ -67,6 +68,7 @@ DIRECTIONS = {
     "wall_s.resilience": "lower",
     "wall_s.registry": "lower",
     "wall_s.sim": "lower",
+    "wall_s.control": "lower",
     "wall_s.kernels_fused": "lower",
     "wall_s.fleet": "lower",
     "parallel.cache_hit_rate": "higher",
@@ -74,6 +76,7 @@ DIRECTIONS = {
     "parallel.speedup": "higher",
     "kernels.fused_speedup": "higher",
     "serve.fleet_speedup": "higher",
+    "control.slo_attainment": "higher",
 }
 
 
@@ -118,6 +121,10 @@ def collect_metrics(walls):
         kernels = json.load(handle)
     metrics["wall_s.kernels_fused"] = kernels["fused_s"]
     metrics["kernels.fused_speedup"] = kernels["speedup"]
+    control_path = os.path.join(RESULTS, "control.json")
+    with open(control_path) as handle:
+        metrics["control.slo_attainment"] = \
+            json.load(handle)["slo_attainment"]
     fleet_path = os.path.join(RESULTS, "fleet.json")
     if os.path.exists(fleet_path):  # the fleet bench skips below 4 CPUs
         with open(fleet_path) as handle:

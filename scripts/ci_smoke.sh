@@ -5,7 +5,7 @@
 # $SMOKE_OUT so the workflow can upload them as artifacts.
 #
 # Usage:
-#   scripts/ci_smoke.sh <serve|chaos|fleet-chaos|profile|kernels|sim|sweep|search|all>
+#   scripts/ci_smoke.sh <serve|chaos|fleet-chaos|profile|kernels|sim|sweep|search|control|all>
 #
 # Environment:
 #   SMOKE_OUT   directory for JSON artifacts (default /tmp/repro-smoke)
@@ -122,6 +122,29 @@ print(f"search smoke: {payload['evaluated']} evaluated, "
 EOF
 }
 
+smoke_control() {
+  echo "== smoke: closed-loop autotuner under a flash crowd"
+  # exit status is the verdict: non-zero unless the SLO held and no
+  # request was lost, so the scenario itself is the assertion
+  python -m repro serve-bench \
+    --autotune --scenario flash_crowd --scenario-time-scale 0.2 \
+    --workers 1 --max-batch 8 --slo-ms 8 --calibration 64 \
+    --json | tee "$OUT/control.json" >/dev/null
+  python - "$OUT/control.json" <<'EOF'
+import json, sys
+payload = json.load(open(sys.argv[1]))
+control = payload["control"]
+assert control["passed"], control
+assert control["attainment"] >= control["attainment_target"], control
+assert control["lost"] == 0, control
+assert control["knob_trajectory"], control
+print(f"control smoke: attainment {100 * control['attainment']:.1f}% "
+      f"over {control['windows']} windows, "
+      f"{len(control['actions'])} action(s), "
+      f"energy saved {control['energy_saved_pct']:.1f}%")
+EOF
+}
+
 usage() {
   grep '^#   scripts/' "$0" | sed 's/^# *//'
   exit 2
@@ -138,9 +161,10 @@ for target in "$@"; do
     sim)          smoke_sim ;;
     sweep)        smoke_sweep ;;
     search)       smoke_search ;;
+    control)      smoke_control ;;
     all)          smoke_serve; smoke_chaos; smoke_fleet_chaos; \
                   smoke_profile; smoke_kernels; smoke_sim; smoke_sweep; \
-                  smoke_search ;;
+                  smoke_search; smoke_control ;;
     *)            echo "unknown smoke target: $target" >&2; usage ;;
   esac
 done

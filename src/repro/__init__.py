@@ -83,6 +83,20 @@ The package is organized as one subpackage per subsystem:
     ``repro.core.pareto``, and a deployer that swaps artifacts into the
     live serving engine with zero downtime and automatic rollback
     (``python -m repro registry publish|list|promote|rollback|serve``).
+
+``repro.search``
+    Automated mixed-precision & width search: an evolutionary loop
+    over per-layer weight precisions and width-scaled architectures,
+    Pareto-pruned under an energy budget and promoted into the
+    registry (``python -m repro search --energy-budget ...``).
+
+``repro.control``
+    Closed-loop SLO autotuner for the serving engine: windowed sensors
+    over live serving stats, a hysteresis + AIMD feedback controller
+    moving batch size, precision tier and admission rate to hold a
+    latency SLO, and a scenario-driven load suite with pass/fail
+    verdicts (``python -m repro serve-bench --autotune``,
+    ``docs/control.md``).
 """
 
 from repro import backends, kernels, obs, parallel, registry, resilience, serve

@@ -66,12 +66,12 @@ from typing import List, Optional
 
 import numpy as np
 
-from repro import backends, core, hw, nn, obs, registry, serve
+from repro import backends, control, core, hw, nn, obs, registry, serve
 from repro.core.precision import PAPER_PRECISIONS
-from repro.resilience import DegradePolicy, chaos_preset, use_injector
+from repro.resilience import chaos_preset, use_injector
 from repro.core.sweep import PrecisionSweep, SweepConfig
 from repro.data import load_dataset
-from repro.errors import RegistryError
+from repro.errors import ConfigurationError, RegistryError
 from repro.experiments.formatting import format_table
 from repro.hw.nfu import NfuGeometry
 from repro.parallel import SweepCache, default_cache_dir, run_sweep
@@ -247,12 +247,34 @@ def cmd_serve_bench(args: argparse.Namespace) -> int:
     spec = core.get_precision(args.precision)
 
     degrade = None
+    degrade_watermark = 0
     if args.degrade:
-        watermark = args.degrade_watermark or max(args.queue_size // 2, 1)
-        degrade = DegradePolicy(
-            watermark=watermark, fallback={args.precision: args.degrade}
+        degrade_watermark = args.degrade_watermark or max(args.queue_size // 2, 1)
+        degrade = control.AutoTuner.latency_only(
+            watermark=degrade_watermark,
+            fallback={args.precision: args.degrade},
         )
         store.warm(args.network, args.degrade)  # fallback ready before load
+
+    if args.autotune:
+        if args.replicas > 0:
+            raise ConfigurationError(
+                "--autotune scenarios run the in-process engine; "
+                "drop --replicas"
+            )
+        if args.degrade:
+            raise ConfigurationError(
+                "--autotune supersedes --degrade (the controller owns the "
+                "precision knob); drop one of them"
+            )
+        if args.chaos is not None:
+            raise ConfigurationError(
+                "--autotune with faults is spelled --scenario chaos; "
+                "drop --chaos"
+            )
+        return _serve_bench_scenario(
+            args, backend_name, art_store, spec, store, images, servable,
+        )
 
     if args.replicas > 0:
         return _serve_bench_fleet(
@@ -274,7 +296,7 @@ def cmd_serve_bench(args: argparse.Namespace) -> int:
                   f"swap {rollout.swap_ms:.2f} ms")
         if degrade is not None:
             print(f"overload degradation    : -> {args.degrade} past queue "
-                  f"depth {degrade.watermark}")
+                  f"depth {degrade_watermark}")
         if args.chaos is not None:
             print(f"chaos                   : fault injector armed, "
                   f"seed {args.chaos}")
@@ -385,6 +407,140 @@ def cmd_serve_bench(args: argparse.Namespace) -> int:
               f"p95 {baseline.report.latency_ms_p95:.2f} ms")
         print(f"dynamic batching speedup: {speedup:.2f}x img/s vs max-batch=1")
     return 0 if result.client_errors == 0 else 1
+
+
+def _serve_bench_scenario(
+    args: argparse.Namespace,
+    backend_name: str,
+    art_store,
+    spec,
+    store,
+    images,
+    servable,
+) -> int:
+    """The ``serve-bench --autotune`` path: scenario-driven A/B between
+    the closed-loop controller and a static tier-0 server."""
+    scenario = control.get_scenario(args.scenario)
+    if args.scenario_time_scale != 1.0:
+        scenario = scenario.scaled(args.scenario_time_scale)
+
+    if args.tiers:
+        keys = [key.strip() for key in args.tiers.split(",") if key.strip()]
+        ladder = control.TierLadder.from_precisions(keys)
+    elif art_store is not None:
+        ladder = control.TierLadder.from_registry(art_store, args.network)
+    else:
+        ladder = control.TierLadder.from_precisions(
+            control.default_tier_keys(args.precision)
+        )
+    if ladder[0].precision != args.precision:
+        raise ConfigurationError(
+            f"tier 0 ({ladder[0].precision!r}) must be the served "
+            f"precision ({args.precision!r})"
+        )
+    # warm every tier and fill modeled energies before any timing starts
+    ladder = ladder.priced(store, args.network)
+
+    def factory() -> serve.InferenceServer:
+        return serve.InferenceServer(
+            store,
+            workers=args.workers,
+            max_batch_size=args.max_batch,
+            max_delay_ms=args.max_delay_ms,
+            max_queue_depth=args.queue_size,
+        )
+
+    slo_ms = args.slo_ms
+    if slo_ms <= 0:
+        probe = factory().start()
+        try:
+            slo_ms = control.calibrate_slo(
+                probe, images, args.network, args.precision
+            )
+        finally:
+            probe.stop()
+
+    policy = control.SLOPolicy(
+        latency_slo_ms=slo_ms,
+        accuracy_floor=args.accuracy_floor if args.accuracy_floor > 0 else None,
+    )
+    knobs = control.KnobConfig(
+        max_batch=args.max_batch,
+        preferred_batch=min(8, args.max_batch),
+    )
+    runner = control.ScenarioRunner(
+        factory, images, args.network, args.precision,
+        policy=policy, ladder=ladder, knobs=knobs,
+        interval_s=args.control_interval_ms / 1e3,
+    )
+    if not args.json:
+        print(
+            f"serving {args.network} at {spec.label} under the "
+            f"{scenario.name} scenario ({scenario.total_duration_s:.1f} s "
+            f"per arm, {backend_name} backend)"
+        )
+        print(f"SLO                     : p99 <= {slo_ms:.2f} ms"
+              + ("  (calibrated)" if args.slo_ms <= 0 else ""))
+        print(f"tier ladder             : {' > '.join(ladder.precisions)}")
+
+    result = runner.judge(
+        scenario, slo_ms, attainment_target=args.attainment
+    )
+    scenario_verdict, autotuned, static = result
+
+    if args.json:
+        payload = {
+            "network": args.network,
+            "precision": spec.key,
+            "backend": backend_name,
+            "concurrency_profile": [
+                {"phase": p.name, "duration_s": p.duration_s,
+                 "concurrency": p.concurrency}
+                for p in scenario.phases
+            ],
+            "workers": args.workers,
+            "max_batch": args.max_batch,
+            "memory_kb": float(servable.memory_kb),
+            "report": dataclasses.asdict(autotuned.report),
+            "control": {
+                "scenario": scenario.name,
+                "slo_ms": slo_ms,
+                "slo_calibrated": args.slo_ms <= 0,
+                "attainment_target": args.attainment,
+                "attainment": autotuned.attainment,
+                "baseline_attainment": static.attainment,
+                "windows": len(autotuned.loop.history),
+                "p99_ms": autotuned.p99_ms,
+                "baseline_p99_ms": static.p99_ms,
+                "energy_uj_per_request": autotuned.energy_uj_per_request,
+                "baseline_energy_uj_per_request":
+                    static.energy_uj_per_request,
+                "energy_saved_pct": scenario_verdict.energy_saved_pct,
+                "accuracy_loss_bound": scenario_verdict.accuracy_loss_bound,
+                "accuracy_floor": scenario_verdict.accuracy_floor,
+                "tiers": ladder.precisions,
+                "lost": autotuned.lost,
+                "passed": scenario_verdict.passed,
+                "actions": [
+                    action.format() for action in
+                    (autotuned.tuner.actions if autotuned.tuner else [])
+                ],
+                "knob_trajectory": autotuned.loop.knob_trajectory(),
+            },
+        }
+        print(json.dumps(payload, indent=2))
+        return 0 if scenario_verdict.passed else 1
+
+    print()
+    print(scenario_verdict.format())
+    actions = autotuned.tuner.actions if autotuned.tuner else []
+    if actions:
+        print("controller actions      :")
+        for action in actions:
+            print(f"  {action.format()}")
+    else:
+        print("controller actions      : (none — the SLO held unaided)")
+    return 0 if scenario_verdict.passed else 1
 
 
 def _serve_bench_fleet(
@@ -1226,6 +1382,30 @@ def build_parser() -> argparse.ArgumentParser:
                             "(default: queue-size // 2)")
     bench.add_argument("--skip-baseline", action="store_true",
                        help="skip the max-batch=1 comparison run")
+    bench.add_argument("--autotune", action="store_true",
+                       help="run a scenario with the closed-loop SLO "
+                            "controller vs a static baseline arm")
+    bench.add_argument("--scenario", default="flash_crowd",
+                       choices=sorted(control.SCENARIOS),
+                       help="traffic shape for --autotune runs")
+    bench.add_argument("--slo-ms", type=float, default=0.0,
+                       help="p99 latency SLO in ms (0 = calibrate as 3x "
+                            "the p99 of an uncontended probe)")
+    bench.add_argument("--tiers", default="",
+                       help="comma-separated precision ladder, highest "
+                            "fidelity first (default: the paper's fixed-"
+                            "point menu below --precision, or the "
+                            "registry's artifacts with --registry)")
+    bench.add_argument("--accuracy-floor", type=float, default=0.0,
+                       help="never degrade to a tier whose known accuracy "
+                            "is below this (0 = no floor)")
+    bench.add_argument("--attainment", type=float, default=0.9,
+                       help="fraction of control windows that must meet "
+                            "the SLO for the scenario to pass")
+    bench.add_argument("--scenario-time-scale", type=float, default=1.0,
+                       help="multiply every phase duration (CI uses <1)")
+    bench.add_argument("--control-interval-ms", type=float, default=50.0,
+                       help="control window length")
     bench.add_argument("--registry", default="", metavar="ROOT",
                        help="serve a registry channel's active artifact "
                             "(overrides --network/--precision/--weights)")

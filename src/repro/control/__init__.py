@@ -1,0 +1,63 @@
+"""Closed-loop serving control: hold an SLO by trading precision for latency.
+
+The paper quantifies what lowering numeric precision buys (energy) and
+costs (accuracy) per network.  ``repro.control`` turns that static
+trade-off into a runtime feedback loop: a sensor layer samples the
+serving stats into windowed :class:`Signal` s, an :class:`AutoTuner`
+judges each window against an :class:`SLOPolicy` and moves one of three
+knobs — precision tier (a :class:`TierLadder` over registry servables),
+batcher shape, or admission rate (:class:`TokenBucket`) — with
+hysteresis and cooldown so it converges instead of oscillating, and a
+:class:`ControlLoop` runs that cycle beside a live server.  Scenario
+scripts (:data:`SCENARIOS`) drive shaped load through both an autotuned
+and a static arm and produce a :class:`ScenarioVerdict`: SLO attainment,
+energy saved versus static tier-0 serving, and a bound on the accuracy
+the overload could have cost.
+
+Entry points: ``repro serve-bench --autotune --scenario flash_crowd``
+on the CLI, or :class:`ScenarioRunner` / :class:`ControlLoop` in code.
+"""
+
+from repro.control.admission import TokenBucket
+from repro.control.ladder import PrecisionTier, TierLadder, default_tier_keys
+from repro.control.loop import ControlLoop, WindowRecord
+from repro.control.policy import SLOPolicy
+from repro.control.scenarios import (
+    SCENARIOS,
+    Phase,
+    PhaseResult,
+    Scenario,
+    ScenarioRun,
+    ScenarioRunner,
+    ScenarioVerdict,
+    calibrate_slo,
+    get_scenario,
+    verdict,
+)
+from repro.control.signals import SensorHub, Signal
+from repro.control.tuner import Action, AutoTuner, KnobConfig
+
+__all__ = [
+    "Action",
+    "AutoTuner",
+    "ControlLoop",
+    "KnobConfig",
+    "Phase",
+    "PhaseResult",
+    "PrecisionTier",
+    "SCENARIOS",
+    "SLOPolicy",
+    "Scenario",
+    "ScenarioRun",
+    "ScenarioRunner",
+    "ScenarioVerdict",
+    "SensorHub",
+    "Signal",
+    "TierLadder",
+    "TokenBucket",
+    "WindowRecord",
+    "calibrate_slo",
+    "default_tier_keys",
+    "get_scenario",
+    "verdict",
+]

@@ -1,0 +1,99 @@
+"""Front-end admission throttling: a thread-safe token bucket.
+
+The third knob of the autotuner.  Precision and batching move the
+service rate; once both are exhausted the only way to hold a latency
+SLO under sustained overload is to stop admitting work the server
+cannot serve in time.  A token bucket makes that explicit and cheap:
+``try_acquire`` is one locked float update per admission, and a
+``None`` rate means *unlimited* — the bucket then costs a single
+attribute check, so an uncontrolled server pays nothing.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Optional
+
+from repro.errors import ConfigurationError
+
+__all__ = ["TokenBucket"]
+
+
+class TokenBucket:
+    """Rate limiter with burst capacity and an injectable clock.
+
+    Args:
+        rate_ips: admissions per second, or ``None`` for unlimited
+            (the default — the controller sets a rate only when it has
+            to throttle).
+        burst: bucket capacity in tokens; bounds how far admissions can
+            run ahead of the steady rate after an idle gap.
+        clock: monotonic-seconds source (injectable for tests).
+    """
+
+    def __init__(
+        self,
+        rate_ips: Optional[float] = None,
+        burst: float = 16.0,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if rate_ips is not None and not rate_ips > 0:
+            raise ConfigurationError("rate_ips must be > 0 (or None)")
+        if not burst >= 1:
+            raise ConfigurationError("burst must be >= 1")
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._rate: Optional[float] = rate_ips
+        self._burst = float(burst)
+        self._tokens = float(burst)
+        self._refilled_at = clock()
+
+    # ------------------------------------------------------------------
+    @property
+    def rate_ips(self) -> Optional[float]:
+        """Current admission rate (``None`` = unlimited)."""
+        return self._rate
+
+    @property
+    def limited(self) -> bool:
+        return self._rate is not None
+
+    def set_rate(self, rate_ips: float) -> None:
+        """Install (or change) the admission rate, keeping earned tokens."""
+        if not rate_ips > 0:
+            raise ConfigurationError("rate_ips must be > 0")
+        with self._lock:
+            self._refill_locked()
+            self._rate = float(rate_ips)
+
+    def disable(self) -> None:
+        """Lift the limit entirely (every ``try_acquire`` succeeds)."""
+        with self._lock:
+            self._rate = None
+            self._tokens = self._burst
+
+    # ------------------------------------------------------------------
+    def _refill_locked(self) -> None:
+        now = self._clock()
+        if self._rate is not None:
+            elapsed = max(now - self._refilled_at, 0.0)
+            self._tokens = min(self._burst, self._tokens + elapsed * self._rate)
+        self._refilled_at = now
+
+    def try_acquire(self) -> bool:
+        """Take one token; False means the caller must reject/defer."""
+        if self._rate is None:
+            return True
+        with self._lock:
+            if self._rate is None:  # disabled while waiting for the lock
+                return True
+            self._refill_locked()
+            if self._tokens >= 1.0:
+                self._tokens -= 1.0
+                return True
+            return False
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        rate = "unlimited" if self._rate is None else f"{self._rate:.1f}/s"
+        return f"TokenBucket(rate={rate}, burst={self._burst:g})"

@@ -1,0 +1,198 @@
+"""Ordered precision tiers the autotuner moves across.
+
+The paper's Figure 4 frontier is a set of (accuracy, energy) points;
+at serving time those points become *tiers*: interchangeable servables
+of the same network ordered from highest fidelity (tier 0, most energy)
+to lowest.  The :class:`TierLadder` is that ordering plus whatever
+accuracy/energy metadata is known, so the controller can (a) reroute
+traffic one tier down when the SLO demands it, (b) refuse tiers below
+the policy's accuracy floor, and (c) report a bound on the accuracy
+the overload cost.
+
+Ladders come from three places: an explicit precision list
+(:meth:`TierLadder.from_precisions`), the registry's published
+artifacts for a network (:meth:`TierLadder.from_registry` — manifests
+carry measured accuracy and modeled energy), or the paper's fixed-point
+menu below a starting precision (:func:`default_tier_keys`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.core.precision import PAPER_PRECISIONS, PrecisionSpec
+from repro.errors import ConfigurationError
+
+__all__ = ["PrecisionTier", "TierLadder", "default_tier_keys"]
+
+
+@dataclass(frozen=True)
+class PrecisionTier:
+    """One rung: a servable precision plus optional measured metadata."""
+
+    precision: str
+    energy_uj: Optional[float] = None   # modeled energy per image
+    accuracy: Optional[float] = None    # measured test accuracy in [0, 1]
+
+    def __post_init__(self) -> None:
+        if not self.precision:
+            raise ConfigurationError("tier precision must be non-empty")
+        if self.accuracy is not None and not (0.0 <= self.accuracy <= 1.0):
+            raise ConfigurationError("tier accuracy must be in [0, 1]")
+
+
+class TierLadder:
+    """Tiers ordered highest fidelity first (tier 0 is nominal)."""
+
+    def __init__(self, tiers: Sequence[PrecisionTier]):
+        tiers = list(tiers)
+        if not tiers:
+            raise ConfigurationError("ladder needs at least one tier")
+        seen = set()
+        for tier in tiers:
+            if tier.precision in seen:
+                raise ConfigurationError(
+                    f"duplicate tier precision {tier.precision!r}"
+                )
+            seen.add(tier.precision)
+        self.tiers: List[PrecisionTier] = tiers
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.tiers)
+
+    def __getitem__(self, index: int) -> PrecisionTier:
+        return self.tiers[index]
+
+    @property
+    def precisions(self) -> List[str]:
+        return [tier.precision for tier in self.tiers]
+
+    def index_of(self, precision: str) -> Optional[int]:
+        for index, tier in enumerate(self.tiers):
+            if tier.precision == precision:
+                return index
+        return None
+
+    # ------------------------------------------------------------------
+    def floor_index(self, accuracy_floor: Optional[float]) -> int:
+        """Deepest tier index the accuracy floor permits.
+
+        Tiers with *unknown* accuracy are permitted (there is nothing
+        to compare against); callers that need a hard guarantee should
+        build the ladder from registry manifests, which always carry
+        measured accuracy.
+        """
+        deepest = 0
+        for index, tier in enumerate(self.tiers):
+            if (
+                accuracy_floor is not None
+                and tier.accuracy is not None
+                and tier.accuracy < accuracy_floor
+            ):
+                break
+            deepest = index
+        return deepest
+
+    def accuracy_drop(self, index: int) -> Optional[float]:
+        """Known accuracy lost at ``tiers[index]`` vs tier 0 (else None)."""
+        top, tier = self.tiers[0], self.tiers[index]
+        if top.accuracy is None or tier.accuracy is None:
+            return None
+        return max(top.accuracy - tier.accuracy, 0.0)
+
+    def priced(self, store, network: str) -> "TierLadder":
+        """Fill missing tier energies from a serve ``ModelStore``.
+
+        Warms every tier's servable (so the fallback is resident before
+        overload hits, exactly like the old degrade path did) and reads
+        its modeled per-image energy.
+        """
+        tiers = []
+        for tier in self.tiers:
+            servable = store.warm(network, tier.precision)
+            tiers.append(PrecisionTier(
+                precision=tier.precision,
+                energy_uj=(
+                    tier.energy_uj if tier.energy_uj is not None
+                    else float(servable.energy_uj_per_image)
+                ),
+                accuracy=tier.accuracy,
+            ))
+        return TierLadder(tiers)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_precisions(
+        cls, precisions: Sequence[str],
+        accuracies: Optional[Sequence[Optional[float]]] = None,
+    ) -> "TierLadder":
+        """Ladder from an ordered precision list (highest fidelity first)."""
+        if accuracies is None:
+            accuracies = [None] * len(precisions)
+        if len(accuracies) != len(precisions):
+            raise ConfigurationError(
+                f"{len(precisions)} precisions but {len(accuracies)} accuracies"
+            )
+        return cls([
+            PrecisionTier(precision=key, accuracy=accuracy)
+            for key, accuracy in zip(precisions, accuracies)
+        ])
+
+    @classmethod
+    def from_registry(cls, art_store, network: str) -> "TierLadder":
+        """Discover a network's tiers from published registry artifacts.
+
+        Every manifest for ``network`` becomes a candidate tier carrying
+        its measured accuracy and modeled energy; one tier is kept per
+        precision (the most accurate artifact wins) and tiers are
+        ordered by descending modeled energy — the registry-backed
+        realization of the paper's frontier as a runtime ladder.
+        """
+        best = {}
+        for manifest in art_store.list_artifacts():
+            if manifest.network != network:
+                continue
+            kept = best.get(manifest.precision)
+            if kept is None or manifest.accuracy > kept.accuracy:
+                best[manifest.precision] = manifest
+        if not best:
+            raise ConfigurationError(
+                f"registry has no artifacts for network {network!r}"
+            )
+        manifests = sorted(
+            best.values(), key=lambda m: -m.energy_uj_per_image
+        )
+        return cls([
+            PrecisionTier(
+                precision=m.precision,
+                energy_uj=float(m.energy_uj_per_image),
+                accuracy=float(m.accuracy),
+            )
+            for m in manifests
+        ])
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"TierLadder({' > '.join(self.precisions)})"
+
+
+def default_tier_keys(precision: str) -> List[str]:
+    """The paper's fixed-point menu at or below ``precision``.
+
+    ``fixed8`` maps to ``["fixed8", "fixed4"]`` — every fixed-point
+    Table-III precision with the same or fewer weight bits, ordered
+    highest first.  Non-fixed starting precisions (float32, pow2,
+    binary) get the full fixed ladder below their weight width, with
+    the starting precision as tier 0.
+    """
+    spec = PrecisionSpec.parse(precision)
+    lower = [
+        s.key for s in PAPER_PRECISIONS
+        if s.key.startswith("fixed")
+        and s.weight_bits <= spec.weight_bits
+        and s.key != spec.key
+        and s.weight_bits >= 4  # fixed2 does not exist; floor is fixed4
+    ]
+    lower.sort(key=lambda key: -PrecisionSpec.parse(key).weight_bits)
+    return [spec.key] + lower

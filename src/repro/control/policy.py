@@ -1,0 +1,86 @@
+"""Service-level objectives the autotuner is asked to hold.
+
+An :class:`SLOPolicy` is the operator's contract: a p99 latency target,
+an optional modeled energy budget per request, and an optional accuracy
+floor the precision knob may never cross.  The policy also carries the
+controller's *dynamics* parameters — hysteresis band, streak lengths
+and cooldown — because how aggressively an SLO is enforced is part of
+the objective, not an implementation detail: a policy with
+``breach_windows=1`` trades stability for reaction time, and a wide
+``recover_ratio`` band keeps the controller from oscillating around
+the target.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import ConfigurationError
+
+__all__ = ["SLOPolicy"]
+
+
+@dataclass(frozen=True)
+class SLOPolicy:
+    """Targets and dynamics for one closed control loop.
+
+    Args:
+        latency_slo_ms: the p99 enqueue-to-completion latency target.
+            A window *breaches* when its p99 exceeds this.
+        energy_budget_uj: optional modeled energy budget per request;
+            when a window's mean energy/request exceeds it the tuner
+            moves one precision tier down even without a latency breach.
+        accuracy_floor: optional accuracy floor in [0, 1]; tiers whose
+            known accuracy is below it are never selected.  Tiers with
+            unknown accuracy are permitted (the ladder then cannot
+            bound the loss — see ``TierLadder.floor_index``).
+        recover_ratio: a window is *healthy* only when p99 is below
+            ``recover_ratio * latency_slo_ms``.  The gap between the
+            SLO and this lower threshold is the hysteresis band: inside
+            it the controller holds its knobs.
+        breach_windows: consecutive breached windows before escalating.
+        recover_windows: consecutive healthy windows before relaxing.
+        cooldown_windows: windows to hold after any actuation, so one
+            knob change is observed before the next is considered.
+    """
+
+    latency_slo_ms: float
+    energy_budget_uj: Optional[float] = None
+    accuracy_floor: Optional[float] = None
+    recover_ratio: float = 0.7
+    breach_windows: int = 2
+    recover_windows: int = 3
+    cooldown_windows: int = 2
+
+    def __post_init__(self) -> None:
+        if not self.latency_slo_ms > 0 or math.isnan(self.latency_slo_ms):
+            raise ConfigurationError("latency_slo_ms must be > 0")
+        if self.energy_budget_uj is not None and not self.energy_budget_uj > 0:
+            raise ConfigurationError("energy_budget_uj must be > 0")
+        if self.accuracy_floor is not None and not (
+            0.0 <= self.accuracy_floor <= 1.0
+        ):
+            raise ConfigurationError("accuracy_floor must be in [0, 1]")
+        if not 0.0 < self.recover_ratio < 1.0:
+            raise ConfigurationError("recover_ratio must be in (0, 1)")
+        for name in ("breach_windows", "recover_windows", "cooldown_windows"):
+            if getattr(self, name) < 1:
+                raise ConfigurationError(f"{name} must be >= 1")
+
+    # ------------------------------------------------------------------
+    def breached(self, p99_ms: float) -> bool:
+        """True when a window's p99 violates the latency SLO."""
+        return p99_ms > self.latency_slo_ms
+
+    def healthy(self, p99_ms: float) -> bool:
+        """True when p99 is safely below the SLO (hysteresis band)."""
+        return p99_ms <= self.recover_ratio * self.latency_slo_ms
+
+    def over_energy(self, energy_uj_per_request: float) -> bool:
+        """True when the window's energy/request exceeds the budget."""
+        return (
+            self.energy_budget_uj is not None
+            and energy_uj_per_request > self.energy_budget_uj
+        )

@@ -1,0 +1,444 @@
+"""Scenario-driven load: shaped traffic, A/B arms, and verdicts.
+
+A *scenario* is a named sequence of phases, each holding a closed-loop
+concurrency level for a duration — a diurnal ramp, a flash crowd, a
+sustained overload, a fault storm.  :class:`ScenarioRunner` drives one
+scenario twice against fresh servers: an **autotuned** arm with the
+full control loop installed and a **static** arm with the same sensor
+pipeline but no actuation.  :func:`verdict` then answers the question
+the paper's trade-off poses at serving time: did spending accuracy
+(precision tiers) and admission buy the latency SLO, how much energy
+did it save, and how much accuracy could it have cost at worst?
+
+Phases run through :func:`repro.serve.loadgen.run_closed_loop` in
+time-bounded mode, so a scenario's wall clock is its scripted length
+regardless of how fast (or slow) the server is — and the whole script
+scales with one ``time_scale`` factor for CI-sized runs.
+"""
+
+from __future__ import annotations
+
+from contextlib import nullcontext
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.control.ladder import TierLadder
+from repro.control.loop import ControlLoop
+from repro.control.policy import SLOPolicy
+from repro.control.tuner import AutoTuner, KnobConfig
+from repro.errors import ConfigurationError
+from repro.resilience.faults import chaos_preset, use_injector
+from repro.serve.loadgen import LoadResult, run_closed_loop
+from repro.serve.stats import StatsReport
+
+__all__ = [
+    "Phase",
+    "Scenario",
+    "SCENARIOS",
+    "get_scenario",
+    "calibrate_slo",
+    "PhaseResult",
+    "ScenarioRun",
+    "ScenarioVerdict",
+    "ScenarioRunner",
+    "verdict",
+]
+
+# Phases cannot shrink below this when time-scaled — a window or two of
+# traffic must still fit inside every phase.
+_MIN_PHASE_S = 0.2
+
+
+@dataclass(frozen=True)
+class Phase:
+    """One leg of a scenario: hold ``concurrency`` clients for a span."""
+
+    name: str
+    duration_s: float
+    concurrency: int
+    chaos_seed: Optional[int] = None   # arm chaos_preset(seed) for this leg
+
+    def __post_init__(self) -> None:
+        if not self.duration_s > 0:
+            raise ConfigurationError("phase duration_s must be > 0")
+        if self.concurrency < 1:
+            raise ConfigurationError("phase concurrency must be >= 1")
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A named, ordered traffic shape."""
+
+    name: str
+    description: str
+    phases: Tuple[Phase, ...]
+
+    def __post_init__(self) -> None:
+        if not self.phases:
+            raise ConfigurationError("scenario needs at least one phase")
+
+    @property
+    def total_duration_s(self) -> float:
+        return sum(phase.duration_s for phase in self.phases)
+
+    def scaled(self, time_scale: float) -> "Scenario":
+        """Same shape, durations multiplied (floored at 0.2 s/phase)."""
+        if not time_scale > 0:
+            raise ConfigurationError("time_scale must be > 0")
+        return replace(self, phases=tuple(
+            replace(
+                phase,
+                duration_s=max(phase.duration_s * time_scale, _MIN_PHASE_S),
+            )
+            for phase in self.phases
+        ))
+
+
+SCENARIOS: Dict[str, Scenario] = {
+    scenario.name: scenario
+    for scenario in (
+        Scenario(
+            name="flash_crowd",
+            description=(
+                "steady trickle, a sudden 8x crowd, then back to the trickle"
+            ),
+            phases=(
+                Phase("warm", duration_s=1.0, concurrency=2),
+                Phase("crowd", duration_s=3.0, concurrency=16),
+                Phase("cooldown", duration_s=2.0, concurrency=2),
+            ),
+        ),
+        Scenario(
+            name="diurnal",
+            description="a day compressed: ramp up to a peak and back down",
+            phases=(
+                Phase("night", duration_s=1.0, concurrency=1),
+                Phase("morning", duration_s=1.5, concurrency=4),
+                Phase("peak", duration_s=2.0, concurrency=10),
+                Phase("evening", duration_s=1.5, concurrency=4),
+                Phase("late", duration_s=1.0, concurrency=1),
+            ),
+        ),
+        Scenario(
+            name="sustained_overload",
+            description="offered load pinned well past capacity, no relief",
+            phases=(
+                Phase("warm", duration_s=1.0, concurrency=2),
+                Phase("overload", duration_s=4.0, concurrency=12),
+            ),
+        ),
+        Scenario(
+            name="chaos",
+            description=(
+                "a crowd with the chaos preset armed mid-scenario — the "
+                "controller must hold the SLO while faults fire"
+            ),
+            phases=(
+                Phase("warm", duration_s=1.0, concurrency=2),
+                Phase("storm", duration_s=3.0, concurrency=8, chaos_seed=0),
+                Phase("cooldown", duration_s=1.0, concurrency=2),
+            ),
+        ),
+    )
+}
+
+
+def get_scenario(name: str) -> Scenario:
+    try:
+        return SCENARIOS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown scenario {name!r}; choose from "
+            f"{', '.join(sorted(SCENARIOS))}"
+        ) from None
+
+
+def calibrate_slo(
+    server,
+    images: np.ndarray,
+    network: str,
+    precision: str,
+    n_requests: int = 32,
+    concurrency: int = 4,
+    factor: float = 3.0,
+    floor_ms: float = 5.0,
+) -> float:
+    """Derive a latency SLO from an uncontended probe run.
+
+    Drives a short closed-loop probe at low concurrency against a
+    *started* server and returns ``factor`` times the probe's client
+    p99 (floored at ``floor_ms``) — "hold p99 within 3x of relaxed" is
+    a portable objective where an absolute millisecond target is not.
+    The probe's requests land in the server's stats, so calibrate on a
+    throwaway server, not the one a scenario will measure.
+    """
+    probe = run_closed_loop(
+        server, images, network, precision,
+        n_requests=n_requests, concurrency=concurrency,
+    )
+    if not probe.latencies_ms:
+        raise ConfigurationError("calibration probe completed no requests")
+    p99 = float(np.percentile(np.asarray(probe.latencies_ms), 99))
+    return max(p99 * factor, floor_ms)
+
+
+@dataclass(frozen=True)
+class PhaseResult:
+    """One phase's load outcome (client-side view)."""
+
+    phase: Phase
+    result: LoadResult
+
+    def p99_ms(self) -> float:
+        if not self.result.latencies_ms:
+            return 0.0
+        return float(np.percentile(np.asarray(self.result.latencies_ms), 99))
+
+
+class ScenarioRun:
+    """One arm's full outcome: per-phase loads plus the control history."""
+
+    def __init__(
+        self,
+        scenario: Scenario,
+        autotuned: bool,
+        phases: List[PhaseResult],
+        report: StatsReport,
+        loop: ControlLoop,
+        tuner: Optional[AutoTuner],
+    ):
+        self.scenario = scenario
+        self.autotuned = autotuned
+        self.phases = phases
+        self.report = report
+        self.loop = loop
+        self.tuner = tuner
+
+    # ------------------------------------------------------------------
+    @property
+    def latencies_ms(self) -> List[float]:
+        samples: List[float] = []
+        for phase in self.phases:
+            samples.extend(phase.result.latencies_ms)
+        return samples
+
+    @property
+    def p99_ms(self) -> float:
+        samples = self.latencies_ms
+        if not samples:
+            return 0.0
+        return float(np.percentile(np.asarray(samples), 99))
+
+    @property
+    def attainment(self) -> float:
+        return self.loop.attainment()
+
+    @property
+    def energy_uj_per_request(self) -> float:
+        return self.report.energy_uj_per_image
+
+    @property
+    def lost(self) -> int:
+        return sum(phase.result.lost for phase in self.phases)
+
+    def accuracy_loss_bound(self) -> Optional[float]:
+        if self.tuner is None:
+            return 0.0   # the static arm never leaves tier 0
+        return self.tuner.accuracy_loss_bound()
+
+
+@dataclass(frozen=True)
+class ScenarioVerdict:
+    """The A/B judgment a scenario run is gated on."""
+
+    scenario: str
+    slo_ms: float
+    attainment_target: float
+    attainment: float              # autotuned arm, SLO-met window fraction
+    baseline_attainment: float     # static arm, same sensors, no actuation
+    windows: int
+    p99_ms: float                  # autotuned client-side p99
+    baseline_p99_ms: float
+    energy_uj_per_request: float
+    baseline_energy_uj_per_request: float
+    energy_saved_pct: float        # vs the static tier-0 baseline
+    accuracy_loss_bound: Optional[float]   # worst-case, from tiers visited
+    accuracy_floor: Optional[float]
+    lost: int
+    passed: bool
+
+    def format(self) -> str:
+        bound = (
+            "unknown" if self.accuracy_loss_bound is None
+            else f"{self.accuracy_loss_bound * 100:.2f} pp"
+        )
+        return "\n".join([
+            f"scenario               : {self.scenario}"
+            f"  ({'PASS' if self.passed else 'FAIL'})",
+            f"latency SLO            : p99 <= {self.slo_ms:.2f} ms",
+            f"SLO attainment         : {self.attainment * 100:.1f}% of windows"
+            f"  (target {self.attainment_target * 100:.0f}%,"
+            f" static baseline {self.baseline_attainment * 100:.1f}%)",
+            f"client p99             : {self.p99_ms:.2f} ms"
+            f"  (static {self.baseline_p99_ms:.2f} ms)",
+            f"energy / request       : {self.energy_uj_per_request:.3f} uJ"
+            f"  (static {self.baseline_energy_uj_per_request:.3f} uJ,"
+            f" saved {self.energy_saved_pct:.1f}%)",
+            f"accuracy loss bound    : {bound}"
+            + (f"  (floor {self.accuracy_floor:.3f})"
+               if self.accuracy_floor is not None else ""),
+            f"lost requests          : {self.lost}",
+        ])
+
+
+def verdict(
+    autotuned: ScenarioRun,
+    static: ScenarioRun,
+    slo_ms: float,
+    attainment_target: float = 0.9,
+) -> ScenarioVerdict:
+    """Judge an autotuned run against its static twin.
+
+    Passing means: the autotuned arm met the SLO in at least
+    ``attainment_target`` of its traffic-bearing windows, no request
+    was lost, and any accuracy the tiers could have cost stays within
+    the policy's floor.  Energy saved versus the static tier-0 arm is
+    reported, not gated — a scenario mild enough that the tuner never
+    degrades saves nothing, and that is the correct outcome.
+    """
+    base_energy = static.energy_uj_per_request
+    saved_pct = (
+        (base_energy - autotuned.energy_uj_per_request) / base_energy * 100.0
+        if base_energy > 0 else 0.0
+    )
+    policy = autotuned.loop.policy
+    bound = autotuned.accuracy_loss_bound()
+    accuracy_ok = True
+    if (
+        bound is not None
+        and policy.accuracy_floor is not None
+        and autotuned.tuner is not None
+    ):
+        top = autotuned.tuner.ladder[0].accuracy
+        if top is not None:
+            accuracy_ok = top - bound >= policy.accuracy_floor - 1e-9
+    passed = (
+        autotuned.attainment >= attainment_target
+        and autotuned.lost == 0
+        and accuracy_ok
+    )
+    return ScenarioVerdict(
+        scenario=autotuned.scenario.name,
+        slo_ms=slo_ms,
+        attainment_target=attainment_target,
+        attainment=autotuned.attainment,
+        baseline_attainment=static.attainment,
+        windows=len(autotuned.loop.history),
+        p99_ms=autotuned.p99_ms,
+        baseline_p99_ms=static.p99_ms,
+        energy_uj_per_request=autotuned.energy_uj_per_request,
+        baseline_energy_uj_per_request=base_energy,
+        energy_saved_pct=saved_pct,
+        accuracy_loss_bound=bound,
+        accuracy_floor=policy.accuracy_floor,
+        lost=autotuned.lost,
+        passed=passed,
+    )
+
+
+class ScenarioRunner:
+    """Drives scenarios against fresh servers, one per arm.
+
+    Args:
+        server_factory: zero-argument callable returning an *unstarted*
+            server (:class:`~repro.serve.InferenceServer` or
+            :class:`~repro.serve.FleetServer`); a new one is built per
+            arm so no queue state or stats leak between runs.
+        images: NCHW request pool (cycled).
+        network / precision: the nominal (tier-0) model clients ask for.
+        policy / ladder / knobs: the controller configuration for the
+            autotuned arm; the static arm reuses ``policy`` for
+            attainment judging only.
+        interval_s: control window length.
+        request_timeout_s: per-request client wait budget.
+    """
+
+    def __init__(
+        self,
+        server_factory: Callable[[], object],
+        images: np.ndarray,
+        network: str,
+        precision: str,
+        policy: SLOPolicy,
+        ladder: TierLadder,
+        knobs: Optional[KnobConfig] = None,
+        interval_s: float = 0.05,
+        request_timeout_s: float = 60.0,
+        max_requests_per_phase: int = 1_000_000,
+    ):
+        self.server_factory = server_factory
+        self.images = images
+        self.network = network
+        self.precision = precision
+        self.policy = policy
+        self.ladder = ladder
+        self.knobs = knobs
+        self.interval_s = interval_s
+        self.request_timeout_s = request_timeout_s
+        self.max_requests_per_phase = max_requests_per_phase
+
+    def run(self, scenario: Scenario, autotune: bool = True) -> ScenarioRun:
+        """Run one arm of ``scenario``; autotuned or static-observed."""
+        server = self.server_factory()
+        tuner = (
+            AutoTuner(self.policy, self.ladder, knobs=self.knobs)
+            if autotune else None
+        )
+        loop = ControlLoop(
+            server, self.policy, tuner=tuner, interval_s=self.interval_s
+        )
+        loop.install()
+        server.start()
+        phases: List[PhaseResult] = []
+        try:
+            loop.start()
+            for phase in scenario.phases:
+                chaos = (
+                    use_injector(chaos_preset(phase.chaos_seed))
+                    if phase.chaos_seed is not None else nullcontext()
+                )
+                with chaos:
+                    result = run_closed_loop(
+                        server, self.images, self.network, self.precision,
+                        n_requests=self.max_requests_per_phase,
+                        concurrency=phase.concurrency,
+                        request_timeout_s=self.request_timeout_s,
+                        duration_s=phase.duration_s,
+                    )
+                phases.append(PhaseResult(phase=phase, result=result))
+        finally:
+            loop.stop()
+            server.stop()
+        return ScenarioRun(
+            scenario=scenario,
+            autotuned=autotune,
+            phases=phases,
+            report=server.report(),
+            loop=loop,
+            tuner=tuner,
+        )
+
+    def judge(
+        self, scenario: Scenario, slo_ms: float,
+        attainment_target: float = 0.9,
+    ) -> Tuple[ScenarioVerdict, ScenarioRun, ScenarioRun]:
+        """Run both arms and return (verdict, autotuned, static)."""
+        autotuned = self.run(scenario, autotune=True)
+        static = self.run(scenario, autotune=False)
+        return (
+            verdict(autotuned, static, slo_ms, attainment_target),
+            autotuned,
+            static,
+        )

@@ -1,0 +1,116 @@
+"""Sensor layer: windowed signals sampled from the serving stats.
+
+The controller never reads raw request streams; it sees one
+:class:`Signal` per control window — the p99 of the latencies completed
+in that window, the queue depth right now, the modeled energy per
+request served in the window, and the error/throttle counters' deltas.
+:class:`SensorHub` produces those windows incrementally from a live
+:class:`~repro.serve.ServerStats`: counters are diffed against the
+previous sample and latency percentiles are computed over only the
+samples that arrived since, so a tick costs O(window), not O(run).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict
+
+import numpy as np
+
+from repro.serve.stats import ServerStats
+
+__all__ = ["Signal", "SensorHub"]
+
+
+@dataclass(frozen=True)
+class Signal:
+    """One control window's view of the server."""
+
+    window: int                  # 0-based window index
+    at: float                    # monotonic time the window closed
+    elapsed_s: float             # window span
+    completed: int               # requests completed in the window
+    failed: int
+    rejected: int
+    throttled: int               # rejections due to the admission gate
+    deadline_expired: int
+    degraded: int                # admissions rerouted below tier 0
+    queue_depth: int             # instantaneous depth at the sample
+    p50_ms: float                # percentiles over the window's latencies
+    p99_ms: float
+    mean_ms: float
+    energy_uj_per_request: float  # modeled, window mean
+    throughput_ips: float         # completed / elapsed
+
+    @property
+    def has_traffic(self) -> bool:
+        return self.completed > 0
+
+    @property
+    def error_rate(self) -> float:
+        outcomes = self.completed + self.failed + self.deadline_expired
+        if outcomes == 0:
+            return 0.0
+        return (self.failed + self.deadline_expired) / outcomes
+
+
+class SensorHub:
+    """Incremental window sampler over one server's stats.
+
+    Args:
+        stats: the engine's (or fleet front-end's) stats accumulator.
+        depth_fn: callable returning the current total queue depth.
+        clock: monotonic-seconds source (injectable for tests).
+    """
+
+    def __init__(
+        self,
+        stats: ServerStats,
+        depth_fn: Callable[[], int],
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self.stats = stats
+        self._depth_fn = depth_fn
+        self._clock = clock
+        self._window = 0
+        self._cursor = 0                       # index into stats latencies
+        self._last_at = clock()
+        self._last_counters: Dict[str, float] = stats.counters()
+
+    def sample(self) -> Signal:
+        """Close the current window and return its signal."""
+        now = self._clock()
+        counters = self.stats.counters()
+        latencies, self._cursor = self.stats.latencies_since(self._cursor)
+        window = np.asarray(latencies, dtype=np.float64)
+
+        def delta(name: str) -> int:
+            return int(counters[name] - self._last_counters[name])
+
+        completed = delta("completed")
+        energy_delta = counters["energy_uj"] - self._last_counters["energy_uj"]
+        elapsed = max(now - self._last_at, 1e-9)
+        signal = Signal(
+            window=self._window,
+            at=now,
+            elapsed_s=elapsed,
+            completed=completed,
+            failed=delta("failed"),
+            rejected=delta("rejected"),
+            throttled=delta("throttled"),
+            deadline_expired=delta("deadline_expired"),
+            degraded=delta("degraded"),
+            queue_depth=int(self._depth_fn()),
+            p50_ms=float(np.percentile(window, 50)) if window.size else 0.0,
+            p99_ms=float(np.percentile(window, 99)) if window.size else 0.0,
+            mean_ms=float(window.mean()) if window.size else 0.0,
+            energy_uj_per_request=(
+                energy_delta / completed if completed else 0.0
+            ),
+            throughput_ips=completed / elapsed,
+        )
+        self._window += 1
+        self._last_at = now
+        self._last_counters = counters
+        return signal

@@ -22,6 +22,10 @@ subpackage supplies the failure-handling vocabulary the serving engine
     watermark, new requests are rerouted to a configured
     lower-precision servable of the same network — trading accuracy
     for energy and throughput instead of rejecting traffic.
+    **Deprecated**: now a warn-once shim over
+    :meth:`repro.control.AutoTuner.latency_only` — the static
+    watermark grew into the closed-loop SLO autotuner in
+    :mod:`repro.control` (``docs/control.md``).
 
 Per-request deadlines (``InferenceServer.submit(..., deadline_ms=...)``
 raising :class:`~repro.errors.DeadlineExceededError`) live in

@@ -1,56 +1,82 @@
 """Graceful degradation: shed load by dropping precision, not requests.
 
+.. deprecated::
+    The static watermark policy has been subsumed by the closed-loop
+    controller in :mod:`repro.control`.  :class:`DegradePolicy` remains
+    as a thin compatibility shim over
+    :meth:`repro.control.AutoTuner.latency_only` — same constructor,
+    same ``route`` semantics, one :class:`DeprecationWarning` per
+    process — but new code should build an
+    :class:`~repro.control.AutoTuner` (or a full
+    :class:`~repro.control.ControlLoop`) instead: it reroutes on the
+    same queue-depth evidence *and* can batch up, throttle admissions,
+    and recover on its own.
+
 The paper's central result is that precision trades accuracy for
 energy; under overload the same dial trades accuracy for *throughput*.
-A :class:`DegradePolicy` watches queue depth at admission time: past
-the watermark, new requests whose precision has a configured fallback
-are rerouted to the lower-precision servable of the same network —
-cheaper per image on the modeled accelerator, so the queue drains
-faster — instead of being rejected outright.  The response still
+Past the watermark, new requests whose precision has a configured
+fallback are rerouted to the lower-precision servable of the same
+network — cheaper per image on the modeled accelerator, so the queue
+drains faster — instead of being rejected outright.  The response still
 arrives, carries the fallback model key, and is counted in
-``ServerStats.degraded`` / the ``serve.degraded`` metric, so operators
-can see exactly how much accuracy the overload cost.
+``ServerStats.degraded`` / the ``serve.degraded`` metric.
 """
 
 from __future__ import annotations
 
-from typing import Mapping
-
-from repro.errors import ConfigurationError
+import warnings
+from typing import Mapping, Set
 
 __all__ = ["DegradePolicy"]
 
+_DEPRECATION_WARNED: Set[str] = set()
+
+
+def _warn_once(name: str, alternative: str) -> None:
+    if name in _DEPRECATION_WARNED:
+        return
+    _DEPRECATION_WARNED.add(name)
+    warnings.warn(
+        f"{name} is deprecated; use {alternative} instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
 
 class DegradePolicy:
-    """Reroute admissions to lower precision above a queue watermark.
+    """Deprecated static-watermark shim over the closed-loop autotuner.
+
+    Construction delegates to
+    :meth:`repro.control.AutoTuner.latency_only`, which validates the
+    same invariants (watermark >= 1, non-empty map, no self-mappings —
+    raising the same :class:`~repro.errors.ConfigurationError`) and
+    reproduces the historical routing exactly: at queue depth at or
+    above the watermark, a precision with a fallback entry degrades one
+    step; chains are never followed.
 
     Args:
-        watermark: queue depth (inclusive) at which degradation kicks
-            in.  A good default is half the server's ``max_queue_depth``
-            — early enough to act before backpressure rejections start.
+        watermark: queue depth (inclusive) at which degradation kicks in.
         fallback: ``precision key -> lower-precision key`` map; a
-            precision without an entry is never degraded.  Chains are
-            not followed: one submission degrades at most one step.
+            precision without an entry is never degraded.
     """
 
     def __init__(self, watermark: int, fallback: Mapping[str, str]):
-        if watermark < 1:
-            raise ConfigurationError("watermark must be >= 1")
-        if not fallback:
-            raise ConfigurationError("fallback map must not be empty")
-        for source, target in fallback.items():
-            if source == target:
-                raise ConfigurationError(
-                    f"fallback for {source!r} must name a different precision"
-                )
+        _warn_once(
+            "repro.resilience.DegradePolicy",
+            "repro.control.AutoTuner (latency_only() for a drop-in)",
+        )
+        # Imported lazily: repro.serve imports this module at load time,
+        # and repro.control imports repro.serve — a module-level import
+        # here would close the cycle.
+        from repro.control.tuner import AutoTuner
+
+        self._tuner = AutoTuner.latency_only(watermark, dict(fallback))
         self.watermark = watermark
         self.fallback = dict(fallback)
 
     def route(self, precision: str, queue_depth: int) -> str:
         """The precision to actually serve at the given queue depth."""
-        if queue_depth >= self.watermark:
-            return self.fallback.get(precision, precision)
-        return precision
+        return self._tuner.route(precision, queue_depth)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (

@@ -30,7 +30,14 @@ Components:
     p50/p95/p99 latency, throughput, queue depth, batch-size histogram
     and cumulative modeled energy.
 ``run_closed_loop``
-    Closed-loop load generator backing ``python -m repro serve-bench``.
+    Closed-loop load generator backing ``python -m repro serve-bench``:
+    records client-side per-request latencies, runs request- or
+    time-bounded, and retries submissions the admission controller
+    throttles.  Both servers accept two optional control hooks — a
+    ``degrade`` router and an ``admission`` gate (checked in
+    ``submit``; refusals raise ``ServerOverloadedError`` and count as
+    ``throttled``) — which the closed-loop autotuner in
+    :mod:`repro.control` actuates (``docs/control.md``).
 ``FleetServer`` / ``FleetConfig``
     Multi-process sharded serving: N replica processes behind one
     admission front-end, zero-copy shared-memory tensor handoff

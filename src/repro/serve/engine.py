@@ -26,6 +26,7 @@ from repro.errors import (
     ConfigurationError,
     DeadlineExceededError,
     ServerClosedError,
+    ServerOverloadedError,
     WorkerStallError,
 )
 from repro.resilience.degrade import DegradePolicy
@@ -54,9 +55,15 @@ class InferenceServer:
         workers: worker-thread count.
         max_batch_size / max_delay_ms: dynamic-batching policy.
         max_queue_depth: bounded-queue backpressure threshold.
-        degrade: optional overload policy — past its queue-depth
-            watermark, new admissions are rerouted to the configured
-            lower-precision servable (counted in ``stats.degraded``).
+        degrade: optional overload router — anything with
+            ``route(precision, queue_depth)``: the legacy static
+            :class:`~repro.resilience.DegradePolicy` or a
+            :class:`~repro.control.AutoTuner` (reroutes counted in
+            ``stats.degraded``).
+        admission: optional :class:`~repro.control.TokenBucket`; when
+            its ``try_acquire`` fails the request is rejected with
+            :class:`~repro.errors.ServerOverloadedError` before the
+            queue is touched (counted in ``stats.throttled``).
         faults: explicit fault injector; defaults to the process-wide
             one (unarmed, effectively free).
 
@@ -77,6 +84,7 @@ class InferenceServer:
         max_delay_ms: float = 2.0,
         max_queue_depth: int = 256,
         degrade: Optional[DegradePolicy] = None,
+        admission=None,
         faults: Optional[FaultInjector] = None,
     ):
         if workers < 1:
@@ -84,6 +92,7 @@ class InferenceServer:
         self.store = store or ModelStore()
         self.workers = workers
         self.degrade = degrade
+        self.admission = admission
         self._faults = faults
         self.batcher = Batcher(
             BatchPolicy(max_batch_size=max_batch_size, max_delay_ms=max_delay_ms),
@@ -95,6 +104,12 @@ class InferenceServer:
         self._ids = itertools.count()
         self._started = False
         self._stopped = False
+
+    @property
+    def batchers(self) -> List[Batcher]:
+        """Every batcher feeding this server (one, here) — the uniform
+        surface the control loop actuates across both engines."""
+        return [self.batcher]
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -195,6 +210,11 @@ class InferenceServer:
             )
         if deadline_ms is not None and deadline_ms <= 0:
             raise ConfigurationError("deadline_ms must be positive")
+        if self.admission is not None and not self.admission.try_acquire():
+            self.stats.record_throttled()
+            raise ServerOverloadedError(
+                "admission controller is throttling; retry later"
+            )
         degraded = False
         if self.degrade is not None:
             routed = self.degrade.route(precision, self.batcher.depth())

@@ -69,6 +69,7 @@ from repro.errors import (
     FleetNotReadyError,
     ReplicaCrashError,
     ServerClosedError,
+    ServerOverloadedError,
     ServingError,
 )
 from repro.obs.metrics import get_metrics
@@ -242,9 +243,11 @@ class FleetServer:
         self,
         config: Optional[FleetConfig] = None,
         degrade: Optional[DegradePolicy] = None,
+        admission=None,
     ):
         self.config = config or FleetConfig()
         self.degrade = degrade
+        self.admission = admission
         self.stats = ServerStats()
         self.metrics = get_metrics()
         self._ctx = multiprocessing.get_context(self.config.start_method)
@@ -503,6 +506,11 @@ class FleetServer:
             )
         if deadline_ms is not None and deadline_ms <= 0:
             raise ConfigurationError("deadline_ms must be positive")
+        if self.admission is not None and not self.admission.try_acquire():
+            self.stats.record_throttled()
+            raise ServerOverloadedError(
+                "admission controller is throttling; retry later"
+            )
         degraded = False
         if self.degrade is not None:
             depth = sum(b.depth() for b in self._batchers)
@@ -529,6 +537,14 @@ class FleetServer:
         if degraded:
             self.stats.record_degraded()
         return future
+
+    @property
+    def batchers(self) -> List[Batcher]:
+        """Every front-end batcher (one per hash lane, or a single shared
+        queue) — the uniform surface the control loop actuates.  Note the
+        fleet's ring slots are sized by ``config.max_batch_size``, so a
+        batch knob applied here must never exceed that bound."""
+        return list(self._batchers)
 
     def report(self) -> StatsReport:
         return self.stats.report()

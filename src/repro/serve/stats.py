@@ -30,6 +30,7 @@ class StatsReport:
     failed: int
     deadline_expired: int          # requests evicted past their deadline
     degraded: int                  # admissions rerouted to lower precision
+    throttled: int                 # rejections by the admission controller
     wall_s: float
     throughput_ips: float          # completed images per second
     latency_ms_mean: float
@@ -57,7 +58,8 @@ class StatsReport:
                if self.rejected or self.failed else "")
             + (f"  (deadline expired {self.deadline_expired})"
                if self.deadline_expired else "")
-            + (f"  (degraded {self.degraded})" if self.degraded else ""),
+            + (f"  (degraded {self.degraded})" if self.degraded else "")
+            + (f"  (throttled {self.throttled})" if self.throttled else ""),
             f"wall time              : {self.wall_s:.3f} s",
             f"throughput             : {self.throughput_ips:.1f} img/s",
             "latency (ms)           : "
@@ -114,6 +116,7 @@ class ServerStats:
         self._failed = 0
         self._deadline_expired = 0
         self._degraded = 0
+        self._throttled = 0
         self._served_artifacts: Dict[str, Dict[str, object]] = {}
         self._first_admit: Optional[float] = None
         self._last_complete: Optional[float] = None
@@ -149,6 +152,18 @@ class ServerStats:
         with self._lock:
             self._degraded += count
         self.metrics.counter("serve.degraded").inc(count)
+
+    def record_throttled(self, count: int = 1) -> None:
+        """An admission-controller rejection (the token bucket said no).
+
+        Throttles are *not* counted as queue rejections: the queue had
+        room, the controller chose to shed.  Keeping the two apart lets
+        operators tell backpressure (a capacity problem) from throttling
+        (a policy decision) in the same snapshot.
+        """
+        with self._lock:
+            self._throttled += count
+        self.metrics.counter("controller.throttled").inc(count)
 
     def record_failure(self, count: int = 1) -> None:
         with self._lock:
@@ -194,6 +209,34 @@ class ServerStats:
         self.metrics.histogram("serve.queue_ms").observe(queue_ms)
 
     # ------------------------------------------------------------------
+    def counters(self) -> Dict[str, float]:
+        """Cheap monotonic counters for incremental (windowed) sampling.
+
+        Unlike :meth:`report` this computes no percentiles — it is the
+        control loop's per-tick read, O(1) under the lock.  Pair with
+        :meth:`latencies_since` to build per-window signals.
+        """
+        with self._lock:
+            return {
+                "completed": float(len(self._latencies_ms)),
+                "failed": float(self._failed),
+                "rejected": float(self._rejected),
+                "deadline_expired": float(self._deadline_expired),
+                "degraded": float(self._degraded),
+                "throttled": float(self._throttled),
+                "energy_uj": float(self._energy_uj),
+            }
+
+    def latencies_since(self, start: int) -> Tuple[List[float], int]:
+        """Latency samples appended at index ``start`` or later.
+
+        Returns ``(samples, next_cursor)``; completions only append, so
+        a caller holding the returned cursor sees each sample exactly
+        once across successive calls.
+        """
+        with self._lock:
+            return list(self._latencies_ms[start:]), len(self._latencies_ms)
+
     def samples(self) -> Tuple[List[float], List[float]]:
         """Raw (latency_ms, queue_ms) per-request samples, copied.
 
@@ -238,6 +281,7 @@ class ServerStats:
                 failed=self._failed,
                 deadline_expired=self._deadline_expired,
                 degraded=self._degraded,
+                throttled=self._throttled,
                 wall_s=wall_s,
                 throughput_ips=completed / wall_s if wall_s > 0 else 0.0,
                 latency_ms_mean=float(latencies.mean()) if completed else 0.0,
@@ -392,6 +436,7 @@ def merge_reports(
         failed=sum(p.failed for p in parts),
         deadline_expired=sum(p.deadline_expired for p in parts),
         degraded=sum(p.degraded for p in parts),
+        throttled=sum(p.throttled for p in parts),
         wall_s=wall_s,
         throughput_ips=completed / wall_s if wall_s > 0 else 0.0,
         latency_ms_mean=latency_mean,

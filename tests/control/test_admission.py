@@ -1,0 +1,67 @@
+"""TokenBucket admission: refill math, burst cap, disable semantics."""
+
+import pytest
+
+from repro.control import TokenBucket
+from repro.errors import ConfigurationError
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, dt):
+        self.now += dt
+
+
+def test_validation():
+    with pytest.raises(ConfigurationError):
+        TokenBucket(rate_ips=0.0)
+    with pytest.raises(ConfigurationError):
+        TokenBucket(rate_ips=-1.0)
+    with pytest.raises(ConfigurationError):
+        TokenBucket(burst=0.5)
+    with pytest.raises(ConfigurationError):
+        TokenBucket(rate_ips=10.0).set_rate(0.0)
+
+
+def test_unlimited_by_default():
+    bucket = TokenBucket()
+    assert not bucket.limited
+    assert bucket.rate_ips is None
+    assert all(bucket.try_acquire() for _ in range(10_000))
+
+
+def test_rate_limits_after_burst():
+    clock = FakeClock()
+    bucket = TokenBucket(rate_ips=10.0, burst=4.0, clock=clock)
+    assert bucket.limited
+    # the burst drains first...
+    assert [bucket.try_acquire() for _ in range(5)] == [True] * 4 + [False]
+    # ...then admissions track the refill rate exactly
+    clock.advance(0.1)   # one token earned at 10/s
+    assert bucket.try_acquire()
+    assert not bucket.try_acquire()
+
+
+def test_tokens_capped_at_burst():
+    clock = FakeClock()
+    bucket = TokenBucket(rate_ips=100.0, burst=2.0, clock=clock)
+    clock.advance(60.0)  # a long idle gap earns at most `burst` tokens
+    grabbed = sum(bucket.try_acquire() for _ in range(10))
+    assert grabbed == 2
+
+
+def test_set_rate_and_disable():
+    clock = FakeClock()
+    bucket = TokenBucket(rate_ips=1.0, burst=1.0, clock=clock)
+    assert bucket.try_acquire() and not bucket.try_acquire()
+    bucket.set_rate(1000.0)
+    clock.advance(0.01)  # 10 tokens at the new rate (capped at burst=1)
+    assert bucket.try_acquire()
+    bucket.disable()
+    assert bucket.rate_ips is None
+    assert all(bucket.try_acquire() for _ in range(100))

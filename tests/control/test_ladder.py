@@ -1,0 +1,98 @@
+"""TierLadder: ordering, accuracy floor, registry discovery."""
+
+import pytest
+
+from repro.control import PrecisionTier, TierLadder, default_tier_keys
+from repro.errors import ConfigurationError
+
+
+def make_ladder():
+    return TierLadder([
+        PrecisionTier("fixed16", accuracy=0.95),
+        PrecisionTier("fixed8", accuracy=0.93),
+        PrecisionTier("fixed4", accuracy=0.80),
+    ])
+
+
+def test_validation():
+    with pytest.raises(ConfigurationError):
+        TierLadder([])
+    with pytest.raises(ConfigurationError):
+        TierLadder([PrecisionTier("fixed8"), PrecisionTier("fixed8")])
+    with pytest.raises(ConfigurationError):
+        PrecisionTier("")
+    with pytest.raises(ConfigurationError):
+        PrecisionTier("fixed8", accuracy=1.2)
+    with pytest.raises(ConfigurationError):
+        TierLadder.from_precisions(["fixed8"], accuracies=[0.9, 0.8])
+
+
+def test_ordering_and_lookup():
+    ladder = make_ladder()
+    assert len(ladder) == 3
+    assert ladder.precisions == ["fixed16", "fixed8", "fixed4"]
+    assert ladder.index_of("fixed8") == 1
+    assert ladder.index_of("binary") is None
+    assert ladder[0].precision == "fixed16"
+
+
+def test_floor_index_respects_known_accuracy():
+    ladder = make_ladder()
+    assert ladder.floor_index(None) == 2          # no floor: full depth
+    assert ladder.floor_index(0.90) == 1          # fixed4 (0.80) excluded
+    assert ladder.floor_index(0.99) == 0          # nothing below tier 0
+    assert ladder.floor_index(0.50) == 2
+
+
+def test_floor_index_permits_unknown_accuracy():
+    ladder = TierLadder.from_precisions(["fixed8", "fixed4"])
+    assert ladder.floor_index(0.99) == 1  # unknown accuracy is not vetoed
+
+
+def test_accuracy_drop():
+    ladder = make_ladder()
+    assert ladder.accuracy_drop(0) == 0.0
+    assert ladder.accuracy_drop(2) == pytest.approx(0.15)
+    unknown = TierLadder.from_precisions(["fixed8", "fixed4"])
+    assert unknown.accuracy_drop(1) is None
+
+
+class _Manifest:
+    def __init__(self, network, precision, accuracy, energy):
+        self.network = network
+        self.precision = precision
+        self.accuracy = accuracy
+        self.energy_uj_per_image = energy
+
+
+class _FakeStore:
+    def __init__(self, manifests):
+        self._manifests = manifests
+
+    def list_artifacts(self):
+        return list(self._manifests)
+
+
+def test_from_registry_keeps_best_per_precision_sorted_by_energy():
+    store = _FakeStore([
+        _Manifest("lenet_small", "fixed8", 0.91, 40.0),
+        _Manifest("lenet_small", "fixed8", 0.94, 40.0),   # better, kept
+        _Manifest("lenet_small", "fixed16", 0.95, 90.0),
+        _Manifest("lenet_small", "fixed4", 0.82, 12.0),
+        _Manifest("other_net", "fixed2", 0.50, 1.0),      # ignored
+    ])
+    ladder = TierLadder.from_registry(store, "lenet_small")
+    assert ladder.precisions == ["fixed16", "fixed8", "fixed4"]
+    assert ladder[1].accuracy == 0.94
+    assert ladder[2].energy_uj == 12.0
+    with pytest.raises(ConfigurationError):
+        TierLadder.from_registry(store, "missing_net")
+
+
+def test_default_tier_keys():
+    assert default_tier_keys("fixed8") == ["fixed8", "fixed4"]
+    assert default_tier_keys("fixed4") == ["fixed4"]
+    assert default_tier_keys("fixed16") == ["fixed16", "fixed8", "fixed4"]
+    # non-fixed tier 0 keeps itself on top of the fixed menu
+    assert default_tier_keys("float32")[0] == "float32"
+    assert "fixed8" in default_tier_keys("float32")

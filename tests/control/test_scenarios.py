@@ -1,0 +1,164 @@
+"""Scenarios: registry, scaling, and a real end-to-end A/B run."""
+
+import numpy as np
+import pytest
+
+from repro.control import (
+    KnobConfig,
+    Phase,
+    SCENARIOS,
+    Scenario,
+    ScenarioRunner,
+    SLOPolicy,
+    TierLadder,
+    calibrate_slo,
+    get_scenario,
+    verdict,
+)
+from repro.data import load_dataset
+from repro.errors import ConfigurationError
+from repro.serve import InferenceServer, ModelStore
+
+
+@pytest.fixture(scope="module")
+def digits_images():
+    split = load_dataset("digits", n_train=32, n_test=64, seed=0)
+    return split.test.images
+
+
+@pytest.fixture(scope="module")
+def store(digits_images):
+    store = ModelStore(
+        calibration_data={"digits": digits_images[:32]},
+        calibration_images=32,
+    )
+    # warm outside any timed run
+    store.warm("lenet_small", "fixed8")
+    store.warm("lenet_small", "fixed4")
+    return store
+
+
+def test_scenario_registry():
+    assert {"flash_crowd", "diurnal", "sustained_overload", "chaos"} \
+        <= set(SCENARIOS)
+    crowd = get_scenario("flash_crowd")
+    peak = max(phase.concurrency for phase in crowd.phases)
+    edges = (crowd.phases[0].concurrency, crowd.phases[-1].concurrency)
+    assert peak >= 8 * min(edges)  # it is actually a crowd
+    with pytest.raises(ConfigurationError):
+        get_scenario("nope")
+
+
+def test_scenario_validation_and_scaling():
+    with pytest.raises(ConfigurationError):
+        Phase("bad", duration_s=0.0, concurrency=1)
+    with pytest.raises(ConfigurationError):
+        Phase("bad", duration_s=1.0, concurrency=0)
+    with pytest.raises(ConfigurationError):
+        Scenario(name="empty", description="", phases=())
+    scenario = get_scenario("diurnal")
+    scaled = scenario.scaled(0.1)
+    assert scaled.name == scenario.name
+    assert len(scaled.phases) == len(scenario.phases)
+    assert scaled.total_duration_s < scenario.total_duration_s
+    # the floor keeps phases long enough to hold a window or two
+    assert all(p.duration_s >= 0.2 for p in scenario.scaled(1e-6).phases)
+    # concurrency is the shape, not the duration: untouched
+    assert [p.concurrency for p in scaled.phases] == \
+        [p.concurrency for p in scenario.phases]
+    with pytest.raises(ConfigurationError):
+        scenario.scaled(0.0)
+
+
+def test_chaos_scenario_arms_a_phase():
+    chaos = get_scenario("chaos")
+    seeds = [phase.chaos_seed for phase in chaos.phases]
+    assert any(seed is not None for seed in seeds)
+    assert seeds[0] is None  # warmup runs clean
+
+
+def test_calibrate_slo(store, digits_images):
+    server = InferenceServer(store, workers=2, max_batch_size=8).start()
+    try:
+        slo = calibrate_slo(
+            server, digits_images, "lenet_small", "fixed8",
+            n_requests=16, concurrency=2,
+        )
+    finally:
+        server.stop()
+    assert slo >= 5.0  # the floor, at minimum
+    assert np.isfinite(slo)
+
+
+def test_flash_crowd_end_to_end(store, digits_images):
+    """The acceptance loop in miniature: autotuned vs static arms."""
+    scenario = get_scenario("flash_crowd").scaled(0.25)
+    ladder = TierLadder.from_precisions(
+        ["fixed8", "fixed4"], accuracies=[0.93, 0.85]
+    ).priced(store, "lenet_small")
+    assert all(tier.energy_uj is not None for tier in ladder.tiers)
+    policy = SLOPolicy(latency_slo_ms=40.0, breach_windows=1,
+                       cooldown_windows=1)
+    runner = ScenarioRunner(
+        server_factory=lambda: InferenceServer(
+            store, workers=2, max_batch_size=16, max_queue_depth=128,
+        ),
+        images=digits_images,
+        network="lenet_small",
+        precision="fixed8",
+        policy=policy,
+        ladder=ladder,
+        knobs=KnobConfig(max_batch=16, preferred_batch=4),
+        interval_s=0.05,
+    )
+    scenario_verdict, autotuned, static = runner.judge(scenario, 40.0)
+
+    # structural guarantees, not performance ones (CI machines vary):
+    assert autotuned.lost == 0 and static.lost == 0
+    assert len(autotuned.phases) == len(scenario.phases)
+    assert len(autotuned.loop.history) > 0
+    assert 0.0 <= autotuned.attainment <= 1.0
+    assert 0.0 <= static.attainment <= 1.0
+    assert autotuned.report.completed > 0
+    assert static.report.completed > 0
+    assert scenario_verdict.scenario == "flash_crowd"
+    assert scenario_verdict.windows == len(autotuned.loop.history)
+    # the static arm never leaves tier 0 and never throttles
+    assert static.report.degraded == 0
+    assert static.report.throttled == 0
+    assert static.accuracy_loss_bound() == 0.0
+    # energy accounting is consistent: autotuned can only spend less
+    # per request than static tier-0 serving (lower tiers are cheaper)
+    assert autotuned.energy_uj_per_request <= \
+        static.energy_uj_per_request + 1e-9
+    # accuracy bound reflects the tiers actually visited
+    bound = autotuned.accuracy_loss_bound()
+    assert bound is not None and 0.0 <= bound <= 0.93 - 0.85 + 1e-9
+    # the verdict's text report renders
+    assert "SLO attainment" in scenario_verdict.format()
+    # client-side latency samples were recorded by the loadgen
+    assert len(autotuned.latencies_ms) == autotuned.report.completed
+
+
+def test_verdict_gates_on_attainment(store, digits_images):
+    """verdict() fails a run that misses the attainment target."""
+    scenario = get_scenario("flash_crowd").scaled(0.15)
+    ladder = TierLadder.from_precisions(["fixed8", "fixed4"])
+    policy = SLOPolicy(latency_slo_ms=1000.0)
+    runner = ScenarioRunner(
+        server_factory=lambda: InferenceServer(
+            store, workers=2, max_batch_size=16, max_queue_depth=128,
+        ),
+        images=digits_images,
+        network="lenet_small",
+        precision="fixed8",
+        policy=policy,
+        ladder=ladder,
+        interval_s=0.05,
+    )
+    run = runner.run(scenario, autotune=True)
+    static = runner.run(scenario, autotune=False)
+    generous = verdict(run, static, 1000.0, attainment_target=0.0)
+    assert generous.passed  # lost == 0 and any attainment clears 0.0
+    impossible = verdict(run, static, 1000.0, attainment_target=1.01)
+    assert not impossible.passed

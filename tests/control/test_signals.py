@@ -1,0 +1,77 @@
+"""SensorHub: incremental windows over a live ServerStats."""
+
+from repro.control import SensorHub
+from repro.obs.metrics import MetricsRegistry
+from repro.serve.stats import ServerStats
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 100.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, dt):
+        self.now += dt
+
+
+def make_stats():
+    return ServerStats(metrics=MetricsRegistry())
+
+
+def test_windows_see_only_their_own_samples():
+    clock = FakeClock()
+    stats = make_stats()
+    hub = SensorHub(stats, depth_fn=lambda: 3, clock=clock)
+
+    for latency in (10.0, 20.0, 30.0):
+        stats.record_completion(latency, queue_ms=1.0, energy_uj=5.0)
+    clock.advance(1.0)
+    first = hub.sample()
+    assert first.window == 0
+    assert first.completed == 3
+    assert first.queue_depth == 3
+    assert first.elapsed_s == 1.0
+    assert first.p99_ms <= 30.0 and first.p50_ms == 20.0
+    assert first.energy_uj_per_request == 5.0
+    assert first.throughput_ips == 3.0
+    assert first.has_traffic
+
+    # a second window sees only the new completion, not the old three
+    stats.record_completion(100.0, queue_ms=1.0, energy_uj=7.0)
+    clock.advance(2.0)
+    second = hub.sample()
+    assert second.window == 1
+    assert second.completed == 1
+    assert second.p99_ms == 100.0
+    assert second.energy_uj_per_request == 7.0
+    assert second.throughput_ips == 0.5
+
+
+def test_counter_deltas_and_error_rate():
+    clock = FakeClock()
+    stats = make_stats()
+    hub = SensorHub(stats, depth_fn=lambda: 0, clock=clock)
+    stats.record_failure(2)
+    stats.record_rejection()
+    stats.record_throttled(4)
+    stats.record_deadline_expired(1)
+    stats.record_degraded(3)
+    stats.record_completion(5.0, 0.5, 1.0)
+    clock.advance(1.0)
+    signal = hub.sample()
+    assert signal.failed == 2
+    assert signal.rejected == 1
+    assert signal.throttled == 4
+    assert signal.deadline_expired == 1
+    assert signal.degraded == 3
+    assert signal.error_rate == 3 / 4  # (2 failed + 1 expired) / 4 outcomes
+
+    # deltas reset: an empty follow-up window reports zeros
+    clock.advance(1.0)
+    idle = hub.sample()
+    assert idle.completed == idle.failed == idle.throttled == 0
+    assert not idle.has_traffic
+    assert idle.error_rate == 0.0
+    assert idle.p99_ms == 0.0

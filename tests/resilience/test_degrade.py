@@ -1,4 +1,11 @@
-"""DegradePolicy: validation and watermark routing."""
+"""DegradePolicy: validation and watermark routing (via the shim).
+
+DegradePolicy is now a deprecated shim over
+``repro.control.AutoTuner.latency_only``; these tests pin the original
+behavior through the shim so the compatibility contract stays honest.
+"""
+
+import warnings
 
 import pytest
 
@@ -34,3 +41,29 @@ def test_chains_are_not_followed():
     )
     # one submission degrades at most one step
     assert policy.route("fixed8", 5) == "fixed4"
+
+
+def test_deprecation_warns_once_per_process():
+    import repro.resilience.degrade as degrade_module
+
+    degrade_module._DEPRECATION_WARNED.clear()
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        DegradePolicy(watermark=2, fallback={"fixed8": "fixed4"})
+        DegradePolicy(watermark=3, fallback={"fixed8": "fixed4"})
+    deprecations = [
+        w for w in caught if issubclass(w.category, DeprecationWarning)
+    ]
+    assert len(deprecations) == 1
+    assert "repro.control.AutoTuner" in str(deprecations[0].message)
+
+
+def test_shim_delegates_to_autotuner():
+    from repro.control import AutoTuner
+
+    policy = DegradePolicy(watermark=4, fallback={"fixed8": "fixed4"})
+    assert isinstance(policy._tuner, AutoTuner)
+    assert policy._tuner.watermark_mode
+    # the shim still exposes the old public attributes
+    assert policy.watermark == 4
+    assert policy.fallback == {"fixed8": "fixed4"}

@@ -9,7 +9,7 @@ import repro
 PACKAGES = ["repro", "repro.nn", "repro.core", "repro.data", "repro.hw",
             "repro.zoo", "repro.experiments", "repro.serve", "repro.obs",
             "repro.parallel", "repro.resilience", "repro.registry",
-            "repro.kernels", "repro.backends"]
+            "repro.kernels", "repro.backends", "repro.control"]
 
 
 def test_version_exposed():
